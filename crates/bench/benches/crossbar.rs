@@ -1,0 +1,61 @@
+//! Criterion micro-benches for the ReRAM simulator's hot kernels: the
+//! unit-level bit-sliced pipeline, the array-level batch path, and
+//! bit-slicing itself. These measure *simulator* throughput (how fast we
+//! can simulate), not modeled hardware latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simpim_reram::bitslice::{slice_input, slice_operand};
+use simpim_reram::{AccWidth, Crossbar, CrossbarConfig, PimArray, PimConfig};
+use std::hint::black_box;
+
+fn unit_level_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar/unit_level_dot");
+    for &m in &[64usize, 256] {
+        let cfg = CrossbarConfig {
+            size: m,
+            adc_bits: 14,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        let col: Vec<u64> = (0..m as u64).map(|i| i % 1024).collect();
+        xb.program_operand_column(0, 0, &col, 10).unwrap();
+        let query: Vec<u64> = (0..m as u64).map(|i| (i * 7) % 1024).collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| xb.dot_products(0, black_box(&query), 10, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn array_level_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar/array_batch");
+    for &n in &[1_000usize, 10_000] {
+        let cfg = PimConfig::default();
+        let mut pim = PimArray::new(cfg).unwrap();
+        let s = 128usize;
+        let flat: Vec<u32> = (0..n * s).map(|i| (i % 1_000_000) as u32).collect();
+        let rep = pim.program_region(&flat, n, s, 32).unwrap();
+        let query: Vec<u32> = (0..s).map(|i| (i * 7919 % 1_000_000) as u32).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                pim.dot_batch(rep.region, black_box(&query), AccWidth::U64)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bit_slicing(c: &mut Criterion) {
+    c.bench_function("crossbar/slice_operand_32b_on_2b", |b| {
+        b.iter(|| slice_operand(black_box(987_654), 32, 2).unwrap())
+    });
+    c.bench_function("crossbar/slice_input_20b_dac2", |b| {
+        b.iter(|| slice_input(black_box(987_654), 20, 2).unwrap())
+    });
+}
+
+criterion_group!(benches, unit_level_pipeline, array_level_batch, bit_slicing);
+criterion_main!(benches);

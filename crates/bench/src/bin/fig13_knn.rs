@@ -1,0 +1,184 @@
+//! Fig. 13 — kNN classification execution time.
+//!
+//! * (a) vary dataset (ImageNet / MSD / Trevi / GIST), Standard vs
+//!   Standard-PIM, k = 10, ED. Paper: up to 453× (Trevi); GIST improves
+//!   little because LB_FNN prunes GIST poorly.
+//! * (b) vary algorithm (Standard / OST / SM / FNN) and their -PIM
+//!   variants plus the PIM-oracle, MSD. Paper: baselines average 3.9×
+//!   over Standard; PIM lifts them to 40.8×.
+//! * (c) vary k ∈ {1, 10, 100}, Standard vs Standard-PIM, MSD.
+//!   Paper: 71.5× / 57.1× / 29.2×.
+//! * (d) vary distance (ED / CS / PCC), MSD. Paper: similar gaps; PCC
+//!   slightly weaker because LB_PIM-FNN shares its statistics.
+//!
+//! Pass `--panel a|b|c|d` to run one panel (default: all).
+
+use simpim_bench::{
+    fmt_ms, fmt_x, load, ms, params, prepare_executor, print_table, run_knn_baseline, run_knn_pim,
+    KnnAlgo,
+};
+use simpim_core::executor::{ExecutorConfig, PimExecutor, SimTarget};
+use simpim_datasets::PaperDataset;
+use simpim_mining::knn::pim::knn_pim_sim;
+use simpim_mining::knn::standard::knn_standard;
+use simpim_mining::RunReport;
+use simpim_profiling::oracle_report;
+use simpim_similarity::{Measure, NormalizedDataset};
+
+fn panel_a() {
+    let mut rows = Vec::new();
+    for ds in PaperDataset::KNN {
+        let w = load(ds);
+        let base = run_knn_baseline(KnnAlgo::Standard, &w, 10);
+        let mut exec = prepare_executor(&w.data).expect("fits");
+        let bound = exec.bound_name();
+        let pim = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).expect("prepared");
+        rows.push(vec![
+            ds.name().to_string(),
+            format!("{}", w.data.len()),
+            format!("{}", w.data.dim()),
+            bound,
+            fmt_ms(ms(&base)),
+            fmt_ms(ms(&pim)),
+            fmt_x(ms(&base) / ms(&pim)),
+        ]);
+    }
+    print_table(
+        "Fig. 13(a): Standard vs Standard-PIM across datasets (k=10, ED)",
+        &[
+            "dataset",
+            "N",
+            "d",
+            "PIM bound",
+            "Standard (ms)",
+            "Standard-PIM (ms)",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("paper: speedup grows with d; Trevi largest (453x); GIST smallest");
+}
+
+fn panel_b() {
+    let w = load(PaperDataset::Msd);
+    let p = params();
+    let std_ms = ms(&run_knn_baseline(KnnAlgo::Standard, &w, 10));
+    let mut rows = Vec::new();
+    for algo in KnnAlgo::ALL {
+        let base = run_knn_baseline(algo, &w, 10);
+        let mut exec = prepare_executor(&w.data).expect("fits");
+        let pim = run_knn_pim(algo, &mut exec, &w, 10).expect("prepared");
+        let offload = algo.offloadable(&w.data);
+        let refs: Vec<&str> = offload.iter().map(String::as_str).collect();
+        let oracle = oracle_report(&base.profile, &p, &refs);
+        rows.push(vec![
+            algo.name().to_string(),
+            fmt_ms(ms(&base)),
+            fmt_ms(ms(&pim)),
+            fmt_ms(oracle.oracle_ns / 1e6),
+            fmt_x(std_ms / ms(&base)),
+            fmt_x(std_ms / ms(&pim)),
+        ]);
+    }
+    print_table(
+        "Fig. 13(b): algorithms vs their -PIM variants (MSD-shaped, k=10)",
+        &[
+            "algorithm",
+            "base (ms)",
+            "PIM (ms)",
+            "oracle (ms)",
+            "base vs Std",
+            "PIM vs Std",
+        ],
+        &rows,
+    );
+    println!("paper: baselines 3.9x over Standard on average; PIM lifts to 40.8x;");
+    println!("       PIM variants close to the PIM-oracle");
+}
+
+fn panel_c() {
+    let w = load(PaperDataset::Msd);
+    let mut rows = Vec::new();
+    for k in [1usize, 10, 100] {
+        let base = run_knn_baseline(KnnAlgo::Standard, &w, k);
+        let mut exec = prepare_executor(&w.data).expect("fits");
+        let pim = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, k).expect("prepared");
+        rows.push(vec![
+            format!("{k}"),
+            fmt_ms(ms(&base)),
+            fmt_ms(ms(&pim)),
+            fmt_x(ms(&base) / ms(&pim)),
+        ]);
+    }
+    print_table(
+        "Fig. 13(c): Standard vs Standard-PIM across k (MSD-shaped, ED)",
+        &["k", "Standard (ms)", "Standard-PIM (ms)", "speedup"],
+        &rows,
+    );
+    println!("paper: 71.5x / 57.1x / 29.2x — speedup declines as k grows");
+}
+
+fn panel_d() {
+    let w = load(PaperDataset::Msd);
+    let nds = NormalizedDataset::assert_normalized(w.data.clone());
+    let mut rows = Vec::new();
+    for measure in [Measure::EuclideanSq, Measure::Cosine, Measure::Pearson] {
+        let mut base = RunReport::default();
+        for q in &w.queries {
+            base.merge(&knn_standard(&w.data, q, 10, measure).report);
+        }
+        let mut pim_total = RunReport::default();
+        match measure {
+            Measure::EuclideanSq => {
+                let mut exec = prepare_executor(&w.data).expect("fits");
+                pim_total = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).expect("prepared");
+            }
+            Measure::Cosine | Measure::Pearson => {
+                let target = if measure == Measure::Cosine {
+                    SimTarget::Cosine
+                } else {
+                    SimTarget::Pearson
+                };
+                let mut exec =
+                    PimExecutor::prepare_similarity(ExecutorConfig::default(), &nds, target)
+                        .expect("fits uncompressed");
+                for q in &w.queries {
+                    let res = knn_pim_sim(&mut exec, &w.data, q, 10, measure).expect("prepared");
+                    pim_total.merge(&res.report);
+                }
+            }
+            Measure::Hamming => unreachable!(),
+        }
+        rows.push(vec![
+            measure.name().to_string(),
+            fmt_ms(ms(&base)),
+            fmt_ms(ms(&pim_total)),
+            fmt_x(ms(&base) / ms(&pim_total)),
+        ]);
+    }
+    print_table(
+        "Fig. 13(d): Standard vs Standard-PIM across distance functions (MSD-shaped, k=10)",
+        &["distance", "Standard (ms)", "Standard-PIM (ms)", "speedup"],
+        &rows,
+    );
+    println!("paper: similar gaps on all three; PCC slightly weaker");
+}
+
+fn main() {
+    let panel = std::env::args()
+        .skip_while(|a| a != "--panel")
+        .nth(1)
+        .unwrap_or_else(|| "all".to_string());
+    match panel.as_str() {
+        "a" => panel_a(),
+        "b" => panel_b(),
+        "c" => panel_c(),
+        "d" => panel_d(),
+        _ => {
+            panel_a();
+            panel_b();
+            panel_c();
+            panel_d();
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 17 — pre-processing time of FNN vs FNN-PIM-optimize.
+//!
+//! FNN precomputes three segment-statistic tables (`d/64`, `d/16`, `d/4`)
+//! and writes them to DRAM; FNN-PIM-optimize quantizes one table at the
+//! Theorem-4 `s` and programs it onto ReRAM crossbars. The paper finds the
+//! PIM side ~1.9× *slower* on average — ReRAM write latency outweighs the
+//! ~33% smaller write volume.
+
+use simpim_bench::{fmt_ms, fmt_x, load, params, prepare_executor, print_table};
+use simpim_datasets::PaperDataset;
+use simpim_mining::knn::algorithms::fnn_levels;
+use simpim_simkit::OpCounters;
+
+fn main() {
+    let p = params();
+    let mut rows = Vec::new();
+    for ds in PaperDataset::KNN {
+        let w = load(ds);
+        let n = w.data.len() as u64;
+        let d = w.data.dim() as u64;
+
+        // Baseline FNN pre-processing: read the dataset once per level,
+        // compute per-segment µ/σ, write the tables to DRAM.
+        let mut counters = OpCounters::new();
+        for &level in &fnn_levels(w.data.dim()) {
+            counters.stream(n * d * 8); // scan the data
+            counters.arith += n * d * 3; // accumulate mean + variance
+            counters.mul += n * d;
+            counters.sqrt += n * level as u64;
+            counters.div += 2 * n * level as u64;
+            counters.write(n * level as u64 * 2 * 8); // µ and σ tables
+        }
+        let fnn_ns = p.evaluate(&counters).total_ns();
+        let fnn_written = counters.bytes_written;
+
+        // PIM pre-processing: quantize one table at s, program crossbars.
+        let exec = prepare_executor(&w.data).expect("fits");
+        let rep = exec.report();
+        let mut host = OpCounters::new();
+        host.stream(n * d * 8); // scan the data once
+        host.arith += n * d * 3;
+        host.mul += n * d;
+        host.write(rep.phi_bytes);
+        let pim_ns = p.evaluate(&host).total_ns() + rep.program_ns;
+        // Crossbar cell writes, expressed in bytes of h-bit cells.
+        let pim_written = rep.cell_writes * 2 / 8 + rep.phi_bytes;
+
+        rows.push(vec![
+            ds.name().to_string(),
+            fmt_ms(fnn_ns / 1e6),
+            fmt_ms(pim_ns / 1e6),
+            fmt_x(pim_ns / fnn_ns),
+            format!("{:.1}", fnn_written as f64 / 1e6),
+            format!("{:.1}", pim_written as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Fig. 17: pre-processing time, FNN vs FNN-PIM-optimize",
+        &[
+            "dataset",
+            "FNN (ms)",
+            "FNN-PIM (ms)",
+            "PIM/FNN",
+            "FNN MB written",
+            "PIM MB written",
+        ],
+        &rows,
+    );
+    println!("paper: PIM pre-processing ~1.9x slower on average (ReRAM write");
+    println!("       latency), while writing ~33% less data (one table, not three)");
+}

@@ -1,0 +1,89 @@
+//! Tables 1 and 5 — the NVM device characteristics and the platform
+//! configuration, as encoded in the simulator's constants (sanity view).
+
+use simpim_bench::print_table;
+use simpim_reram::config::nvm_table;
+use simpim_reram::PimConfig;
+use simpim_simkit::constants;
+
+fn main() {
+    let rows: Vec<Vec<String>> = nvm_table::ALL
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                if r.volatile { "x".into() } else { "√".into() },
+                format!("{:.0e}-{:.0e}", r.endurance_writes.0, r.endurance_writes.1),
+                format!("{}-{}", r.read_latency_ns.0, r.read_latency_ns.1),
+                format!("{}-{}", r.write_latency_ns.0, r.write_latency_ns.1),
+                format!("{}-{}", r.cell_size_f2.0, r.cell_size_f2.1),
+                format!("{:.0e}", r.write_energy_j_per_bit),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: characteristics of representative NVM techniques",
+        &[
+            "memory",
+            "non-volatile",
+            "endurance",
+            "read ns",
+            "write ns",
+            "cell F²",
+            "J/bit",
+        ],
+        &rows,
+    );
+
+    let cfg = PimConfig::default();
+    let rows = vec![
+        vec![
+            "CPU".into(),
+            format!(
+                "{:.2} GHz ({} ops/cycle)",
+                1.0 / constants::CYCLE_NS,
+                constants::ISSUE_WIDTH
+            ),
+        ],
+        vec![
+            "caches".into(),
+            format!(
+                "{} KB / {} KB / {} MB",
+                constants::L1_BYTES / 1024,
+                constants::L2_BYTES / 1024,
+                constants::L3_BYTES / 1024 / 1024
+            ),
+        ],
+        vec![
+            "memory array".into(),
+            format!("{} GB ReRAM", cfg.memory_bytes / (1 << 30)),
+        ],
+        vec![
+            "buffer array".into(),
+            format!("{} MB eDRAM", cfg.buffer_bytes / (1 << 20)),
+        ],
+        vec![
+            "PIM array".into(),
+            format!(
+                "{} crossbars of {}x{} {}-bit cells (2 GB)",
+                cfg.num_crossbars, cfg.crossbar.size, cfg.crossbar.size, cfg.crossbar.cell_bits
+            ),
+        ],
+        vec![
+            "crossbar latency".into(),
+            format!(
+                "read {} ns / write {} ns",
+                cfg.crossbar.read_ns, cfg.crossbar.write_ns
+            ),
+        ],
+        vec![
+            "internal bus".into(),
+            format!("{} GB/s", cfg.internal_bus_gbps),
+        ],
+    ];
+    print_table(
+        "Table 5: hardware platform configuration",
+        &["component", "value"],
+        &rows,
+    );
+}

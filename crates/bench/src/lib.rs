@@ -1,0 +1,327 @@
+//! Shared infrastructure for the experiment harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index and
+//! EXPERIMENTS.md for paper-vs-measured numbers). All workloads are
+//! scaled-down synthetic stand-ins (`SIMPIM_SCALE`, default 1% of Table 6's
+//! object counts); absolute times are model times, so only *shapes* are
+//! comparable with the paper.
+
+use simpim_bounds::BoundCascade;
+use simpim_core::executor::{ExecutorConfig, PimExecutor};
+use simpim_core::CoreError;
+use simpim_datasets::{generate, sample_queries, spec::env_scale, PaperDataset, SyntheticConfig};
+use simpim_mining::knn::algorithms::{fnn_cascade, ost_cascade, sm_cascade};
+use simpim_mining::knn::cascade::knn_cascade;
+use simpim_mining::knn::pim::knn_pim_ed;
+use simpim_mining::knn::standard::knn_standard;
+use simpim_mining::RunReport;
+use simpim_similarity::{Dataset, Measure, NormalizedDataset};
+use simpim_simkit::HostParams;
+
+/// Minimum object count any scaled dataset is generated with.
+pub const MIN_N: usize = 2_000;
+
+/// Number of kNN queries averaged per configuration.
+pub const QUERIES: usize = 5;
+
+/// One generated workload.
+pub struct Workload {
+    /// Which paper dataset this mirrors.
+    pub dataset: PaperDataset,
+    /// The generated (normalized) data.
+    pub data: Dataset,
+    /// Query objects.
+    pub queries: Vec<Vec<f64>>,
+}
+
+/// Generates the scaled workload for one paper dataset.
+pub fn load(dataset: PaperDataset) -> Workload {
+    let spec = dataset.spec();
+    let n = spec.scaled_n(env_scale(), MIN_N);
+    let data = generate(&SyntheticConfig::from_spec(&spec, n));
+    let queries = sample_queries(&data, QUERIES, 0.02, spec.seed ^ 0xBEEF);
+    Workload {
+        dataset,
+        data,
+        queries,
+    }
+}
+
+/// The host model used by every harness.
+pub fn params() -> HostParams {
+    HostParams::default()
+}
+
+/// The executor configuration used by the harnesses: the crossbar budget
+/// shrinks with `SIMPIM_SCALE` so the capacity pressure of the paper's
+/// 2 GB PIM array against full-size datasets is preserved at laptop scale
+/// (this reproduces the paper's `s = 105` on MSD and `s = 50` on ImageNet
+/// exactly).
+pub fn scaled_executor_config() -> ExecutorConfig {
+    let mut cfg = ExecutorConfig::default();
+    cfg.pim.num_crossbars = ((cfg.pim.num_crossbars as f64 * env_scale()) as usize).max(256);
+    cfg
+}
+
+/// Prepares the scaled PIM executor for a workload's data.
+pub fn prepare_executor(data: &Dataset) -> Result<PimExecutor, CoreError> {
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    PimExecutor::prepare_euclidean(scaled_executor_config(), &nds)
+}
+
+/// The kNN baseline algorithms of Section VI-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnnAlgo {
+    /// Linear scan.
+    Standard,
+    /// LB_OST filter.
+    Ost,
+    /// LB_SM filter.
+    Sm,
+    /// Three-level LB_FNN pipeline.
+    Fnn,
+}
+
+impl KnnAlgo {
+    /// All four, in the paper's order.
+    pub const ALL: [KnnAlgo; 4] = [KnnAlgo::Standard, KnnAlgo::Ost, KnnAlgo::Sm, KnnAlgo::Fnn];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KnnAlgo::Standard => "Standard",
+            KnnAlgo::Ost => "OST",
+            KnnAlgo::Sm => "SM",
+            KnnAlgo::Fnn => "FNN",
+        }
+    }
+
+    /// Builds this algorithm's bound cascade (empty for Standard).
+    pub fn cascade(self, data: &Dataset) -> BoundCascade {
+        match self {
+            KnnAlgo::Standard => BoundCascade::empty(),
+            KnnAlgo::Ost => ost_cascade(data).expect("valid split"),
+            KnnAlgo::Sm => sm_cascade(data).expect("valid split"),
+            KnnAlgo::Fnn => fnn_cascade(data).expect("valid split"),
+        }
+    }
+
+    /// The function names this algorithm's PIM offload targets (set `F` of
+    /// Eq. 2): the exact measure plus its bound functions.
+    pub fn offloadable(self, data: &Dataset) -> Vec<String> {
+        let mut names = vec!["ED".to_string()];
+        names.extend(self.cascade(data).names());
+        names
+    }
+}
+
+/// Runs one baseline kNN query workload; returns the merged report.
+pub fn run_knn_baseline(algo: KnnAlgo, w: &Workload, k: usize) -> RunReport {
+    let cascade = algo.cascade(&w.data);
+    let mut total = RunReport::default();
+    for q in &w.queries {
+        let res = if matches!(algo, KnnAlgo::Standard) {
+            knn_standard(&w.data, q, k, Measure::EuclideanSq)
+        } else {
+            knn_cascade(&w.data, &cascade, q, k, Measure::EuclideanSq)
+        };
+        total.merge(&res.report);
+    }
+    total
+}
+
+/// Runs the `-PIM` counterpart of a kNN baseline (the bottleneck bound is
+/// replaced by the executor's PIM bound; the remaining original bounds of
+/// FNN stay in place, per Section VI-C's default plan).
+pub fn run_knn_pim(
+    algo: KnnAlgo,
+    exec: &mut PimExecutor,
+    w: &Workload,
+    k: usize,
+) -> Result<RunReport, CoreError> {
+    // Retained original bounds: FNN keeps its finer levels; the
+    // single-bound algorithms replace their only bound.
+    let retained = match algo {
+        KnnAlgo::Fnn => {
+            let mut stages: Vec<Box<dyn simpim_bounds::BoundStage>> = Vec::new();
+            let levels = simpim_mining::knn::algorithms::fnn_levels(w.data.dim());
+            for &s in levels.iter().skip(1) {
+                stages.push(Box::new(
+                    simpim_bounds::FnnBound::build(&w.data, s).expect("divisor"),
+                ));
+            }
+            BoundCascade::new(stages)
+        }
+        _ => BoundCascade::empty(),
+    };
+    let mut total = RunReport::default();
+    for q in &w.queries {
+        let res = knn_pim_ed(exec, &w.data, &retained, q, k)?;
+        total.merge(&res.report);
+    }
+    Ok(total)
+}
+
+/// Model milliseconds of a merged report.
+pub fn ms(report: &RunReport) -> f64 {
+    report.total_ms(&params())
+}
+
+/// The k-means algorithms of Section VI-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmeansAlgo {
+    /// Lloyd's algorithm.
+    Standard,
+    /// Elkan's triangle-inequality variant.
+    Elkan,
+    /// Drake's adaptive-bound variant.
+    Drake,
+    /// Yinyang global/group filtering.
+    Yinyang,
+}
+
+impl KmeansAlgo {
+    /// All four, in Table 7 order.
+    pub const ALL: [KmeansAlgo; 4] = [
+        KmeansAlgo::Standard,
+        KmeansAlgo::Elkan,
+        KmeansAlgo::Drake,
+        KmeansAlgo::Yinyang,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KmeansAlgo::Standard => "Standard",
+            KmeansAlgo::Elkan => "Elkan",
+            KmeansAlgo::Drake => "Drake",
+            KmeansAlgo::Yinyang => "Yinyang",
+        }
+    }
+
+    /// Runs the algorithm (optionally PIM-assisted).
+    pub fn run(
+        self,
+        data: &Dataset,
+        cfg: &simpim_mining::kmeans::KmeansConfig,
+        pim: Option<&mut simpim_mining::kmeans::pim::PimAssist<'_>>,
+    ) -> Result<simpim_mining::kmeans::KmeansResult, CoreError> {
+        match self {
+            KmeansAlgo::Standard => simpim_mining::kmeans::lloyd::kmeans_lloyd(data, cfg, pim),
+            KmeansAlgo::Elkan => simpim_mining::kmeans::elkan::kmeans_elkan(data, cfg, pim),
+            KmeansAlgo::Drake => simpim_mining::kmeans::drake::kmeans_drake(data, cfg, pim),
+            KmeansAlgo::Yinyang => simpim_mining::kmeans::yinyang::kmeans_yinyang(data, cfg, pim),
+        }
+    }
+}
+
+/// Runs one k-means configuration on both architectures; returns
+/// `(baseline result, PIM result)`. Assignments are asserted identical.
+pub fn run_kmeans_pair(
+    algo: KmeansAlgo,
+    data: &Dataset,
+    cfg: &simpim_mining::kmeans::KmeansConfig,
+) -> Result<
+    (
+        simpim_mining::kmeans::KmeansResult,
+        simpim_mining::kmeans::KmeansResult,
+    ),
+    CoreError,
+> {
+    let base = algo.run(data, cfg, None)?;
+    let mut exec = prepare_executor(data)?;
+    let mut assist = simpim_mining::kmeans::pim::PimAssist::new(&mut exec);
+    let pim = algo.run(data, cfg, Some(&mut assist))?;
+    assert_eq!(
+        base.assignments,
+        pim.assignments,
+        "{} PIM must be lossless",
+        algo.name()
+    );
+    Ok((base, pim))
+}
+
+/// Model ms **per iteration** of a k-means result (Table 7's unit).
+pub fn ms_per_iter(res: &simpim_mining::kmeans::KmeansResult) -> f64 {
+    res.report.total_ms(&params()) / res.iterations.max(1) as f64
+}
+
+/// Pretty-prints an aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a milliseconds value.
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a speedup factor.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_scaled_and_deterministic() {
+        let a = load(PaperDataset::Year);
+        let b = load(PaperDataset::Year);
+        assert_eq!(a.data, b.data);
+        assert!(a.data.len() >= MIN_N);
+        assert_eq!(a.data.dim(), 90);
+        assert_eq!(a.queries.len(), QUERIES);
+    }
+
+    #[test]
+    fn knn_algo_metadata() {
+        let w = load(PaperDataset::Year);
+        assert_eq!(KnnAlgo::Standard.cascade(&w.data).len(), 0);
+        assert!(KnnAlgo::Fnn.cascade(&w.data).len() >= 2);
+        assert!(KnnAlgo::Fnn.offloadable(&w.data).len() >= 3);
+        assert_eq!(KnnAlgo::Ost.name(), "OST");
+    }
+
+    #[test]
+    fn baseline_and_pim_agree_on_small_workload() {
+        let w = load(PaperDataset::Year);
+        let base = run_knn_baseline(KnnAlgo::Standard, &w, 10);
+        let mut exec = prepare_executor(&w.data).unwrap();
+        let pim = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).unwrap();
+        assert!(ms(&pim) < ms(&base), "PIM must be faster on the model");
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+        assert_eq!(fmt_x(2.0), "2.0x");
+    }
+}

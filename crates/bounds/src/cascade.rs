@@ -1,0 +1,155 @@
+//! Ordered bound cascades.
+//!
+//! A filter-and-refinement algorithm applies a sequence of bounds of
+//! increasing tightness (and increasing cost) before falling back to the
+//! exact function — e.g. FNN's `LB_FNN^{d/64} → LB_FNN^{d/16} → LB_FNN^{d/4}`
+//! pipeline of Fig. 12(a). [`BoundCascade`] is the ordered container the
+//! mining algorithms execute and the execution planner (Eq. 13) rewrites.
+
+use crate::traits::{BoundDirection, BoundStage, PreparedBound};
+
+/// An ordered sequence of bound stages sharing one direction.
+pub struct BoundCascade {
+    stages: Vec<Box<dyn BoundStage>>,
+}
+
+impl BoundCascade {
+    /// An empty cascade (degenerates to pure linear scan).
+    pub fn empty() -> Self {
+        Self { stages: Vec::new() }
+    }
+
+    /// Builds a cascade, verifying all stages bound in the same direction.
+    ///
+    /// # Panics
+    /// Panics when stages mix directions — a lower bound on a distance and
+    /// an upper bound on a similarity cannot share one pruning loop.
+    pub fn new(stages: Vec<Box<dyn BoundStage>>) -> Self {
+        if let Some(first) = stages.first() {
+            let dir = first.direction();
+            assert!(
+                stages.iter().all(|s| s.direction() == dir),
+                "cascade stages must share one bounding direction"
+            );
+        }
+        Self { stages }
+    }
+
+    /// Appends a stage.
+    ///
+    /// # Panics
+    /// Panics when the stage's direction conflicts with the cascade's.
+    pub fn push(&mut self, stage: Box<dyn BoundStage>) {
+        if let Some(first) = self.stages.first() {
+            assert_eq!(
+                first.direction(),
+                stage.direction(),
+                "cascade stages must share one bounding direction"
+            );
+        }
+        self.stages.push(stage);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// `true` when the cascade has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The shared direction, or `None` for an empty cascade.
+    pub fn direction(&self) -> Option<BoundDirection> {
+        self.stages.first().map(|s| s.direction())
+    }
+
+    /// Iterates over the stages in application order.
+    pub fn stages(&self) -> impl ExactSizeIterator<Item = &dyn BoundStage> {
+        self.stages.iter().map(|s| s.as_ref())
+    }
+
+    /// Prepares every stage for one query, in order.
+    pub fn prepare(&self, query: &[f64]) -> Vec<Box<dyn PreparedBound + '_>> {
+        self.stages.iter().map(|s| s.prepare(query)).collect()
+    }
+
+    /// Stage names, for reports.
+    pub fn names(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for BoundCascade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundCascade")
+            .field("stages", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fnn::FnnBound;
+    use crate::part::{PartBound, PartTarget};
+    use simpim_similarity::Dataset;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fnn_style_cascade() {
+        let ds = dataset();
+        let cascade = BoundCascade::new(vec![
+            Box::new(FnnBound::build(&ds, 1).unwrap()),
+            Box::new(FnnBound::build(&ds, 2).unwrap()),
+            Box::new(FnnBound::build(&ds, 4).unwrap()),
+        ]);
+        assert_eq!(cascade.len(), 3);
+        assert_eq!(cascade.names(), vec!["LB_FNN^1", "LB_FNN^2", "LB_FNN^4"]);
+        assert_eq!(
+            cascade.direction(),
+            Some(BoundDirection::LowerBoundsDistance)
+        );
+        let q = vec![0.5; 8];
+        let prepared = cascade.prepare(&q);
+        assert_eq!(prepared.len(), 3);
+        // Later (finer) stages are at least as tight on every object.
+        for i in 0..ds.len() {
+            assert!(prepared[2].bound(i) >= prepared[0].bound(i) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_cascade() {
+        let c = BoundCascade::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.direction(), None);
+        assert!(c.prepare(&[0.0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "direction")]
+    fn mixed_directions_rejected() {
+        let ds = dataset();
+        let _ = BoundCascade::new(vec![
+            Box::new(FnnBound::build(&ds, 2).unwrap()),
+            Box::new(PartBound::build(&ds, 2, PartTarget::Cosine).unwrap()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "direction")]
+    fn push_checks_direction() {
+        let ds = dataset();
+        let mut c = BoundCascade::new(vec![Box::new(FnnBound::build(&ds, 2).unwrap())]);
+        c.push(Box::new(PartBound::build(&ds, 2, PartTarget::Dot).unwrap()));
+    }
+}

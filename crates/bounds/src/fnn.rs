@@ -1,0 +1,193 @@
+//! `LB_FNN` \[26\] — nonlinear-embedding bound (Table 3, row 3):
+//!
+//! ```text
+//! LB_FNN(p,q) = l · Σ_{i=1}^{d′} ((µ(p̂ᵢ)−µ(q̂ᵢ))² + (σ(p̂ᵢ)−σ(q̂ᵢ))²)
+//! ```
+//!
+//! Within one segment,
+//! `Σ (pⱼ−qⱼ)² = l(µp−µq)² + Σ ((pⱼ−µp) − (qⱼ−µq))²` and the centered term
+//! is `l·σp² + l·σq² − 2·Σ(pⱼ−µp)(qⱼ−µq) ≥ l(σp−σq)²` by Cauchy–Schwarz,
+//! so `LB_FNN ≤ ED` and `LB_FNN ≥ LB_SM` at the same segmentation. The FNN
+//! algorithm cascades this bound with `d′ = d/64 → d/16 → d/4` (Fig. 12a);
+//! its PIM-aware counterpart is `LB_PIM-FNN` in `simpim-core`.
+
+use crate::cost::EvalCost;
+use crate::traits::{BoundDirection, BoundStage, PreparedBound};
+use simpim_similarity::{Dataset, SegmentProfile, SegmentStats, SimilarityError};
+
+/// Precomputed `LB_FNN` over a dataset: per-row segment means and standard
+/// deviations.
+#[derive(Debug, Clone)]
+pub struct FnnBound {
+    profile: SegmentProfile,
+    d: usize,
+}
+
+impl FnnBound {
+    /// Builds the bound with `d_prime` segments (`d_prime` must divide `d`).
+    pub fn build(dataset: &Dataset, d_prime: usize) -> Result<Self, SimilarityError> {
+        let profile = SegmentProfile::compute(dataset, d_prime)?;
+        Ok(Self {
+            profile,
+            d: dataset.dim(),
+        })
+    }
+
+    /// The underlying segment profile (shared with `LB_PIM-FNN`'s offline
+    /// stage).
+    pub fn profile(&self) -> &SegmentProfile {
+        &self.profile
+    }
+
+    /// Number of prepared objects.
+    pub fn len(&self) -> usize {
+        self.profile.len()
+    }
+
+    /// `true` when no objects are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.profile.is_empty()
+    }
+}
+
+impl BoundStage for FnnBound {
+    fn name(&self) -> String {
+        format!("LB_FNN^{}", self.profile.num_segments())
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.profile.num_segments()
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        // µ and σ per segment, f64 each.
+        2 * self.profile.num_segments() as u64 * 8
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        let dp = self.profile.num_segments() as u64;
+        EvalCost {
+            arith: 4 * dp,
+            mul: 2 * dp + 1,
+            div: 0,
+            sqrt: 0,
+            bytes: self.transfer_bytes_per_object(),
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q_stats = SegmentStats::compute(query, self.profile.num_segments())
+            .expect("segmentation validated at build time");
+        Box::new(FnnPrepared {
+            bound: self,
+            q_stats,
+        })
+    }
+}
+
+struct FnnPrepared<'a> {
+    bound: &'a FnnBound,
+    q_stats: SegmentStats,
+}
+
+impl PreparedBound for FnnPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let means = self.bound.profile.means(i);
+        let stds = self.bound.profile.stds(i);
+        let l = self.bound.profile.segment_len() as f64;
+        let mut acc = 0.0;
+        for s in 0..means.len() {
+            let dm = means[s] - self.q_stats.means[s];
+            let dsd = stds[s] - self.q_stats.stds[s];
+            acc += dm * dm + dsd * dsd;
+        }
+        l * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sm::SmBound;
+    use simpim_similarity::measures::euclidean_sq;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn is_lower_bound_of_ed() {
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for dp in [1usize, 2, 4, 8] {
+            let b = FnnBound::build(&ds, dp).unwrap();
+            let prep = b.prepare(&q);
+            for i in 0..ds.len() {
+                let lb = prep.bound(i);
+                let ed = euclidean_sq(ds.row(i), &q);
+                assert!(lb <= ed + 1e-12, "dp={dp} i={i}: {lb} > {ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn dominates_sm_at_same_segmentation() {
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for dp in [1usize, 2, 4] {
+            let fnn = FnnBound::build(&ds, dp).unwrap();
+            let sm = SmBound::build(&ds, dp).unwrap();
+            let (pf, ps) = (fnn.prepare(&q), sm.prepare(&q));
+            for i in 0..ds.len() {
+                assert!(pf.bound(i) >= ps.bound(i) - 1e-12, "dp={dp} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_term_distinguishes_equal_means() {
+        // The case LB_SM cannot prune: same segment means, different
+        // spread. LB_FNN must produce a strictly positive bound.
+        let ds = Dataset::from_rows(&[vec![0.5; 8]]).unwrap();
+        let b = FnnBound::build(&ds, 2).unwrap();
+        let q = [0.1, 0.9, 0.1, 0.9, 0.0, 1.0, 0.0, 1.0];
+        let prep = b.prepare(&q);
+        assert!(prep.bound(0) > 0.1);
+    }
+
+    #[test]
+    fn zero_distance_to_itself() {
+        let ds = dataset();
+        let b = FnnBound::build(&ds, 4).unwrap();
+        let prep = b.prepare(ds.row(2));
+        assert!(prep.bound(2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metadata_and_naming() {
+        let b = FnnBound::build(&dataset(), 2).unwrap();
+        assert_eq!(b.name(), "LB_FNN^2");
+        assert_eq!(b.transfer_bytes_per_object(), 32); // 2 segments × (µ,σ) × 8 B
+        assert_eq!(b.profile().segment_len(), 4);
+        assert_eq!(b.len(), 4);
+        let c = b.eval_cost();
+        assert_eq!(c.bytes, 32);
+        assert!(c.mul > c.div);
+    }
+
+    #[test]
+    fn rejects_non_dividing_segments() {
+        assert!(FnnBound::build(&dataset(), 5).is_err());
+    }
+}

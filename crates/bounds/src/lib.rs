@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # simpim-bounds
+//!
+//! The classic distance bounds of Table 3, used by the filter-and-refinement
+//! mining algorithms and (re)composed by the execution planner of
+//! `simpim-core`:
+//!
+//! * [`ost::OstBound`] — `LB_OST` \[24\]: partial squared distance over the
+//!   first `d′` dimensions plus the squared difference of tail norms.
+//! * [`sm::SmBound`] — `LB_SM` \[25\]: segment-mean bound
+//!   `l · Σ (µ(p̂ᵢ) − µ(q̂ᵢ))²`.
+//! * [`fnn::FnnBound`] — `LB_FNN` \[26\]: segment mean *and* standard
+//!   deviation, `l · Σ ((µ(p̂ᵢ)−µ(q̂ᵢ))² + (σ(p̂ᵢ)−σ(q̂ᵢ))²)`; the FNN
+//!   algorithm cascades it at `d/64 → d/16 → d/4`.
+//! * [`part::PartBound`] — `UB_part` \[27\]: Cauchy–Schwarz upper bound on a
+//!   dot product (and hence on cosine similarity / PCC) from a partial dot
+//!   product plus tail norms.
+//!
+//! All ED bounds are *lower* bounds of the squared Euclidean distance;
+//! similarity bounds are *upper* bounds — both directions admit lossless
+//! pruning (Section II-C). Every implementation carries its per-object
+//! **data-transfer cost** ([`traits::BoundStage::transfer_bytes_per_object`])
+//! and operation cost ([`cost::EvalCost`]) because Eq. 13's execution-plan
+//! optimization ranks bounds by exactly these quantities.
+
+pub mod cascade;
+pub mod cost;
+pub mod fnn;
+pub mod ost;
+pub mod part;
+pub mod sm;
+pub mod traits;
+
+pub use cascade::BoundCascade;
+pub use cost::EvalCost;
+pub use fnn::FnnBound;
+pub use ost::OstBound;
+pub use part::{PartBound, PartTarget};
+pub use sm::SmBound;
+pub use traits::{BoundDirection, BoundStage, PreparedBound};

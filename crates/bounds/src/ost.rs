@@ -1,0 +1,208 @@
+//! `LB_OST` \[24\] — orthogonal-search-tree bound (Table 3, row 1):
+//!
+//! ```text
+//! LB_OST(p,q) = Σ_{i=1}^{d′} (pᵢ − qᵢ)²
+//!             + (√(Σ_{i=d′+1}^{d} pᵢ²) − √(Σ_{i=d′+1}^{d} qᵢ²))²
+//! ```
+//!
+//! The partial distance over the leading `d′` dimensions is exact; the tail
+//! contributes the squared difference of tail norms, which lower-bounds the
+//! tail's squared distance by the reverse triangle inequality
+//! `(‖a‖ − ‖b‖)² ≤ ‖a − b‖²`.
+
+use crate::cost::EvalCost;
+use crate::traits::{BoundDirection, BoundStage, PreparedBound};
+use simpim_similarity::{Dataset, SimilarityError};
+
+/// Precomputed `LB_OST` over a dataset: the leading `d′` dimensions of every
+/// row stored contiguously (cache-friendly scan) plus per-row tail norms.
+#[derive(Debug, Clone)]
+pub struct OstBound {
+    prefix: Vec<f64>,
+    tail_norms: Vec<f64>,
+    d_prime: usize,
+    d: usize,
+    n: usize,
+}
+
+impl OstBound {
+    /// Builds the bound with split point `d_prime` (`1 ≤ d′ ≤ d`).
+    pub fn build(dataset: &Dataset, d_prime: usize) -> Result<Self, SimilarityError> {
+        let d = dataset.dim();
+        if d_prime == 0 || d_prime > d {
+            return Err(SimilarityError::InvalidSegmentation {
+                dim: d,
+                segments: d_prime,
+            });
+        }
+        let n = dataset.len();
+        let mut prefix = Vec::with_capacity(n * d_prime);
+        let mut tail_norms = Vec::with_capacity(n);
+        for row in dataset.rows() {
+            prefix.extend_from_slice(&row[..d_prime]);
+            tail_norms.push(row[d_prime..].iter().map(|&v| v * v).sum::<f64>().sqrt());
+        }
+        Ok(Self {
+            prefix,
+            tail_norms,
+            d_prime,
+            d,
+            n,
+        })
+    }
+
+    /// Number of prepared objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no objects are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl BoundStage for OstBound {
+    fn name(&self) -> String {
+        format!("LB_OST^{}", self.d_prime)
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.d_prime
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        // d′ prefix values + 1 tail norm, f64 each.
+        (self.d_prime as u64 + 1) * 8
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        let dp = self.d_prime as u64;
+        EvalCost {
+            arith: 2 * dp + 2, // d′ subs + d′ adds + tail sub/add
+            mul: dp + 1,
+            div: 0,
+            sqrt: 0, // tail norms precomputed on both sides
+            bytes: self.transfer_bytes_per_object(),
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q_prefix = query[..self.d_prime].to_vec();
+        let q_tail_norm = query[self.d_prime..]
+            .iter()
+            .map(|&v| v * v)
+            .sum::<f64>()
+            .sqrt();
+        Box::new(OstPrepared {
+            bound: self,
+            q_prefix,
+            q_tail_norm,
+        })
+    }
+}
+
+struct OstPrepared<'a> {
+    bound: &'a OstBound,
+    q_prefix: Vec<f64>,
+    q_tail_norm: f64,
+}
+
+impl PreparedBound for OstPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let dp = self.bound.d_prime;
+        let prefix = &self.bound.prefix[i * dp..(i + 1) * dp];
+        let head: f64 = prefix
+            .iter()
+            .zip(&self.q_prefix)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        let tail = self.bound.tail_norms[i] - self.q_tail_norm;
+        head + tail * tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_similarity::measures::euclidean_sq;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn is_lower_bound_of_ed() {
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2];
+        for dp in 1..=6 {
+            let b = OstBound::build(&ds, dp).unwrap();
+            let prep = b.prepare(&q);
+            for i in 0..ds.len() {
+                let lb = prep.bound(i);
+                let ed = euclidean_sq(ds.row(i), &q);
+                assert!(lb <= ed + 1e-12, "dp={dp} i={i}: {lb} > {ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_split_is_exact() {
+        // d′ = d leaves no tail: the bound degenerates to exact ED.
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2];
+        let b = OstBound::build(&ds, 6).unwrap();
+        let prep = b.prepare(&q);
+        for i in 0..ds.len() {
+            assert!((prep.bound(i) - euclidean_sq(ds.row(i), &q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tighter_with_larger_split() {
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2];
+        let loose = OstBound::build(&ds, 1).unwrap();
+        let tight = OstBound::build(&ds, 5).unwrap();
+        let (pl, pt) = (loose.prepare(&q), tight.prepare(&q));
+        // Not guaranteed pointwise in general, but holds on this data and
+        // documents the expected trend the cascade exploits.
+        let sum_loose: f64 = (0..ds.len()).map(|i| pl.bound(i)).sum();
+        let sum_tight: f64 = (0..ds.len()).map(|i| pt.bound(i)).sum();
+        assert!(sum_tight >= sum_loose);
+    }
+
+    #[test]
+    fn metadata() {
+        let b = OstBound::build(&dataset(), 2).unwrap();
+        assert_eq!(b.name(), "LB_OST^2");
+        assert_eq!(b.d_prime(), 2);
+        assert_eq!(b.transfer_bytes_per_object(), 24);
+        assert_eq!(b.direction(), BoundDirection::LowerBoundsDistance);
+        assert_eq!(b.len(), 3);
+        assert!(b.eval_cost().mul > 0);
+    }
+
+    #[test]
+    fn rejects_bad_split() {
+        assert!(OstBound::build(&dataset(), 0).is_err());
+        assert!(OstBound::build(&dataset(), 7).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn prepare_checks_query_dim() {
+        let b = OstBound::build(&dataset(), 2).unwrap();
+        let _ = b.prepare(&[0.1, 0.2]);
+    }
+}

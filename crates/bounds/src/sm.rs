@@ -1,0 +1,166 @@
+//! `LB_SM` \[25\] — segmented-mean bound (Table 3, row 2):
+//!
+//! ```text
+//! LB_SM(p,q) = l · Σ_{i=1}^{d′} (µ(p̂ᵢ) − µ(q̂ᵢ))²
+//! ```
+//!
+//! Within each length-`l` segment, `Σ (pⱼ − qⱼ)² ≥ l·(µ(p̂)−µ(q̂))²` by the
+//! Cauchy–Schwarz inequality, so summing over segments lower-bounds the
+//! squared Euclidean distance.
+
+use crate::cost::EvalCost;
+use crate::traits::{BoundDirection, BoundStage, PreparedBound};
+use simpim_similarity::{Dataset, SegmentProfile, SegmentStats, SimilarityError};
+
+/// Precomputed `LB_SM` over a dataset: per-row segment means.
+#[derive(Debug, Clone)]
+pub struct SmBound {
+    profile: SegmentProfile,
+    d: usize,
+}
+
+impl SmBound {
+    /// Builds the bound with `d_prime` segments (`d_prime` must divide `d`).
+    pub fn build(dataset: &Dataset, d_prime: usize) -> Result<Self, SimilarityError> {
+        let profile = SegmentProfile::compute(dataset, d_prime)?;
+        Ok(Self {
+            profile,
+            d: dataset.dim(),
+        })
+    }
+
+    /// Number of prepared objects.
+    pub fn len(&self) -> usize {
+        self.profile.len()
+    }
+
+    /// `true` when no objects are prepared.
+    pub fn is_empty(&self) -> bool {
+        self.profile.is_empty()
+    }
+}
+
+impl BoundStage for SmBound {
+    fn name(&self) -> String {
+        format!("LB_SM^{}", self.profile.num_segments())
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.profile.num_segments()
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        self.profile.num_segments() as u64 * 8
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        let dp = self.profile.num_segments() as u64;
+        EvalCost {
+            arith: 2 * dp,
+            mul: dp + 1, // products plus the final ·l
+            div: 0,
+            sqrt: 0,
+            bytes: self.transfer_bytes_per_object(),
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q_stats = SegmentStats::compute(query, self.profile.num_segments())
+            .expect("segmentation validated at build time");
+        Box::new(SmPrepared {
+            bound: self,
+            q_means: q_stats.means,
+        })
+    }
+}
+
+struct SmPrepared<'a> {
+    bound: &'a SmBound,
+    q_means: Vec<f64>,
+}
+
+impl PreparedBound for SmPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let means = self.bound.profile.means(i);
+        let l = self.bound.profile.segment_len() as f64;
+        l * means
+            .iter()
+            .zip(&self.q_means)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_similarity::measures::euclidean_sq;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn is_lower_bound_of_ed() {
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for dp in [1usize, 2, 4, 8] {
+            let b = SmBound::build(&ds, dp).unwrap();
+            let prep = b.prepare(&q);
+            for i in 0..ds.len() {
+                let lb = prep.bound(i);
+                let ed = euclidean_sq(ds.row(i), &q);
+                assert!(lb <= ed + 1e-12, "dp={dp} i={i}: {lb} > {ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_segmentation_is_exact() {
+        // d′ = d → segments of length 1 → the bound is exact ED.
+        let ds = dataset();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let b = SmBound::build(&ds, 8).unwrap();
+        let prep = b.prepare(&q);
+        for i in 0..ds.len() {
+            assert!((prep.bound(i) - euclidean_sq(ds.row(i), &q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_rows_have_zero_bound_between_equal_means() {
+        let ds = Dataset::from_rows(&[vec![0.5; 8]]).unwrap();
+        let b = SmBound::build(&ds, 2).unwrap();
+        // Query with the same segment means but different values: the mean
+        // bound cannot distinguish them (this is exactly the weakness
+        // LB_FNN's σ term fixes).
+        let q = [0.4, 0.6, 0.3, 0.7, 0.5, 0.5, 0.1, 0.9];
+        let prep = b.prepare(&q);
+        assert!(prep.bound(0).abs() < 1e-12);
+        assert!(euclidean_sq(ds.row(0), &q) > 0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let b = SmBound::build(&dataset(), 4).unwrap();
+        assert_eq!(b.name(), "LB_SM^4");
+        assert_eq!(b.transfer_bytes_per_object(), 32);
+        assert_eq!(b.d_prime(), 4);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn rejects_non_dividing_segments() {
+        assert!(SmBound::build(&dataset(), 3).is_err());
+    }
+}

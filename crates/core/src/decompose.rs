@@ -1,0 +1,203 @@
+//! PIM-aware function decomposition (Section V-A, Table 4).
+//!
+//! A similarity or bound function is *PIM-aware* when it can be written as
+//!
+//! ```text
+//! F(p, q) = G(Φ(p), Φ(q), p·q)        (Eq. 3)
+//! ```
+//!
+//! where `Φ` has fixed-size output and is precomputable offline, `p·q` runs
+//! on PIM, and `G` combines the three in O(1) on the host. Computing `F`
+//! then transfers `3·b` bits instead of `d·b` (Fig. 8).
+//!
+//! This module implements Table 4 verbatim on floating-point vectors — the
+//! algebraic identities behind the quantized bounds of
+//! [`crate::pim_bounds`] — and carries the transfer-cost metadata used by
+//! the planner. Each identity is verified against the direct Table 2
+//! formula in tests.
+
+use simpim_similarity::{stats, Measure, SegmentStats};
+
+/// `Φ(p)` for ED: `Σ pᵢ²` (Table 4, row ED).
+pub fn phi_ed(p: &[f64]) -> f64 {
+    stats::norm_sq(p)
+}
+
+/// `G` for ED: `Φ(p) + Φ(q) − 2·p·q` (Eq. 4).
+pub fn g_ed(phi_p: f64, phi_q: f64, dot: f64) -> f64 {
+    phi_p + phi_q - 2.0 * dot
+}
+
+/// `Φ(p)` for CS: `√(Σ pᵢ²)` (Table 4, row CS).
+pub fn phi_cs(p: &[f64]) -> f64 {
+    stats::norm(p)
+}
+
+/// `G` for CS: `p·q / (Φ(p)·Φ(q))`; 0 when a norm vanishes.
+pub fn g_cs(phi_p: f64, phi_q: f64, dot: f64) -> f64 {
+    if phi_p == 0.0 || phi_q == 0.0 {
+        0.0
+    } else {
+        dot / (phi_p * phi_q)
+    }
+}
+
+/// The two Φ components for PCC (Table 4, row PCC):
+/// `Φa(p) = √(d·Σpᵢ² − (Σpᵢ)²)` and `Φb(p) = Σpᵢ`.
+pub fn phi_pcc(p: &[f64]) -> (f64, f64) {
+    let d = p.len() as f64;
+    let s = stats::sum(p);
+    let phi_a = (d * stats::norm_sq(p) - s * s).max(0.0).sqrt();
+    (phi_a, s)
+}
+
+/// `G` for PCC: `(d·p·q − Φb(p)·Φb(q)) / (Φa(p)·Φa(q))`; 0 when either
+/// vector is constant.
+pub fn g_pcc(d: usize, phi_a_p: f64, phi_b_p: f64, phi_a_q: f64, phi_b_q: f64, dot: f64) -> f64 {
+    if phi_a_p == 0.0 || phi_a_q == 0.0 {
+        0.0
+    } else {
+        (d as f64 * dot - phi_b_p * phi_b_q) / (phi_a_p * phi_a_q)
+    }
+}
+
+/// `G` for HD (Table 4, row HD): `d − p·q − p̃·q̃` where `p̃` is the bitwise
+/// complement. Both dot products run on PIM; HD is computed *exactly*.
+pub fn g_hd(d: u64, dot: u64, dot_complement: u64) -> u64 {
+    d - dot - dot_complement
+}
+
+/// `Φ(p)` for LB_FNN (Table 4, row LB_FNN):
+/// `l · Σ (µ(p̂ᵢ)² + σ(p̂ᵢ)²)` over the `d′` segments.
+pub fn phi_fnn(seg: &SegmentStats) -> f64 {
+    let l = seg.segment_len as f64;
+    l * seg
+        .means
+        .iter()
+        .zip(&seg.stds)
+        .map(|(&m, &s)| m * m + s * s)
+        .sum::<f64>()
+}
+
+/// `G` for LB_FNN:
+/// `Φ(p) + Φ(q) − 2l·(µ(p̂)·µ(q̂)) − 2l·(σ(p̂)·σ(q̂))` — the two dot
+/// products over the segment-mean and segment-σ vectors run on PIM.
+pub fn g_fnn(l: usize, phi_p: f64, phi_q: f64, dot_means: f64, dot_stds: f64) -> f64 {
+    phi_p + phi_q - 2.0 * l as f64 * (dot_means + dot_stds)
+}
+
+/// Transfer cost in **bits** of evaluating `F(p,q)` once on a conventional
+/// architecture: the whole vector moves (`d·b`, Fig. 8a).
+pub fn conventional_transfer_bits(d: usize, b: u32) -> u64 {
+    d as u64 * u64::from(b)
+}
+
+/// Transfer cost in **bits** of evaluating `G` once with PIM: `Φ(p)`, the
+/// dot-product result, and the amortized `Φ(q)` — `3·b` (Fig. 8b).
+pub fn pim_transfer_bits(b: u32) -> u64 {
+    3 * u64::from(b)
+}
+
+/// Whether a measure is PIM-aware (all of Table 2/4 are; the enum exists so
+/// the framework can answer the Section III-B question generically).
+pub fn is_pim_aware(measure: Measure) -> bool {
+    matches!(
+        measure,
+        Measure::EuclideanSq | Measure::Cosine | Measure::Pearson | Measure::Hamming
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_similarity::{measures, SegmentStats};
+
+    fn p() -> Vec<f64> {
+        vec![0.2, 0.8, 0.4, 0.9, 0.1, 0.6, 0.3, 0.7]
+    }
+
+    fn q() -> Vec<f64> {
+        vec![0.5, 0.3, 0.6, 0.8, 0.2, 0.4, 0.9, 0.1]
+    }
+
+    #[test]
+    fn ed_decomposition_matches_direct() {
+        let (p, q) = (p(), q());
+        let f = g_ed(phi_ed(&p), phi_ed(&q), stats::dot(&p, &q));
+        assert!((f - measures::euclidean_sq(&p, &q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cs_decomposition_matches_direct() {
+        let (p, q) = (p(), q());
+        let f = g_cs(phi_cs(&p), phi_cs(&q), stats::dot(&p, &q));
+        assert!((f - measures::cosine(&p, &q)).abs() < 1e-12);
+        assert_eq!(g_cs(0.0, 1.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn pcc_decomposition_matches_direct() {
+        let (p, q) = (p(), q());
+        let (pa, pb) = phi_pcc(&p);
+        let (qa, qb) = phi_pcc(&q);
+        let f = g_pcc(p.len(), pa, pb, qa, qb, stats::dot(&p, &q));
+        assert!((f - measures::pearson(&p, &q)).abs() < 1e-12);
+        // Constant vector → Φa = 0 → PCC defined as 0.
+        let (ca, _) = phi_pcc(&[0.5, 0.5, 0.5]);
+        assert_eq!(ca, 0.0);
+        assert_eq!(g_pcc(3, ca, 1.5, qa, qb, 1.0), 0.0);
+    }
+
+    #[test]
+    fn hd_decomposition_matches_xor() {
+        // p = 10110100, q = 00111001 → HD = 4.
+        let pb = [1u64, 0, 1, 1, 0, 1, 0, 0];
+        let qb = [0u64, 0, 1, 1, 1, 0, 0, 1];
+        let dot: u64 = pb.iter().zip(&qb).map(|(a, b)| a * b).sum();
+        let dotc: u64 = pb.iter().zip(&qb).map(|(a, b)| (1 - a) * (1 - b)).sum();
+        let hd_direct: u64 = pb.iter().zip(&qb).filter(|(a, b)| a != b).count() as u64;
+        assert_eq!(g_hd(8, dot, dotc), hd_direct);
+    }
+
+    #[test]
+    fn fnn_decomposition_matches_bound() {
+        let (p, q) = (p(), q());
+        let d_prime = 4;
+        let sp = SegmentStats::compute(&p, d_prime).unwrap();
+        let sq = SegmentStats::compute(&q, d_prime).unwrap();
+        let l = sp.segment_len;
+        let dot_means = stats::dot(&sp.means, &sq.means);
+        let dot_stds = stats::dot(&sp.stds, &sq.stds);
+        let via_g = g_fnn(l, phi_fnn(&sp), phi_fnn(&sq), dot_means, dot_stds);
+        // Direct LB_FNN formula.
+        let direct: f64 = (0..d_prime)
+            .map(|i| {
+                let dm = sp.means[i] - sq.means[i];
+                let ds = sp.stds[i] - sq.stds[i];
+                l as f64 * (dm * dm + ds * ds)
+            })
+            .sum();
+        assert!((via_g - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_reduction_matches_fig8() {
+        // d = 4096 (Trevi), b = 32: 4096·b → 3·b.
+        assert_eq!(conventional_transfer_bits(4096, 32), 4096 * 32);
+        assert_eq!(pim_transfer_bits(32), 96);
+        let reduction = conventional_transfer_bits(4096, 32) as f64 / pim_transfer_bits(32) as f64;
+        assert!(reduction > 1000.0);
+    }
+
+    #[test]
+    fn all_table2_measures_are_pim_aware() {
+        for m in [
+            Measure::EuclideanSq,
+            Measure::Cosine,
+            Measure::Pearson,
+            Measure::Hamming,
+        ] {
+            assert!(is_pim_aware(m));
+        }
+    }
+}

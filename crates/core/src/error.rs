@@ -1,0 +1,73 @@
+//! Error type for the PIM-acceleration framework.
+
+use std::fmt;
+
+/// Errors raised by the PIM-acceleration layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Forwarded from the vector/quantization layer.
+    Similarity(simpim_similarity::SimilarityError),
+    /// Forwarded from the ReRAM simulator.
+    ReRam(simpim_reram::ReRamError),
+    /// The dataset cannot fit the PIM array even at the smallest
+    /// compressed dimensionality.
+    CannotFit {
+        /// Number of vectors that were to be programmed.
+        n: usize,
+        /// The crossbar budget that was exceeded.
+        crossbars: usize,
+    },
+    /// A query or configuration does not match the prepared function.
+    Mismatch {
+        /// What mismatched.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Similarity(e) => write!(f, "similarity layer: {e}"),
+            Self::ReRam(e) => write!(f, "reram layer: {e}"),
+            Self::CannotFit { n, crossbars } => {
+                write!(
+                    f,
+                    "{n} vectors cannot fit a PIM array of {crossbars} crossbars at any s ≥ 1"
+                )
+            }
+            Self::Mismatch { what } => write!(f, "mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<simpim_similarity::SimilarityError> for CoreError {
+    fn from(e: simpim_similarity::SimilarityError) -> Self {
+        Self::Similarity(e)
+    }
+}
+
+impl From<simpim_reram::ReRamError> for CoreError {
+    fn from(e: simpim_reram::ReRamError) -> Self {
+        Self::ReRam(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = simpim_similarity::SimilarityError::EmptyDimension.into();
+        assert!(e.to_string().contains("similarity"));
+        let e: CoreError = simpim_reram::ReRamError::NotProgrammed.into();
+        assert!(e.to_string().contains("reram"));
+        let e = CoreError::CannotFit {
+            n: 10,
+            crossbars: 1,
+        };
+        assert!(e.to_string().contains("crossbars"));
+    }
+}

@@ -1,0 +1,1020 @@
+//! The PIM executor: Fig. 9's offline/online pipeline.
+//!
+//! **Offline**: normalize + α-quantize the dataset, compute the Φ scalars,
+//! choose the compressed dimensionality `s` (Theorem 4), program the floor
+//! vectors onto PIM-array regions and stage the Φ table in the memory
+//! array.
+//!
+//! **Online**: a query arrives → quantize it once (`Φ(q̄)`, `⌊q̄⌋`) → issue
+//! one dot-product batch per region → combine with `G` on the host. The
+//! host reads only the Φ scalar and the dot result(s) per object —
+//! `3·b` bits instead of `d·b` (Fig. 8).
+//!
+//! Four prepared-function shapes cover the paper's workloads:
+//!
+//! | shape | regions | bound produced |
+//! |---|---|---|
+//! | `Ed` | `⌊p̄⌋` | `LB_PIM-ED` (Theorem 1), when the dataset fits at `s = d` |
+//! | `Fnn` | `⌊µ(p̂)⌋`, `⌊σ(p̂)⌋` | `LB_PIM-FNN^s` (Theorem 2) |
+//! | `Dot` | `⌊p̄⌋` | `UB_PIM-CS` / `UB_PIM-PCC` |
+//! | `Hamming` | code, complement | exact HD (Table 4) |
+
+use crate::error::CoreError;
+use crate::memory::{choose_dimensionality, MemoryPlan};
+use crate::pim_bounds::{
+    lb_pim_ed, lb_pim_fnn, ub_pim_cs, ub_pim_pcc, DotQuant, EdQuant, FnnQuant,
+};
+use simpim_reram::array::RegionId;
+use simpim_reram::{AccWidth, DotBatchResult, PimConfig, PimTiming, ReRamBank};
+use simpim_similarity::{BinaryDataset, BinaryVecRef, NormalizedDataset, Quantizer};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Platform (Table 5 defaults).
+    pub pim: PimConfig,
+    /// Scaling factor α (the paper uses 10⁶).
+    pub alpha: f64,
+    /// Allocated operand width on crossbars — the paper keeps 32-bit
+    /// integers "to keep consistent with host processor".
+    pub operand_bits: u32,
+    /// Reserve a second copy of every region so the next dataset part can
+    /// be programmed while the current one serves queries. With this on,
+    /// Theorem 4 reproduces the paper's reported `s` choices (105 for MSD,
+    /// 50 for ImageNet).
+    pub double_buffer: bool,
+    /// Issue multi-region batches (FNN's µ/σ pair, Hamming's
+    /// code/complement pair) on their disjoint crossbar groups in
+    /// parallel (Section V-C); analog passes overlap, the shared bus does
+    /// not. Disable to model strictly serial region execution.
+    pub parallel_regions: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            pim: PimConfig::default(),
+            alpha: 1e6,
+            operand_bits: 32,
+            double_buffer: true,
+            parallel_regions: true,
+        }
+    }
+}
+
+/// What a prepared executor computes per object.
+#[derive(Debug, Clone)]
+pub enum PreparedFunction {
+    /// `LB_PIM-ED` over full-dimensional floors.
+    Ed {
+        /// The programmed `⌊p̄⌋` region.
+        region: RegionId,
+        /// `Φ(p̄)` per object.
+        phis: Vec<f64>,
+        /// Original dimensionality `d`.
+        d: usize,
+    },
+    /// `LB_PIM-FNN^s` over segment statistics.
+    Fnn {
+        /// The programmed `⌊µ(p̂)⌋` region.
+        mu_region: RegionId,
+        /// The programmed `⌊σ(p̂)⌋` region.
+        sigma_region: RegionId,
+        /// `Φ(p̂)` per object.
+        phis: Vec<f64>,
+        /// Segments `d′ = s`.
+        d_prime: usize,
+        /// Segment length `l`.
+        segment_len: usize,
+    },
+    /// `LB_PIM-SM^s` over segment means only (one region — fits budgets
+    /// the µ/σ pair cannot).
+    Sm {
+        /// The programmed `⌊µ(p̂)⌋` region.
+        mu_region: RegionId,
+        /// `Φ(p̂)` per object.
+        phis: Vec<f64>,
+        /// Segments `d′ = s`.
+        d_prime: usize,
+        /// Segment length `l`.
+        segment_len: usize,
+    },
+    /// `UB_PIM-CS` or `UB_PIM-PCC` over full-dimensional floors.
+    Dot {
+        /// The programmed `⌊p̄⌋` region.
+        region: RegionId,
+        /// Per-object dot summaries (floors dropped to save memory).
+        summaries: Vec<DotSummary>,
+        /// Original dimensionality `d`.
+        d: usize,
+        /// Which similarity the bound is lifted to.
+        target: SimTarget,
+    },
+    /// Exact Hamming distance over code + complement regions.
+    Hamming {
+        /// The programmed code region.
+        code_region: RegionId,
+        /// The programmed complement region.
+        comp_region: RegionId,
+        /// Code width in bits.
+        d: usize,
+    },
+}
+
+/// Similarity target of a `Dot` executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimTarget {
+    /// Cosine similarity.
+    Cosine,
+    /// Pearson correlation coefficient.
+    Pearson,
+}
+
+/// Scalar summary of one object for the CS/PCC bounds (the floor vector
+/// itself lives on the crossbars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DotSummary {
+    /// `Σ ⌊p̄ᵢ⌋`.
+    pub sum_floor: u64,
+    /// `‖p̄‖`.
+    pub norm_scaled: f64,
+    /// `Σ p̄ᵢ`.
+    pub sum_scaled: f64,
+}
+
+/// Offline-programming report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareReport {
+    /// Theorem 4's plan (absent for Hamming, which is never compressed).
+    pub plan: Option<MemoryPlan>,
+    /// Total crossbar cell writes (endurance).
+    pub cell_writes: u64,
+    /// Offline programming latency (ns), crossbar writes only.
+    pub program_ns: f64,
+    /// Bytes of Φ/summary tables staged in the memory array.
+    pub phi_bytes: u64,
+    /// Crossbars consumed (including the double-buffer reservation).
+    pub crossbars_used: usize,
+}
+
+/// One online bound batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundBatch {
+    /// Per-object bound values (LB of ED, UB of CS/PCC, or exact HD).
+    pub values: Vec<f64>,
+    /// PIM-side latency of the batch.
+    pub timing: PimTiming,
+    /// Bytes the host reads per object to evaluate `G` (Φ + dot results).
+    pub host_bytes_per_object: u64,
+}
+
+/// The PIM executor: a prepared dataset on a ReRAM bank.
+#[derive(Debug)]
+pub struct PimExecutor {
+    bank: ReRamBank,
+    quantizer: Quantizer,
+    cfg: ExecutorConfig,
+    prepared: PreparedFunction,
+    report: PrepareReport,
+}
+
+impl PimExecutor {
+    /// Prepares `LB_PIM-ED` / `LB_PIM-FNN` for a normalized dataset: the
+    /// paper's default path for ED workloads. Theorem 4 picks `s`; when the
+    /// whole dataset fits uncompressed the tighter `LB_PIM-ED` is used,
+    /// otherwise `LB_PIM-FNN^s`.
+    pub fn prepare_euclidean(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        // Try the uncompressed single-region layout first.
+        let plan = choose_dimensionality(
+            ds.len(),
+            ds.dim(),
+            buffer_factor,
+            cfg.operand_bits,
+            &cfg.pim,
+        )?;
+        if plan.uncompressed {
+            Self::prepare_ed_uncompressed(cfg, data, plan)
+        } else {
+            // Compressed: prefer the two-region µ/σ bound; fall back to
+            // the single-region mean-only bound if even the µ/σ pair at
+            // s = 1 overflows the budget.
+            match choose_dimensionality(
+                ds.len(),
+                ds.dim(),
+                2 * buffer_factor,
+                cfg.operand_bits,
+                &cfg.pim,
+            ) {
+                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan),
+                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Prepares `LB_PIM-SM` at an explicit segmentation `d_prime` — the
+    /// mean-only bound using a single crossbar region. Weaker than
+    /// `LB_PIM-FNN` at the same `s` (no σ term) but affordable at up to
+    /// twice the segmentation under the same budget.
+    pub fn prepare_sm(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        d_prime: usize,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        if d_prime == 0 || !ds.dim().is_multiple_of(d_prime) {
+            return Err(CoreError::Mismatch {
+                what: "d_prime must divide d",
+            });
+        }
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        let auto = choose_dimensionality(
+            ds.len(),
+            ds.dim(),
+            buffer_factor,
+            cfg.operand_bits,
+            &cfg.pim,
+        )?;
+        if d_prime > auto.s {
+            return Err(CoreError::Mismatch {
+                what: "requested d_prime exceeds Theorem 4's maximum",
+            });
+        }
+        let cost = simpim_reram::gather::dataset_crossbar_cost(
+            ds.len(),
+            d_prime,
+            cfg.operand_bits,
+            &cfg.pim.crossbar,
+        )?;
+        let plan = MemoryPlan {
+            s: d_prime,
+            uncompressed: d_prime == ds.dim(),
+            cost_per_region: cost,
+            regions: buffer_factor,
+        };
+        Self::prepare_sm_at(cfg, data, plan)
+    }
+
+    fn prepare_sm_at(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        plan: MemoryPlan,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let n = ds.len();
+        let d_prime = plan.s;
+        let mut mu_floors = Vec::with_capacity(n * d_prime);
+        let mut phis = Vec::with_capacity(n);
+        let mut segment_len = 0usize;
+        for row in ds.rows() {
+            let sq = crate::pim_bounds::SmQuant::compute(row, d_prime, cfg.alpha)?;
+            segment_len = sq.segment_len;
+            mu_floors.extend_from_slice(&sq.mu_floors);
+            phis.push(sq.phi);
+        }
+        let rep = bank.program_region(&mu_floors, n, d_prime, cfg.operand_bits)?;
+        let phi_bytes = n as u64 * 8;
+        bank.memory_mut().store(phi_bytes)?;
+        let report = PrepareReport {
+            plan: Some(plan),
+            cell_writes: rep.cell_writes,
+            program_ns: rep.program_ns,
+            phi_bytes,
+            crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+        };
+        Ok(Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared: PreparedFunction::Sm {
+                mu_region: rep.region,
+                phis,
+                d_prime,
+                segment_len,
+            },
+            report,
+        })
+    }
+
+    /// Prepares `LB_PIM-FNN` at an explicit segmentation `d_prime`
+    /// (must divide `d` and fit the budget) — used by FNN-PIM, where the
+    /// planner chooses `s`.
+    pub fn prepare_fnn(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        d_prime: usize,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        if d_prime == 0 || !ds.dim().is_multiple_of(d_prime) {
+            return Err(CoreError::Mismatch {
+                what: "d_prime must divide d",
+            });
+        }
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        let auto = choose_dimensionality(
+            ds.len(),
+            ds.dim(),
+            2 * buffer_factor,
+            cfg.operand_bits,
+            &cfg.pim,
+        )?;
+        if d_prime > auto.s {
+            return Err(CoreError::Mismatch {
+                what: "requested d_prime exceeds Theorem 4's maximum",
+            });
+        }
+        let cost = simpim_reram::gather::dataset_crossbar_cost(
+            ds.len(),
+            d_prime,
+            cfg.operand_bits,
+            &cfg.pim.crossbar,
+        )?;
+        let plan = MemoryPlan {
+            s: d_prime,
+            uncompressed: d_prime == ds.dim(),
+            cost_per_region: cost,
+            regions: 2 * buffer_factor,
+        };
+        Self::prepare_fnn_at(cfg, data, plan)
+    }
+
+    fn prepare_ed_uncompressed(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        plan: MemoryPlan,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let n = ds.len();
+        let d = ds.dim();
+        let mut floors = Vec::with_capacity(n * d);
+        let mut phis = Vec::with_capacity(n);
+        for row in ds.rows() {
+            let eq = EdQuant::from_quantized(quantizer.quantize_vec(row)?);
+            floors.extend_from_slice(&eq.floors);
+            phis.push(eq.phi);
+        }
+        let rep = bank.program_region(&floors, n, d, cfg.operand_bits)?;
+        let phi_bytes = n as u64 * 8;
+        bank.memory_mut().store(phi_bytes)?;
+        let report = PrepareReport {
+            plan: Some(plan),
+            cell_writes: rep.cell_writes,
+            program_ns: rep.program_ns,
+            phi_bytes,
+            crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+        };
+        Ok(Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared: PreparedFunction::Ed {
+                region: rep.region,
+                phis,
+                d,
+            },
+            report,
+        })
+    }
+
+    fn prepare_fnn_at(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        plan: MemoryPlan,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let n = ds.len();
+        let d_prime = plan.s;
+        let mut mu_floors = Vec::with_capacity(n * d_prime);
+        let mut sigma_floors = Vec::with_capacity(n * d_prime);
+        let mut phis = Vec::with_capacity(n);
+        let mut segment_len = 0usize;
+        for row in ds.rows() {
+            let fq = FnnQuant::compute(row, d_prime, cfg.alpha)?;
+            segment_len = fq.segment_len;
+            mu_floors.extend_from_slice(&fq.mu_floors);
+            sigma_floors.extend_from_slice(&fq.sigma_floors);
+            phis.push(fq.phi);
+        }
+        let rep_mu = bank.program_region(&mu_floors, n, d_prime, cfg.operand_bits)?;
+        let rep_sigma = bank.program_region(&sigma_floors, n, d_prime, cfg.operand_bits)?;
+        let phi_bytes = n as u64 * 8;
+        bank.memory_mut().store(phi_bytes)?;
+        let report = PrepareReport {
+            plan: Some(plan),
+            cell_writes: rep_mu.cell_writes + rep_sigma.cell_writes,
+            program_ns: rep_mu.program_ns + rep_sigma.program_ns,
+            phi_bytes,
+            crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+        };
+        Ok(Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared: PreparedFunction::Fnn {
+                mu_region: rep_mu.region,
+                sigma_region: rep_sigma.region,
+                phis,
+                d_prime,
+                segment_len,
+            },
+            report,
+        })
+    }
+
+    /// Prepares `UB_PIM-CS` / `UB_PIM-PCC` over full-dimensional floors.
+    /// Compression would change the similarity's semantics, so the dataset
+    /// must fit uncompressed.
+    pub fn prepare_similarity(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        target: SimTarget,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        let plan = choose_dimensionality(
+            ds.len(),
+            ds.dim(),
+            buffer_factor,
+            cfg.operand_bits,
+            &cfg.pim,
+        )?;
+        if !plan.uncompressed {
+            return Err(CoreError::CannotFit {
+                n: ds.len(),
+                crossbars: cfg.pim.num_crossbars,
+            });
+        }
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let n = ds.len();
+        let d = ds.dim();
+        let mut floors = Vec::with_capacity(n * d);
+        let mut summaries = Vec::with_capacity(n);
+        for row in ds.rows() {
+            let dq = DotQuant::from_quantized(quantizer.quantize_vec(row)?);
+            floors.extend_from_slice(&dq.floors);
+            summaries.push(DotSummary {
+                sum_floor: dq.sum_floor,
+                norm_scaled: dq.norm_scaled,
+                sum_scaled: dq.sum_scaled,
+            });
+        }
+        let rep = bank.program_region(&floors, n, d, cfg.operand_bits)?;
+        let phi_bytes = n as u64 * 24;
+        bank.memory_mut().store(phi_bytes)?;
+        let report = PrepareReport {
+            plan: Some(plan),
+            cell_writes: rep.cell_writes,
+            program_ns: rep.program_ns,
+            phi_bytes,
+            crossbars_used: bank.pim().used_crossbars() * buffer_factor,
+        };
+        Ok(Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared: PreparedFunction::Dot {
+                region: rep.region,
+                summaries,
+                d,
+                target,
+            },
+            report,
+        })
+    }
+
+    /// Prepares exact PIM Hamming distance: the code and its complement as
+    /// two 1-bit-operand regions (Table 4, row HD).
+    pub fn prepare_hamming(cfg: ExecutorConfig, codes: &BinaryDataset) -> Result<Self, CoreError> {
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let n = codes.len();
+        let d = codes.bits();
+        let mut code_flat = Vec::with_capacity(n * d);
+        let mut comp_flat = Vec::with_capacity(n * d);
+        for code in codes.rows() {
+            code_flat.extend(code.to_unsigned());
+            comp_flat.extend(code.complement_to_unsigned());
+        }
+        let rep_code = bank.program_region(&code_flat, n, d, 1)?;
+        let rep_comp = bank.program_region(&comp_flat, n, d, 1)?;
+        let report = PrepareReport {
+            plan: None,
+            cell_writes: rep_code.cell_writes + rep_comp.cell_writes,
+            program_ns: rep_code.program_ns + rep_comp.program_ns,
+            phi_bytes: 0,
+            crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+        };
+        Ok(Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared: PreparedFunction::Hamming {
+                code_region: rep_code.region,
+                comp_region: rep_comp.region,
+                d,
+            },
+            report,
+        })
+    }
+
+    /// The offline-programming report.
+    pub fn report(&self) -> &PrepareReport {
+        &self.report
+    }
+
+    /// The prepared function shape.
+    pub fn prepared(&self) -> &PreparedFunction {
+        &self.prepared
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.cfg
+    }
+
+    /// The underlying bank (for endurance / energy inspection).
+    pub fn bank(&self) -> &ReRamBank {
+        &self.bank
+    }
+
+    /// Human-readable name of the bound this executor serves, matching the
+    /// paper's notation.
+    pub fn bound_name(&self) -> String {
+        match &self.prepared {
+            PreparedFunction::Ed { .. } => "LB_PIM-ED".to_string(),
+            PreparedFunction::Fnn { d_prime, .. } => format!("LB_PIM-FNN^{d_prime}"),
+            PreparedFunction::Sm { d_prime, .. } => format!("LB_PIM-SM^{d_prime}"),
+            PreparedFunction::Dot { target, .. } => match target {
+                SimTarget::Cosine => "UB_PIM-CS".to_string(),
+                SimTarget::Pearson => "UB_PIM-PCC".to_string(),
+            },
+            PreparedFunction::Hamming { .. } => "HD_PIM".to_string(),
+        }
+    }
+
+    /// Lower bounds of squared ED between every prepared object and
+    /// `query` (normalized values in `[0,1]`). Valid for `Ed` and `Fnn`
+    /// shapes.
+    pub fn lb_ed_batch(&mut self, query: &[f64]) -> Result<BoundBatch, CoreError> {
+        match &self.prepared {
+            PreparedFunction::Ed { region, d, .. } => {
+                if query.len() != *d {
+                    return Err(CoreError::Mismatch {
+                        what: "query dimensionality",
+                    });
+                }
+                let (region, d) = (*region, *d);
+                let eq = EdQuant::from_quantized(self.quantizer.quantize_vec(query)?);
+                let out = self.bank.dot_batch(region, &eq.floors, AccWidth::U64)?;
+                let PreparedFunction::Ed { phis, .. } = &self.prepared else {
+                    unreachable!()
+                };
+                let values = phis
+                    .iter()
+                    .zip(&out.values)
+                    .map(|(&phi_p, &dot)| lb_pim_ed(phi_p, eq.phi, dot, d, self.cfg.alpha))
+                    .collect();
+                Ok(BoundBatch {
+                    values,
+                    timing: out.timing,
+                    host_bytes_per_object: 16, // Φ(p̄) + dot result
+                })
+            }
+            PreparedFunction::Fnn {
+                mu_region,
+                sigma_region,
+                d_prime,
+                segment_len,
+                ..
+            } => {
+                let expected_d = d_prime * segment_len;
+                if query.len() != expected_d {
+                    return Err(CoreError::Mismatch {
+                        what: "query dimensionality",
+                    });
+                }
+                let (mu_region, sigma_region, d_prime, segment_len) =
+                    (*mu_region, *sigma_region, *d_prime, *segment_len);
+                let fq = FnnQuant::compute(query, d_prime, self.cfg.alpha)?;
+                let mu_out = self
+                    .bank
+                    .dot_batch(mu_region, &fq.mu_floors, AccWidth::U64)?;
+                let sg_out = self
+                    .bank
+                    .dot_batch(sigma_region, &fq.sigma_floors, AccWidth::U64)?;
+                let mut timing = mu_out.timing;
+                if self.cfg.parallel_regions {
+                    timing.merge_parallel(&sg_out.timing);
+                } else {
+                    timing.add(&sg_out.timing);
+                }
+                let PreparedFunction::Fnn { phis, .. } = &self.prepared else {
+                    unreachable!()
+                };
+                let values = phis
+                    .iter()
+                    .zip(mu_out.values.iter().zip(&sg_out.values))
+                    .map(|(&phi_p, (&dm, &ds))| {
+                        lb_pim_fnn(phi_p, fq.phi, dm, ds, d_prime, segment_len, self.cfg.alpha)
+                    })
+                    .collect();
+                Ok(BoundBatch {
+                    values,
+                    timing,
+                    host_bytes_per_object: 24, // Φ(p̂) + two dot results
+                })
+            }
+            PreparedFunction::Sm {
+                mu_region,
+                d_prime,
+                segment_len,
+                ..
+            } => {
+                let expected_d = d_prime * segment_len;
+                if query.len() != expected_d {
+                    return Err(CoreError::Mismatch {
+                        what: "query dimensionality",
+                    });
+                }
+                let (mu_region, d_prime, segment_len) = (*mu_region, *d_prime, *segment_len);
+                let sq = crate::pim_bounds::SmQuant::compute(query, d_prime, self.cfg.alpha)?;
+                let out = self
+                    .bank
+                    .dot_batch(mu_region, &sq.mu_floors, AccWidth::U64)?;
+                let PreparedFunction::Sm { phis, .. } = &self.prepared else {
+                    unreachable!()
+                };
+                let values = phis
+                    .iter()
+                    .zip(&out.values)
+                    .map(|(&phi_p, &dot)| {
+                        crate::pim_bounds::lb_pim_sm(
+                            phi_p,
+                            sq.phi,
+                            dot,
+                            d_prime,
+                            segment_len,
+                            self.cfg.alpha,
+                        )
+                    })
+                    .collect();
+                Ok(BoundBatch {
+                    values,
+                    timing: out.timing,
+                    host_bytes_per_object: 16, // Φ(p̂) + one dot result
+                })
+            }
+            _ => Err(CoreError::Mismatch {
+                what: "executor not prepared for ED bounds",
+            }),
+        }
+    }
+
+    /// Upper bounds of the prepared similarity (CS or PCC) between every
+    /// object and `query`. Valid for the `Dot` shape.
+    pub fn ub_sim_batch(&mut self, query: &[f64]) -> Result<BoundBatch, CoreError> {
+        let PreparedFunction::Dot {
+            region, d, target, ..
+        } = &self.prepared
+        else {
+            return Err(CoreError::Mismatch {
+                what: "executor not prepared for similarity bounds",
+            });
+        };
+        if query.len() != *d {
+            return Err(CoreError::Mismatch {
+                what: "query dimensionality",
+            });
+        }
+        let (region, d, target) = (*region, *d, *target);
+        let qq = DotQuant::from_quantized(self.quantizer.quantize_vec(query)?);
+        let out = self.bank.dot_batch(region, &qq.floors, AccWidth::U64)?;
+        let PreparedFunction::Dot { summaries, .. } = &self.prepared else {
+            unreachable!()
+        };
+        let values = summaries
+            .iter()
+            .zip(&out.values)
+            .map(|(s, &dot)| {
+                let p = DotQuant {
+                    floors: Vec::new(),
+                    sum_floor: s.sum_floor,
+                    norm_scaled: s.norm_scaled,
+                    sum_scaled: s.sum_scaled,
+                };
+                match target {
+                    SimTarget::Cosine => ub_pim_cs(&p, &qq, dot, d),
+                    SimTarget::Pearson => ub_pim_pcc(&p, &qq, dot, d),
+                }
+            })
+            .collect();
+        Ok(BoundBatch {
+            values,
+            timing: out.timing,
+            host_bytes_per_object: 32,
+        })
+    }
+
+    /// Exact Hamming distances between every prepared code and `query`.
+    /// Valid for the `Hamming` shape. Uses the 32-bit accumulator the
+    /// paper selects for binary data.
+    pub fn hd_batch(&mut self, query: &BinaryVecRef<'_>) -> Result<BoundBatch, CoreError> {
+        let PreparedFunction::Hamming {
+            code_region,
+            comp_region,
+            d,
+        } = &self.prepared
+        else {
+            return Err(CoreError::Mismatch {
+                what: "executor not prepared for Hamming distance",
+            });
+        };
+        if query.bits() != *d {
+            return Err(CoreError::Mismatch {
+                what: "query code width",
+            });
+        }
+        let (code_region, comp_region, d) = (*code_region, *comp_region, *d);
+        let q = query.to_unsigned();
+        let qc = query.complement_to_unsigned();
+        let code_out: DotBatchResult = self.bank.dot_batch(code_region, &q, AccWidth::U32)?;
+        let comp_out: DotBatchResult = self.bank.dot_batch(comp_region, &qc, AccWidth::U32)?;
+        let mut timing = code_out.timing;
+        if self.cfg.parallel_regions {
+            timing.merge_parallel(&comp_out.timing);
+        } else {
+            timing.add(&comp_out.timing);
+        }
+        let values = code_out
+            .values
+            .iter()
+            .zip(&comp_out.values)
+            .map(|(&dot, &dotc)| (d as u64 - dot - dotc) as f64)
+            .collect();
+        Ok(BoundBatch {
+            values,
+            timing,
+            host_bytes_per_object: 8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_reram::CrossbarConfig;
+    use simpim_similarity::measures::{cosine, euclidean_sq, pearson};
+    use simpim_similarity::Dataset;
+
+    fn small_pim(crossbars: usize) -> PimConfig {
+        PimConfig {
+            crossbar: CrossbarConfig {
+                size: 16,
+                adc_bits: 10,
+                ..Default::default()
+            },
+            num_crossbars: crossbars,
+            ..Default::default()
+        }
+    }
+
+    fn normalized(rows: &[Vec<f64>]) -> NormalizedDataset {
+        NormalizedDataset::assert_normalized(Dataset::from_rows(rows).unwrap())
+    }
+
+    fn cfg(crossbars: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            pim: small_pim(crossbars),
+            alpha: 1000.0,
+            operand_bits: 16,
+            double_buffer: false,
+            parallel_regions: true,
+        }
+    }
+
+    fn sample_data() -> NormalizedDataset {
+        normalized(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4],
+        ])
+    }
+
+    #[test]
+    fn ed_path_lower_bounds_exact_distance() {
+        let data = sample_data();
+        let mut exec = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        assert_eq!(exec.bound_name(), "LB_PIM-ED");
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        assert_eq!(batch.values.len(), 3);
+        for (i, &lb) in batch.values.iter().enumerate() {
+            let ed = euclidean_sq(data.dataset().row(i), &q);
+            assert!(lb <= ed + 1e-9, "i={i}: {lb} > {ed}");
+            // α = 1000, d = 8 → error ≤ 0.032: the bound is tight.
+            assert!(ed - lb <= crate::pim_bounds::error_bound_ed(8, 1000.0) + 1e-9);
+        }
+        assert!(batch.timing.total_ns() > 0.0);
+        assert_eq!(batch.host_bytes_per_object, 16);
+    }
+
+    #[test]
+    fn fnn_path_under_capacity_pressure() {
+        // 64 rows × 8 dims on an 8-crossbar array: the uncompressed ED
+        // layout needs 16 crossbars, so Theorem 4 compresses to s = 2
+        // (2 regions × 4 crossbars).
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f64 / 96.0)
+                    .collect()
+            })
+            .collect();
+        let data = normalized(&rows);
+        let mut exec = PimExecutor::prepare_euclidean(cfg(8), &data).unwrap();
+        assert!(
+            exec.bound_name().starts_with("LB_PIM-FNN"),
+            "{}",
+            exec.bound_name()
+        );
+        let plan = exec.report().plan.unwrap();
+        assert!(plan.s < 8);
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        for (i, &lb) in batch.values.iter().enumerate() {
+            let ed = euclidean_sq(data.dataset().row(i), &q);
+            assert!(lb <= ed + 1e-9, "i={i}: {lb} > {ed}");
+        }
+        assert_eq!(batch.host_bytes_per_object, 24);
+    }
+
+    #[test]
+    fn forced_fnn_segmentation() {
+        let data = sample_data();
+        let mut exec = PimExecutor::prepare_fnn(cfg(4096), &data, 4).unwrap();
+        assert_eq!(exec.bound_name(), "LB_PIM-FNN^4");
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        for (i, &lb) in batch.values.iter().enumerate() {
+            assert!(lb <= euclidean_sq(data.dataset().row(i), &q) + 1e-9);
+        }
+        // Bad segmentations are rejected.
+        assert!(PimExecutor::prepare_fnn(cfg(4096), &data, 3).is_err());
+        assert!(PimExecutor::prepare_fnn(cfg(4096), &data, 0).is_err());
+    }
+
+    #[test]
+    fn prepare_euclidean_falls_back_to_sm_under_extreme_pressure() {
+        // Budget window where the single-region plan fits at some s but
+        // FNN's two regions (x2 double-buffer) do not fit even at s = 1:
+        // prepare_euclidean must degrade to the mean-only bound instead
+        // of failing.
+        let rows: Vec<Vec<f64>> = (0..512)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 11 + j * 3) % 89) as f64 / 88.0)
+                    .collect()
+            })
+            .collect();
+        let data = normalized(&rows);
+        let mut c = cfg(34);
+        c.double_buffer = true;
+        let mut exec = PimExecutor::prepare_euclidean(c, &data).unwrap();
+        assert!(
+            exec.bound_name().starts_with("LB_PIM-SM"),
+            "{}",
+            exec.bound_name()
+        );
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        for (i, &lb) in batch.values.iter().enumerate() {
+            assert!(
+                lb <= euclidean_sq(data.dataset().row(i), &q) + 1e-9,
+                "i={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn sm_path_lower_bounds_exact_distance() {
+        let data = sample_data();
+        let mut exec = PimExecutor::prepare_sm(cfg(4096), &data, 4).unwrap();
+        assert_eq!(exec.bound_name(), "LB_PIM-SM^4");
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        for (i, &lb) in batch.values.iter().enumerate() {
+            assert!(
+                lb <= euclidean_sq(data.dataset().row(i), &q) + 1e-9,
+                "i={i}"
+            );
+        }
+        assert_eq!(batch.host_bytes_per_object, 16);
+        // One region: SM at the same segmentation is cheaper than FNN.
+        let fnn = PimExecutor::prepare_fnn(cfg(4096), &data, 4).unwrap();
+        assert!(exec.report().crossbars_used <= fnn.report().crossbars_used);
+        assert!(PimExecutor::prepare_sm(cfg(4096), &data, 3).is_err());
+    }
+
+    #[test]
+    fn similarity_paths_upper_bound() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for (target, name) in [
+            (SimTarget::Cosine, "UB_PIM-CS"),
+            (SimTarget::Pearson, "UB_PIM-PCC"),
+        ] {
+            let mut exec = PimExecutor::prepare_similarity(cfg(4096), &data, target).unwrap();
+            assert_eq!(exec.bound_name(), name);
+            let batch = exec.ub_sim_batch(&q).unwrap();
+            for (i, &ub) in batch.values.iter().enumerate() {
+                let exact = match target {
+                    SimTarget::Cosine => cosine(data.dataset().row(i), &q),
+                    SimTarget::Pearson => pearson(data.dataset().row(i), &q),
+                };
+                assert!(ub >= exact - 1e-9, "{name} i={i}: {ub} < {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_path_is_exact() {
+        let mut codes = BinaryDataset::with_bits(16).unwrap();
+        let patterns: [u16; 4] = [0b1010_1100_0110_1001, 0xFFFF, 0x0000, 0b0001_0010_0100_1000];
+        for p in patterns {
+            let bits: Vec<bool> = (0..16).map(|i| (p >> i) & 1 == 1).collect();
+            codes.push_bits(&bits).unwrap();
+        }
+        let mut exec = PimExecutor::prepare_hamming(cfg(4096), &codes).unwrap();
+        assert_eq!(exec.bound_name(), "HD_PIM");
+        let q = codes.row(0);
+        let batch = exec.hd_batch(&q).unwrap();
+        for i in 0..4 {
+            assert_eq!(batch.values[i] as u32, q.hamming(&codes.row(i)), "i={i}");
+        }
+        assert_eq!(batch.values[0], 0.0);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let data = sample_data();
+        let mut ed = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        assert!(ed.lb_ed_batch(&[0.5; 4]).is_err()); // wrong dims
+        assert!(ed.ub_sim_batch(&[0.5; 8]).is_err()); // wrong shape
+        let mut codes = BinaryDataset::with_bits(8).unwrap();
+        codes.push_bits(&[true; 8]).unwrap();
+        let mut hd = PimExecutor::prepare_hamming(cfg(4096), &codes).unwrap();
+        assert!(hd.lb_ed_batch(&[0.5; 8]).is_err());
+        let mut other = BinaryDataset::with_bits(16).unwrap();
+        other.push_bits(&[false; 16]).unwrap();
+        assert!(hd.hd_batch(&other.row(0)).is_err()); // wrong width
+    }
+
+    #[test]
+    fn offline_report_tracks_writes_and_phi() {
+        let data = sample_data();
+        let exec = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let r = exec.report();
+        assert!(r.cell_writes > 0);
+        assert!(r.program_ns > 0.0);
+        assert_eq!(r.phi_bytes, 3 * 8);
+        assert!(r.crossbars_used > 0);
+        assert_eq!(exec.bank().memory().used(), 24);
+    }
+
+    #[test]
+    fn double_buffer_doubles_reservation() {
+        let data = sample_data();
+        let single = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let mut c = cfg(4096);
+        c.double_buffer = true;
+        let double = PimExecutor::prepare_euclidean(c, &data).unwrap();
+        assert_eq!(
+            double.report().crossbars_used,
+            2 * single.report().crossbars_used
+        );
+    }
+
+    #[test]
+    fn queries_never_reprogram_crossbars() {
+        let data = sample_data();
+        let mut exec = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let wear = exec.bank().pim().total_cell_writes();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for _ in 0..20 {
+            exec.lb_ed_batch(&q).unwrap();
+        }
+        assert_eq!(exec.bank().pim().total_cell_writes(), wear);
+    }
+}

@@ -1,0 +1,451 @@
+//! Execution-plan optimization (Section V-D, Eq. 13).
+//!
+//! Replacing one bound of an algorithm with its PIM-aware counterpart is
+//! correct but not necessarily optimal: the PIM bound is so cheap (`3·b`
+//! bits) and — thanks to Theorem 4's maximal `s` — often so tight that some
+//! original bounds stop earning their transfer cost (Fig. 12). The paper
+//! models an execution plan as a sequence of bounds `B₁ … B_g` drawn from
+//! the candidate set (original bounds ∪ PIM-aware bound) and estimates its
+//! data-transfer cost as
+//!
+//! ```text
+//! T_cost = N · Σᵢ T_cost(Bᵢ) · Π_{j<i} (1 − Pr(Bⱼ))       (Eq. 13)
+//! ```
+//!
+//! plus the exact-refinement cost on the objects surviving every bound.
+//! `Pr(B)` is the bound's pruning ratio, measured offline on sample
+//! queries ([`PruningProfile`]); with `L` candidates there are `2^L`
+//! subsets to enumerate, each executed cheapest-bound-first.
+
+use simpim_bounds::{BoundDirection, BoundStage};
+use simpim_similarity::{measures, Dataset, Measure};
+
+/// One candidate bound for the planner: its per-object transfer cost and
+/// its measured pruning ratio.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CandidateBound {
+    /// Display name (`LB_FNN^7`, `LB_PIM-FNN^105`, …).
+    pub name: String,
+    /// Bytes transferred per bounded object (`T_cost(B)` in Eq. 13).
+    pub transfer_bytes: u64,
+    /// Measured pruning ratio `Pr(B) ∈ [0, 1]`.
+    pub pruning_ratio: f64,
+    /// Whether this is the PIM-aware bound (reported in plans).
+    pub is_pim: bool,
+}
+
+/// A chosen plan: bound order plus its estimated transfer cost.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionPlan {
+    /// Indices into the candidate list, in application order.
+    pub stages: Vec<usize>,
+    /// Stage names, in application order.
+    pub names: Vec<String>,
+    /// Estimated transfer bytes for one query over `n` objects, including
+    /// exact refinement of the survivors.
+    pub estimated_bytes: f64,
+}
+
+/// The Eq. 13 plan enumerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Planner {
+    /// Bytes to refine one surviving object exactly (`d·b` bits → `d·8`
+    /// bytes on f64 data).
+    pub refine_bytes_per_object: u64,
+    /// Number of dataset objects `N`.
+    pub n: usize,
+}
+
+impl Planner {
+    /// Estimated transfer bytes of executing `stages` (indices into
+    /// `candidates`) in the given order, Eq. 13 plus refinement.
+    pub fn plan_cost(&self, candidates: &[CandidateBound], stages: &[usize]) -> f64 {
+        let mut surviving = 1.0f64;
+        let mut bytes = 0.0f64;
+        for &idx in stages {
+            let b = &candidates[idx];
+            bytes += self.n as f64 * surviving * b.transfer_bytes as f64;
+            surviving *= 1.0 - b.pruning_ratio.clamp(0.0, 1.0);
+        }
+        bytes += self.n as f64 * surviving * self.refine_bytes_per_object as f64;
+        bytes
+    }
+
+    /// Enumerates all `2^L` subsets of the candidate set, executes each
+    /// cheapest-bound-first, and returns the plan with least estimated
+    /// transfer (the empty subset — pure linear scan — is a valid plan).
+    pub fn best_plan(&self, candidates: &[CandidateBound]) -> ExecutionPlan {
+        let l = candidates.len();
+        assert!(
+            l <= 20,
+            "2^L enumeration is exponential; cap the candidate set"
+        );
+        // Candidate order within a plan: by ascending transfer cost, which
+        // matches the filter pipelines of Fig. 12 (coarse, cheap bounds
+        // first).
+        let mut order: Vec<usize> = (0..l).collect();
+        order.sort_by_key(|&i| (candidates[i].transfer_bytes, i));
+
+        let mut best: Option<ExecutionPlan> = None;
+        for mask in 0u32..(1u32 << l) {
+            let stages: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect();
+            let cost = self.plan_cost(candidates, &stages);
+            if best.as_ref().is_none_or(|b| cost < b.estimated_bytes) {
+                best = Some(ExecutionPlan {
+                    names: stages.iter().map(|&i| candidates[i].name.clone()).collect(),
+                    stages,
+                    estimated_bytes: cost,
+                });
+            }
+        }
+        best.expect("at least the empty plan exists")
+    }
+}
+
+impl Planner {
+    /// Conditional plan search. Eq. 13 treats pruning ratios as
+    /// independent, which overestimates stacked bounds: an object
+    /// surviving a tight bound is rarely pruned by a looser one. This
+    /// variant *simulates* every candidate subset's cascade on sample
+    /// queries — measuring actual survivor counts — and returns the plan
+    /// with least measured transfer. This is what reproduces the paper's
+    /// Fig. 16 outcome (drop all original bounds, keep only
+    /// `LB_PIM-FNN^105`).
+    pub fn best_plan_measured(
+        &self,
+        stages: &[&dyn BoundStage],
+        dataset: &Dataset,
+        queries: &[Vec<f64>],
+        k: usize,
+        measure: Measure,
+    ) -> ExecutionPlan {
+        let l = stages.len();
+        assert!(
+            l <= 16,
+            "2^L enumeration is exponential; cap the candidate set"
+        );
+        assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+        assert!(!queries.is_empty(), "need at least one sample query");
+        let smaller_closer = measure.smaller_is_closer();
+        let n = dataset.len();
+
+        // Precompute per-query bound matrices and exact thresholds so each
+        // of the 2^L subsets only replays cheap comparisons.
+        let mut thresholds = Vec::with_capacity(queries.len());
+        let mut bound_values: Vec<Vec<Vec<f64>>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let mut exact: Vec<f64> = dataset
+                .rows()
+                .map(|row| measures::evaluate(measure, row, q))
+                .collect();
+            exact.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            thresholds.push(if smaller_closer {
+                exact[k - 1]
+            } else {
+                exact[exact.len() - k]
+            });
+            let per_stage: Vec<Vec<f64>> = stages
+                .iter()
+                .map(|s| {
+                    let prep = s.prepare(q);
+                    (0..n).map(|i| prep.bound(i)).collect()
+                })
+                .collect();
+            bound_values.push(per_stage);
+        }
+
+        let mut order: Vec<usize> = (0..l).collect();
+        order.sort_by_key(|&i| (stages[i].transfer_bytes_per_object(), i));
+
+        let mut best: Option<ExecutionPlan> = None;
+        for mask in 0u32..(1u32 << l) {
+            let chosen: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| mask & (1 << i) != 0)
+                .collect();
+            let mut total_bytes = 0.0f64;
+            for (qi, _) in queries.iter().enumerate() {
+                let kth = thresholds[qi];
+                let mut alive: Vec<usize> = (0..n).collect();
+                for &si in &chosen {
+                    total_bytes +=
+                        alive.len() as f64 * stages[si].transfer_bytes_per_object() as f64;
+                    let vals = &bound_values[qi][si];
+                    alive.retain(|&i| {
+                        if smaller_closer {
+                            vals[i] <= kth
+                        } else {
+                            vals[i] >= kth
+                        }
+                    });
+                }
+                total_bytes += alive.len() as f64 * self.refine_bytes_per_object as f64;
+            }
+            let avg = total_bytes / queries.len() as f64;
+            if best.as_ref().is_none_or(|b| avg < b.estimated_bytes) {
+                best = Some(ExecutionPlan {
+                    names: chosen.iter().map(|&i| stages[i].name()).collect(),
+                    stages: chosen,
+                    estimated_bytes: avg,
+                });
+            }
+        }
+        best.expect("at least the empty plan exists")
+    }
+}
+
+/// Offline pruning-ratio measurement (Section V-D): run each bound stage
+/// independently over sample queries, thresholding with the exact k-th
+/// nearest distance (or k-th largest similarity), and report the average
+/// fraction of objects pruned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruningProfile;
+
+impl PruningProfile {
+    /// Measures `Pr(B)` for each stage against exact kNN thresholds on
+    /// `queries`. Works for both bound directions; all stages must share
+    /// the measure's direction.
+    ///
+    /// # Panics
+    /// Panics when `k` is zero or exceeds the dataset size, or when a
+    /// stage's direction contradicts the measure.
+    pub fn measure(
+        stages: &[&dyn BoundStage],
+        dataset: &Dataset,
+        queries: &[Vec<f64>],
+        k: usize,
+        measure: Measure,
+    ) -> Vec<f64> {
+        assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+        let smaller_closer = measure.smaller_is_closer();
+        for s in stages {
+            let expected = if smaller_closer {
+                BoundDirection::LowerBoundsDistance
+            } else {
+                BoundDirection::UpperBoundsSimilarity
+            };
+            assert_eq!(
+                s.direction(),
+                expected,
+                "stage {} direction mismatch",
+                s.name()
+            );
+        }
+
+        let mut pruned = vec![0u64; stages.len()];
+        let mut total = 0u64;
+        for q in queries {
+            // Exact k-th threshold.
+            let mut exact: Vec<f64> = dataset
+                .rows()
+                .map(|row| measures::evaluate(measure, row, q))
+                .collect();
+            let kth = {
+                let mut sorted = exact.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                if smaller_closer {
+                    sorted[k - 1]
+                } else {
+                    sorted[sorted.len() - k]
+                }
+            };
+            exact.clear();
+
+            total += dataset.len() as u64;
+            for (si, stage) in stages.iter().enumerate() {
+                let prep = stage.prepare(q);
+                for i in 0..dataset.len() {
+                    let b = prep.bound(i);
+                    let prunable = if smaller_closer { b > kth } else { b < kth };
+                    if prunable {
+                        pruned[si] += 1;
+                    }
+                }
+            }
+        }
+        pruned
+            .into_iter()
+            .map(|p| {
+                if total == 0 {
+                    0.0
+                } else {
+                    p as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(name: &str, bytes: u64, ratio: f64) -> CandidateBound {
+        CandidateBound {
+            name: name.to_string(),
+            transfer_bytes: bytes,
+            pruning_ratio: ratio,
+            is_pim: false,
+        }
+    }
+
+    #[test]
+    fn eq13_hand_computed() {
+        // N = 1000, bounds: (10 B, 90%), (100 B, 99%); refine 800 B.
+        // Cost = 1000·10 + 1000·0.1·100 + 1000·0.1·0.01·800
+        //      = 10 000 + 10 000 + 800 = 20 800.
+        let p = Planner {
+            refine_bytes_per_object: 800,
+            n: 1000,
+        };
+        let cands = vec![cand("a", 10, 0.9), cand("b", 100, 0.99)];
+        let cost = p.plan_cost(&cands, &[0, 1]);
+        assert!((cost - 20_800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_plan_is_full_refinement() {
+        let p = Planner {
+            refine_bytes_per_object: 800,
+            n: 1000,
+        };
+        assert!((p.plan_cost(&[], &[]) - 800_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independence_model_loves_stacking() {
+        // Under Eq. 13's independence assumption, any cheap bound with a
+        // nonzero marginal ratio reduces downstream cost — which is why the
+        // conditional search below exists.
+        let p = Planner {
+            refine_bytes_per_object: 3360,
+            n: 1_000_000,
+        };
+        let mut pim = cand("LB_PIM-FNN^105", 16, 0.99);
+        pim.is_pim = true;
+        let cands = vec![cand("LB_FNN^7", 7 * 16, 0.90), pim];
+        let plan = p.best_plan(&cands);
+        assert_eq!(plan.names.len(), 2, "independence keeps both bounds");
+    }
+
+    #[test]
+    fn conditional_search_drops_shadowed_bounds() {
+        // Fig. 16's conclusion: a cheap PIM bound that dominates the
+        // original bounds displaces them once survivor correlation is
+        // measured. Data: tight cluster + far cluster; a fine-grained
+        // PIM-FNN bound prunes everything the coarse classic bound prunes.
+        use crate::stage::PimFnnStage;
+        use simpim_bounds::SmBound;
+        use simpim_similarity::NormalizedDataset;
+
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        // 5 far points (segment means ≈ 0.5, prunable by any bound).
+        for _ in 0..5 {
+            rows.push(vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1]);
+        }
+        // 40 decoys sharing the query's mean (0.12) but with high spread:
+        // invisible to the mean-only LB_SM, pruned by PIM-FNN's σ term.
+        for _ in 0..40 {
+            rows.push(vec![0.02, 0.22, 0.02, 0.22, 0.02, 0.22, 0.02, 0.22]);
+        }
+        // 5 genuinely near constant points.
+        for i in 0..5 {
+            rows.push(vec![0.10 + 0.01 * i as f64; 8]);
+        }
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        let classic = SmBound::build(&ds, 1).unwrap(); // 8 B/object, mean only
+        let pim = PimFnnStage::build(&nds, 4, 1e6).unwrap(); // 24 B/object
+        let planner = Planner {
+            refine_bytes_per_object: 8 * 8,
+            n: ds.len(),
+        };
+        let queries = vec![vec![0.12; 8], vec![0.12; 8]];
+        let plan =
+            planner.best_plan_measured(&[&classic, &pim], &ds, &queries, 3, Measure::EuclideanSq);
+        assert_eq!(plan.names, vec!["LB_PIM-FNN^4"], "plan = {plan:?}");
+        // The stacked plan is strictly worse once conditioning is measured.
+        let stacked =
+            planner.best_plan_measured(&[&classic], &ds, &queries, 3, Measure::EuclideanSq);
+        assert!(plan.estimated_bytes < stacked.estimated_bytes);
+    }
+
+    #[test]
+    fn weak_pim_bound_keeps_original_refinement_filter() {
+        // If the PIM bound prunes little, a tighter original bound stays in
+        // the pipeline behind it (the s < d/4 case of Section V-D).
+        let p = Planner {
+            refine_bytes_per_object: 3360,
+            n: 1_000_000,
+        };
+        let mut pim = cand("LB_PIM-FNN^7", 16, 0.60);
+        pim.is_pim = true;
+        let cands = vec![cand("LB_FNN^105", 105 * 8, 0.985), pim.clone()];
+        let plan = p.best_plan(&cands);
+        assert_eq!(plan.names, vec!["LB_PIM-FNN^7", "LB_FNN^105"]);
+        // And the combined plan beats either alone.
+        let both = p.plan_cost(&cands, &[1, 0]);
+        assert!(both < p.plan_cost(&cands, &[0]));
+        assert!(both < p.plan_cost(&cands, &[1]));
+    }
+
+    #[test]
+    fn useless_bound_is_dropped() {
+        let p = Planner {
+            refine_bytes_per_object: 100,
+            n: 1000,
+        };
+        let cands = vec![cand("noop", 50, 0.0)];
+        let plan = p.best_plan(&cands);
+        assert!(plan.stages.is_empty(), "a non-pruning bound only adds cost");
+        assert!((plan.estimated_bytes - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stage_order_is_cheapest_first() {
+        let p = Planner {
+            refine_bytes_per_object: 10_000,
+            n: 1000,
+        };
+        let cands = vec![cand("expensive", 500, 0.9), cand("cheap", 10, 0.5)];
+        let plan = p.best_plan(&cands);
+        assert_eq!(plan.names, vec!["cheap", "expensive"]);
+    }
+
+    #[test]
+    fn pruning_ratio_measurement_matches_known_geometry() {
+        use simpim_bounds::FnnBound;
+        // Dataset: 9 far points + 1 near point; k = 1 with query at the
+        // near point → the exact 1-NN threshold is ~0, and LB_FNN^d (exact
+        // at segment length 1) prunes exactly the 9 far points.
+        let mut rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![0.9 + 0.01 * i as f64, 0.9, 0.9, 0.9])
+            .collect();
+        rows.push(vec![0.1, 0.1, 0.1, 0.1]);
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let stage = FnnBound::build(&ds, 4).unwrap();
+        let ratios = PruningProfile::measure(
+            &[&stage],
+            &ds,
+            &[vec![0.1, 0.1, 0.1, 0.1]],
+            1,
+            Measure::EuclideanSq,
+        );
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0] - 0.9).abs() < 1e-9, "ratio {}", ratios[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "direction mismatch")]
+    fn direction_mismatch_panics() {
+        use simpim_bounds::FnnBound;
+        let ds = Dataset::from_rows(&[vec![0.1, 0.2]]).unwrap();
+        let stage = FnnBound::build(&ds, 2).unwrap();
+        let _ = PruningProfile::measure(&[&stage], &ds, &[vec![0.1, 0.2]], 1, Measure::Cosine);
+    }
+}

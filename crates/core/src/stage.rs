@@ -1,0 +1,414 @@
+//! Host-side [`BoundStage`] adapters for the PIM-aware bounds.
+//!
+//! Section V-D notes that although a PIM-aware bound executes on PIM
+//! online, "it is practical to conduct on traditional architectures at
+//! offline stage for purpose of measuring the pruning ratio". These
+//! adapters evaluate `LB_PIM-ED` / `LB_PIM-FNN` on the host with exactly
+//! the same quantized integers a crossbar would see (the executor's batch
+//! path is bit-identical), so the planner can measure ratios and compose
+//! plans mixing classic and PIM-aware bounds.
+//!
+//! Their `transfer_bytes_per_object` reports the **online** PIM cost — the
+//! Φ scalar plus the dot results the host reads to evaluate `G` — because
+//! that is the cost Eq. 13 must charge the bound with.
+
+use crate::pim_bounds::{host_floor_dot, lb_pim_ed, lb_pim_fnn, EdQuant, FnnQuant};
+use simpim_bounds::{BoundDirection, BoundStage, EvalCost, PreparedBound};
+use simpim_similarity::{NormalizedDataset, Quantizer, SimilarityError};
+
+/// Host-side `LB_PIM-ED` (Theorem 1) over full-dimensional floors.
+#[derive(Debug, Clone)]
+pub struct PimEdStage {
+    floors: Vec<u32>,
+    phis: Vec<f64>,
+    d: usize,
+    alpha: f64,
+    quantizer: Quantizer,
+}
+
+impl PimEdStage {
+    /// Quantizes a normalized dataset for host-side `LB_PIM-ED`.
+    pub fn build(data: &NormalizedDataset, alpha: f64) -> Result<Self, SimilarityError> {
+        let ds = data.dataset();
+        let quantizer = Quantizer::identity(alpha)?;
+        let mut floors = Vec::with_capacity(ds.len() * ds.dim());
+        let mut phis = Vec::with_capacity(ds.len());
+        for row in ds.rows() {
+            let eq = EdQuant::from_quantized(quantizer.quantize_vec(row)?);
+            floors.extend_from_slice(&eq.floors);
+            phis.push(eq.phi);
+        }
+        Ok(Self {
+            floors,
+            phis,
+            d: ds.dim(),
+            alpha,
+            quantizer,
+        })
+    }
+}
+
+impl BoundStage for PimEdStage {
+    fn name(&self) -> String {
+        "LB_PIM-ED".to_string()
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.d
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        16 // Φ(p̄) + the PIM dot result
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        // G is O(1): a handful of adds/mults once the dot arrives.
+        EvalCost {
+            arith: 4,
+            mul: 2,
+            div: 0,
+            sqrt: 0,
+            bytes: 16,
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q = EdQuant::from_quantized(
+            self.quantizer
+                .quantize_vec(query)
+                .expect("normalized query"),
+        );
+        Box::new(PimEdPrepared { stage: self, q })
+    }
+}
+
+struct PimEdPrepared<'a> {
+    stage: &'a PimEdStage,
+    q: EdQuant,
+}
+
+impl PreparedBound for PimEdPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let d = self.stage.d;
+        let row = &self.stage.floors[i * d..(i + 1) * d];
+        let dot = host_floor_dot(row, &self.q.floors);
+        lb_pim_ed(self.stage.phis[i], self.q.phi, dot, d, self.stage.alpha)
+    }
+}
+
+/// Host-side `LB_PIM-FNN^s` (Theorem 2) over quantized segment statistics.
+#[derive(Debug, Clone)]
+pub struct PimFnnStage {
+    mu_floors: Vec<u32>,
+    sigma_floors: Vec<u32>,
+    phis: Vec<f64>,
+    d_prime: usize,
+    segment_len: usize,
+    d: usize,
+    alpha: f64,
+}
+
+impl PimFnnStage {
+    /// Quantizes segment statistics of a normalized dataset at `d_prime`
+    /// segments.
+    pub fn build(
+        data: &NormalizedDataset,
+        d_prime: usize,
+        alpha: f64,
+    ) -> Result<Self, SimilarityError> {
+        let ds = data.dataset();
+        let mut mu_floors = Vec::with_capacity(ds.len() * d_prime);
+        let mut sigma_floors = Vec::with_capacity(ds.len() * d_prime);
+        let mut phis = Vec::with_capacity(ds.len());
+        let mut segment_len = 0;
+        for row in ds.rows() {
+            let fq = FnnQuant::compute(row, d_prime, alpha)?;
+            segment_len = fq.segment_len;
+            mu_floors.extend_from_slice(&fq.mu_floors);
+            sigma_floors.extend_from_slice(&fq.sigma_floors);
+            phis.push(fq.phi);
+        }
+        Ok(Self {
+            mu_floors,
+            sigma_floors,
+            phis,
+            d_prime,
+            segment_len,
+            d: ds.dim(),
+            alpha,
+        })
+    }
+}
+
+impl BoundStage for PimFnnStage {
+    fn name(&self) -> String {
+        format!("LB_PIM-FNN^{}", self.d_prime)
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.d_prime
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        24 // Φ(p̂) + two PIM dot results
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        EvalCost {
+            arith: 6,
+            mul: 3,
+            div: 0,
+            sqrt: 0,
+            bytes: 24,
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q = FnnQuant::compute(query, self.d_prime, self.alpha).expect("normalized query");
+        Box::new(PimFnnPrepared { stage: self, q })
+    }
+}
+
+struct PimFnnPrepared<'a> {
+    stage: &'a PimFnnStage,
+    q: FnnQuant,
+}
+
+impl PreparedBound for PimFnnPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let dp = self.stage.d_prime;
+        let mu = &self.stage.mu_floors[i * dp..(i + 1) * dp];
+        let sg = &self.stage.sigma_floors[i * dp..(i + 1) * dp];
+        let dot_mu = host_floor_dot(mu, &self.q.mu_floors);
+        let dot_sg = host_floor_dot(sg, &self.q.sigma_floors);
+        lb_pim_fnn(
+            self.stage.phis[i],
+            self.q.phi,
+            dot_mu,
+            dot_sg,
+            dp,
+            self.stage.segment_len,
+            self.stage.alpha,
+        )
+    }
+}
+
+/// Host-side `LB_PIM-SM^s`: the mean-only sibling of [`PimFnnStage`]
+/// (one region online, `2·b + b` bits of host traffic per object).
+#[derive(Debug, Clone)]
+pub struct PimSmStage {
+    mu_floors: Vec<u32>,
+    phis: Vec<f64>,
+    d_prime: usize,
+    segment_len: usize,
+    d: usize,
+    alpha: f64,
+}
+
+impl PimSmStage {
+    /// Quantizes segment means of a normalized dataset at `d_prime`
+    /// segments.
+    pub fn build(
+        data: &NormalizedDataset,
+        d_prime: usize,
+        alpha: f64,
+    ) -> Result<Self, SimilarityError> {
+        let ds = data.dataset();
+        let mut mu_floors = Vec::with_capacity(ds.len() * d_prime);
+        let mut phis = Vec::with_capacity(ds.len());
+        let mut segment_len = 0;
+        for row in ds.rows() {
+            let sq = crate::pim_bounds::SmQuant::compute(row, d_prime, alpha)?;
+            segment_len = sq.segment_len;
+            mu_floors.extend_from_slice(&sq.mu_floors);
+            phis.push(sq.phi);
+        }
+        Ok(Self {
+            mu_floors,
+            phis,
+            d_prime,
+            segment_len,
+            d: ds.dim(),
+            alpha,
+        })
+    }
+}
+
+impl BoundStage for PimSmStage {
+    fn name(&self) -> String {
+        format!("LB_PIM-SM^{}", self.d_prime)
+    }
+
+    fn direction(&self) -> BoundDirection {
+        BoundDirection::LowerBoundsDistance
+    }
+
+    fn d_prime(&self) -> usize {
+        self.d_prime
+    }
+
+    fn transfer_bytes_per_object(&self) -> u64 {
+        16 // Φ(p̂) + one PIM dot result
+    }
+
+    fn eval_cost(&self) -> EvalCost {
+        EvalCost {
+            arith: 4,
+            mul: 2,
+            div: 0,
+            sqrt: 0,
+            bytes: 16,
+        }
+    }
+
+    fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_> {
+        assert_eq!(query.len(), self.d, "query dimensionality mismatch");
+        let q = crate::pim_bounds::SmQuant::compute(query, self.d_prime, self.alpha)
+            .expect("normalized query");
+        Box::new(PimSmPrepared { stage: self, q })
+    }
+}
+
+struct PimSmPrepared<'a> {
+    stage: &'a PimSmStage,
+    q: crate::pim_bounds::SmQuant,
+}
+
+impl PreparedBound for PimSmPrepared<'_> {
+    fn bound(&self, i: usize) -> f64 {
+        let dp = self.stage.d_prime;
+        let mu = &self.stage.mu_floors[i * dp..(i + 1) * dp];
+        crate::pim_bounds::lb_pim_sm(
+            self.stage.phis[i],
+            self.q.phi,
+            host_floor_dot(mu, &self.q.mu_floors),
+            dp,
+            self.stage.segment_len,
+            self.stage.alpha,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_similarity::measures::euclidean_sq;
+    use simpim_similarity::Dataset;
+
+    fn data() -> NormalizedDataset {
+        NormalizedDataset::assert_normalized(
+            Dataset::from_rows(&[
+                vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+                vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+                vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4],
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn host_ed_stage_lower_bounds() {
+        let d = data();
+        let stage = PimEdStage::build(&d, 1e4).unwrap();
+        assert_eq!(stage.name(), "LB_PIM-ED");
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let prep = stage.prepare(&q);
+        for i in 0..3 {
+            let lb = prep.bound(i);
+            let ed = euclidean_sq(d.dataset().row(i), &q);
+            assert!(lb <= ed + 1e-9);
+            assert!(ed - lb < 0.01, "tight at alpha 1e4");
+        }
+    }
+
+    #[test]
+    fn host_fnn_stage_lower_bounds_and_matches_executor_semantics() {
+        let d = data();
+        let stage = PimFnnStage::build(&d, 4, 1e4).unwrap();
+        assert_eq!(stage.name(), "LB_PIM-FNN^4");
+        assert_eq!(stage.transfer_bytes_per_object(), 24);
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let prep = stage.prepare(&q);
+        for i in 0..3 {
+            assert!(prep.bound(i) <= euclidean_sq(d.dataset().row(i), &q) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn host_sm_stage_lower_bounds_and_matches_executor() {
+        use crate::executor::{ExecutorConfig, PimExecutor};
+        use simpim_reram::{CrossbarConfig, PimConfig};
+        let d = data();
+        let alpha = 1000.0;
+        let stage = PimSmStage::build(&d, 4, alpha).unwrap();
+        assert_eq!(stage.name(), "LB_PIM-SM^4");
+        assert_eq!(stage.transfer_bytes_per_object(), 16);
+        let cfg = ExecutorConfig {
+            pim: PimConfig {
+                crossbar: CrossbarConfig {
+                    size: 16,
+                    adc_bits: 10,
+                    ..Default::default()
+                },
+                num_crossbars: 4096,
+                ..Default::default()
+            },
+            alpha,
+            operand_bits: 16,
+            double_buffer: false,
+            parallel_regions: true,
+        };
+        let mut exec = PimExecutor::prepare_sm(cfg, &d, 4).unwrap();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        let prep = stage.prepare(&q);
+        for i in 0..3 {
+            assert!(prep.bound(i) <= euclidean_sq(d.dataset().row(i), &q) + 1e-9);
+            assert!((batch.values[i] - prep.bound(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn host_stage_agrees_with_executor_batch() {
+        use crate::executor::{ExecutorConfig, PimExecutor};
+        use simpim_reram::{CrossbarConfig, PimConfig};
+        let d = data();
+        let alpha = 1000.0;
+        let stage = PimFnnStage::build(&d, 4, alpha).unwrap();
+        let cfg = ExecutorConfig {
+            pim: PimConfig {
+                crossbar: CrossbarConfig {
+                    size: 16,
+                    adc_bits: 10,
+                    ..Default::default()
+                },
+                num_crossbars: 4096,
+                ..Default::default()
+            },
+            alpha,
+            operand_bits: 16,
+            double_buffer: false,
+            parallel_regions: true,
+        };
+        let mut exec = PimExecutor::prepare_fnn(cfg, &d, 4).unwrap();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        let prep = stage.prepare(&q);
+        for i in 0..3 {
+            assert!(
+                (batch.values[i] - prep.bound(i)).abs() < 1e-9,
+                "host-side stage and PIM batch must agree bit-for-bit"
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! LSH binary codes (Fig. 14's workload).
+//!
+//! The paper follows Charikar's SimHash \[22\]: each code bit is the sign of
+//! the data vector's projection onto a random hyperplane, so the Hamming
+//! distance between codes preserves the angular similarity of the original
+//! objects. The paper learns 10M codes of 128–1024 bits from the GIST
+//! descriptors; here the same pipeline runs over the synthetic GIST-like
+//! dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simpim_similarity::{BinaryDataset, Dataset};
+
+/// Produces `bits`-wide SimHash codes for every row of `data`.
+///
+/// Hyperplanes are sampled as dense ±-uniform vectors centered on the data
+/// midpoint (0.5 for normalized data), seeded deterministically.
+pub fn lsh_codes(data: &Dataset, bits: usize, seed: u64) -> BinaryDataset {
+    assert!(bits > 0, "code width must be non-zero");
+    let d = data.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hyperplanes: Vec<Vec<f64>> = (0..bits)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+
+    let mut codes = BinaryDataset::with_bits(bits).expect("bits > 0");
+    let mut code = vec![false; bits];
+    for row in data.rows() {
+        for (b, h) in code.iter_mut().zip(&hyperplanes) {
+            // Center the data at 0.5 so projections split evenly.
+            let proj: f64 = row.iter().zip(h).map(|(&x, &w)| (x - 0.5) * w).sum();
+            *b = proj >= 0.0;
+        }
+        codes.push_bits(&code).expect("width fixed");
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SyntheticConfig};
+
+    fn data() -> Dataset {
+        generate(&SyntheticConfig {
+            n: 120,
+            d: 64,
+            clusters: 4,
+            cluster_std: 0.03,
+            stat_uniformity: 0.0,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let ds = data();
+        let codes = lsh_codes(&ds, 128, 99);
+        assert_eq!(codes.len(), 120);
+        assert_eq!(codes.bits(), 128);
+        assert_eq!(lsh_codes(&ds, 128, 99), codes);
+        assert_ne!(lsh_codes(&ds, 128, 100), codes);
+    }
+
+    #[test]
+    fn hamming_distance_preserves_similarity() {
+        // SimHash guarantee: nearer objects collide on more bits. Check
+        // rank agreement: the Hamming-nearest neighbor of each point is
+        // much closer in ED than a random point, on average.
+        use simpim_similarity::measures::euclidean_sq;
+        let ds = data();
+        let codes = lsh_codes(&ds, 256, 5);
+        let mut ed_of_hd_nn = 0.0;
+        let mut ed_of_random = 0.0;
+        let n = ds.len();
+        for i in 0..n {
+            let mut best = (u32::MAX, usize::MAX);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let hd = codes.row(i).hamming(&codes.row(j));
+                if hd < best.0 {
+                    best = (hd, j);
+                }
+            }
+            ed_of_hd_nn += euclidean_sq(ds.row(i), ds.row(best.1));
+            ed_of_random += euclidean_sq(ds.row(i), ds.row((i + n / 2) % n));
+        }
+        assert!(
+            ed_of_hd_nn < 0.6 * ed_of_random,
+            "HD neighbors must be ED-near: {ed_of_hd_nn} vs {ed_of_random}"
+        );
+    }
+
+    #[test]
+    fn bit_balance_is_reasonable() {
+        // Centered projections should split roughly half/half per code.
+        let ds = data();
+        let codes = lsh_codes(&ds, 512, 13);
+        let total_ones: u64 = codes.rows().map(|c| u64::from(c.count_ones())).sum();
+        let total_bits = (codes.len() * codes.bits()) as f64;
+        let fraction = total_ones as f64 / total_bits;
+        assert!((0.3..=0.7).contains(&fraction), "bit balance {fraction}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        lsh_codes(&data(), 0, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Query workload generation.
+//!
+//! kNN experiments need query objects drawn from the data distribution but
+//! not present in the dataset: each query is a stored object plus small
+//! Gaussian noise, clamped to the normalized range.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simpim_similarity::Dataset;
+
+/// Samples `count` queries near dataset objects with per-coordinate noise
+/// `noise_std`, deterministically from `seed`.
+pub fn sample_queries(data: &Dataset, count: usize, noise_std: f64, seed: u64) -> Vec<Vec<f64>> {
+    assert!(
+        !data.is_empty(),
+        "cannot sample queries from an empty dataset"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let base = data.row(rng.gen_range(0..data.len()));
+            base.iter()
+                .map(|&v| {
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let gauss = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    (v + gauss * noise_std).clamp(0.0, 1.0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SyntheticConfig};
+
+    fn data() -> Dataset {
+        generate(&SyntheticConfig {
+            n: 50,
+            d: 16,
+            clusters: 4,
+            cluster_std: 0.05,
+            stat_uniformity: 0.0,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn shape_and_range() {
+        let ds = data();
+        let qs = sample_queries(&ds, 7, 0.02, 11);
+        assert_eq!(qs.len(), 7);
+        assert!(qs.iter().all(|q| q.len() == 16));
+        assert!(qs.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = data();
+        assert_eq!(
+            sample_queries(&ds, 5, 0.02, 1),
+            sample_queries(&ds, 5, 0.02, 1)
+        );
+        assert_ne!(
+            sample_queries(&ds, 5, 0.02, 1),
+            sample_queries(&ds, 5, 0.02, 2)
+        );
+    }
+
+    #[test]
+    fn queries_are_near_the_data() {
+        use simpim_similarity::measures::euclidean_sq;
+        let ds = data();
+        let qs = sample_queries(&ds, 5, 0.01, 4);
+        for q in &qs {
+            let nearest = ds
+                .rows()
+                .map(|r| euclidean_sq(r, q))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.1, "query too far from data: {nearest}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let empty = Dataset::with_dim(4).unwrap();
+        sample_queries(&empty, 1, 0.01, 0);
+    }
+}

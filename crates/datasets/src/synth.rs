@@ -1,0 +1,275 @@
+//! The synthetic generator: Gaussian-mixture structure with a
+//! segment-statistic-uniformity knob.
+//!
+//! 1. Draw `clusters` centers uniformly in `[0.2, 0.8]^d`.
+//! 2. Each object = its cluster's center + N(0, cluster_std²) per
+//!    coordinate, clamped to `[0, 1]`.
+//! 3. With uniformity `w > 0`, re-shape every length-[`UNIFORM_BLOCK`]
+//!    block so its mean and σ move toward a *global template* shared by
+//!    all objects: `x ← (µ_t + w·(µ_t − µ) + (x − µ)·((1−w) + w·σ_t/σ))`
+//!    — at `w = 1` every object has identical block statistics (and hence
+//!    identical statistics at any coarser segmentation), while the
+//!    *arrangement* of values inside blocks still differs, so exact
+//!    distances remain informative. This reproduces GIST's weak `LB_FNN`
+//!    pruning.
+
+use crate::spec::DatasetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr_normal::sample_normal;
+use simpim_similarity::Dataset;
+
+/// Block length at which statistics are templated. Divides every Table 6
+/// dimensionality that uses a nonzero uniformity.
+pub const UNIFORM_BLOCK: usize = 2;
+
+/// Full generation parameters (a [`DatasetSpec`] plus the realized `n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of objects to generate.
+    pub n: usize,
+    /// Dimensionality.
+    pub d: usize,
+    /// Latent clusters.
+    pub clusters: usize,
+    /// Within-cluster coordinate σ.
+    pub cluster_std: f64,
+    /// Segment-statistic uniformity in `[0, 1]`.
+    pub stat_uniformity: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Realizes a spec at `n` objects.
+    pub fn from_spec(spec: &DatasetSpec, n: usize) -> Self {
+        Self {
+            n,
+            d: spec.d,
+            clusters: spec.clusters,
+            cluster_std: spec.cluster_std,
+            stat_uniformity: spec.stat_uniformity,
+            seed: spec.seed,
+        }
+    }
+}
+
+// A tiny inlined normal sampler (Box–Muller) so the crate needs only the
+// `rand` core; kept in a private module to mirror `rand_distr`'s API shape.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// One N(0, 1) sample via Box–Muller.
+    pub fn sample_normal<R: Rng>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+fn block_stats(block: &[f64]) -> (f64, f64) {
+    let l = block.len() as f64;
+    let mu = block.iter().sum::<f64>() / l;
+    let var = block.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>() / l;
+    (mu, var.max(0.0).sqrt())
+}
+
+/// Generates a dataset with labels (the latent cluster of each object).
+pub fn generate_labeled(cfg: &SyntheticConfig) -> (Dataset, Vec<usize>) {
+    assert!(
+        cfg.n > 0 && cfg.d > 0 && cfg.clusters > 0,
+        "empty generation request"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.stat_uniformity),
+        "stat_uniformity must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Cluster centers are piecewise-constant over length-⌈d/64⌉ blocks:
+    // real high-dimensional data (image patches, audio features) separates
+    // clusters through low-frequency structure, which is what makes
+    // segment-statistic bounds (LB_SM / LB_FNN) effective on it. Small-d
+    // generations (block = 1) are unaffected.
+    let center_block = (cfg.d / 64).max(1);
+    let centers: Vec<Vec<f64>> = (0..cfg.clusters)
+        .map(|_| {
+            let mut center = Vec::with_capacity(cfg.d);
+            while center.len() < cfg.d {
+                let v = rng.gen_range(0.2..0.8);
+                for _ in 0..center_block.min(cfg.d - center.len()) {
+                    center.push(v);
+                }
+            }
+            center
+        })
+        .collect();
+
+    // Global template statistics per block position.
+    let blocks = cfg.d / UNIFORM_BLOCK;
+    let template: Vec<(f64, f64)> = (0..blocks.max(1))
+        .map(|_| (rng.gen_range(0.35..0.65), rng.gen_range(0.05..0.15)))
+        .collect();
+
+    let w = cfg.stat_uniformity;
+    let mut flat = Vec::with_capacity(cfg.n * cfg.d);
+    let mut labels = Vec::with_capacity(cfg.n);
+    let mut row = vec![0.0f64; cfg.d];
+    for _ in 0..cfg.n {
+        let label = rng.gen_range(0..cfg.clusters);
+        labels.push(label);
+        let center = &centers[label];
+        for (x, &c) in row.iter_mut().zip(center) {
+            *x = (c + sample_normal(&mut rng) * cfg.cluster_std).clamp(0.0, 1.0);
+        }
+        if w > 0.0 && cfg.d >= UNIFORM_BLOCK {
+            for (bi, block) in row.chunks_exact_mut(UNIFORM_BLOCK).enumerate() {
+                let (mu, sigma) = block_stats(block);
+                let (mu_t, sigma_t) = template[bi.min(template.len() - 1)];
+                let target_mu = mu + w * (mu_t - mu);
+                let gain = if sigma > 1e-12 {
+                    1.0 + w * (sigma_t / sigma - 1.0)
+                } else {
+                    1.0
+                };
+                for x in block.iter_mut() {
+                    *x = (target_mu + (*x - mu) * gain).clamp(0.0, 1.0);
+                }
+            }
+        }
+        flat.extend_from_slice(&row);
+    }
+    (
+        Dataset::from_flat(flat, cfg.d).expect("shape by construction"),
+        labels,
+    )
+}
+
+/// Generates a dataset (labels discarded).
+pub fn generate(cfg: &SyntheticConfig) -> Dataset {
+    generate_labeled(cfg).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_similarity::SegmentStats;
+
+    fn cfg(n: usize, d: usize, uniformity: f64) -> SyntheticConfig {
+        SyntheticConfig {
+            n,
+            d,
+            clusters: 4,
+            cluster_std: 0.05,
+            stat_uniformity: uniformity,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&cfg(50, 16, 0.3));
+        let b = generate(&cfg(50, 16, 0.3));
+        assert_eq!(a, b);
+        let mut other = cfg(50, 16, 0.3);
+        other.seed = 43;
+        assert_ne!(generate(&other), a);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let ds = generate(&cfg(100, 32, 0.9));
+        assert!(ds.as_flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.dim(), 32);
+    }
+
+    #[test]
+    fn labels_match_cluster_count() {
+        let (ds, labels) = generate_labeled(&cfg(200, 8, 0.0));
+        assert_eq!(labels.len(), ds.len());
+        assert!(labels.iter().all(|&l| l < 4));
+        // All clusters populated at n = 200.
+        for c in 0..4 {
+            assert!(labels.contains(&c));
+        }
+    }
+
+    #[test]
+    fn clustered_points_are_nearer_within_cluster() {
+        let (ds, labels) = generate_labeled(&cfg(100, 32, 0.0));
+        use simpim_similarity::measures::euclidean_sq;
+        // Average within-cluster distance must undercut between-cluster.
+        let (mut within, mut wn, mut between, mut bn) = (0.0, 0u64, 0.0, 0u64);
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                let dist = euclidean_sq(ds.row(i), ds.row(j));
+                if labels[i] == labels[j] {
+                    within += dist;
+                    wn += 1;
+                } else {
+                    between += dist;
+                    bn += 1;
+                }
+            }
+        }
+        assert!(within / (wn as f64) < 0.5 * (between / bn as f64));
+    }
+
+    #[test]
+    fn uniformity_blinds_segment_statistics() {
+        // At w = 1, every object's segment means coincide, so the
+        // segment-mean spread collapses relative to w = 0 — the GIST
+        // effect on LB_SM / LB_FNN.
+        let spread = |uniformity: f64| -> f64 {
+            let ds = generate(&cfg(60, 32, uniformity));
+            let segs = 8;
+            let mut means = Vec::new();
+            for row in ds.rows() {
+                means.push(SegmentStats::compute(row, segs).unwrap().means);
+            }
+            // Average per-segment variance of the mean across objects.
+            (0..segs)
+                .map(|s| {
+                    let vals: Vec<f64> = means.iter().map(|m| m[s]).collect();
+                    let mu = vals.iter().sum::<f64>() / vals.len() as f64;
+                    vals.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / vals.len() as f64
+                })
+                .sum::<f64>()
+                / segs as f64
+        };
+        let loose = spread(0.0);
+        let tight = spread(1.0);
+        assert!(
+            tight < loose / 50.0,
+            "w=1 spread {tight} vs w=0 spread {loose}"
+        );
+    }
+
+    #[test]
+    fn exact_distances_survive_uniformity() {
+        // Even at w = 1 the dataset is not degenerate: pairwise exact
+        // distances stay spread out (bounds get weak, scans stay
+        // meaningful).
+        let ds = generate(&cfg(40, 32, 1.0));
+        use simpim_similarity::measures::euclidean_sq;
+        let mut dists: Vec<f64> = Vec::new();
+        for i in 0..ds.len() {
+            for j in (i + 1)..ds.len() {
+                dists.push(euclidean_sq(ds.row(i), ds.row(j)));
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = dists[dists.len() / 2];
+        assert!(
+            median > 1e-3,
+            "distances must not collapse: median {median}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty generation")]
+    fn rejects_empty_request() {
+        generate(&cfg(0, 8, 0.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Synthetic time series with planted structure, for the motif-discovery
+//! and anomaly-detection workloads the paper's introduction motivates
+//! (Mueen \[3\]).
+//!
+//! The generator produces a bounded random walk in `[0, 1]`, embeds one
+//! repeated pattern (the *motif*) at two non-overlapping positions, and
+//! injects one out-of-distribution segment (the *discord*). Positions are
+//! returned so tests can assert discovery.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the planted series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesConfig {
+    /// Series length.
+    pub len: usize,
+    /// Planted pattern length (also the natural window size to mine at).
+    pub pattern_len: usize,
+    /// Random-walk step scale.
+    pub noise: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SeriesConfig {
+    fn default() -> Self {
+        Self {
+            len: 2_000,
+            pattern_len: 64,
+            noise: 0.02,
+            seed: 0x7157,
+        }
+    }
+}
+
+/// A generated series with its planted ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedSeries {
+    /// The series values, all in `[0, 1]`.
+    pub values: Vec<f64>,
+    /// Start offsets of the two motif occurrences.
+    pub motif_positions: (usize, usize),
+    /// Start offset of the discord segment.
+    pub discord_position: usize,
+}
+
+/// Generates the planted series.
+///
+/// # Panics
+/// Panics when the series is too short to hold two patterns plus the
+/// discord without overlap.
+pub fn generate_series(cfg: &SeriesConfig) -> PlantedSeries {
+    assert!(
+        cfg.len >= 6 * cfg.pattern_len,
+        "series must hold two motifs and a discord without overlap"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Bounded random walk.
+    let mut values = Vec::with_capacity(cfg.len);
+    let mut x = 0.5f64;
+    for _ in 0..cfg.len {
+        x = (x + rng.gen_range(-cfg.noise..cfg.noise)).clamp(0.05, 0.95);
+        values.push(x);
+    }
+
+    // The motif: a distinctive smooth burst, embedded twice with tiny
+    // jitter so the pair is close but not identical.
+    let w = cfg.pattern_len;
+    let pattern: Vec<f64> = (0..w)
+        .map(|i| {
+            let t = i as f64 / w as f64;
+            0.5 + 0.35 * (std::f64::consts::TAU * 2.0 * t).sin() * (1.0 - t)
+        })
+        .collect();
+    let pos_a = cfg.len / 8;
+    let pos_b = cfg.len / 2;
+    for (offset, jitter_seed) in [(pos_a, 1u64), (pos_b, 2u64)] {
+        let mut jr = StdRng::seed_from_u64(cfg.seed ^ jitter_seed);
+        for (i, &p) in pattern.iter().enumerate() {
+            values[offset + i] = (p + jr.gen_range(-0.005..0.005)).clamp(0.0, 1.0);
+        }
+    }
+
+    // The discord: a high-frequency segment unlike anything else.
+    let pos_d = (7 * cfg.len) / 8 - w;
+    for i in 0..w {
+        values[pos_d + i] = if i % 2 == 0 { 0.02 } else { 0.98 };
+    }
+
+    PlantedSeries {
+        values,
+        motif_positions: (pos_a, pos_b),
+        discord_position: pos_d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_bounded_and_deterministic() {
+        let cfg = SeriesConfig::default();
+        let a = generate_series(&cfg);
+        let b = generate_series(&cfg);
+        assert_eq!(a, b);
+        assert!(a.values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(a.values.len(), cfg.len);
+    }
+
+    #[test]
+    fn planted_positions_do_not_overlap() {
+        let s = generate_series(&SeriesConfig::default());
+        let w = SeriesConfig::default().pattern_len;
+        let (a, b) = s.motif_positions;
+        assert!(a + w <= b, "motif occurrences overlap");
+        assert!(b + w <= s.discord_position, "discord overlaps a motif");
+        assert!(s.discord_position + w <= s.values.len());
+    }
+
+    #[test]
+    fn motif_occurrences_are_near_identical() {
+        let s = generate_series(&SeriesConfig::default());
+        let w = SeriesConfig::default().pattern_len;
+        let (a, b) = s.motif_positions;
+        let dist: f64 = (0..w)
+            .map(|i| (s.values[a + i] - s.values[b + i]).powi(2))
+            .sum();
+        assert!(dist < 0.01 * w as f64, "planted pair must be close: {dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two motifs")]
+    fn short_series_rejected() {
+        generate_series(&SeriesConfig {
+            len: 100,
+            pattern_len: 64,
+            noise: 0.01,
+            seed: 1,
+        });
+    }
+}

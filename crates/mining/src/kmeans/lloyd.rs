@@ -1,0 +1,178 @@
+//! `Standard` k-means: Lloyd's algorithm \[48\].
+//!
+//! Assign each point to its nearest center (the full `N × k` distance
+//! table — the transfer of `N·k·d·b` bits the paper profiles), then move
+//! each center to its cluster mean; repeat until assignments stabilize.
+//!
+//! With a [`PimAssist`], the assign step consults `LB_PIM-ED` before every
+//! exact distance (`Standard-PIM`): centers are processed in index order
+//! and skipped when the bound proves they cannot strictly beat the current
+//! best, which preserves Lloyd's exact assignments including lowest-index
+//! tie-breaking.
+
+use simpim_core::CoreError;
+use simpim_similarity::{measures, Dataset};
+use simpim_simkit::OpCounters;
+
+use crate::kmeans::pim::PimAssist;
+use crate::kmeans::{finish, init_centers, update_centers, KmeansConfig, KmeansResult};
+use crate::report::{Architecture, RunReport};
+
+/// Runs Lloyd's algorithm; pass a [`PimAssist`] for the `-PIM` variant.
+pub fn kmeans_lloyd(
+    dataset: &Dataset,
+    cfg: &KmeansConfig,
+    mut pim: Option<&mut PimAssist<'_>>,
+) -> Result<KmeansResult, CoreError> {
+    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+    let arch = if pim.is_some() {
+        Architecture::ReRamPim
+    } else {
+        Architecture::ConventionalDram
+    };
+    let mut report = RunReport::new(arch);
+    let mut centers = init_centers(dataset, cfg.k, cfg.seed);
+    let mut assignments = vec![usize::MAX; dataset.len()];
+    let d = dataset.dim() as u64;
+
+    let mut iterations = 0;
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        if let Some(assist) = pim.as_deref_mut() {
+            assist.refresh(&centers, &mut report)?;
+        }
+
+        // Assign step.
+        let mut ed = OpCounters::new();
+        let mut other = OpCounters::new();
+        let mut changed = false;
+        for (i, row) in dataset.rows().enumerate() {
+            let mut best_sq = f64::INFINITY;
+            let mut best_c = usize::MAX;
+            for (c, center) in centers.iter().enumerate() {
+                if let Some(assist) = pim.as_deref() {
+                    other.prune_test();
+                    if best_c != usize::MAX && assist.lb_sq(i, c) >= best_sq {
+                        continue; // cannot strictly beat the incumbent
+                    }
+                }
+                ed.euclidean_kernel(d, d * 8);
+                let dist_sq = measures::euclidean_sq(row, center);
+                other.prune_test();
+                if dist_sq < best_sq {
+                    best_sq = dist_sq;
+                    best_c = c;
+                }
+            }
+            if assignments[i] != best_c {
+                assignments[i] = best_c;
+                changed = true;
+            }
+        }
+        report.profile.record("ED", ed);
+        report.profile.record("other", other);
+        if !changed {
+            break;
+        }
+
+        // Update step.
+        let mut upd = OpCounters::new();
+        centers = update_centers(dataset, &assignments, &centers, &mut upd);
+        report.profile.record("other", upd);
+    }
+
+    Ok(finish(dataset, assignments, centers, iterations, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_datasets::{generate, SyntheticConfig};
+
+    fn data() -> Dataset {
+        generate(&SyntheticConfig {
+            n: 120,
+            d: 8,
+            clusters: 3,
+            cluster_std: 0.02,
+            stat_uniformity: 0.0,
+            seed: 55,
+        })
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let ds = data();
+        let res = kmeans_lloyd(
+            &ds,
+            &KmeansConfig {
+                k: 3,
+                max_iters: 30,
+                seed: 1,
+            },
+            None,
+        )
+        .unwrap();
+        assert!(res.iterations >= 2);
+        // Points assigned to the same center must be mutually near.
+        assert!(
+            res.inertia / (ds.len() as f64) < 0.01,
+            "inertia {}",
+            res.inertia
+        );
+        assert_eq!(res.assignments.len(), 120);
+        assert_eq!(res.centers.len(), 3);
+    }
+
+    #[test]
+    fn converges_and_stops_early() {
+        let ds = data();
+        let res = kmeans_lloyd(
+            &ds,
+            &KmeansConfig {
+                k: 3,
+                max_iters: 100,
+                seed: 1,
+            },
+            None,
+        )
+        .unwrap();
+        assert!(
+            res.iterations < 100,
+            "well-separated data converges quickly"
+        );
+    }
+
+    #[test]
+    fn profile_is_ed_dominated() {
+        let ds = data();
+        let res = kmeans_lloyd(
+            &ds,
+            &KmeansConfig {
+                k: 8,
+                max_iters: 10,
+                seed: 1,
+            },
+            None,
+        )
+        .unwrap();
+        let params = simpim_simkit::HostParams::default();
+        let (name, frac) = res.report.profile.bottleneck(&params).unwrap();
+        assert_eq!(name, "ED");
+        assert!(frac > 0.5, "ED fraction {frac} (paper: 52–96%)");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = data();
+        let cfg = KmeansConfig {
+            k: 4,
+            max_iters: 20,
+            seed: 9,
+        };
+        let a = kmeans_lloyd(&ds, &cfg, None).unwrap();
+        let b = kmeans_lloyd(&ds, &cfg, None).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

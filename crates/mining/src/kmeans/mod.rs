@@ -1,0 +1,215 @@
+//! k-means clustering algorithms (Section II-C, VI-D).
+//!
+//! All four algorithms (Lloyd / Elkan / Drake / Yinyang) are exact
+//! accelerations of the same iteration: given identical initial centers
+//! they produce identical assignments every iteration — an invariant the
+//! integration tests enforce. Each takes an optional
+//! [`pim::PimAssist`]: when present, `LB_PIM-ED` (recomputed per iteration
+//! for the current centers; the *data* stays programmed, so no crossbar
+//! re-programming) is consulted before every exact ED of the assign step,
+//! yielding the `-PIM` variant of the paper.
+
+pub mod drake;
+pub mod elkan;
+pub mod lloyd;
+pub mod pim;
+pub mod yinyang;
+
+use simpim_similarity::{measures, Dataset};
+use simpim_simkit::OpCounters;
+
+use crate::report::RunReport;
+
+/// Configuration shared by every k-means variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Seed for initial-center selection (the paper fixes the same initial
+    /// centers across algorithms; so do we).
+    pub seed: u64,
+}
+
+impl Default for KmeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 50,
+            seed: 0xC1u64,
+        }
+    }
+}
+
+/// Result of one clustering run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster index per object.
+    pub assignments: Vec<usize>,
+    /// Final centers (k × d).
+    pub centers: Vec<Vec<f64>>,
+    /// Iterations executed (assign+update pairs).
+    pub iterations: usize,
+    /// Sum of squared distances to assigned centers.
+    pub inertia: f64,
+    /// Function profile + PIM timing.
+    pub report: RunReport,
+}
+
+/// Deterministic initial centers: `k` evenly strided rows (identical
+/// across algorithms and architectures, per the paper's methodology).
+pub fn init_centers(dataset: &Dataset, k: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+    let n = dataset.len();
+    let stride = (n / k).max(1);
+    let offset = (seed as usize) % stride.max(1);
+    (0..k)
+        .map(|c| dataset.row((offset + c * stride) % n).to_vec())
+        .collect()
+}
+
+/// Euclidean distance (not squared) between a point and a center, charged
+/// to the `ED` convention: the kernel plus one square root.
+pub(crate) fn exact_dist(p: &[f64], c: &[f64], counters: &mut OpCounters) -> f64 {
+    let d = p.len() as u64;
+    counters.euclidean_kernel(d, d * 8);
+    counters.sqrt += 1;
+    measures::euclidean_sq(p, c).sqrt()
+}
+
+/// The update step: new centers as assigned-point means; clusters left
+/// empty keep their previous center. Charged to `other` (the update step
+/// is never offloaded — it needs exact division).
+pub(crate) fn update_centers(
+    dataset: &Dataset,
+    assignments: &[usize],
+    old: &[Vec<f64>],
+    counters: &mut OpCounters,
+) -> Vec<Vec<f64>> {
+    let k = old.len();
+    let d = dataset.dim();
+    let mut sums = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for (row, &a) in dataset.rows().zip(assignments) {
+        counts[a] += 1;
+        for (s, &v) in sums[a].iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    counters.stream(dataset.len() as u64 * d as u64 * 8);
+    counters.arith += dataset.len() as u64 * d as u64;
+    counters.div += (k * d) as u64;
+    counters.write((k * d) as u64 * 8);
+    sums.into_iter()
+        .zip(counts)
+        .zip(old)
+        .map(|((mut s, c), prev)| {
+            if c == 0 {
+                prev.clone()
+            } else {
+                for v in &mut s {
+                    *v /= c as f64;
+                }
+                s
+            }
+        })
+        .collect()
+}
+
+/// Per-center drift `δ(c) = dist(old_c, new_c)` after an update — the
+/// quantity the triangle-inequality algorithms adjust their bounds by.
+pub(crate) fn center_drifts(
+    old: &[Vec<f64>],
+    new: &[Vec<f64>],
+    counters: &mut OpCounters,
+) -> Vec<f64> {
+    old.iter()
+        .zip(new)
+        .map(|(o, n)| exact_dist(o, n, counters))
+        .collect()
+}
+
+/// Total within-cluster sum of squared distances.
+pub fn inertia(dataset: &Dataset, centers: &[Vec<f64>], assignments: &[usize]) -> f64 {
+    dataset
+        .rows()
+        .zip(assignments)
+        .map(|(row, &a)| measures::euclidean_sq(row, &centers[a]))
+        .sum()
+}
+
+/// Wraps up a finished run.
+pub(crate) fn finish(
+    dataset: &Dataset,
+    assignments: Vec<usize>,
+    centers: Vec<Vec<f64>>,
+    iterations: usize,
+    report: RunReport,
+) -> KmeansResult {
+    let inertia = inertia(dataset, &centers, &assignments);
+    KmeansResult {
+        assignments,
+        centers,
+        iterations,
+        inertia,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.1],
+            vec![0.2, 0.1],
+            vec![0.8, 0.9],
+            vec![0.9, 0.8],
+            vec![0.15, 0.12],
+            vec![0.85, 0.88],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn init_is_deterministic_and_strided() {
+        let c1 = init_centers(&ds(), 3, 7);
+        let c2 = init_centers(&ds(), 3, 7);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), 3);
+        assert_ne!(init_centers(&ds(), 3, 8), c1);
+    }
+
+    #[test]
+    fn update_takes_means_and_preserves_empty() {
+        let mut c = OpCounters::new();
+        let old = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![0.3, 0.3]];
+        // Cluster 2 receives no points.
+        let assignments = vec![0, 0, 1, 1, 0, 1];
+        let new = update_centers(&ds(), &assignments, &old, &mut c);
+        assert!((new[0][0] - (0.1 + 0.2 + 0.15) / 3.0).abs() < 1e-12);
+        assert_eq!(new[2], old[2], "empty cluster keeps its center");
+        assert!(c.div > 0);
+        assert!(c.bytes_written > 0);
+    }
+
+    #[test]
+    fn drift_is_center_movement() {
+        let mut c = OpCounters::new();
+        let old = vec![vec![0.0, 0.0]];
+        let new = vec![vec![3.0, 4.0]];
+        let drifts = center_drifts(&old, &new, &mut c);
+        assert!((drifts[0] - 5.0).abs() < 1e-12);
+        assert_eq!(c.sqrt, 1);
+    }
+
+    #[test]
+    fn inertia_of_perfect_assignment_is_small() {
+        let data = ds();
+        let centers = vec![vec![0.15, 0.11], vec![0.85, 0.8866]];
+        let assignments = vec![0, 0, 1, 1, 0, 1];
+        assert!(inertia(&data, &centers, &assignments) < 0.02);
+    }
+}

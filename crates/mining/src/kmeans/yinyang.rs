@@ -1,0 +1,329 @@
+//! Yinyang k-means \[29\]: global + group filtering.
+//!
+//! Centers are partitioned once into `t = ⌈k/10⌉` groups (by clustering
+//! the initial centers themselves); each point keeps one upper bound and
+//! one lower bound **per group** instead of Elkan's per-center bounds.
+//! The global filter skips a point when its upper bound undercuts every
+//! group bound; surviving points only scan groups whose bound is violated.
+//! Fewer bounds mean cheaper maintenance than Elkan, but on
+//! high-dimensional data the surviving exact-ED work grows — exactly the
+//! gap `Yinyang-PIM` closes (up to 4.9× in the paper).
+//!
+//! With a [`PimAssist`], `LB_PIM-ED` guards every exact distance inside a
+//! group scan; a skipped center contributes its PIM bound to the group's
+//! new lower bound, which keeps the filter sound.
+
+use simpim_core::CoreError;
+use simpim_similarity::{measures, Dataset};
+use simpim_simkit::OpCounters;
+
+use crate::kmeans::pim::PimAssist;
+use crate::kmeans::{
+    center_drifts, exact_dist, finish, init_centers, update_centers, KmeansConfig, KmeansResult,
+};
+use crate::report::{Architecture, RunReport};
+
+/// Groups the initial centers into `t` clusters with a few Lloyd passes
+/// over the centers themselves (the grouping the Yinyang paper prescribes).
+fn group_centers(centers: &[Vec<f64>], t: usize, counters: &mut OpCounters) -> Vec<usize> {
+    let k = centers.len();
+    if t >= k {
+        return (0..k).collect();
+    }
+    let mut seeds: Vec<Vec<f64>> = (0..t).map(|g| centers[g * k / t].clone()).collect();
+    let mut groups = vec![0usize; k];
+    for _ in 0..4 {
+        for (c, center) in centers.iter().enumerate() {
+            let mut best = f64::INFINITY;
+            for (g, seed) in seeds.iter().enumerate() {
+                counters.euclidean_kernel(center.len() as u64, center.len() as u64 * 8);
+                let dist = measures::euclidean_sq(center, seed);
+                if dist < best {
+                    best = dist;
+                    groups[c] = g;
+                }
+            }
+        }
+        // Recompute seeds as group means.
+        let d = centers[0].len();
+        let mut sums = vec![vec![0.0f64; d]; t];
+        let mut counts = vec![0usize; t];
+        for (c, &g) in groups.iter().enumerate() {
+            counts[g] += 1;
+            for (s, &v) in sums[g].iter_mut().zip(&centers[c]) {
+                *s += v;
+            }
+        }
+        for g in 0..t {
+            if counts[g] > 0 {
+                for v in &mut sums[g] {
+                    *v /= counts[g] as f64;
+                }
+                seeds[g] = sums[g].clone();
+            }
+        }
+    }
+    groups
+}
+
+/// Runs Yinyang k-means; pass a [`PimAssist`] for `Yinyang-PIM`.
+pub fn kmeans_yinyang(
+    dataset: &Dataset,
+    cfg: &KmeansConfig,
+    mut pim: Option<&mut PimAssist<'_>>,
+) -> Result<KmeansResult, CoreError> {
+    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+    let arch = if pim.is_some() {
+        Architecture::ReRamPim
+    } else {
+        Architecture::ConventionalDram
+    };
+    let mut report = RunReport::new(arch);
+    let k = cfg.k;
+    let n = dataset.len();
+    let t = k.div_ceil(10).max(1);
+    let mut centers = init_centers(dataset, k, cfg.seed);
+
+    let mut grouping_counters = OpCounters::new();
+    let group_of = group_centers(&centers, t, &mut grouping_counters);
+    report.profile.record("other", grouping_counters);
+
+    // Initial exact pass: assignments, ub, per-group lb.
+    let mut assignments = vec![0usize; n];
+    let mut ub = vec![0.0f64; n];
+    let mut lb = vec![f64::INFINITY; n * t]; // min dist to non-assigned centers per group
+    {
+        if let Some(assist) = pim.as_deref_mut() {
+            assist.refresh(&centers, &mut report)?;
+        }
+        let mut ed = OpCounters::new();
+        let mut other = OpCounters::new();
+        for (i, row) in dataset.rows().enumerate() {
+            // Exact distances (or PIM bounds for clearly-far centers).
+            let mut best = f64::INFINITY;
+            let mut best_c = usize::MAX;
+            let mut values = vec![0.0f64; k];
+            for (c, center) in centers.iter().enumerate() {
+                values[c] = if let Some(assist) = pim.as_deref() {
+                    other.prune_test();
+                    let lb_pim = assist.lb_dist(i, c);
+                    if best_c != usize::MAX && lb_pim >= best {
+                        lb_pim
+                    } else {
+                        let dist = exact_dist(row, center, &mut ed);
+                        other.prune_test();
+                        if dist < best {
+                            best = dist;
+                            best_c = c;
+                        }
+                        dist
+                    }
+                } else {
+                    let dist = exact_dist(row, center, &mut ed);
+                    other.prune_test();
+                    if dist < best {
+                        best = dist;
+                        best_c = c;
+                    }
+                    dist
+                };
+            }
+            assignments[i] = best_c;
+            ub[i] = best;
+            for c in 0..k {
+                if c != best_c {
+                    let g = group_of[c];
+                    lb[i * t + g] = lb[i * t + g].min(values[c]);
+                }
+            }
+        }
+        report.profile.record("ED", ed);
+        report.profile.record("other", other);
+    }
+
+    let mut iterations = 1;
+    for _ in 1..cfg.max_iters {
+        let mut upd = OpCounters::new();
+        let new_centers = update_centers(dataset, &assignments, &centers, &mut upd);
+        report.profile.record("other", upd);
+
+        let mut bound_upd = OpCounters::new();
+        let drifts = center_drifts(&centers, &new_centers, &mut bound_upd);
+        let mut group_drift = vec![0.0f64; t];
+        for (c, &dr) in drifts.iter().enumerate() {
+            group_drift[group_of[c]] = group_drift[group_of[c]].max(dr);
+        }
+        for i in 0..n {
+            ub[i] += drifts[assignments[i]];
+            for g in 0..t {
+                lb[i * t + g] = (lb[i * t + g] - group_drift[g]).max(0.0);
+            }
+        }
+        bound_upd.arith += (n * (t + 1)) as u64;
+        bound_upd.stream((n * t) as u64 * 8);
+        bound_upd.write((n * t) as u64 * 8);
+        report.profile.record("bound update", bound_upd);
+        centers = new_centers;
+
+        if drifts.iter().all(|&d| d == 0.0) {
+            break;
+        }
+
+        iterations += 1;
+        if let Some(assist) = pim.as_deref_mut() {
+            assist.refresh(&centers, &mut report)?;
+        }
+
+        let mut ed = OpCounters::new();
+        let mut other = OpCounters::new();
+        let mut changed = false;
+        for (i, row) in dataset.rows().enumerate() {
+            let min_lb = (0..t).map(|g| lb[i * t + g]).fold(f64::INFINITY, f64::min);
+            other.prune_test();
+            if ub[i] <= min_lb {
+                continue; // global filter
+            }
+            ub[i] = exact_dist(row, &centers[assignments[i]], &mut ed);
+            other.prune_test();
+            if ub[i] <= min_lb {
+                continue;
+            }
+            let old = assignments[i];
+            for g in 0..t {
+                other.prune_test();
+                if lb[i * t + g] >= ub[i] {
+                    continue; // group filter (bound stays valid)
+                }
+                let mut new_lb = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    if group_of[c] != g || c == assignments[i] {
+                        continue;
+                    }
+                    if let Some(assist) = pim.as_deref() {
+                        other.prune_test();
+                        let lb_pim = assist.lb_dist(i, c);
+                        if lb_pim >= ub[i] {
+                            new_lb = new_lb.min(lb_pim);
+                            continue; // PIM filter
+                        }
+                    }
+                    let dist = exact_dist(row, center, &mut ed);
+                    other.prune_test();
+                    if dist < ub[i] {
+                        // The displaced assignment feeds its group's bound.
+                        let (old_a, old_ub) = (assignments[i], ub[i]);
+                        assignments[i] = c;
+                        ub[i] = dist;
+                        if group_of[old_a] == g {
+                            new_lb = new_lb.min(old_ub);
+                        } else {
+                            let og = group_of[old_a];
+                            lb[i * t + og] = lb[i * t + og].min(old_ub);
+                        }
+                    } else {
+                        new_lb = new_lb.min(dist);
+                    }
+                }
+                lb[i * t + g] = new_lb;
+            }
+            if assignments[i] != old {
+                changed = true;
+            }
+        }
+        report.profile.record("ED", ed);
+        report.profile.record("other", other);
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(finish(dataset, assignments, centers, iterations, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::lloyd::kmeans_lloyd;
+    use simpim_datasets::{generate, SyntheticConfig};
+
+    fn data() -> Dataset {
+        generate(&SyntheticConfig {
+            n: 160,
+            d: 12,
+            clusters: 4,
+            cluster_std: 0.02,
+            stat_uniformity: 0.0,
+            seed: 72,
+        })
+    }
+
+    #[test]
+    fn matches_lloyd_exactly() {
+        let ds = data();
+        for k in [3usize, 6, 12] {
+            let cfg = KmeansConfig {
+                k,
+                max_iters: 40,
+                seed: 5,
+            };
+            let lloyd = kmeans_lloyd(&ds, &cfg, None).unwrap();
+            let yy = kmeans_yinyang(&ds, &cfg, None).unwrap();
+            assert_eq!(yy.assignments, lloyd.assignments, "k={k}");
+            assert!((yy.inertia - lloyd.inertia).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fewer_exact_distances_than_lloyd() {
+        let ds = data();
+        let cfg = KmeansConfig {
+            k: 12,
+            max_iters: 40,
+            seed: 5,
+        };
+        let lloyd = kmeans_lloyd(&ds, &cfg, None).unwrap();
+        let yy = kmeans_yinyang(&ds, &cfg, None).unwrap();
+        let l = lloyd.report.profile.get("ED").unwrap().counters.mul;
+        let y = yy.report.profile.get("ED").unwrap().counters.mul;
+        assert!(y < l, "{y} !< {l}");
+    }
+
+    #[test]
+    fn lighter_bound_maintenance_than_elkan() {
+        use crate::kmeans::elkan::kmeans_elkan;
+        let ds = data();
+        let cfg = KmeansConfig {
+            k: 12,
+            max_iters: 40,
+            seed: 5,
+        };
+        let elkan = kmeans_elkan(&ds, &cfg, None).unwrap();
+        let yy = kmeans_yinyang(&ds, &cfg, None).unwrap();
+        let e = elkan
+            .report
+            .profile
+            .get("bound update")
+            .unwrap()
+            .counters
+            .bytes_written;
+        let y = yy
+            .report
+            .profile
+            .get("bound update")
+            .unwrap()
+            .counters
+            .bytes_written;
+        assert!(y < e, "t = ⌈k/10⌉ bounds vs k bounds: {y} !< {e}");
+    }
+
+    #[test]
+    fn grouping_covers_all_centers() {
+        let centers: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0; 4]).collect();
+        let mut c = OpCounters::new();
+        let groups = group_centers(&centers, 2, &mut c);
+        assert_eq!(groups.len(), 20);
+        assert!(groups.iter().all(|&g| g < 2));
+        // Both groups used on spread-out centers.
+        assert!(groups.contains(&0) && groups.contains(&1));
+    }
+}

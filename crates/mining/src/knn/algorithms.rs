@@ -1,0 +1,106 @@
+//! Named kNN algorithm constructors: the bound cascades of the paper's
+//! baselines.
+//!
+//! * `OST` \[24\]: one `LB_OST` filter with split point `d/2`.
+//! * `SM` \[25\]: one `LB_SM` filter at `d/4` segments.
+//! * `FNN` \[26\]: the three-level `LB_FNN^{d/64} → LB_FNN^{d/16} →
+//!   LB_FNN^{d/4}` pipeline of Fig. 12(a).
+//!
+//! Dimensionalities that are not exact multiples use the nearest divisor
+//! (`simpim-similarity::segments::nearest_divisor`), matching how the
+//! original implementations round their segment counts.
+
+use simpim_bounds::part::PartTarget;
+use simpim_bounds::{BoundCascade, FnnBound, OstBound, PartBound, SmBound};
+use simpim_similarity::segments::nearest_divisor;
+use simpim_similarity::{Dataset, Measure, SimilarityError};
+
+/// The FNN cascade's segment counts for dimensionality `d`:
+/// nearest divisors to `d/64`, `d/16`, `d/4`, deduplicated and ascending.
+pub fn fnn_levels(d: usize) -> Vec<usize> {
+    let mut levels: Vec<usize> = [64usize, 16, 4]
+        .iter()
+        .map(|&f| nearest_divisor(d, (d / f).max(1)))
+        .collect();
+    levels.sort_unstable();
+    levels.dedup();
+    levels
+}
+
+/// Builds the `OST` cascade (split at `d/2`).
+pub fn ost_cascade(dataset: &Dataset) -> Result<BoundCascade, SimilarityError> {
+    let d = dataset.dim();
+    Ok(BoundCascade::new(vec![Box::new(OstBound::build(
+        dataset,
+        (d / 2).max(1),
+    )?)]))
+}
+
+/// Builds the `SM` cascade (`d/4` segments).
+pub fn sm_cascade(dataset: &Dataset) -> Result<BoundCascade, SimilarityError> {
+    let d = dataset.dim();
+    let segs = nearest_divisor(d, (d / 4).max(1));
+    Ok(BoundCascade::new(vec![Box::new(SmBound::build(
+        dataset, segs,
+    )?)]))
+}
+
+/// Builds the `FNN` cascade (Fig. 12a).
+pub fn fnn_cascade(dataset: &Dataset) -> Result<BoundCascade, SimilarityError> {
+    let mut stages: Vec<Box<dyn simpim_bounds::BoundStage>> = Vec::new();
+    for segs in fnn_levels(dataset.dim()) {
+        stages.push(Box::new(FnnBound::build(dataset, segs)?));
+    }
+    Ok(BoundCascade::new(stages))
+}
+
+/// Builds the maximum-similarity cascade (`UB_part` at `d/2`) for CS/PCC
+/// kNN.
+pub fn part_cascade(dataset: &Dataset, measure: Measure) -> Result<BoundCascade, SimilarityError> {
+    let target = match measure {
+        Measure::Cosine => PartTarget::Cosine,
+        Measure::Pearson => PartTarget::Pearson,
+        _ => PartTarget::Dot,
+    };
+    let d = dataset.dim();
+    Ok(BoundCascade::new(vec![Box::new(PartBound::build(
+        dataset,
+        (d / 2).max(1),
+        target,
+    )?)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnn_levels_match_paper_on_msd() {
+        // d = 420: nearest divisors to 6, 26, 105 → 6, 28, 105; the paper
+        // names these LB_FNN^7-ish levels (420/64 ≈ 6.6).
+        assert_eq!(fnn_levels(420), vec![6, 28, 105]);
+        // Power-of-two d is exact: 1024 → 16, 64, 256.
+        assert_eq!(fnn_levels(1024), vec![16, 64, 256]);
+        // Tiny d degenerates without duplicates.
+        assert_eq!(fnn_levels(4), vec![1]);
+    }
+
+    #[test]
+    fn cascades_build_on_awkward_dims() {
+        let ds = Dataset::from_rows(&[vec![0.5; 150], vec![0.4; 150]]).unwrap();
+        assert_eq!(fnn_cascade(&ds).unwrap().len(), fnn_levels(150).len());
+        assert_eq!(ost_cascade(&ds).unwrap().len(), 1);
+        assert_eq!(sm_cascade(&ds).unwrap().len(), 1);
+        assert_eq!(part_cascade(&ds, Measure::Cosine).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fnn_cascade_is_ordered_coarse_to_fine() {
+        let ds = Dataset::from_rows(&[vec![0.5; 64], vec![0.4; 64]]).unwrap();
+        let c = fnn_cascade(&ds).unwrap();
+        let dps: Vec<usize> = c.stages().map(|s| s.d_prime()).collect();
+        let mut sorted = dps.clone();
+        sorted.sort_unstable();
+        assert_eq!(dps, sorted);
+    }
+}

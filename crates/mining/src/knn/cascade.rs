@@ -1,0 +1,222 @@
+//! The shared filter-and-refinement kNN engine.
+//!
+//! 1. **Warm-up**: evaluate the first `k` objects exactly to seed the
+//!    candidate pool and its pruning threshold `τ`.
+//! 2. **Filtering**: apply the cascade's bounds in order; an object whose
+//!    bound proves it cannot beat `τ` is dropped. `τ` only tightens over
+//!    time, so every prune is safe (filter-and-refinement, Section II-C).
+//! 3. **Refinement**: evaluate survivors exactly (random fetches — they
+//!    are scattered in memory), updating the pool and `τ` as it shrinks.
+//!
+//! Instantiated with the right cascade this engine *is* OST / SM / FNN
+//! (see [`crate::knn::algorithms`]), and with a PIM bound batch spliced in
+//! front it is the `-PIM` variant ([`crate::knn::pim`]).
+
+use simpim_bounds::{BoundCascade, BoundDirection};
+use simpim_similarity::{Dataset, Measure};
+use simpim_simkit::OpCounters;
+
+use crate::knn::{exact_eval, KnnResult, TopK};
+use crate::report::{Architecture, RunReport};
+
+/// Converts a bound stage's per-object [`simpim_bounds::EvalCost`] into
+/// counters for `objects` evaluations.
+pub(crate) fn charge_stage(
+    cost: &simpim_bounds::EvalCost,
+    objects: u64,
+    counters: &mut OpCounters,
+) {
+    counters.arith += cost.arith * objects;
+    counters.mul += cost.mul * objects;
+    counters.div += cost.div * objects;
+    counters.sqrt += cost.sqrt * objects;
+    counters.stream(cost.bytes * objects);
+}
+
+/// Runs filter-and-refinement kNN with `cascade` over `dataset`. The
+/// cascade direction must match the measure (lower bounds for distances,
+/// upper bounds for similarities); results are exact.
+pub fn knn_cascade(
+    dataset: &Dataset,
+    cascade: &BoundCascade,
+    query: &[f64],
+    k: usize,
+    measure: Measure,
+) -> KnnResult {
+    assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+    assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
+    if let Some(dir) = cascade.direction() {
+        let expected = if measure.smaller_is_closer() {
+            BoundDirection::LowerBoundsDistance
+        } else {
+            BoundDirection::UpperBoundsSimilarity
+        };
+        assert_eq!(dir, expected, "cascade direction must match the measure");
+    }
+
+    let mut report = RunReport::new(Architecture::ConventionalDram);
+    let mut top = TopK::new(k, measure.smaller_is_closer());
+    let mut other = OpCounters::new();
+    let mut exact_counters = OpCounters::new();
+    let n = dataset.len();
+
+    if cascade.is_empty() {
+        // Degenerate cascade: plain linear scan.
+        for i in 0..n {
+            let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+            other.prune_test();
+            top.offer(i, v);
+        }
+        report.profile.record(measure.name(), exact_counters);
+        report.profile.record("other", other);
+        return KnnResult {
+            neighbors: top.into_sorted(),
+            report,
+        };
+    }
+
+    let prepared = cascade.prepare(query);
+    let stages: Vec<&dyn simpim_bounds::BoundStage> = cascade.stages().collect();
+
+    // First stage over every object, then best-bound-first refinement: the
+    // pruning threshold tightens fastest this way, and once the sorted
+    // first-stage bound crosses it, *every* remaining candidate is pruned.
+    let mut first_counters = OpCounters::new();
+    charge_stage(&stages[0].eval_cost(), n as u64, &mut first_counters);
+    let mut order: Vec<(f64, usize)> = (0..n).map(|i| (prepared[0].bound(i), i)).collect();
+    report.profile.record(&stages[0].name(), first_counters);
+    order.sort_by(|a, b| {
+        let ord = a.0.partial_cmp(&b.0).expect("finite bounds");
+        if measure.smaller_is_closer() {
+            ord.then(a.1.cmp(&b.1))
+        } else {
+            ord.reverse().then(a.1.cmp(&b.1))
+        }
+    });
+    other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
+
+    let mut stage_evals = vec![0u64; stages.len()];
+    'walk: for &(bound1, i) in &order {
+        other.prune_test();
+        if top.prunable(bound1) {
+            break 'walk; // sorted: everything after is prunable too
+        }
+        for (si, prep) in prepared.iter().enumerate().skip(1) {
+            stage_evals[si] += 1;
+            other.prune_test();
+            if top.prunable(prep.bound(i)) {
+                continue 'walk;
+            }
+        }
+        exact_counters.random_fetches += 1;
+        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+        other.prune_test();
+        top.offer(i, v);
+    }
+    for (si, stage) in stages.iter().enumerate().skip(1) {
+        let mut c = OpCounters::new();
+        charge_stage(&stage.eval_cost(), stage_evals[si], &mut c);
+        report.profile.record(&stage.name(), c);
+    }
+
+    report.profile.record(measure.name(), exact_counters);
+    report.profile.record("other", other);
+    KnnResult {
+        neighbors: top.into_sorted(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::standard::knn_standard;
+    use simpim_bounds::{FnnBound, OstBound, PartBound, SmBound};
+    use simpim_datasets::{generate, sample_queries, SyntheticConfig};
+
+    fn workload() -> (Dataset, Vec<Vec<f64>>) {
+        let ds = generate(&SyntheticConfig {
+            n: 300,
+            d: 64,
+            clusters: 6,
+            cluster_std: 0.04,
+            stat_uniformity: 0.0,
+            seed: 21,
+        });
+        let qs = sample_queries(&ds, 5, 0.02, 77);
+        (ds, qs)
+    }
+
+    #[test]
+    fn every_ed_cascade_matches_linear_scan() {
+        let (ds, qs) = workload();
+        let cascades: Vec<(&str, BoundCascade)> = vec![
+            (
+                "OST",
+                BoundCascade::new(vec![Box::new(OstBound::build(&ds, 16).unwrap())]),
+            ),
+            (
+                "SM",
+                BoundCascade::new(vec![Box::new(SmBound::build(&ds, 8).unwrap())]),
+            ),
+            (
+                "FNN",
+                BoundCascade::new(vec![
+                    Box::new(FnnBound::build(&ds, 1).unwrap()),
+                    Box::new(FnnBound::build(&ds, 4).unwrap()),
+                    Box::new(FnnBound::build(&ds, 16).unwrap()),
+                ]),
+            ),
+            ("empty", BoundCascade::empty()),
+        ];
+        for q in &qs {
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            for (name, cascade) in &cascades {
+                let got = knn_cascade(&ds, cascade, q, 10, Measure::EuclideanSq);
+                assert_eq!(got.indices(), truth.indices(), "{name} must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_cascade_matches_scan() {
+        let (ds, qs) = workload();
+        for (measure, target) in [
+            (Measure::Cosine, simpim_bounds::part::PartTarget::Cosine),
+            (Measure::Pearson, simpim_bounds::part::PartTarget::Pearson),
+        ] {
+            let cascade =
+                BoundCascade::new(vec![Box::new(PartBound::build(&ds, 16, target).unwrap())]);
+            for q in &qs {
+                let truth = knn_standard(&ds, q, 10, measure);
+                let got = knn_cascade(&ds, &cascade, q, 10, measure);
+                assert_eq!(got.indices(), truth.indices(), "{measure:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filtering_reduces_exact_evaluations() {
+        let (ds, qs) = workload();
+        let cascade = BoundCascade::new(vec![Box::new(FnnBound::build(&ds, 16).unwrap())]);
+        let scan = knn_standard(&ds, &qs[0], 10, Measure::EuclideanSq);
+        let filtered = knn_cascade(&ds, &cascade, &qs[0], 10, Measure::EuclideanSq);
+        let scan_ed = scan.report.profile.get("ED").unwrap().counters.mul;
+        let filt_ed = filtered.report.profile.get("ED").unwrap().counters.mul;
+        assert!(
+            filt_ed < scan_ed / 2,
+            "cascade must prune most exact work: {filt_ed} vs {scan_ed}"
+        );
+        assert!(filtered.report.profile.get("LB_FNN^16").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "direction")]
+    fn direction_mismatch_rejected() {
+        let (ds, qs) = workload();
+        let cascade = BoundCascade::new(vec![Box::new(
+            PartBound::build(&ds, 8, simpim_bounds::part::PartTarget::Cosine).unwrap(),
+        )]);
+        knn_cascade(&ds, &cascade, &qs[0], 5, Measure::EuclideanSq);
+    }
+}

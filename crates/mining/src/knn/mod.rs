@@ -1,0 +1,201 @@
+//! kNN classification algorithms (Section II-C, VI-C).
+
+pub mod algorithms;
+pub mod cascade;
+pub mod hamming;
+pub mod pim;
+pub mod standard;
+
+use simpim_similarity::{measures, Measure};
+use simpim_simkit::OpCounters;
+
+use crate::report::RunReport;
+
+/// The result of one kNN query: the exact k nearest objects (best first,
+/// ties broken by index) and the run's instrumentation.
+#[derive(Debug, Clone)]
+pub struct KnnResult {
+    /// `(object index, measure value)` pairs, best first.
+    pub neighbors: Vec<(usize, f64)>,
+    /// Function profile + PIM timing of the query.
+    pub report: RunReport,
+}
+
+impl KnnResult {
+    /// The neighbor indices only.
+    pub fn indices(&self) -> Vec<usize> {
+        self.neighbors.iter().map(|&(i, _)| i).collect()
+    }
+}
+
+/// Ordered candidate pool of size k — a simple sorted vector, which for
+/// the small `k` of kNN (1–100) beats a binary heap and keeps deterministic
+/// tie-breaking (by index).
+#[derive(Debug, Clone)]
+pub(crate) struct TopK {
+    entries: Vec<(usize, f64)>, // sorted best-first
+    k: usize,
+    smaller_is_closer: bool,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize, smaller_is_closer: bool) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self {
+            entries: Vec::with_capacity(k + 1),
+            k,
+            smaller_is_closer,
+        }
+    }
+
+    fn better(&self, a: f64, ai: usize, b: f64, bi: usize) -> bool {
+        if a != b {
+            if self.smaller_is_closer {
+                a < b
+            } else {
+                a > b
+            }
+        } else {
+            ai < bi
+        }
+    }
+
+    /// Offers a candidate; returns `true` when it entered the pool.
+    pub(crate) fn offer(&mut self, idx: usize, value: f64) -> bool {
+        if self.entries.len() == self.k {
+            let (wi, wv) = *self.entries.last().expect("non-empty at k");
+            if !self.better(value, idx, wv, wi) {
+                return false;
+            }
+        }
+        let pos = self
+            .entries
+            .partition_point(|&(ei, ev)| self.better(ev, ei, value, idx));
+        self.entries.insert(pos, (idx, value));
+        if self.entries.len() > self.k {
+            self.entries.pop();
+        }
+        true
+    }
+
+    /// Current pruning threshold: the k-th best value (or the worst
+    /// possible value while the pool is underfull).
+    pub(crate) fn threshold(&self) -> f64 {
+        if self.entries.len() < self.k {
+            if self.smaller_is_closer {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else {
+            self.entries.last().expect("non-empty").1
+        }
+    }
+
+    /// `true` when a bound value proves an object cannot enter the pool.
+    pub(crate) fn prunable(&self, bound: f64) -> bool {
+        if self.smaller_is_closer {
+            bound > self.threshold()
+        } else {
+            bound < self.threshold()
+        }
+    }
+
+    pub(crate) fn into_sorted(self) -> Vec<(usize, f64)> {
+        self.entries
+    }
+}
+
+/// Evaluates a measure exactly and charges the per-object cost convention:
+/// ED streams the candidate and runs the subtract-multiply-add kernel;
+/// CS/PCC run the dot kernel plus the precomputed-statistics combination.
+pub(crate) fn exact_eval(measure: Measure, p: &[f64], q: &[f64], counters: &mut OpCounters) -> f64 {
+    let d = p.len() as u64;
+    match measure {
+        Measure::EuclideanSq => {
+            counters.euclidean_kernel(d, d * 8);
+            measures::euclidean_sq(p, q)
+        }
+        Measure::Cosine => {
+            counters.dot_kernel(d, d * 8);
+            counters.stream(8); // precomputed ‖p‖
+            counters.div += 1;
+            measures::cosine(p, q)
+        }
+        Measure::Pearson => {
+            counters.dot_kernel(d, d * 8);
+            counters.stream(16); // precomputed Φa(p), Φb(p)
+            counters.arith += 2;
+            counters.mul += 2;
+            counters.div += 1;
+            measures::pearson(p, q)
+        }
+        Measure::Hamming => panic!("use knn::hamming for binary codes"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_k_best_distances() {
+        let mut t = TopK::new(3, true);
+        for (i, v) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            t.offer(i, *v);
+        }
+        let out = t.into_sorted();
+        assert_eq!(
+            out.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 3, 4]
+        );
+    }
+
+    #[test]
+    fn topk_similarity_direction() {
+        let mut t = TopK::new(2, false);
+        for (i, v) in [0.1, 0.9, 0.5].iter().enumerate() {
+            t.offer(i, *v);
+        }
+        assert_eq!(
+            t.into_sorted().iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn topk_tie_breaks_by_index() {
+        let mut t = TopK::new(2, true);
+        t.offer(5, 1.0);
+        t.offer(2, 1.0);
+        t.offer(9, 1.0);
+        assert_eq!(
+            t.into_sorted().iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+    }
+
+    #[test]
+    fn threshold_and_prunable() {
+        let mut t = TopK::new(2, true);
+        assert_eq!(t.threshold(), f64::INFINITY);
+        assert!(!t.prunable(1e18));
+        t.offer(0, 1.0);
+        t.offer(1, 2.0);
+        assert_eq!(t.threshold(), 2.0);
+        assert!(t.prunable(2.5));
+        assert!(!t.prunable(2.0)); // equal bound cannot prove exclusion
+    }
+
+    #[test]
+    fn exact_eval_charges_costs() {
+        let mut c = OpCounters::new();
+        let v = exact_eval(Measure::EuclideanSq, &[0.0, 0.0], &[3.0, 4.0], &mut c);
+        assert_eq!(v, 25.0);
+        assert_eq!(c.bytes_streamed, 16);
+        assert_eq!(c.mul, 2);
+        let mut c2 = OpCounters::new();
+        exact_eval(Measure::Cosine, &[1.0, 0.0], &[1.0, 0.0], &mut c2);
+        assert_eq!(c2.div, 1);
+    }
+}

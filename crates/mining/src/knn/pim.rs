@@ -1,0 +1,334 @@
+//! PIM-optimized kNN (Section VI-C).
+//!
+//! The PIM-aware bound batch replaces the algorithm's bottleneck bound:
+//! the crossbars produce `LB_PIM-ED` / `LB_PIM-FNN^s` (or `UB_PIM-CS` /
+//! `UB_PIM-PCC`) for *every* object in one shot, the host evaluates the
+//! O(1) combination `G` per object (3·b bits of traffic, Fig. 8), and
+//! surviving candidates refine exactly on the host. Any *retained*
+//! original bounds (FNN-PIM keeps its finer levels; FNN-PIM-optimize drops
+//! them per the Section V-D plan) run between the PIM filter and the
+//! refinement. Results are identical to the baselines — the bounds are
+//! provably correct (Theorems 1–2).
+//!
+//! For Hamming distance the PIM result *is* the exact distance (Table 4),
+//! so there is no refinement at all; the host merely selects the k
+//! smallest of `N` 64-bit results (Fig. 14's "loading two dot-product
+//! results ≈ 64 bits per object").
+
+use simpim_bounds::{BoundCascade, BoundDirection};
+use simpim_core::{CoreError, PimExecutor};
+use simpim_similarity::{BinaryDataset, BinaryVecRef, Dataset, Measure};
+use simpim_simkit::OpCounters;
+
+use crate::knn::cascade::charge_stage;
+use crate::knn::{exact_eval, KnnResult, TopK};
+use crate::report::{Architecture, RunReport};
+
+/// Charges the host-side cost of combining one PIM batch: per object, the
+/// Φ/dot reads plus the O(1) arithmetic of `G`.
+fn charge_g(objects: u64, bytes_per_object: u64, counters: &mut OpCounters) {
+    counters.stream(objects * bytes_per_object);
+    counters.arith += 4 * objects;
+    counters.mul += 2 * objects;
+}
+
+/// PIM-accelerated kNN under squared ED: PIM bound filter → retained
+/// original bounds → exact refinement. `executor` must have been prepared
+/// (`prepare_euclidean` / `prepare_fnn`) over exactly `dataset`'s rows.
+pub fn knn_pim_ed(
+    executor: &mut PimExecutor,
+    dataset: &Dataset,
+    retained: &BoundCascade,
+    query: &[f64],
+    k: usize,
+) -> Result<KnnResult, CoreError> {
+    assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+    assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
+    if let Some(dir) = retained.direction() {
+        assert_eq!(
+            dir,
+            BoundDirection::LowerBoundsDistance,
+            "retained bounds must be ED lower bounds"
+        );
+    }
+
+    let mut report = RunReport::new(Architecture::ReRamPim);
+    let mut top = TopK::new(k, true);
+    let mut other = OpCounters::new();
+    let mut exact_counters = OpCounters::new();
+    let n = dataset.len();
+
+    // PIM bound batch over the whole dataset (one shot on the crossbars).
+    let batch = executor.lb_ed_batch(query)?;
+    report.pim.add(&batch.timing);
+    let mut g_counters = OpCounters::new();
+    charge_g(n as u64, batch.host_bytes_per_object, &mut g_counters);
+    report
+        .profile
+        .record(&format!("G({})", executor.bound_name()), g_counters);
+
+    // Best-bound-first refinement (see `knn::cascade` for the rationale).
+    let mut order: Vec<(f64, usize)> = batch
+        .values
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
+
+    let prepared: Vec<_> = retained.stages().map(|s| s.prepare(query)).collect();
+    let stage_list: Vec<&dyn simpim_bounds::BoundStage> = retained.stages().collect();
+    let mut stage_evals = vec![0u64; stage_list.len()];
+
+    'walk: for &(lb, i) in &order {
+        other.prune_test();
+        if top.prunable(lb) {
+            break 'walk; // sorted PIM bounds: the rest are pruned too
+        }
+        for (si, prep) in prepared.iter().enumerate() {
+            stage_evals[si] += 1;
+            other.prune_test();
+            if top.prunable(prep.bound(i)) {
+                continue 'walk;
+            }
+        }
+        exact_counters.random_fetches += 1;
+        let v = exact_eval(
+            Measure::EuclideanSq,
+            dataset.row(i),
+            query,
+            &mut exact_counters,
+        );
+        other.prune_test();
+        top.offer(i, v);
+    }
+    for (si, stage) in stage_list.iter().enumerate() {
+        let mut c = OpCounters::new();
+        charge_stage(&stage.eval_cost(), stage_evals[si], &mut c);
+        report.profile.record(&stage.name(), c);
+    }
+
+    report.profile.record("ED", exact_counters);
+    report.profile.record("other", other);
+    Ok(KnnResult {
+        neighbors: top.into_sorted(),
+        report,
+    })
+}
+
+/// PIM-accelerated kNN under cosine / Pearson similarity: `UB_PIM` filter
+/// then exact refinement. `executor` must be prepared with
+/// `prepare_similarity` on the matching target.
+pub fn knn_pim_sim(
+    executor: &mut PimExecutor,
+    dataset: &Dataset,
+    query: &[f64],
+    k: usize,
+    measure: Measure,
+) -> Result<KnnResult, CoreError> {
+    assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+    assert!(
+        matches!(measure, Measure::Cosine | Measure::Pearson),
+        "similarity path covers CS/PCC"
+    );
+
+    let mut report = RunReport::new(Architecture::ReRamPim);
+    let mut top = TopK::new(k, false);
+    let mut other = OpCounters::new();
+    let mut exact_counters = OpCounters::new();
+    let n = dataset.len();
+
+    let batch = executor.ub_sim_batch(query)?;
+    report.pim.add(&batch.timing);
+    let mut g_counters = OpCounters::new();
+    charge_g(n as u64, batch.host_bytes_per_object, &mut g_counters);
+    report
+        .profile
+        .record(&format!("G({})", executor.bound_name()), g_counters);
+
+    // Highest upper bound first: the similarity mirror of best-first
+    // refinement.
+    let mut order: Vec<(f64, usize)> = batch
+        .values
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
+
+    for &(ub, i) in &order {
+        other.prune_test();
+        if top.prunable(ub) {
+            break; // sorted descending: the rest cannot qualify
+        }
+        exact_counters.random_fetches += 1;
+        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+        other.prune_test();
+        top.offer(i, v);
+    }
+
+    report.profile.record(measure.name(), exact_counters);
+    report.profile.record("other", other);
+    Ok(KnnResult {
+        neighbors: top.into_sorted(),
+        report,
+    })
+}
+
+/// PIM kNN on binary codes: Hamming distances computed exactly on the
+/// crossbars; the host only selects the k smallest.
+pub fn knn_pim_hamming(
+    executor: &mut PimExecutor,
+    codes: &BinaryDataset,
+    query: &BinaryVecRef<'_>,
+    k: usize,
+) -> Result<KnnResult, CoreError> {
+    assert!(k >= 1 && k <= codes.len(), "k must be in 1..=N");
+
+    let mut report = RunReport::new(Architecture::ReRamPim);
+    let batch = executor.hd_batch(query)?;
+    report.pim.add(&batch.timing);
+
+    // Host: read the two dot-product results per object (64 bits total,
+    // Fig. 14) and keep the top-k.
+    let mut g_counters = OpCounters::new();
+    g_counters.stream(batch.values.len() as u64 * 8);
+    g_counters.arith += 2 * batch.values.len() as u64;
+    let mut other = OpCounters::new();
+    let mut top = TopK::new(k, true);
+    for (i, &v) in batch.values.iter().enumerate() {
+        other.prune_test();
+        top.offer(i, v);
+    }
+    report.profile.record("G(HD_PIM)", g_counters);
+    report.profile.record("other", other);
+    Ok(KnnResult {
+        neighbors: top.into_sorted(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::algorithms::fnn_cascade;
+    use crate::knn::hamming::knn_hamming;
+    use crate::knn::standard::knn_standard;
+    use simpim_core::executor::{ExecutorConfig, SimTarget};
+    use simpim_datasets::{generate, lsh_codes, sample_queries, SyntheticConfig};
+    use simpim_reram::{CrossbarConfig, PimConfig};
+    use simpim_similarity::NormalizedDataset;
+
+    fn exec_cfg(crossbars: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            pim: PimConfig {
+                crossbar: CrossbarConfig {
+                    size: 64,
+                    adc_bits: 12,
+                    ..Default::default()
+                },
+                num_crossbars: crossbars,
+                ..Default::default()
+            },
+            alpha: 1e6,
+            operand_bits: 32,
+            double_buffer: false,
+            parallel_regions: true,
+        }
+    }
+
+    fn workload() -> (Dataset, Vec<Vec<f64>>) {
+        let ds = generate(&SyntheticConfig {
+            n: 250,
+            d: 64,
+            clusters: 5,
+            cluster_std: 0.04,
+            stat_uniformity: 0.0,
+            seed: 33,
+        });
+        let qs = sample_queries(&ds, 4, 0.02, 5);
+        (ds, qs)
+    }
+
+    #[test]
+    fn standard_pim_matches_standard() {
+        let (ds, qs) = workload();
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        let mut exec = PimExecutor::prepare_euclidean(exec_cfg(100_000), &nds).unwrap();
+        for q in &qs {
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, 10).unwrap();
+            assert_eq!(got.indices(), truth.indices());
+            assert!(got.report.pim.total_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fnn_pim_with_retained_bounds_matches() {
+        let (ds, qs) = workload();
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        let mut exec = PimExecutor::prepare_fnn(exec_cfg(100_000), &nds, 16).unwrap();
+        let retained = fnn_cascade(&ds).unwrap();
+        for q in &qs {
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            let got = knn_pim_ed(&mut exec, &ds, &retained, q, 10).unwrap();
+            assert_eq!(got.indices(), truth.indices());
+        }
+    }
+
+    #[test]
+    fn pim_filter_prunes_most_refinement() {
+        let (ds, qs) = workload();
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        let mut exec = PimExecutor::prepare_euclidean(exec_cfg(100_000), &nds).unwrap();
+        let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), &qs[0], 10).unwrap();
+        let refined = got
+            .report
+            .profile
+            .get("ED")
+            .unwrap()
+            .counters
+            .random_fetches;
+        assert!(
+            refined < 60,
+            "PIM bound should prune most of 240 candidates: {refined}"
+        );
+    }
+
+    #[test]
+    fn similarity_pim_matches_standard() {
+        let (ds, qs) = workload();
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        for (measure, target) in [
+            (Measure::Cosine, SimTarget::Cosine),
+            (Measure::Pearson, SimTarget::Pearson),
+        ] {
+            let mut exec =
+                PimExecutor::prepare_similarity(exec_cfg(100_000), &nds, target).unwrap();
+            for q in &qs {
+                let truth = knn_standard(&ds, q, 10, measure);
+                let got = knn_pim_sim(&mut exec, &ds, q, 10, measure).unwrap();
+                assert_eq!(got.indices(), truth.indices(), "{measure:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_pim_matches_host_scan() {
+        let (ds, _) = workload();
+        let codes = lsh_codes(&ds, 128, 9);
+        let mut exec = PimExecutor::prepare_hamming(exec_cfg(100_000), &codes).unwrap();
+        for qi in [0usize, 7, 100] {
+            let q = codes.row(qi);
+            let truth = knn_hamming(&codes, &q, 10);
+            let got = knn_pim_hamming(&mut exec, &codes, &q, 10).unwrap();
+            assert_eq!(got.indices(), truth.indices());
+            // PIM HD needs no refinement: no ED/HD function on the host.
+            assert!(got.report.profile.get("HD").is_none());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # simpim-profiling
+//!
+//! The algorithm-profiling layer of Section IV:
+//!
+//! * [`functions`] — performance breakdown **by function** (Section IV-B):
+//!   every mining algorithm records deterministic operation counters per
+//!   named function (`ED`, `LB_FNN`, `bound update`, `other`), the
+//!   substitute for `clock_gettime` scopes.
+//! * [`hardware`] — performance breakdown **by hardware component**
+//!   (Section IV-A): counters → the five Eq. 1 stall classes via the
+//!   `simpim-simkit` cost model, the substitute for PAPI; includes the
+//!   trace-driven cache-simulator cross-check.
+//! * [`oracle`] — the potential gain of PIM (Section IV-C, Eq. 2):
+//!   `T_PIM-oracle = T_total − Σ_{f ∈ F} T_f`, a lower bound on any PIM
+//!   implementation of the algorithm.
+
+pub mod functions;
+pub mod hardware;
+pub mod oracle;
+
+pub use functions::{FunctionProfiler, FunctionRecord};
+pub use hardware::hardware_breakdown;
+pub use oracle::{oracle_report, OracleReport};

@@ -1,0 +1,740 @@
+//! The three arrays of a ReRAM bank (Fig. 4b): PIM array, buffer array,
+//! memory array.
+//!
+//! [`PimArray`] is the array-level model: it tracks the programmed integer
+//! matrices ("regions"), their crossbar layout and endurance counters, and
+//! answers dot-product batches with the exact integers the bit-sliced
+//! pipeline would produce (see the crate docs on fidelity modes) together
+//! with the cycle-derived timing. A *region* is one programmed matrix —
+//! e.g. `⌊p̄⌋` for `LB_PIM-ED`, or the `⌊µ(p̂)⌋` / `⌊σ(p̂)⌋` pair for
+//! `LB_PIM-FNN`, or the code/complement pair for Hamming distance.
+
+use crate::bitslice::{bits_needed, bits_needed_slice};
+use crate::config::{AccWidth, PimConfig};
+use crate::energy::{EnergyModel, EnergyReport};
+use crate::error::ReRamError;
+use crate::gather::{dataset_crossbar_cost, CrossbarCost};
+use crate::timing::{dot_batch_timing, program_timing_ns, PimTiming};
+
+/// Identifies one programmed region of the PIM array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RegionId(pub usize);
+
+/// Outcome of programming one region (offline stage).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProgramReport {
+    /// Handle for issuing queries against this region.
+    pub region: RegionId,
+    /// Crossbars consumed.
+    pub cost: CrossbarCost,
+    /// Individual cell programming pulses.
+    pub cell_writes: u64,
+    /// Crossbar rows programmed (one write pulse each).
+    pub rows_written: u64,
+    /// Offline programming latency in nanoseconds.
+    pub program_ns: f64,
+    /// Programming energy in joules.
+    pub energy_j: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    data: Vec<u32>,
+    n: usize,
+    s: usize,
+    operand_bits: u32,
+    cost: CrossbarCost,
+}
+
+/// The PIM array: a budget of `C` crossbars holding programmed regions.
+#[derive(Debug, Clone)]
+pub struct PimArray {
+    cfg: PimConfig,
+    energy_model: EnergyModel,
+    regions: Vec<Region>,
+    used_crossbars: usize,
+    total_cell_writes: u64,
+    energy: EnergyReport,
+}
+
+impl PimArray {
+    /// A blank PIM array.
+    pub fn new(cfg: PimConfig) -> Result<Self, ReRamError> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            energy_model: EnergyModel::default(),
+            regions: Vec::new(),
+            used_crossbars: 0,
+            total_cell_writes: 0,
+            energy: EnergyReport::default(),
+        })
+    }
+
+    /// Platform configuration.
+    #[inline]
+    pub fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    /// Crossbars currently allocated to regions.
+    #[inline]
+    pub fn used_crossbars(&self) -> usize {
+        self.used_crossbars
+    }
+
+    /// Crossbars still available.
+    #[inline]
+    pub fn free_crossbars(&self) -> usize {
+        self.cfg.num_crossbars - self.used_crossbars
+    }
+
+    /// Cumulative cell programming pulses (endurance metric).
+    #[inline]
+    pub fn total_cell_writes(&self) -> u64 {
+        self.total_cell_writes
+    }
+
+    /// Accumulated energy report.
+    #[inline]
+    pub fn energy(&self) -> &EnergyReport {
+        &self.energy
+    }
+
+    /// Programs a region of `n` vectors × `s` dimensions (`flat` row-major)
+    /// with `operand_bits`-wide operands. Fails when values overflow the
+    /// operand width or when the crossbar budget is exhausted.
+    pub fn program_region(
+        &mut self,
+        flat: &[u32],
+        n: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        if n == 0 || s == 0 || flat.len() != n * s {
+            return Err(ReRamError::InvalidConfig {
+                what: "region shape does not match buffer",
+            });
+        }
+        if operand_bits == 0 || operand_bits > 32 {
+            return Err(ReRamError::InvalidConfig {
+                what: "operand_bits must be in 1..=32",
+            });
+        }
+        if let Some(&v) = flat
+            .iter()
+            .find(|&&v| operand_bits < 32 && u64::from(v) >= (1u64 << operand_bits))
+        {
+            return Err(ReRamError::OperandOverflow {
+                value: u64::from(v),
+                bits: operand_bits,
+            });
+        }
+        let cost = dataset_crossbar_cost(n, s, operand_bits, &self.cfg.crossbar)?;
+        if cost.total() > self.free_crossbars() {
+            return Err(ReRamError::InsufficientCapacity {
+                required: cost.total(),
+                available: self.free_crossbars(),
+            });
+        }
+
+        let w = self.cfg.crossbar.cells_per_operand(operand_bits) as u64;
+        let cell_writes =
+            (n as u64) * (s as u64) * w + cost.gather as u64 * self.cfg.crossbar.cells() as u64; // all-ones trees
+                                                                                                 // Programming granularity: one program-and-verify pulse per stored
+                                                                                                 // operand (its ⌈b/h⌉ cells share a word-line segment); all-ones
+                                                                                                 // gather crossbars program row-parallel (uniform level, no
+                                                                                                 // verify-per-value). This is what makes ReRAM pre-processing
+                                                                                                 // slower than DRAM despite writing less data (Fig. 17).
+        let rows_written =
+            (n as u64) * (s as u64) + cost.gather as u64 * self.cfg.crossbar.size as u64;
+        let program_ns = program_timing_ns(&self.cfg, rows_written);
+        let mut energy = EnergyReport::default();
+        energy.charge_writes(&self.energy_model, cell_writes, self.cfg.crossbar.cell_bits);
+        self.energy.add(&energy);
+
+        let region = RegionId(self.regions.len());
+        self.used_crossbars += cost.total();
+        self.total_cell_writes += cell_writes;
+        self.regions.push(Region {
+            data: flat.to_vec(),
+            n,
+            s,
+            operand_bits,
+            cost,
+        });
+        Ok(ProgramReport {
+            region,
+            cost,
+            cell_writes,
+            rows_written,
+            program_ns,
+            energy_j: energy.total_j(),
+        })
+    }
+
+    /// Number of programmed regions.
+    #[inline]
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Layout of a programmed region.
+    pub fn region_cost(&self, region: RegionId) -> Result<&CrossbarCost, ReRamError> {
+        self.regions
+            .get(region.0)
+            .map(|r| &r.cost)
+            .ok_or(ReRamError::NotProgrammed)
+    }
+
+    /// Shape of a programmed region: `(n, s, operand_bits)`.
+    pub fn region_shape(&self, region: RegionId) -> Result<(usize, usize, u32), ReRamError> {
+        self.regions
+            .get(region.0)
+            .map(|r| (r.n, r.s, r.operand_bits))
+            .ok_or(ReRamError::NotProgrammed)
+    }
+
+    /// Executes one dot-product batch: multiplies every programmed vector of
+    /// `region` with `query`, wrapping results at the accumulator width
+    /// (the paper keeps the least-significant 64 bits — 32 for binary
+    /// codes). Returns the per-object results and the PIM-side timing.
+    ///
+    /// Reading never wears cells; endurance counters are untouched.
+    pub fn dot_batch(
+        &mut self,
+        region: RegionId,
+        query: &[u32],
+        acc: AccWidth,
+    ) -> Result<(Vec<u64>, PimTiming), ReRamError> {
+        let reg = self
+            .regions
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?;
+        if query.len() != reg.s {
+            return Err(ReRamError::GeometryViolation {
+                what: "query dimensionality",
+                got: query.len(),
+                limit: reg.s,
+            });
+        }
+        let input_bits = bits_needed_slice(query);
+
+        // Functional result: exact integer dot product wrapped at the
+        // accumulator width — bit-identical to the streamed bit-sliced
+        // pipeline (wrapping commutes with shift-and-add; proven against
+        // `Crossbar::dot_products` in tests).
+        let mut values = Vec::with_capacity(reg.n);
+        let mut max_partial: u64 = 0;
+        let m = self.cfg.crossbar.size;
+        for row in reg.data.chunks_exact(reg.s) {
+            let mut total: u128 = 0;
+            for (chunk_q, chunk_v) in query.chunks(m).zip(row.chunks(m)) {
+                let partial: u128 = chunk_q
+                    .iter()
+                    .zip(chunk_v)
+                    .map(|(&a, &b)| u128::from(a) * u128::from(b))
+                    .sum();
+                max_partial = max_partial.max(partial.min(u128::from(u64::MAX)) as u64);
+                total = total.wrapping_add(partial);
+            }
+            values.push(acc.wrap(total));
+        }
+
+        let partial_bits = bits_needed(max_partial).min(acc.bits());
+        let timing = dot_batch_timing(&self.cfg, &reg.cost, input_bits, partial_bits, reg.n, acc);
+
+        // Compute energy: cycles × active crossbars.
+        let cycles = self.cfg.crossbar.input_cycles(input_bits)
+            * ((reg.cost.groups * reg.cost.chunks_per_object).div_ceil(reg.cost.data.max(1)))
+                as u64;
+        self.energy
+            .charge_compute(&self.energy_model, cycles, reg.cost.total());
+        self.energy
+            .charge_bus(&self.energy_model, reg.n as u64 * acc.bytes());
+
+        Ok((values, timing))
+    }
+
+    /// Strict-fidelity execution of one batch: materializes the region's
+    /// layout on real [`Crossbar`]s — operand packing, vertical slot
+    /// stacking, chunking across data crossbars, and all-ones gather
+    /// trees — and runs the full bit-sliced analog pipeline end to end.
+    ///
+    /// This is the validation path behind [`PimArray::dot_batch`]'s fast
+    /// path (the two are asserted bit-identical in tests and property
+    /// tests); it is bounded to small geometries because it allocates
+    /// `m²` cells per crossbar.
+    pub fn dot_batch_strict(
+        &self,
+        region: RegionId,
+        query: &[u32],
+        acc: AccWidth,
+    ) -> Result<Vec<u64>, ReRamError> {
+        use crate::crossbar::Crossbar;
+
+        let reg = self
+            .regions
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?;
+        if query.len() != reg.s {
+            return Err(ReRamError::GeometryViolation {
+                what: "query dimensionality",
+                got: query.len(),
+                limit: reg.s,
+            });
+        }
+        let xb_cfg = self.cfg.crossbar;
+        let m = xb_cfg.size;
+        const STRICT_CELL_CAP: usize = 1 << 22;
+        if reg.cost.total().saturating_mul(m * m) > STRICT_CELL_CAP {
+            return Err(ReRamError::InvalidConfig {
+                what: "strict mode is for small geometries (cell cap exceeded)",
+            });
+        }
+
+        let b = reg.operand_bits;
+        let w = xb_cfg.cells_per_operand(b);
+        let g = reg.cost.group_size;
+        let input_bits = bits_needed_slice(query);
+        let q64: Vec<u64> = query.iter().map(|&v| u64::from(v)).collect();
+        let mut values = Vec::with_capacity(reg.n);
+
+        if reg.s <= m {
+            // Vertical slot stacking: each group occupies one slot of a
+            // shared crossbar; one pass per slot drives only its rows.
+            let slots = reg.cost.slots_per_crossbar;
+            let n_groups = reg.n.div_ceil(g);
+            let mut crossbars: Vec<Crossbar> = (0..reg.cost.data)
+                .map(|_| Crossbar::new(xb_cfg))
+                .collect::<Result<_, _>>()?;
+            for gi in 0..n_groups {
+                let xb = &mut crossbars[gi / slots];
+                let start_row = (gi % slots) * reg.s;
+                for j in 0..g {
+                    let obj = gi * g + j;
+                    if obj >= reg.n {
+                        break;
+                    }
+                    let col: Vec<u64> = reg.data[obj * reg.s..(obj + 1) * reg.s]
+                        .iter()
+                        .map(|&v| u64::from(v))
+                        .collect();
+                    xb.program_operand_column(start_row, j * w, &col, b)?;
+                }
+            }
+            for obj in 0..reg.n {
+                let gi = obj / g;
+                let xb = &crossbars[gi / slots];
+                let start_row = (gi % slots) * reg.s;
+                let outs = xb.dot_products(start_row, &q64, input_bits, b)?;
+                values.push(acc.wrap(outs[obj % g]));
+            }
+        } else {
+            // Chunked layout: per group, one data crossbar per chunk plus
+            // a materialized all-ones gather tree reducing m partials per
+            // level.
+            let chunks = reg.cost.chunks_per_object;
+            let n_groups = reg.n.div_ceil(g);
+            let mut gather = Crossbar::new(xb_cfg)?;
+            gather.program_all_ones()?;
+            for gi in 0..n_groups {
+                // Program this group's data crossbars.
+                let mut data_xbs: Vec<Crossbar> = (0..chunks)
+                    .map(|_| Crossbar::new(xb_cfg))
+                    .collect::<Result<_, _>>()?;
+                for j in 0..g {
+                    let obj = gi * g + j;
+                    if obj >= reg.n {
+                        break;
+                    }
+                    let row = &reg.data[obj * reg.s..(obj + 1) * reg.s];
+                    for (c, chunk) in row.chunks(m).enumerate() {
+                        let col: Vec<u64> = chunk.iter().map(|&v| u64::from(v)).collect();
+                        data_xbs[c].program_operand_column(0, j * w, &col, b)?;
+                    }
+                }
+                // One streamed pass per chunk, then tree reduction per
+                // object through the all-ones gather crossbar.
+                let per_chunk: Vec<Vec<u128>> = q64
+                    .chunks(m)
+                    .zip(&data_xbs)
+                    .map(|(cq, xb)| xb.dot_products(0, cq, input_bits, b))
+                    .collect::<Result<_, _>>()?;
+                for j in 0..g {
+                    let obj = gi * g + j;
+                    if obj >= reg.n {
+                        break;
+                    }
+                    // Operand column j·w carries operand index j.
+                    let mut layer: Vec<u128> = per_chunk.iter().map(|outs| outs[j]).collect();
+                    while layer.len() > 1 {
+                        let mut next = Vec::with_capacity(layer.len().div_ceil(m));
+                        for grp in layer.chunks(m) {
+                            let partials: Vec<u64> = grp.iter().map(|&p| acc.wrap(p)).collect();
+                            let pbits = partials.iter().map(|&p| bits_needed(p)).max().unwrap_or(1);
+                            let out = gather.dot_products(0, &partials, pbits, 1)?;
+                            next.push(out[0]);
+                        }
+                        layer = next;
+                    }
+                    values.push(acc.wrap(layer[0]));
+                }
+            }
+        }
+        Ok(values)
+    }
+
+    /// Clears all regions (re-programming an array is allowed but wears the
+    /// device — the endurance counters persist across [`PimArray::clear`]).
+    pub fn clear(&mut self) {
+        self.regions.clear();
+        self.used_crossbars = 0;
+    }
+}
+
+/// The buffer array (eDRAM) caching PIM results so the CPU can drain them
+/// without stalling the PIM array.
+#[derive(Debug, Clone)]
+pub struct BufferArray {
+    capacity: u64,
+    high_water: u64,
+}
+
+impl BufferArray {
+    /// A buffer of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            high_water: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Records a result batch passing through; returns the number of waves
+    /// the batch needed.
+    pub fn stage(&mut self, bytes: u64) -> u64 {
+        self.high_water = self.high_water.max(bytes.min(self.capacity));
+        bytes.div_ceil(self.capacity.max(1)).max(1)
+    }
+
+    /// Highest single-wave occupancy seen.
+    #[inline]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+/// The memory array: plain ReRAM storage for the original dataset and the
+/// pre-computed Φ values. Occupancy-tracked; access timing is charged by
+/// the host cost model in `simpim-simkit`.
+#[derive(Debug, Clone)]
+pub struct MemoryArray {
+    capacity: u64,
+    used: u64,
+}
+
+impl MemoryArray {
+    /// A memory array of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, used: 0 }
+    }
+
+    /// Reserves `bytes` of storage.
+    pub fn store(&mut self, bytes: u64) -> Result<(), ReRamError> {
+        if self.used + bytes > self.capacity {
+            return Err(ReRamError::InsufficientCapacity {
+                required: (self.used + bytes) as usize,
+                available: self.capacity as usize,
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Bytes currently stored.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Remaining capacity in bytes.
+    #[inline]
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Releases `bytes` (saturating).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrossbarConfig;
+    use crate::crossbar::{exact_dot, Crossbar};
+
+    fn small_cfg() -> PimConfig {
+        PimConfig {
+            crossbar: CrossbarConfig {
+                size: 8,
+                cell_bits: 2,
+                dac_bits: 2,
+                adc_bits: 12,
+                ..Default::default()
+            },
+            num_crossbars: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn program_and_query_round_trip() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let data: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8]; // 2 vectors × 4 dims
+        let rep = pim.program_region(&data, 2, 4, 4).unwrap();
+        assert!(rep.cell_writes > 0);
+        assert!(rep.program_ns > 0.0);
+        let (vals, t) = pim
+            .dot_batch(rep.region, &[1, 1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(vals, vec![10, 26]);
+        assert!(t.total_ns() > 0.0);
+    }
+
+    #[test]
+    fn array_matches_unit_level_crossbar_small_s() {
+        // Cross-validate the fast path against the fully materialized
+        // bit-sliced pipeline on a config where one crossbar suffices.
+        let cfg = small_cfg();
+        let (n, s, b) = (2usize, 4usize, 6u32);
+        let data: Vec<u32> = vec![25, 14, 63, 0, 9, 20, 1, 33];
+        let query: Vec<u32> = vec![9, 20, 7, 63];
+
+        let mut pim = PimArray::new(cfg).unwrap();
+        let rep = pim.program_region(&data, n, s, b).unwrap();
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+
+        let mut xb = Crossbar::new(cfg.crossbar).unwrap();
+        let w = cfg.crossbar.cells_per_operand(b);
+        for (obj, row) in data.chunks_exact(s).enumerate() {
+            let col: Vec<u64> = row.iter().map(|&v| u64::from(v)).collect();
+            xb.program_operand_column(0, obj * w, &col, b).unwrap();
+        }
+        let q64: Vec<u64> = query.iter().map(|&v| u64::from(v)).collect();
+        let slow = xb.dot_products(0, &q64, 6, b).unwrap();
+        for i in 0..n {
+            assert_eq!(fast[i], AccWidth::U64.wrap(slow[i]));
+            assert_eq!(
+                u128::from(fast[i]),
+                exact_dot(
+                    &q64,
+                    &data[i * s..(i + 1) * s]
+                        .iter()
+                        .map(|&v| u64::from(v))
+                        .collect::<Vec<_>>()
+                )
+            );
+        }
+    }
+
+    #[test]
+    fn array_matches_unit_level_with_gather_tree() {
+        // s = 16 > m = 8: two chunks per object, reduced through the tree.
+        let cfg = small_cfg();
+        let s = 16usize;
+        let data: Vec<u32> = (0..s as u32).map(|i| (i * 7 + 3) % 16).collect();
+        let query: Vec<u32> = (0..s as u32).map(|i| (i * 5 + 1) % 16).collect();
+
+        let mut pim = PimArray::new(cfg).unwrap();
+        let rep = pim.program_region(&data, 1, s, 4).unwrap();
+        assert_eq!(rep.cost.chunks_per_object, 2);
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+
+        // Unit-level: two data crossbars + tree reduction of the partials.
+        let m = cfg.crossbar.size;
+        let mut partials = Vec::new();
+        for (cq, cv) in query.chunks(m).zip(data.chunks(m)) {
+            let mut xb = Crossbar::new(cfg.crossbar).unwrap();
+            let col: Vec<u64> = cv.iter().map(|&v| u64::from(v)).collect();
+            xb.program_operand_column(0, 0, &col, 4).unwrap();
+            let q64: Vec<u64> = cq.iter().map(|&v| u64::from(v)).collect();
+            partials.push(xb.dot_products(0, &q64, 4, 4).unwrap()[0]);
+        }
+        let reduced = crate::gather::reduce_through_tree(&partials, m);
+        assert_eq!(fast[0], AccWidth::U64.wrap(reduced));
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_detected() {
+        let mut cfg = small_cfg();
+        cfg.num_crossbars = 1;
+        let mut pim = PimArray::new(cfg).unwrap();
+        // 64 objects × 8 dims with 4-bit operands: group = 8·2/4 = 4
+        // objects → 16 groups, 1 slot → 16 crossbars > 1.
+        let data = vec![1u32; 64 * 8];
+        assert!(matches!(
+            pim.program_region(&data, 64, 8, 4),
+            Err(ReRamError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn operand_overflow_rejected() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        assert!(matches!(
+            pim.program_region(&[16, 1], 1, 2, 4),
+            Err(ReRamError::OperandOverflow { .. })
+        ));
+        assert!(pim.program_region(&[1, 2], 1, 2, 0).is_err());
+        assert!(pim.program_region(&[1, 2], 1, 3, 4).is_err()); // ragged
+    }
+
+    #[test]
+    fn multiple_regions_share_budget() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let r1 = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        let r2 = pim.program_region(&[5, 6, 7, 8], 1, 4, 4).unwrap();
+        assert_ne!(r1.region, r2.region);
+        assert_eq!(pim.num_regions(), 2);
+        assert_eq!(pim.region_shape(r1.region).unwrap(), (1, 4, 4));
+        assert!(pim.region_shape(RegionId(9)).is_err());
+        assert_eq!(pim.used_crossbars(), r1.cost.total() + r2.cost.total());
+        let (v1, _) = pim
+            .dot_batch(r1.region, &[1, 0, 0, 0], AccWidth::U64)
+            .unwrap();
+        let (v2, _) = pim
+            .dot_batch(r2.region, &[1, 0, 0, 0], AccWidth::U64)
+            .unwrap();
+        assert_eq!(v1, vec![1]);
+        assert_eq!(v2, vec![5]);
+    }
+
+    #[test]
+    fn queries_do_not_wear_cells() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        let writes_after_program = pim.total_cell_writes();
+        for _ in 0..100 {
+            pim.dot_batch(rep.region, &[3, 3, 3, 3], AccWidth::U64)
+                .unwrap();
+        }
+        assert_eq!(pim.total_cell_writes(), writes_after_program);
+    }
+
+    #[test]
+    fn clear_frees_budget_but_keeps_wear() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        let wear = pim.total_cell_writes();
+        pim.clear();
+        assert_eq!(pim.used_crossbars(), 0);
+        assert_eq!(pim.total_cell_writes(), wear);
+        assert!(pim
+            .dot_batch(RegionId(0), &[1, 1, 1, 1], AccWidth::U64)
+            .is_err());
+    }
+
+    #[test]
+    fn u32_accumulator_wraps() {
+        let mut pim = PimArray::new(PimConfig::default()).unwrap();
+        // 2^16 · 2^16 = 2^32 ≡ 0 (mod 2^32).
+        let rep = pim.program_region(&[1 << 16], 1, 1, 17).unwrap();
+        let (v32, _) = pim
+            .dot_batch(rep.region, &[1 << 16], AccWidth::U32)
+            .unwrap();
+        assert_eq!(v32, vec![0]);
+        let (v64, _) = pim
+            .dot_batch(rep.region, &[1 << 16], AccWidth::U64)
+            .unwrap();
+        assert_eq!(v64, vec![1 << 32]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        assert!(pim.dot_batch(rep.region, &[1, 2], AccWidth::U64).is_err());
+    }
+
+    #[test]
+    fn strict_mode_matches_fast_path_with_slots() {
+        // s = 4 on m = 8 → 2 slots stacked; 5 objects over 2 groups.
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let data: Vec<u32> = (0..20).map(|i| (i * 7 + 3) % 16).collect();
+        let rep = pim.program_region(&data, 5, 4, 4).unwrap();
+        assert_eq!(rep.cost.slots_per_crossbar, 2);
+        let query = [3u32, 15, 1, 8];
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        let strict = pim
+            .dot_batch_strict(rep.region, &query, AccWidth::U64)
+            .unwrap();
+        assert_eq!(fast, strict);
+    }
+
+    #[test]
+    fn strict_mode_matches_fast_path_with_gather_tree() {
+        // s = 24 on m = 8 → 3 chunks per object through the all-ones tree.
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let data: Vec<u32> = (0..3 * 24).map(|i| (i * 5 + 1) % 16).collect();
+        let rep = pim.program_region(&data, 3, 24, 4).unwrap();
+        assert_eq!(rep.cost.chunks_per_object, 3);
+        let query: Vec<u32> = (0..24).map(|i| (i * 11) % 16).collect();
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        let strict = pim
+            .dot_batch_strict(rep.region, &query, AccWidth::U64)
+            .unwrap();
+        assert_eq!(fast, strict);
+    }
+
+    #[test]
+    fn strict_mode_respects_accumulator_width() {
+        let mut pim = PimArray::new(PimConfig::default()).unwrap();
+        let rep = pim.program_region(&[1 << 16], 1, 1, 17).unwrap();
+        let strict = pim
+            .dot_batch_strict(rep.region, &[1 << 16], AccWidth::U32)
+            .unwrap();
+        assert_eq!(strict, vec![0]); // 2^32 wraps to 0 at 32 bits
+    }
+
+    #[test]
+    fn strict_mode_rejects_huge_geometries() {
+        // 1200 × 256 at 32-bit operands → 75 crossbars × 65 536 cells,
+        // beyond the strict-mode materialization cap.
+        let mut pim = PimArray::new(PimConfig::default()).unwrap();
+        let data = vec![1u32; 1200 * 256];
+        let rep = pim.program_region(&data, 1200, 256, 32).unwrap();
+        assert!(matches!(
+            pim.dot_batch_strict(rep.region, &[1u32; 256], AccWidth::U64),
+            Err(ReRamError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_array_waves_and_high_water() {
+        let mut buf = BufferArray::new(1024);
+        assert_eq!(buf.stage(100), 1);
+        assert_eq!(buf.stage(4096), 4);
+        assert_eq!(buf.high_water(), 1024);
+        assert_eq!(buf.capacity(), 1024);
+    }
+
+    #[test]
+    fn memory_array_occupancy() {
+        let mut mem = MemoryArray::new(1000);
+        mem.store(600).unwrap();
+        assert_eq!(mem.free(), 400);
+        assert!(mem.store(500).is_err());
+        mem.release(200);
+        assert_eq!(mem.used(), 400);
+        mem.store(500).unwrap();
+        assert_eq!(mem.free(), 100);
+    }
+}

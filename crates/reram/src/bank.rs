@@ -1,0 +1,144 @@
+//! A ReRAM bank: PIM array + buffer array + memory array behind one
+//! controller (Fig. 4b).
+//!
+//! The controller coordinates the dataflow the paper describes: the PIM
+//! array computes dot-product batches, results land in the buffer array so
+//! the CPU can drain them without stalling PIM, and pre-computed Φ values
+//! live in the memory array. `simpim-core`'s executor drives exactly this
+//! interface.
+
+use crate::array::{BufferArray, MemoryArray, PimArray, ProgramReport, RegionId};
+use crate::config::{AccWidth, PimConfig};
+use crate::error::ReRamError;
+use crate::timing::PimTiming;
+
+/// Result of one dot-product batch issued through the bank controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DotBatchResult {
+    /// Per-object dot products, wrapped at the accumulator width.
+    pub values: Vec<u64>,
+    /// PIM-side latency (crossbar passes + gather + bus + buffer).
+    pub timing: PimTiming,
+    /// Bytes staged in the buffer array for the CPU to collect.
+    pub result_bytes: u64,
+}
+
+/// A ReRAM-based memory bank with in-situ processing.
+#[derive(Debug, Clone)]
+pub struct ReRamBank {
+    pim: PimArray,
+    buffer: BufferArray,
+    memory: MemoryArray,
+}
+
+impl ReRamBank {
+    /// Builds a bank from the platform configuration.
+    pub fn new(cfg: PimConfig) -> Result<Self, ReRamError> {
+        Ok(Self {
+            pim: PimArray::new(cfg)?,
+            buffer: BufferArray::new(cfg.buffer_bytes),
+            memory: MemoryArray::new(cfg.memory_bytes),
+        })
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PimConfig {
+        self.pim.config()
+    }
+
+    /// The PIM array (read access for inspection).
+    pub fn pim(&self) -> &PimArray {
+        &self.pim
+    }
+
+    /// The memory array, for staging pre-computed Φ values.
+    pub fn memory_mut(&mut self) -> &mut MemoryArray {
+        &mut self.memory
+    }
+
+    /// The memory array (read access).
+    pub fn memory(&self) -> &MemoryArray {
+        &self.memory
+    }
+
+    /// The buffer array (read access).
+    pub fn buffer(&self) -> &BufferArray {
+        &self.buffer
+    }
+
+    /// Programs a region (offline stage). See
+    /// [`PimArray::program_region`].
+    pub fn program_region(
+        &mut self,
+        flat: &[u32],
+        n: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        self.pim.program_region(flat, n, s, operand_bits)
+    }
+
+    /// Issues one dot-product batch and stages the results in the buffer
+    /// array.
+    pub fn dot_batch(
+        &mut self,
+        region: RegionId,
+        query: &[u32],
+        acc: AccWidth,
+    ) -> Result<DotBatchResult, ReRamError> {
+        let (values, timing) = self.pim.dot_batch(region, query, acc)?;
+        let result_bytes = values.len() as u64 * acc.bytes();
+        self.buffer.stage(result_bytes);
+        Ok(DotBatchResult {
+            values,
+            timing,
+            result_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CrossbarConfig;
+
+    fn cfg() -> PimConfig {
+        PimConfig {
+            crossbar: CrossbarConfig {
+                size: 8,
+                cell_bits: 2,
+                dac_bits: 2,
+                adc_bits: 12,
+                ..Default::default()
+            },
+            num_crossbars: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_program_and_query() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        let rep = bank.program_region(&[1, 2, 3, 4, 5, 6], 2, 3, 4).unwrap();
+        let out = bank
+            .dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(out.values, vec![6, 15]);
+        assert_eq!(out.result_bytes, 16);
+        assert!(out.timing.total_ns() > 0.0);
+        assert_eq!(bank.buffer().high_water(), 16);
+    }
+
+    #[test]
+    fn memory_array_reachable() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        bank.memory_mut().store(1024).unwrap();
+        assert_eq!(bank.memory().used(), 1024);
+    }
+
+    #[test]
+    fn queries_require_programming() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        assert!(bank.dot_batch(RegionId(0), &[1], AccWidth::U64).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! The materialized `m×m` crossbar — the unit-level functional model.
+//!
+//! Wordlines run horizontally (one per vector dimension), bitlines
+//! vertically. Injecting DAC-converted voltages on the wordlines produces,
+//! on every bitline, the analog sum `Σ_row input[row] · cell[row][col]`
+//! (Fig. 1). Multi-bit operands span `⌈b/h⌉` adjacent bitlines (Fig. 2);
+//! [`Crossbar::dot_products`] runs the full streamed pipeline and
+//! recombines partials with shift-and-add.
+
+use crate::bitslice::{slice_input, slice_operand};
+use crate::cell::Cell;
+use crate::config::CrossbarConfig;
+use crate::error::ReRamError;
+
+/// A fully materialized crossbar of `m×m` cells.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    cfg: CrossbarConfig,
+    cells: Vec<Cell>, // row-major m×m
+}
+
+impl Crossbar {
+    /// A blank crossbar with all cells at level 0.
+    pub fn new(cfg: CrossbarConfig) -> Result<Self, ReRamError> {
+        cfg.validate()?;
+        Ok(Self {
+            cfg,
+            cells: vec![Cell::new(); cfg.cells()],
+        })
+    }
+
+    /// Geometry of this crossbar.
+    #[inline]
+    pub fn config(&self) -> &CrossbarConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.cfg.size + col
+    }
+
+    /// Programs one cell to `level`.
+    pub fn program_cell(&mut self, row: usize, col: usize, level: u8) -> Result<(), ReRamError> {
+        let m = self.cfg.size;
+        if row >= m {
+            return Err(ReRamError::GeometryViolation {
+                what: "row",
+                got: row,
+                limit: m,
+            });
+        }
+        if col >= m {
+            return Err(ReRamError::GeometryViolation {
+                what: "col",
+                got: col,
+                limit: m,
+            });
+        }
+        let i = self.idx(row, col);
+        self.cells[i].program(level, self.cfg.cell_bits)
+    }
+
+    /// Reads one cell's level.
+    pub fn read_cell(&self, row: usize, col: usize) -> u8 {
+        self.cells[self.idx(row, col)].read()
+    }
+
+    /// Programs a column of stored operands: `column[i]` is the `b`-bit
+    /// operand for dimension (row) `start_row + i`, occupying the
+    /// `⌈b/h⌉` bitlines starting at `start_col`. Returns the number of cell
+    /// writes performed.
+    pub fn program_operand_column(
+        &mut self,
+        start_row: usize,
+        start_col: usize,
+        column: &[u64],
+        operand_bits: u32,
+    ) -> Result<u64, ReRamError> {
+        let w = self.cfg.cells_per_operand(operand_bits);
+        let m = self.cfg.size;
+        if start_row + column.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "rows",
+                got: start_row + column.len(),
+                limit: m,
+            });
+        }
+        if start_col + w > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "cols",
+                got: start_col + w,
+                limit: m,
+            });
+        }
+        let mut writes = 0u64;
+        for (i, &v) in column.iter().enumerate() {
+            let slices = slice_operand(v, operand_bits, self.cfg.cell_bits)?;
+            for (j, &level) in slices.iter().enumerate() {
+                self.program_cell(start_row + i, start_col + j, level)?;
+                writes += 1;
+            }
+        }
+        Ok(writes)
+    }
+
+    /// Programs every cell to level 1 — the all-ones *gather crossbar* used
+    /// to sum partial results (Fig. 3). Returns cell writes performed.
+    pub fn program_all_ones(&mut self) -> Result<u64, ReRamError> {
+        let m = self.cfg.size;
+        for row in 0..m {
+            for col in 0..m {
+                self.program_cell(row, col, 1)?;
+            }
+        }
+        Ok((m * m) as u64)
+    }
+
+    /// One analog cycle: `inputs[row]` is the DAC level driven on wordline
+    /// `row` (must fit `dac_bits`); missing trailing rows are not driven.
+    /// Returns the per-bitline current sums, checked against the ADC
+    /// resolution.
+    pub fn analog_cycle(&self, inputs: &[u16]) -> Result<Vec<u64>, ReRamError> {
+        let m = self.cfg.size;
+        if inputs.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "inputs",
+                got: inputs.len(),
+                limit: m,
+            });
+        }
+        let dac_max = 1u16 << self.cfg.dac_bits;
+        let mut sums = vec![0u64; m];
+        for (row, &u) in inputs.iter().enumerate() {
+            if u >= dac_max {
+                return Err(ReRamError::OperandOverflow {
+                    value: u64::from(u),
+                    bits: self.cfg.dac_bits,
+                });
+            }
+            if u == 0 {
+                continue;
+            }
+            let base = row * m;
+            for (col, sum) in sums.iter_mut().enumerate() {
+                *sum += u64::from(u) * u64::from(self.cells[base + col].read());
+            }
+        }
+        let adc_limit = 1u64 << self.cfg.adc_bits;
+        for &s in &sums {
+            if s >= adc_limit {
+                return Err(ReRamError::AdcOverflow {
+                    value: s,
+                    adc_bits: self.cfg.adc_bits,
+                });
+            }
+        }
+        Ok(sums)
+    }
+
+    /// The full streamed dot-product pipeline of Fig. 2 for one query.
+    ///
+    /// `query[i]` multiplies the operands stored on rows
+    /// `start_row..start_row+query.len()`; stored operands are `b`-bit wide
+    /// and packed from bitline 0 (as laid out by
+    /// [`Crossbar::program_operand_column`] with `start_col = c·⌈b/h⌉`).
+    /// Returns one full-precision product-sum per stored operand column.
+    ///
+    /// The cycle count equals `⌈input_bits/dac⌉` — the quantity the timing
+    /// model charges for.
+    pub fn dot_products(
+        &self,
+        start_row: usize,
+        query: &[u64],
+        input_bits: u32,
+        operand_bits: u32,
+    ) -> Result<Vec<u128>, ReRamError> {
+        let m = self.cfg.size;
+        if start_row + query.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "query rows",
+                got: start_row + query.len(),
+                limit: m,
+            });
+        }
+        let w = self.cfg.cells_per_operand(operand_bits);
+        let n_ops = m / w;
+        // Stream the query through the DAC `dac_bits` at a time.
+        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
+        for &qv in query {
+            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
+        }
+        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
+        let mut results = vec![0u128; n_ops];
+        let mut drive = vec![0u16; start_row + query.len()];
+        for k in 0..cycles {
+            for (i, s) in sliced.iter().enumerate() {
+                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
+            }
+            let sums = self.analog_cycle(&drive)?;
+            // Shift-and-add: bitline c·w + j carries operand slice j.
+            for (c, result) in results.iter_mut().enumerate() {
+                for j in 0..w {
+                    let p = sums[c * w + j];
+                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
+                    *result = result.wrapping_add(u128::from(p) << shift);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// One analog cycle under bounded conductance variation: each cell
+    /// contributes `input · level · (1 + δ)`; the ADC rounds to the
+    /// nearest integer. Deterministic given the model's seed.
+    pub fn analog_cycle_noisy(
+        &self,
+        inputs: &[u16],
+        variation: &crate::variation::VariationModel,
+    ) -> Result<Vec<u64>, ReRamError> {
+        let m = self.cfg.size;
+        if inputs.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "inputs",
+                got: inputs.len(),
+                limit: m,
+            });
+        }
+        let dac_max = 1u16 << self.cfg.dac_bits;
+        let mut sums = vec![0.0f64; m];
+        for (row, &u) in inputs.iter().enumerate() {
+            if u >= dac_max {
+                return Err(ReRamError::OperandOverflow {
+                    value: u64::from(u),
+                    bits: self.cfg.dac_bits,
+                });
+            }
+            if u == 0 {
+                continue;
+            }
+            let base = row * m;
+            for (col, sum) in sums.iter_mut().enumerate() {
+                let level = f64::from(self.cells[base + col].read());
+                *sum += f64::from(u) * level * (1.0 + variation.delta(row, col));
+            }
+        }
+        let adc_limit = 1u64 << self.cfg.adc_bits;
+        let mut out = Vec::with_capacity(m);
+        for s in sums {
+            let q = s.round().max(0.0) as u64;
+            if q >= adc_limit {
+                return Err(ReRamError::AdcOverflow {
+                    value: q,
+                    adc_bits: self.cfg.adc_bits,
+                });
+            }
+            out.push(q);
+        }
+        Ok(out)
+    }
+
+    /// The streamed dot-product pipeline under bounded conductance
+    /// variation. Same layout semantics as [`Crossbar::dot_products`]; the
+    /// result deviates from the exact dot product by at most
+    /// `max_relative · exact + rounding`, where `rounding` sums the ½-LSB
+    /// ADC rounding across shifts (see
+    /// [`crate::variation::VariationModel::dot_error_bound`] and the
+    /// guard-banded bounds in `simpim-core`).
+    pub fn dot_products_noisy(
+        &self,
+        start_row: usize,
+        query: &[u64],
+        input_bits: u32,
+        operand_bits: u32,
+        variation: &crate::variation::VariationModel,
+    ) -> Result<Vec<u128>, ReRamError> {
+        let m = self.cfg.size;
+        if start_row + query.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "query rows",
+                got: start_row + query.len(),
+                limit: m,
+            });
+        }
+        let w = self.cfg.cells_per_operand(operand_bits);
+        let n_ops = m / w;
+        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
+        for &qv in query {
+            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
+        }
+        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
+        let mut results = vec![0u128; n_ops];
+        let mut drive = vec![0u16; start_row + query.len()];
+        for k in 0..cycles {
+            for (i, s) in sliced.iter().enumerate() {
+                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
+            }
+            let sums = self.analog_cycle_noisy(&drive, variation)?;
+            for (c, result) in results.iter_mut().enumerate() {
+                for j in 0..w {
+                    let p = sums[c * w + j];
+                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
+                    *result = result.wrapping_add(u128::from(p) << shift);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Upper bound on the ADC-rounding contribution of one noisy pipeline
+    /// run: ½ LSB per bitline per cycle, scaled by each partial's shift.
+    pub fn rounding_error_bound(&self, input_bits: u32, operand_bits: u32) -> f64 {
+        let w = self.cfg.cells_per_operand(operand_bits) as u32;
+        let cycles = input_bits.div_ceil(self.cfg.dac_bits);
+        let mut total = 0.0;
+        for k in 0..cycles {
+            for j in 0..w {
+                let shift = j * self.cfg.cell_bits + k * self.cfg.dac_bits;
+                total += 0.5 * (shift as f64).exp2();
+            }
+        }
+        total
+    }
+
+    /// Total programming pulses received by all cells (endurance metric).
+    pub fn total_writes(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.writes())).sum()
+    }
+
+    /// The highest write count of any single cell (worst-case wear).
+    pub fn max_cell_writes(&self) -> u32 {
+        self.cells.iter().map(Cell::writes).max().unwrap_or(0)
+    }
+}
+
+/// Reference check used in tests and docs: exact integer dot product.
+pub fn exact_dot(a: &[u64], b: &[u64]) -> u128 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u128::from(x) * u128::from(y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> CrossbarConfig {
+        CrossbarConfig {
+            size: 8,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig1_example_single_bit_layout() {
+        // Fig. 1: multipliers [3,1,0], [1,2,3], [2,0,1] programmed along
+        // bitlines; multiplicand [3,1,2] injected; expect [10, 11, 8].
+        let cfg = CrossbarConfig {
+            size: 3,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 8,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        xb.program_operand_column(0, 0, &[3, 1, 0], 2).unwrap();
+        xb.program_operand_column(0, 1, &[1, 2, 3], 2).unwrap();
+        xb.program_operand_column(0, 2, &[2, 0, 1], 2).unwrap();
+        let out = xb.dot_products(0, &[3, 1, 2], 2, 2).unwrap();
+        assert_eq!(out, vec![10, 11, 8]);
+    }
+
+    #[test]
+    fn multi_bit_operands_match_exact_dot() {
+        let cfg = tiny_cfg();
+        let mut xb = Crossbar::new(cfg).unwrap();
+        // 6-bit operands on 2-bit cells → 3 cells each → 2 operands per row.
+        let col_a = [25u64, 14, 63, 0];
+        let col_b = [9u64, 20, 1, 33];
+        xb.program_operand_column(0, 0, &col_a, 6).unwrap();
+        xb.program_operand_column(0, 3, &col_b, 6).unwrap();
+        let q = [9u64, 20, 7, 63];
+        let out = xb.dot_products(0, &q, 6, 6).unwrap();
+        assert_eq!(out[0], exact_dot(&col_a, &q));
+        assert_eq!(out[1], exact_dot(&col_b, &q));
+    }
+
+    #[test]
+    fn start_row_offsets_queries_stacked_slots() {
+        // Two vector slots stacked vertically; driving only one slot's rows
+        // isolates its dot product.
+        let cfg = tiny_cfg();
+        let mut xb = Crossbar::new(cfg).unwrap();
+        xb.program_operand_column(0, 0, &[3, 2], 4).unwrap(); // slot 0 rows 0..2
+        xb.program_operand_column(2, 0, &[7, 1], 4).unwrap(); // slot 1 rows 2..4
+        let q = [2u64, 5];
+        let out0 = xb.dot_products(0, &q, 4, 4).unwrap();
+        let out1 = xb.dot_products(2, &q, 4, 4).unwrap();
+        assert_eq!(out0[0], exact_dot(&[3, 2], &q));
+        assert_eq!(out1[0], exact_dot(&[7, 1], &q));
+    }
+
+    #[test]
+    fn geometry_violations_are_rejected() {
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        assert!(xb.program_cell(8, 0, 1).is_err());
+        assert!(xb.program_cell(0, 8, 1).is_err());
+        assert!(xb.program_operand_column(6, 0, &[1, 2, 3], 2).is_err());
+        assert!(xb.program_operand_column(0, 7, &[1], 4).is_err()); // needs 2 cells at col 7
+        assert!(xb.dot_products(7, &[1, 1], 2, 2).is_err());
+        let too_many = vec![0u16; 9];
+        assert!(xb.analog_cycle(&too_many).is_err());
+    }
+
+    #[test]
+    fn adc_overflow_detected() {
+        let cfg = CrossbarConfig {
+            size: 4,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 4,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        for r in 0..4 {
+            xb.program_operand_column(r, 0, &[3], 2).unwrap();
+            xb.program_operand_column(r, 1, &[3], 2).unwrap();
+            xb.program_operand_column(r, 2, &[3], 2).unwrap();
+            xb.program_operand_column(r, 3, &[3], 2).unwrap();
+        }
+        // 4 rows · 3 · 3 = 36 ≥ 2^4 → overflow.
+        assert!(matches!(
+            xb.analog_cycle(&[3, 3, 3, 3]),
+            Err(ReRamError::AdcOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn dac_level_out_of_range_rejected() {
+        let xb = Crossbar::new(tiny_cfg()).unwrap();
+        assert!(xb.analog_cycle(&[4]).is_err()); // 2-bit DAC holds 0..=3
+    }
+
+    #[test]
+    fn all_ones_gather_sums_partials() {
+        // A gather crossbar sums the values injected on its wordlines
+        // (column of ones ⇒ output = Σ inputs), exercised bit-sliced.
+        let cfg = CrossbarConfig {
+            size: 4,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 6,
+            ..Default::default()
+        };
+        let mut gather = Crossbar::new(cfg).unwrap();
+        gather.program_all_ones().unwrap();
+        let partials = [13u64, 7, 2, 9];
+        let out = gather.dot_products(0, &partials, 4, 1).unwrap();
+        assert_eq!(out[0], 31);
+    }
+
+    #[test]
+    fn endurance_accounting() {
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        assert_eq!(xb.total_writes(), 0);
+        let w = xb.program_operand_column(0, 0, &[25, 14], 6).unwrap();
+        assert_eq!(w, 6); // 2 operands × 3 cells
+        assert_eq!(xb.total_writes(), 6);
+        assert_eq!(xb.max_cell_writes(), 1);
+        // Reads must not wear cells.
+        xb.dot_products(0, &[1, 1], 6, 6).unwrap();
+        assert_eq!(xb.total_writes(), 6);
+    }
+
+    #[test]
+    fn noisy_pipeline_stays_within_envelope() {
+        use crate::variation::VariationModel;
+        let cfg = CrossbarConfig {
+            size: 8,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 12,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        let col = [25u64, 14, 63, 40];
+        xb.program_operand_column(0, 0, &col, 6).unwrap();
+        let q = [9u64, 20, 7, 63];
+        let exact = exact_dot(&col, &q);
+        for seed in 0..20 {
+            let v = VariationModel::new(0.05, seed);
+            let noisy = xb.dot_products_noisy(0, &q, 6, 6, &v).unwrap()[0];
+            let envelope = v.dot_error_bound(exact, xb.rounding_error_bound(6, 6));
+            let err = (noisy as f64 - exact as f64).abs();
+            assert!(
+                err <= envelope + 1e-9,
+                "seed={seed}: err {err} > envelope {envelope}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variation_matches_ideal_pipeline() {
+        use crate::variation::VariationModel;
+        let cfg = tiny_cfg();
+        let mut xb = Crossbar::new(cfg).unwrap();
+        xb.program_operand_column(0, 0, &[25, 14, 63, 0], 6)
+            .unwrap();
+        let q = [9u64, 20, 7, 63];
+        let ideal = xb.dot_products(0, &q, 6, 6).unwrap();
+        let v = VariationModel::new(0.0, 99);
+        let noisy = xb.dot_products_noisy(0, &q, 6, 6, &v).unwrap();
+        assert_eq!(ideal[0], noisy[0]);
+    }
+
+    #[test]
+    fn rounding_bound_formula() {
+        let cfg = tiny_cfg();
+        let xb = Crossbar::new(cfg).unwrap();
+        // 6-bit operands, 2-bit cells/DAC: shifts {0,2,4}×{0,2,4} → Σ ½·2^s
+        // over the 9 combinations.
+        let mut expect = 0.0;
+        for k in [0u32, 2, 4] {
+            for j in [0u32, 2, 4] {
+                expect += 0.5 * ((k + j) as f64).exp2();
+            }
+        }
+        assert!((xb.rounding_error_bound(6, 6) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_query_yields_zero() {
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        xb.program_operand_column(0, 0, &[63, 63], 6).unwrap();
+        let out = xb.dot_products(0, &[0, 0], 6, 6).unwrap();
+        assert_eq!(out[0], 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for the ReRAM simulator.
+
+use std::fmt;
+
+/// Errors raised by the crossbar / PIM-array simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReRamError {
+    /// An operand does not fit the configured bit-width.
+    OperandOverflow {
+        /// The offending value.
+        value: u64,
+        /// The configured width it must fit.
+        bits: u32,
+    },
+    /// A vector or input exceeds the crossbar / layout geometry.
+    GeometryViolation {
+        /// Which quantity violated the geometry.
+        what: &'static str,
+        /// The provided size.
+        got: usize,
+        /// The geometric limit.
+        limit: usize,
+    },
+    /// The dataset does not fit in the PIM array's crossbar budget.
+    InsufficientCapacity {
+        /// Crossbars the layout needs.
+        required: usize,
+        /// Crossbars still free.
+        available: usize,
+    },
+    /// An online operation was issued before the array was programmed.
+    NotProgrammed,
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Which parameter and why.
+        what: &'static str,
+    },
+    /// Analog accumulation exceeded the configured ADC resolution — the
+    /// hardware would clip; the simulator refuses instead of silently
+    /// producing wrong currents.
+    AdcOverflow {
+        /// The analog sum that clipped.
+        value: u64,
+        /// The configured ADC resolution.
+        adc_bits: u32,
+    },
+}
+
+impl fmt::Display for ReRamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OperandOverflow { value, bits } => {
+                write!(f, "operand {value} does not fit in {bits} bits")
+            }
+            Self::GeometryViolation { what, got, limit } => {
+                write!(
+                    f,
+                    "geometry violation: {what} = {got} exceeds limit {limit}"
+                )
+            }
+            Self::InsufficientCapacity {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "dataset needs {required} crossbars but only {available} are available"
+                )
+            }
+            Self::NotProgrammed => write!(f, "PIM array has not been programmed with a dataset"),
+            Self::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Self::AdcOverflow { value, adc_bits } => {
+                write!(
+                    f,
+                    "analog sum {value} exceeds {adc_bits}-bit ADC resolution"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReRamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ReRamError::OperandOverflow { value: 9, bits: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(ReRamError::NotProgrammed.to_string().contains("programmed"));
+        assert!(ReRamError::InsufficientCapacity {
+            required: 5,
+            available: 2
+        }
+        .to_string()
+        .contains("crossbars"));
+    }
+}

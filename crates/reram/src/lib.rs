@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! # simpim-reram
+//!
+//! A functional + timing simulator for ReRAM crossbar processing-in-memory,
+//! standing in for the NVSim-modeled hardware of the paper (Section II-A,
+//! III-A and VI-A).
+//!
+//! ## What is modeled
+//!
+//! * [`cell`] — a single ReRAM cell holding an `h`-bit conductance level,
+//!   with per-cell write-endurance accounting (ReRAM endurance is limited:
+//!   Table 1 lists 10⁸–10¹¹ writes).
+//! * [`crossbar`] — an `m×m` crossbar executing the analog dot-product of
+//!   Fig. 1: inject voltages on wordlines, read per-bitline currents.
+//! * [`bitslice`] — operand slicing for `b > h` (Fig. 2): a `b`-bit operand
+//!   occupies `⌈b/h⌉` adjacent cells; inputs stream through the DAC
+//!   `dac_bits` at a time; shift-and-add (S&A) recombines partial sums.
+//! * [`gather`] — decomposition of `d > m` vectors over multiple data
+//!   crossbars plus the all-ones *gather crossbar* reduction tree
+//!   (Fig. 3 and Fig. 11), including the crossbar-count formulas of
+//!   Eq. 11–12 that Theorem 4 builds on.
+//! * [`mod@array`] — the three arrays of a ReRAM bank (Fig. 4b): the PIM array
+//!   (a budget of `C` crossbars), the buffer array (eDRAM cache for PIM
+//!   results) and the memory array (plain storage).
+//! * [`bank`] — the bank controller tying the arrays together and exposing
+//!   the offline *program* / online *dot-product batch* operations used by
+//!   `simpim-core`'s executor.
+//! * [`timing`] / [`energy`] — latency and energy accounting with the
+//!   paper's Table 5 constants (256×256 2-bit cells, 29.31 / 50.88 ns
+//!   read/write, 2 GB PIM array, 16 MB eDRAM buffer, 50 GB/s internal bus).
+//!
+//! ## Fidelity modes
+//!
+//! A default 2 GB PIM array holds 131 072 crossbars of 65 536 cells each —
+//! far too many to materialize cell-by-cell. The simulator therefore has two
+//! execution paths that are *proven equivalent by tests*:
+//!
+//! * the **unit-level model** ([`crossbar::Crossbar`]) materializes cells and
+//!   runs the full bit-sliced analog pipeline; it is exercised directly by
+//!   unit/property tests and by small examples;
+//! * the **array-level model** ([`array::PimArray`]) keeps the programmed
+//!   integer matrix plus layout metadata, computes dot products directly,
+//!   and charges the *same* cycle-accurate timing the unit-level pipeline
+//!   would incur. Property tests assert both paths produce bit-identical
+//!   results on randomized inputs.
+
+pub mod array;
+pub mod bank;
+pub mod bitslice;
+pub mod cell;
+pub mod config;
+pub mod crossbar;
+pub mod energy;
+pub mod error;
+pub mod gather;
+pub mod timing;
+pub mod variation;
+
+pub use array::{BufferArray, MemoryArray, PimArray, ProgramReport};
+pub use bank::{DotBatchResult, ReRamBank};
+pub use config::{AccWidth, CrossbarConfig, PimConfig};
+pub use crossbar::Crossbar;
+pub use error::ReRamError;
+pub use gather::{crossbar_cost_per_pair, dataset_crossbar_cost, CrossbarCost};
+pub use timing::PimTiming;
+pub use variation::VariationModel;

@@ -1,0 +1,82 @@
+//! Error type shared by the similarity primitives.
+
+use std::fmt;
+
+/// Errors raised while constructing or combining vector containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimilarityError {
+    /// Two operands had different dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A container was constructed from a buffer whose length is not a
+    /// multiple of the declared dimensionality.
+    RaggedBuffer {
+        /// Buffer length.
+        len: usize,
+        /// Declared dimensionality.
+        dim: usize,
+    },
+    /// Dimensionality must be non-zero.
+    EmptyDimension,
+    /// Segment length must evenly divide the dimensionality.
+    InvalidSegmentation {
+        /// Vector dimensionality.
+        dim: usize,
+        /// Requested segment count.
+        segments: usize,
+    },
+    /// A value outside the domain expected by an operation (e.g. a
+    /// non-finite float fed to the quantizer).
+    InvalidValue {
+        /// What was invalid.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for SimilarityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            Self::RaggedBuffer { len, dim } => {
+                write!(
+                    f,
+                    "buffer of length {len} is not a multiple of dimension {dim}"
+                )
+            }
+            Self::EmptyDimension => write!(f, "dimensionality must be non-zero"),
+            Self::InvalidSegmentation { dim, segments } => {
+                write!(
+                    f,
+                    "cannot split {dim} dimensions into {segments} equal segments"
+                )
+            }
+            Self::InvalidValue { context } => write!(f, "invalid value: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SimilarityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimilarityError::DimensionMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+        let e = SimilarityError::RaggedBuffer { len: 10, dim: 3 };
+        assert!(e.to_string().contains("10"));
+        let e = SimilarityError::InvalidSegmentation {
+            dim: 10,
+            segments: 3,
+        };
+        assert!(e.to_string().contains("segments"));
+    }
+}

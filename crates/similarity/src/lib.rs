@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # simpim-similarity
+//!
+//! Vector containers and similarity measures used throughout the `simpim`
+//! workspace, reproducing Section II-B of the paper:
+//!
+//! * [`Dataset`] — dense row-major `N × d` floating-point data,
+//! * [`BinaryDataset`] — packed binary codes for Hamming-distance workloads,
+//! * the four similarity measures of Table 2: squared Euclidean distance
+//!   ([`measures::euclidean_sq`]), cosine similarity ([`measures::cosine`]),
+//!   Pearson correlation coefficient ([`measures::pearson`]) and Hamming
+//!   distance ([`BinaryVecRef::hamming`]),
+//! * the α-quantization of Section V-B (Eq. 5–6): [`quantize`],
+//! * per-segment mean/standard-deviation statistics used by the segmented
+//!   bounds (LB_SM, LB_FNN) and by dimensionality reduction: [`segments`].
+//!
+//! Everything here is plain host-side math; the ReRAM functional model lives
+//! in `simpim-reram` and the PIM-aware reformulations in `simpim-core`.
+
+pub mod binary;
+pub mod dataset;
+pub mod error;
+pub mod measures;
+pub mod quantize;
+pub mod segments;
+pub mod stats;
+
+pub use binary::{BinaryDataset, BinaryVecRef};
+pub use dataset::Dataset;
+pub use error::SimilarityError;
+pub use measures::Measure;
+pub use quantize::{NormalizedDataset, QuantizedDataset, QuantizedVec, Quantizer, RowStats};
+pub use segments::{SegmentProfile, SegmentStats};

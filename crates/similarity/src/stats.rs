@@ -1,0 +1,89 @@
+//! Small statistical helpers (mean, population standard deviation, dot
+//! products, norms) shared by the measures and the segment profiles.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+#[inline]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (`σ`, divisor `n`), matching the segment
+/// statistics used by LB_FNN \[26\].
+#[inline]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.max(0.0).sqrt()
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ; callers validate
+/// dimensionality at container boundaries.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Squared L2 norm `Σ xᵢ²`.
+#[inline]
+pub fn norm_sq(xs: &[f64]) -> f64 {
+    xs.iter().map(|&x| x * x).sum()
+}
+
+/// L2 norm.
+#[inline]
+pub fn norm(xs: &[f64]) -> f64 {
+    norm_sq(xs).sqrt()
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_constants() {
+        let xs = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(mean(&xs), 2.0);
+        assert_eq!(std_dev(&xs), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        // population variance of 1..4 is 1.25
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(norm_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(norm_sq(&a), 14.0);
+        assert!((norm(&a) - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Platform constants of the paper's evaluation machine (Table 5 host
+//! side): a 2.10 GHz Intel Xeon E5-2620 (Broadwell) with 32 KB / 256 KB /
+//! 20 MB caches and 16 GB DDR4, running single-threaded C++ at -O3.
+//!
+//! These are the defaults behind [`crate::cost::HostParams`]; every value
+//! is overridable for sensitivity studies.
+
+/// Core clock period in nanoseconds (2.10 GHz).
+pub const CYCLE_NS: f64 = 1.0 / 2.1;
+
+/// Sustained simple-op issue rate (adds/compares) for -O3 vectorized scans,
+/// in operations per cycle. Broadwell retires up to 4 µops/cycle; dense
+/// double-precision loops sustain ≈ 4 flops/cycle with AVX.
+pub const ISSUE_WIDTH: f64 = 4.0;
+
+/// Latency of a double-precision divide in cycles (Broadwell `divsd`).
+pub const DIV_LATENCY_CYCLES: f64 = 20.0;
+
+/// Latency of a double-precision square root in cycles (`sqrtsd`).
+pub const SQRT_LATENCY_CYCLES: f64 = 20.0;
+
+/// Branch misprediction penalty in cycles.
+pub const BRANCH_PENALTY_CYCLES: f64 = 16.0;
+
+/// Default fraction of branches mispredicted in data-dependent pruning
+/// loops.
+pub const MISPREDICT_RATE: f64 = 0.03;
+
+/// Front-end (fetch/decode) stall overhead as a fraction of compute time
+/// (`T_Fe` in Eq. 1).
+pub const FRONTEND_OVERHEAD_FRAC: f64 = 0.12;
+
+/// Sustained single-thread streaming bandwidth from DRAM in GB/s. A single
+/// Broadwell core streams ≈ 10–12 GB/s of the ~17 GB/s channel peak.
+pub const STREAM_BANDWIDTH_GBPS: f64 = 10.0;
+
+/// Random-access (cache-miss) latency to DRAM in nanoseconds.
+pub const DRAM_LATENCY_NS: f64 = 90.0;
+
+/// Sustained single-thread write bandwidth to DRAM in GB/s.
+pub const WRITE_BANDWIDTH_GBPS: f64 = 8.0;
+
+/// Cache line size in bytes.
+pub const LINE_BYTES: usize = 64;
+
+/// L1 data cache: 32 KB, 8-way.
+pub const L1_BYTES: usize = 32 * 1024;
+/// L1 associativity.
+pub const L1_WAYS: usize = 8;
+/// L1 hit latency in cycles.
+pub const L1_LATENCY_CYCLES: f64 = 4.0;
+
+/// L2 cache: 256 KB, 8-way.
+pub const L2_BYTES: usize = 256 * 1024;
+/// L2 associativity.
+pub const L2_WAYS: usize = 8;
+/// L2 hit latency in cycles.
+pub const L2_LATENCY_CYCLES: f64 = 12.0;
+
+/// L3 cache: 20 MB, 16-way (shared; paper's machine).
+pub const L3_BYTES: usize = 20 * 1024 * 1024;
+/// L3 associativity.
+pub const L3_WAYS: usize = 16;
+/// L3 hit latency in cycles.
+pub const L3_LATENCY_CYCLES: f64 = 40.0;
+
+/// Quartz-style delay factor on reads when main memory is ReRAM instead of
+/// DRAM (Table 1: comparable read latency).
+pub const NVM_READ_FACTOR: f64 = 1.0;
+
+/// Quartz-style delay factor on writes when main memory is ReRAM (Table 1:
+/// ~50 ns vs ~10 ns).
+pub const NVM_WRITE_FACTOR: f64 = 5.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_sizes_match_table5() {
+        assert_eq!(L1_BYTES, 32 * 1024);
+        assert_eq!(L2_BYTES, 256 * 1024);
+        assert_eq!(L3_BYTES, 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn clock_matches_cpu() {
+        assert!((CYCLE_NS * 2.1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvm_write_factor_reflects_table1() {
+        // ReRAM writes ~50 ns vs DRAM ~10 ns.
+        assert!((NVM_WRITE_FACTOR - 5.0).abs() < 1e-12);
+        assert!((NVM_READ_FACTOR - 1.0).abs() < 1e-12);
+    }
+}

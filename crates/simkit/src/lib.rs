@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # simpim-simkit
+//!
+//! The system-level performance model — this repository's substitute for
+//! the paper's NVSim + Quartz simulation stack (Section VI-A) on the host
+//! side, and for the PAPI hardware counters of Section IV-A.
+//!
+//! The paper characterizes execution time as (Eq. 1):
+//!
+//! ```text
+//! T_total = T_c + T_cache + T_ALU + T_Br + T_Fe
+//! ```
+//!
+//! * [`counters::OpCounters`] is the instrumentation vocabulary: mining
+//!   algorithms count arithmetic / multiply / divide / compare / branch
+//!   operations and the bytes they move (streamed scans, random fetches,
+//!   writes).
+//! * [`cost::HostParams`] converts counters into a [`breakdown::TimeBreakdown`]
+//!   with the five components of Eq. 1, using latencies of the paper's
+//!   platform (Table 5: 2.10 GHz Xeon E5-2620, 32 KB/256 KB/20 MB caches,
+//!   DDR4).
+//! * [`cache`] is a set-associative LRU multi-level cache simulator used to
+//!   validate the analytical miss-cost assumptions on sampled access traces
+//!   (the trace-driven counterpart of the analytical `T_cache`).
+//! * [`quartz`] applies Quartz-style delay injection when main memory is
+//!   ReRAM instead of DRAM (reads comparable, writes ~5× slower — Table 1).
+
+pub mod breakdown;
+pub mod cache;
+pub mod constants;
+pub mod cost;
+pub mod counters;
+pub mod quartz;
+
+pub use breakdown::TimeBreakdown;
+pub use cache::{AccessOutcome, Cache, CacheConfig, Hierarchy, HierarchyStats};
+pub use cost::HostParams;
+pub use counters::OpCounters;
+pub use quartz::NvmEmulator;

@@ -1,0 +1,92 @@
+//! k-means clustering with PIM acceleration (Section VI-D's workload).
+//!
+//! ```text
+//! cargo run --release --example kmeans_clustering
+//! ```
+//!
+//! Clusters a NUS-WIDE-shaped synthetic dataset with all four algorithm
+//! families — Lloyd, Elkan, Drake, Yinyang — and their `-PIM` variants.
+//! Every variant starts from the same initial centers and must converge to
+//! identical assignments (the bounds are lossless); the modeled ms/iter
+//! shows who benefits from PIM and who does not (Elkan's bound-update
+//! overhead caps its gain, as in the paper).
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor};
+use simpim::datasets::{generate, SyntheticConfig};
+use simpim::mining::kmeans::drake::kmeans_drake;
+use simpim::mining::kmeans::elkan::kmeans_elkan;
+use simpim::mining::kmeans::lloyd::kmeans_lloyd;
+use simpim::mining::kmeans::pim::PimAssist;
+use simpim::mining::kmeans::yinyang::kmeans_yinyang;
+use simpim::mining::kmeans::{KmeansConfig, KmeansResult};
+use simpim::similarity::NormalizedDataset;
+use simpim::simkit::HostParams;
+
+fn main() {
+    let data = generate(&SyntheticConfig {
+        n: 8_000,
+        d: 500,
+        clusters: 32,
+        cluster_std: 0.05,
+        stat_uniformity: 0.1,
+        seed: 2024,
+    });
+    let cfg = KmeansConfig {
+        k: 64,
+        max_iters: 25,
+        seed: 11,
+    };
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    let params = HostParams::default();
+
+    type Algo = fn(
+        &simpim::similarity::Dataset,
+        &KmeansConfig,
+        Option<&mut PimAssist<'_>>,
+    ) -> Result<KmeansResult, simpim::core::CoreError>;
+    let algos: [(&str, Algo); 4] = [
+        ("Standard", kmeans_lloyd as Algo),
+        ("Elkan", kmeans_elkan as Algo),
+        ("Drake", kmeans_drake as Algo),
+        ("Yinyang", kmeans_yinyang as Algo),
+    ];
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>14} {:>9}",
+        "algorithm", "iters", "inertia", "ms/iter", "speedup"
+    );
+    let mut reference: Option<Vec<usize>> = None;
+    for (name, algo) in algos {
+        let base = algo(&data, &cfg, None).expect("baseline never touches PIM");
+        if let Some(r) = &reference {
+            assert_eq!(&base.assignments, r, "{name} must match Lloyd exactly");
+        } else {
+            reference = Some(base.assignments.clone());
+        }
+        let base_ms = base.report.total_ms(&params) / base.iterations as f64;
+
+        let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+            .expect("fits PIM array");
+        let mut assist = PimAssist::new(&mut exec);
+        let pim = algo(&data, &cfg, Some(&mut assist)).expect("prepared executor");
+        assert_eq!(
+            pim.assignments,
+            *reference.as_ref().expect("set above"),
+            "{name}-PIM must be lossless"
+        );
+        let pim_ms = pim.report.total_ms(&params) / pim.iterations as f64;
+
+        println!(
+            "{:<14} {:>6} {:>12.4} {:>14.3} {:>8}",
+            name, base.iterations, base.inertia, base_ms, "-"
+        );
+        println!(
+            "{:<14} {:>6} {:>12.4} {:>14.3} {:>8.2}x",
+            format!("{name}-PIM"),
+            pim.iterations,
+            pim.inertia,
+            pim_ms,
+            base_ms / pim_ms
+        );
+    }
+}

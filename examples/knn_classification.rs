@@ -1,0 +1,101 @@
+//! kNN classification with PIM acceleration — the paper's motivating
+//! workload (Section I).
+//!
+//! ```text
+//! cargo run --release --example knn_classification
+//! ```
+//!
+//! Generates a labeled dataset (latent cluster = class), classifies held-out
+//! queries by majority vote among the k nearest neighbors, and shows that
+//! the FNN cascade and its PIM-optimized variant produce the *same
+//! predictions* as the exhaustive scan — accuracy is never compromised
+//! (the paper's core claim) — while pruning almost all exact distance
+//! computations.
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor};
+use simpim::datasets::{generate_labeled, sample_queries, SyntheticConfig};
+use simpim::mining::knn::algorithms::fnn_cascade;
+use simpim::mining::knn::cascade::knn_cascade;
+use simpim::mining::knn::pim::knn_pim_ed;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::mining::knn::KnnResult;
+use simpim::similarity::{Measure, NormalizedDataset};
+use simpim::simkit::HostParams;
+use simpim_bounds::BoundCascade;
+
+/// Majority vote over the neighbor labels (lowest class wins ties).
+fn classify(result: &KnnResult, labels: &[usize], classes: usize) -> usize {
+    let mut votes = vec![0usize; classes];
+    for &(i, _) in &result.neighbors {
+        votes[labels[i]] += 1;
+    }
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(c, &v)| (v, usize::MAX - c))
+        .map(|(c, _)| c)
+        .expect("at least one class")
+}
+
+fn main() {
+    let classes = 12;
+    let (data, labels) = generate_labeled(&SyntheticConfig {
+        n: 15_000,
+        d: 256,
+        clusters: classes,
+        cluster_std: 0.06,
+        stat_uniformity: 0.1,
+        seed: 42,
+    });
+    let queries = sample_queries(&data, 40, 0.03, 4242);
+    let k = 10;
+
+    // Three classifiers over the same data.
+    let cascade = fnn_cascade(&data).expect("divisible dims");
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    let mut exec =
+        PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds).expect("fits PIM array");
+
+    let params = HostParams::default();
+    let (mut t_std, mut t_fnn, mut t_pim) = (0.0, 0.0, 0.0);
+    let mut agree = 0usize;
+    let mut per_class_hits = 0usize;
+    for q in &queries {
+        let std_res = knn_standard(&data, q, k, Measure::EuclideanSq);
+        let fnn_res = knn_cascade(&data, &cascade, q, k, Measure::EuclideanSq);
+        let pim_res = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), q, k).expect("prepared");
+
+        let c_std = classify(&std_res, &labels, classes);
+        let c_fnn = classify(&fnn_res, &labels, classes);
+        let c_pim = classify(&pim_res, &labels, classes);
+        assert_eq!(std_res.indices(), fnn_res.indices(), "FNN must be exact");
+        assert_eq!(std_res.indices(), pim_res.indices(), "PIM must be exact");
+        assert_eq!(c_std, c_fnn);
+        assert_eq!(c_std, c_pim);
+        agree += 1;
+
+        // Ground truth: the label of the nearest stored point.
+        if c_std == labels[std_res.neighbors[0].0] {
+            per_class_hits += 1;
+        }
+        t_std += std_res.report.total_ms(&params);
+        t_fnn += fnn_res.report.total_ms(&params);
+        t_pim += pim_res.report.total_ms(&params);
+    }
+
+    println!("queries classified:         {}", queries.len());
+    println!("all three classifiers agree: {agree}/{}", queries.len());
+    println!(
+        "1-NN-label consistency:      {per_class_hits}/{}",
+        queries.len()
+    );
+    println!("Standard      total: {t_std:>9.2} ms");
+    println!(
+        "FNN           total: {t_fnn:>9.2} ms   ({:.1}x vs Standard)",
+        t_std / t_fnn
+    );
+    println!(
+        "Standard-PIM  total: {t_pim:>9.2} ms   ({:.1}x vs Standard)",
+        t_std / t_pim
+    );
+}

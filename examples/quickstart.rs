@@ -1,0 +1,85 @@
+//! Quickstart: accelerate one kNN query with ReRAM PIM, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the paper's pipeline on a small synthetic workload:
+//! 1. generate normalized data,
+//! 2. program its α-quantized floors onto the simulated PIM array
+//!    (offline stage, Fig. 9),
+//! 3. answer a query with `Standard` (linear scan) and with
+//!    `Standard-PIM` (LB_PIM-ED filter + exact refinement),
+//! 4. verify both return identical neighbors and report the modeled
+//!    times.
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor};
+use simpim::datasets::{generate, sample_queries, SyntheticConfig};
+use simpim::mining::knn::pim::knn_pim_ed;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::similarity::{Measure, NormalizedDataset};
+use simpim::simkit::HostParams;
+use simpim_bounds::BoundCascade;
+
+fn main() {
+    // 1. A 20k × 128 clustered dataset, values already in [0, 1].
+    let data = generate(&SyntheticConfig {
+        n: 20_000,
+        d: 128,
+        clusters: 16,
+        cluster_std: 0.05,
+        stat_uniformity: 0.1,
+        seed: 7,
+    });
+    let query = sample_queries(&data, 1, 0.02, 99).remove(0);
+    println!("dataset: {} × {}", data.len(), data.dim());
+
+    // 2. Offline: quantize (α = 1e6) and program the PIM array.
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+        .expect("dataset fits the 2 GB PIM array");
+    let rep = exec.report();
+    println!(
+        "programmed {} crossbars ({} cell writes, {:.2} ms offline) — bound: {}",
+        rep.crossbars_used,
+        rep.cell_writes,
+        rep.program_ns / 1e6,
+        exec.bound_name()
+    );
+
+    // 3. Query both ways.
+    let k = 10;
+    let baseline = knn_standard(&data, &query, k, Measure::EuclideanSq);
+    let pim =
+        knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &query, k).expect("prepared executor");
+
+    // 4. Same answer, less data transfer.
+    assert_eq!(
+        baseline.indices(),
+        pim.indices(),
+        "PIM result must be exact"
+    );
+    println!("k = {k} nearest neighbors agree: {:?}", pim.indices());
+
+    let params = HostParams::default();
+    let t_base = baseline.report.total_ms(&params);
+    let t_pim = pim.report.total_ms(&params);
+    println!("Standard      : {:>8.3} ms (model)", t_base);
+    println!(
+        "Standard-PIM  : {:>8.3} ms (model, incl. {:.3} ms on crossbars)",
+        t_pim,
+        pim.report.pim.total_ns() / 1e6
+    );
+    println!("speedup       : {:>8.1}x", t_base / t_pim);
+
+    let refined = pim
+        .report
+        .profile
+        .get("ED")
+        .map(|r| r.counters.random_fetches)
+        .unwrap_or(0);
+    println!(
+        "exact refinements after the PIM filter: {refined} of {} candidates",
+        data.len()
+    );
+}

@@ -1,0 +1,352 @@
+//! `simpim` — command-line driver for PIM-accelerated similarity mining.
+//!
+//! ```text
+//! simpim info     --data vectors.csv
+//! simpim knn      --data vectors.csv --query-row 0 --k 10 [--measure ed|cs|pcc] [--pim]
+//! simpim kmeans   --data vectors.csv --k 8 [--algo lloyd|elkan|drake|yinyang] [--pim]
+//! simpim dbscan   --data vectors.csv --eps 0.2 --min-pts 5 [--pim]
+//! simpim outliers --data vectors.csv --k 5 --m 10 [--pim]
+//! ```
+//!
+//! `--data` accepts `.csv` (one float vector per line) or `.fvecs`
+//! (TEXMEX binary). Values are min–max normalized into `[0, 1]` before
+//! mining, as the paper prescribes; `--pim` runs the lossless
+//! PIM-accelerated variant and reports both architectures' model times.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor};
+use simpim::core::memory::choose_dimensionality;
+use simpim::datasets::io::{read_csv, read_fvecs};
+use simpim::mining::dbscan::dbscan;
+use simpim::mining::kmeans::pim::PimAssist;
+use simpim::mining::kmeans::KmeansConfig;
+use simpim::mining::knn::pim::{knn_pim_ed, knn_pim_sim};
+use simpim::mining::knn::standard::knn_standard;
+use simpim::mining::outlier::{outliers_pim, outliers_standard};
+use simpim::similarity::{Dataset, Measure, NormalizedDataset, Quantizer};
+use simpim::simkit::HostParams;
+use simpim_bounds::BoundCascade;
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    switches.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+        }
+        Ok(Self { flags, switches })
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{name} {v:?}: {e}")),
+        }
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_data(path: &Path) -> Result<Dataset, String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("csv") => read_csv(path).map_err(|e| format!("reading {path:?}: {e}")),
+        Some("fvecs") => read_fvecs(path).map_err(|e| format!("reading {path:?}: {e}")),
+        other => Err(format!(
+            "unsupported extension {other:?} (use .csv or .fvecs)"
+        )),
+    }
+}
+
+fn normalize(data: &Dataset) -> Result<(NormalizedDataset, Quantizer), String> {
+    let quant = Quantizer::fit(data, 1e6).map_err(|e| e.to_string())?;
+    Ok((quant.normalize_dataset(data), quant))
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let data = load_data(&PathBuf::from(args.required("data")?))?;
+    println!("objects: {}", data.len());
+    println!("dimensions: {}", data.dim());
+    let (lo, hi) = data.value_range().ok_or("empty dataset")?;
+    println!("value range: [{lo}, {hi}]");
+    let cfg = ExecutorConfig::default();
+    match choose_dimensionality(data.len(), data.dim(), 4, cfg.operand_bits, &cfg.pim) {
+        Ok(plan) => println!(
+            "Theorem 4 plan (2 GB PIM array): s = {}{}, {} crossbars",
+            plan.s,
+            if plan.uncompressed {
+                " (uncompressed)"
+            } else {
+                ""
+            },
+            plan.total_crossbars()
+        ),
+        Err(e) => println!("Theorem 4: {e}"),
+    }
+    Ok(())
+}
+
+fn cmd_knn(args: &Args) -> Result<(), String> {
+    let data = load_data(&PathBuf::from(args.required("data")?))?;
+    let k: usize = args.get("k", 10)?;
+    let row: usize = args.get("query-row", 0)?;
+    if row >= data.len() {
+        return Err(format!(
+            "--query-row {row} out of range (N = {})",
+            data.len()
+        ));
+    }
+    let measure = match args
+        .flags
+        .get("measure")
+        .map(String::as_str)
+        .unwrap_or("ed")
+    {
+        "ed" => Measure::EuclideanSq,
+        "cs" => Measure::Cosine,
+        "pcc" => Measure::Pearson,
+        other => return Err(format!("unknown --measure {other:?} (ed|cs|pcc)")),
+    };
+    let (nds, _) = normalize(&data)?;
+    let norm = nds.dataset().clone();
+    let query: Vec<f64> = norm.row(row).to_vec();
+    let params = HostParams::default();
+
+    let base = knn_standard(&norm, &query, k, measure);
+    println!("k = {k} nearest (baseline): {:?}", base.indices());
+    println!(
+        "baseline model time: {:.3} ms",
+        base.report.total_ms(&params)
+    );
+
+    if args.switch("pim") {
+        let res = match measure {
+            Measure::EuclideanSq => {
+                let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+                    .map_err(|e| e.to_string())?;
+                knn_pim_ed(&mut exec, &norm, &BoundCascade::empty(), &query, k)
+                    .map_err(|e| e.to_string())?
+            }
+            _ => {
+                let target = if measure == Measure::Cosine {
+                    simpim::core::executor::SimTarget::Cosine
+                } else {
+                    simpim::core::executor::SimTarget::Pearson
+                };
+                let mut exec =
+                    PimExecutor::prepare_similarity(ExecutorConfig::default(), &nds, target)
+                        .map_err(|e| e.to_string())?;
+                knn_pim_sim(&mut exec, &norm, &query, k, measure).map_err(|e| e.to_string())?
+            }
+        };
+        assert_eq!(res.indices(), base.indices(), "PIM result must be exact");
+        println!(
+            "PIM model time: {:.3} ms (identical neighbors)",
+            res.report.total_ms(&params)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_kmeans(args: &Args) -> Result<(), String> {
+    let data = load_data(&PathBuf::from(args.required("data")?))?;
+    let k: usize = args.get("k", 8)?;
+    let iters: usize = args.get("max-iters", 25)?;
+    let algo = args
+        .flags
+        .get("algo")
+        .map(String::as_str)
+        .unwrap_or("lloyd")
+        .to_string();
+    if !["lloyd", "elkan", "drake", "yinyang"].contains(&algo.as_str()) {
+        return Err(format!(
+            "unknown --algo {algo:?} (lloyd|elkan|drake|yinyang)"
+        ));
+    }
+    let (nds, _) = normalize(&data)?;
+    let norm = nds.dataset().clone();
+    let cfg = KmeansConfig {
+        k,
+        max_iters: iters,
+        seed: args.get("seed", 7)?,
+    };
+    let params = HostParams::default();
+
+    let run = |pim: Option<&mut PimAssist<'_>>| match algo.as_str() {
+        "lloyd" => simpim::mining::kmeans::lloyd::kmeans_lloyd(&norm, &cfg, pim),
+        "elkan" => simpim::mining::kmeans::elkan::kmeans_elkan(&norm, &cfg, pim),
+        "drake" => simpim::mining::kmeans::drake::kmeans_drake(&norm, &cfg, pim),
+        "yinyang" => simpim::mining::kmeans::yinyang::kmeans_yinyang(&norm, &cfg, pim),
+        other => panic!("unknown --algo {other:?} (lloyd|elkan|drake|yinyang)"),
+    };
+
+    let base = run(None).map_err(|e| e.to_string())?;
+    println!(
+        "{algo}: {} iterations, inertia {:.4}, {:.2} ms/iter (model)",
+        base.iterations,
+        base.inertia,
+        base.report.total_ms(&params) / base.iterations as f64
+    );
+    if args.switch("pim") {
+        let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+            .map_err(|e| e.to_string())?;
+        let mut assist = PimAssist::new(&mut exec);
+        let pim = run(Some(&mut assist)).map_err(|e| e.to_string())?;
+        assert_eq!(
+            pim.assignments, base.assignments,
+            "PIM clustering must be exact"
+        );
+        println!(
+            "{algo}-PIM: identical assignments, {:.2} ms/iter (model)",
+            pim.report.total_ms(&params) / pim.iterations as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dbscan(args: &Args) -> Result<(), String> {
+    let data = load_data(&PathBuf::from(args.required("data")?))?;
+    let eps: f64 = args.get("eps", 0.2)?;
+    let min_pts: usize = args.get("min-pts", 5)?;
+    let (nds, _) = normalize(&data)?;
+    let norm = nds.dataset().clone();
+    let params = HostParams::default();
+
+    let base = dbscan(&norm, eps, min_pts, None).map_err(|e| e.to_string())?;
+    println!(
+        "dbscan(eps={eps}, min_pts={min_pts}): {} clusters, {} noise; {:.2} ms (model)",
+        base.clusters,
+        base.noise_count(),
+        base.report.total_ms(&params)
+    );
+    if args.switch("pim") {
+        let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+            .map_err(|e| e.to_string())?;
+        let pim = dbscan(&norm, eps, min_pts, Some(&mut exec)).map_err(|e| e.to_string())?;
+        assert_eq!(pim.labels, base.labels, "PIM labeling must be exact");
+        println!(
+            "dbscan-PIM: identical labeling; {:.2} ms (model)",
+            pim.report.total_ms(&params)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_outliers(args: &Args) -> Result<(), String> {
+    let data = load_data(&PathBuf::from(args.required("data")?))?;
+    let k: usize = args.get("k", 5)?;
+    let m: usize = args.get("m", 10)?;
+    let (nds, _) = normalize(&data)?;
+    let norm = nds.dataset().clone();
+    let params = HostParams::default();
+
+    let base = outliers_standard(&norm, k, m);
+    println!("top-{m} outliers by {k}-NN distance:");
+    for (i, score) in &base.outliers {
+        println!("  object {i}: score {score:.5}");
+    }
+    println!(
+        "baseline model time: {:.2} ms",
+        base.report.total_ms(&params)
+    );
+    if args.switch("pim") {
+        let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds)
+            .map_err(|e| e.to_string())?;
+        let pim = outliers_pim(&mut exec, &norm, k, m).map_err(|e| e.to_string())?;
+        assert_eq!(pim.indices(), base.indices(), "PIM outliers must be exact");
+        println!(
+            "PIM model time: {:.2} ms (identical outliers)",
+            pim.report.total_ms(&params)
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: simpim <info|knn|kmeans|dbscan|outliers> --data <file.csv|file.fvecs> [options]
+  info      --data F
+  knn       --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
+  kmeans    --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
+  dbscan    --data F [--eps 0.2] [--min-pts 5] [--pim]
+  outliers  --data F [--k 5] [--m 10] [--pim]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "info" => cmd_info(&args),
+        "knn" => cmd_knn(&args),
+        "kmeans" => cmd_kmeans(&args),
+        "dbscan" => cmd_dbscan(&args),
+        "outliers" => cmd_outliers(&args),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = Args::parse(&argv(&["--data", "x.csv", "--k", "5", "--pim"])).unwrap();
+        assert_eq!(a.required("data").unwrap(), "x.csv");
+        assert_eq!(a.get::<usize>("k", 1).unwrap(), 5);
+        assert!(a.switch("pim"));
+        assert!(!a.switch("verbose"));
+        assert_eq!(a.get::<usize>("m", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_positional_arguments_and_bad_values() {
+        assert!(Args::parse(&argv(&["stray"])).is_err());
+        let a = Args::parse(&argv(&["--k", "abc"])).unwrap();
+        assert!(a.get::<usize>("k", 1).is_err());
+        assert!(a.required("data").is_err());
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # simpim
+//!
+//! A Rust reproduction of *“Accelerating Similarity-based Mining Tasks on
+//! High-dimensional Data by Processing-in-memory”* (ICDE 2021).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`similarity`] — vectors, datasets, the ED/CS/PCC/HD measures,
+//!   α-quantization and segment statistics.
+//! * [`reram`] — functional + timing simulator for ReRAM crossbar PIM.
+//! * [`simkit`] — host-side performance model (memory hierarchy, op costs).
+//! * [`bounds`] — classic filter-and-refinement bounds (LB_OST, LB_SM,
+//!   LB_FNN, UB_part).
+//! * [`core`] — the paper's contribution: PIM-aware decomposition, PIM-aware
+//!   bounds, PIM memory management, execution-plan optimization.
+//! * [`mining`] — kNN and k-means algorithm families plus their
+//!   PIM-optimized variants.
+//! * [`profiling`] — function-level and hardware-component profiling,
+//!   PIM-oracle estimation.
+//! * [`datasets`] — seeded synthetic workloads mirroring the paper's eight
+//!   datasets and its LSH binary codes.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use simpim_bounds as bounds;
+pub use simpim_core as core;
+pub use simpim_datasets as datasets;
+pub use simpim_mining as mining;
+pub use simpim_profiling as profiling;
+pub use simpim_reram as reram;
+pub use simpim_similarity as similarity;
+pub use simpim_simkit as simkit;

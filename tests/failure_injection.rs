@@ -1,0 +1,166 @@
+//! Failure-injection tests: every layer must reject bad inputs and
+//! resource exhaustion with a diagnosable error instead of silently
+//! producing wrong results.
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor, SimTarget};
+use simpim::core::CoreError;
+use simpim::reram::{AccWidth, Crossbar, CrossbarConfig, PimArray, PimConfig, ReRamError};
+use simpim::similarity::{Dataset, NormalizedDataset, Quantizer, SimilarityError};
+
+fn tiny_data(n: usize, d: usize) -> NormalizedDataset {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 13 + j * 7) % 97) as f64 / 96.0)
+                .collect()
+        })
+        .collect();
+    NormalizedDataset::assert_normalized(Dataset::from_rows(&rows).unwrap())
+}
+
+#[test]
+fn undersized_adc_clips_loudly_not_silently() {
+    // An 8-wide crossbar with a 5-bit ADC: a full column of maxed cells
+    // driven at max DAC overflows the per-cycle sum — the simulator must
+    // refuse, not wrap.
+    let cfg = CrossbarConfig {
+        size: 8,
+        cell_bits: 2,
+        dac_bits: 2,
+        adc_bits: 5,
+        ..Default::default()
+    };
+    assert!(!cfg.adc_covers_worst_case());
+    let mut xb = Crossbar::new(cfg).unwrap();
+    for row in 0..8 {
+        xb.program_operand_column(row, 0, &[3], 2).unwrap();
+    }
+    let out = xb.analog_cycle(&[3; 8]);
+    assert!(
+        matches!(out, Err(ReRamError::AdcOverflow { .. })),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn crossbar_budget_exhaustion_reports_requirements() {
+    let cfg = PimConfig {
+        num_crossbars: 2,
+        ..Default::default()
+    };
+    let mut pim = PimArray::new(cfg).unwrap();
+    let big = vec![1u32; 100_000 * 8];
+    let err = pim.program_region(&big, 100_000, 8, 32).unwrap_err();
+    match err {
+        ReRamError::InsufficientCapacity {
+            required,
+            available,
+        } => {
+            assert!(required > available);
+            assert_eq!(available, 2);
+        }
+        other => panic!("expected capacity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn executor_rejects_unpreparable_datasets() {
+    let data = tiny_data(5_000, 64);
+    let cfg = ExecutorConfig {
+        pim: PimConfig {
+            num_crossbars: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let err = PimExecutor::prepare_euclidean(cfg, &data).unwrap_err();
+    assert!(matches!(err, CoreError::CannotFit { .. }), "{err:?}");
+}
+
+#[test]
+fn similarity_executor_refuses_compression() {
+    // CS/PCC semantics change under segment compression, so the executor
+    // must refuse rather than silently compress.
+    let data = tiny_data(5_000, 64);
+    let cfg = ExecutorConfig {
+        pim: PimConfig {
+            num_crossbars: 8,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let err = PimExecutor::prepare_similarity(cfg, &data, SimTarget::Cosine).unwrap_err();
+    assert!(matches!(err, CoreError::CannotFit { .. }), "{err:?}");
+}
+
+#[test]
+fn quantizer_rejects_nan_queries_end_to_end() {
+    let data = tiny_data(16, 8);
+    let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &data).unwrap();
+    let bad = vec![f64::NAN; 8];
+    let err = exec.lb_ed_batch(&bad).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Similarity(SimilarityError::InvalidValue { .. })
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn stale_region_ids_do_not_resolve_after_clear() {
+    let mut pim = PimArray::new(PimConfig::default()).unwrap();
+    let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 8).unwrap();
+    pim.clear();
+    let err = pim
+        .dot_batch(rep.region, &[1, 1, 1, 1], AccWidth::U64)
+        .unwrap_err();
+    assert!(matches!(err, ReRamError::NotProgrammed));
+}
+
+#[test]
+fn reprogramming_after_clear_accumulates_wear() {
+    let mut pim = PimArray::new(PimConfig::default()).unwrap();
+    let mut total = 0;
+    for _ in 0..3 {
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 8).unwrap();
+        total += rep.cell_writes;
+        pim.clear();
+    }
+    assert_eq!(
+        pim.total_cell_writes(),
+        total,
+        "wear must persist across re-programming"
+    );
+}
+
+#[test]
+fn memory_array_overflow_is_checked() {
+    use simpim::reram::MemoryArray;
+    let mut mem = MemoryArray::new(100);
+    mem.store(100).unwrap();
+    assert!(mem.store(1).is_err());
+}
+
+#[test]
+fn quantizer_alpha_domain_is_validated() {
+    assert!(Quantizer::identity(0.0).is_err());
+    assert!(Quantizer::identity(-5.0).is_err());
+    assert!(Quantizer::identity(f64::INFINITY).is_err());
+    assert!(Quantizer::identity(1.0).is_ok());
+}
+
+#[test]
+fn mismatched_shapes_fail_before_any_compute() {
+    let data = tiny_data(16, 8);
+    let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &data).unwrap();
+    assert!(matches!(
+        exec.lb_ed_batch(&[0.5; 9]),
+        Err(CoreError::Mismatch { .. })
+    ));
+    assert!(matches!(
+        exec.ub_sim_batch(&[0.5; 8]),
+        Err(CoreError::Mismatch { .. })
+    ));
+}

@@ -1,0 +1,149 @@
+//! The paper's headline claims, asserted as integration tests at laptop
+//! scale. These are the *shape* checks of EXPERIMENTS.md in executable
+//! form: if a refactor breaks one of them, the reproduction has drifted.
+
+use simpim::core::executor::{ExecutorConfig, PimExecutor};
+use simpim::datasets::{generate, sample_queries, PaperDataset, SyntheticConfig};
+use simpim::mining::kmeans::elkan::kmeans_elkan;
+use simpim::mining::kmeans::lloyd::kmeans_lloyd;
+use simpim::mining::kmeans::pim::PimAssist;
+use simpim::mining::kmeans::KmeansConfig;
+use simpim::mining::knn::pim::knn_pim_ed;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::similarity::{Dataset, Measure, NormalizedDataset};
+use simpim::simkit::HostParams;
+use simpim_bounds::BoundCascade;
+
+fn scaled(ds: PaperDataset, n: usize) -> Dataset {
+    let spec = ds.spec();
+    generate(&SyntheticConfig::from_spec(&spec, n))
+}
+
+/// A capacity-pressured executor, like the bench harnesses use.
+fn pressured_executor(data: &Dataset, crossbars: usize) -> PimExecutor {
+    let mut cfg = ExecutorConfig::default();
+    cfg.pim.num_crossbars = crossbars;
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    PimExecutor::prepare_euclidean(cfg, &nds).expect("fits")
+}
+
+/// Section IV-A / Fig. 5: baselines are memory-bound — T_cache dominates.
+#[test]
+fn claim_baselines_are_memory_bound() {
+    let data = scaled(PaperDataset::Msd, 3_000);
+    let q = sample_queries(&data, 1, 0.02, 1).remove(0);
+    let res = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+    let frac = res
+        .report
+        .host_breakdown(&HostParams::default())
+        .tcache_fraction();
+    assert!(
+        (0.55..=0.90).contains(&frac),
+        "Tcache fraction {frac} (paper: 62–83%)"
+    );
+}
+
+/// Section VI-C / Fig. 13: PIM accelerates kNN substantially, and the gain
+/// grows with dimensionality (MSD d=420 vs Year-shaped d=90).
+#[test]
+fn claim_knn_speedup_grows_with_dimensionality() {
+    let params = HostParams::default();
+    let mut speedups = Vec::new();
+    for (ds, n, budget) in [
+        (PaperDataset::Year, 3_000, 1_311),
+        (PaperDataset::Msd, 3_000, 1_311),
+    ] {
+        let data = scaled(ds, n);
+        let q = sample_queries(&data, 1, 0.02, 2).remove(0);
+        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+        let mut exec = pressured_executor(&data, budget);
+        let pim = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &q, 10).unwrap();
+        assert_eq!(pim.indices(), base.indices());
+        speedups.push(base.report.total_ms(&params) / pim.report.total_ms(&params));
+    }
+    assert!(speedups[0] > 1.5, "low-d speedup {}", speedups[0]);
+    assert!(
+        speedups[1] > speedups[0],
+        "higher d must gain more: {speedups:?}"
+    );
+}
+
+/// Section VI-C: GIST's uniform segment statistics make the compressed
+/// PIM bound nearly useless — its speedup must be far below MSD's.
+#[test]
+fn claim_gist_resists_segmented_bounds() {
+    let params = HostParams::default();
+    let mut by_name = std::collections::HashMap::new();
+    for (ds, n) in [(PaperDataset::Msd, 2_500), (PaperDataset::Gist, 2_500)] {
+        let data = scaled(ds, n);
+        let q = sample_queries(&data, 1, 0.02, 3).remove(0);
+        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+        // Small budget forces LB_PIM-FNN compression on both datasets.
+        let mut exec = pressured_executor(&data, 400);
+        assert!(
+            exec.bound_name().contains("FNN") || exec.bound_name().contains("SM"),
+            "compression must kick in: {}",
+            exec.bound_name()
+        );
+        let pim = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &q, 10).unwrap();
+        assert_eq!(pim.indices(), base.indices());
+        by_name.insert(
+            ds.name(),
+            base.report.total_ms(&params) / pim.report.total_ms(&params),
+        );
+    }
+    assert!(
+        by_name["MSD"] > 2.0 * by_name["GIST"],
+        "GIST must gain far less: {by_name:?}"
+    );
+}
+
+/// Section VI-D: Standard k-means gains more from PIM than Elkan (whose
+/// bound maintenance is not offloadable).
+#[test]
+fn claim_elkan_gains_least_from_pim() {
+    let params = HostParams::default();
+    let data = scaled(PaperDataset::NusWide, 1_200);
+    let cfg = KmeansConfig {
+        k: 24,
+        max_iters: 8,
+        seed: 7,
+    };
+    let nds = NormalizedDataset::assert_normalized(data.clone());
+    let mut gains = Vec::new();
+    for algo in ["lloyd", "elkan"] {
+        let run = |pim: Option<&mut PimAssist<'_>>| match algo {
+            "lloyd" => kmeans_lloyd(&data, &cfg, pim),
+            _ => kmeans_elkan(&data, &cfg, pim),
+        };
+        let base = run(None).unwrap();
+        let mut exec = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds).unwrap();
+        let mut assist = PimAssist::new(&mut exec);
+        let pim = run(Some(&mut assist)).unwrap();
+        assert_eq!(base.assignments, pim.assignments);
+        gains.push(base.report.total_ns(&params) / pim.report.total_ns(&params));
+    }
+    assert!(
+        gains[0] > gains[1],
+        "Standard must out-gain Elkan: lloyd {:.2}x vs elkan {:.2}x",
+        gains[0],
+        gains[1]
+    );
+}
+
+/// Fig. 8: the PIM path moves orders of magnitude less host data than the
+/// conventional path (d·b → 3·b per object).
+#[test]
+fn claim_transfer_reduction() {
+    let data = scaled(PaperDataset::Trevi, 1_000); // d = 4096
+    let q = sample_queries(&data, 1, 0.02, 4).remove(0);
+    let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+    let mut exec = pressured_executor(&data, 131_072);
+    let pim = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &q, 10).unwrap();
+    let base_bytes = base.report.profile.total_counters().bytes_streamed as f64;
+    let pim_bytes = pim.report.profile.total_counters().bytes_streamed as f64;
+    assert!(
+        base_bytes / pim_bytes > 50.0,
+        "d=4096 must slash transfer: {base_bytes} vs {pim_bytes}"
+    );
+}

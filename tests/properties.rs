@@ -1,0 +1,227 @@
+//! Property-based tests over the whole stack (proptest): the correctness
+//! invariants listed in DESIGN.md §5.
+
+use proptest::prelude::*;
+use simpim::core::pim_bounds::{
+    error_bound_ed, host_floor_dot, lb_pim_ed, lb_pim_fnn, quantize_for_dot, quantize_for_ed,
+    ub_pim_cs, ub_pim_pcc, FnnQuant,
+};
+use simpim::reram::{AccWidth, Crossbar, CrossbarConfig, PimArray, PimConfig};
+use simpim::similarity::measures::{cosine, euclidean_sq, pearson};
+use simpim::similarity::{Quantizer, SegmentStats};
+
+fn unit_vec(max_d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, 1..=max_d)
+}
+
+fn unit_vec_pair(max_d: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..=max_d).prop_flat_map(|d| {
+        (
+            prop::collection::vec(0.0f64..=1.0, d),
+            prop::collection::vec(0.0f64..=1.0, d),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 1: Theorem 1 bound + Theorem 3 error envelope.
+    #[test]
+    fn lb_pim_ed_is_valid_and_tight((p, q) in unit_vec_pair(48), alpha_exp in 1u32..=6) {
+        let alpha = 10f64.powi(alpha_exp as i32);
+        let quant = Quantizer::identity(alpha).unwrap();
+        let pq = quantize_for_ed(&quant, &p).unwrap();
+        let qq = quantize_for_ed(&quant, &q).unwrap();
+        let dot = host_floor_dot(&pq.floors, &qq.floors);
+        let lb = lb_pim_ed(pq.phi, qq.phi, dot, p.len(), alpha);
+        let ed = euclidean_sq(&p, &q);
+        prop_assert!(lb <= ed + 1e-9);
+        prop_assert!(ed - lb <= error_bound_ed(p.len(), alpha) + 1e-9);
+    }
+
+    // Invariant 2: LB_PIM-FNN ≤ LB_FNN ≤ ED.
+    #[test]
+    fn fnn_bound_chain_holds(
+        seed in prop::collection::vec(0.0f64..=1.0, 24),
+        seed_q in prop::collection::vec(0.0f64..=1.0, 24),
+        d_prime in prop::sample::select(vec![1usize, 2, 3, 4, 6, 8, 12, 24]),
+    ) {
+        let alpha = 1e5;
+        let (p, q) = (seed, seed_q);
+        let fp = FnnQuant::compute(&p, d_prime, alpha).unwrap();
+        let fq = FnnQuant::compute(&q, d_prime, alpha).unwrap();
+        let dm = host_floor_dot(&fp.mu_floors, &fq.mu_floors);
+        let dsg = host_floor_dot(&fp.sigma_floors, &fq.sigma_floors);
+        let l = 24 / d_prime;
+        let lb_pim = lb_pim_fnn(fp.phi, fq.phi, dm, dsg, d_prime, l, alpha);
+        let sp = SegmentStats::compute(&p, d_prime).unwrap();
+        let sq = SegmentStats::compute(&q, d_prime).unwrap();
+        let lb_fnn: f64 = (0..d_prime)
+            .map(|i| {
+                let a = sp.means[i] - sq.means[i];
+                let b = sp.stds[i] - sq.stds[i];
+                l as f64 * (a * a + b * b)
+            })
+            .sum();
+        prop_assert!(lb_pim <= lb_fnn + 1e-9);
+        prop_assert!(lb_fnn <= euclidean_sq(&p, &q) + 1e-9);
+    }
+
+    // Invariant 3: CS/PCC upper bounds.
+    #[test]
+    fn similarity_upper_bounds_hold((p, q) in unit_vec_pair(48)) {
+        let quant = Quantizer::identity(1e5).unwrap();
+        let pq = quantize_for_dot(&quant, &p).unwrap();
+        let qq = quantize_for_dot(&quant, &q).unwrap();
+        let dot = host_floor_dot(&pq.floors, &qq.floors);
+        prop_assert!(ub_pim_cs(&pq, &qq, dot, p.len()) >= cosine(&p, &q) - 1e-9);
+        prop_assert!(ub_pim_pcc(&pq, &qq, dot, p.len()) >= pearson(&p, &q) - 1e-9);
+    }
+
+    // Invariant 7: quantization stays in range and under-approximates.
+    #[test]
+    fn quantization_is_monotone_and_bounded(v in unit_vec(64), alpha_exp in 1u32..=6) {
+        let alpha = 10f64.powi(alpha_exp as i32);
+        let quant = Quantizer::identity(alpha).unwrap();
+        let qv = quant.quantize_vec(&v).unwrap();
+        for (&f, &x) in qv.floors.iter().zip(&v) {
+            prop_assert!(f64::from(f) <= x * alpha + 1e-9);
+            prop_assert!(f64::from(f) >= x * alpha - 1.0);
+            prop_assert!(f <= alpha as u32);
+        }
+    }
+
+    // Invariant 4 (unit level): the bit-sliced crossbar pipeline equals
+    // the exact integer dot product, for arbitrary geometry.
+    #[test]
+    fn crossbar_pipeline_is_exact(
+        values in prop::collection::vec(0u64..64, 1..=8),
+        query in prop::collection::vec(0u64..64, 1..=8),
+        cell_bits in 1u32..=3,
+    ) {
+        let d = values.len().min(query.len());
+        let (values, query) = (&values[..d], &query[..d]);
+        let cfg = CrossbarConfig {
+            size: 8,
+            cell_bits,
+            dac_bits: 2,
+            adc_bits: 16,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        xb.program_operand_column(0, 0, values, 6).unwrap();
+        let out = xb.dot_products(0, query, 6, 6).unwrap();
+        let exact: u128 = values.iter().zip(query).map(|(&a, &b)| u128::from(a * b)).sum();
+        prop_assert_eq!(out[0], exact);
+    }
+
+    // Invariant 4 (array level): PimArray matches the exact dot product
+    // including gather trees and accumulator wrapping.
+    #[test]
+    fn pim_array_matches_exact_dot(
+        rows in prop::collection::vec(prop::collection::vec(0u32..1024, 12), 1..=6),
+        query in prop::collection::vec(0u32..1024, 12),
+    ) {
+        let cfg = PimConfig {
+            // 10-bit operands span 5 cells; an 8-wide crossbar forces the
+            // 12-dim vectors through a 2-chunk gather tree.
+            crossbar: CrossbarConfig { size: 8, cell_bits: 2, dac_bits: 2, adc_bits: 10, ..Default::default() },
+            num_crossbars: 4096,
+            ..Default::default()
+        };
+        let mut pim = PimArray::new(cfg).unwrap();
+        let n = rows.len();
+        let flat: Vec<u32> = rows.iter().flatten().copied().collect();
+        let rep = pim.program_region(&flat, n, 12, 10).unwrap();
+        let (vals, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let exact: u64 = row.iter().zip(&query).map(|(&a, &b)| u64::from(a) * u64::from(b)).sum();
+            prop_assert_eq!(vals[i], exact);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Invariant 4 (closing the loop): the strict-fidelity path — real
+    // materialized crossbars, slot stacking, chunking, all-ones gather
+    // trees — is bit-identical to the fast array path on random layouts.
+    #[test]
+    fn strict_and_fast_paths_agree(
+        n in 1usize..6,
+        s in prop::sample::select(vec![3usize, 4, 8, 12, 24]),
+        seed in 0u64..1000,
+    ) {
+        use simpim::reram::{AccWidth, CrossbarConfig, PimArray, PimConfig};
+        let cfg = PimConfig {
+            crossbar: CrossbarConfig { size: 8, cell_bits: 2, dac_bits: 2, adc_bits: 12, ..Default::default() },
+            num_crossbars: 4096,
+            ..Default::default()
+        };
+        let mut pim = PimArray::new(cfg).unwrap();
+        let data: Vec<u32> = (0..n * s).map(|i| ((i as u64 * 31 + seed * 7) % 16) as u32).collect();
+        let query: Vec<u32> = (0..s).map(|i| ((i as u64 * 13 + seed * 3) % 16) as u32).collect();
+        let rep = pim.program_region(&data, n, s, 4).unwrap();
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        let strict = pim.dot_batch_strict(rep.region, &query, AccWidth::U64).unwrap();
+        prop_assert_eq!(fast, strict);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Invariant 5: cascade kNN equals linear scan on arbitrary clustered
+    // data (heavier: fewer cases).
+    #[test]
+    fn cascade_knn_always_matches_scan(seed in 0u64..1000, k in 1usize..=20) {
+        use simpim::datasets::{generate, sample_queries, SyntheticConfig};
+        use simpim::mining::knn::algorithms::fnn_cascade;
+        use simpim::mining::knn::cascade::knn_cascade;
+        use simpim::mining::knn::standard::knn_standard;
+        use simpim::similarity::Measure;
+        let ds = generate(&SyntheticConfig {
+            n: 120,
+            d: 16,
+            clusters: 3,
+            cluster_std: 0.06,
+            stat_uniformity: 0.3,
+            seed,
+        });
+        let q = &sample_queries(&ds, 1, 0.05, seed)[0];
+        let cascade = fnn_cascade(&ds).unwrap();
+        let truth = knn_standard(&ds, q, k, Measure::EuclideanSq);
+        let got = knn_cascade(&ds, &cascade, q, k, Measure::EuclideanSq);
+        prop_assert_eq!(got.indices(), truth.indices());
+    }
+
+    // Invariant 6: Theorem 4's choice always fits and is maximal.
+    #[test]
+    fn theorem4_choice_fits_and_is_maximal(
+        n in 1usize..200_000,
+        d in prop::sample::select(vec![90usize, 128, 150, 420, 500, 960]),
+        budget in 64usize..=8192,
+    ) {
+        use simpim::core::choose_dimensionality;
+        use simpim::reram::gather::dataset_crossbar_cost;
+        let cfg = PimConfig { num_crossbars: budget, ..Default::default() };
+        match choose_dimensionality(n, d, 2, 32, &cfg) {
+            Ok(plan) => {
+                prop_assert!(plan.total_crossbars() <= budget);
+                prop_assert_eq!(d % plan.s, 0);
+                // Maximality: the next divisor must overflow.
+                if let Some(next) = (plan.s + 1..=d).find(|s| d % s == 0) {
+                    let c = dataset_crossbar_cost(n, next, 32, &cfg.crossbar).unwrap();
+                    prop_assert!(c.total() * 2 > budget);
+                }
+            }
+            Err(_) => {
+                // Even s = 1 must genuinely overflow.
+                let c = dataset_crossbar_cost(n, 1, 32, &cfg.crossbar).unwrap();
+                prop_assert!(c.total() * 2 > budget);
+            }
+        }
+    }
+}
