@@ -193,7 +193,7 @@ fn ablation_tables() {
                 res.report.total_ns_pipelined(&params),
             );
         }
-        let base = knn_standard(&ds, &qs[0], 10, simpim_similarity::Measure::EuclideanSq);
+        let base = knn_standard(&ds, &qs[0], 10, simpim_similarity::Measure::EuclideanSq).unwrap();
         println!("baseline Standard: {:.0} ns", base.report.total_ns(&params));
     }
 

@@ -125,7 +125,11 @@ fn panel_d() {
     for measure in [Measure::EuclideanSq, Measure::Cosine, Measure::Pearson] {
         let mut base = RunReport::default();
         for q in &w.queries {
-            base.merge(&knn_standard(&w.data, q, 10, measure).report);
+            base.merge(
+                &knn_standard(&w.data, q, 10, measure)
+                    .expect("float measure")
+                    .report,
+            );
         }
         let mut pim_total = RunReport::default();
         match measure {

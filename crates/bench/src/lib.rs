@@ -15,7 +15,7 @@ use simpim_mining::knn::algorithms::{fnn_cascade, ost_cascade, sm_cascade};
 use simpim_mining::knn::cascade::knn_cascade;
 use simpim_mining::knn::pim::knn_pim_ed;
 use simpim_mining::knn::standard::knn_standard;
-use simpim_mining::RunReport;
+use simpim_mining::{MiningError, RunReport};
 use simpim_similarity::{Dataset, Measure, NormalizedDataset};
 use simpim_simkit::HostParams;
 
@@ -125,7 +125,8 @@ pub fn run_knn_baseline(algo: KnnAlgo, w: &Workload, k: usize) -> RunReport {
             knn_standard(&w.data, q, k, Measure::EuclideanSq)
         } else {
             knn_cascade(&w.data, &cascade, q, k, Measure::EuclideanSq)
-        };
+        }
+        .expect("float measures");
         total.merge(&res.report);
     }
     total
@@ -139,7 +140,7 @@ pub fn run_knn_pim(
     exec: &mut PimExecutor,
     w: &Workload,
     k: usize,
-) -> Result<RunReport, CoreError> {
+) -> Result<RunReport, MiningError> {
     // Retained original bounds: FNN keeps its finer levels; the
     // single-bound algorithms replace their only bound.
     let retained = match algo {

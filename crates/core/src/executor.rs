@@ -22,11 +22,15 @@
 use crate::error::CoreError;
 use crate::memory::{choose_dimensionality, MemoryPlan};
 use crate::pim_bounds::{
-    lb_pim_ed, lb_pim_fnn, ub_pim_cs, ub_pim_pcc, DotQuant, EdQuant, FnnQuant,
+    host_floor_dot, lb_pim_ed, lb_pim_ed_guarded, lb_pim_fnn, lb_pim_fnn_guarded, lb_pim_sm,
+    lb_pim_sm_guarded, ub_pim_cs, ub_pim_pcc, DotQuant, EdQuant, FnnQuant,
 };
 use simpim_reram::array::RegionId;
-use simpim_reram::{AccWidth, DotBatchResult, PimConfig, PimTiming, ReRamBank};
+use simpim_reram::{
+    AccWidth, CrossbarHealth, DotBatchResult, FaultConfig, PimConfig, PimTiming, ReRamBank,
+};
 use simpim_similarity::{BinaryDataset, BinaryVecRef, NormalizedDataset, Quantizer};
+use simpim_simkit::FaultCounters;
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +52,16 @@ pub struct ExecutorConfig {
     /// parallel (Section V-C); analog passes overlap, the shared bus does
     /// not. Disable to model strictly serial region execution.
     pub parallel_regions: bool,
+    /// Optional hard-fault model (stuck cells, dead lines, ADC glitches,
+    /// wear-out — see `simpim-reram::faults`). When set, the executor
+    /// scrubs every region after programming, remaps dead crossbars onto
+    /// spares, and recovers per-object results so mining stays exact.
+    pub faults: Option<FaultConfig>,
+    /// Re-scrub (and re-remap) cadence in bound batches; 0 disables
+    /// periodic scrubbing (only the post-program scrub runs). Periodic
+    /// scrubs catch wear-out that develops while a prepared dataset keeps
+    /// serving queries.
+    pub scrub_interval: u64,
 }
 
 impl Default for ExecutorConfig {
@@ -58,6 +72,8 @@ impl Default for ExecutorConfig {
             operand_bits: 32,
             double_buffer: true,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         }
     }
 }
@@ -155,6 +171,9 @@ pub struct PrepareReport {
     pub phi_bytes: u64,
     /// Crossbars consumed (including the double-buffer reservation).
     pub crossbars_used: usize,
+    /// Fault-detection/recovery work done by the post-program scrub
+    /// (all-zero when no fault model is configured).
+    pub fault_counters: FaultCounters,
 }
 
 /// One online bound batch.
@@ -166,6 +185,9 @@ pub struct BoundBatch {
     pub timing: PimTiming,
     /// Bytes the host reads per object to evaluate `G` (Φ + dot results).
     pub host_bytes_per_object: u64,
+    /// Cumulative fault/recovery counters up to and including this batch
+    /// (all-zero when no fault model is configured).
+    pub fault_counters: FaultCounters,
 }
 
 /// The PIM executor: a prepared dataset on a ReRAM bank.
@@ -176,6 +198,8 @@ pub struct PimExecutor {
     cfg: ExecutorConfig,
     prepared: PreparedFunction,
     report: PrepareReport,
+    fault_counters: FaultCounters,
+    batches_since_scrub: u64,
 }
 
 impl PimExecutor {
@@ -288,19 +312,20 @@ impl PimExecutor {
             program_ns: rep.program_ns,
             phi_bytes,
             crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+            fault_counters: FaultCounters::default(),
         };
-        Ok(Self {
+        Self::finish(
             bank,
             quantizer,
             cfg,
-            prepared: PreparedFunction::Sm {
+            PreparedFunction::Sm {
                 mu_region: rep.region,
                 phis,
                 d_prime,
                 segment_len,
             },
             report,
-        })
+        )
     }
 
     /// Prepares `LB_PIM-FNN` at an explicit segmentation `d_prime`
@@ -371,18 +396,19 @@ impl PimExecutor {
             program_ns: rep.program_ns,
             phi_bytes,
             crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+            fault_counters: FaultCounters::default(),
         };
-        Ok(Self {
+        Self::finish(
             bank,
             quantizer,
             cfg,
-            prepared: PreparedFunction::Ed {
+            PreparedFunction::Ed {
                 region: rep.region,
                 phis,
                 d,
             },
             report,
-        })
+        )
     }
 
     fn prepare_fnn_at(
@@ -416,12 +442,13 @@ impl PimExecutor {
             program_ns: rep_mu.program_ns + rep_sigma.program_ns,
             phi_bytes,
             crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+            fault_counters: FaultCounters::default(),
         };
-        Ok(Self {
+        Self::finish(
             bank,
             quantizer,
             cfg,
-            prepared: PreparedFunction::Fnn {
+            PreparedFunction::Fnn {
                 mu_region: rep_mu.region,
                 sigma_region: rep_sigma.region,
                 phis,
@@ -429,7 +456,7 @@ impl PimExecutor {
                 segment_len,
             },
             report,
-        })
+        )
     }
 
     /// Prepares `UB_PIM-CS` / `UB_PIM-PCC` over full-dimensional floors.
@@ -479,19 +506,20 @@ impl PimExecutor {
             program_ns: rep.program_ns,
             phi_bytes,
             crossbars_used: bank.pim().used_crossbars() * buffer_factor,
+            fault_counters: FaultCounters::default(),
         };
-        Ok(Self {
+        Self::finish(
             bank,
             quantizer,
             cfg,
-            prepared: PreparedFunction::Dot {
+            PreparedFunction::Dot {
                 region: rep.region,
                 summaries,
                 d,
                 target,
             },
             report,
-        })
+        )
     }
 
     /// Prepares exact PIM Hamming distance: the code and its complement as
@@ -515,18 +543,128 @@ impl PimExecutor {
             program_ns: rep_code.program_ns + rep_comp.program_ns,
             phi_bytes: 0,
             crossbars_used: bank.pim().used_crossbars() * if cfg.double_buffer { 2 } else { 1 },
+            fault_counters: FaultCounters::default(),
         };
-        Ok(Self {
+        Self::finish(
             bank,
             quantizer,
             cfg,
-            prepared: PreparedFunction::Hamming {
+            PreparedFunction::Hamming {
                 code_region: rep_code.region,
                 comp_region: rep_comp.region,
                 d,
             },
             report,
-        })
+        )
+    }
+
+    /// Shared constructor tail: attach the fault model (if any), run the
+    /// post-program scrub-and-remap pass, and record its counters in the
+    /// prepare report.
+    fn finish(
+        bank: ReRamBank,
+        quantizer: Quantizer,
+        cfg: ExecutorConfig,
+        prepared: PreparedFunction,
+        report: PrepareReport,
+    ) -> Result<Self, CoreError> {
+        let mut exec = Self {
+            bank,
+            quantizer,
+            cfg,
+            prepared,
+            report,
+            fault_counters: FaultCounters::default(),
+            batches_since_scrub: 0,
+        };
+        if let Some(faults) = cfg.faults {
+            exec.bank.enable_faults(faults)?;
+            exec.scrub_and_remap()?;
+            exec.report.fault_counters = exec.fault_counters;
+        }
+        Ok(exec)
+    }
+
+    /// The regions the prepared function reads online.
+    fn regions(&self) -> Vec<RegionId> {
+        match &self.prepared {
+            PreparedFunction::Ed { region, .. } | PreparedFunction::Dot { region, .. } => {
+                vec![*region]
+            }
+            PreparedFunction::Fnn {
+                mu_region,
+                sigma_region,
+                ..
+            } => vec![*mu_region, *sigma_region],
+            PreparedFunction::Sm { mu_region, .. } => vec![*mu_region],
+            PreparedFunction::Hamming {
+                code_region,
+                comp_region,
+                ..
+            } => vec![*code_region, *comp_region],
+        }
+    }
+
+    /// One detect-and-recover pass: scrub every region against the fault
+    /// map, then remap any dead crossbars onto spare capacity. Quarantined
+    /// objects (dead with no clean spare) are recovered per-batch by exact
+    /// host-side refinement.
+    fn scrub_and_remap(&mut self) -> Result<(), CoreError> {
+        for region in self.regions() {
+            let scrub = self.bank.scrub_region(region)?;
+            self.fault_counters.scrubs += 1;
+            self.fault_counters.faults_detected += scrub.faulty_cells + scrub.dead as u64;
+            self.fault_counters.adc_retries += scrub.adc_retries;
+            if scrub.dead > 0 {
+                let remap = self.bank.remap_dead(region)?;
+                self.fault_counters.remapped_crossbars += remap.remapped_crossbars as u64;
+                self.fault_counters.quarantined_rows += remap.quarantined_objects as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when a non-inert fault model is attached (per-object recovery
+    /// is needed after every batch).
+    fn faults_active(&self) -> bool {
+        self.cfg.faults.is_some_and(|f| !f.is_inert())
+    }
+
+    /// Periodic scrub cadence: every `scrub_interval` bound batches the
+    /// executor re-scrubs all regions (catching wear-out that developed
+    /// online). Called at the start of each batch.
+    fn maybe_scrub(&mut self) -> Result<(), CoreError> {
+        if self.cfg.faults.is_none() || self.cfg.scrub_interval == 0 {
+            return Ok(());
+        }
+        self.batches_since_scrub += 1;
+        if self.batches_since_scrub >= self.cfg.scrub_interval {
+            self.batches_since_scrub = 0;
+            self.scrub_and_remap()?;
+        }
+        Ok(())
+    }
+
+    /// Per-object `(health, discrepancy)` for one region, in object order.
+    fn region_statuses(
+        &self,
+        region: RegionId,
+        n: usize,
+    ) -> Result<Vec<(CrossbarHealth, u64)>, CoreError> {
+        (0..n)
+            .map(|obj| {
+                Ok((
+                    self.bank.object_health(region, obj)?,
+                    self.bank.pim().object_discrepancy(region, obj)?,
+                ))
+            })
+            .collect()
+    }
+
+    /// Cumulative fault-detection/recovery counters for this executor's
+    /// lifetime.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.fault_counters
     }
 
     /// The offline-programming report.
@@ -547,6 +685,13 @@ impl PimExecutor {
     /// The underlying bank (for endurance / energy inspection).
     pub fn bank(&self) -> &ReRamBank {
         &self.bank
+    }
+
+    /// Mutable access to the underlying bank — the escape hatch for fault
+    /// and endurance experiments (e.g. aging crossbars between batches so
+    /// the periodic scrub sees wear-out). Regular queries never need it.
+    pub fn bank_mut(&mut self) -> &mut ReRamBank {
+        &mut self.bank
     }
 
     /// Human-readable name of the bound this executor serves, matching the
@@ -576,20 +721,51 @@ impl PimExecutor {
                     });
                 }
                 let (region, d) = (*region, *d);
+                self.maybe_scrub()?;
                 let eq = EdQuant::from_quantized(self.quantizer.quantize_vec(query)?);
                 let out = self.bank.dot_batch(region, &eq.floors, AccWidth::U64)?;
+                let statuses = if self.faults_active() {
+                    Some(self.region_statuses(region, out.values.len())?)
+                } else {
+                    None
+                };
+                let qmax = eq.floors.iter().copied().max().unwrap_or(0) as f64;
+                let alpha = self.cfg.alpha;
                 let PreparedFunction::Ed { phis, .. } = &self.prepared else {
                     unreachable!()
                 };
-                let values = phis
-                    .iter()
-                    .zip(&out.values)
-                    .map(|(&phi_p, &dot)| lb_pim_ed(phi_p, eq.phi, dot, d, self.cfg.alpha))
-                    .collect();
+                let mut guarded = 0u64;
+                let mut fallbacks = 0u64;
+                let mut values = Vec::with_capacity(out.values.len());
+                for (obj, (&phi_p, &dot)) in phis.iter().zip(&out.values).enumerate() {
+                    let v = match statuses.as_ref().map(|s| s[obj]) {
+                        None | Some((CrossbarHealth::Healthy, _)) => {
+                            lb_pim_ed(phi_p, eq.phi, dot, d, alpha)
+                        }
+                        Some((CrossbarHealth::Drifted, disc)) => {
+                            // |measured − exact| ≤ max⌊q̄ᵢ⌋ · Σ|Δp̄ᵢ|: widen
+                            // the guard-band, the bound stays valid.
+                            guarded += 1;
+                            lb_pim_ed_guarded(phi_p, eq.phi, dot, d, alpha, qmax * disc as f64)
+                        }
+                        Some((CrossbarHealth::Dead, _)) => {
+                            // Quarantined: exact host-side dot on the
+                            // retained floor row — bit-identical to the
+                            // fault-free bound.
+                            fallbacks += 1;
+                            let row = self.bank.pim().region_row(region, obj)?;
+                            lb_pim_ed(phi_p, eq.phi, host_floor_dot(row, &eq.floors), d, alpha)
+                        }
+                    };
+                    values.push(v);
+                }
+                self.fault_counters.guarded_bounds += guarded;
+                self.fault_counters.fallback_refinements += fallbacks;
                 Ok(BoundBatch {
                     values,
                     timing: out.timing,
                     host_bytes_per_object: 16, // Φ(p̄) + dot result
+                    fault_counters: self.fault_counters,
                 })
             }
             PreparedFunction::Fnn {
@@ -607,6 +783,7 @@ impl PimExecutor {
                 }
                 let (mu_region, sigma_region, d_prime, segment_len) =
                     (*mu_region, *sigma_region, *d_prime, *segment_len);
+                self.maybe_scrub()?;
                 let fq = FnnQuant::compute(query, d_prime, self.cfg.alpha)?;
                 let mu_out = self
                     .bank
@@ -620,20 +797,76 @@ impl PimExecutor {
                 } else {
                     timing.add(&sg_out.timing);
                 }
+                let n = mu_out.values.len();
+                let statuses = if self.faults_active() {
+                    Some((
+                        self.region_statuses(mu_region, n)?,
+                        self.region_statuses(sigma_region, n)?,
+                    ))
+                } else {
+                    None
+                };
+                let qmax_mu = fq.mu_floors.iter().copied().max().unwrap_or(0) as f64;
+                let qmax_sg = fq.sigma_floors.iter().copied().max().unwrap_or(0) as f64;
+                let alpha = self.cfg.alpha;
                 let PreparedFunction::Fnn { phis, .. } = &self.prepared else {
                     unreachable!()
                 };
-                let values = phis
+                let mut guarded = 0u64;
+                let mut fallbacks = 0u64;
+                let mut values = Vec::with_capacity(n);
+                for (obj, (&phi_p, (&dm, &ds))) in phis
                     .iter()
                     .zip(mu_out.values.iter().zip(&sg_out.values))
-                    .map(|(&phi_p, (&dm, &ds))| {
-                        lb_pim_fnn(phi_p, fq.phi, dm, ds, d_prime, segment_len, self.cfg.alpha)
-                    })
-                    .collect();
+                    .enumerate()
+                {
+                    let status = statuses.as_ref().map(|(mu, sg)| (mu[obj], sg[obj]));
+                    let dead = matches!(
+                        status,
+                        Some(((CrossbarHealth::Dead, _), _)) | Some((_, (CrossbarHealth::Dead, _)))
+                    );
+                    let v = if dead {
+                        fallbacks += 1;
+                        let mu_row = self.bank.pim().region_row(mu_region, obj)?;
+                        let dm_exact = host_floor_dot(mu_row, &fq.mu_floors);
+                        let sg_row = self.bank.pim().region_row(sigma_region, obj)?;
+                        let ds_exact = host_floor_dot(sg_row, &fq.sigma_floors);
+                        lb_pim_fnn(
+                            phi_p,
+                            fq.phi,
+                            dm_exact,
+                            ds_exact,
+                            d_prime,
+                            segment_len,
+                            alpha,
+                        )
+                    } else if let Some(((_, disc_mu), (_, disc_sg))) =
+                        status.filter(|((_, dm), (_, ds))| dm + ds > 0)
+                    {
+                        guarded += 1;
+                        lb_pim_fnn_guarded(
+                            phi_p,
+                            fq.phi,
+                            dm,
+                            ds,
+                            d_prime,
+                            segment_len,
+                            alpha,
+                            qmax_mu * disc_mu as f64,
+                            qmax_sg * disc_sg as f64,
+                        )
+                    } else {
+                        lb_pim_fnn(phi_p, fq.phi, dm, ds, d_prime, segment_len, alpha)
+                    };
+                    values.push(v);
+                }
+                self.fault_counters.guarded_bounds += guarded;
+                self.fault_counters.fallback_refinements += fallbacks;
                 Ok(BoundBatch {
                     values,
                     timing,
                     host_bytes_per_object: 24, // Φ(p̂) + two dot results
+                    fault_counters: self.fault_counters,
                 })
             }
             PreparedFunction::Sm {
@@ -649,31 +882,63 @@ impl PimExecutor {
                     });
                 }
                 let (mu_region, d_prime, segment_len) = (*mu_region, *d_prime, *segment_len);
+                self.maybe_scrub()?;
                 let sq = crate::pim_bounds::SmQuant::compute(query, d_prime, self.cfg.alpha)?;
                 let out = self
                     .bank
                     .dot_batch(mu_region, &sq.mu_floors, AccWidth::U64)?;
+                let statuses = if self.faults_active() {
+                    Some(self.region_statuses(mu_region, out.values.len())?)
+                } else {
+                    None
+                };
+                let qmax = sq.mu_floors.iter().copied().max().unwrap_or(0) as f64;
+                let alpha = self.cfg.alpha;
                 let PreparedFunction::Sm { phis, .. } = &self.prepared else {
                     unreachable!()
                 };
-                let values = phis
-                    .iter()
-                    .zip(&out.values)
-                    .map(|(&phi_p, &dot)| {
-                        crate::pim_bounds::lb_pim_sm(
-                            phi_p,
-                            sq.phi,
-                            dot,
-                            d_prime,
-                            segment_len,
-                            self.cfg.alpha,
-                        )
-                    })
-                    .collect();
+                let mut guarded = 0u64;
+                let mut fallbacks = 0u64;
+                let mut values = Vec::with_capacity(out.values.len());
+                for (obj, (&phi_p, &dot)) in phis.iter().zip(&out.values).enumerate() {
+                    let v = match statuses.as_ref().map(|s| s[obj]) {
+                        None | Some((CrossbarHealth::Healthy, _)) => {
+                            lb_pim_sm(phi_p, sq.phi, dot, d_prime, segment_len, alpha)
+                        }
+                        Some((CrossbarHealth::Drifted, disc)) => {
+                            guarded += 1;
+                            lb_pim_sm_guarded(
+                                phi_p,
+                                sq.phi,
+                                dot,
+                                d_prime,
+                                segment_len,
+                                alpha,
+                                qmax * disc as f64,
+                            )
+                        }
+                        Some((CrossbarHealth::Dead, _)) => {
+                            fallbacks += 1;
+                            let row = self.bank.pim().region_row(mu_region, obj)?;
+                            lb_pim_sm(
+                                phi_p,
+                                sq.phi,
+                                host_floor_dot(row, &sq.mu_floors),
+                                d_prime,
+                                segment_len,
+                                alpha,
+                            )
+                        }
+                    };
+                    values.push(v);
+                }
+                self.fault_counters.guarded_bounds += guarded;
+                self.fault_counters.fallback_refinements += fallbacks;
                 Ok(BoundBatch {
                     values,
                     timing: out.timing,
                     host_bytes_per_object: 16, // Φ(p̂) + one dot result
+                    fault_counters: self.fault_counters,
                 })
             }
             _ => Err(CoreError::Mismatch {
@@ -699,31 +964,55 @@ impl PimExecutor {
             });
         }
         let (region, d, target) = (*region, *d, *target);
+        self.maybe_scrub()?;
         let qq = DotQuant::from_quantized(self.quantizer.quantize_vec(query)?);
         let out = self.bank.dot_batch(region, &qq.floors, AccWidth::U64)?;
+        let statuses = if self.faults_active() {
+            Some(self.region_statuses(region, out.values.len())?)
+        } else {
+            None
+        };
+        let qmax = u64::from(qq.floors.iter().copied().max().unwrap_or(0));
         let PreparedFunction::Dot { summaries, .. } = &self.prepared else {
             unreachable!()
         };
-        let values = summaries
-            .iter()
-            .zip(&out.values)
-            .map(|(s, &dot)| {
-                let p = DotQuant {
-                    floors: Vec::new(),
-                    sum_floor: s.sum_floor,
-                    norm_scaled: s.norm_scaled,
-                    sum_scaled: s.sum_scaled,
-                };
-                match target {
-                    SimTarget::Cosine => ub_pim_cs(&p, &qq, dot, d),
-                    SimTarget::Pearson => ub_pim_pcc(&p, &qq, dot, d),
+        let mut guarded = 0u64;
+        let mut fallbacks = 0u64;
+        let mut values = Vec::with_capacity(out.values.len());
+        for (obj, (s, &dot)) in summaries.iter().zip(&out.values).enumerate() {
+            let p = DotQuant {
+                floors: Vec::new(),
+                sum_floor: s.sum_floor,
+                norm_scaled: s.norm_scaled,
+                sum_scaled: s.sum_scaled,
+            };
+            // The similarity UBs are increasing in the dot term, so a
+            // drifted read is guarded by *inflating* the measured value;
+            // dead objects fall back to the exact host-side dot.
+            let effective_dot = match statuses.as_ref().map(|s| s[obj]) {
+                None | Some((CrossbarHealth::Healthy, _)) => dot,
+                Some((CrossbarHealth::Drifted, disc)) => {
+                    guarded += 1;
+                    dot + qmax * disc
                 }
-            })
-            .collect();
+                Some((CrossbarHealth::Dead, _)) => {
+                    fallbacks += 1;
+                    let row = self.bank.pim().region_row(region, obj)?;
+                    host_floor_dot(row, &qq.floors)
+                }
+            };
+            values.push(match target {
+                SimTarget::Cosine => ub_pim_cs(&p, &qq, effective_dot, d),
+                SimTarget::Pearson => ub_pim_pcc(&p, &qq, effective_dot, d),
+            });
+        }
+        self.fault_counters.guarded_bounds += guarded;
+        self.fault_counters.fallback_refinements += fallbacks;
         Ok(BoundBatch {
             values,
             timing: out.timing,
             host_bytes_per_object: 32,
+            fault_counters: self.fault_counters,
         })
     }
 
@@ -747,6 +1036,7 @@ impl PimExecutor {
             });
         }
         let (code_region, comp_region, d) = (*code_region, *comp_region, *d);
+        self.maybe_scrub()?;
         let q = query.to_unsigned();
         let qc = query.complement_to_unsigned();
         let code_out: DotBatchResult = self.bank.dot_batch(code_region, &q, AccWidth::U32)?;
@@ -757,16 +1047,41 @@ impl PimExecutor {
         } else {
             timing.add(&comp_out.timing);
         }
-        let values = code_out
-            .values
-            .iter()
-            .zip(&comp_out.values)
-            .map(|(&dot, &dotc)| (d as u64 - dot - dotc) as f64)
-            .collect();
+        let n = code_out.values.len();
+        let statuses = if self.faults_active() {
+            Some((
+                self.region_statuses(code_region, n)?,
+                self.region_statuses(comp_region, n)?,
+            ))
+        } else {
+            None
+        };
+        let mut fallbacks = 0u64;
+        let mut values = Vec::with_capacity(n);
+        for (obj, (&dot, &dotc)) in code_out.values.iter().zip(&comp_out.values).enumerate() {
+            // HD is used as an *exact* distance (Table 4), so there is no
+            // guard-band to widen: any fault-touched object is recomputed
+            // exactly from the retained code rows.
+            let degraded = statuses.as_ref().is_some_and(|(code, comp)| {
+                code[obj] != (CrossbarHealth::Healthy, 0)
+                    || comp[obj] != (CrossbarHealth::Healthy, 0)
+            });
+            let v = if degraded {
+                fallbacks += 1;
+                let code_dot = host_floor_dot(self.bank.pim().region_row(code_region, obj)?, &q);
+                let comp_dot = host_floor_dot(self.bank.pim().region_row(comp_region, obj)?, &qc);
+                (d as u64 - code_dot - comp_dot) as f64
+            } else {
+                (d as u64 - dot - dotc) as f64
+            };
+            values.push(v);
+        }
+        self.fault_counters.fallback_refinements += fallbacks;
         Ok(BoundBatch {
             values,
             timing,
             host_bytes_per_object: 8,
+            fault_counters: self.fault_counters,
         })
     }
 }
@@ -801,6 +1116,8 @@ mod tests {
             operand_bits: 16,
             double_buffer: false,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         }
     }
 
@@ -1004,6 +1321,171 @@ mod tests {
             double.report().crossbars_used,
             2 * single.report().crossbars_used
         );
+    }
+
+    #[test]
+    fn inert_fault_model_changes_nothing() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let mut clean = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let mut c = cfg(4096);
+        c.faults = Some(FaultConfig::default());
+        c.scrub_interval = 2;
+        let mut faulty = PimExecutor::prepare_euclidean(c, &data).unwrap();
+        for _ in 0..5 {
+            let a = clean.lb_ed_batch(&q).unwrap();
+            let b = faulty.lb_ed_batch(&q).unwrap();
+            assert_eq!(a.values, b.values);
+        }
+        let fc = faulty.fault_counters();
+        assert_eq!(fc.faults_detected, 0);
+        assert_eq!(fc.guarded_bounds, 0);
+        assert_eq!(fc.fallback_refinements, 0);
+        assert!(fc.scrubs >= 3, "initial + periodic scrubs: {}", fc.scrubs);
+        assert_eq!(faulty.report().fault_counters.scrubs, 1);
+    }
+
+    #[test]
+    fn faulty_ed_bounds_stay_valid_and_counters_move() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let mut saw_guarded = false;
+        for seed in 0..8u64 {
+            let mut c = cfg(4096);
+            c.faults = Some(FaultConfig {
+                stuck_low_rate: 0.02,
+                stuck_high_rate: 0.02,
+                seed,
+                ..Default::default()
+            });
+            let mut exec = PimExecutor::prepare_euclidean(c, &data).unwrap();
+            let batch = exec.lb_ed_batch(&q).unwrap();
+            for (i, &lb) in batch.values.iter().enumerate() {
+                let ed = euclidean_sq(data.dataset().row(i), &q);
+                assert!(lb <= ed + 1e-9, "seed={seed} i={i}: {lb} > {ed}");
+            }
+            saw_guarded |= batch.fault_counters.guarded_bounds > 0;
+        }
+        assert!(saw_guarded, "some seed must drift an object");
+    }
+
+    #[test]
+    fn dead_crossbars_fall_back_to_exact_host_bounds() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let mut clean = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let expected = clean.lb_ed_batch(&q).unwrap().values;
+        // Every wordline dead and zero spares: all objects quarantined.
+        let mut c = cfg(4096);
+        c.pim.num_crossbars = 2; // exactly the single-region allocation
+        c.faults = Some(FaultConfig {
+            dead_wordline_rate: 1.0,
+            ..Default::default()
+        });
+        let mut exec = PimExecutor::prepare_euclidean(c, &data).unwrap();
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        assert_eq!(batch.values, expected, "host fallback must be exact");
+        assert!(batch.fault_counters.quarantined_rows > 0);
+        assert_eq!(batch.fault_counters.fallback_refinements, 3);
+        assert_eq!(batch.fault_counters.remapped_crossbars, 0);
+    }
+
+    #[test]
+    fn remap_recovers_dead_crossbars_transparently() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let mut clean = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let expected = clean.lb_ed_batch(&q).unwrap().values;
+        // Moderate dead-line rates with plenty of spares: most spares are
+        // clean, so dead crossbars remap and results are exact without any
+        // per-query fallback work.
+        let mut saw_remap = false;
+        for seed in 0..16u64 {
+            let mut c = cfg(4096);
+            c.faults = Some(FaultConfig {
+                dead_bitline_rate: 0.05,
+                dead_wordline_rate: 0.05,
+                seed,
+                ..Default::default()
+            });
+            let mut exec = PimExecutor::prepare_euclidean(c, &data).unwrap();
+            let batch = exec.lb_ed_batch(&q).unwrap();
+            assert_eq!(batch.values, expected, "seed={seed}");
+            assert_eq!(batch.fault_counters.quarantined_rows, 0, "seed={seed}");
+            saw_remap |= batch.fault_counters.remapped_crossbars > 0;
+        }
+        assert!(saw_remap, "some seed must kill and remap a crossbar");
+    }
+
+    #[test]
+    fn faulty_hamming_stays_exact() {
+        let mut codes = BinaryDataset::with_bits(16).unwrap();
+        let patterns: [u16; 4] = [0b1010_1100_0110_1001, 0xFFFF, 0x0000, 0b0001_0010_0100_1000];
+        for p in patterns {
+            let bits: Vec<bool> = (0..16).map(|i| (p >> i) & 1 == 1).collect();
+            codes.push_bits(&bits).unwrap();
+        }
+        for seed in 0..8u64 {
+            let mut c = cfg(4096);
+            c.faults = Some(FaultConfig {
+                stuck_low_rate: 0.05,
+                dead_bitline_rate: 0.05,
+                seed,
+                ..Default::default()
+            });
+            let mut exec = PimExecutor::prepare_hamming(c, &codes).unwrap();
+            let q = codes.row(0);
+            let batch = exec.hd_batch(&q).unwrap();
+            for i in 0..4 {
+                assert_eq!(
+                    batch.values[i] as u32,
+                    q.hamming(&codes.row(i)),
+                    "seed={seed} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_similarity_bounds_stay_upper_bounds() {
+        let data = sample_data();
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        for seed in 0..8u64 {
+            for target in [SimTarget::Cosine, SimTarget::Pearson] {
+                let mut c = cfg(4096);
+                c.faults = Some(FaultConfig {
+                    stuck_low_rate: 0.03,
+                    stuck_high_rate: 0.03,
+                    seed,
+                    ..Default::default()
+                });
+                let mut exec = PimExecutor::prepare_similarity(c, &data, target).unwrap();
+                let batch = exec.ub_sim_batch(&q).unwrap();
+                for (i, &ub) in batch.values.iter().enumerate() {
+                    let exact = match target {
+                        SimTarget::Cosine => cosine(data.dataset().row(i), &q),
+                        SimTarget::Pearson => pearson(data.dataset().row(i), &q),
+                    };
+                    assert!(ub >= exact - 1e-9, "seed={seed} i={i}: {ub} < {exact}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_adc_retries_surface_as_core_errors() {
+        let data = sample_data();
+        let mut c = cfg(4096);
+        c.faults = Some(FaultConfig {
+            adc_glitch_rate: 1.0,
+            adc_retry_limit: 2,
+            ..Default::default()
+        });
+        let err = PimExecutor::prepare_euclidean(c, &data).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ReRam(simpim_reram::ReRamError::AdcRetryExhausted { .. })
+        ));
     }
 
     #[test]

@@ -160,6 +160,34 @@ pub fn error_bound_fnn(d: usize, alpha: f64) -> f64 {
     8.0 * d as f64 / alpha + 4.0 * d as f64 / (alpha * alpha)
 }
 
+/// Guard-banded Theorem 2 for drifted crossbars (see
+/// `simpim-reram::faults`): the two measured dot products may each deviate
+/// from their exact values by up to `mu_error` / `sigma_error`; since
+/// `LB_PIM-FNN` decreases in both dot terms, inflating the measured values
+/// by their envelopes keeps the result a valid lower bound.
+pub fn lb_pim_fnn_guarded(
+    phi_p: f64,
+    phi_q: f64,
+    dot_mu: u64,
+    dot_sigma: u64,
+    d_prime: usize,
+    segment_len: usize,
+    alpha: f64,
+    mu_error: f64,
+    sigma_error: f64,
+) -> f64 {
+    assert!(
+        mu_error >= 0.0 && sigma_error >= 0.0,
+        "error envelopes must be non-negative"
+    );
+    let raw = (segment_len as f64 / (alpha * alpha))
+        * (phi_p + phi_q
+            - 2.0 * (dot_mu as f64 + mu_error)
+            - 2.0 * (dot_sigma as f64 + sigma_error)
+            - 4.0 * d_prime as f64);
+    raw.max(0.0)
+}
+
 /// Quantized form of one vector for `LB_PIM-SM`: floors of the scaled
 /// segment means plus `Φ`. This mean-only sibling of [`FnnQuant`] needs
 /// only **one** crossbar region, so it fits budgets where the µ/σ pair
@@ -227,6 +255,24 @@ pub fn lb_pim_sm(
 /// envelope — only the mean terms quantize).
 pub fn error_bound_sm(d: usize, alpha: f64) -> f64 {
     4.0 * d as f64 / alpha + 2.0 * d as f64 / (alpha * alpha)
+}
+
+/// Guard-banded `LB_PIM-SM` for drifted crossbars: inflates the measured
+/// mean dot product by `mu_error` before applying the bound (valid for the
+/// same monotonicity reason as [`lb_pim_ed_guarded`]).
+pub fn lb_pim_sm_guarded(
+    phi_p: f64,
+    phi_q: f64,
+    dot_mu: u64,
+    d_prime: usize,
+    segment_len: usize,
+    alpha: f64,
+    mu_error: f64,
+) -> f64 {
+    assert!(mu_error >= 0.0, "error envelope must be non-negative");
+    let raw = (segment_len as f64 / (alpha * alpha))
+        * (phi_p + phi_q - 2.0 * (dot_mu as f64 + mu_error) - 2.0 * d_prime as f64);
+    raw.max(0.0)
 }
 
 /// Quantized summary for the CS/PCC upper bounds: floors plus the exact
@@ -595,6 +641,67 @@ mod tests {
             // the naive bound is NOT safe under variation.
             let naive = lb_pim_ed(pq.phi, qq.phi, noisy, 4, alpha);
             let _ = naive; // value depends on the seed; correctness only holds guarded
+        }
+    }
+
+    #[test]
+    fn guarded_fnn_and_sm_stay_valid_under_dot_error() {
+        let mut rng = rng();
+        let alpha = 1e4;
+        for _ in 0..40 {
+            let d_prime = rng.gen_range(1..8usize);
+            let l = rng.gen_range(1..6usize);
+            let d = d_prime * l;
+            let p = random_unit_vec(&mut rng, d);
+            let q = random_unit_vec(&mut rng, d);
+            let ed = euclidean_sq(&p, &q);
+
+            let fp = FnnQuant::compute(&p, d_prime, alpha).unwrap();
+            let fq = FnnQuant::compute(&q, d_prime, alpha).unwrap();
+            let dm = host_floor_dot(&fp.mu_floors, &fq.mu_floors);
+            let ds = host_floor_dot(&fp.sigma_floors, &fq.sigma_floors);
+            let sp = SmQuant::compute(&p, d_prime, alpha).unwrap();
+            let sq = SmQuant::compute(&q, d_prime, alpha).unwrap();
+            let dsm = host_floor_dot(&sp.mu_floors, &sq.mu_floors);
+
+            // Any drift that shrinks the measured dot within the envelope
+            // must leave the guarded bound below the exact distance.
+            for err in [0u64, 3, 17, 101] {
+                let drift_mu = dm.saturating_sub(err);
+                let drift_sigma = ds.saturating_sub(err);
+                let g = lb_pim_fnn_guarded(
+                    fp.phi,
+                    fq.phi,
+                    drift_mu,
+                    drift_sigma,
+                    d_prime,
+                    l,
+                    alpha,
+                    err as f64,
+                    err as f64,
+                );
+                assert!(g <= ed + 1e-9, "FNN guarded {g} > ED {ed} (err={err})");
+
+                let gs = lb_pim_sm_guarded(
+                    sp.phi,
+                    sq.phi,
+                    dsm.saturating_sub(err),
+                    d_prime,
+                    l,
+                    alpha,
+                    err as f64,
+                );
+                assert!(gs <= ed + 1e-9, "SM guarded {gs} > ED {ed} (err={err})");
+            }
+            // Zero envelope reduces to the plain bounds.
+            assert_eq!(
+                lb_pim_fnn_guarded(fp.phi, fq.phi, dm, ds, d_prime, l, alpha, 0.0, 0.0),
+                lb_pim_fnn(fp.phi, fq.phi, dm, ds, d_prime, l, alpha)
+            );
+            assert_eq!(
+                lb_pim_sm_guarded(sp.phi, sq.phi, dsm, d_prime, l, alpha, 0.0),
+                lb_pim_sm(sp.phi, sq.phi, dsm, d_prime, l, alpha)
+            );
         }
     }
 

@@ -140,7 +140,9 @@ impl Planner {
         for q in queries {
             let mut exact: Vec<f64> = dataset
                 .rows()
-                .map(|row| measures::evaluate(measure, row, q))
+                .map(|row| {
+                    measures::evaluate(measure, row, q).expect("planner measures are float-valued")
+                })
                 .collect();
             exact.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             thresholds.push(if smaller_closer {
@@ -243,7 +245,9 @@ impl PruningProfile {
             // Exact k-th threshold.
             let mut exact: Vec<f64> = dataset
                 .rows()
-                .map(|row| measures::evaluate(measure, row, q))
+                .map(|row| {
+                    measures::evaluate(measure, row, q).expect("planner measures are float-valued")
+                })
                 .collect();
             let kth = {
                 let mut sorted = exact.clone();

@@ -367,6 +367,8 @@ mod tests {
             operand_bits: 16,
             double_buffer: false,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         };
         let mut exec = PimExecutor::prepare_sm(cfg, &d, 4).unwrap();
         let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
@@ -399,6 +401,8 @@ mod tests {
             operand_bits: 16,
             double_buffer: false,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         };
         let mut exec = PimExecutor::prepare_fnn(cfg, &d, 4).unwrap();
         let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];

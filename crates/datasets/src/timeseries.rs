@@ -79,7 +79,7 @@ pub fn generate_series(cfg: &SeriesConfig) -> PlantedSeries {
     for (offset, jitter_seed) in [(pos_a, 1u64), (pos_b, 2u64)] {
         let mut jr = StdRng::seed_from_u64(cfg.seed ^ jitter_seed);
         for (i, &p) in pattern.iter().enumerate() {
-            values[offset + i] = (p + jr.gen_range(-0.005..0.005)).clamp(0.0, 1.0);
+            values[offset + i] = (p + jr.gen_range(-0.005f64..0.005)).clamp(0.0, 1.0);
         }
     }
 

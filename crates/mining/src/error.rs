@@ -1,0 +1,81 @@
+//! Error type shared by the mining algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use simpim_core::CoreError;
+use simpim_similarity::Measure;
+
+/// Errors surfaced by the mining algorithms.
+///
+/// The kNN entry points reject measure/operand mismatches (the classic one:
+/// asking a floating-point scan for Hamming distance, which is defined on
+/// binary codes and served by [`crate::knn::hamming`] /
+/// [`crate::knn::pim::knn_pim_hamming`]) and forward any PIM execution
+/// failure from `simpim-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// The requested measure is not defined for this algorithm's operand
+    /// kind.
+    UnsupportedMeasure {
+        /// The measure that was requested.
+        measure: Measure,
+    },
+    /// A PIM executor call failed (preparation, bound batch, or the fault
+    /// recovery pipeline).
+    Core(CoreError),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedMeasure { measure } => write!(
+                f,
+                "measure {} is not supported by this routine; Hamming \
+                 distance runs on binary codes via knn::hamming / \
+                 knn_pim_hamming",
+                measure.name()
+            ),
+            Self::Core(e) => write!(f, "PIM execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for MiningError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::UnsupportedMeasure { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for MiningError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MiningError::UnsupportedMeasure {
+            measure: Measure::Hamming,
+        };
+        assert!(e.to_string().contains("HD"));
+        assert!(e.to_string().contains("binary codes"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let core = CoreError::Mismatch { what: "test" };
+        let e = MiningError::from(core.clone());
+        assert_eq!(e, MiningError::Core(core));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("PIM execution failed"));
+    }
+}

@@ -121,6 +121,8 @@ mod tests {
             operand_bits: 32,
             double_buffer: false,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         };
         let mut exec = PimExecutor::prepare_euclidean(cfg, &nds).unwrap();
         let mut assist = PimAssist::new(&mut exec);

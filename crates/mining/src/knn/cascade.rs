@@ -16,6 +16,7 @@ use simpim_bounds::{BoundCascade, BoundDirection};
 use simpim_similarity::{Dataset, Measure};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::knn::{exact_eval, KnnResult, TopK};
 use crate::report::{Architecture, RunReport};
 
@@ -36,13 +37,17 @@ pub(crate) fn charge_stage(
 /// Runs filter-and-refinement kNN with `cascade` over `dataset`. The
 /// cascade direction must match the measure (lower bounds for distances,
 /// upper bounds for similarities); results are exact.
+///
+/// # Errors
+/// [`MiningError::UnsupportedMeasure`] for `Measure::Hamming` — binary
+/// codes use [`crate::knn::hamming`] instead.
 pub fn knn_cascade(
     dataset: &Dataset,
     cascade: &BoundCascade,
     query: &[f64],
     k: usize,
     measure: Measure,
-) -> KnnResult {
+) -> Result<KnnResult, MiningError> {
     assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
     assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
     if let Some(dir) = cascade.direction() {
@@ -63,16 +68,16 @@ pub fn knn_cascade(
     if cascade.is_empty() {
         // Degenerate cascade: plain linear scan.
         for i in 0..n {
-            let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+            let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
             other.prune_test();
             top.offer(i, v);
         }
         report.profile.record(measure.name(), exact_counters);
         report.profile.record("other", other);
-        return KnnResult {
+        return Ok(KnnResult {
             neighbors: top.into_sorted(),
             report,
-        };
+        });
     }
 
     let prepared = cascade.prepare(query);
@@ -109,7 +114,7 @@ pub fn knn_cascade(
             }
         }
         exact_counters.random_fetches += 1;
-        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
         other.prune_test();
         top.offer(i, v);
     }
@@ -121,10 +126,10 @@ pub fn knn_cascade(
 
     report.profile.record(measure.name(), exact_counters);
     report.profile.record("other", other);
-    KnnResult {
+    Ok(KnnResult {
         neighbors: top.into_sorted(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -170,9 +175,9 @@ mod tests {
             ("empty", BoundCascade::empty()),
         ];
         for q in &qs {
-            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq).unwrap();
             for (name, cascade) in &cascades {
-                let got = knn_cascade(&ds, cascade, q, 10, Measure::EuclideanSq);
+                let got = knn_cascade(&ds, cascade, q, 10, Measure::EuclideanSq).unwrap();
                 assert_eq!(got.indices(), truth.indices(), "{name} must be exact");
             }
         }
@@ -188,8 +193,8 @@ mod tests {
             let cascade =
                 BoundCascade::new(vec![Box::new(PartBound::build(&ds, 16, target).unwrap())]);
             for q in &qs {
-                let truth = knn_standard(&ds, q, 10, measure);
-                let got = knn_cascade(&ds, &cascade, q, 10, measure);
+                let truth = knn_standard(&ds, q, 10, measure).unwrap();
+                let got = knn_cascade(&ds, &cascade, q, 10, measure).unwrap();
                 assert_eq!(got.indices(), truth.indices(), "{measure:?}");
             }
         }
@@ -199,8 +204,8 @@ mod tests {
     fn filtering_reduces_exact_evaluations() {
         let (ds, qs) = workload();
         let cascade = BoundCascade::new(vec![Box::new(FnnBound::build(&ds, 16).unwrap())]);
-        let scan = knn_standard(&ds, &qs[0], 10, Measure::EuclideanSq);
-        let filtered = knn_cascade(&ds, &cascade, &qs[0], 10, Measure::EuclideanSq);
+        let scan = knn_standard(&ds, &qs[0], 10, Measure::EuclideanSq).unwrap();
+        let filtered = knn_cascade(&ds, &cascade, &qs[0], 10, Measure::EuclideanSq).unwrap();
         let scan_ed = scan.report.profile.get("ED").unwrap().counters.mul;
         let filt_ed = filtered.report.profile.get("ED").unwrap().counters.mul;
         assert!(
@@ -217,6 +222,6 @@ mod tests {
         let cascade = BoundCascade::new(vec![Box::new(
             PartBound::build(&ds, 8, simpim_bounds::part::PartTarget::Cosine).unwrap(),
         )]);
-        knn_cascade(&ds, &cascade, &qs[0], 5, Measure::EuclideanSq);
+        let _ = knn_cascade(&ds, &cascade, &qs[0], 5, Measure::EuclideanSq);
     }
 }

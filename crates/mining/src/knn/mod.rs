@@ -9,6 +9,7 @@ pub mod standard;
 use simpim_similarity::{measures, Measure};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::report::RunReport;
 
 /// The result of one kNN query: the exact k nearest objects (best first,
@@ -109,18 +110,25 @@ impl TopK {
 /// Evaluates a measure exactly and charges the per-object cost convention:
 /// ED streams the candidate and runs the subtract-multiply-add kernel;
 /// CS/PCC run the dot kernel plus the precomputed-statistics combination.
-pub(crate) fn exact_eval(measure: Measure, p: &[f64], q: &[f64], counters: &mut OpCounters) -> f64 {
+/// Hamming distance is defined on binary codes, not float rows, and yields
+/// [`MiningError::UnsupportedMeasure`].
+pub(crate) fn exact_eval(
+    measure: Measure,
+    p: &[f64],
+    q: &[f64],
+    counters: &mut OpCounters,
+) -> Result<f64, MiningError> {
     let d = p.len() as u64;
     match measure {
         Measure::EuclideanSq => {
             counters.euclidean_kernel(d, d * 8);
-            measures::euclidean_sq(p, q)
+            Ok(measures::euclidean_sq(p, q))
         }
         Measure::Cosine => {
             counters.dot_kernel(d, d * 8);
             counters.stream(8); // precomputed ‖p‖
             counters.div += 1;
-            measures::cosine(p, q)
+            Ok(measures::cosine(p, q))
         }
         Measure::Pearson => {
             counters.dot_kernel(d, d * 8);
@@ -128,9 +136,9 @@ pub(crate) fn exact_eval(measure: Measure, p: &[f64], q: &[f64], counters: &mut 
             counters.arith += 2;
             counters.mul += 2;
             counters.div += 1;
-            measures::pearson(p, q)
+            Ok(measures::pearson(p, q))
         }
-        Measure::Hamming => panic!("use knn::hamming for binary codes"),
+        Measure::Hamming => Err(MiningError::UnsupportedMeasure { measure }),
     }
 }
 
@@ -190,12 +198,25 @@ mod tests {
     #[test]
     fn exact_eval_charges_costs() {
         let mut c = OpCounters::new();
-        let v = exact_eval(Measure::EuclideanSq, &[0.0, 0.0], &[3.0, 4.0], &mut c);
+        let v = exact_eval(Measure::EuclideanSq, &[0.0, 0.0], &[3.0, 4.0], &mut c).unwrap();
         assert_eq!(v, 25.0);
         assert_eq!(c.bytes_streamed, 16);
         assert_eq!(c.mul, 2);
         let mut c2 = OpCounters::new();
-        exact_eval(Measure::Cosine, &[1.0, 0.0], &[1.0, 0.0], &mut c2);
+        exact_eval(Measure::Cosine, &[1.0, 0.0], &[1.0, 0.0], &mut c2).unwrap();
         assert_eq!(c2.div, 1);
+    }
+
+    #[test]
+    fn exact_eval_hamming_is_a_typed_error() {
+        let mut c = OpCounters::new();
+        let err = exact_eval(Measure::Hamming, &[1.0], &[1.0], &mut c).unwrap_err();
+        assert_eq!(
+            err,
+            MiningError::UnsupportedMeasure {
+                measure: Measure::Hamming
+            }
+        );
+        assert_eq!(c.bytes_streamed, 0, "no cost charged for a rejected call");
     }
 }

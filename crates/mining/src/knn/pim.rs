@@ -16,10 +16,11 @@
 //! results ≈ 64 bits per object").
 
 use simpim_bounds::{BoundCascade, BoundDirection};
-use simpim_core::{CoreError, PimExecutor};
+use simpim_core::PimExecutor;
 use simpim_similarity::{BinaryDataset, BinaryVecRef, Dataset, Measure};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::knn::cascade::charge_stage;
 use crate::knn::{exact_eval, KnnResult, TopK};
 use crate::report::{Architecture, RunReport};
@@ -41,7 +42,7 @@ pub fn knn_pim_ed(
     retained: &BoundCascade,
     query: &[f64],
     k: usize,
-) -> Result<KnnResult, CoreError> {
+) -> Result<KnnResult, MiningError> {
     assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
     assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
     if let Some(dir) = retained.direction() {
@@ -100,7 +101,7 @@ pub fn knn_pim_ed(
             dataset.row(i),
             query,
             &mut exact_counters,
-        );
+        )?;
         other.prune_test();
         top.offer(i, v);
     }
@@ -127,7 +128,7 @@ pub fn knn_pim_sim(
     query: &[f64],
     k: usize,
     measure: Measure,
-) -> Result<KnnResult, CoreError> {
+) -> Result<KnnResult, MiningError> {
     assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
     assert!(
         matches!(measure, Measure::Cosine | Measure::Pearson),
@@ -166,7 +167,7 @@ pub fn knn_pim_sim(
             break; // sorted descending: the rest cannot qualify
         }
         exact_counters.random_fetches += 1;
-        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters);
+        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
         other.prune_test();
         top.offer(i, v);
     }
@@ -186,7 +187,7 @@ pub fn knn_pim_hamming(
     codes: &BinaryDataset,
     query: &BinaryVecRef<'_>,
     k: usize,
-) -> Result<KnnResult, CoreError> {
+) -> Result<KnnResult, MiningError> {
     assert!(k >= 1 && k <= codes.len(), "k must be in 1..=N");
 
     let mut report = RunReport::new(Architecture::ReRamPim);
@@ -238,6 +239,8 @@ mod tests {
             operand_bits: 32,
             double_buffer: false,
             parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
         }
     }
 
@@ -260,7 +263,7 @@ mod tests {
         let nds = NormalizedDataset::assert_normalized(ds.clone());
         let mut exec = PimExecutor::prepare_euclidean(exec_cfg(100_000), &nds).unwrap();
         for q in &qs {
-            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq).unwrap();
             let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, 10).unwrap();
             assert_eq!(got.indices(), truth.indices());
             assert!(got.report.pim.total_ns() > 0.0);
@@ -274,7 +277,7 @@ mod tests {
         let mut exec = PimExecutor::prepare_fnn(exec_cfg(100_000), &nds, 16).unwrap();
         let retained = fnn_cascade(&ds).unwrap();
         for q in &qs {
-            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+            let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq).unwrap();
             let got = knn_pim_ed(&mut exec, &ds, &retained, q, 10).unwrap();
             assert_eq!(got.indices(), truth.indices());
         }
@@ -310,7 +313,7 @@ mod tests {
             let mut exec =
                 PimExecutor::prepare_similarity(exec_cfg(100_000), &nds, target).unwrap();
             for q in &qs {
-                let truth = knn_standard(&ds, q, 10, measure);
+                let truth = knn_standard(&ds, q, 10, measure).unwrap();
                 let got = knn_pim_sim(&mut exec, &ds, q, 10, measure).unwrap();
                 assert_eq!(got.indices(), truth.indices(), "{measure:?}");
             }

@@ -6,17 +6,26 @@
 use simpim_similarity::{Dataset, Measure};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::knn::{exact_eval, KnnResult, TopK};
 use crate::report::{Architecture, RunReport};
 
 /// Scans the whole dataset, returning the exact k nearest under `measure`
-/// (`EuclideanSq`, `Cosine` or `Pearson`; binary codes use
-/// [`crate::knn::hamming`]).
+/// (`EuclideanSq`, `Cosine` or `Pearson`).
+///
+/// # Errors
+/// [`MiningError::UnsupportedMeasure`] for `Measure::Hamming` — binary
+/// codes use [`crate::knn::hamming`] instead.
 ///
 /// # Panics
 /// Panics when `k` is zero or exceeds the dataset size, or when the query
 /// dimensionality mismatches.
-pub fn knn_standard(dataset: &Dataset, query: &[f64], k: usize, measure: Measure) -> KnnResult {
+pub fn knn_standard(
+    dataset: &Dataset,
+    query: &[f64],
+    k: usize,
+    measure: Measure,
+) -> Result<KnnResult, MiningError> {
     assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
     assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
     let mut report = RunReport::new(Architecture::ConventionalDram);
@@ -25,16 +34,16 @@ pub fn knn_standard(dataset: &Dataset, query: &[f64], k: usize, measure: Measure
     let mut measure_counters = OpCounters::new();
     let mut other = OpCounters::new();
     for (i, row) in dataset.rows().enumerate() {
-        let v = exact_eval(measure, row, query, &mut measure_counters);
+        let v = exact_eval(measure, row, query, &mut measure_counters)?;
         other.prune_test();
         top.offer(i, v);
     }
     report.profile.record(measure.name(), measure_counters);
     report.profile.record("other", other);
-    KnnResult {
+    Ok(KnnResult {
         neighbors: top.into_sorted(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -56,7 +65,7 @@ mod tests {
     #[test]
     fn finds_exact_neighbors() {
         let ds = dataset();
-        let res = knn_standard(&ds, &[0.05, 0.05], 2, Measure::EuclideanSq);
+        let res = knn_standard(&ds, &[0.05, 0.05], 2, Measure::EuclideanSq).unwrap();
         assert_eq!(res.indices(), vec![0, 2]);
         assert!((res.neighbors[0].1 - euclidean_sq(ds.row(0), &[0.05, 0.05])).abs() < 1e-12);
     }
@@ -64,14 +73,14 @@ mod tests {
     #[test]
     fn similarity_measures_reverse_order() {
         let ds = Dataset::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]).unwrap();
-        let res = knn_standard(&ds, &[1.0, 0.1], 1, Measure::Cosine);
+        let res = knn_standard(&ds, &[1.0, 0.1], 1, Measure::Cosine).unwrap();
         assert_eq!(res.indices(), vec![0]);
     }
 
     #[test]
     fn profile_is_measure_dominated() {
         let ds = dataset();
-        let res = knn_standard(&ds, &[0.0, 0.0], 1, Measure::EuclideanSq);
+        let res = knn_standard(&ds, &[0.0, 0.0], 1, Measure::EuclideanSq).unwrap();
         let params = simpim_simkit::HostParams::default();
         let (name, frac) = res.report.profile.bottleneck(&params).unwrap();
         assert_eq!(name, "ED");
@@ -86,7 +95,7 @@ mod tests {
     #[test]
     fn k_equals_n_returns_everything() {
         let ds = dataset();
-        let res = knn_standard(&ds, &[0.0, 0.0], 5, Measure::EuclideanSq);
+        let res = knn_standard(&ds, &[0.0, 0.0], 5, Measure::EuclideanSq).unwrap();
         assert_eq!(res.neighbors.len(), 5);
         assert_eq!(res.neighbors[0].0, 0);
         assert_eq!(res.neighbors[4].0, 1);
@@ -95,6 +104,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be")]
     fn zero_k_rejected() {
-        knn_standard(&dataset(), &[0.0, 0.0], 0, Measure::EuclideanSq);
+        let _ = knn_standard(&dataset(), &[0.0, 0.0], 0, Measure::EuclideanSq);
+    }
+
+    #[test]
+    fn hamming_on_floats_is_a_typed_error() {
+        let err = knn_standard(&dataset(), &[0.0, 0.0], 1, Measure::Hamming).unwrap_err();
+        assert!(matches!(
+            err,
+            MiningError::UnsupportedMeasure {
+                measure: Measure::Hamming
+            }
+        ));
     }
 }

@@ -42,10 +42,12 @@
 //! the evaluation.
 
 pub mod dbscan;
+pub mod error;
 pub mod kmeans;
 pub mod knn;
 pub mod motif;
 pub mod outlier;
 pub mod report;
 
+pub use error::MiningError;
 pub use report::{Architecture, RunReport};

@@ -9,10 +9,13 @@
 //! e.g. `⌊p̄⌋` for `LB_PIM-ED`, or the `⌊µ(p̂)⌋` / `⌊σ(p̂)⌋` pair for
 //! `LB_PIM-FNN`, or the code/complement pair for Hamming distance.
 
+use std::collections::HashMap;
+
 use crate::bitslice::{bits_needed, bits_needed_slice};
 use crate::config::{AccWidth, PimConfig};
 use crate::energy::{EnergyModel, EnergyReport};
 use crate::error::ReRamError;
+use crate::faults::{CellFault, CrossbarHealth, FaultConfig};
 use crate::gather::{dataset_crossbar_cost, CrossbarCost};
 use crate::timing::{dot_batch_timing, program_timing_ns, PimTiming};
 
@@ -44,6 +47,85 @@ struct Region {
     s: usize,
     operand_bits: u32,
     cost: CrossbarCost,
+    /// First physical crossbar id of this region's allocation; local
+    /// crossbar `l` lives at physical id `base_crossbar + l` unless
+    /// remapped onto a spare.
+    base_crossbar: usize,
+    /// Local crossbar → spare physical crossbar substitutions installed by
+    /// [`PimArray::remap_dead`].
+    remap: HashMap<usize, usize>,
+}
+
+impl Region {
+    #[inline]
+    fn phys(&self, local: usize) -> usize {
+        self.remap
+            .get(&local)
+            .copied()
+            .unwrap_or(self.base_crossbar + local)
+    }
+}
+
+/// Per-region fault survey: which crossbars are corrupted, by how much
+/// each stored object deviates, and the emulated faulty read-outs. The
+/// survey doubles as the detection state behind the scrub/health API and
+/// as the emulation table for [`PimArray::dot_batch`] under faults.
+#[derive(Debug, Clone)]
+struct RegionFaultInfo {
+    /// Health per local crossbar (data crossbars first, then gather).
+    health: Vec<CrossbarHealth>,
+    /// Per object: `Σ_dims |v_faulty − v_true|` — the worst-case stored
+    /// deviation, which bounds the dot-product error by
+    /// `max_query_level · discrepancy`.
+    discrepancy: Vec<u64>,
+    /// Emulated faulty stored rows, for objects whose data crossbars are
+    /// corrupted (sparse: untouched objects read exactly).
+    faulty_rows: HashMap<usize, Vec<u32>>,
+    /// Objects served by a dead crossbar (worn, dead line, or corrupted
+    /// gather fabric) — their PIM read-outs are untrustworthy.
+    dead_objects: Vec<bool>,
+    /// ADC glitch retries spent probing this region's crossbars.
+    retries: u64,
+    /// Cells whose read-out differs from their programmed level.
+    faulty_cells: u64,
+}
+
+/// Outcome of scrubbing one region against its fault map.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScrubReport {
+    /// The scrubbed region.
+    pub region: RegionId,
+    /// Crossbars probed (the region's full allocation).
+    pub crossbars_checked: usize,
+    /// Cells whose read-out differs from their programmed level.
+    pub faulty_cells: u64,
+    /// ADC glitch retries spent during the probe.
+    pub adc_retries: u64,
+    /// Crossbars with no fault in their programmed area.
+    pub healthy: usize,
+    /// Crossbars corrupted by a bounded, known amount.
+    pub drifted: usize,
+    /// Crossbars that must be remapped or quarantined.
+    pub dead: usize,
+    /// Scrub latency in nanoseconds (one canary probe per crossbar plus
+    /// glitch retries).
+    pub scrub_ns: f64,
+}
+
+/// Outcome of remapping a region's dead crossbars onto spare capacity.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RemapReport {
+    /// The repaired region.
+    pub region: RegionId,
+    /// Dead crossbars successfully remapped onto spares.
+    pub remapped_crossbars: usize,
+    /// Objects still served by a dead crossbar afterwards (no clean spare
+    /// left) — callers must route these through exact host evaluation.
+    pub quarantined_objects: usize,
+    /// Cell programming pulses spent reprogramming spares.
+    pub cell_writes: u64,
+    /// Reprogramming latency in nanoseconds.
+    pub program_ns: f64,
 }
 
 /// The PIM array: a budget of `C` crossbars holding programmed regions.
@@ -55,6 +137,12 @@ pub struct PimArray {
     used_crossbars: usize,
     total_cell_writes: u64,
     energy: EnergyReport,
+    faults: Option<FaultConfig>,
+    /// Program cycles per physical crossbar (wear-out driver); persists
+    /// across [`PimArray::clear`] like the cell-write counters.
+    xb_programs: Vec<u32>,
+    /// Fault survey per region, computed lazily / by scrubbing.
+    fault_info: Vec<Option<RegionFaultInfo>>,
 }
 
 impl PimArray {
@@ -68,6 +156,9 @@ impl PimArray {
             used_crossbars: 0,
             total_cell_writes: 0,
             energy: EnergyReport::default(),
+            faults: None,
+            xb_programs: Vec::new(),
+            fault_info: Vec::new(),
         })
     }
 
@@ -154,15 +245,27 @@ impl PimArray {
         self.energy.add(&energy);
 
         let region = RegionId(self.regions.len());
+        let base_crossbar = self.used_crossbars;
         self.used_crossbars += cost.total();
         self.total_cell_writes += cell_writes;
+        // One program cycle of wear on every crossbar of the allocation
+        // (clear + reprogram reuses physical ids, so wear accumulates).
+        if self.xb_programs.len() < self.used_crossbars {
+            self.xb_programs.resize(self.used_crossbars, 0);
+        }
+        for p in &mut self.xb_programs[base_crossbar..self.used_crossbars] {
+            *p += 1;
+        }
         self.regions.push(Region {
             data: flat.to_vec(),
             n,
             s,
             operand_bits,
             cost,
+            base_crossbar,
+            remap: HashMap::new(),
         });
+        self.fault_info.push(None);
         Ok(ProgramReport {
             region,
             cost,
@@ -207,6 +310,13 @@ impl PimArray {
         query: &[u32],
         acc: AccWidth,
     ) -> Result<(Vec<u64>, PimTiming), ReRamError> {
+        let faults_active = self.faults.map_or(false, |f| !f.is_inert());
+        if faults_active {
+            if region.0 >= self.regions.len() {
+                return Err(ReRamError::NotProgrammed);
+            }
+            self.ensure_fault_info(region.0)?;
+        }
         let reg = self
             .regions
             .get(region.0)
@@ -241,8 +351,44 @@ impl PimArray {
             values.push(acc.wrap(total));
         }
 
+        // Read through the injected faults: corrupted objects return the
+        // dot product of their *faulty* stored row (objects behind a
+        // corrupted gather fabric read 0 — one consistent corruption).
+        if faults_active {
+            let info = self.fault_info[region.0]
+                .as_ref()
+                .expect("survey ensured above");
+            for (obj, v) in values.iter_mut().enumerate() {
+                if let Some(frow) = info.faulty_rows.get(&obj) {
+                    let mut total: u128 = 0;
+                    for (chunk_q, chunk_v) in query.chunks(m).zip(frow.chunks(m)) {
+                        let partial: u128 = chunk_q
+                            .iter()
+                            .zip(chunk_v)
+                            .map(|(&a, &b)| u128::from(a) * u128::from(b))
+                            .sum();
+                        total = total.wrapping_add(partial);
+                    }
+                    *v = acc.wrap(total);
+                } else if info.dead_objects[obj] {
+                    *v = 0;
+                }
+            }
+        }
+
         let partial_bits = bits_needed(max_partial).min(acc.bits());
-        let timing = dot_batch_timing(&self.cfg, &reg.cost, input_bits, partial_bits, reg.n, acc);
+        let mut timing =
+            dot_batch_timing(&self.cfg, &reg.cost, input_bits, partial_bits, reg.n, acc);
+        if faults_active {
+            // Every ADC glitch retry re-runs one streamed pass.
+            let retries = self.fault_info[region.0]
+                .as_ref()
+                .expect("survey ensured above")
+                .retries;
+            timing.data_pass_ns += retries as f64
+                * self.cfg.crossbar.input_cycles(input_bits) as f64
+                * self.cfg.crossbar.read_ns;
+        }
 
         // Compute energy: cycles × active crossbars.
         let cycles = self.cfg.crossbar.input_cycles(input_bits)
@@ -386,10 +532,436 @@ impl PimArray {
     }
 
     /// Clears all regions (re-programming an array is allowed but wears the
-    /// device — the endurance counters persist across [`PimArray::clear`]).
+    /// device — the endurance counters and per-crossbar program counts
+    /// persist across [`PimArray::clear`]).
     pub fn clear(&mut self) {
         self.regions.clear();
+        self.fault_info.clear();
         self.used_crossbars = 0;
+    }
+
+    /// Attaches a deterministic fault model. Existing surveys are
+    /// invalidated; subsequent [`PimArray::dot_batch`] calls read through
+    /// the injected faults and [`PimArray::scrub_region`] becomes
+    /// available.
+    pub fn enable_faults(&mut self, faults: FaultConfig) -> Result<(), ReRamError> {
+        faults.validate()?;
+        self.faults = Some(faults);
+        for info in &mut self.fault_info {
+            *info = None;
+        }
+        Ok(())
+    }
+
+    /// The attached fault model, if any.
+    #[inline]
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
+    }
+
+    /// Program cycles a physical crossbar has received (wear metric).
+    pub fn crossbar_programs(&self, crossbar: usize) -> u32 {
+        self.xb_programs.get(crossbar).copied().unwrap_or(0)
+    }
+
+    /// Adds `extra` program cycles of wear to every currently programmed
+    /// crossbar, modeling prior write history (a burned-in device) for
+    /// endurance studies. Spare (never-programmed) crossbars stay fresh.
+    /// Takes effect at the next scrub: crossbars pushed past the fault
+    /// model's `endurance_limit` are classified dead.
+    pub fn age_crossbars(&mut self, extra: u32) {
+        for p in &mut self.xb_programs {
+            *p = p.saturating_add(extra);
+        }
+    }
+
+    /// Local crossbar index, row and first bitline holding dimension
+    /// `dim` of object `obj` (mirrors the strict-mode layout).
+    fn locate(reg: &Region, m: usize, w: usize, obj: usize, dim: usize) -> (usize, usize, usize) {
+        let g = reg.cost.group_size;
+        let gi = obj / g;
+        let col = (obj % g) * w;
+        if reg.s <= m {
+            let local = gi / reg.cost.slots_per_crossbar;
+            let row = (gi % reg.cost.slots_per_crossbar) * reg.s + dim;
+            (local, row, col)
+        } else {
+            let local = gi * reg.cost.chunks_per_object + dim / m;
+            (local, dim % m, col)
+        }
+    }
+
+    /// Surveys one region against the attached fault map: classifies every
+    /// crossbar, computes per-object deviations and emulated faulty
+    /// read-outs, and walks each crossbar's ADC glitch-retry chain.
+    fn survey_region(&self, ri: usize) -> Result<RegionFaultInfo, ReRamError> {
+        let faults = self.faults.ok_or(ReRamError::FaultsNotEnabled)?;
+        let reg = &self.regions[ri];
+        let xb_cfg = &self.cfg.crossbar;
+        let m = xb_cfg.size;
+        let h = xb_cfg.cell_bits;
+        let w = xb_cfg.cells_per_operand(reg.operand_bits);
+        let max_level = ((1u16 << h) - 1) as u8;
+        let total = reg.cost.total();
+
+        let mut health = vec![CrossbarHealth::Healthy; total];
+        let mut faulty_cells = 0u64;
+        let mut retries = 0u64;
+
+        // Wear-out and the ADC retry chain, per physical crossbar.
+        for (local, hl) in health.iter_mut().enumerate() {
+            let phys = reg.phys(local);
+            if faults.worn_out(self.crossbar_programs(phys)) {
+                *hl = CrossbarHealth::Dead;
+            }
+            retries += u64::from(faults.glitch_retries(phys)?);
+        }
+
+        // Gather crossbars: the all-ones reduction fabric sums partials,
+        // so any corrupted site there poisons whole groups by amounts no
+        // per-cell bound covers — classify Dead.
+        let mut gather_dead_group = vec![false; reg.cost.groups];
+        if reg.cost.gather > 0 {
+            let per_group = reg.cost.gather / reg.cost.groups;
+            for local in reg.cost.data..total {
+                let phys = reg.phys(local);
+                let mut bad = health[local] == CrossbarHealth::Dead || faults.dead_bitline(phys, 0);
+                if !bad {
+                    for row in 0..m {
+                        if faults.dead_wordline(phys, row) {
+                            bad = true;
+                            break;
+                        }
+                        match faults.cell_fault(phys, row, 0) {
+                            CellFault::None => {}
+                            CellFault::StuckLow => {
+                                faulty_cells += 1;
+                                bad = true;
+                                break;
+                            }
+                            // An all-ones cell stuck at the maximum level
+                            // is harmless only for single-bit cells.
+                            CellFault::StuckHigh => {
+                                if max_level != 1 {
+                                    faulty_cells += 1;
+                                    bad = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if bad {
+                    health[local] = CrossbarHealth::Dead;
+                    gather_dead_group[(local - reg.cost.data) / per_group] = true;
+                }
+            }
+        }
+
+        // Data crossbars: walk every stored operand cell. Stuck cells give
+        // a bounded, known deviation (Drifted); dead lines and wear
+        // corrupt whole rows/slices (Dead).
+        let mut discrepancy = vec![0u64; reg.n];
+        let mut faulty_rows: HashMap<usize, Vec<u32>> = HashMap::new();
+        let mut dead_objects = vec![false; reg.n];
+        let level_mask = u32::from(max_level);
+        for obj in 0..reg.n {
+            let mut dev = 0u64;
+            let mut frow: Vec<u32> = Vec::new();
+            let mut on_dead = gather_dead_group
+                .get(obj / reg.cost.group_size)
+                .copied()
+                .unwrap_or(false);
+            for dim in 0..reg.s {
+                let (local, row, col0) = Self::locate(reg, m, w, obj, dim);
+                let phys = reg.phys(local);
+                let v = reg.data[obj * reg.s + dim];
+                let worn = faults.worn_out(self.crossbar_programs(phys));
+                let v_eff = if worn {
+                    if v != 0 {
+                        faulty_cells += bits_needed(u64::from(v)).div_ceil(h) as u64;
+                    }
+                    health[local] = CrossbarHealth::Dead;
+                    0
+                } else if faults.dead_wordline(phys, row) {
+                    if v != 0 {
+                        faulty_cells += bits_needed(u64::from(v)).div_ceil(h) as u64;
+                    }
+                    health[local] = CrossbarHealth::Dead;
+                    0
+                } else {
+                    let mut rebuilt = 0u32;
+                    for j in 0..w {
+                        let programmed = (v >> (j as u32 * h)) & level_mask;
+                        let eff = if faults.dead_bitline(phys, col0 + j) {
+                            if programmed != 0 {
+                                faulty_cells += 1;
+                            }
+                            health[local] = CrossbarHealth::Dead;
+                            0
+                        } else {
+                            match faults.cell_fault(phys, row, col0 + j) {
+                                CellFault::None => programmed,
+                                CellFault::StuckLow => {
+                                    if programmed != 0 {
+                                        faulty_cells += 1;
+                                        if health[local] == CrossbarHealth::Healthy {
+                                            health[local] = CrossbarHealth::Drifted;
+                                        }
+                                    }
+                                    0
+                                }
+                                CellFault::StuckHigh => {
+                                    if programmed != u32::from(max_level) {
+                                        faulty_cells += 1;
+                                        if health[local] == CrossbarHealth::Healthy {
+                                            health[local] = CrossbarHealth::Drifted;
+                                        }
+                                    }
+                                    u32::from(max_level)
+                                }
+                            }
+                        };
+                        rebuilt |= eff << (j as u32 * h);
+                    }
+                    rebuilt
+                };
+                if health[local] == CrossbarHealth::Dead {
+                    on_dead = true;
+                }
+                dev += u64::from(v.abs_diff(v_eff));
+                frow.push(v_eff);
+            }
+            discrepancy[obj] = dev;
+            dead_objects[obj] = on_dead;
+            if dev > 0 {
+                faulty_rows.insert(obj, frow);
+            }
+        }
+
+        Ok(RegionFaultInfo {
+            health,
+            discrepancy,
+            faulty_rows,
+            dead_objects,
+            retries,
+            faulty_cells,
+        })
+    }
+
+    /// Makes sure the region's fault survey exists (lazily computed the
+    /// first time faults must be applied).
+    fn ensure_fault_info(&mut self, ri: usize) -> Result<(), ReRamError> {
+        if self.fault_info[ri].is_none() {
+            self.fault_info[ri] = Some(self.survey_region(ri)?);
+        }
+        Ok(())
+    }
+
+    /// Scrubs one region: probes every crossbar of its allocation against
+    /// canary expectations derived from the retained operand matrix,
+    /// classifies each crossbar healthy / drifted / dead, and refreshes
+    /// the emulation state [`PimArray::dot_batch`] reads through.
+    ///
+    /// Fails with [`ReRamError::FaultsNotEnabled`] when no fault model is
+    /// attached and with [`ReRamError::AdcRetryExhausted`] when a
+    /// crossbar's ADC never reads clean within the retry budget.
+    pub fn scrub_region(&mut self, region: RegionId) -> Result<ScrubReport, ReRamError> {
+        let ri = region.0;
+        if ri >= self.regions.len() {
+            return Err(ReRamError::NotProgrammed);
+        }
+        let info = self.survey_region(ri)?;
+        let (mut healthy, mut drifted, mut dead) = (0usize, 0usize, 0usize);
+        for h in &info.health {
+            match h {
+                CrossbarHealth::Healthy => healthy += 1,
+                CrossbarHealth::Drifted => drifted += 1,
+                CrossbarHealth::Dead => dead += 1,
+            }
+        }
+        let checked = info.health.len();
+        // One canary probe cycle per crossbar, plus the glitch retries.
+        let scrub_ns = (checked as u64 + info.retries) as f64 * self.cfg.crossbar.read_ns;
+        self.energy.charge_compute(&self.energy_model, 1, checked);
+        let report = ScrubReport {
+            region,
+            crossbars_checked: checked,
+            faulty_cells: info.faulty_cells,
+            adc_retries: info.retries,
+            healthy,
+            drifted,
+            dead,
+            scrub_ns,
+        };
+        self.fault_info[ri] = Some(info);
+        Ok(report)
+    }
+
+    /// Remaps the region's dead crossbars onto spare capacity: each dead
+    /// crossbar's operand segment is reprogrammed onto a fresh physical
+    /// crossbar drawn from the free budget (spares that are themselves
+    /// faulty are fused off and skipped). Objects whose dead crossbars
+    /// could not be remapped remain quarantined — callers must route them
+    /// through exact host-side evaluation.
+    ///
+    /// Requires a prior [`PimArray::scrub_region`] (the survey tells which
+    /// crossbars are dead).
+    pub fn remap_dead(&mut self, region: RegionId) -> Result<RemapReport, ReRamError> {
+        let ri = region.0;
+        if ri >= self.regions.len() {
+            return Err(ReRamError::NotProgrammed);
+        }
+        let faults = self.faults.ok_or(ReRamError::FaultsNotEnabled)?;
+        let dead_locals: Vec<usize> = {
+            let info = self.fault_info[ri]
+                .as_ref()
+                .ok_or(ReRamError::NotScrubbed)?;
+            info.health
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| **h == CrossbarHealth::Dead)
+                .map(|(l, _)| l)
+                .collect()
+        };
+        let m = self.cfg.crossbar.size;
+        let mut remapped = 0usize;
+        let mut cell_writes = 0u64;
+        let mut rows_written = 0u64;
+        for local in dead_locals {
+            // Draw spares until one is clean; faulty spares are consumed
+            // (fused off) like factory-mapped bad blocks.
+            let mut found = None;
+            while self.used_crossbars < self.cfg.num_crossbars {
+                let phys = self.used_crossbars;
+                self.used_crossbars += 1;
+                if self.xb_programs.len() < self.used_crossbars {
+                    self.xb_programs.resize(self.used_crossbars, 0);
+                }
+                let clean = !faults.worn_out(self.xb_programs[phys] + 1)
+                    && (0..m).all(|r| !faults.dead_wordline(phys, r))
+                    && (0..m).all(|c| !faults.dead_bitline(phys, c))
+                    && (0..m)
+                        .all(|r| (0..m).all(|c| faults.cell_fault(phys, r, c) == CellFault::None));
+                if clean {
+                    found = Some(phys);
+                    break;
+                }
+            }
+            let Some(phys) = found else { break };
+            self.xb_programs[phys] += 1;
+            self.regions[ri].remap.insert(local, phys);
+            remapped += 1;
+            // Reprogramming one crossbar: m rows, up to m² cells.
+            cell_writes += self.cfg.crossbar.cells() as u64;
+            rows_written += m as u64;
+        }
+        let program_ns = program_timing_ns(&self.cfg, rows_written);
+        if cell_writes > 0 {
+            let mut energy = EnergyReport::default();
+            energy.charge_writes(&self.energy_model, cell_writes, self.cfg.crossbar.cell_bits);
+            self.energy.add(&energy);
+            self.total_cell_writes += cell_writes;
+        }
+        // Refresh the survey: remapped crossbars come back clean; whatever
+        // is still dead stays quarantined.
+        let info = self.survey_region(ri)?;
+        let quarantined_objects = info.dead_objects.iter().filter(|d| **d).count();
+        self.fault_info[ri] = Some(info);
+        Ok(RemapReport {
+            region,
+            remapped_crossbars: remapped,
+            quarantined_objects,
+            cell_writes,
+            program_ns,
+        })
+    }
+
+    /// Health of every crossbar in the region's allocation (data crossbars
+    /// first, then gather). Requires a prior scrub.
+    pub fn region_health(&self, region: RegionId) -> Result<Vec<CrossbarHealth>, ReRamError> {
+        if self.faults.is_none() {
+            return Err(ReRamError::FaultsNotEnabled);
+        }
+        let info = self
+            .fault_info
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?
+            .as_ref()
+            .ok_or(ReRamError::NotScrubbed)?;
+        Ok(info.health.clone())
+    }
+
+    /// Worst-case health of the crossbars serving one object. Requires a
+    /// prior scrub.
+    pub fn object_health(
+        &self,
+        region: RegionId,
+        obj: usize,
+    ) -> Result<CrossbarHealth, ReRamError> {
+        if self.faults.is_none() {
+            return Err(ReRamError::FaultsNotEnabled);
+        }
+        let info = self
+            .fault_info
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?
+            .as_ref()
+            .ok_or(ReRamError::NotScrubbed)?;
+        if obj >= info.dead_objects.len() {
+            return Err(ReRamError::GeometryViolation {
+                what: "object index",
+                got: obj,
+                limit: info.dead_objects.len(),
+            });
+        }
+        Ok(if info.dead_objects[obj] {
+            CrossbarHealth::Dead
+        } else if info.discrepancy[obj] > 0 {
+            CrossbarHealth::Drifted
+        } else {
+            CrossbarHealth::Healthy
+        })
+    }
+
+    /// Worst-case stored deviation `Σ_dims |v_faulty − v_true|` of one
+    /// object; the PIM dot product deviates from the exact one by at most
+    /// `max_query_level · discrepancy`. Requires a prior scrub.
+    pub fn object_discrepancy(&self, region: RegionId, obj: usize) -> Result<u64, ReRamError> {
+        if self.faults.is_none() {
+            return Err(ReRamError::FaultsNotEnabled);
+        }
+        let info = self
+            .fault_info
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?
+            .as_ref()
+            .ok_or(ReRamError::NotScrubbed)?;
+        info.discrepancy
+            .get(obj)
+            .copied()
+            .ok_or(ReRamError::GeometryViolation {
+                what: "object index",
+                got: obj,
+                limit: info.discrepancy.len(),
+            })
+    }
+
+    /// The true (fault-free) stored operand row of one object — what exact
+    /// host-side fallback evaluation reads from the memory array.
+    pub fn region_row(&self, region: RegionId, obj: usize) -> Result<&[u32], ReRamError> {
+        let reg = self
+            .regions
+            .get(region.0)
+            .ok_or(ReRamError::NotProgrammed)?;
+        if obj >= reg.n {
+            return Err(ReRamError::GeometryViolation {
+                what: "object index",
+                got: obj,
+                limit: reg.n,
+            });
+        }
+        Ok(&reg.data[obj * reg.s..(obj + 1) * reg.s])
     }
 }
 
@@ -715,6 +1287,283 @@ mod tests {
             pim.dot_batch_strict(rep.region, &[1u32; 256], AccWidth::U64),
             Err(ReRamError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn inert_faults_leave_results_exact() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let data: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let rep = pim.program_region(&data, 2, 4, 4).unwrap();
+        let (clean, _) = pim
+            .dot_batch(rep.region, &[1, 2, 3, 4], AccWidth::U64)
+            .unwrap();
+        pim.enable_faults(crate::faults::FaultConfig::default())
+            .unwrap();
+        let (faulty, _) = pim
+            .dot_batch(rep.region, &[1, 2, 3, 4], AccWidth::U64)
+            .unwrap();
+        assert_eq!(clean, faulty);
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert_eq!(scrub.faulty_cells, 0);
+        assert_eq!(scrub.dead, 0);
+        assert_eq!(scrub.healthy, scrub.crossbars_checked);
+    }
+
+    #[test]
+    fn stuck_cells_drift_objects_within_discrepancy_bound() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let data: Vec<u32> = (0..32).map(|i| (i * 7 + 3) % 16).collect();
+        let rep = pim.program_region(&data, 8, 4, 4).unwrap();
+        pim.enable_faults(crate::faults::FaultConfig {
+            stuck_low_rate: 0.1,
+            stuck_high_rate: 0.1,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert!(scrub.faulty_cells > 0, "seed 5 must inject faults here");
+        assert_eq!(scrub.dead, 0, "stuck cells alone never kill a crossbar");
+        let query = [3u32, 1, 2, 3];
+        let qmax = 3u64;
+        let (vals, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        let mut saw_drift = false;
+        for obj in 0..8 {
+            let exact: u64 = data[obj * 4..(obj + 1) * 4]
+                .iter()
+                .zip(&query)
+                .map(|(&v, &q)| u64::from(v) * u64::from(q))
+                .sum();
+            let disc = pim.object_discrepancy(rep.region, obj).unwrap();
+            let err = vals[obj].abs_diff(exact);
+            assert!(
+                err <= qmax * disc,
+                "obj {obj}: err {err} > bound {}",
+                qmax * disc
+            );
+            match pim.object_health(rep.region, obj).unwrap() {
+                crate::faults::CrossbarHealth::Healthy => assert_eq!(disc, 0),
+                crate::faults::CrossbarHealth::Drifted => {
+                    assert!(disc > 0);
+                    saw_drift = true;
+                }
+                crate::faults::CrossbarHealth::Dead => panic!("no dead crossbars expected"),
+            }
+        }
+        assert!(saw_drift);
+    }
+
+    #[test]
+    fn dead_wordlines_kill_and_remap_restores_exactness() {
+        let mut cfg = small_cfg();
+        cfg.num_crossbars = 128; // leave spare capacity for remapping
+        let mut pim = PimArray::new(cfg).unwrap();
+        let data: Vec<u32> = (0..32).map(|i| (i * 5 + 1) % 16).collect();
+        let rep = pim.program_region(&data, 8, 4, 4).unwrap();
+        pim.enable_faults(crate::faults::FaultConfig {
+            dead_wordline_rate: 0.2,
+            seed: 9,
+            ..Default::default()
+        })
+        .unwrap();
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert!(scrub.dead > 0, "seed 9 must kill a wordline here");
+        let remap = pim.remap_dead(rep.region).unwrap();
+        assert_eq!(remap.remapped_crossbars, scrub.dead);
+        assert_eq!(remap.quarantined_objects, 0);
+        assert!(remap.cell_writes > 0);
+        // After remapping onto clean spares every read is exact again.
+        let query = [2u32, 3, 1, 2];
+        let (vals, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+        for obj in 0..8 {
+            let exact: u64 = data[obj * 4..(obj + 1) * 4]
+                .iter()
+                .zip(&query)
+                .map(|(&v, &q)| u64::from(v) * u64::from(q))
+                .sum();
+            assert_eq!(vals[obj], exact);
+            assert_eq!(
+                pim.object_health(rep.region, obj).unwrap(),
+                crate::faults::CrossbarHealth::Healthy
+            );
+        }
+    }
+
+    #[test]
+    fn no_spares_leaves_objects_quarantined() {
+        let mut cfg = small_cfg();
+        cfg.num_crossbars = 1; // exactly the allocation, zero spares
+        let mut pim = PimArray::new(cfg).unwrap();
+        let data: Vec<u32> = (0..32).map(|i| (i % 16) as u32).collect();
+        let rep = pim.program_region(&data, 8, 4, 4).unwrap();
+        assert_eq!(pim.free_crossbars(), 0);
+        pim.enable_faults(crate::faults::FaultConfig {
+            dead_wordline_rate: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert_eq!(scrub.dead, scrub.crossbars_checked);
+        let remap = pim.remap_dead(rep.region).unwrap();
+        assert_eq!(remap.remapped_crossbars, 0);
+        assert_eq!(remap.quarantined_objects, 8);
+        for obj in 0..8 {
+            assert_eq!(
+                pim.object_health(rep.region, obj).unwrap(),
+                crate::faults::CrossbarHealth::Dead
+            );
+            // The true row stays readable for exact host fallback.
+            assert_eq!(
+                pim.region_row(rep.region, obj).unwrap(),
+                &data[obj * 4..(obj + 1) * 4]
+            );
+        }
+    }
+
+    #[test]
+    fn wear_out_from_reprogramming_is_detected() {
+        let mut cfg = small_cfg();
+        cfg.num_crossbars = 64;
+        let mut pim = PimArray::new(cfg).unwrap();
+        pim.enable_faults(crate::faults::FaultConfig {
+            endurance_limit: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        // Program/clear cycles wear the same physical crossbars.
+        for _ in 0..4 {
+            pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+            pim.clear();
+        }
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        assert!(pim.crossbar_programs(0) > 3);
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert_eq!(scrub.dead, 1);
+        // The worn crossbar reads zero.
+        let (vals, _) = pim
+            .dot_batch(rep.region, &[1, 1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(vals, vec![0]);
+        // Remap moves the region onto a fresh (unworn) spare.
+        let remap = pim.remap_dead(rep.region).unwrap();
+        assert_eq!(remap.remapped_crossbars, 1);
+        let (vals, _) = pim
+            .dot_batch(rep.region, &[1, 1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(vals, vec![10]);
+    }
+
+    #[test]
+    fn gather_fabric_faults_kill_whole_groups() {
+        let mut cfg = small_cfg();
+        cfg.num_crossbars = 16;
+        let mut pim = PimArray::new(cfg).unwrap();
+        // s = 16 > m = 8: two data crossbars + one gather crossbar.
+        let data: Vec<u32> = (0..16).map(|i| (i * 3 + 1) % 16).collect();
+        let rep = pim.program_region(&data, 1, 16, 4).unwrap();
+        assert!(rep.cost.gather > 0);
+        // Stuck cells at high density: some will land in the gather tree.
+        pim.enable_faults(crate::faults::FaultConfig {
+            stuck_low_rate: 0.9,
+            ..Default::default()
+        })
+        .unwrap();
+        let scrub = pim.scrub_region(rep.region).unwrap();
+        assert!(scrub.dead > 0, "gather corruption must classify as dead");
+        assert_eq!(
+            pim.object_health(rep.region, 0).unwrap(),
+            crate::faults::CrossbarHealth::Dead
+        );
+    }
+
+    #[test]
+    fn health_api_requires_fault_model_and_scrub() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        assert_eq!(
+            pim.scrub_region(rep.region),
+            Err(ReRamError::FaultsNotEnabled)
+        );
+        assert_eq!(
+            pim.object_health(rep.region, 0),
+            Err(ReRamError::FaultsNotEnabled)
+        );
+        pim.enable_faults(crate::faults::FaultConfig::default())
+            .unwrap();
+        assert_eq!(
+            pim.object_health(rep.region, 0),
+            Err(ReRamError::NotScrubbed)
+        );
+        assert_eq!(pim.remap_dead(rep.region), Err(ReRamError::NotScrubbed));
+        pim.scrub_region(rep.region).unwrap();
+        assert_eq!(
+            pim.object_health(rep.region, 0).unwrap(),
+            crate::faults::CrossbarHealth::Healthy
+        );
+        assert!(pim.object_health(rep.region, 99).is_err());
+        assert!(pim.scrub_region(RegionId(7)).is_err());
+        assert!(pim
+            .enable_faults(crate::faults::FaultConfig {
+                stuck_low_rate: 2.0,
+                ..Default::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn exhausted_adc_retries_fail_the_batch() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap();
+        pim.enable_faults(crate::faults::FaultConfig {
+            adc_glitch_rate: 1.0,
+            adc_retry_limit: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(matches!(
+            pim.dot_batch(rep.region, &[1, 1, 1, 1], AccWidth::U64),
+            Err(ReRamError::AdcRetryExhausted { .. })
+        ));
+        assert!(matches!(
+            pim.scrub_region(rep.region),
+            Err(ReRamError::AdcRetryExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn faulty_emulation_matches_unit_level_crossbar() {
+        // Cross-validate the array-level fault emulation against the
+        // materialized faulty pipeline on a single-crossbar layout.
+        let cfg = small_cfg();
+        let faults = crate::faults::FaultConfig {
+            stuck_low_rate: 0.12,
+            stuck_high_rate: 0.08,
+            dead_bitline_rate: 0.05,
+            dead_wordline_rate: 0.05,
+            seed: 31,
+            ..Default::default()
+        };
+        let (n, s, b) = (2usize, 4usize, 6u32);
+        let data: Vec<u32> = vec![25, 14, 63, 0, 9, 20, 1, 33];
+        let query: Vec<u32> = vec![9, 20, 7, 63];
+
+        let mut pim = PimArray::new(cfg).unwrap();
+        let rep = pim.program_region(&data, n, s, b).unwrap();
+        pim.enable_faults(faults).unwrap();
+        let (fast, _) = pim.dot_batch(rep.region, &query, AccWidth::U64).unwrap();
+
+        // The region's single data crossbar is physical id 0.
+        let mut xb = Crossbar::new(cfg.crossbar).unwrap();
+        let w = cfg.crossbar.cells_per_operand(b);
+        for (obj, row) in data.chunks_exact(s).enumerate() {
+            let col: Vec<u64> = row.iter().map(|&v| u64::from(v)).collect();
+            xb.program_operand_column(0, obj * w, &col, b).unwrap();
+        }
+        let q64: Vec<u64> = query.iter().map(|&v| u64::from(v)).collect();
+        let (slow, _) = xb.dot_products_faulty(0, &q64, 6, b, &faults, 0).unwrap();
+        for i in 0..n {
+            assert_eq!(fast[i], AccWidth::U64.wrap(slow[i]), "object {i}");
+        }
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! live in the memory array. `simpim-core`'s executor drives exactly this
 //! interface.
 
-use crate::array::{BufferArray, MemoryArray, PimArray, ProgramReport, RegionId};
+use crate::array::{
+    BufferArray, MemoryArray, PimArray, ProgramReport, RegionId, RemapReport, ScrubReport,
+};
 use crate::config::{AccWidth, PimConfig};
 use crate::error::ReRamError;
+use crate::faults::{CrossbarHealth, FaultConfig};
 use crate::timing::PimTiming;
 
 /// Result of one dot-product batch issued through the bank controller.
@@ -49,6 +52,39 @@ impl ReRamBank {
     /// The PIM array (read access for inspection).
     pub fn pim(&self) -> &PimArray {
         &self.pim
+    }
+
+    /// The PIM array (mutable access, e.g. for attaching fault models).
+    pub fn pim_mut(&mut self) -> &mut PimArray {
+        &mut self.pim
+    }
+
+    /// Attaches a deterministic fault model to the PIM array. See
+    /// [`PimArray::enable_faults`].
+    pub fn enable_faults(&mut self, faults: FaultConfig) -> Result<(), ReRamError> {
+        self.pim.enable_faults(faults)
+    }
+
+    /// Scrubs one region against its fault map. See
+    /// [`PimArray::scrub_region`].
+    pub fn scrub_region(&mut self, region: RegionId) -> Result<ScrubReport, ReRamError> {
+        self.pim.scrub_region(region)
+    }
+
+    /// Remaps a region's dead crossbars onto spare capacity. See
+    /// [`PimArray::remap_dead`].
+    pub fn remap_dead(&mut self, region: RegionId) -> Result<RemapReport, ReRamError> {
+        self.pim.remap_dead(region)
+    }
+
+    /// Worst-case health of the crossbars serving one object. See
+    /// [`PimArray::object_health`].
+    pub fn object_health(
+        &self,
+        region: RegionId,
+        obj: usize,
+    ) -> Result<CrossbarHealth, ReRamError> {
+        self.pim.object_health(region, obj)
     }
 
     /// The memory array, for staging pre-computed Φ values.

@@ -307,6 +307,114 @@ impl Crossbar {
         Ok(results)
     }
 
+    /// One analog cycle under an attached fault model (`crossbar_id` keys
+    /// the deterministic fault map): stuck cells read their fault level,
+    /// dead wordlines never see their input, dead bitlines read 0. Wear-out
+    /// is derived from this crossbar's own write counters.
+    pub fn analog_cycle_faulty(
+        &self,
+        inputs: &[u16],
+        faults: &crate::faults::FaultConfig,
+        crossbar_id: usize,
+    ) -> Result<Vec<u64>, ReRamError> {
+        let m = self.cfg.size;
+        if inputs.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "inputs",
+                got: inputs.len(),
+                limit: m,
+            });
+        }
+        let dac_max = 1u16 << self.cfg.dac_bits;
+        let worn = faults.worn_out(self.max_cell_writes());
+        let mut sums = vec![0u64; m];
+        for (row, &u) in inputs.iter().enumerate() {
+            if u >= dac_max {
+                return Err(ReRamError::OperandOverflow {
+                    value: u64::from(u),
+                    bits: self.cfg.dac_bits,
+                });
+            }
+            if u == 0 || faults.dead_wordline(crossbar_id, row) {
+                continue;
+            }
+            let base = row * m;
+            for (col, sum) in sums.iter_mut().enumerate() {
+                let level = faults.effective_level(
+                    crossbar_id,
+                    row,
+                    col,
+                    self.cells[base + col].read(),
+                    self.cfg.cell_bits,
+                    worn,
+                );
+                *sum += u64::from(u) * u64::from(level);
+            }
+        }
+        let adc_limit = 1u64 << self.cfg.adc_bits;
+        for (col, s) in sums.iter_mut().enumerate() {
+            if faults.dead_bitline(crossbar_id, col) {
+                *s = 0;
+                continue;
+            }
+            if *s >= adc_limit {
+                return Err(ReRamError::AdcOverflow {
+                    value: *s,
+                    adc_bits: self.cfg.adc_bits,
+                });
+            }
+        }
+        Ok(sums)
+    }
+
+    /// The streamed dot-product pipeline under an attached fault model.
+    /// Same layout semantics as [`Crossbar::dot_products`]; also walks the
+    /// ADC's bounded glitch-retry chain once per call and returns the
+    /// retries spent alongside the (possibly corrupted) results. Fails with
+    /// [`ReRamError::AdcRetryExhausted`] when the ADC never reads clean.
+    pub fn dot_products_faulty(
+        &self,
+        start_row: usize,
+        query: &[u64],
+        input_bits: u32,
+        operand_bits: u32,
+        faults: &crate::faults::FaultConfig,
+        crossbar_id: usize,
+    ) -> Result<(Vec<u128>, u32), ReRamError> {
+        let m = self.cfg.size;
+        if start_row + query.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "query rows",
+                got: start_row + query.len(),
+                limit: m,
+            });
+        }
+        let retries = faults.glitch_retries(crossbar_id)?;
+        let w = self.cfg.cells_per_operand(operand_bits);
+        let n_ops = m / w;
+        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
+        for &qv in query {
+            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
+        }
+        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
+        let mut results = vec![0u128; n_ops];
+        let mut drive = vec![0u16; start_row + query.len()];
+        for k in 0..cycles {
+            for (i, s) in sliced.iter().enumerate() {
+                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
+            }
+            let sums = self.analog_cycle_faulty(&drive, faults, crossbar_id)?;
+            for (c, result) in results.iter_mut().enumerate() {
+                for j in 0..w {
+                    let p = sums[c * w + j];
+                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
+                    *result = result.wrapping_add(u128::from(p) << shift);
+                }
+            }
+        }
+        Ok((results, retries))
+    }
+
     /// Upper bound on the ADC-rounding contribution of one noisy pipeline
     /// run: ½ LSB per bitline per cycle, scaled by each partial's shift.
     pub fn rounding_error_bound(&self, input_bits: u32, operand_bits: u32) -> f64 {
@@ -530,6 +638,128 @@ mod tests {
             }
         }
         assert!((xb.rounding_error_bound(6, 6) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inert_fault_model_matches_ideal_pipeline() {
+        use crate::faults::FaultConfig;
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        let col = [25u64, 14, 63, 0];
+        xb.program_operand_column(0, 0, &col, 6).unwrap();
+        let q = [9u64, 20, 7, 63];
+        let ideal = xb.dot_products(0, &q, 6, 6).unwrap();
+        let (faulty, retries) = xb
+            .dot_products_faulty(0, &q, 6, 6, &FaultConfig::default(), 0)
+            .unwrap();
+        assert_eq!(ideal[0], faulty[0]);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn stuck_cells_corrupt_within_known_bound() {
+        use crate::faults::{CellFault, FaultConfig};
+        let faults = FaultConfig {
+            stuck_low_rate: 0.15,
+            stuck_high_rate: 0.15,
+            seed: 21,
+            ..Default::default()
+        };
+        let cfg = tiny_cfg();
+        let mut xb = Crossbar::new(cfg).unwrap();
+        let col = [25u64, 14, 63, 40];
+        xb.program_operand_column(0, 0, &col, 6).unwrap();
+        let q = [3u64, 2, 1, 3];
+        let exact = exact_dot(&col, &q);
+        let (faulty, _) = xb.dot_products_faulty(0, &q, 6, 6, &faults, 0).unwrap();
+        // Recompute the worst-case deviation from the known fault map:
+        // each stuck cell shifts slice j of row r by |Δlevel|·2^(j·h),
+        // weighted by that row's query value.
+        let mut bound = 0u128;
+        let w = cfg.cells_per_operand(6);
+        for (r, &qv) in q.iter().enumerate() {
+            for j in 0..w {
+                let programmed = xb.read_cell(r, j);
+                let effective = match faults.cell_fault(0, r, j) {
+                    CellFault::None => programmed,
+                    CellFault::StuckLow => 0,
+                    CellFault::StuckHigh => 3,
+                };
+                let delta = u128::from(programmed.abs_diff(effective));
+                bound += u128::from(qv) * (delta << (j as u32 * cfg.cell_bits));
+            }
+        }
+        assert!(bound > 0, "seed 21 must actually inject a fault here");
+        let err = faulty[0].abs_diff(exact);
+        assert!(err <= bound, "err {err} > bound {bound}");
+    }
+
+    #[test]
+    fn dead_wordline_drops_a_dimension() {
+        use crate::faults::FaultConfig;
+        // Rate 1.0 kills every wordline: all contributions vanish.
+        let faults = FaultConfig {
+            dead_wordline_rate: 1.0,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        xb.program_operand_column(0, 0, &[25, 14], 6).unwrap();
+        let (out, _) = xb
+            .dot_products_faulty(0, &[3, 3], 6, 6, &faults, 0)
+            .unwrap();
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn dead_bitline_zeroes_its_slice() {
+        use crate::faults::FaultConfig;
+        let faults = FaultConfig {
+            dead_bitline_rate: 1.0,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        xb.program_operand_column(0, 0, &[63, 63], 6).unwrap();
+        let (out, _) = xb
+            .dot_products_faulty(0, &[3, 3], 6, 6, &faults, 0)
+            .unwrap();
+        assert_eq!(out[0], 0); // every slice rides a dead bitline
+    }
+
+    #[test]
+    fn worn_crossbar_reads_zero() {
+        use crate::faults::FaultConfig;
+        let faults = FaultConfig {
+            endurance_limit: 2,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        // Program the same operand thrice: max cell writes = 3 > 2.
+        for _ in 0..3 {
+            xb.program_operand_column(0, 0, &[25, 14], 6).unwrap();
+        }
+        assert_eq!(xb.max_cell_writes(), 3);
+        let (out, _) = xb
+            .dot_products_faulty(0, &[3, 3], 6, 6, &faults, 0)
+            .unwrap();
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn glitchy_adc_exhausts_retries() {
+        use crate::faults::FaultConfig;
+        let faults = FaultConfig {
+            adc_glitch_rate: 1.0,
+            adc_retry_limit: 2,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(tiny_cfg()).unwrap();
+        xb.program_operand_column(0, 0, &[25, 14], 6).unwrap();
+        assert_eq!(
+            xb.dot_products_faulty(0, &[3, 3], 6, 6, &faults, 0),
+            Err(ReRamError::AdcRetryExhausted {
+                crossbar: 0,
+                attempts: 2
+            })
+        );
     }
 
     #[test]

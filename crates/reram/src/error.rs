@@ -44,6 +44,20 @@ pub enum ReRamError {
         /// The configured ADC resolution.
         adc_bits: u32,
     },
+    /// A crossbar's ADC glitched on every sampling attempt within the
+    /// bounded retry budget — the controller cannot obtain a trustworthy
+    /// read.
+    AdcRetryExhausted {
+        /// The physical crossbar whose ADC keeps glitching.
+        crossbar: usize,
+        /// Sampling attempts made before giving up.
+        attempts: u32,
+    },
+    /// A fault/health API was called on an array without an attached
+    /// fault model.
+    FaultsNotEnabled,
+    /// A health query was issued before the region was scrubbed.
+    NotScrubbed,
 }
 
 impl fmt::Display for ReRamError {
@@ -75,6 +89,18 @@ impl fmt::Display for ReRamError {
                     "analog sum {value} exceeds {adc_bits}-bit ADC resolution"
                 )
             }
+            Self::AdcRetryExhausted { crossbar, attempts } => {
+                write!(
+                    f,
+                    "crossbar {crossbar}: ADC glitched on all {attempts} sampling attempts"
+                )
+            }
+            Self::FaultsNotEnabled => {
+                write!(f, "no fault model is attached to the PIM array")
+            }
+            Self::NotScrubbed => {
+                write!(f, "region health is unknown until it is scrubbed")
+            }
         }
     }
 }
@@ -97,5 +123,15 @@ mod tests {
         }
         .to_string()
         .contains("crossbars"));
+        assert!(ReRamError::AdcRetryExhausted {
+            crossbar: 7,
+            attempts: 3
+        }
+        .to_string()
+        .contains("3 sampling attempts"));
+        assert!(ReRamError::FaultsNotEnabled
+            .to_string()
+            .contains("fault model"));
+        assert!(ReRamError::NotScrubbed.to_string().contains("scrubbed"));
     }
 }

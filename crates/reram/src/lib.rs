@@ -28,6 +28,10 @@
 //! * [`timing`] / [`energy`] — latency and energy accounting with the
 //!   paper's Table 5 constants (256×256 2-bit cells, 29.31 / 50.88 ns
 //!   read/write, 2 GB PIM array, 16 MB eDRAM buffer, 50 GB/s internal bus).
+//! * [`variation`] / [`faults`] — beyond-the-paper robustness models:
+//!   bounded analog conductance variation, and deterministic hard-fault
+//!   injection (stuck cells, dead lines, ADC glitches, wear-out) with a
+//!   scrub / health-classification / remap-to-spares recovery API.
 //!
 //! ## Fidelity modes
 //!
@@ -52,15 +56,17 @@ pub mod config;
 pub mod crossbar;
 pub mod energy;
 pub mod error;
+pub mod faults;
 pub mod gather;
 pub mod timing;
 pub mod variation;
 
-pub use array::{BufferArray, MemoryArray, PimArray, ProgramReport};
+pub use array::{BufferArray, MemoryArray, PimArray, ProgramReport, RemapReport, ScrubReport};
 pub use bank::{DotBatchResult, ReRamBank};
 pub use config::{AccWidth, CrossbarConfig, PimConfig};
 pub use crossbar::Crossbar;
 pub use error::ReRamError;
+pub use faults::{CellFault, CrossbarHealth, FaultConfig};
 pub use gather::{crossbar_cost_per_pair, dataset_crossbar_cost, CrossbarCost};
 pub use timing::PimTiming;
 pub use variation::VariationModel;

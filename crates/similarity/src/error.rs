@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::measures::Measure;
+
 /// Errors raised while constructing or combining vector containers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimilarityError {
@@ -35,6 +37,14 @@ pub enum SimilarityError {
         /// What was invalid.
         context: &'static str,
     },
+    /// The requested measure is not defined for this operand kind (e.g.
+    /// Hamming distance over floating-point vectors).
+    UnsupportedMeasure {
+        /// The measure that was requested.
+        measure: Measure,
+        /// Why it is unsupported here.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for SimilarityError {
@@ -57,6 +67,9 @@ impl fmt::Display for SimilarityError {
                 )
             }
             Self::InvalidValue { context } => write!(f, "invalid value: {context}"),
+            Self::UnsupportedMeasure { measure, context } => {
+                write!(f, "unsupported measure {}: {context}", measure.name())
+            }
         }
     }
 }

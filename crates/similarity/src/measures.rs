@@ -9,6 +9,7 @@
 //! bounds are upper bounds (`UB_part`, and the PIM-aware upper bounds in
 //! `simpim-core`).
 
+use crate::error::SimilarityError;
 use crate::stats;
 
 /// Identifies one of the paper's four similarity measures. Carried through
@@ -87,14 +88,17 @@ pub fn pearson(p: &[f64], q: &[f64]) -> f64 {
 }
 
 /// Evaluates a floating-point measure by enum. Hamming distance operates on
-/// binary codes and is exposed on [`crate::BinaryVecRef`] instead; calling
-/// it here panics.
-pub fn evaluate(measure: Measure, p: &[f64], q: &[f64]) -> f64 {
+/// binary codes and is exposed on [`crate::BinaryVecRef`] instead; requesting
+/// it here returns [`SimilarityError::UnsupportedMeasure`].
+pub fn evaluate(measure: Measure, p: &[f64], q: &[f64]) -> Result<f64, SimilarityError> {
     match measure {
-        Measure::EuclideanSq => euclidean_sq(p, q),
-        Measure::Cosine => cosine(p, q),
-        Measure::Pearson => pearson(p, q),
-        Measure::Hamming => panic!("Hamming distance is defined on binary codes, not floats"),
+        Measure::EuclideanSq => Ok(euclidean_sq(p, q)),
+        Measure::Cosine => Ok(cosine(p, q)),
+        Measure::Pearson => Ok(pearson(p, q)),
+        Measure::Hamming => Err(SimilarityError::UnsupportedMeasure {
+            measure,
+            context: "Hamming distance is defined on binary codes, not floats",
+        }),
     }
 }
 
@@ -165,13 +169,24 @@ mod tests {
     fn evaluate_dispatches() {
         let p = [1.0, 2.0];
         let q = [2.0, 1.0];
-        assert_eq!(evaluate(Measure::EuclideanSq, &p, &q), euclidean_sq(&p, &q));
-        assert_eq!(evaluate(Measure::Cosine, &p, &q), cosine(&p, &q));
+        assert_eq!(
+            evaluate(Measure::EuclideanSq, &p, &q),
+            Ok(euclidean_sq(&p, &q))
+        );
+        assert_eq!(evaluate(Measure::Cosine, &p, &q), Ok(cosine(&p, &q)));
+        assert_eq!(evaluate(Measure::Pearson, &p, &q), Ok(pearson(&p, &q)));
     }
 
     #[test]
-    #[should_panic(expected = "binary codes")]
-    fn evaluate_hamming_panics() {
-        evaluate(Measure::Hamming, &[1.0], &[1.0]);
+    fn evaluate_hamming_is_a_typed_error() {
+        let err = evaluate(Measure::Hamming, &[1.0], &[1.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SimilarityError::UnsupportedMeasure {
+                measure: Measure::Hamming,
+                context: "Hamming distance is defined on binary codes, not floats",
+            }
+        );
+        assert!(err.to_string().contains("binary codes"));
     }
 }

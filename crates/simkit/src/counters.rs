@@ -118,6 +118,52 @@ impl OpCounters {
     }
 }
 
+/// Deterministic counters for the PIM fault-tolerance machinery: how much
+/// detection, recovery and host-side fallback work a run incurred.
+///
+/// Like [`OpCounters`], these are exact event counts, not samples — two runs
+/// with the same fault seed report identical totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultCounters {
+    /// Scrub passes executed over programmed regions.
+    pub scrubs: u64,
+    /// Faulty cells / dead lines found by scrubbing.
+    pub faults_detected: u64,
+    /// Extra ADC sampling attempts spent on transient glitches.
+    pub adc_retries: u64,
+    /// Dead crossbars remapped onto spare capacity.
+    pub remapped_crossbars: u64,
+    /// Objects quarantined because no clean spare could take them.
+    pub quarantined_rows: u64,
+    /// Bounds recomputed exactly on the host for quarantined objects.
+    pub fallback_refinements: u64,
+    /// Bounds widened by the drift guard-band instead of recomputed.
+    pub guarded_bounds: u64,
+}
+
+impl FaultCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds another counter set.
+    pub fn add(&mut self, other: &FaultCounters) {
+        self.scrubs += other.scrubs;
+        self.faults_detected += other.faults_detected;
+        self.adc_retries += other.adc_retries;
+        self.remapped_crossbars += other.remapped_crossbars;
+        self.quarantined_rows += other.quarantined_rows;
+        self.fallback_refinements += other.fallback_refinements;
+        self.guarded_bounds += other.guarded_bounds;
+    }
+
+    /// True when no fault, recovery or fallback event was recorded.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +213,27 @@ mod tests {
         c.write(40);
         assert_eq!(c.bytes_streamed, 100);
         assert_eq!(c.bytes_written, 40);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_report_cleanliness() {
+        let mut total = FaultCounters::new();
+        assert!(total.is_clean());
+        let batch = FaultCounters {
+            scrubs: 1,
+            faults_detected: 3,
+            adc_retries: 2,
+            remapped_crossbars: 1,
+            quarantined_rows: 4,
+            fallback_refinements: 4,
+            guarded_bounds: 7,
+        };
+        total.add(&batch);
+        total.add(&batch);
+        assert!(!total.is_clean());
+        assert_eq!(total.scrubs, 2);
+        assert_eq!(total.faults_detected, 6);
+        assert_eq!(total.quarantined_rows, 8);
+        assert_eq!(total.guarded_bounds, 14);
     }
 }

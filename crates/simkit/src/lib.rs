@@ -35,5 +35,5 @@ pub mod quartz;
 pub use breakdown::TimeBreakdown;
 pub use cache::{AccessOutcome, Cache, CacheConfig, Hierarchy, HierarchyStats};
 pub use cost::HostParams;
-pub use counters::OpCounters;
+pub use counters::{FaultCounters, OpCounters};
 pub use quartz::NvmEmulator;

@@ -61,8 +61,9 @@ fn main() {
     let mut agree = 0usize;
     let mut per_class_hits = 0usize;
     for q in &queries {
-        let std_res = knn_standard(&data, q, k, Measure::EuclideanSq);
-        let fnn_res = knn_cascade(&data, &cascade, q, k, Measure::EuclideanSq);
+        let std_res = knn_standard(&data, q, k, Measure::EuclideanSq).expect("float measure");
+        let fnn_res =
+            knn_cascade(&data, &cascade, q, k, Measure::EuclideanSq).expect("float measure");
         let pim_res = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), q, k).expect("prepared");
 
         let c_std = classify(&std_res, &labels, classes);

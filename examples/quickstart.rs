@@ -49,7 +49,7 @@ fn main() {
 
     // 3. Query both ways.
     let k = 10;
-    let baseline = knn_standard(&data, &query, k, Measure::EuclideanSq);
+    let baseline = knn_standard(&data, &query, k, Measure::EuclideanSq).expect("float measure");
     let pim =
         knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &query, k).expect("prepared executor");
 

@@ -143,7 +143,7 @@ fn cmd_knn(args: &Args) -> Result<(), String> {
     let query: Vec<f64> = norm.row(row).to_vec();
     let params = HostParams::default();
 
-    let base = knn_standard(&norm, &query, k, measure);
+    let base = knn_standard(&norm, &query, k, measure).map_err(|e| e.to_string())?;
     println!("k = {k} nearest (baseline): {:?}", base.indices());
     println!(
         "baseline model time: {:.3} ms",

@@ -38,9 +38,9 @@ fn classic_cascades_are_exact_on_ed() {
         ("FNN", fnn_cascade(&ds).unwrap()),
     ];
     for (k, q) in [(1usize, &queries[0]), (10, &queries[1]), (100, &queries[2])] {
-        let truth = knn_standard(&ds, q, k, Measure::EuclideanSq);
+        let truth = knn_standard(&ds, q, k, Measure::EuclideanSq).unwrap();
         for (name, cascade) in &cascades {
-            let got = knn_cascade(&ds, cascade, q, k, Measure::EuclideanSq);
+            let got = knn_cascade(&ds, cascade, q, k, Measure::EuclideanSq).unwrap();
             assert_eq!(got.indices(), truth.indices(), "{name} k={k}");
         }
     }
@@ -54,7 +54,7 @@ fn pim_variants_are_exact_on_ed() {
     let mut fnn_exec = PimExecutor::prepare_fnn(exec_cfg(), &nds, 32).unwrap();
     let retained = fnn_cascade(&ds).unwrap();
     for q in &queries {
-        let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+        let truth = knn_standard(&ds, q, 10, Measure::EuclideanSq).unwrap();
         let std_pim = knn_pim_ed(&mut std_exec, &ds, &BoundCascade::empty(), q, 10).unwrap();
         let fnn_pim = knn_pim_ed(&mut fnn_exec, &ds, &retained, q, 10).unwrap();
         assert_eq!(std_pim.indices(), truth.indices(), "Standard-PIM");
@@ -73,8 +73,8 @@ fn similarity_search_is_exact_for_cs_and_pcc() {
         let cascade = part_cascade(&ds, measure).unwrap();
         let mut exec = PimExecutor::prepare_similarity(exec_cfg(), &nds, target).unwrap();
         for q in &queries {
-            let truth = knn_standard(&ds, q, 10, measure);
-            let classic = knn_cascade(&ds, &cascade, q, 10, measure);
+            let truth = knn_standard(&ds, q, 10, measure).unwrap();
+            let classic = knn_cascade(&ds, &cascade, q, 10, measure).unwrap();
             let pim = knn_pim_sim(&mut exec, &ds, q, 10, measure).unwrap();
             assert_eq!(classic.indices(), truth.indices(), "{measure:?} classic");
             assert_eq!(pim.indices(), truth.indices(), "{measure:?} PIM");
@@ -119,7 +119,7 @@ fn pim_moves_less_data_than_baseline() {
     let nds = NormalizedDataset::assert_normalized(ds.clone());
     let mut exec = PimExecutor::prepare_euclidean(exec_cfg(), &nds).unwrap();
     let q = &queries[0];
-    let base = knn_standard(&ds, q, 10, Measure::EuclideanSq);
+    let base = knn_standard(&ds, q, 10, Measure::EuclideanSq).unwrap();
     let pim = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, 10).unwrap();
     let base_bytes = base.report.profile.total_counters().bytes_streamed;
     let pim_bytes = pim.report.profile.total_counters().bytes_streamed;

@@ -164,3 +164,157 @@ fn mismatched_shapes_fail_before_any_compute() {
         Err(CoreError::Mismatch { .. })
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection and recovery (see `simpim::reram::faults` and the
+// executor's scrub → classify → remap → quarantine pipeline).
+// ---------------------------------------------------------------------------
+
+use simpim::reram::FaultConfig;
+use simpim::similarity::measures::euclidean_sq;
+
+#[test]
+fn invalid_fault_configs_are_rejected() {
+    for bad in [
+        FaultConfig {
+            stuck_low_rate: -0.1,
+            ..Default::default()
+        },
+        FaultConfig {
+            adc_glitch_rate: f64::NAN,
+            ..Default::default()
+        },
+        FaultConfig {
+            stuck_low_rate: 0.7,
+            stuck_high_rate: 0.7,
+            ..Default::default()
+        },
+        FaultConfig {
+            adc_retry_limit: 0,
+            ..Default::default()
+        },
+    ] {
+        assert!(
+            matches!(bad.validate(), Err(ReRamError::InvalidConfig { .. })),
+            "{bad:?} must be rejected"
+        );
+        // The same rejection must surface through the executor before any
+        // crossbar is programmed.
+        let data = tiny_data(16, 8);
+        let cfg = ExecutorConfig {
+            faults: Some(bad),
+            ..Default::default()
+        };
+        let err = PimExecutor::prepare_euclidean(cfg, &data).unwrap_err();
+        assert!(
+            matches!(err, CoreError::ReRam(ReRamError::InvalidConfig { .. })),
+            "{err:?}"
+        );
+    }
+}
+
+#[test]
+fn health_queries_require_enabled_faults_and_a_scrub() {
+    let mut pim = PimArray::new(PimConfig::default()).unwrap();
+    let rep = pim.program_region(&[1, 2, 3, 4], 1, 4, 8).unwrap();
+
+    // No fault model attached: the health API must refuse loudly.
+    assert_eq!(
+        pim.scrub_region(rep.region),
+        Err(ReRamError::FaultsNotEnabled)
+    );
+    assert!(matches!(
+        pim.remap_dead(rep.region),
+        Err(ReRamError::FaultsNotEnabled)
+    ));
+    assert_eq!(
+        pim.object_health(rep.region, 0),
+        Err(ReRamError::FaultsNotEnabled)
+    );
+
+    // Fault model attached but the region was never scrubbed: recovery and
+    // health queries have no survey to work from.
+    pim.enable_faults(FaultConfig {
+        stuck_low_rate: 0.01,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(matches!(
+        pim.remap_dead(rep.region),
+        Err(ReRamError::NotScrubbed)
+    ));
+    assert_eq!(
+        pim.object_health(rep.region, 0),
+        Err(ReRamError::NotScrubbed)
+    );
+
+    // After a scrub everything is answerable.
+    pim.scrub_region(rep.region).unwrap();
+    pim.object_health(rep.region, 0).unwrap();
+    pim.remap_dead(rep.region).unwrap();
+}
+
+#[test]
+fn permanently_glitching_adc_exhausts_retries_loudly() {
+    let data = tiny_data(16, 8);
+    let cfg = ExecutorConfig {
+        faults: Some(FaultConfig {
+            adc_glitch_rate: 1.0,
+            adc_retry_limit: 3,
+            seed: 11,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    // The constructor's initial scrub reads every crossbar; a permanently
+    // glitching ADC must surface as a typed error, not a hang or a bogus
+    // result.
+    let err = PimExecutor::prepare_euclidean(cfg, &data).unwrap_err();
+    match err {
+        CoreError::ReRam(ReRamError::AdcRetryExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 3);
+        }
+        other => panic!("expected AdcRetryExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn quarantine_without_spares_still_answers_with_valid_bounds() {
+    let data = tiny_data(64, 16);
+
+    // Size the array to the exact footprint of the clean preparation so
+    // there is zero spare capacity for remapping.
+    let clean = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &data).unwrap();
+    let budget = clean.report().crossbars_used;
+
+    let mut cfg = ExecutorConfig {
+        faults: Some(FaultConfig {
+            dead_wordline_rate: 0.3,
+            seed: 13,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    cfg.pim.num_crossbars = budget;
+    let mut exec = PimExecutor::prepare_euclidean(cfg, &data).unwrap();
+    let fc = *exec.fault_counters();
+    assert!(fc.scrubs > 0 && fc.faults_detected > 0, "{fc:?}");
+    assert!(
+        fc.quarantined_rows > 0,
+        "at 30% dead wordlines and zero spares some objects must be quarantined: {fc:?}"
+    );
+
+    // Quarantined objects are recovered host-side: every reported value
+    // must still be a valid ED lower bound.
+    let q: Vec<f64> = data.dataset().row(3).to_vec();
+    let batch = exec.lb_ed_batch(&q).unwrap();
+    assert!(batch.fault_counters.fallback_refinements > 0);
+    for (i, &lb) in batch.values.iter().enumerate() {
+        let true_ed = euclidean_sq(data.dataset().row(i), &q);
+        assert!(
+            lb <= true_ed + 1e-9,
+            "object {i}: bound {lb} exceeds true ED {true_ed}"
+        );
+    }
+}

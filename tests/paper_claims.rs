@@ -32,7 +32,7 @@ fn pressured_executor(data: &Dataset, crossbars: usize) -> PimExecutor {
 fn claim_baselines_are_memory_bound() {
     let data = scaled(PaperDataset::Msd, 3_000);
     let q = sample_queries(&data, 1, 0.02, 1).remove(0);
-    let res = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+    let res = knn_standard(&data, &q, 10, Measure::EuclideanSq).unwrap();
     let frac = res
         .report
         .host_breakdown(&HostParams::default())
@@ -55,7 +55,7 @@ fn claim_knn_speedup_grows_with_dimensionality() {
     ] {
         let data = scaled(ds, n);
         let q = sample_queries(&data, 1, 0.02, 2).remove(0);
-        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq).unwrap();
         let mut exec = pressured_executor(&data, budget);
         let pim = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &q, 10).unwrap();
         assert_eq!(pim.indices(), base.indices());
@@ -77,7 +77,7 @@ fn claim_gist_resists_segmented_bounds() {
     for (ds, n) in [(PaperDataset::Msd, 2_500), (PaperDataset::Gist, 2_500)] {
         let data = scaled(ds, n);
         let q = sample_queries(&data, 1, 0.02, 3).remove(0);
-        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+        let base = knn_standard(&data, &q, 10, Measure::EuclideanSq).unwrap();
         // Small budget forces LB_PIM-FNN compression on both datasets.
         let mut exec = pressured_executor(&data, 400);
         assert!(
@@ -137,7 +137,7 @@ fn claim_elkan_gains_least_from_pim() {
 fn claim_transfer_reduction() {
     let data = scaled(PaperDataset::Trevi, 1_000); // d = 4096
     let q = sample_queries(&data, 1, 0.02, 4).remove(0);
-    let base = knn_standard(&data, &q, 10, Measure::EuclideanSq);
+    let base = knn_standard(&data, &q, 10, Measure::EuclideanSq).unwrap();
     let mut exec = pressured_executor(&data, 131_072);
     let pim = knn_pim_ed(&mut exec, &data, &BoundCascade::empty(), &q, 10).unwrap();
     let base_bytes = base.report.profile.total_counters().bytes_streamed as f64;

@@ -192,8 +192,8 @@ proptest! {
         });
         let q = &sample_queries(&ds, 1, 0.05, seed)[0];
         let cascade = fnn_cascade(&ds).unwrap();
-        let truth = knn_standard(&ds, q, k, Measure::EuclideanSq);
-        let got = knn_cascade(&ds, &cascade, q, k, Measure::EuclideanSq);
+        let truth = knn_standard(&ds, q, k, Measure::EuclideanSq).unwrap();
+        let got = knn_cascade(&ds, &cascade, q, k, Measure::EuclideanSq).unwrap();
         prop_assert_eq!(got.indices(), truth.indices());
     }
 
@@ -223,5 +223,135 @@ proptest! {
                 prop_assert!(c.total() * 2 > budget);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Invariant 9 (fault tolerance): injected crossbar faults — stuck-at
+    // cells, dead bitlines without spare capacity, and write-endurance
+    // wear-out — never change what the miners return. Guard-banded bounds
+    // stay valid, dead objects are quarantined and refined exactly on the
+    // host, and worn crossbars are remapped at the next scrub; kNN top-k
+    // and k-means assignments are bit-identical to the fault-free run.
+    #[test]
+    fn faulty_pim_mining_matches_fault_free(seed in 0u64..1000) {
+        use simpim::core::executor::{ExecutorConfig, PimExecutor};
+        use simpim::datasets::{generate, sample_queries, SyntheticConfig};
+        use simpim::mining::kmeans::lloyd::kmeans_lloyd;
+        use simpim::mining::kmeans::pim::PimAssist;
+        use simpim::mining::kmeans::KmeansConfig;
+        use simpim::mining::knn::pim::knn_pim_ed;
+        use simpim::mining::knn::standard::knn_standard;
+        use simpim::reram::FaultConfig;
+        use simpim::similarity::{Measure, NormalizedDataset};
+        use simpim_bounds::BoundCascade;
+
+        let ds = generate(&SyntheticConfig {
+            n: 96,
+            d: 32,
+            clusters: 4,
+            cluster_std: 0.05,
+            stat_uniformity: 0.0,
+            seed,
+        });
+        let queries = sample_queries(&ds, 2, 0.02, seed ^ 0xA5);
+        let nds = NormalizedDataset::assert_normalized(ds.clone());
+        let k = 5;
+        let km_cfg = KmeansConfig { k: 3, max_iters: 4, seed: 1 };
+
+        // Fault-free references.
+        let reference: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| knn_standard(&ds, q, k, Measure::EuclideanSq).unwrap().indices())
+            .collect();
+        let km_base = kmeans_lloyd(&ds, &km_cfg, None).unwrap();
+        let clean = PimExecutor::prepare_euclidean(ExecutorConfig::default(), &nds).unwrap();
+        let budget = clean.report().crossbars_used;
+
+        // Scenario 1 — stuck-at cells: isolated corrupted cells drift the
+        // measured dots; the executor widens the bounds by the Theorem-3
+        // style guard band and stays exact.
+        let stuck = ExecutorConfig {
+            faults: Some(FaultConfig {
+                stuck_low_rate: 0.01,
+                stuck_high_rate: 0.01,
+                seed: seed ^ 0x57,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut exec = PimExecutor::prepare_euclidean(stuck, &nds).unwrap();
+        for (q, want) in queries.iter().zip(&reference) {
+            let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, k).unwrap();
+            prop_assert_eq!(&got.indices(), want, "stuck-at kNN diverged");
+        }
+        {
+            let mut assist = PimAssist::new(&mut exec);
+            let km = kmeans_lloyd(&ds, &km_cfg, Some(&mut assist)).unwrap();
+            prop_assert_eq!(&km.assignments, &km_base.assignments, "stuck-at k-means diverged");
+        }
+        let fc = *exec.fault_counters();
+        prop_assert!(fc.faults_detected > 0, "stuck-at must inject faults: {:?}", fc);
+        prop_assert!(
+            fc.guarded_bounds + fc.fallback_refinements > 0,
+            "drifted objects must take the guarded or fallback path: {:?}", fc
+        );
+
+        // Scenario 2 — dead bitlines with zero spare capacity: the dead
+        // objects cannot be remapped, so they are quarantined and every
+        // batch recovers them by exact host-side refinement.
+        let mut dead = ExecutorConfig {
+            faults: Some(FaultConfig {
+                dead_bitline_rate: 0.15,
+                seed: seed ^ 0xD1ED,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        dead.pim.num_crossbars = budget;
+        let mut exec = PimExecutor::prepare_euclidean(dead, &nds).unwrap();
+        for (q, want) in queries.iter().zip(&reference) {
+            let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, k).unwrap();
+            prop_assert_eq!(&got.indices(), want, "dead-bitline kNN diverged");
+        }
+        {
+            let mut assist = PimAssist::new(&mut exec);
+            let km = kmeans_lloyd(&ds, &km_cfg, Some(&mut assist)).unwrap();
+            prop_assert_eq!(&km.assignments, &km_base.assignments, "dead-bitline k-means diverged");
+        }
+        let fc = *exec.fault_counters();
+        prop_assert!(fc.quarantined_rows > 0, "no spares: must quarantine: {:?}", fc);
+        prop_assert!(fc.fallback_refinements > 0, "quarantined rows need host fallback: {:?}", fc);
+
+        // Scenario 3 — write-endurance wear-out: the array ages past its
+        // endurance limit between batches; the periodic scrub detects the
+        // worn (dead) crossbars and remaps them onto fresh spares.
+        let worn = ExecutorConfig {
+            faults: Some(FaultConfig {
+                endurance_limit: 5,
+                seed: seed ^ 0xEA2,
+                ..Default::default()
+            }),
+            scrub_interval: 1,
+            ..Default::default()
+        };
+        let mut exec = PimExecutor::prepare_euclidean(worn, &nds).unwrap();
+        exec.bank_mut().pim_mut().age_crossbars(10);
+        for (q, want) in queries.iter().zip(&reference) {
+            let got = knn_pim_ed(&mut exec, &ds, &BoundCascade::empty(), q, k).unwrap();
+            prop_assert_eq!(&got.indices(), want, "wear-out kNN diverged");
+        }
+        {
+            let mut assist = PimAssist::new(&mut exec);
+            let km = kmeans_lloyd(&ds, &km_cfg, Some(&mut assist)).unwrap();
+            prop_assert_eq!(&km.assignments, &km_base.assignments, "wear-out k-means diverged");
+        }
+        let fc = *exec.fault_counters();
+        prop_assert!(
+            fc.remapped_crossbars > 0,
+            "worn crossbars must be remapped onto fresh spares: {:?}", fc
+        );
     }
 }

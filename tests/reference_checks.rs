@@ -14,7 +14,10 @@ fn naive_knn(ds: &Dataset, q: &[f64], k: usize, measure: Measure) -> Vec<usize> 
     let mut all: Vec<(f64, usize)> = ds
         .rows()
         .enumerate()
-        .map(|(i, row)| (measures::evaluate(measure, row, q), i))
+        .map(|(i, row)| {
+            let v = measures::evaluate(measure, row, q).expect("float measure");
+            (v, i)
+        })
         .collect();
     all.sort_by(|a, b| {
         let ord = a.0.partial_cmp(&b.0).unwrap();
@@ -38,7 +41,7 @@ proptest! {
         });
         let q: Vec<f64> = ds.row((seed % 90) as usize).to_vec();
         for measure in [Measure::EuclideanSq, Measure::Cosine, Measure::Pearson] {
-            let fast = knn_standard(&ds, &q, k, measure);
+            let fast = knn_standard(&ds, &q, k, measure).unwrap();
             prop_assert_eq!(fast.indices(), naive_knn(&ds, &q, k, measure), "{:?}", measure);
         }
     }

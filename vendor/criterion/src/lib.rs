@@ -1,0 +1,186 @@
+//! Offline stub for `criterion`.
+//!
+//! The build container cannot reach a crates registry, so this crate
+//! provides a minimal wall-clock harness with the same API shape the
+//! workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`). Each benchmark runs a short timed loop and prints one
+//! line; there is no statistics engine, warm-up schedule, or HTML report.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many iterations the stub harness times per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(200);
+const MIN_ITERS: u64 = 10;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.throughput.as_ref(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.throughput.as_ref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: time a small batch, then scale to the target budget.
+        let start = Instant::now();
+        for _ in 0..MIN_ITERS {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed() / MIN_ITERS as u32;
+        let extra = if per_iter.is_zero() {
+            1000
+        } else {
+            (TARGET_TIME.as_nanos() / per_iter.as_nanos().max(1)).min(100_000) as u64
+        };
+        let timed = Instant::now();
+        for _ in 0..extra {
+            std::hint::black_box(f());
+        }
+        self.elapsed = timed.elapsed();
+        self.iters = extra;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<&Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            format!("  {:.1} Melem/s", *n as f64 / per_iter_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            format!("  {:.1} MiB/s", *n as f64 / per_iter_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<48} {per_iter_ns:>12.1} ns/iter{rate}");
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's own `black_box` path.
+pub use std::hint::black_box;

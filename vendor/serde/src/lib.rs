@@ -1,0 +1,10 @@
+//! Offline stub for `serde`.
+//!
+//! This workspace only ever writes `#[derive(serde::Serialize,
+//! serde::Deserialize)]`; no code path bounds on the traits or performs
+//! (de)serialization. The stub therefore just re-exports the no-op derive
+//! macros. If a future PR actually needs serialization it must vendor the
+//! real crate (the build container is offline).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The workspace decorates types with `#[derive(serde::Serialize,
+//! serde::Deserialize)]` but never serializes anything (there is no
+//! serde_json or bincode anywhere), so the derives can expand to nothing.
+//! The container has no network access to the crates registry, hence this
+//! local stand-in.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
