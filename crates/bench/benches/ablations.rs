@@ -49,7 +49,7 @@ fn ablation_tables() {
     );
     for alpha in [1e1, 1e2, 1e3, 1e4, 1e6] {
         let stage = PimFnnStage::build(&nds, 105, alpha).unwrap();
-        let r = PruningProfile::measure(&[&stage], &ds, &qs, 10, Measure::EuclideanSq)[0];
+        let r = PruningProfile::measure(&[&stage], &ds, &qs, 10, Measure::EuclideanSq).unwrap()[0];
         println!(
             "{:>10.0} {:>12.4} {:>11.1}%",
             alpha,
@@ -146,12 +146,12 @@ fn ablation_tables() {
     for (name, ratio, bytes) in [
         {
             let st = simpim_core::stage::PimSmStage::build(&nds, 210, 1e6).unwrap();
-            let r = PruningProfile::measure(&[&st], &ds, &qs, 10, Measure::EuclideanSq)[0];
+            let r = PruningProfile::measure(&[&st], &ds, &qs, 10, Measure::EuclideanSq).unwrap()[0];
             ("LB_PIM-SM^210", r, st.transfer_bytes_per_object())
         },
         {
             let st = PimFnnStage::build(&nds, 105, 1e6).unwrap();
-            let r = PruningProfile::measure(&[&st], &ds, &qs, 10, Measure::EuclideanSq)[0];
+            let r = PruningProfile::measure(&[&st], &ds, &qs, 10, Measure::EuclideanSq).unwrap()[0];
             ("LB_PIM-FNN^105", r, st.transfer_bytes_per_object())
         },
     ] {

@@ -1,0 +1,185 @@
+//! Schema-versioned run artifacts for the experiment harnesses.
+//!
+//! Every bench binary wraps its run in a [`BenchRun`]: merged
+//! [`RunReport`]s become per-stage [`StageRecord`]s via the host cost
+//! model, the metrics registry is snapshotted at the end, and the whole
+//! document lands in `BENCH_<name>.json` next to the working directory
+//! (set `SIMPIM_ARTIFACT_DIR` to redirect). Render or diff the result
+//! with `simpim report <a.json> [<b.json>]`.
+
+use std::path::PathBuf;
+
+use simpim_datasets::spec::{env_scale, DatasetSpec};
+use simpim_mining::RunReport;
+use simpim_obs::{Json, RunArtifact, StageRecord, ToJson};
+use simpim_simkit::HostParams;
+
+/// Collects one bench binary's observations into a [`RunArtifact`].
+pub struct BenchRun {
+    artifact: RunArtifact,
+    params: HostParams,
+}
+
+impl BenchRun {
+    /// Starts a run: resets the metrics registry (so the artifact's
+    /// snapshot covers exactly this binary) and stamps the git revision
+    /// plus the harness scale configuration.
+    pub fn start(name: &str) -> Self {
+        simpim_obs::metrics::reset();
+        let mut artifact = RunArtifact::new(name);
+        artifact.git = git_describe();
+        artifact.config = Json::obj([
+            ("scale", Json::Num(env_scale())),
+            ("queries", Json::Num(crate::QUERIES as f64)),
+            ("min_n", Json::Num(crate::MIN_N as f64)),
+        ]);
+        Self {
+            artifact,
+            params: crate::params(),
+        }
+    }
+
+    /// Attaches the (first) dataset specification this run exercises.
+    /// Multi-dataset harnesses keep the first and list the rest under an
+    /// `extra` section if they care.
+    pub fn set_dataset(&mut self, spec: &DatasetSpec) {
+        if matches!(self.artifact.dataset, Json::Null) {
+            self.artifact.dataset = spec.to_json();
+        }
+    }
+
+    /// Adds one `key = value` entry to the run configuration section.
+    pub fn config_entry(&mut self, key: &str, value: Json) {
+        match &mut self.artifact.config {
+            Json::Obj(entries) => entries.push((key.to_string(), value)),
+            other => *other = Json::obj([(key, value)]),
+        }
+    }
+
+    /// Converts a merged [`RunReport`] into stage records: one per
+    /// profiled function (model time from the host cost model, operation
+    /// and byte counts from the attributed counters) plus a `<label>/pim`
+    /// stage when the report accumulated PIM-side latency.
+    pub fn record_report(&mut self, label: &str, report: &RunReport) {
+        for (fname, rec) in report.profile.iter() {
+            let t = report.profile.function_time(fname, &self.params);
+            let c = &rec.counters;
+            self.artifact.stages.push(StageRecord {
+                name: format!("{label}/{fname}"),
+                time_ns: t.total_ns() as u64,
+                calls: rec.calls,
+                ops: c.arith + c.mul + c.div + c.sqrt + c.cmp + c.branch,
+                bytes: c.bytes_streamed + c.random_fetches + c.bytes_written,
+            });
+        }
+        let pim_ns = report.pim.total_ns();
+        if pim_ns > 0.0 {
+            self.artifact.stages.push(StageRecord {
+                name: format!("{label}/pim"),
+                time_ns: pim_ns as u64,
+                calls: 0,
+                ops: 0,
+                bytes: 0,
+            });
+        }
+    }
+
+    /// Appends a hand-built stage record, for harnesses whose work is
+    /// analytical (cost-model tables) rather than a mined [`RunReport`].
+    pub fn note_stage(&mut self, name: &str, time_ns: u64, calls: u64, ops: u64, bytes: u64) {
+        self.artifact.stages.push(StageRecord {
+            name: name.to_string(),
+            time_ns,
+            calls,
+            ops,
+            bytes,
+        });
+    }
+
+    /// Appends a free-form extension section (figure series, speedups).
+    pub fn push_extra(&mut self, key: &str, value: Json) {
+        self.artifact.push_extra(key, value);
+    }
+
+    /// Snapshots the metrics registry, writes `BENCH_<name>.json`, and
+    /// returns the path. IO failures degrade to a warning on stderr: an
+    /// artifact must never abort the experiment that produced it.
+    pub fn finish(mut self) -> PathBuf {
+        self.artifact.metrics = simpim_obs::metrics::snapshot().to_json();
+        self.artifact.totals = Json::obj([(
+            "stage_time_ns",
+            Json::Num(self.artifact.total_time_ns() as f64),
+        )]);
+        let dir = std::env::var("SIMPIM_ARTIFACT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.artifact.name));
+        for problem in self.artifact.validate() {
+            eprintln!("warning: artifact {}: {problem}", self.artifact.name);
+        }
+        if let Err(e) = std::fs::write(&path, self.artifact.to_json_text()) {
+            eprintln!("warning: could not write artifact {}: {e}", path.display());
+        } else {
+            println!("\nartifact: {}", path.display());
+        }
+        path
+    }
+}
+
+/// `git describe --always --dirty`, or `None` outside a git checkout.
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!text.is_empty()).then_some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_mining::Architecture;
+
+    #[test]
+    fn report_becomes_stage_records() {
+        let mut report = RunReport::new(Architecture::ConventionalDram);
+        let mut c = simpim_simkit::OpCounters::new();
+        c.euclidean_kernel(64, 8);
+        report.profile.record("ED", c);
+        let mut run = BenchRun::start("unit_test");
+        run.record_report("knn", &report);
+        assert_eq!(run.artifact.stages.len(), 1);
+        let s = &run.artifact.stages[0];
+        assert_eq!(s.name, "knn/ED");
+        assert_eq!(s.calls, 1);
+        assert!(s.time_ns > 0 && s.ops > 0);
+    }
+
+    #[test]
+    fn artifact_lands_on_disk_and_parses_back() {
+        let dir = std::env::temp_dir().join("simpim_bench_artifact_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("SIMPIM_ARTIFACT_DIR", &dir);
+        let mut run = BenchRun::start("artifact_roundtrip");
+        let mut report = RunReport::new(Architecture::ConventionalDram);
+        let mut c = simpim_simkit::OpCounters::new();
+        c.euclidean_kernel(8, 8);
+        report.profile.record("ED", c);
+        run.record_report("knn", &report);
+        run.set_dataset(&simpim_datasets::PaperDataset::Msd.spec());
+        run.config_entry("k", Json::Num(10.0));
+        run.push_extra("note", Json::Str("unit".into()));
+        let path = run.finish();
+        std::env::remove_var("SIMPIM_ARTIFACT_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = RunArtifact::from_json_text(&text).unwrap();
+        assert_eq!(parsed.schema_version, simpim_obs::SCHEMA_VERSION);
+        assert_eq!(parsed.name, "artifact_roundtrip");
+        assert!(parsed.validate().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

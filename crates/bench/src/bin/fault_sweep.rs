@@ -43,6 +43,7 @@ fn exec_cfg(faults: Option<FaultConfig>) -> ExecutorConfig {
 }
 
 fn main() {
+    let mut run = simpim_bench::BenchRun::start("fault_sweep");
     let n = ((1000.0 * env_scale()) as usize).max(100);
     let k = 10;
     let ds = generate(&SyntheticConfig {
@@ -121,6 +122,13 @@ fn main() {
             identical &= got == *want;
         }
         let fc = *exec.fault_counters();
+        run.note_stage(
+            &format!("scenario/{name}"),
+            0,
+            fc.scrubs,
+            fc.faults_detected,
+            0,
+        );
         rows.push(vec![
             name.to_string(),
             format!("{}", fc.faults_detected),
@@ -154,6 +162,13 @@ fn main() {
             identical &= got == *want;
         }
         let fc = *exec.fault_counters();
+        run.note_stage(
+            "scenario/dead, no spares",
+            0,
+            fc.scrubs,
+            fc.faults_detected,
+            0,
+        );
         rows.push(vec![
             "dead, no spares".to_string(),
             format!("{}", fc.faults_detected),
@@ -188,4 +203,5 @@ fn main() {
     println!("recovery pipeline: scrub -> classify -> remap-to-spares -> quarantine");
     println!("exactness: guard-banded bounds stay valid; quarantined rows refined");
     println!("           exactly on the host -- top-k matches fault-free bit-for-bit");
+    run.finish();
 }

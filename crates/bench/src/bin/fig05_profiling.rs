@@ -6,7 +6,7 @@
 //! Paper observation to reproduce: `T_cache` dominates — 65–83% of kNN
 //! time and 62–75% of k-means time — which is what justifies PIM.
 
-use simpim_bench::{load, params, print_table, run_knn_baseline, KmeansAlgo, KnnAlgo};
+use simpim_bench::{load, params, print_table, run_knn_baseline, BenchRun, KmeansAlgo, KnnAlgo};
 use simpim_datasets::PaperDataset;
 use simpim_mining::kmeans::KmeansConfig;
 
@@ -16,12 +16,15 @@ fn pct(v: f64) -> String {
 
 fn main() {
     let p = params();
+    let mut run = BenchRun::start("fig05_profiling");
 
     // Panel (a): kNN on MSD, k = 10.
     let w = load(PaperDataset::Msd);
     let mut rows = Vec::new();
     for algo in KnnAlgo::ALL {
         let report = run_knn_baseline(algo, &w, 10);
+        run.set_dataset(&w.dataset.spec());
+        run.record_report(&format!("knn/{}", algo.name()), &report);
         let b = report.host_breakdown(&p);
         let f = b.fractions();
         rows.push(vec![
@@ -52,6 +55,7 @@ fn main() {
     let mut rows = Vec::new();
     for algo in KmeansAlgo::ALL {
         let res = algo.run(&w.data, &cfg, None).expect("baseline");
+        run.record_report(&format!("kmeans/{}", algo.name()), &res.report);
         let b = res.report.host_breakdown(&p);
         let f = b.fractions();
         rows.push(vec![
@@ -72,4 +76,5 @@ fn main() {
         &rows,
     );
     println!("\npaper: Tcache 65-83% (kNN), 62-75% (k-means)");
+    run.finish();
 }

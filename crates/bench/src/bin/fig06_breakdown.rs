@@ -5,7 +5,7 @@
 //! Panel (b): k-means on NUS-WIDE, k = 64 — ED takes 52–96%; Elkan's
 //! bound-update pass is the visible exception.
 
-use simpim_bench::{load, params, print_table, run_knn_baseline, KmeansAlgo, KnnAlgo};
+use simpim_bench::{load, params, print_table, run_knn_baseline, BenchRun, KmeansAlgo, KnnAlgo};
 use simpim_datasets::PaperDataset;
 use simpim_mining::kmeans::KmeansConfig;
 use simpim_mining::RunReport;
@@ -21,9 +21,12 @@ fn rows_for(report: &RunReport) -> Vec<Vec<String>> {
 }
 
 fn main() {
+    let mut run = BenchRun::start("fig06_breakdown");
     let w = load(PaperDataset::Msd);
+    run.set_dataset(&w.dataset.spec());
     for algo in KnnAlgo::ALL {
         let report = run_knn_baseline(algo, &w, 10);
+        run.record_report(&format!("knn/{}", algo.name()), &report);
         print_table(
             &format!("Fig. 6(a): {} function breakdown (MSD-shaped)", algo.name()),
             &["function", "share"],
@@ -39,6 +42,7 @@ fn main() {
     };
     for algo in KmeansAlgo::ALL {
         let res = algo.run(&w.data, &cfg, None).expect("baseline");
+        run.record_report(&format!("kmeans/{}", algo.name()), &res.report);
         print_table(
             &format!(
                 "Fig. 6(b): {} function breakdown (NUS-WIDE-shaped)",
@@ -50,4 +54,5 @@ fn main() {
     }
     println!("\npaper: ED dominates Standard; bounds take 72-86% for OST/SM/FNN;");
     println!("       ED takes 52-96% of k-means; Elkan's bound update up to 45%");
+    run.finish();
 }

@@ -7,7 +7,7 @@
 //! (Standard) but only 7.5× / 5.3× / 2.2× for Drake / Yinyang / Elkan.
 
 use simpim_bench::{
-    fmt_ms, fmt_x, load, params, print_table, run_knn_baseline, KmeansAlgo, KnnAlgo,
+    fmt_ms, fmt_x, load, params, print_table, run_knn_baseline, BenchRun, KmeansAlgo, KnnAlgo,
 };
 use simpim_datasets::PaperDataset;
 use simpim_mining::kmeans::KmeansConfig;
@@ -15,12 +15,15 @@ use simpim_profiling::oracle_report;
 
 fn main() {
     let p = params();
+    let mut run = BenchRun::start("fig07_oracle");
 
     // Panel (a): kNN on MSD, k = 10.
     let w = load(PaperDataset::Msd);
     let mut rows = Vec::new();
     for algo in KnnAlgo::ALL {
         let report = run_knn_baseline(algo, &w, 10);
+        run.set_dataset(&w.dataset.spec());
+        run.record_report(&format!("knn/{}", algo.name()), &report);
         let offload: Vec<String> = algo.offloadable(&w.data);
         let refs: Vec<&str> = offload.iter().map(String::as_str).collect();
         let o = oracle_report(&report.profile, &p, &refs);
@@ -50,6 +53,7 @@ fn main() {
     let mut rows = Vec::new();
     for algo in KmeansAlgo::ALL {
         let res = algo.run(&w.data, &cfg, None).expect("baseline");
+        run.record_report(&format!("kmeans/{}", algo.name()), &res.report);
         let o = oracle_report(&res.report.profile, &p, &["ED"]);
         rows.push(vec![
             algo.name().to_string(),
@@ -68,4 +72,5 @@ fn main() {
     );
     println!("\npaper: kNN Standard ceiling 183.9x; k-means Standard 51.4x,");
     println!("       Drake 7.5x, Yinyang 5.3x, Elkan 2.2x");
+    run.finish();
 }

@@ -15,17 +15,17 @@
 
 use simpim_bench::{
     fmt_ms, fmt_x, load, ms, params, prepare_executor, print_table, run_knn_baseline, run_knn_pim,
-    KnnAlgo,
+    BenchRun, KnnAlgo,
 };
 use simpim_core::executor::{ExecutorConfig, PimExecutor, SimTarget};
 use simpim_datasets::PaperDataset;
 use simpim_mining::knn::pim::knn_pim_sim;
 use simpim_mining::knn::standard::knn_standard;
-use simpim_mining::RunReport;
+use simpim_mining::{Architecture, RunReport};
 use simpim_profiling::oracle_report;
 use simpim_similarity::{Measure, NormalizedDataset};
 
-fn panel_a() {
+fn panel_a(run: &mut BenchRun) {
     let mut rows = Vec::new();
     for ds in PaperDataset::KNN {
         let w = load(ds);
@@ -33,6 +33,9 @@ fn panel_a() {
         let mut exec = prepare_executor(&w.data).expect("fits");
         let bound = exec.bound_name();
         let pim = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).expect("prepared");
+        run.set_dataset(&w.dataset.spec());
+        run.record_report(&format!("a/{}/base", ds.name()), &base);
+        run.record_report(&format!("a/{}/pim", ds.name()), &pim);
         rows.push(vec![
             ds.name().to_string(),
             format!("{}", w.data.len()),
@@ -59,7 +62,7 @@ fn panel_a() {
     println!("paper: speedup grows with d; Trevi largest (453x); GIST smallest");
 }
 
-fn panel_b() {
+fn panel_b(run: &mut BenchRun) {
     let w = load(PaperDataset::Msd);
     let p = params();
     let std_ms = ms(&run_knn_baseline(KnnAlgo::Standard, &w, 10));
@@ -68,6 +71,8 @@ fn panel_b() {
         let base = run_knn_baseline(algo, &w, 10);
         let mut exec = prepare_executor(&w.data).expect("fits");
         let pim = run_knn_pim(algo, &mut exec, &w, 10).expect("prepared");
+        run.record_report(&format!("b/{}/base", algo.name()), &base);
+        run.record_report(&format!("b/{}/pim", algo.name()), &pim);
         let offload = algo.offloadable(&w.data);
         let refs: Vec<&str> = offload.iter().map(String::as_str).collect();
         let oracle = oracle_report(&base.profile, &p, &refs);
@@ -96,13 +101,15 @@ fn panel_b() {
     println!("       PIM variants close to the PIM-oracle");
 }
 
-fn panel_c() {
+fn panel_c(run: &mut BenchRun) {
     let w = load(PaperDataset::Msd);
     let mut rows = Vec::new();
     for k in [1usize, 10, 100] {
         let base = run_knn_baseline(KnnAlgo::Standard, &w, k);
         let mut exec = prepare_executor(&w.data).expect("fits");
         let pim = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, k).expect("prepared");
+        run.record_report(&format!("c/k{k}/base"), &base);
+        run.record_report(&format!("c/k{k}/pim"), &pim);
         rows.push(vec![
             format!("{k}"),
             fmt_ms(ms(&base)),
@@ -118,12 +125,12 @@ fn panel_c() {
     println!("paper: 71.5x / 57.1x / 29.2x — speedup declines as k grows");
 }
 
-fn panel_d() {
+fn panel_d(run: &mut BenchRun) {
     let w = load(PaperDataset::Msd);
     let nds = NormalizedDataset::assert_normalized(w.data.clone());
     let mut rows = Vec::new();
     for measure in [Measure::EuclideanSq, Measure::Cosine, Measure::Pearson] {
-        let mut base = RunReport::default();
+        let mut base = RunReport::new(Architecture::ConventionalDram);
         for q in &w.queries {
             base.merge(
                 &knn_standard(&w.data, q, 10, measure)
@@ -131,7 +138,7 @@ fn panel_d() {
                     .report,
             );
         }
-        let mut pim_total = RunReport::default();
+        let mut pim_total = RunReport::new(Architecture::ReRamPim);
         match measure {
             Measure::EuclideanSq => {
                 let mut exec = prepare_executor(&w.data).expect("fits");
@@ -153,6 +160,8 @@ fn panel_d() {
             }
             Measure::Hamming => unreachable!(),
         }
+        run.record_report(&format!("d/{}/base", measure.name()), &base);
+        run.record_report(&format!("d/{}/pim", measure.name()), &pim_total);
         rows.push(vec![
             measure.name().to_string(),
             fmt_ms(ms(&base)),
@@ -173,16 +182,19 @@ fn main() {
         .skip_while(|a| a != "--panel")
         .nth(1)
         .unwrap_or_else(|| "all".to_string());
+    let mut run = BenchRun::start("fig13_knn");
+    run.config_entry("panel", simpim_obs::Json::Str(panel.clone()));
     match panel.as_str() {
-        "a" => panel_a(),
-        "b" => panel_b(),
-        "c" => panel_c(),
-        "d" => panel_d(),
+        "a" => panel_a(&mut run),
+        "b" => panel_b(&mut run),
+        "c" => panel_c(&mut run),
+        "d" => panel_d(&mut run),
         _ => {
-            panel_a();
-            panel_b();
-            panel_c();
-            panel_d();
+            panel_a(&mut run);
+            panel_b(&mut run);
+            panel_c(&mut run);
+            panel_d(&mut run);
         }
     }
+    run.finish();
 }

@@ -6,13 +6,13 @@
 //! wide. Paper: PIM does not help much at 128 bits and the speedup grows
 //! with dimensionality.
 
-use simpim_bench::{fmt_ms, fmt_x, ms, print_table, scaled_executor_config, MIN_N};
+use simpim_bench::{fmt_ms, fmt_x, ms, print_table, scaled_executor_config, BenchRun, MIN_N};
 use simpim_core::executor::PimExecutor;
 use simpim_datasets::spec::env_scale;
 use simpim_datasets::{generate, lsh_codes, PaperDataset, SyntheticConfig};
 use simpim_mining::knn::hamming::knn_hamming;
 use simpim_mining::knn::pim::knn_pim_hamming;
-use simpim_mining::RunReport;
+use simpim_mining::{Architecture, RunReport};
 use simpim_profiling::oracle_report;
 
 fn main() {
@@ -21,6 +21,8 @@ fn main() {
     let n = spec.scaled_n(env_scale(), MIN_N);
     let base_data = generate(&SyntheticConfig::from_spec(&spec, n));
     let p = simpim_bench::params();
+    let mut run = BenchRun::start("fig14_hamming");
+    run.set_dataset(&spec);
 
     let mut rows = Vec::new();
     for bits in [128usize, 256, 512, 1024] {
@@ -29,8 +31,8 @@ fn main() {
             PimExecutor::prepare_hamming(scaled_executor_config(), &codes).expect("codes fit");
         let query_idx = [1usize, n / 3, (2 * n) / 3];
 
-        let mut base = RunReport::default();
-        let mut pim = RunReport::default();
+        let mut base = RunReport::new(Architecture::ConventionalDram);
+        let mut pim = RunReport::new(Architecture::ReRamPim);
         for &qi in &query_idx {
             let q = codes.row(qi);
             let b = knn_hamming(&codes, &q, 10);
@@ -39,6 +41,8 @@ fn main() {
             base.merge(&b.report);
             pim.merge(&g.report);
         }
+        run.record_report(&format!("hd{bits}/base"), &base);
+        run.record_report(&format!("hd{bits}/pim"), &pim);
         let oracle = oracle_report(&base.profile, &p, &["HD"]);
         rows.push(vec![
             format!("{bits}"),
@@ -60,4 +64,5 @@ fn main() {
         &rows,
     );
     println!("paper: little gain at 128 bits; speedup grows with code width");
+    run.finish();
 }

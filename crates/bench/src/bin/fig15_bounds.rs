@@ -17,7 +17,9 @@ use simpim_mining::knn::algorithms::fnn_levels;
 use simpim_similarity::{Measure, NormalizedDataset};
 
 fn main() {
+    let mut run = simpim_bench::BenchRun::start("fig15_bounds");
     let w = load(PaperDataset::Msd);
+    run.set_dataset(&w.dataset.spec());
     let nds = NormalizedDataset::assert_normalized(w.data.clone());
     let levels = fnn_levels(w.data.dim());
     let top = *levels.last().expect("at least one level");
@@ -31,9 +33,20 @@ fn main() {
     let mut stages: Vec<&dyn BoundStage> = classic.iter().map(|b| b as &dyn BoundStage).collect();
     stages.push(&pim);
 
-    let ratios = PruningProfile::measure(&stages, &w.data, &w.queries, 10, Measure::EuclideanSq);
+    let ratios = PruningProfile::measure(&stages, &w.data, &w.queries, 10, Measure::EuclideanSq)
+        .expect("matching bound directions");
 
     let n = w.data.len() as u64;
+    for (s, &r) in stages.iter().zip(&ratios) {
+        run.note_stage(
+            &format!("prune/{}", s.name()),
+            0,
+            1,
+            (r * n as f64) as u64,
+            s.transfer_bytes_per_object() * n,
+        );
+        run.push_extra(&format!("ratio/{}", s.name()), simpim_obs::Json::Num(r));
+    }
     let rows: Vec<Vec<String>> = stages
         .iter()
         .zip(&ratios)
@@ -59,8 +72,8 @@ fn main() {
     let mut rows = Vec::new();
     for alpha in [1e1, 1e2, 1e3, 1e4, 1e6] {
         let stage = PimFnnStage::build(&nds, top, alpha).expect("divisor");
-        let r =
-            PruningProfile::measure(&[&stage], &w.data, &w.queries, 10, Measure::EuclideanSq)[0];
+        let r = PruningProfile::measure(&[&stage], &w.data, &w.queries, 10, Measure::EuclideanSq)
+            .expect("matching bound directions")[0];
         rows.push(vec![format!("{alpha:.0}"), format!("{:.1}%", r * 100.0)]);
     }
     print_table(
@@ -68,4 +81,5 @@ fn main() {
         &["alpha", "prune ratio"],
         &rows,
     );
+    run.finish();
 }

@@ -17,12 +17,14 @@ use simpim_core::planner::Planner;
 use simpim_core::stage::PimFnnStage;
 use simpim_datasets::PaperDataset;
 use simpim_mining::knn::pim::knn_pim_ed;
-use simpim_mining::RunReport;
+use simpim_mining::{Architecture, RunReport};
 use simpim_profiling::oracle_report;
 use simpim_similarity::{Measure, NormalizedDataset};
 
 fn main() {
+    let mut run = simpim_bench::BenchRun::start("fig16_plan");
     let w = load(PaperDataset::Msd);
+    run.set_dataset(&w.dataset.spec());
     let nds = NormalizedDataset::assert_normalized(w.data.clone());
     let p = params();
     let k = 10;
@@ -49,7 +51,9 @@ fn main() {
         refine_bytes_per_object: w.data.dim() as u64 * 8,
         n: w.data.len(),
     };
-    let plan = planner.best_plan_measured(&stages, &w.data, &w.queries, k, Measure::EuclideanSq);
+    let plan = planner
+        .best_plan_measured(&stages, &w.data, &w.queries, k, Measure::EuclideanSq)
+        .expect("valid planner inputs");
     println!(
         "planner's choice: {:?} ({:.2} MB/query estimated)",
         plan.names,
@@ -65,7 +69,7 @@ fn main() {
         .map(|&i| Box::new(classic[i].clone()) as Box<dyn BoundStage>)
         .collect();
     let retained = BoundCascade::new(retained_stages);
-    let mut optimized = RunReport::default();
+    let mut optimized = RunReport::new(Architecture::ReRamPim);
     for q in &w.queries {
         let res = knn_pim_ed(&mut exec, &w.data, &retained, q, k).expect("prepared");
         optimized.merge(&res.report);
@@ -76,6 +80,18 @@ fn main() {
     let refs: Vec<&str> = offload.iter().map(String::as_str).collect();
     let oracle = oracle_report(&base.profile, &p, &refs);
 
+    run.record_report("fnn/base", &base);
+    run.record_report("fnn/pim_default", &pim_default);
+    run.record_report("fnn/pim_optimized", &optimized);
+    run.push_extra(
+        "plan",
+        simpim_obs::Json::Arr(
+            plan.names
+                .iter()
+                .map(|s| simpim_obs::Json::Str(s.clone()))
+                .collect(),
+        ),
+    );
     let base_ms = ms(&base);
     let rows = vec![
         vec!["FNN".into(), fmt_ms(base_ms), "-".into()],
@@ -109,4 +125,5 @@ fn main() {
     );
     println!("paper: the planner drops all original bounds (keep only");
     println!("       LB_PIM-FNN^105); FNN-PIM-optimize approaches FNN-PIM-oracle");
+    run.finish();
 }

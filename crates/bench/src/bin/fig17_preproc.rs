@@ -6,13 +6,14 @@
 //! PIM side ~1.9× *slower* on average — ReRAM write latency outweighs the
 //! ~33% smaller write volume.
 
-use simpim_bench::{fmt_ms, fmt_x, load, params, prepare_executor, print_table};
+use simpim_bench::{fmt_ms, fmt_x, load, params, prepare_executor, print_table, BenchRun};
 use simpim_datasets::PaperDataset;
 use simpim_mining::knn::algorithms::fnn_levels;
 use simpim_simkit::OpCounters;
 
 fn main() {
     let p = params();
+    let mut run = BenchRun::start("fig17_preproc");
     let mut rows = Vec::new();
     for ds in PaperDataset::KNN {
         let w = load(ds);
@@ -45,6 +46,21 @@ fn main() {
         // Crossbar cell writes, expressed in bytes of h-bit cells.
         let pim_written = rep.cell_writes * 2 / 8 + rep.phi_bytes;
 
+        run.set_dataset(&w.dataset.spec());
+        run.note_stage(
+            &format!("preproc/{}/fnn", ds.name()),
+            fnn_ns as u64,
+            1,
+            0,
+            fnn_written,
+        );
+        run.note_stage(
+            &format!("preproc/{}/pim", ds.name()),
+            pim_ns as u64,
+            1,
+            0,
+            pim_written,
+        );
         rows.push(vec![
             ds.name().to_string(),
             fmt_ms(fnn_ns / 1e6),
@@ -68,4 +84,5 @@ fn main() {
     );
     println!("paper: PIM pre-processing ~1.9x slower on average (ReRAM write");
     println!("       latency), while writing ~33% less data (one table, not three)");
+    run.finish();
 }

@@ -5,7 +5,9 @@
 //! oracle — higher k widens Standard's gain; Drake-PIM "bridges the gap
 //! effectively".
 
-use simpim_bench::{fmt_ms, load, ms_per_iter, params, print_table, run_kmeans_pair, KmeansAlgo};
+use simpim_bench::{
+    fmt_ms, load, ms_per_iter, params, print_table, run_kmeans_pair, BenchRun, KmeansAlgo,
+};
 use simpim_datasets::PaperDataset;
 use simpim_mining::kmeans::KmeansConfig;
 use simpim_profiling::oracle_report;
@@ -15,6 +17,8 @@ fn main() {
     let ks: &[usize] = if quick { &[4, 64] } else { &[4, 64, 256, 1024] };
     let w = load(PaperDataset::NusWide);
     let p = params();
+    let mut run = BenchRun::start("fig18_kmeans_oracle");
+    run.set_dataset(&w.dataset.spec());
 
     for algo in [KmeansAlgo::Standard, KmeansAlgo::Drake] {
         let mut rows = Vec::new();
@@ -28,6 +32,8 @@ fn main() {
                 seed: 7,
             };
             let (base, pim) = run_kmeans_pair(algo, &w.data, &cfg).expect("variants agree");
+            run.record_report(&format!("{}/k{k}/base", algo.name()), &base.report);
+            run.record_report(&format!("{}/k{k}/pim", algo.name()), &pim.report);
             let oracle = oracle_report(&base.report.profile, &p, &["ED"]);
             rows.push(vec![
                 format!("{k}"),
@@ -49,4 +55,5 @@ fn main() {
     }
     println!("\npaper: obvious gap baseline → -PIM, narrow gap -PIM → oracle;");
     println!("       higher k amplifies Standard's benefit");
+    run.finish();
 }

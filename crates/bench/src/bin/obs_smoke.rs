@@ -1,0 +1,125 @@
+//! Observability smoke run — the CI artifact plus the tracing-overhead
+//! check.
+//!
+//! Runs one small kNN workload (FNN cascade) and one k-means workload,
+//! emits `BENCH_smoke.json`, and demonstrates that the *disabled* tracing
+//! fast path costs under 2% of the kNN cascade hot loop:
+//!
+//! * wall-clock A/B: the same cascade workload timed with tracing off and
+//!   on (the "on" run bounds the "off" run from above — the off path is a
+//!   strict subset of the on path);
+//! * a direct microbenchmark of the disabled `span!` probe, scaled by the
+//!   number of instrumentation events one query actually fires.
+
+use std::time::Instant;
+
+use simpim_bench::{load, ms, print_table, run_kmeans_pair, run_knn_baseline, BenchRun, KnnAlgo};
+use simpim_bench::{KmeansAlgo, QUERIES};
+use simpim_datasets::PaperDataset;
+use simpim_mining::kmeans::KmeansConfig;
+use simpim_obs::Json;
+
+/// Repetitions for the wall-clock A/B; the minimum is reported so OS
+/// noise inflates neither side.
+const REPS: usize = 5;
+
+fn main() {
+    let mut run = BenchRun::start("smoke");
+    simpim_obs::trace::disable();
+
+    // One small kNN bench: FNN cascade, k = 10.
+    let w = load(PaperDataset::Msd);
+    run.set_dataset(&w.dataset.spec());
+    let knn = run_knn_baseline(KnnAlgo::Fnn, &w, 10);
+    run.record_report("knn/FNN", &knn);
+
+    // One small k-means bench: Lloyd, k = 8, both architectures.
+    let cfg = KmeansConfig {
+        k: 8,
+        max_iters: 4,
+        seed: 7,
+    };
+    let (base, pim) = run_kmeans_pair(KmeansAlgo::Standard, &w.data, &cfg).expect("agree");
+    run.record_report("kmeans/Standard/base", &base.report);
+    run.record_report("kmeans/Standard/pim", &pim.report);
+
+    // --- Tracing overhead on the kNN cascade hot loop ---------------------
+
+    // Warm-up, then the A/B: identical workload, tracing off vs on.
+    let _ = run_knn_baseline(KnnAlgo::Fnn, &w, 10);
+    let off_ns = best_of(REPS, || {
+        let _ = run_knn_baseline(KnnAlgo::Fnn, &w, 10);
+    });
+    simpim_obs::trace::enable(1 << 16);
+    let on_ns = best_of(REPS, || {
+        let _ = run_knn_baseline(KnnAlgo::Fnn, &w, 10);
+    });
+    simpim_obs::trace::disable();
+    simpim_obs::trace::clear();
+    let on_overhead_pct = (on_ns as f64 / off_ns as f64 - 1.0) * 100.0;
+
+    // Microbenchmark: cost of one disabled span probe (one relaxed atomic
+    // load), scaled by the instrumentation events a cascade query fires
+    // (one query span, one filter span, ~one span/metric flush per stage
+    // plus the two histograms — 32 is a generous ceiling).
+    const PROBES: u32 = 1_000_000;
+    let probe_ns = best_of(3, || {
+        for _ in 0..PROBES {
+            let _g = simpim_obs::span!("bench.obs.probe");
+        }
+    }) as f64
+        / f64::from(PROBES);
+    let per_query_ns = off_ns as f64 / QUERIES as f64;
+    let off_overhead_pct = 32.0 * probe_ns / per_query_ns * 100.0;
+
+    print_table(
+        "Observability smoke: tracing overhead on the kNN cascade hot loop",
+        &["quantity", "value"],
+        &[
+            vec![
+                "model time, FNN workload".into(),
+                format!("{:.2} ms", ms(&knn)),
+            ],
+            vec![
+                "wall clock, tracing off".into(),
+                format!("{:.2} ms", off_ns as f64 / 1e6),
+            ],
+            vec![
+                "wall clock, tracing on".into(),
+                format!("{:.2} ms", on_ns as f64 / 1e6),
+            ],
+            vec![
+                "tracing-on overhead".into(),
+                format!("{on_overhead_pct:+.2}%"),
+            ],
+            vec!["disabled span probe".into(), format!("{probe_ns:.1} ns")],
+            vec![
+                "tracing-off overhead (32 probes/query)".into(),
+                format!("{off_overhead_pct:.4}%"),
+            ],
+        ],
+    );
+    if off_overhead_pct >= 2.0 {
+        eprintln!("warning: disabled-tracing overhead {off_overhead_pct:.2}% >= 2%");
+    }
+
+    run.push_extra("tracing_off_wall_ms", Json::Num(off_ns as f64 / 1e6));
+    run.push_extra("tracing_on_wall_ms", Json::Num(on_ns as f64 / 1e6));
+    run.push_extra("tracing_on_overhead_pct", Json::Num(on_overhead_pct));
+    run.push_extra("disabled_span_probe_ns", Json::Num(probe_ns));
+    run.push_extra("tracing_off_overhead_pct", Json::Num(off_overhead_pct));
+    run.finish();
+}
+
+/// Minimum wall-clock nanoseconds over `reps` runs of `f`.
+fn best_of(reps: usize, mut f: impl FnMut()) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap_or(1)
+        .max(1)
+}

@@ -7,10 +7,11 @@
 //! through the set-associative L1/L2/L3 simulator of the paper's machine
 //! and reports simulated miss fractions next to the model's assumption.
 
-use simpim_bench::print_table;
+use simpim_bench::{print_table, BenchRun};
 use simpim_profiling::hardware::scan_trace_check;
 
 fn main() {
+    let mut run = BenchRun::start("supp_cache_validation");
     let mut rows = Vec::new();
     for (label, objects, bytes_per_object, passes, assumption) in [
         (
@@ -37,6 +38,13 @@ fn main() {
         ),
     ] {
         let check = scan_trace_check(objects, bytes_per_object, passes);
+        run.note_stage(
+            &format!("trace/{label}"),
+            (check.simulated_avg_latency_ns * objects as f64 * passes as f64) as u64,
+            passes as u64,
+            objects * passes as u64,
+            objects * bytes_per_object * passes as u64,
+        );
         rows.push(vec![
             label.to_string(),
             format!("{:.1}%", check.simulated_memory_fraction * 100.0),
@@ -56,4 +64,5 @@ fn main() {
     );
     println!("\nlarge scans miss every line regardless of repetition (capacity);");
     println!("small tables become cache-resident — both as the analytical model assumes");
+    run.finish();
 }

@@ -7,18 +7,21 @@
 //!   many dataset re-programmings would wear out the array, and why the
 //!   compress-once strategy matters.
 
-use simpim_bench::{load, prepare_executor, print_table, run_knn_pim, KnnAlgo};
+use simpim_bench::{load, prepare_executor, print_table, run_knn_pim, BenchRun, KnnAlgo};
 use simpim_datasets::PaperDataset;
 use simpim_reram::config::nvm_table;
 
 fn main() {
+    let mut run = BenchRun::start("supp_energy_endurance");
     let mut rows = Vec::new();
     for ds in PaperDataset::KNN {
         let w = load(ds);
         let mut exec = prepare_executor(&w.data).expect("fits");
         let prep = exec.report().clone();
         // Run a query workload to accumulate online energy.
-        run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).expect("prepared");
+        let report = run_knn_pim(KnnAlgo::Standard, &mut exec, &w, 10).expect("prepared");
+        run.set_dataset(&w.dataset.spec());
+        run.record_report(&format!("knn/{}", ds.name()), &report);
         let e = *exec.bank().pim().energy();
 
         // Endurance: cells are written once per (re-)programming; the
@@ -46,4 +49,5 @@ fn main() {
     println!("\nreading never wears cells: the compress-once strategy of Section V-C");
     println!("means a dataset is programmed once, then queried indefinitely; even");
     println!("daily re-programming would take ~3e5 years to reach 1e8 cycles/cell");
+    run.finish();
 }

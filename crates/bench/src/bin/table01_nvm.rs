@@ -1,12 +1,14 @@
 //! Tables 1 and 5 — the NVM device characteristics and the platform
 //! configuration, as encoded in the simulator's constants (sanity view).
 
-use simpim_bench::print_table;
+use simpim_bench::{print_table, BenchRun};
 use simpim_reram::config::nvm_table;
 use simpim_reram::PimConfig;
 use simpim_simkit::constants;
 
 fn main() {
+    let mut run = BenchRun::start("table01_nvm");
+    run.note_stage("render/tables", 0, 1, 0, 0);
     let rows: Vec<Vec<String>> = nvm_table::ALL
         .iter()
         .map(|r| {
@@ -86,4 +88,5 @@ fn main() {
         &["component", "value"],
         &rows,
     );
+    run.finish();
 }

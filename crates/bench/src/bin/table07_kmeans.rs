@@ -9,17 +9,20 @@
 //! Pass `--quick` to limit k to {4, 64} (the default full sweep takes a
 //! few minutes at SIMPIM_SCALE=0.01).
 
-use simpim_bench::{fmt_ms, load, ms_per_iter, print_table, run_kmeans_pair, KmeansAlgo};
+use simpim_bench::{fmt_ms, load, ms_per_iter, print_table, run_kmeans_pair, BenchRun, KmeansAlgo};
 use simpim_datasets::PaperDataset;
 use simpim_mining::kmeans::KmeansConfig;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let ks: &[usize] = if quick { &[4, 64] } else { &[4, 64, 256, 1024] };
+    let mut run = BenchRun::start("table07_kmeans");
+    run.config_entry("quick", simpim_obs::Json::Bool(quick));
 
     let mut rows = Vec::new();
     for ds in PaperDataset::KMEANS {
         let w = load(ds);
+        run.set_dataset(&w.dataset.spec());
         for &k in ks {
             if k >= w.data.len() {
                 continue;
@@ -32,6 +35,14 @@ fn main() {
             let mut row = vec![ds.name().to_string(), format!("{k}")];
             for algo in KmeansAlgo::ALL {
                 let (base, pim) = run_kmeans_pair(algo, &w.data, &cfg).expect("variants agree");
+                run.record_report(
+                    &format!("{}/{}/k{k}/base", ds.name(), algo.name()),
+                    &base.report,
+                );
+                run.record_report(
+                    &format!("{}/{}/k{k}/pim", ds.name(), algo.name()),
+                    &pim.report,
+                );
                 row.push(fmt_ms(ms_per_iter(&base)));
                 row.push(fmt_ms(ms_per_iter(&pim)));
             }
@@ -57,4 +68,5 @@ fn main() {
     println!("\npaper: every algorithm gains; Standard-PIM up to 33.4x; Elkan-PIM");
     println!("       only slightly ahead (bound updates dominate Elkan); Drake-PIM");
     println!("       up to 8.5x; Yinyang-PIM up to 4.9x on high-dimensional data");
+    run.finish();
 }

@@ -7,6 +7,9 @@
 //! object counts); absolute times are model times, so only *shapes* are
 //! comparable with the paper.
 
+pub mod artifact;
+pub use artifact::BenchRun;
+
 use simpim_bounds::BoundCascade;
 use simpim_core::executor::{ExecutorConfig, PimExecutor};
 use simpim_core::CoreError;
@@ -15,7 +18,7 @@ use simpim_mining::knn::algorithms::{fnn_cascade, ost_cascade, sm_cascade};
 use simpim_mining::knn::cascade::knn_cascade;
 use simpim_mining::knn::pim::knn_pim_ed;
 use simpim_mining::knn::standard::knn_standard;
-use simpim_mining::{MiningError, RunReport};
+use simpim_mining::{Architecture, MiningError, RunReport};
 use simpim_similarity::{Dataset, Measure, NormalizedDataset};
 use simpim_simkit::HostParams;
 
@@ -119,7 +122,7 @@ impl KnnAlgo {
 /// Runs one baseline kNN query workload; returns the merged report.
 pub fn run_knn_baseline(algo: KnnAlgo, w: &Workload, k: usize) -> RunReport {
     let cascade = algo.cascade(&w.data);
-    let mut total = RunReport::default();
+    let mut total = RunReport::new(Architecture::ConventionalDram);
     for q in &w.queries {
         let res = if matches!(algo, KnnAlgo::Standard) {
             knn_standard(&w.data, q, k, Measure::EuclideanSq)
@@ -156,7 +159,7 @@ pub fn run_knn_pim(
         }
         _ => BoundCascade::empty(),
     };
-    let mut total = RunReport::default();
+    let mut total = RunReport::new(Architecture::ReRamPim);
     for q in &w.queries {
         let res = knn_pim_ed(exec, &w.data, &retained, q, k)?;
         total.merge(&res.report);
@@ -207,7 +210,7 @@ impl KmeansAlgo {
         data: &Dataset,
         cfg: &simpim_mining::kmeans::KmeansConfig,
         pim: Option<&mut simpim_mining::kmeans::pim::PimAssist<'_>>,
-    ) -> Result<simpim_mining::kmeans::KmeansResult, CoreError> {
+    ) -> Result<simpim_mining::kmeans::KmeansResult, MiningError> {
         match self {
             KmeansAlgo::Standard => simpim_mining::kmeans::lloyd::kmeans_lloyd(data, cfg, pim),
             KmeansAlgo::Elkan => simpim_mining::kmeans::elkan::kmeans_elkan(data, cfg, pim),
@@ -228,7 +231,7 @@ pub fn run_kmeans_pair(
         simpim_mining::kmeans::KmeansResult,
         simpim_mining::kmeans::KmeansResult,
     ),
-    CoreError,
+    MiningError,
 > {
     let base = algo.run(data, cfg, None)?;
     let mut exec = prepare_executor(data)?;

@@ -610,6 +610,8 @@ impl PimExecutor {
     /// objects (dead with no clean spare) are recovered per-batch by exact
     /// host-side refinement.
     fn scrub_and_remap(&mut self) -> Result<(), CoreError> {
+        let before = self.fault_counters;
+        let mut span = simpim_obs::span!("core.executor.scrub");
         for region in self.regions() {
             let scrub = self.bank.scrub_region(region)?;
             self.fault_counters.scrubs += 1;
@@ -621,7 +623,67 @@ impl PimExecutor {
                 self.fault_counters.quarantined_rows += remap.quarantined_objects as u64;
             }
         }
+        // Flush this pass's deltas (the struct counters are cumulative).
+        let d = |now: u64, then: u64| now.saturating_sub(then);
+        let fc = self.fault_counters;
+        simpim_obs::metrics::counter_add(
+            "simpim.core.executor.scrubs",
+            d(fc.scrubs, before.scrubs),
+        );
+        simpim_obs::metrics::counter_add(
+            "simpim.core.executor.faults_detected",
+            d(fc.faults_detected, before.faults_detected),
+        );
+        simpim_obs::metrics::counter_add(
+            "simpim.core.executor.remapped_crossbars",
+            d(fc.remapped_crossbars, before.remapped_crossbars),
+        );
+        simpim_obs::metrics::counter_add(
+            "simpim.core.executor.quarantined_rows",
+            d(fc.quarantined_rows, before.quarantined_rows),
+        );
+        simpim_obs::metrics::histogram_record(
+            "simpim.core.executor.adc_retries",
+            d(fc.adc_retries, before.adc_retries),
+        );
+        span.record_all([
+            (
+                "faults_detected",
+                d(fc.faults_detected, before.faults_detected) as f64,
+            ),
+            (
+                "remapped",
+                d(fc.remapped_crossbars, before.remapped_crossbars) as f64,
+            ),
+            (
+                "quarantined",
+                d(fc.quarantined_rows, before.quarantined_rows) as f64,
+            ),
+        ]);
         Ok(())
+    }
+
+    /// Flushes one bound batch's observations (`simpim.core.executor.*`):
+    /// a batch counter, recovery-work counters, and the crossbar-occupancy
+    /// gauge. A handful of registry touches per *batch*, never per object.
+    fn record_batch_metrics(&self, guarded: u64, fallbacks: u64) {
+        simpim_obs::metrics::counter_add("simpim.core.executor.batches", 1);
+        if guarded > 0 {
+            simpim_obs::metrics::counter_add("simpim.core.executor.guarded_bounds", guarded);
+        }
+        if fallbacks > 0 {
+            simpim_obs::metrics::counter_add(
+                "simpim.core.executor.fallback_refinements",
+                fallbacks,
+            );
+        }
+        let total = self.cfg.pim.num_crossbars;
+        if total > 0 {
+            simpim_obs::metrics::gauge_set(
+                "simpim.core.executor.crossbar_occupancy",
+                self.bank.pim().used_crossbars() as f64 / total as f64,
+            );
+        }
     }
 
     /// True when a non-inert fault model is attached (per-object recovery
@@ -761,6 +823,7 @@ impl PimExecutor {
                 }
                 self.fault_counters.guarded_bounds += guarded;
                 self.fault_counters.fallback_refinements += fallbacks;
+                self.record_batch_metrics(guarded, fallbacks);
                 Ok(BoundBatch {
                     values,
                     timing: out.timing,
@@ -862,6 +925,7 @@ impl PimExecutor {
                 }
                 self.fault_counters.guarded_bounds += guarded;
                 self.fault_counters.fallback_refinements += fallbacks;
+                self.record_batch_metrics(guarded, fallbacks);
                 Ok(BoundBatch {
                     values,
                     timing,
@@ -934,6 +998,7 @@ impl PimExecutor {
                 }
                 self.fault_counters.guarded_bounds += guarded;
                 self.fault_counters.fallback_refinements += fallbacks;
+                self.record_batch_metrics(guarded, fallbacks);
                 Ok(BoundBatch {
                     values,
                     timing: out.timing,
@@ -1008,6 +1073,7 @@ impl PimExecutor {
         }
         self.fault_counters.guarded_bounds += guarded;
         self.fault_counters.fallback_refinements += fallbacks;
+        self.record_batch_metrics(guarded, fallbacks);
         Ok(BoundBatch {
             values,
             timing: out.timing,
@@ -1077,6 +1143,7 @@ impl PimExecutor {
             values.push(v);
         }
         self.fault_counters.fallback_refinements += fallbacks;
+        self.record_batch_metrics(0, fallbacks);
         Ok(BoundBatch {
             values,
             timing,

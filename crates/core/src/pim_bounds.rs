@@ -165,6 +165,7 @@ pub fn error_bound_fnn(d: usize, alpha: f64) -> f64 {
 /// from their exact values by up to `mu_error` / `sigma_error`; since
 /// `LB_PIM-FNN` decreases in both dot terms, inflating the measured values
 /// by their envelopes keeps the result a valid lower bound.
+#[allow(clippy::too_many_arguments)] // mirrors lb_pim_fnn + the two fault envelopes
 pub fn lb_pim_fnn_guarded(
     phi_p: f64,
     phi_q: f64,

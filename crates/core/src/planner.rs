@@ -17,7 +17,9 @@
 //! queries ([`PruningProfile`]); with `L` candidates there are `2^L`
 //! subsets to enumerate, each executed cheapest-bound-first.
 
+use crate::error::CoreError;
 use simpim_bounds::{BoundDirection, BoundStage};
+use simpim_obs::MetricsSnapshot;
 use simpim_similarity::{measures, Dataset, Measure};
 
 /// One candidate bound for the planner: its per-object transfer cost and
@@ -32,6 +34,43 @@ pub struct CandidateBound {
     pub pruning_ratio: f64,
     /// Whether this is the PIM-aware bound (reported in plans).
     pub is_pim: bool,
+}
+
+impl CandidateBound {
+    /// Builds the candidate set from live observations: the cascade engine
+    /// in `simpim-mining` flushes `simpim.bounds.<name>.seen` /
+    /// `.pruned` counters and a `.transfer_bytes` gauge per query, so the
+    /// measured ratio `pruned / seen` feeds Eq. 13 directly — no separate
+    /// offline [`PruningProfile`] pass needed when a workload has already
+    /// run with metrics on. Bounds that never saw an object are skipped;
+    /// names containing `PIM` are flagged [`CandidateBound::is_pim`]. The
+    /// result is in the registry's (sorted) name order, so planning from a
+    /// snapshot is deterministic.
+    pub fn from_metrics(snapshot: &MetricsSnapshot) -> Vec<CandidateBound> {
+        snapshot
+            .middles("simpim.bounds.", ".seen")
+            .into_iter()
+            .filter_map(|name| {
+                let seen = snapshot.counter(&format!("simpim.bounds.{name}.seen"))?;
+                if seen == 0 {
+                    return None;
+                }
+                let pruned = snapshot
+                    .counter(&format!("simpim.bounds.{name}.pruned"))
+                    .unwrap_or(0);
+                let transfer_bytes = snapshot
+                    .gauge(&format!("simpim.bounds.{name}.transfer_bytes"))
+                    .unwrap_or(0.0)
+                    .max(0.0) as u64;
+                Some(CandidateBound {
+                    is_pim: name.contains("PIM"),
+                    pruning_ratio: (pruned as f64 / seen as f64).clamp(0.0, 1.0),
+                    transfer_bytes,
+                    name,
+                })
+            })
+            .collect()
+    }
 }
 
 /// A chosen plan: bound order plus its estimated transfer cost.
@@ -80,6 +119,7 @@ impl Planner {
             l <= 20,
             "2^L enumeration is exponential; cap the candidate set"
         );
+        let _span = simpim_obs::span!("core.planner.enumerate", candidates = l as u64);
         // Candidate order within a plan: by ascending transfer cost, which
         // matches the filter pipelines of Fig. 12 (coarse, cheap bounds
         // first).
@@ -115,6 +155,12 @@ impl Planner {
     /// with least measured transfer. This is what reproduces the paper's
     /// Fig. 16 outcome (drop all original bounds, keep only
     /// `LB_PIM-FNN^105`).
+    ///
+    /// # Errors
+    /// [`CoreError::Mismatch`] when the candidate set exceeds 16 stages,
+    /// `k` is outside `1..=N`, or no sample queries are given; measure
+    /// failures (e.g. Hamming on floats) forward from the similarity
+    /// layer.
     pub fn best_plan_measured(
         &self,
         stages: &[&dyn BoundStage],
@@ -122,14 +168,24 @@ impl Planner {
         queries: &[Vec<f64>],
         k: usize,
         measure: Measure,
-    ) -> ExecutionPlan {
+    ) -> Result<ExecutionPlan, CoreError> {
         let l = stages.len();
-        assert!(
-            l <= 16,
-            "2^L enumeration is exponential; cap the candidate set"
-        );
-        assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
-        assert!(!queries.is_empty(), "need at least one sample query");
+        if l > 16 {
+            return Err(CoreError::Mismatch {
+                what: "2^L enumeration is exponential; cap the candidate set at 16",
+            });
+        }
+        if k < 1 || k > dataset.len() {
+            return Err(CoreError::Mismatch {
+                what: "k must be in 1..=N",
+            });
+        }
+        if queries.is_empty() {
+            return Err(CoreError::Mismatch {
+                what: "need at least one sample query",
+            });
+        }
+        let _span = simpim_obs::span!("core.planner.enumerate", candidates = l as u64);
         let smaller_closer = measure.smaller_is_closer();
         let n = dataset.len();
 
@@ -138,13 +194,11 @@ impl Planner {
         let mut thresholds = Vec::with_capacity(queries.len());
         let mut bound_values: Vec<Vec<Vec<f64>>> = Vec::with_capacity(queries.len());
         for q in queries {
-            let mut exact: Vec<f64> = dataset
-                .rows()
-                .map(|row| {
-                    measures::evaluate(measure, row, q).expect("planner measures are float-valued")
-                })
-                .collect();
-            exact.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mut exact = Vec::with_capacity(n);
+            for row in dataset.rows() {
+                exact.push(measures::evaluate(measure, row, q)?);
+            }
+            exact.sort_by(f64::total_cmp);
             thresholds.push(if smaller_closer {
                 exact[k - 1]
             } else {
@@ -197,7 +251,8 @@ impl Planner {
                 });
             }
         }
-        best.expect("at least the empty plan exists")
+        // Mask 0 (the empty plan) always ran, so `best` is populated.
+        Ok(best.expect("at least the empty plan exists"))
     }
 }
 
@@ -213,17 +268,22 @@ impl PruningProfile {
     /// `queries`. Works for both bound directions; all stages must share
     /// the measure's direction.
     ///
-    /// # Panics
-    /// Panics when `k` is zero or exceeds the dataset size, or when a
-    /// stage's direction contradicts the measure.
+    /// # Errors
+    /// [`CoreError::Mismatch`] when `k` is outside `1..=N` or a stage's
+    /// direction contradicts the measure; measure failures forward from
+    /// the similarity layer.
     pub fn measure(
         stages: &[&dyn BoundStage],
         dataset: &Dataset,
         queries: &[Vec<f64>],
         k: usize,
         measure: Measure,
-    ) -> Vec<f64> {
-        assert!(k >= 1 && k <= dataset.len(), "k must be in 1..=N");
+    ) -> Result<Vec<f64>, CoreError> {
+        if k < 1 || k > dataset.len() {
+            return Err(CoreError::Mismatch {
+                what: "k must be in 1..=N",
+            });
+        }
         let smaller_closer = measure.smaller_is_closer();
         for s in stages {
             let expected = if smaller_closer {
@@ -231,34 +291,27 @@ impl PruningProfile {
             } else {
                 BoundDirection::UpperBoundsSimilarity
             };
-            assert_eq!(
-                s.direction(),
-                expected,
-                "stage {} direction mismatch",
-                s.name()
-            );
+            if s.direction() != expected {
+                return Err(CoreError::Mismatch {
+                    what: "stage direction mismatch: bound direction must match the measure",
+                });
+            }
         }
 
         let mut pruned = vec![0u64; stages.len()];
         let mut total = 0u64;
         for q in queries {
             // Exact k-th threshold.
-            let mut exact: Vec<f64> = dataset
-                .rows()
-                .map(|row| {
-                    measures::evaluate(measure, row, q).expect("planner measures are float-valued")
-                })
-                .collect();
-            let kth = {
-                let mut sorted = exact.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-                if smaller_closer {
-                    sorted[k - 1]
-                } else {
-                    sorted[sorted.len() - k]
-                }
+            let mut sorted = Vec::with_capacity(dataset.len());
+            for row in dataset.rows() {
+                sorted.push(measures::evaluate(measure, row, q)?);
+            }
+            sorted.sort_by(f64::total_cmp);
+            let kth = if smaller_closer {
+                sorted[k - 1]
+            } else {
+                sorted[sorted.len() - k]
             };
-            exact.clear();
 
             total += dataset.len() as u64;
             for (si, stage) in stages.iter().enumerate() {
@@ -272,7 +325,7 @@ impl PruningProfile {
                 }
             }
         }
-        pruned
+        Ok(pruned
             .into_iter()
             .map(|p| {
                 if total == 0 {
@@ -281,7 +334,7 @@ impl PruningProfile {
                     p as f64 / total as f64
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -370,12 +423,14 @@ mod tests {
             n: ds.len(),
         };
         let queries = vec![vec![0.12; 8], vec![0.12; 8]];
-        let plan =
-            planner.best_plan_measured(&[&classic, &pim], &ds, &queries, 3, Measure::EuclideanSq);
+        let plan = planner
+            .best_plan_measured(&[&classic, &pim], &ds, &queries, 3, Measure::EuclideanSq)
+            .unwrap();
         assert_eq!(plan.names, vec!["LB_PIM-FNN^4"], "plan = {plan:?}");
         // The stacked plan is strictly worse once conditioning is measured.
-        let stacked =
-            planner.best_plan_measured(&[&classic], &ds, &queries, 3, Measure::EuclideanSq);
+        let stacked = planner
+            .best_plan_measured(&[&classic], &ds, &queries, 3, Measure::EuclideanSq)
+            .unwrap();
         assert!(plan.estimated_bytes < stacked.estimated_bytes);
     }
 
@@ -439,17 +494,58 @@ mod tests {
             &[vec![0.1, 0.1, 0.1, 0.1]],
             1,
             Measure::EuclideanSq,
-        );
+        )
+        .unwrap();
         assert_eq!(ratios.len(), 1);
         assert!((ratios[0] - 0.9).abs() < 1e-9, "ratio {}", ratios[0]);
     }
 
     #[test]
-    #[should_panic(expected = "direction mismatch")]
-    fn direction_mismatch_panics() {
+    fn direction_mismatch_is_an_error() {
         use simpim_bounds::FnnBound;
         let ds = Dataset::from_rows(&[vec![0.1, 0.2]]).unwrap();
         let stage = FnnBound::build(&ds, 2).unwrap();
-        let _ = PruningProfile::measure(&[&stage], &ds, &[vec![0.1, 0.2]], 1, Measure::Cosine);
+        let err = PruningProfile::measure(&[&stage], &ds, &[vec![0.1, 0.2]], 1, Measure::Cosine)
+            .unwrap_err();
+        assert!(err.to_string().contains("direction"), "{err}");
+        let p = Planner {
+            refine_bytes_per_object: 8,
+            n: 1,
+        };
+        let err = p
+            .best_plan_measured(&[&stage], &ds, &[], 1, Measure::EuclideanSq)
+            .unwrap_err();
+        assert!(err.to_string().contains("sample query"), "{err}");
+    }
+
+    #[test]
+    fn candidates_from_metrics_read_cascade_counters() {
+        simpim_obs::metrics::reset();
+        simpim_obs::metrics::counter_add("simpim.bounds.LB_FNN^16.seen", 1000);
+        simpim_obs::metrics::counter_add("simpim.bounds.LB_FNN^16.pruned", 900);
+        simpim_obs::metrics::gauge_set("simpim.bounds.LB_FNN^16.transfer_bytes", 128.0);
+        simpim_obs::metrics::counter_add("simpim.bounds.LB_PIM-ED.seen", 1000);
+        simpim_obs::metrics::counter_add("simpim.bounds.LB_PIM-ED.pruned", 990);
+        simpim_obs::metrics::gauge_set("simpim.bounds.LB_PIM-ED.transfer_bytes", 16.0);
+        // A bound that never saw an object must be skipped.
+        simpim_obs::metrics::counter_add("simpim.bounds.LB_SM^8.seen", 0);
+        let snap = simpim_obs::metrics::snapshot();
+        let cands = CandidateBound::from_metrics(&snap);
+        simpim_obs::metrics::reset();
+        assert_eq!(cands.len(), 2, "{cands:?}");
+        let fnn = cands.iter().find(|c| c.name == "LB_FNN^16").unwrap();
+        assert!((fnn.pruning_ratio - 0.9).abs() < 1e-12);
+        assert_eq!(fnn.transfer_bytes, 128);
+        assert!(!fnn.is_pim);
+        let pim = cands.iter().find(|c| c.name == "LB_PIM-ED").unwrap();
+        assert!(pim.is_pim);
+        assert!((pim.pruning_ratio - 0.99).abs() < 1e-12);
+        // And the measured ratios drive Eq. 13 end to end.
+        let planner = Planner {
+            refine_bytes_per_object: 720,
+            n: 1000,
+        };
+        let plan = planner.best_plan(&cands);
+        assert!(!plan.stages.is_empty());
     }
 }

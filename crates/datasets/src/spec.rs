@@ -168,6 +168,21 @@ impl DatasetSpec {
     }
 }
 
+impl simpim_obs::ToJson for DatasetSpec {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("name", Json::Str(self.name.to_string())),
+            ("full_n", self.full_n.to_json()),
+            ("d", self.d.to_json()),
+            ("clusters", self.clusters.to_json()),
+            ("cluster_std", Json::Num(self.cluster_std)),
+            ("stat_uniformity", Json::Num(self.stat_uniformity)),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
 /// Scale fraction from the `SIMPIM_SCALE` environment variable
 /// (default `0.01`, clamped to `(0, 1]`).
 pub fn env_scale() -> f64 {

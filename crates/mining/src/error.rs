@@ -24,6 +24,12 @@ pub enum MiningError {
     /// A PIM executor call failed (preparation, bound batch, or the fault
     /// recovery pipeline).
     Core(CoreError),
+    /// A caller-supplied parameter is out of range (e.g. `k` outside
+    /// `1..=N`); previously a panic in the hot entry points.
+    InvalidArgument {
+        /// What was wrong with the argument.
+        what: String,
+    },
 }
 
 impl fmt::Display for MiningError {
@@ -37,6 +43,7 @@ impl fmt::Display for MiningError {
                 measure.name()
             ),
             Self::Core(e) => write!(f, "PIM execution failed: {e}"),
+            Self::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
         }
     }
 }
@@ -45,7 +52,7 @@ impl Error for MiningError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Core(e) => Some(e),
-            Self::UnsupportedMeasure { .. } => None,
+            Self::UnsupportedMeasure { .. } | Self::InvalidArgument { .. } => None,
         }
     }
 }

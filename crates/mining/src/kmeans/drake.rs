@@ -12,13 +12,14 @@
 //! ED dominates Drake's profile consistently (unlike Elkan), which is why
 //! `Drake-PIM` achieves the paper's best k-means speedup (up to 8.5×).
 
-use simpim_core::CoreError;
 use simpim_similarity::Dataset;
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::kmeans::pim::PimAssist;
 use crate::kmeans::{
-    center_drifts, exact_dist, finish, init_centers, update_centers, KmeansConfig, KmeansResult,
+    center_drifts, check_k, exact_dist, finish, init_centers, record_iteration, update_centers,
+    KmeansConfig, KmeansResult,
 };
 use crate::report::{Architecture, RunReport};
 
@@ -80,7 +81,7 @@ fn rescan(
     }
     // best_c's entry is its exact distance; order the rest by bound.
     entries.retain(|&(_, c)| c != best_c);
-    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     other.cmp += (k as f64 * (k as f64).log2().max(1.0)) as u64; // sort cost
     state.assigned = best_c;
     state.ub = best;
@@ -98,8 +99,8 @@ pub fn kmeans_drake(
     dataset: &Dataset,
     cfg: &KmeansConfig,
     mut pim: Option<&mut PimAssist<'_>>,
-) -> Result<KmeansResult, CoreError> {
-    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+) -> Result<KmeansResult, MiningError> {
+    check_k(cfg.k, dataset.len())?;
     let arch = if pim.is_some() {
         Architecture::ReRamPim
     } else {
@@ -144,6 +145,10 @@ pub fn kmeans_drake(
 
     let mut iterations = 1;
     for _ in 1..cfg.max_iters {
+        let mut iter_span = simpim_obs::span!(
+            "mining.kmeans.drake.iteration",
+            iter = iterations as u64 + 1
+        );
         let assignments: Vec<usize> = states.iter().map(|s| s.assigned).collect();
         let mut upd = OpCounters::new();
         let new_centers = update_centers(dataset, &assignments, &centers, &mut upd);
@@ -159,7 +164,7 @@ pub fn kmeans_drake(
                 *lbv = (*lbv - drifts[*c]).max(0.0);
             }
             st.tracked
-                .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+                .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             st.lb_rest = (st.lb_rest - max_drift).max(0.0);
         }
         bound_upd.arith += (n * (b + 2)) as u64;
@@ -179,7 +184,7 @@ pub fn kmeans_drake(
 
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
-        let mut changed = false;
+        let mut changed = 0u64;
         for (i, row) in dataset.rows().enumerate() {
             let st = &mut states[i];
             let first_lb = st.tracked.first().map(|&(_, v)| v).unwrap_or(st.lb_rest);
@@ -198,7 +203,7 @@ pub fn kmeans_drake(
                 let old = st.assigned;
                 rescan(i, row, &centers, b, pim.as_deref(), &mut ed, &mut other, st);
                 if st.assigned != old {
-                    changed = true;
+                    changed += 1;
                 }
                 continue;
             }
@@ -231,14 +236,16 @@ pub fn kmeans_drake(
                 }
             }
             st.tracked
-                .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+                .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
             if st.assigned != old {
-                changed = true;
+                changed += 1;
             }
         }
         report.profile.record("ED", ed);
         report.profile.record("other", other);
-        if !changed {
+        record_iteration("drake", changed);
+        iter_span.record("reassigned", changed as f64);
+        if changed == 0 {
             break;
         }
     }

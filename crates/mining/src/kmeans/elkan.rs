@@ -16,13 +16,14 @@
 //! distance; a skipped computation still yields a valid `lb(i,c)` (the PIM
 //! bound itself), so the algorithm stays exact (`Elkan-PIM`).
 
-use simpim_core::CoreError;
 use simpim_similarity::Dataset;
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::kmeans::pim::PimAssist;
 use crate::kmeans::{
-    center_drifts, exact_dist, finish, init_centers, update_centers, KmeansConfig, KmeansResult,
+    center_drifts, check_k, exact_dist, finish, init_centers, record_iteration, update_centers,
+    KmeansConfig, KmeansResult,
 };
 use crate::report::{Architecture, RunReport};
 
@@ -31,8 +32,8 @@ pub fn kmeans_elkan(
     dataset: &Dataset,
     cfg: &KmeansConfig,
     mut pim: Option<&mut PimAssist<'_>>,
-) -> Result<KmeansResult, CoreError> {
-    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+) -> Result<KmeansResult, MiningError> {
+    check_k(cfg.k, dataset.len())?;
     let arch = if pim.is_some() {
         Architecture::ReRamPim
     } else {
@@ -84,6 +85,10 @@ pub fn kmeans_elkan(
     let mut iterations = 1;
     let mut cc = vec![0.0f64; k * k];
     for _ in 1..cfg.max_iters {
+        let mut iter_span = simpim_obs::span!(
+            "mining.kmeans.elkan.iteration",
+            iter = iterations as u64 + 1
+        );
         // Update step first (the initial pass was iteration 1's assign).
         let mut upd = OpCounters::new();
         let new_centers = update_centers(dataset, &assignments, &centers, &mut upd);
@@ -132,7 +137,7 @@ pub fn kmeans_elkan(
         // Assign step with the Elkan filters.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
-        let mut changed = false;
+        let mut changed = 0u64;
         for (i, row) in dataset.rows().enumerate() {
             let a = assignments[i];
             other.prune_test();
@@ -180,12 +185,14 @@ pub fn kmeans_elkan(
             }
             if cur != a {
                 assignments[i] = cur;
-                changed = true;
+                changed += 1;
             }
         }
         report.profile.record("ED", ed);
         report.profile.record("other", other);
-        if !changed {
+        record_iteration("elkan", changed);
+        iter_span.record("reassigned", changed as f64);
+        if changed == 0 {
             break;
         }
     }

@@ -10,12 +10,14 @@
 //! best, which preserves Lloyd's exact assignments including lowest-index
 //! tie-breaking.
 
-use simpim_core::CoreError;
 use simpim_similarity::{measures, Dataset};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::kmeans::pim::PimAssist;
-use crate::kmeans::{finish, init_centers, update_centers, KmeansConfig, KmeansResult};
+use crate::kmeans::{
+    check_k, finish, init_centers, record_iteration, update_centers, KmeansConfig, KmeansResult,
+};
 use crate::report::{Architecture, RunReport};
 
 /// Runs Lloyd's algorithm; pass a [`PimAssist`] for the `-PIM` variant.
@@ -23,8 +25,8 @@ pub fn kmeans_lloyd(
     dataset: &Dataset,
     cfg: &KmeansConfig,
     mut pim: Option<&mut PimAssist<'_>>,
-) -> Result<KmeansResult, CoreError> {
-    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+) -> Result<KmeansResult, MiningError> {
+    check_k(cfg.k, dataset.len())?;
     let arch = if pim.is_some() {
         Architecture::ReRamPim
     } else {
@@ -38,6 +40,8 @@ pub fn kmeans_lloyd(
     let mut iterations = 0;
     for _ in 0..cfg.max_iters {
         iterations += 1;
+        let mut iter_span =
+            simpim_obs::span!("mining.kmeans.lloyd.iteration", iter = iterations as u64);
         if let Some(assist) = pim.as_deref_mut() {
             assist.refresh(&centers, &mut report)?;
         }
@@ -45,7 +49,7 @@ pub fn kmeans_lloyd(
         // Assign step.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
-        let mut changed = false;
+        let mut changed = 0u64;
         for (i, row) in dataset.rows().enumerate() {
             let mut best_sq = f64::INFINITY;
             let mut best_c = usize::MAX;
@@ -66,12 +70,14 @@ pub fn kmeans_lloyd(
             }
             if assignments[i] != best_c {
                 assignments[i] = best_c;
-                changed = true;
+                changed += 1;
             }
         }
         report.profile.record("ED", ed);
         report.profile.record("other", other);
-        if !changed {
+        record_iteration("lloyd", changed);
+        iter_span.record("reassigned", changed as f64);
+        if changed == 0 {
             break;
         }
 

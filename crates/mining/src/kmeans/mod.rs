@@ -18,7 +18,30 @@ pub mod yinyang;
 use simpim_similarity::{measures, Dataset};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::report::RunReport;
+
+/// Shared entry-point validation: `k` must be in `1..=N`.
+pub(crate) fn check_k(k: usize, n: usize) -> Result<(), MiningError> {
+    if k >= 1 && k <= n {
+        Ok(())
+    } else {
+        Err(MiningError::InvalidArgument {
+            what: format!("k = {k} must be in 1..={n}"),
+        })
+    }
+}
+
+/// Flushes one iteration's observations: a counter of iterations run per
+/// algorithm and a histogram of how many points changed cluster
+/// (`simpim.mining.kmeans.<algo>.*`).
+pub(crate) fn record_iteration(algo: &str, reassigned: u64) {
+    simpim_obs::metrics::counter_add(&format!("simpim.mining.kmeans.{algo}.iterations"), 1);
+    simpim_obs::metrics::histogram_record(
+        &format!("simpim.mining.kmeans.{algo}.reassignments"),
+        reassigned,
+    );
+}
 
 /// Configuration shared by every k-means variant.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -13,13 +13,14 @@
 //! group scan; a skipped center contributes its PIM bound to the group's
 //! new lower bound, which keeps the filter sound.
 
-use simpim_core::CoreError;
 use simpim_similarity::{measures, Dataset};
 use simpim_simkit::OpCounters;
 
+use crate::error::MiningError;
 use crate::kmeans::pim::PimAssist;
 use crate::kmeans::{
-    center_drifts, exact_dist, finish, init_centers, update_centers, KmeansConfig, KmeansResult,
+    center_drifts, check_k, exact_dist, finish, init_centers, record_iteration, update_centers,
+    KmeansConfig, KmeansResult,
 };
 use crate::report::{Architecture, RunReport};
 
@@ -71,8 +72,8 @@ pub fn kmeans_yinyang(
     dataset: &Dataset,
     cfg: &KmeansConfig,
     mut pim: Option<&mut PimAssist<'_>>,
-) -> Result<KmeansResult, CoreError> {
-    assert!(cfg.k >= 1 && cfg.k <= dataset.len(), "k must be in 1..=N");
+) -> Result<KmeansResult, MiningError> {
+    check_k(cfg.k, dataset.len())?;
     let arch = if pim.is_some() {
         Architecture::ReRamPim
     } else {
@@ -143,6 +144,10 @@ pub fn kmeans_yinyang(
 
     let mut iterations = 1;
     for _ in 1..cfg.max_iters {
+        let mut iter_span = simpim_obs::span!(
+            "mining.kmeans.yinyang.iteration",
+            iter = iterations as u64 + 1
+        );
         let mut upd = OpCounters::new();
         let new_centers = update_centers(dataset, &assignments, &centers, &mut upd);
         report.profile.record("other", upd);
@@ -176,7 +181,7 @@ pub fn kmeans_yinyang(
 
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
-        let mut changed = false;
+        let mut changed = 0u64;
         for (i, row) in dataset.rows().enumerate() {
             let min_lb = (0..t).map(|g| lb[i * t + g]).fold(f64::INFINITY, f64::min);
             other.prune_test();
@@ -227,12 +232,14 @@ pub fn kmeans_yinyang(
                 lb[i * t + g] = new_lb;
             }
             if assignments[i] != old {
-                changed = true;
+                changed += 1;
             }
         }
         report.profile.record("ED", ed);
         report.profile.record("other", other);
-        if !changed {
+        record_iteration("yinyang", changed);
+        iter_span.record("reassigned", changed as f64);
+        if changed == 0 {
             break;
         }
     }

@@ -64,6 +64,7 @@ pub fn knn_cascade(
     let mut other = OpCounters::new();
     let mut exact_counters = OpCounters::new();
     let n = dataset.len();
+    let mut query_span = simpim_obs::span!("mining.knn.cascade", k = k as u64, n = n as u64);
 
     if cascade.is_empty() {
         // Degenerate cascade: plain linear scan.
@@ -72,6 +73,8 @@ pub fn knn_cascade(
             other.prune_test();
             top.offer(i, v);
         }
+        simpim_obs::metrics::histogram_record("simpim.mining.knn.refinements", n as u64);
+        query_span.record("refined", n as f64);
         report.profile.record(measure.name(), exact_counters);
         report.profile.record("other", other);
         return Ok(KnnResult {
@@ -86,12 +89,13 @@ pub fn knn_cascade(
     // First stage over every object, then best-bound-first refinement: the
     // pruning threshold tightens fastest this way, and once the sorted
     // first-stage bound crosses it, *every* remaining candidate is pruned.
+    let filter_span = simpim_obs::span!("mining.knn.filter", stage = 0u64);
     let mut first_counters = OpCounters::new();
     charge_stage(&stages[0].eval_cost(), n as u64, &mut first_counters);
     let mut order: Vec<(f64, usize)> = (0..n).map(|i| (prepared[0].bound(i), i)).collect();
     report.profile.record(&stages[0].name(), first_counters);
     order.sort_by(|a, b| {
-        let ord = a.0.partial_cmp(&b.0).expect("finite bounds");
+        let ord = a.0.total_cmp(&b.0);
         if measure.smaller_is_closer() {
             ord.then(a.1.cmp(&b.1))
         } else {
@@ -99,33 +103,63 @@ pub fn knn_cascade(
         }
     });
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
+    drop(filter_span);
 
+    let refine_span = simpim_obs::span!("mining.knn.refine");
     let mut stage_evals = vec![0u64; stages.len()];
-    'walk: for &(bound1, i) in &order {
+    let mut stage_pruned = vec![0u64; stages.len()];
+    let mut refined = 0u64;
+    'walk: for (pos, &(bound1, i)) in order.iter().enumerate() {
         other.prune_test();
         if top.prunable(bound1) {
-            break 'walk; // sorted: everything after is prunable too
+            // Sorted first-stage bound: everything after is prunable too.
+            stage_pruned[0] += (n - pos) as u64;
+            break 'walk;
         }
         for (si, prep) in prepared.iter().enumerate().skip(1) {
             stage_evals[si] += 1;
             other.prune_test();
             if top.prunable(prep.bound(i)) {
+                stage_pruned[si] += 1;
                 continue 'walk;
             }
         }
         exact_counters.random_fetches += 1;
+        refined += 1;
         let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
         other.prune_test();
         top.offer(i, v);
     }
+    drop(refine_span);
     for (si, stage) in stages.iter().enumerate().skip(1) {
         let mut c = OpCounters::new();
         charge_stage(&stage.eval_cost(), stage_evals[si], &mut c);
         report.profile.record(&stage.name(), c);
     }
 
+    // Flush per-bound pruning observations (one registry touch per stage
+    // per query, not per object): these counters are what
+    // `simpim_core::Planner::candidates_from_metrics` consumes as the
+    // measured pruning ratios of Eq. 13.
+    for (si, stage) in stages.iter().enumerate() {
+        let seen = if si == 0 { n as u64 } else { stage_evals[si] };
+        let name = stage.name();
+        simpim_obs::metrics::counter_add(&format!("simpim.bounds.{name}.seen"), seen);
+        simpim_obs::metrics::counter_add(&format!("simpim.bounds.{name}.pruned"), stage_pruned[si]);
+        simpim_obs::metrics::gauge_set(
+            &format!("simpim.bounds.{name}.transfer_bytes"),
+            stage.transfer_bytes_per_object() as f64,
+        );
+    }
+    simpim_obs::metrics::histogram_record("simpim.mining.knn.refinements", refined);
+    simpim_obs::metrics::histogram_record(
+        "simpim.mining.knn.candidates",
+        (n as u64).saturating_sub(stage_pruned[0]),
+    );
     report.profile.record(measure.name(), exact_counters);
     report.profile.record("other", other);
+    query_span.record("refined", refined as f64);
+    query_span.record("ops", report.profile.total_counters().total_ops() as f64);
     Ok(KnnResult {
         neighbors: top.into_sorted(),
         report,

@@ -58,6 +58,7 @@ pub fn knn_pim_ed(
     let mut other = OpCounters::new();
     let mut exact_counters = OpCounters::new();
     let n = dataset.len();
+    let mut query_span = simpim_obs::span!("mining.knn.pim", k = k as u64, n = n as u64);
 
     // PIM bound batch over the whole dataset (one shot on the crossbars).
     let batch = executor.lb_ed_batch(query)?;
@@ -76,26 +77,33 @@ pub fn knn_pim_ed(
         .enumerate()
         .map(|(i, v)| (v, i))
         .collect();
-    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
 
     let prepared: Vec<_> = retained.stages().map(|s| s.prepare(query)).collect();
     let stage_list: Vec<&dyn simpim_bounds::BoundStage> = retained.stages().collect();
     let mut stage_evals = vec![0u64; stage_list.len()];
+    let mut stage_pruned = vec![0u64; stage_list.len()];
+    let mut pim_pruned = 0u64;
+    let mut refined = 0u64;
 
-    'walk: for &(lb, i) in &order {
+    'walk: for (pos, &(lb, i)) in order.iter().enumerate() {
         other.prune_test();
         if top.prunable(lb) {
-            break 'walk; // sorted PIM bounds: the rest are pruned too
+            // Sorted PIM bounds: the rest are pruned too.
+            pim_pruned = (n - pos) as u64;
+            break 'walk;
         }
         for (si, prep) in prepared.iter().enumerate() {
             stage_evals[si] += 1;
             other.prune_test();
             if top.prunable(prep.bound(i)) {
+                stage_pruned[si] += 1;
                 continue 'walk;
             }
         }
         exact_counters.random_fetches += 1;
+        refined += 1;
         let v = exact_eval(
             Measure::EuclideanSq,
             dataset.row(i),
@@ -111,8 +119,30 @@ pub fn knn_pim_ed(
         report.profile.record(&stage.name(), c);
     }
 
+    // Per-bound pruning observations, the PIM bound included — the same
+    // `simpim.bounds.*` names the cascade engine flushes, so
+    // `CandidateBound::from_metrics` sees PIM plans too.
+    let bound = executor.bound_name();
+    simpim_obs::metrics::counter_add(&format!("simpim.bounds.{bound}.seen"), n as u64);
+    simpim_obs::metrics::counter_add(&format!("simpim.bounds.{bound}.pruned"), pim_pruned);
+    simpim_obs::metrics::gauge_set(
+        &format!("simpim.bounds.{bound}.transfer_bytes"),
+        batch.host_bytes_per_object as f64,
+    );
+    for (si, stage) in stage_list.iter().enumerate() {
+        let name = stage.name();
+        simpim_obs::metrics::counter_add(&format!("simpim.bounds.{name}.seen"), stage_evals[si]);
+        simpim_obs::metrics::counter_add(&format!("simpim.bounds.{name}.pruned"), stage_pruned[si]);
+        simpim_obs::metrics::gauge_set(
+            &format!("simpim.bounds.{name}.transfer_bytes"),
+            stage.transfer_bytes_per_object() as f64,
+        );
+    }
+    simpim_obs::metrics::histogram_record("simpim.mining.knn.refinements", refined);
+
     report.profile.record("ED", exact_counters);
     report.profile.record("other", other);
+    query_span.record("refined", refined as f64);
     Ok(KnnResult {
         neighbors: top.into_sorted(),
         report,
@@ -140,6 +170,7 @@ pub fn knn_pim_sim(
     let mut other = OpCounters::new();
     let mut exact_counters = OpCounters::new();
     let n = dataset.len();
+    let mut query_span = simpim_obs::span!("mining.knn.pim_sim", k = k as u64, n = n as u64);
 
     let batch = executor.ub_sim_batch(query)?;
     report.pim.add(&batch.timing);
@@ -158,22 +189,37 @@ pub fn knn_pim_sim(
         .enumerate()
         .map(|(i, v)| (v, i))
         .collect();
-    order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
 
-    for &(ub, i) in &order {
+    let mut pruned = 0u64;
+    let mut refined = 0u64;
+    for (pos, &(ub, i)) in order.iter().enumerate() {
         other.prune_test();
         if top.prunable(ub) {
-            break; // sorted descending: the rest cannot qualify
+            // Sorted descending: the rest cannot qualify.
+            pruned = (n - pos) as u64;
+            break;
         }
         exact_counters.random_fetches += 1;
+        refined += 1;
         let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
         other.prune_test();
         top.offer(i, v);
     }
 
+    let bound = executor.bound_name();
+    simpim_obs::metrics::counter_add(&format!("simpim.bounds.{bound}.seen"), n as u64);
+    simpim_obs::metrics::counter_add(&format!("simpim.bounds.{bound}.pruned"), pruned);
+    simpim_obs::metrics::gauge_set(
+        &format!("simpim.bounds.{bound}.transfer_bytes"),
+        batch.host_bytes_per_object as f64,
+    );
+    simpim_obs::metrics::histogram_record("simpim.mining.knn.refinements", refined);
+
     report.profile.record(measure.name(), exact_counters);
     report.profile.record("other", other);
+    query_span.record("refined", refined as f64);
     Ok(KnnResult {
         neighbors: top.into_sorted(),
         report,
@@ -191,6 +237,11 @@ pub fn knn_pim_hamming(
     assert!(k >= 1 && k <= codes.len(), "k must be in 1..=N");
 
     let mut report = RunReport::new(Architecture::ReRamPim);
+    let _span = simpim_obs::span!(
+        "mining.knn.pim_hamming",
+        k = k as u64,
+        n = codes.len() as u64
+    );
     let batch = executor.hd_batch(query)?;
     report.pim.add(&batch.timing);
 

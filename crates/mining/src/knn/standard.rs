@@ -30,6 +30,11 @@ pub fn knn_standard(
     assert_eq!(query.len(), dataset.dim(), "query dimensionality mismatch");
     let mut report = RunReport::new(Architecture::ConventionalDram);
     let mut top = TopK::new(k, measure.smaller_is_closer());
+    let _span = simpim_obs::span!(
+        "mining.knn.standard",
+        k = k as u64,
+        n = dataset.len() as u64
+    );
 
     let mut measure_counters = OpCounters::new();
     let mut other = OpCounters::new();

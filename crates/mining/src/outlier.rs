@@ -111,7 +111,7 @@ pub fn outliers_pim(
             .filter(|&(j, _)| j != i)
             .map(|(j, v)| (v, j))
             .collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
 
         let cutoff = if top.threshold().is_finite() {

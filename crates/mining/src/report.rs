@@ -16,7 +16,12 @@ pub enum Architecture {
 }
 
 /// The measurable outcome of one algorithm run.
-#[derive(Debug, Clone, Default)]
+///
+/// Deliberately **not** `Default`: a derived default left `architecture` as
+/// `None`, which [`RunReport::host_breakdown`] silently treated as DRAM —
+/// PIM runs accumulated through a defaulted report would lose their NVM
+/// delay injection. Construct via [`RunReport::new`] instead.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunReport {
     /// Per-function operation counters (Section IV-B).
     pub profile: FunctionProfiler,
@@ -39,6 +44,11 @@ impl RunReport {
     /// Host-side Eq. 1 breakdown under `params`, applying Quartz delay
     /// injection when the run models ReRAM main memory.
     pub fn host_breakdown(&self, params: &HostParams) -> TimeBreakdown {
+        debug_assert!(
+            self.architecture.is_some(),
+            "RunReport evaluated before an architecture was set; \
+             construct reports with RunReport::new(architecture)"
+        );
         let counters = self.profile.total_counters();
         match self.architecture {
             Some(Architecture::ReRamPim) => NvmEmulator::default().evaluate(params, &counters),
@@ -83,6 +93,33 @@ impl RunReport {
         }
         self.profile.merge(&other.profile);
         self.pim.add(&other.pim);
+    }
+}
+
+impl Architecture {
+    /// Stable artifact identifier.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Architecture::ConventionalDram => "dram",
+            Architecture::ReRamPim => "reram-pim",
+        }
+    }
+}
+
+impl simpim_obs::ToJson for Architecture {
+    fn to_json(&self) -> simpim_obs::Json {
+        simpim_obs::Json::Str(self.as_str().to_string())
+    }
+}
+
+impl simpim_obs::ToJson for RunReport {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("architecture", self.architecture.to_json()),
+            ("profile", self.profile.to_json()),
+            ("pim", self.pim.to_json()),
+        ])
     }
 }
 

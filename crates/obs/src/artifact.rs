@@ -1,0 +1,446 @@
+//! Schema-versioned run artifacts.
+//!
+//! A [`RunArtifact`] is the single JSON document a bench binary emits per
+//! run (`BENCH_<name>.json`): schema version, provenance (`git describe`),
+//! dataset spec, configuration, a per-stage breakdown, aggregate totals,
+//! and a full metrics-registry snapshot. Artifacts are the unit the
+//! `simpim report` CLI renders and diffs, and the unit CI validates and
+//! uploads, so the schema is versioned and loading rejects documents whose
+//! major version does not match [`SCHEMA_VERSION`].
+
+use std::fmt::Write as _;
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+
+/// Artifact schema version. Bump on breaking layout changes; loading
+/// rejects mismatches.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One pipeline stage's aggregate contribution to a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageRecord {
+    /// Stage name (e.g. `filter`, `refine`, `scrub`, or a bound name).
+    pub name: String,
+    /// Wall/model time attributed to the stage, in nanoseconds.
+    pub time_ns: u64,
+    /// Number of invocations.
+    pub calls: u64,
+    /// Arithmetic-operation count attributed to the stage.
+    pub ops: u64,
+    /// Bytes moved by the stage (streamed + random + written).
+    pub bytes: u64,
+}
+
+impl ToJson for StageRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("time_ns", self.time_ns.to_json()),
+            ("calls", self.calls.to_json()),
+            ("ops", self.ops.to_json()),
+            ("bytes", self.bytes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for StageRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let get_u64 = |key: &str| -> Result<u64, JsonError> {
+            v.require(key)?
+                .as_u64()
+                .ok_or_else(|| JsonError::shape(format!("stage {key} must be a u64")))
+        };
+        Ok(Self {
+            name: v
+                .require("name")?
+                .as_str()
+                .ok_or_else(|| JsonError::shape("stage name must be a string"))?
+                .to_string(),
+            time_ns: get_u64("time_ns")?,
+            calls: get_u64("calls")?,
+            ops: get_u64("ops")?,
+            bytes: get_u64("bytes")?,
+        })
+    }
+}
+
+/// The schema-versioned document a bench run emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// Schema version; always [`SCHEMA_VERSION`] for freshly built values.
+    pub schema_version: u64,
+    /// Run name (bench binary / scenario, e.g. `fig13_knn`).
+    pub name: String,
+    /// `git describe --always --dirty` output, when available.
+    pub git: Option<String>,
+    /// Dataset specification (name, n, d, ...), as emitted by the run.
+    pub dataset: Json,
+    /// Run configuration (scale, algorithm parameters, executor config).
+    pub config: Json,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageRecord>,
+    /// Aggregate totals (e.g. the Eq. 1 time-breakdown components).
+    pub totals: Json,
+    /// Metrics-registry snapshot at run end.
+    pub metrics: Json,
+    /// Free-form extensions (per-figure series, speedups, notes).
+    pub extra: Vec<(String, Json)>,
+}
+
+impl RunArtifact {
+    /// An empty artifact for run `name` at the current schema version.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            name: name.into(),
+            git: None,
+            dataset: Json::Null,
+            config: Json::Null,
+            stages: Vec::new(),
+            totals: Json::Null,
+            metrics: Json::Null,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Appends a free-form extension section.
+    pub fn push_extra(&mut self, key: impl Into<String>, value: Json) {
+        self.extra.push((key.into(), value));
+    }
+
+    /// Total time across stages, in nanoseconds.
+    pub fn total_time_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.time_ns).sum()
+    }
+
+    /// Parses an artifact from JSON text (schema-checked).
+    pub fn from_json_text(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// Serializes to pretty JSON text (the `BENCH_<name>.json` format).
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+
+    /// Structural sanity checks beyond what [`FromJson`] enforces; used by
+    /// the CI validation step. Returns the list of problems (empty = ok).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.schema_version != SCHEMA_VERSION {
+            problems.push(format!(
+                "schema_version {} != supported {}",
+                self.schema_version, SCHEMA_VERSION
+            ));
+        }
+        if self.name.is_empty() {
+            problems.push("empty run name".to_string());
+        }
+        if self.stages.is_empty() {
+            problems.push("no stages recorded".to_string());
+        }
+        for s in &self.stages {
+            if s.name.is_empty() {
+                problems.push("stage with empty name".to_string());
+            }
+        }
+        if self.metrics.as_obj().is_none() {
+            problems.push("metrics section missing or not an object".to_string());
+        }
+        problems
+    }
+
+    /// Renders the per-stage breakdown as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let total = self.total_time_ns().max(1) as f64;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run {:?}  schema v{}  git {}",
+            self.name,
+            self.schema_version,
+            self.git.as_deref().unwrap_or("-")
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>7} {:>10} {:>14} {:>14}",
+            "stage", "time", "share", "calls", "ops", "bytes"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>6.1}% {:>10} {:>14} {:>14}",
+                s.name,
+                fmt_ns(s.time_ns),
+                100.0 * s.time_ns as f64 / total,
+                s.calls,
+                s.ops,
+                s.bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>7}",
+            "total",
+            fmt_ns(self.total_time_ns()),
+            "100.0%"
+        );
+        out
+    }
+
+    /// Renders a comparison of two artifacts with percentage deltas,
+    /// matching stages by name (`self` = baseline, `other` = candidate).
+    pub fn render_diff(&self, other: &RunArtifact) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "baseline  {:?} (git {})",
+            self.name,
+            self.git.as_deref().unwrap_or("-")
+        );
+        let _ = writeln!(
+            out,
+            "candidate {:?} (git {})",
+            other.name,
+            other.git.as_deref().unwrap_or("-")
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}",
+            "stage", "baseline", "candidate", "delta"
+        );
+        let mut names: Vec<&str> = self.stages.iter().map(|s| s.name.as_str()).collect();
+        for s in &other.stages {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        let lookup = |art: &'_ RunArtifact, name: &str| -> Option<u64> {
+            art.stages
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.time_ns)
+        };
+        for name in names {
+            let a = lookup(self, name);
+            let b = lookup(other, name);
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12} {:>12} {:>9}",
+                name,
+                a.map(fmt_ns).unwrap_or_else(|| "-".to_string()),
+                b.map(fmt_ns).unwrap_or_else(|| "-".to_string()),
+                fmt_delta(a, b)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}",
+            "total",
+            fmt_ns(self.total_time_ns()),
+            fmt_ns(other.total_time_ns()),
+            fmt_delta(Some(self.total_time_ns()), Some(other.total_time_ns()))
+        );
+        out
+    }
+}
+
+impl ToJson for RunArtifact {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("schema_version".to_string(), self.schema_version.to_json()),
+            ("name".to_string(), Json::Str(self.name.clone())),
+            (
+                "git".to_string(),
+                match &self.git {
+                    Some(g) => Json::Str(g.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("dataset".to_string(), self.dataset.clone()),
+            ("config".to_string(), self.config.clone()),
+            ("stages".to_string(), self.stages.to_json()),
+            ("totals".to_string(), self.totals.clone()),
+            ("metrics".to_string(), self.metrics.clone()),
+        ];
+        for (k, v) in &self.extra {
+            pairs.push((k.clone(), v.clone()));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FromJson for RunArtifact {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let schema_version = v
+            .require("schema_version")?
+            .as_u64()
+            .ok_or_else(|| JsonError::shape("schema_version must be a u64"))?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(JsonError::shape(format!(
+                "unsupported schema_version {schema_version} (supported: {SCHEMA_VERSION})"
+            )));
+        }
+        let name = v
+            .require("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("name must be a string"))?
+            .to_string();
+        let git = match v.require("git")? {
+            Json::Null => None,
+            g => Some(
+                g.as_str()
+                    .ok_or_else(|| JsonError::shape("git must be a string or null"))?
+                    .to_string(),
+            ),
+        };
+        let stages = v
+            .require("stages")?
+            .as_arr()
+            .ok_or_else(|| JsonError::shape("stages must be an array"))?
+            .iter()
+            .map(StageRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        const KNOWN: [&str; 8] = [
+            "schema_version",
+            "name",
+            "git",
+            "dataset",
+            "config",
+            "stages",
+            "totals",
+            "metrics",
+        ];
+        let extra = v
+            .as_obj()
+            .ok_or_else(|| JsonError::shape("artifact must be an object"))?
+            .iter()
+            .filter(|(k, _)| !KNOWN.contains(&k.as_str()))
+            .map(|(k, val)| (k.clone(), val.clone()))
+            .collect();
+        Ok(Self {
+            schema_version,
+            name,
+            git,
+            dataset: v.require("dataset")?.clone(),
+            config: v.require("config")?.clone(),
+            stages,
+            totals: v.require("totals")?.clone(),
+            metrics: v.require("metrics")?.clone(),
+            extra,
+        })
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn fmt_delta(a: Option<u64>, b: Option<u64>) -> String {
+    match (a, b) {
+        (Some(a), Some(b)) if a > 0 => {
+            format!("{:+.1}%", 100.0 * (b as f64 - a as f64) / a as f64)
+        }
+        _ => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifact {
+        let mut art = RunArtifact::new("fig13_knn");
+        art.git = Some("v0-43-gdeadbeef".to_string());
+        art.dataset = Json::obj([
+            ("name", Json::Str("rand".into())),
+            ("n", 4096u64.to_json()),
+            ("d", 128u64.to_json()),
+        ]);
+        art.config = Json::obj([("scale", Json::Num(0.01))]);
+        art.stages = vec![
+            StageRecord {
+                name: "filter".into(),
+                time_ns: 1_500_000,
+                calls: 10,
+                ops: 40_960,
+                bytes: 1 << 20,
+            },
+            StageRecord {
+                name: "refine".into(),
+                time_ns: 500_000,
+                calls: 10,
+                ops: 2_048,
+                bytes: 1 << 14,
+            },
+        ];
+        art.totals = Json::obj([("t_total_ns", 2_000_000u64.to_json())]);
+        art.metrics = Json::Obj(Vec::new());
+        art.push_extra("speedup", Json::Num(3.5));
+        art
+    }
+
+    #[test]
+    fn roundtrip_serialize_deserialize_equal() {
+        let art = sample();
+        let text = art.to_json_text();
+        let back = RunArtifact::from_json_text(&text).unwrap();
+        assert_eq!(back, art);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version() {
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs[0].1 = Json::Num(99.0);
+        }
+        let err = RunArtifact::from_json(&v).unwrap_err();
+        assert!(matches!(err, JsonError::Shape { .. }));
+    }
+
+    #[test]
+    fn validate_flags_problems() {
+        assert!(sample().validate().is_empty());
+        let mut bad = sample();
+        bad.stages.clear();
+        bad.metrics = Json::Null;
+        let problems = bad.validate();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn table_and_diff_render() {
+        let a = sample();
+        let mut b = sample();
+        b.stages[0].time_ns = 3_000_000; // filter 2x slower
+        b.stages.push(StageRecord {
+            name: "scrub".into(),
+            time_ns: 100,
+            ..StageRecord::default()
+        });
+        let table = a.render_table();
+        assert!(table.contains("filter"));
+        assert!(table.contains("75.0%"), "{table}");
+        let diff = a.render_diff(&b);
+        assert!(diff.contains("+100.0%"), "{diff}");
+        assert!(diff.contains("scrub"), "{diff}");
+        assert!(diff.contains("n/a"), "{diff}");
+    }
+
+    #[test]
+    fn extra_sections_survive_roundtrip() {
+        let art = sample();
+        let back = RunArtifact::from_json_text(&art.to_json_text()).unwrap();
+        assert_eq!(back.extra.len(), 1);
+        assert_eq!(back.extra[0].0, "speedup");
+    }
+}

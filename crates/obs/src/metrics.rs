@@ -1,0 +1,511 @@
+//! Process-wide metrics registry: counters, gauges, and log-linear
+//! histograms.
+//!
+//! Metric names follow the convention `simpim.<crate>.<stage>.<metric>`
+//! (e.g. `simpim.mining.knn.refinements`,
+//! `simpim.bounds.LB_FNN^16.pruned`). The registry is a single mutex-held
+//! `BTreeMap`, updated at per-query / per-batch granularity — cheap enough
+//! to stay on in release builds, which is why there is no disable switch.
+//!
+//! Histograms are log-linear (HDR-style): exact buckets for small values,
+//! then every power-of-two octave split into [`Histogram::SUBBUCKETS`]
+//! linear sub-buckets, giving ≤ 25% relative bucket width over the full
+//! `u64` range in a fixed 256-slot footprint.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::{Json, JsonError, ToJson};
+
+/// Sub-bucket resolution bits: each octave splits into `2^SUB_BITS`
+/// linear sub-buckets.
+const SUB_BITS: u32 = 2;
+/// Values below this are bucketed exactly (one bucket per value).
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1); // 8
+
+/// A fixed-footprint log-linear histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples (saturating).
+    pub sum: u64,
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Number of linear sub-buckets per octave.
+    pub const SUBBUCKETS: u64 = 1 << SUB_BITS;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < LINEAR_MAX {
+            return value as usize;
+        }
+        let major = 63 - value.leading_zeros(); // ≥ SUB_BITS + 1
+        let minor = (value >> (major - SUB_BITS)) & (Self::SUBBUCKETS - 1);
+        // Buckets 0..LINEAR_MAX are the exact values; octave `major`
+        // contributes SUBBUCKETS buckets starting at its base.
+        (LINEAR_MAX + (major - (SUB_BITS + 1)) as u64 * Self::SUBBUCKETS + minor) as usize
+    }
+
+    /// The smallest value mapping to bucket `i` (inclusive lower bound).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        let i = i as u64;
+        if i < LINEAR_MAX {
+            return i;
+        }
+        let rel = i - LINEAR_MAX;
+        let major = SUB_BITS as u64 + 1 + rel / Self::SUBBUCKETS;
+        let minor = rel % Self::SUBBUCKETS;
+        if major >= 64 {
+            // Past the last representable octave.
+            return u64::MAX;
+        }
+        (1u64 << major).saturating_add(minor << (major - SUB_BITS as u64))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q ∈ [0, 1]`): the lower bound of the bucket
+    /// containing the q-th sample, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Occupied buckets as `(lower_bound, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower_bound(i), c))
+            .collect()
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::Str("histogram".into())),
+            ("count", Json::Num(self.count as f64)),
+            ("sum", Json::Num(self.sum as f64)),
+            (
+                "min",
+                Json::Num(if self.count == 0 {
+                    0.0
+                } else {
+                    self.min as f64
+                }),
+            ),
+            ("max", Json::Num(self.max as f64)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, c)| Json::Arr(vec![Json::Num(lo as f64), Json::Num(c as f64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written value.
+    Gauge(f64),
+    /// Sample distribution.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// The counter value, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            Metric::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<f64> {
+        match self {
+            Metric::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram, if this is one.
+    pub fn as_histogram(&self) -> Option<&Histogram> {
+        match self {
+            Metric::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+impl ToJson for Metric {
+    fn to_json(&self) -> Json {
+        match self {
+            Metric::Counter(v) => Json::obj([
+                ("type", Json::Str("counter".into())),
+                ("value", Json::Num(*v as f64)),
+            ]),
+            Metric::Gauge(v) => Json::obj([
+                ("type", Json::Str("gauge".into())),
+                ("value", Json::Num(*v)),
+            ]),
+            Metric::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+    let mut guard = registry().lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+/// Adds `n` to the counter `name` (created at zero on first use). A name
+/// registered as a different kind is left untouched.
+pub fn counter_add(name: &str, n: u64) {
+    with_registry(|reg| {
+        if let Metric::Counter(v) = reg.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            *v += n;
+        }
+    });
+}
+
+/// Sets the gauge `name` to `v` (created on first use).
+pub fn gauge_set(name: &str, v: f64) {
+    with_registry(|reg| {
+        let slot = reg.entry(name.to_string()).or_insert(Metric::Gauge(v));
+        if let Metric::Gauge(g) = slot {
+            *g = v;
+        }
+    });
+}
+
+/// Records `v` into the histogram `name` (created on first use).
+pub fn histogram_record(name: &str, v: u64) {
+    with_registry(|reg| {
+        let slot = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()));
+        if let Metric::Histogram(h) = slot {
+            h.record(v);
+        }
+    });
+}
+
+/// Clears every metric.
+pub fn reset() {
+    with_registry(|reg| reg.clear());
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Name → metric, sorted by name.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+/// Copies the current registry contents.
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        metrics: with_registry(|reg| reg.clone()),
+    }
+}
+
+impl MetricsSnapshot {
+    /// The counter value under `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.get(name).and_then(Metric::as_counter)
+    }
+
+    /// The gauge value under `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).and_then(Metric::as_gauge)
+    }
+
+    /// The histogram under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.metrics.get(name).and_then(Metric::as_histogram)
+    }
+
+    /// Names matching a `prefix.*.suffix` pattern: returns the middle
+    /// segment of every metric named `<prefix><middle><suffix>`.
+    pub fn middles(&self, prefix: &str, suffix: &str) -> Vec<String> {
+        self.metrics
+            .keys()
+            .filter_map(|k| {
+                k.strip_prefix(prefix)
+                    .and_then(|rest| rest.strip_suffix(suffix))
+                    .filter(|mid| !mid.is_empty())
+                    .map(str::to_string)
+            })
+            .collect()
+    }
+}
+
+impl ToJson for MetricsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(k, m)| (k.clone(), m.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl crate::json::FromJson for MetricsSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let pairs = v
+            .as_obj()
+            .ok_or_else(|| JsonError::shape("metrics must be an object"))?;
+        let mut metrics = BTreeMap::new();
+        for (name, m) in pairs {
+            let kind = m
+                .require("type")?
+                .as_str()
+                .ok_or_else(|| JsonError::shape("metric type must be a string"))?;
+            let metric = match kind {
+                "counter" => Metric::Counter(
+                    m.require("value")?
+                        .as_u64()
+                        .ok_or_else(|| JsonError::shape("counter value"))?,
+                ),
+                "gauge" => Metric::Gauge(
+                    m.require("value")?
+                        .as_f64()
+                        .ok_or_else(|| JsonError::shape("gauge value"))?,
+                ),
+                "histogram" => {
+                    let mut h = Histogram::new();
+                    h.count = m.require("count")?.as_u64().unwrap_or(0);
+                    h.sum = m.require("sum")?.as_u64().unwrap_or(0);
+                    h.max = m.require("max")?.as_u64().unwrap_or(0);
+                    let min = m.require("min")?.as_u64().unwrap_or(0);
+                    h.min = if h.count == 0 { u64::MAX } else { min };
+                    for b in m.require("buckets")?.as_arr().unwrap_or(&[]) {
+                        let pair = b.as_arr().unwrap_or(&[]);
+                        if let (Some(lo), Some(c)) = (
+                            pair.first().and_then(Json::as_u64),
+                            pair.get(1).and_then(Json::as_u64),
+                        ) {
+                            let idx = Histogram::bucket_index(lo);
+                            if h.counts.len() <= idx {
+                                h.counts.resize(idx + 1, 0);
+                            }
+                            h.counts[idx] += c;
+                        }
+                    }
+                    Metric::Histogram(h)
+                }
+                other => return Err(JsonError::shape(format!("unknown metric type {other:?}"))),
+            };
+            metrics.insert(name.clone(), metric);
+        }
+        Ok(Self { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::FromJson;
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_consistent() {
+        // Every value maps into the bucket whose [lower, next-lower)
+        // range contains it.
+        for v in (0..200u64).chain([255, 256, 257, 1000, 1 << 20, (1 << 40) + 12345, u64::MAX]) {
+            let i = Histogram::bucket_index(v);
+            let lo = Histogram::bucket_lower_bound(i);
+            assert!(lo <= v, "lower bound {lo} > value {v}");
+            let next = Histogram::bucket_lower_bound(i + 1);
+            assert!(
+                v < next || i == Histogram::bucket_index(u64::MAX),
+                "value {v} ≥ next bucket lower bound {next}"
+            );
+        }
+        // Lower bounds strictly increase over the full valid range.
+        for i in 0..Histogram::bucket_index(u64::MAX) {
+            assert!(
+                Histogram::bucket_lower_bound(i) < Histogram::bucket_lower_bound(i + 1),
+                "bucket {i} not increasing"
+            );
+        }
+        // Exact buckets below LINEAR_MAX.
+        for v in 0..LINEAR_MAX {
+            assert_eq!(Histogram::bucket_lower_bound(Histogram::bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_bounded() {
+        // Log-linear with 4 sub-buckets: width/lower ≤ 1/4 beyond the
+        // linear region.
+        for i in (LINEAR_MAX as usize)..250 {
+            let lo = Histogram::bucket_lower_bound(i);
+            let hi = Histogram::bucket_lower_bound(i + 1);
+            assert!(
+                (hi - lo) as f64 / lo as f64 <= 0.25 + 1e-12,
+                "bucket {i}: [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count, 100);
+        assert_eq!(h.sum, 5050);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        let p50 = h.quantile(0.5);
+        // Bucket lower bounds: quantile is within one bucket width.
+        assert!((40..=50).contains(&p50), "p50 = {p50}");
+        assert_eq!(
+            h.quantile(1.0),
+            Histogram::bucket_lower_bound(Histogram::bucket_index(100)).clamp(h.min, h.max)
+        );
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for v in [0u64, 1, 7, 8, 100, 1 << 30] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [3u64, 1 << 20, u64::MAX] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let n = "simpim.test.registry.counter";
+        let g = "simpim.test.registry.gauge";
+        let h = "simpim.test.registry.hist";
+        counter_add(n, 2);
+        counter_add(n, 3);
+        gauge_set(g, 1.5);
+        gauge_set(g, 2.5);
+        histogram_record(h, 10);
+        histogram_record(h, 20);
+        let snap = snapshot();
+        assert_eq!(snap.counter(n), Some(5));
+        assert_eq!(snap.gauge(g), Some(2.5));
+        assert_eq!(snap.histogram(h).unwrap().count, 2);
+        assert_eq!(snap.counter(g), None, "kind accessors are typed");
+    }
+
+    #[test]
+    fn middles_extracts_stage_names() {
+        counter_add("simpim.test.mid.STAGE_A.seen", 1);
+        counter_add("simpim.test.mid.STAGE_B.seen", 1);
+        let snap = snapshot();
+        let mids = snap.middles("simpim.test.mid.", ".seen");
+        assert!(mids.contains(&"STAGE_A".to_string()));
+        assert!(mids.contains(&"STAGE_B".to_string()));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let ns = "simpim.test.roundtrip";
+        counter_add(&format!("{ns}.c"), 7);
+        gauge_set(&format!("{ns}.g"), 0.25);
+        histogram_record(&format!("{ns}.h"), 1234);
+        histogram_record(&format!("{ns}.h"), 5);
+        let snap = snapshot();
+        let text = snap.to_json().to_string();
+        let back = MetricsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.counter(&format!("{ns}.c")), Some(7));
+        assert_eq!(back.gauge(&format!("{ns}.g")), Some(0.25));
+        let h = back.histogram(&format!("{ns}.h")).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 5);
+    }
+}

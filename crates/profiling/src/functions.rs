@@ -85,7 +85,7 @@ impl FunctionProfiler {
                 (name.clone(), if total == 0.0 { 0.0 } else { t / total })
             })
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 
@@ -102,6 +102,32 @@ impl FunctionProfiler {
             e.counters.add(&rec.counters);
             e.calls += rec.calls;
         }
+    }
+
+    /// Iterates `(name, record)` pairs in name order (artifact assembly).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FunctionRecord)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl simpim_obs::ToJson for FunctionRecord {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("counters", self.counters.to_json()),
+            ("calls", self.calls.to_json()),
+        ])
+    }
+}
+
+impl simpim_obs::ToJson for FunctionProfiler {
+    fn to_json(&self) -> simpim_obs::Json {
+        simpim_obs::Json::Obj(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
     }
 }
 

@@ -310,7 +310,7 @@ impl PimArray {
         query: &[u32],
         acc: AccWidth,
     ) -> Result<(Vec<u64>, PimTiming), ReRamError> {
-        let faults_active = self.faults.map_or(false, |f| !f.is_inert());
+        let faults_active = self.faults.is_some_and(|f| !f.is_inert());
         if faults_active {
             if region.0 >= self.regions.len() {
                 return Err(ReRamError::NotProgrammed);
@@ -403,7 +403,7 @@ impl PimArray {
     }
 
     /// Strict-fidelity execution of one batch: materializes the region's
-    /// layout on real [`Crossbar`]s — operand packing, vertical slot
+    /// layout on real [`Crossbar`](crate::crossbar::Crossbar)s — operand packing, vertical slot
     /// stacking, chunking across data crossbars, and all-ones gather
     /// trees — and runs the full bit-sliced analog pipeline end to end.
     ///
@@ -677,13 +677,7 @@ impl PimArray {
                 let phys = reg.phys(local);
                 let v = reg.data[obj * reg.s + dim];
                 let worn = faults.worn_out(self.crossbar_programs(phys));
-                let v_eff = if worn {
-                    if v != 0 {
-                        faulty_cells += bits_needed(u64::from(v)).div_ceil(h) as u64;
-                    }
-                    health[local] = CrossbarHealth::Dead;
-                    0
-                } else if faults.dead_wordline(phys, row) {
+                let v_eff = if worn || faults.dead_wordline(phys, row) {
                     if v != 0 {
                         faulty_cells += bits_needed(u64::from(v)).div_ceil(h) as u64;
                     }

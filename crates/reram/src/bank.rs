@@ -122,9 +122,27 @@ impl ReRamBank {
         query: &[u32],
         acc: AccWidth,
     ) -> Result<DotBatchResult, ReRamError> {
+        let mut span = simpim_obs::span!("reram.bank.dot_batch", region = region.0 as u64);
         let (values, timing) = self.pim.dot_batch(region, query, acc)?;
         let result_bytes = values.len() as u64 * acc.bytes();
         self.buffer.stage(result_bytes);
+        // One registry touch per *batch*: dispatch count, gather-tree
+        // latency distribution, and buffer pressure.
+        simpim_obs::metrics::counter_add("simpim.reram.bank.dispatches", 1);
+        simpim_obs::metrics::counter_add("simpim.reram.bank.result_bytes", result_bytes);
+        simpim_obs::metrics::histogram_record(
+            "simpim.reram.bank.gather_ns",
+            timing.gather_ns as u64,
+        );
+        simpim_obs::metrics::gauge_set(
+            "simpim.reram.bank.buffer_high_water",
+            self.buffer.high_water() as f64,
+        );
+        span.record_all([
+            ("objects", values.len() as f64),
+            ("gather_ns", timing.gather_ns),
+            ("total_ns", timing.total_ns()),
+        ]);
         Ok(DotBatchResult {
             values,
             timing,

@@ -69,6 +69,20 @@ impl PimTiming {
     }
 }
 
+impl simpim_obs::ToJson for PimTiming {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("data_pass_ns", Json::Num(self.data_pass_ns)),
+            ("gather_ns", Json::Num(self.gather_ns)),
+            ("bus_ns", Json::Num(self.bus_ns)),
+            ("buffer_ns", Json::Num(self.buffer_ns)),
+            ("buffer_waves", Json::Num(self.buffer_waves as f64)),
+            ("total_ns", Json::Num(self.total_ns())),
+        ])
+    }
+}
+
 /// Computes the latency of one dot-product batch.
 ///
 /// * `cost` — the programmed layout (crossbar counts, grouping, slots).

@@ -76,6 +76,20 @@ impl TimeBreakdown {
     }
 }
 
+impl simpim_obs::ToJson for TimeBreakdown {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("tc_ns", Json::Num(self.tc_ns)),
+            ("tcache_ns", Json::Num(self.tcache_ns)),
+            ("talu_ns", Json::Num(self.talu_ns)),
+            ("tbr_ns", Json::Num(self.tbr_ns)),
+            ("tfe_ns", Json::Num(self.tfe_ns)),
+            ("total_ns", Json::Num(self.total_ns())),
+        ])
+    }
+}
+
 impl fmt::Display for TimeBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let fr = self.fractions();

@@ -118,6 +118,23 @@ impl OpCounters {
     }
 }
 
+impl simpim_obs::ToJson for OpCounters {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("arith", self.arith.to_json()),
+            ("mul", self.mul.to_json()),
+            ("div", self.div.to_json()),
+            ("sqrt", self.sqrt.to_json()),
+            ("cmp", self.cmp.to_json()),
+            ("branch", self.branch.to_json()),
+            ("bytes_streamed", self.bytes_streamed.to_json()),
+            ("random_fetches", self.random_fetches.to_json()),
+            ("bytes_written", self.bytes_written.to_json()),
+        ])
+    }
+}
+
 /// Deterministic counters for the PIM fault-tolerance machinery: how much
 /// detection, recovery and host-side fallback work a run incurred.
 ///
@@ -161,6 +178,21 @@ impl FaultCounters {
     /// True when no fault, recovery or fallback event was recorded.
     pub fn is_clean(&self) -> bool {
         *self == Self::default()
+    }
+}
+
+impl simpim_obs::ToJson for FaultCounters {
+    fn to_json(&self) -> simpim_obs::Json {
+        use simpim_obs::Json;
+        Json::obj([
+            ("scrubs", self.scrubs.to_json()),
+            ("faults_detected", self.faults_detected.to_json()),
+            ("adc_retries", self.adc_retries.to_json()),
+            ("remapped_crossbars", self.remapped_crossbars.to_json()),
+            ("quarantined_rows", self.quarantined_rows.to_json()),
+            ("fallback_refinements", self.fallback_refinements.to_json()),
+            ("guarded_bounds", self.guarded_bounds.to_json()),
+        ])
     }
 }
 

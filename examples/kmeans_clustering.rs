@@ -43,7 +43,7 @@ fn main() {
         &simpim::similarity::Dataset,
         &KmeansConfig,
         Option<&mut PimAssist<'_>>,
-    ) -> Result<KmeansResult, simpim::core::CoreError>;
+    ) -> Result<KmeansResult, simpim::mining::MiningError>;
     let algos: [(&str, Algo); 4] = [
         ("Standard", kmeans_lloyd as Algo),
         ("Elkan", kmeans_elkan as Algo),

@@ -44,7 +44,8 @@ fn main() {
     stages.push(&pim);
 
     // Fig. 15: per-bound pruning ratio and transfer cost.
-    let ratios = PruningProfile::measure(&stages, &data, &queries, k, Measure::EuclideanSq);
+    let ratios = PruningProfile::measure(&stages, &data, &queries, k, Measure::EuclideanSq)
+        .expect("matching bound directions");
     println!("\n{:<18} {:>10} {:>12}", "bound", "Pr(B)", "bytes/object");
     for (s, r) in stages.iter().zip(&ratios) {
         println!(
@@ -82,7 +83,9 @@ fn main() {
     );
 
     // Measured-conditional search (what reproduces Fig. 16's outcome).
-    let measured = planner.best_plan_measured(&stages, &data, &queries, k, Measure::EuclideanSq);
+    let measured = planner
+        .best_plan_measured(&stages, &data, &queries, k, Measure::EuclideanSq)
+        .expect("valid planner inputs");
     println!("measured-conditional plan:        {:?}", measured.names);
     println!(
         "  estimated transfer: {:.2} MB/query",

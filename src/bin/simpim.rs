@@ -293,13 +293,41 @@ fn cmd_outliers(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one run artifact as a per-stage table, or diffs two.
+fn cmd_report(paths: &[String]) -> Result<(), String> {
+    let load = |p: &String| -> Result<simpim::obs::RunArtifact, String> {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("reading artifact {p:?}: {e}"))?;
+        let artifact = simpim::obs::RunArtifact::from_json_text(&text)
+            .map_err(|e| format!("parsing artifact {p:?}: {e}"))?;
+        let problems = artifact.validate();
+        if !problems.is_empty() {
+            return Err(format!("invalid artifact {p:?}: {}", problems.join("; ")));
+        }
+        Ok(artifact)
+    };
+    match paths {
+        [a] => {
+            print!("{}", load(a)?.render_table());
+            Ok(())
+        }
+        [a, b] => {
+            print!("{}", load(a)?.render_diff(&load(b)?));
+            Ok(())
+        }
+        _ => Err("usage: simpim report <a.json> [<b.json>]".to_string()),
+    }
+}
+
 const USAGE: &str =
-    "usage: simpim <info|knn|kmeans|dbscan|outliers> --data <file.csv|file.fvecs> [options]
+    "usage: simpim <info|knn|kmeans|dbscan|outliers|report> --data <file.csv|file.fvecs> [options]
   info      --data F
   knn       --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
   kmeans    --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
   dbscan    --data F [--eps 0.2] [--min-pts 5] [--pim]
-  outliers  --data F [--k 5] [--m 10] [--pim]";
+  outliers  --data F [--k 5] [--m 10] [--pim]
+  report    <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
+  any mining command also takes --trace (writes span journal to simpim_trace.jsonl)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -307,13 +335,40 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
-        "info" => cmd_info(&args),
-        "knn" => cmd_knn(&args),
-        "kmeans" => cmd_kmeans(&args),
-        "dbscan" => cmd_dbscan(&args),
-        "outliers" => cmd_outliers(&args),
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    if cmd == "report" {
+        // Positional file paths, not --flag pairs.
+        return match cmd_report(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let result = Args::parse(rest).and_then(|args| {
+        let tracing = args.switch("trace");
+        if tracing {
+            simpim::obs::trace::enable(1 << 16);
+        }
+        let out = match cmd.as_str() {
+            "info" => cmd_info(&args),
+            "knn" => cmd_knn(&args),
+            "kmeans" => cmd_kmeans(&args),
+            "dbscan" => cmd_dbscan(&args),
+            "outliers" => cmd_outliers(&args),
+            other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        };
+        if tracing {
+            let spans = simpim::obs::trace::snapshot().len();
+            let dropped = simpim::obs::trace::dropped();
+            let path = "simpim_trace.jsonl";
+            match std::fs::write(path, simpim::obs::trace::dump_jsonl()) {
+                Ok(()) => eprintln!("trace: {spans} spans ({dropped} dropped) -> {path}"),
+                Err(e) => eprintln!("trace: could not write {path}: {e}"),
+            }
+            simpim::obs::trace::disable();
+        }
+        out
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,

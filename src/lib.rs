@@ -21,6 +21,8 @@
 //!   PIM-oracle estimation.
 //! * [`datasets`] — seeded synthetic workloads mirroring the paper's eight
 //!   datasets and its LSH binary codes.
+//! * [`obs`] — span tracing, the metrics registry and schema-versioned run
+//!   artifacts (see DESIGN.md §8).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -28,6 +30,7 @@ pub use simpim_bounds as bounds;
 pub use simpim_core as core;
 pub use simpim_datasets as datasets;
 pub use simpim_mining as mining;
+pub use simpim_obs as obs;
 pub use simpim_profiling as profiling;
 pub use simpim_reram as reram;
 pub use simpim_similarity as similarity;

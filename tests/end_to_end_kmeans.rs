@@ -2,7 +2,6 @@
 //! architectures) must produce identical clusterings from identical seeds.
 
 use simpim::core::executor::{ExecutorConfig, PimExecutor};
-use simpim::core::CoreError;
 use simpim::datasets::{generate, SyntheticConfig};
 use simpim::mining::kmeans::drake::kmeans_drake;
 use simpim::mining::kmeans::elkan::kmeans_elkan;
@@ -13,8 +12,11 @@ use simpim::mining::kmeans::{KmeansConfig, KmeansResult};
 use simpim::similarity::{Dataset, NormalizedDataset};
 use simpim::simkit::HostParams;
 
-type Algo =
-    fn(&Dataset, &KmeansConfig, Option<&mut PimAssist<'_>>) -> Result<KmeansResult, CoreError>;
+type Algo = fn(
+    &Dataset,
+    &KmeansConfig,
+    Option<&mut PimAssist<'_>>,
+) -> Result<KmeansResult, simpim::mining::MiningError>;
 
 const ALGOS: [(&str, Algo); 4] = [
     ("Standard", kmeans_lloyd as Algo),

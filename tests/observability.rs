@@ -1,0 +1,220 @@
+//! Observability invariants across the stack (DESIGN.md §8): histogram
+//! bucketing, span nesting, counter-delta correctness, artifact
+//! round-trips, and — most importantly — that instrumentation never
+//! changes a mining result.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+use simpim::datasets::{generate, SyntheticConfig};
+use simpim::mining::knn::algorithms::fnn_cascade;
+use simpim::mining::knn::cascade::knn_cascade;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::obs::{Histogram, Json, RunArtifact, StageRecord, ToJson};
+use simpim::similarity::Measure;
+
+/// Tracing enable/disable is process-global; tests that toggle it must
+/// not interleave.
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn histogram_bucket_boundaries_are_log_linear() {
+    // Values below the linear cutoff land in their own exact buckets.
+    for v in 0..8u64 {
+        assert_eq!(Histogram::bucket_lower_bound(Histogram::bucket_index(v)), v);
+    }
+    // Lower bounds are monotonically non-decreasing and every value sits
+    // inside [lower_bound(i), lower_bound(i + 1)).
+    let mut prev = 0;
+    for i in 0..200 {
+        let lb = Histogram::bucket_lower_bound(i);
+        assert!(lb >= prev, "bucket {i} lower bound went backwards");
+        prev = lb;
+    }
+    for v in [8u64, 9, 100, 1_000, 65_537, u64::MAX / 2, u64::MAX] {
+        let i = Histogram::bucket_index(v);
+        assert!(Histogram::bucket_lower_bound(i) <= v);
+        if Histogram::bucket_lower_bound(i + 1) != u64::MAX {
+            assert!(v < Histogram::bucket_lower_bound(i + 1));
+        }
+    }
+    // Relative error of the log-linear approximation stays within one
+    // sub-bucket (25% for SUB_BITS = 2).
+    for v in [10u64, 123, 9_999, 1 << 40] {
+        let lb = Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+        assert!((v - lb) as f64 / v as f64 <= 0.25 + 1e-12);
+    }
+}
+
+#[test]
+fn histogram_merge_is_count_preserving() {
+    let mut a = Histogram::new();
+    let mut b = Histogram::new();
+    for v in [1u64, 5, 9, 200, 7_000] {
+        a.record(v);
+    }
+    for v in [0u64, 3, 1_000_000] {
+        b.record(v);
+    }
+    let (count_a, count_b) = (a.count, b.count);
+    let sum = a.sum + b.sum;
+    a.merge(&b);
+    assert_eq!(a.count, count_a + count_b);
+    assert_eq!(a.sum, sum);
+    // Merged per-bucket counts must equal the union of the inputs.
+    let total: u64 = a.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+    assert_eq!(total, a.count);
+}
+
+#[test]
+fn spans_nest_and_order_under_real_mining() {
+    let _gate = TRACE_GATE.lock().unwrap();
+    let ds = generate(&SyntheticConfig {
+        n: 200,
+        d: 32,
+        clusters: 4,
+        cluster_std: 0.05,
+        stat_uniformity: 0.1,
+        seed: 42,
+    });
+    let cascade = fnn_cascade(&ds).expect("valid split");
+    let q = ds.row(0).to_vec();
+
+    simpim::obs::trace::enable(4096);
+    simpim::obs::trace::clear();
+    let _ = knn_cascade(&ds, &cascade, &q, 5, Measure::EuclideanSq).expect("float measure");
+    let spans = simpim::obs::trace::drain();
+    simpim::obs::trace::disable();
+
+    let root = spans
+        .iter()
+        .find(|s| s.name == "mining.knn.cascade")
+        .expect("query span recorded");
+    assert_eq!(root.depth, 0);
+    assert!(root.end_ns >= root.start_ns);
+    let filter = spans
+        .iter()
+        .find(|s| s.name == "mining.knn.filter")
+        .expect("filter span recorded");
+    assert_eq!(filter.parent, Some(root.id), "filter nests under query");
+    assert_eq!(filter.depth, 1);
+    let refine = spans
+        .iter()
+        .find(|s| s.name == "mining.knn.refine")
+        .expect("refine span recorded");
+    assert_eq!(refine.parent, Some(root.id));
+    assert!(
+        filter.start_ns <= refine.start_ns,
+        "filter opens before refine"
+    );
+    // Ids are journal-ordered.
+    for w in spans.windows(2) {
+        assert!(w[0].id < w[1].id);
+    }
+    // The query span carries its open-time attributes.
+    assert!(root.attrs.iter().any(|(k, v)| k == "k" && *v == 5.0));
+}
+
+#[test]
+fn counter_deltas_match_work_done() {
+    let ds = generate(&SyntheticConfig {
+        n: 150,
+        d: 16,
+        clusters: 3,
+        cluster_std: 0.05,
+        stat_uniformity: 0.1,
+        seed: 9,
+    });
+    let cascade = fnn_cascade(&ds).expect("valid split");
+    let q = ds.row(1).to_vec();
+
+    let name = |stage: &str, suffix: &str| format!("simpim.bounds.{stage}.{suffix}");
+    let stage0 = cascade.names()[0].clone();
+    let before = simpim::obs::metrics::snapshot();
+    let seen0 = before.counter(&name(&stage0, "seen")).unwrap_or(0);
+    let queries = 3usize;
+    for _ in 0..queries {
+        let _ = knn_cascade(&ds, &cascade, &q, 5, Measure::EuclideanSq).expect("float measure");
+    }
+    let after = simpim::obs::metrics::snapshot();
+    // The first cascade stage sees every object, once per query.
+    assert_eq!(
+        after.counter(&name(&stage0, "seen")).unwrap_or(0) - seen0,
+        (ds.len() * queries) as u64,
+        "first-stage seen counter must advance by N per query"
+    );
+    // Pruned never exceeds seen (per-delta).
+    let pruned0 = after.counter(&name(&stage0, "pruned")).unwrap_or(0)
+        - before.counter(&name(&stage0, "pruned")).unwrap_or(0);
+    assert!(pruned0 <= (ds.len() * queries) as u64);
+}
+
+#[test]
+fn artifact_round_trips_through_json() {
+    let mut a = RunArtifact::new("roundtrip");
+    a.git = Some("abc1234-dirty".into());
+    a.dataset = Json::obj([("name", Json::Str("MSD".into())), ("n", Json::Num(992.0))]);
+    a.config = Json::obj([("scale", Json::Num(0.01))]);
+    a.stages.push(StageRecord {
+        name: "knn/ED".into(),
+        time_ns: 123_456,
+        calls: 5,
+        ops: 42,
+        bytes: 1 << 20,
+    });
+    a.totals = Json::obj([("stage_time_ns", Json::Num(123_456.0))]);
+    let mut h = Histogram::new();
+    h.record(7);
+    h.record(1_000);
+    a.metrics = Json::obj([("simpim.test.h", h.to_json())]);
+    a.push_extra("note", Json::Str("integration".into()));
+
+    let text = a.to_json_text();
+    let back = RunArtifact::from_json_text(&text).expect("parse back");
+    assert_eq!(back, a);
+    assert!(back.validate().is_empty());
+    // A doctored schema version is flagged.
+    let mut wrong = back.clone();
+    wrong.schema_version += 1;
+    assert!(!wrong.validate().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Instrumentation must be observation-only: the exact same neighbors
+    // come back with tracing enabled and disabled.
+    #[test]
+    fn tracing_never_changes_mining_results(seed in 0u64..1_000, k in 1usize..8) {
+        let _gate = TRACE_GATE.lock().unwrap();
+        let ds = generate(&SyntheticConfig {
+            n: 120,
+            d: 24,
+            clusters: 4,
+            cluster_std: 0.05,
+            stat_uniformity: 0.1,
+            seed,
+        });
+        let cascade = fnn_cascade(&ds).expect("valid split");
+        let q = ds.row(seed as usize % ds.len()).to_vec();
+
+        simpim::obs::trace::disable();
+        let off_cascade = knn_cascade(&ds, &cascade, &q, k, Measure::EuclideanSq)
+            .expect("float measure");
+        let off_standard = knn_standard(&ds, &q, k, Measure::EuclideanSq)
+            .expect("float measure");
+
+        simpim::obs::trace::enable(1 << 14);
+        let on_cascade = knn_cascade(&ds, &cascade, &q, k, Measure::EuclideanSq)
+            .expect("float measure");
+        let on_standard = knn_standard(&ds, &q, k, Measure::EuclideanSq)
+            .expect("float measure");
+        simpim::obs::trace::disable();
+        simpim::obs::trace::clear();
+
+        prop_assert_eq!(off_cascade.neighbors, on_cascade.neighbors);
+        prop_assert_eq!(&off_standard.neighbors, &on_standard.neighbors);
+        // And the cascade agrees with the exhaustive scan on indices.
+        prop_assert_eq!(off_standard.indices(), on_cascade.indices());
+    }
+}

@@ -14,14 +14,9 @@ use std::time::{Duration, Instant};
 const TARGET_TIME: Duration = Duration::from_millis(200);
 const MIN_ITERS: u64 = 10;
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { _private: () }
-    }
 }
 
 impl Criterion {

@@ -217,7 +217,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Anything usable as the size argument of [`vec`].
+        /// Anything usable as the size argument of [`vec()`].
         pub trait IntoSizeRange {
             /// `(min, max)` inclusive.
             fn bounds(&self) -> (usize, usize);
