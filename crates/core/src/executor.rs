@@ -222,7 +222,7 @@ impl PimExecutor {
             &cfg.pim,
         )?;
         if plan.uncompressed {
-            Self::prepare_ed_uncompressed(cfg, data, plan)
+            Self::prepare_ed_uncompressed(cfg, data, plan, ds.len())
         } else {
             // Compressed: prefer the two-region µ/σ bound; fall back to
             // the single-region mean-only bound if even the µ/σ pair at
@@ -234,8 +234,45 @@ impl PimExecutor {
                 cfg.operand_bits,
                 &cfg.pim,
             ) {
-                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan),
-                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan),
+                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan, ds.len()),
+                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan, ds.len()),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Like [`PimExecutor::prepare_euclidean`], but sizes every region for
+    /// `data.len() + spare` objects so rows can be appended online with
+    /// [`PimExecutor::append_row`] — no reprogramming, only the spare rows
+    /// take wear. Theorem 4 plans for the full capacity, so the chosen `s`
+    /// stays valid for the lifetime of the residency.
+    pub fn prepare_euclidean_resident(
+        cfg: ExecutorConfig,
+        data: &NormalizedDataset,
+        spare: usize,
+    ) -> Result<Self, CoreError> {
+        let ds = data.dataset();
+        let capacity = ds.len() + spare;
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        let plan = choose_dimensionality(
+            capacity,
+            ds.dim(),
+            buffer_factor,
+            cfg.operand_bits,
+            &cfg.pim,
+        )?;
+        if plan.uncompressed {
+            Self::prepare_ed_uncompressed(cfg, data, plan, capacity)
+        } else {
+            match choose_dimensionality(
+                capacity,
+                ds.dim(),
+                2 * buffer_factor,
+                cfg.operand_bits,
+                &cfg.pim,
+            ) {
+                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan, capacity),
+                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan, capacity),
                 Err(e) => Err(e),
             }
         }
@@ -281,13 +318,14 @@ impl PimExecutor {
             cost_per_region: cost,
             regions: buffer_factor,
         };
-        Self::prepare_sm_at(cfg, data, plan)
+        Self::prepare_sm_at(cfg, data, plan, ds.len())
     }
 
     fn prepare_sm_at(
         cfg: ExecutorConfig,
         data: &NormalizedDataset,
         plan: MemoryPlan,
+        capacity: usize,
     ) -> Result<Self, CoreError> {
         let ds = data.dataset();
         let quantizer = Quantizer::identity(cfg.alpha)?;
@@ -303,8 +341,9 @@ impl PimExecutor {
             mu_floors.extend_from_slice(&sq.mu_floors);
             phis.push(sq.phi);
         }
-        let rep = bank.program_region(&mu_floors, n, d_prime, cfg.operand_bits)?;
-        let phi_bytes = n as u64 * 8;
+        let rep =
+            bank.program_region_with_capacity(&mu_floors, n, capacity, d_prime, cfg.operand_bits)?;
+        let phi_bytes = capacity as u64 * 8;
         bank.memory_mut().store(phi_bytes)?;
         let report = PrepareReport {
             plan: Some(plan),
@@ -367,13 +406,14 @@ impl PimExecutor {
             cost_per_region: cost,
             regions: 2 * buffer_factor,
         };
-        Self::prepare_fnn_at(cfg, data, plan)
+        Self::prepare_fnn_at(cfg, data, plan, ds.len())
     }
 
     fn prepare_ed_uncompressed(
         cfg: ExecutorConfig,
         data: &NormalizedDataset,
         plan: MemoryPlan,
+        capacity: usize,
     ) -> Result<Self, CoreError> {
         let ds = data.dataset();
         let quantizer = Quantizer::identity(cfg.alpha)?;
@@ -387,8 +427,8 @@ impl PimExecutor {
             floors.extend_from_slice(&eq.floors);
             phis.push(eq.phi);
         }
-        let rep = bank.program_region(&floors, n, d, cfg.operand_bits)?;
-        let phi_bytes = n as u64 * 8;
+        let rep = bank.program_region_with_capacity(&floors, n, capacity, d, cfg.operand_bits)?;
+        let phi_bytes = capacity as u64 * 8;
         bank.memory_mut().store(phi_bytes)?;
         let report = PrepareReport {
             plan: Some(plan),
@@ -415,6 +455,7 @@ impl PimExecutor {
         cfg: ExecutorConfig,
         data: &NormalizedDataset,
         plan: MemoryPlan,
+        capacity: usize,
     ) -> Result<Self, CoreError> {
         let ds = data.dataset();
         let quantizer = Quantizer::identity(cfg.alpha)?;
@@ -432,9 +473,16 @@ impl PimExecutor {
             sigma_floors.extend_from_slice(&fq.sigma_floors);
             phis.push(fq.phi);
         }
-        let rep_mu = bank.program_region(&mu_floors, n, d_prime, cfg.operand_bits)?;
-        let rep_sigma = bank.program_region(&sigma_floors, n, d_prime, cfg.operand_bits)?;
-        let phi_bytes = n as u64 * 8;
+        let rep_mu =
+            bank.program_region_with_capacity(&mu_floors, n, capacity, d_prime, cfg.operand_bits)?;
+        let rep_sigma = bank.program_region_with_capacity(
+            &sigma_floors,
+            n,
+            capacity,
+            d_prime,
+            cfg.operand_bits,
+        )?;
+        let phi_bytes = capacity as u64 * 8;
         bank.memory_mut().store(phi_bytes)?;
         let report = PrepareReport {
             plan: Some(plan),
@@ -1012,6 +1060,126 @@ impl PimExecutor {
         }
     }
 
+    /// Runs [`PimExecutor::lb_ed_batch`] for a coalesced batch of queries
+    /// against the resident regions — the serving layer's one-pass-per-shard
+    /// entry point. The dataset stays programmed across the whole batch, so
+    /// the per-query cost is a crossbar read pass only; the offline path's
+    /// program cost is amortized across every query the residency serves.
+    pub fn lb_ed_batch_multi(
+        &mut self,
+        queries: &[Vec<f64>],
+    ) -> Result<Vec<BoundBatch>, CoreError> {
+        let mut span = simpim_obs::span!(
+            "core.executor.lb_ed_batch_multi",
+            queries = queries.len() as u64
+        );
+        let mut out = Vec::with_capacity(queries.len());
+        for q in queries {
+            out.push(self.lb_ed_batch(q)?);
+        }
+        simpim_obs::metrics::histogram_record(
+            "simpim.core.executor.coalesced_queries",
+            queries.len() as u64,
+        );
+        span.record_all([("batches", out.len() as f64)]);
+        Ok(out)
+    }
+
+    /// Appends one normalized row into the resident regions' spare slots
+    /// and returns its object index. Only the touched crossbars take
+    /// program wear; existing rows are never rewritten. Valid for the
+    /// `Ed`, `Fnn` and `Sm` shapes (the ones
+    /// [`PimExecutor::prepare_euclidean_resident`] produces).
+    pub fn append_row(&mut self, row: &[f64]) -> Result<usize, CoreError> {
+        let idx = match &self.prepared {
+            PreparedFunction::Ed { region, d, .. } => {
+                if row.len() != *d {
+                    return Err(CoreError::Mismatch {
+                        what: "row dimensionality",
+                    });
+                }
+                let region = *region;
+                let eq = EdQuant::from_quantized(self.quantizer.quantize_vec(row)?);
+                self.bank.append_rows(region, &eq.floors)?;
+                let PreparedFunction::Ed { phis, .. } = &mut self.prepared else {
+                    unreachable!()
+                };
+                phis.push(eq.phi);
+                phis.len() - 1
+            }
+            PreparedFunction::Fnn {
+                mu_region,
+                sigma_region,
+                d_prime,
+                segment_len,
+                ..
+            } => {
+                if row.len() != d_prime * segment_len {
+                    return Err(CoreError::Mismatch {
+                        what: "row dimensionality",
+                    });
+                }
+                let (mu_region, sigma_region, d_prime) = (*mu_region, *sigma_region, *d_prime);
+                let fq = FnnQuant::compute(row, d_prime, self.cfg.alpha)?;
+                self.bank.append_rows(mu_region, &fq.mu_floors)?;
+                self.bank.append_rows(sigma_region, &fq.sigma_floors)?;
+                let PreparedFunction::Fnn { phis, .. } = &mut self.prepared else {
+                    unreachable!()
+                };
+                phis.push(fq.phi);
+                phis.len() - 1
+            }
+            PreparedFunction::Sm {
+                mu_region,
+                d_prime,
+                segment_len,
+                ..
+            } => {
+                if row.len() != d_prime * segment_len {
+                    return Err(CoreError::Mismatch {
+                        what: "row dimensionality",
+                    });
+                }
+                let (mu_region, d_prime) = (*mu_region, *d_prime);
+                let sq = crate::pim_bounds::SmQuant::compute(row, d_prime, self.cfg.alpha)?;
+                self.bank.append_rows(mu_region, &sq.mu_floors)?;
+                let PreparedFunction::Sm { phis, .. } = &mut self.prepared else {
+                    unreachable!()
+                };
+                phis.push(sq.phi);
+                phis.len() - 1
+            }
+            _ => {
+                return Err(CoreError::Mismatch {
+                    what: "executor shape does not support appends",
+                })
+            }
+        };
+        // Appending invalidates the lazy fault survey; re-scrub now so the
+        // next batch's per-object health lookups stay available.
+        if self.cfg.faults.is_some() {
+            self.scrub_and_remap()?;
+        }
+        simpim_obs::metrics::counter_add("simpim.core.executor.appends", 1);
+        Ok(idx)
+    }
+
+    /// Spare object slots left across the resident regions (the minimum
+    /// over regions — an append consumes one slot in each).
+    pub fn spare_capacity(&self) -> Result<usize, CoreError> {
+        let mut spare = usize::MAX;
+        for region in self.regions() {
+            spare = spare.min(self.bank.region_spare(region)?);
+        }
+        Ok(spare)
+    }
+
+    /// Number of objects currently resident (initial rows + appends).
+    pub fn resident_len(&self) -> Result<usize, CoreError> {
+        let (n, _, _) = self.bank.pim().region_shape(self.regions()[0])?;
+        Ok(n)
+    }
+
     /// Upper bounds of the prepared similarity (CS or PCC) between every
     /// object and `query`. Valid for the `Dot` shape.
     pub fn ub_sim_batch(&mut self, query: &[f64]) -> Result<BoundBatch, CoreError> {
@@ -1553,6 +1721,123 @@ mod tests {
             err,
             CoreError::ReRam(simpim_reram::ReRamError::AdcRetryExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn resident_append_matches_offline_prepare() {
+        // Prepare the first two rows with one spare slot, append the third
+        // row online: bounds must be bit-identical to preparing all three
+        // rows offline (same quantization, same per-object combine).
+        let all = sample_data();
+        let first_two = normalized(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+        ]);
+        let mut offline = PimExecutor::prepare_euclidean(cfg(4096), &all).unwrap();
+        let mut resident =
+            PimExecutor::prepare_euclidean_resident(cfg(4096), &first_two, 1).unwrap();
+        assert_eq!(resident.spare_capacity().unwrap(), 1);
+        let wear_before = resident.bank().pim().total_cell_writes();
+        let idx = resident
+            .append_row(&[0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4])
+            .unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(resident.resident_len().unwrap(), 3);
+        assert_eq!(resident.spare_capacity().unwrap(), 0);
+        assert!(resident.bank().pim().total_cell_writes() > wear_before);
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let a = offline.lb_ed_batch(&q).unwrap();
+        let b = resident.lb_ed_batch(&q).unwrap();
+        assert_eq!(a.values, b.values);
+        // Exhausted spares reject further appends.
+        assert!(resident.append_row(&[0.5; 8]).is_err());
+        // Wrong dimensionality is rejected before any mutation.
+        assert!(matches!(
+            resident.append_row(&[0.5; 4]),
+            Err(CoreError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn resident_append_works_on_compressed_shapes() {
+        // Capacity pressure forces the FNN (or SM) shape; appends must
+        // still land and the bounds stay valid lower bounds.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f64 / 96.0)
+                    .collect()
+            })
+            .collect();
+        let data = normalized(&rows);
+        let mut exec = PimExecutor::prepare_euclidean_resident(cfg(8), &data, 4).unwrap();
+        assert!(!exec.bound_name().starts_with("LB_PIM-ED"));
+        let extra: Vec<f64> = (0..8).map(|j| (j as f64) / 7.0).collect();
+        let idx = exec.append_row(&extra).unwrap();
+        assert_eq!(idx, 60);
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let batch = exec.lb_ed_batch(&q).unwrap();
+        assert_eq!(batch.values.len(), 61);
+        let ed = euclidean_sq(&extra, &q);
+        assert!(batch.values[60] <= ed + 1e-9);
+    }
+
+    #[test]
+    fn multi_batch_matches_sequential_queries() {
+        let data = sample_data();
+        let queries: Vec<Vec<f64>> = vec![
+            vec![0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45],
+            vec![0.5; 8],
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        ];
+        let mut a = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let mut b = PimExecutor::prepare_euclidean(cfg(4096), &data).unwrap();
+        let multi = a.lb_ed_batch_multi(&queries).unwrap();
+        for (q, m) in queries.iter().zip(&multi) {
+            assert_eq!(b.lb_ed_batch(q).unwrap().values, m.values);
+        }
+    }
+
+    #[test]
+    fn resident_append_stays_exact_under_faults() {
+        let first_two = normalized(&[
+            vec![0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4, 0.6],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5],
+        ]);
+        let q = [0.4, 0.3, 0.9, 0.1, 0.6, 0.2, 0.55, 0.45];
+        let mut clean = PimExecutor::prepare_euclidean_resident(cfg(4096), &first_two, 1).unwrap();
+        clean
+            .append_row(&[0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4])
+            .unwrap();
+        let expected = clean.lb_ed_batch(&q).unwrap().values;
+        for seed in 0..4u64 {
+            let mut c = cfg(4096);
+            c.faults = Some(FaultConfig {
+                dead_bitline_rate: 0.05,
+                seed,
+                ..Default::default()
+            });
+            let mut exec = PimExecutor::prepare_euclidean_resident(c, &first_two, 1).unwrap();
+            exec.append_row(&[0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4])
+                .unwrap();
+            // The post-append scrub keeps health lookups available, so the
+            // batch neither errors nor silently degrades.
+            let batch = exec.lb_ed_batch(&q).unwrap();
+            for (i, (&got, &want)) in batch.values.iter().zip(&expected).enumerate() {
+                let ed = euclidean_sq(
+                    if i < 2 {
+                        first_two.dataset().row(i)
+                    } else {
+                        &[0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4]
+                    },
+                    &q,
+                );
+                assert!(got <= ed + 1e-9, "seed={seed} i={i}");
+                // Remap (clean spares abound at 4096 crossbars) keeps the
+                // values bit-identical to the fault-free run.
+                assert_eq!(got, want, "seed={seed} i={i}");
+            }
+        }
     }
 
     #[test]

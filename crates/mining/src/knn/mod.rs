@@ -4,6 +4,7 @@ pub mod algorithms;
 pub mod cascade;
 pub mod hamming;
 pub mod pim;
+pub mod resident;
 pub mod standard;
 
 use simpim_similarity::{measures, Measure};
@@ -33,14 +34,20 @@ impl KnnResult {
 /// the small `k` of kNN (1–100) beats a binary heap and keeps deterministic
 /// tie-breaking (by index).
 #[derive(Debug, Clone)]
-pub(crate) struct TopK {
+pub struct TopK {
     entries: Vec<(usize, f64)>, // sorted best-first
     k: usize,
     smaller_is_closer: bool,
 }
 
 impl TopK {
-    pub(crate) fn new(k: usize, smaller_is_closer: bool) -> Self {
+    /// An empty pool of capacity `k`. `smaller_is_closer` selects the
+    /// direction: `true` for distances (ED, HD), `false` for similarities
+    /// (CS, PCC).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, smaller_is_closer: bool) -> Self {
         assert!(k >= 1, "k must be at least 1");
         Self {
             entries: Vec::with_capacity(k + 1),
@@ -62,7 +69,7 @@ impl TopK {
     }
 
     /// Offers a candidate; returns `true` when it entered the pool.
-    pub(crate) fn offer(&mut self, idx: usize, value: f64) -> bool {
+    pub fn offer(&mut self, idx: usize, value: f64) -> bool {
         if self.entries.len() == self.k {
             let (wi, wv) = *self.entries.last().expect("non-empty at k");
             if !self.better(value, idx, wv, wi) {
@@ -81,7 +88,7 @@ impl TopK {
 
     /// Current pruning threshold: the k-th best value (or the worst
     /// possible value while the pool is underfull).
-    pub(crate) fn threshold(&self) -> f64 {
+    pub fn threshold(&self) -> f64 {
         if self.entries.len() < self.k {
             if self.smaller_is_closer {
                 f64::INFINITY
@@ -94,7 +101,7 @@ impl TopK {
     }
 
     /// `true` when a bound value proves an object cannot enter the pool.
-    pub(crate) fn prunable(&self, bound: f64) -> bool {
+    pub fn prunable(&self, bound: f64) -> bool {
         if self.smaller_is_closer {
             bound > self.threshold()
         } else {
@@ -102,7 +109,8 @@ impl TopK {
         }
     }
 
-    pub(crate) fn into_sorted(self) -> Vec<(usize, f64)> {
+    /// The pool's `(index, value)` pairs, best first.
+    pub fn into_sorted(self) -> Vec<(usize, f64)> {
         self.entries
     }
 }
@@ -112,7 +120,7 @@ impl TopK {
 /// CS/PCC run the dot kernel plus the precomputed-statistics combination.
 /// Hamming distance is defined on binary codes, not float rows, and yields
 /// [`MiningError::UnsupportedMeasure`].
-pub(crate) fn exact_eval(
+pub fn exact_eval(
     measure: Measure,
     p: &[f64],
     q: &[f64],

@@ -44,6 +44,10 @@ pub struct ProgramReport {
 struct Region {
     data: Vec<u32>,
     n: usize,
+    /// Objects the allocation was sized for (`>= n`); rows `n..capacity`
+    /// are spare — allocated but never programmed — and are filled by
+    /// [`PimArray::append_rows`] without reprogramming the region.
+    capacity: usize,
     s: usize,
     operand_bits: u32,
     cost: CrossbarCost,
@@ -202,7 +206,23 @@ impl PimArray {
         s: usize,
         operand_bits: u32,
     ) -> Result<ProgramReport, ReRamError> {
-        if n == 0 || s == 0 || flat.len() != n * s {
+        self.program_region_with_capacity(flat, n, n, s, operand_bits)
+    }
+
+    /// Like [`PimArray::program_region`] but allocates crossbars for
+    /// `capacity >= n` objects while programming only the first `n`. The
+    /// spare rows cost crossbar budget up front but no programming pulses;
+    /// [`PimArray::append_rows`] fills them online. This is what keeps a
+    /// *resident* dataset mutable without a full re-program per insert.
+    pub fn program_region_with_capacity(
+        &mut self,
+        flat: &[u32],
+        n: usize,
+        capacity: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        if n == 0 || s == 0 || flat.len() != n * s || capacity < n {
             return Err(ReRamError::InvalidConfig {
                 what: "region shape does not match buffer",
             });
@@ -221,7 +241,7 @@ impl PimArray {
                 bits: operand_bits,
             });
         }
-        let cost = dataset_crossbar_cost(n, s, operand_bits, &self.cfg.crossbar)?;
+        let cost = dataset_crossbar_cost(capacity, s, operand_bits, &self.cfg.crossbar)?;
         if cost.total() > self.free_crossbars() {
             return Err(ReRamError::InsufficientCapacity {
                 required: cost.total(),
@@ -259,6 +279,7 @@ impl PimArray {
         self.regions.push(Region {
             data: flat.to_vec(),
             n,
+            capacity,
             s,
             operand_bits,
             cost,
@@ -296,6 +317,102 @@ impl PimArray {
             .get(region.0)
             .map(|r| (r.n, r.s, r.operand_bits))
             .ok_or(ReRamError::NotProgrammed)
+    }
+
+    /// Objects the region's allocation can hold (`>= n`); the difference
+    /// to [`PimArray::region_shape`]'s `n` is the remaining spare rows.
+    pub fn region_capacity(&self, region: RegionId) -> Result<usize, ReRamError> {
+        self.regions
+            .get(region.0)
+            .map(|r| r.capacity)
+            .ok_or(ReRamError::NotProgrammed)
+    }
+
+    /// Programs `flat` (row-major, `k × s`) into a region's spare rows,
+    /// extending it from `n` to `n + k` objects without touching the
+    /// already-programmed matrix. Wears only the crossbars that physically
+    /// hold the new rows. Fails with
+    /// [`ReRamError::InsufficientCapacity`] (in spare *rows*) when the
+    /// region was not allocated enough capacity, and invalidates the
+    /// region's fault survey — the next scrub or faulty read re-surveys.
+    pub fn append_rows(
+        &mut self,
+        region: RegionId,
+        flat: &[u32],
+    ) -> Result<ProgramReport, ReRamError> {
+        let ri = region.0;
+        let reg = self.regions.get(ri).ok_or(ReRamError::NotProgrammed)?;
+        let s = reg.s;
+        let operand_bits = reg.operand_bits;
+        if flat.is_empty() || !flat.len().is_multiple_of(s) {
+            return Err(ReRamError::InvalidConfig {
+                what: "appended buffer must be a non-empty multiple of s",
+            });
+        }
+        let k = flat.len() / s;
+        let spare = reg.capacity - reg.n;
+        if k > spare {
+            return Err(ReRamError::InsufficientCapacity {
+                required: k,
+                available: spare,
+            });
+        }
+        if let Some(&v) = flat
+            .iter()
+            .find(|&&v| operand_bits < 32 && u64::from(v) >= (1u64 << operand_bits))
+        {
+            return Err(ReRamError::OperandOverflow {
+                value: u64::from(v),
+                bits: operand_bits,
+            });
+        }
+
+        // One program cycle of wear on each crossbar a new row lands on
+        // (appends never rewrite programmed cells, so wear is confined to
+        // the touched spare rows' crossbars).
+        let m = self.cfg.crossbar.size;
+        let w = self.cfg.crossbar.cells_per_operand(operand_bits);
+        let mut touched: Vec<usize> = Vec::new();
+        {
+            let reg = &self.regions[ri];
+            for obj in reg.n..reg.n + k {
+                for dim in (0..s).step_by(m.max(1)) {
+                    let (local, _, _) = Self::locate(reg, m, w, obj, dim);
+                    touched.push(reg.phys(local));
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for phys in touched {
+            if self.xb_programs.len() <= phys {
+                self.xb_programs.resize(phys + 1, 0);
+            }
+            self.xb_programs[phys] += 1;
+        }
+
+        let cell_writes = (k as u64) * (s as u64) * w as u64;
+        let rows_written = (k as u64) * (s as u64);
+        let program_ns = program_timing_ns(&self.cfg, rows_written);
+        let mut energy = EnergyReport::default();
+        energy.charge_writes(&self.energy_model, cell_writes, self.cfg.crossbar.cell_bits);
+        self.energy.add(&energy);
+        self.total_cell_writes += cell_writes;
+
+        let reg = &mut self.regions[ri];
+        reg.data.extend_from_slice(flat);
+        reg.n += k;
+        let cost = reg.cost;
+        // The survey's per-object tables are sized by `n`; recompute lazily.
+        self.fault_info[ri] = None;
+        Ok(ProgramReport {
+            region,
+            cost,
+            cell_writes,
+            rows_written,
+            program_ns,
+            energy_j: energy.total_j(),
+        })
     }
 
     /// Executes one dot-product batch: multiplies every programmed vector of
@@ -1059,6 +1176,104 @@ mod tests {
             num_crossbars: 64,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn capacity_region_appends_rows_online() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        // 2 programmed objects, room for 4 more, s = 3.
+        let rep = pim
+            .program_region_with_capacity(&[1, 2, 3, 4, 5, 6], 2, 6, 3, 4)
+            .unwrap();
+        assert_eq!(pim.region_shape(rep.region).unwrap().0, 2);
+        assert_eq!(pim.region_capacity(rep.region).unwrap(), 6);
+        let writes_before = pim.total_cell_writes();
+
+        let app = pim.append_rows(rep.region, &[7, 8, 9]).unwrap();
+        assert_eq!(app.rows_written, 3);
+        assert!(pim.total_cell_writes() > writes_before);
+        assert_eq!(pim.region_shape(rep.region).unwrap().0, 3);
+        let (values, _) = pim
+            .dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(values, vec![6, 15, 24]);
+        assert_eq!(pim.region_row(rep.region, 2).unwrap(), &[7, 8, 9]);
+
+        // Remaining spare is 3 rows: a 4-row append must be rejected
+        // without mutating anything.
+        assert!(matches!(
+            pim.append_rows(rep.region, &[1; 12]),
+            Err(ReRamError::InsufficientCapacity {
+                required: 4,
+                available: 3
+            })
+        ));
+        // Operand overflow (4-bit operands) is caught before any write.
+        assert!(matches!(
+            pim.append_rows(rep.region, &[16, 0, 0]),
+            Err(ReRamError::OperandOverflow { .. })
+        ));
+        assert_eq!(pim.region_shape(rep.region).unwrap().0, 3);
+
+        // Fill to capacity, then the region is full.
+        pim.append_rows(rep.region, &[1, 0, 0, 0, 1, 0, 0, 0, 1])
+            .unwrap();
+        assert!(pim.append_rows(rep.region, &[1, 1, 1]).is_err());
+        let (values, _) = pim
+            .dot_batch(rep.region, &[2, 3, 4], AccWidth::U64)
+            .unwrap();
+        assert_eq!(values.len(), 6);
+        assert_eq!(&values[3..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn append_wears_only_touched_crossbars() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        // s = 8 = m, 4-bit operands → group_size = ⌊8·2/4⌋ = 4 objects per
+        // crossbar; capacity 8 = 2 data crossbars.
+        let flat: Vec<u32> = (0..8).collect();
+        let rep = pim.program_region_with_capacity(&flat, 1, 8, 8, 4).unwrap();
+        let base = rep.cost;
+        assert!(base.total() >= 2);
+        let p0 = pim.crossbar_programs(0);
+        let p1 = pim.crossbar_programs(1);
+        // Objects 1..3 land in crossbar 0's remaining slots.
+        pim.append_rows(rep.region, &flat).unwrap();
+        assert_eq!(pim.crossbar_programs(0), p0 + 1);
+        assert_eq!(pim.crossbar_programs(1), p1);
+        // Objects 2 and 3 stay in crossbar 0; object 4 opens the second
+        // group → crossbar 1 takes its first append wear.
+        pim.append_rows(rep.region, &flat).unwrap();
+        pim.append_rows(rep.region, &flat).unwrap();
+        pim.append_rows(rep.region, &flat).unwrap();
+        assert_eq!(pim.crossbar_programs(0), p0 + 3);
+        assert_eq!(pim.crossbar_programs(1), p1 + 1);
+    }
+
+    #[test]
+    fn appended_rows_survive_fault_survey() {
+        let mut pim = PimArray::new(small_cfg()).unwrap();
+        let rep = pim
+            .program_region_with_capacity(&[1, 2, 3, 4, 5, 6], 2, 4, 3, 4)
+            .unwrap();
+        pim.enable_faults(FaultConfig::default()).unwrap();
+        pim.scrub_region(rep.region).unwrap();
+        assert_eq!(
+            pim.object_health(rep.region, 1).unwrap(),
+            CrossbarHealth::Healthy
+        );
+        // Appending invalidates the survey; health queries demand a fresh
+        // scrub, and the new object is then covered.
+        pim.append_rows(rep.region, &[7, 8, 9]).unwrap();
+        assert!(matches!(
+            pim.object_health(rep.region, 2),
+            Err(ReRamError::NotScrubbed)
+        ));
+        pim.scrub_region(rep.region).unwrap();
+        assert_eq!(
+            pim.object_health(rep.region, 2).unwrap(),
+            CrossbarHealth::Healthy
+        );
     }
 
     #[test]

@@ -114,6 +114,40 @@ impl ReRamBank {
         self.pim.program_region(flat, n, s, operand_bits)
     }
 
+    /// Programs a region sized for `capacity` objects while storing only
+    /// the first `n` (online residency). See
+    /// [`PimArray::program_region_with_capacity`].
+    pub fn program_region_with_capacity(
+        &mut self,
+        flat: &[u32],
+        n: usize,
+        capacity: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        self.pim
+            .program_region_with_capacity(flat, n, capacity, s, operand_bits)
+    }
+
+    /// Appends objects into a region's spare rows (online insert). See
+    /// [`PimArray::append_rows`].
+    pub fn append_rows(
+        &mut self,
+        region: RegionId,
+        flat: &[u32],
+    ) -> Result<ProgramReport, ReRamError> {
+        let rep = self.pim.append_rows(region, flat)?;
+        simpim_obs::metrics::counter_add("simpim.reram.bank.appends", 1);
+        Ok(rep)
+    }
+
+    /// Spare object slots still unprogrammed in a region. See
+    /// [`PimArray::region_capacity`] and [`PimArray::region_shape`].
+    pub fn region_spare(&self, region: RegionId) -> Result<usize, ReRamError> {
+        let (n, _, _) = self.pim.region_shape(region)?;
+        Ok(self.pim.region_capacity(region)? - n)
+    }
+
     /// Issues one dot-product batch and stages the results in the buffer
     /// array.
     pub fn dot_batch(
@@ -188,6 +222,21 @@ mod tests {
         let mut bank = ReRamBank::new(cfg()).unwrap();
         bank.memory_mut().store(1024).unwrap();
         assert_eq!(bank.memory().used(), 1024);
+    }
+
+    #[test]
+    fn capacity_and_append_round_trip() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        let rep = bank
+            .program_region_with_capacity(&[1, 2, 3, 4, 5, 6], 2, 4, 3, 4)
+            .unwrap();
+        assert_eq!(bank.region_spare(rep.region).unwrap(), 2);
+        bank.append_rows(rep.region, &[7, 8, 9]).unwrap();
+        assert_eq!(bank.region_spare(rep.region).unwrap(), 1);
+        let out = bank
+            .dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(out.values, vec![6, 15, 24]);
     }
 
     #[test]

@@ -1,0 +1,677 @@
+//! The serving engine: a bounded submission queue in front of a
+//! single scheduler thread that owns the shards.
+//!
+//! Batch lifecycle: clients enqueue commands onto a bounded
+//! `sync_channel` (a full queue rejects with
+//! [`ServeError::Overloaded`] — admission control). The scheduler
+//! dequeues one command; if it is a query it greedily drains up to
+//! `max_batch − 1` further *consecutive* queries without blocking,
+//! forming one coalesced batch. Mutations act as batch barriers:
+//! commands are always applied in arrival order, so a query sees
+//! exactly the inserts and deletes that preceded it. The batch then
+//! fans out across the shards — one scoped thread per shard, each
+//! running the coalesced PIM pass + per-query refinement over its own
+//! bank — and the per-shard partial top-k pools merge into each
+//! query's exact global answer (see `mining::knn::resident` for the
+//! exactness argument).
+
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use simpim_core::executor::ExecutorConfig;
+use simpim_mining::knn::resident::merge_neighbors;
+use simpim_similarity::Dataset;
+
+use crate::error::ServeError;
+use crate::shard::{Shard, ShardConfig, ShardStats};
+use crate::Neighbor;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of shards (banks) the dataset is partitioned across.
+    pub shards: usize,
+    /// Maximum queries coalesced into one scheduling batch (`Q`).
+    pub max_batch: usize,
+    /// Bounded submission-queue depth; a full queue sheds with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Spare object slots per shard for online appends.
+    pub spare_rows: usize,
+    /// Base tombstone ratio that triggers a compacting reprogram.
+    pub tombstone_reprogram_ratio: f64,
+    /// Program cycles after which the reprogram threshold has doubled.
+    pub reprogram_wear_budget: u32,
+    /// Executor (platform + quantization) configuration per shard.
+    pub executor: ExecutorConfig,
+    /// Deadline applied by [`ServeEngine::knn`] / [`ServeEngine::knn_batch`].
+    pub default_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            max_batch: 8,
+            queue_depth: 64,
+            spare_rows: 16,
+            tombstone_reprogram_ratio: 0.25,
+            reprogram_wear_budget: 1_000,
+            executor: ExecutorConfig::default(),
+            default_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            executor: self.executor,
+            spare_rows: self.spare_rows,
+            tombstone_reprogram_ratio: self.tombstone_reprogram_ratio,
+            reprogram_wear_budget: self.reprogram_wear_budget,
+        }
+    }
+}
+
+/// Point-in-time engine statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardStats>,
+    /// Live objects across all shards.
+    pub live: usize,
+    /// Queries answered (successfully or shed) since open.
+    pub queries: u64,
+    /// Scheduling batches formed since open.
+    pub batches: u64,
+    /// Inserts applied since open.
+    pub inserts: u64,
+    /// Deletes applied since open (including misses).
+    pub deletes: u64,
+    /// Queries rejected because their deadline expired in the queue.
+    pub timeouts: u64,
+}
+
+struct QueryReq {
+    query: Vec<f64>,
+    k: usize,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Vec<Neighbor>, ServeError>>,
+}
+
+enum Cmd {
+    Query(QueryReq),
+    Insert {
+        row: Vec<f64>,
+        reply: mpsc::Sender<Result<usize, ServeError>>,
+    },
+    Delete {
+        id: usize,
+        reply: mpsc::Sender<Result<bool, ServeError>>,
+    },
+    Flush {
+        reply: mpsc::Sender<Result<(), ServeError>>,
+    },
+    Stats {
+        reply: mpsc::Sender<EngineStats>,
+    },
+}
+
+/// A multi-threaded kNN serving engine over resident ReRAM shards.
+///
+/// Results are bit-identical to the offline [`simpim_mining::knn`]
+/// variants on the same live rows: the PIM bounds are provably valid
+/// (guard-banded under drift, host-exact under quarantine), refinement is
+/// exact `f64` arithmetic, and the per-shard top-k merge is order
+/// independent.
+pub struct ServeEngine {
+    tx: Option<SyncSender<Cmd>>,
+    handle: Option<JoinHandle<()>>,
+    dim: usize,
+    default_timeout: Duration,
+}
+
+impl ServeEngine {
+    /// Opens an engine over `data` (values normalized into `[0, 1]`),
+    /// partitioning the rows contiguously across `cfg.shards` banks.
+    /// Row `i` of `data` keeps `i` as its stable global id; inserts are
+    /// assigned fresh ids counting up from `data.len()`.
+    pub fn open(cfg: ServeConfig, data: &Dataset) -> Result<Self, ServeError> {
+        if cfg.shards == 0 || cfg.max_batch == 0 || cfg.queue_depth == 0 {
+            return Err(ServeError::InvalidArgument {
+                what: "shards, max_batch and queue_depth must be non-zero".to_string(),
+            });
+        }
+        if data.is_empty() || data.len() < cfg.shards {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "need at least one row per shard ({} rows, {} shards)",
+                    data.len(),
+                    cfg.shards
+                ),
+            });
+        }
+        if data.as_flat().iter().any(|v| !(0.0..=1.0).contains(v)) {
+            return Err(ServeError::InvalidArgument {
+                what: "dataset values must be normalized into [0, 1]".to_string(),
+            });
+        }
+        let span = simpim_obs::span!(
+            "serve.engine.open",
+            n = data.len() as u64,
+            shards = cfg.shards as u64
+        );
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let chunk = data.len().div_ceil(cfg.shards);
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + chunk).min(data.len());
+            let rows = Dataset::from_rows(
+                &(start..end)
+                    .map(|i| data.row(i).to_vec())
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(simpim_core::CoreError::from)?;
+            shards.push(Shard::open(
+                cfg.shard_config(),
+                rows,
+                (start..end).collect(),
+            )?);
+            start = end;
+        }
+        drop(span);
+        let dim = data.dim();
+        let next_id = data.len();
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
+        let handle = thread::Builder::new()
+            .name("simpim-serve-scheduler".to_string())
+            .spawn(move || Scheduler::new(shards, cfg, next_id).run(rx))
+            .expect("spawn scheduler thread");
+        Ok(Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            dim,
+            default_timeout: cfg.default_timeout,
+        })
+    }
+
+    fn tx(&self) -> &SyncSender<Cmd> {
+        self.tx.as_ref().expect("engine open")
+    }
+
+    fn validate_query(&self, query: &[f64], k: usize) -> Result<(), ServeError> {
+        if query.len() != self.dim {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "query has {} dimensions, engine serves {}",
+                    query.len(),
+                    self.dim
+                ),
+            });
+        }
+        if k == 0 {
+            return Err(ServeError::InvalidArgument {
+                what: "k must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Exact kNN under squared ED with the default deadline. Subject to
+    /// admission control: a full queue returns
+    /// [`ServeError::Overloaded`] immediately instead of blocking.
+    pub fn knn(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        self.knn_deadline(query, k, self.default_timeout)
+    }
+
+    /// [`ServeEngine::knn`] with an explicit deadline: if the query is
+    /// still queued when it expires, it is dropped with
+    /// [`ServeError::DeadlineExpired`] instead of occupying a batch slot.
+    pub fn knn_deadline(
+        &self,
+        query: &[f64],
+        k: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Neighbor>, ServeError> {
+        self.validate_query(query, k)?;
+        let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
+        let req = Cmd::Query(QueryReq {
+            query: query.to_vec(),
+            k,
+            deadline: now + timeout,
+            enqueued: now,
+            reply,
+        });
+        match self.tx().try_send(req) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                simpim_obs::metrics::counter_add("simpim.serve.overloaded", 1);
+                return Err(ServeError::Overloaded);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Closed),
+        }
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Submits a whole batch of queries and waits for every answer.
+    /// Unlike [`ServeEngine::knn`] this blocks for queue space instead of
+    /// shedding — it is the closed-loop client's entry point, so results
+    /// come back for every query, in order.
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, ServeError> {
+        for q in queries {
+            self.validate_query(q, k)?;
+        }
+        let mut pending = Vec::with_capacity(queries.len());
+        for q in queries {
+            let (reply, rx) = mpsc::channel();
+            let now = Instant::now();
+            let req = Cmd::Query(QueryReq {
+                query: q.clone(),
+                k,
+                deadline: now + self.default_timeout,
+                enqueued: now,
+                reply,
+            });
+            self.tx().send(req).map_err(|_| ServeError::Closed)?;
+            pending.push(rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServeError::Closed)?)
+            .collect()
+    }
+
+    /// Inserts a normalized row, returning its assigned global id.
+    pub fn insert(&self, row: &[f64]) -> Result<usize, ServeError> {
+        if row.len() != self.dim {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "row has {} dimensions, engine serves {}",
+                    row.len(),
+                    self.dim
+                ),
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::Insert {
+                row: row.to_vec(),
+                reply,
+            })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Deletes a global id; returns whether it was present.
+    pub fn delete(&self, id: usize) -> Result<bool, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::Delete { id, reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Forces every shard's pending compaction onto the crossbars.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::Flush { reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> Result<EngineStats, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::Stats { reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Closing the channel ends the scheduler loop; join so shard
+        // state (and its bank simulation) tears down before the process
+        // moves on.
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Scheduler {
+    shards: Vec<Shard>,
+    cfg: ServeConfig,
+    next_id: usize,
+    queries: u64,
+    batches: u64,
+    inserts: u64,
+    deletes: u64,
+    timeouts: u64,
+}
+
+impl Scheduler {
+    fn new(shards: Vec<Shard>, cfg: ServeConfig, next_id: usize) -> Self {
+        Self {
+            shards,
+            cfg,
+            next_id,
+            queries: 0,
+            batches: 0,
+            inserts: 0,
+            deletes: 0,
+            timeouts: 0,
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Cmd>) {
+        loop {
+            let cmd = match rx.recv() {
+                Ok(c) => c,
+                Err(_) => break, // all senders dropped: shut down
+            };
+            let mut deferred = None;
+            match cmd {
+                Cmd::Query(first) => {
+                    let mut batch = vec![first];
+                    // Greedy, non-blocking coalesce of consecutive
+                    // queries. The first non-query command defers until
+                    // the batch completes — arrival order is preserved.
+                    while batch.len() < self.cfg.max_batch {
+                        match rx.try_recv() {
+                            Ok(Cmd::Query(q)) => batch.push(q),
+                            Ok(other) => {
+                                deferred = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    simpim_obs::metrics::gauge_set("simpim.serve.queue_depth", batch.len() as f64);
+                    self.process_queries(batch);
+                }
+                other => deferred = Some(other),
+            }
+            if let Some(cmd) = deferred {
+                self.process_mutation(cmd);
+            }
+        }
+    }
+
+    fn process_queries(&mut self, batch: Vec<QueryReq>) {
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|q| q.deadline >= now);
+        for q in expired {
+            self.timeouts += 1;
+            simpim_obs::metrics::counter_add("simpim.serve.timeouts", 1);
+            let _ = q.reply.send(Err(ServeError::DeadlineExpired));
+        }
+        if live.is_empty() {
+            return;
+        }
+        self.batches += 1;
+        self.queries += live.len() as u64;
+        simpim_obs::metrics::counter_add("simpim.serve.queries", live.len() as u64);
+        simpim_obs::metrics::histogram_record("simpim.serve.batch_size", live.len() as u64);
+        let mut span = simpim_obs::span!("serve.engine.batch", queries = live.len() as u64);
+
+        let queries: Vec<Vec<f64>> = live.iter().map(|q| q.query.clone()).collect();
+        let ks: Vec<usize> = live.iter().map(|q| q.k).collect();
+        let queries_ref = &queries;
+        let ks_ref = &ks;
+        // One scoped thread per shard: each runs the coalesced PIM pass
+        // on its own bank, concurrently.
+        let shard_results: Vec<Vec<Result<Vec<Neighbor>, ServeError>>> = thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| s.spawn(move || shard.query_batch(queries_ref, ks_ref)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        for (qi, req) in live.into_iter().enumerate() {
+            let mut parts = Vec::with_capacity(shard_results.len());
+            let mut failure = None;
+            for per_shard in &shard_results {
+                match &per_shard[qi] {
+                    Ok(neighbors) => parts.push(neighbors.clone()),
+                    Err(e) => failure = Some(e.clone()),
+                }
+            }
+            let answer = match failure {
+                Some(e) => Err(e),
+                None => Ok(merge_neighbors(&parts, req.k, true)),
+            };
+            simpim_obs::metrics::histogram_record(
+                "simpim.serve.latency_ns",
+                req.enqueued.elapsed().as_nanos() as u64,
+            );
+            let _ = req.reply.send(answer);
+        }
+        span.record("shards", self.shards.len() as f64);
+    }
+
+    fn process_mutation(&mut self, cmd: Cmd) {
+        match cmd {
+            Cmd::Query(_) => unreachable!("queries are batched in run()"),
+            Cmd::Insert { row, reply } => {
+                let id = self.next_id;
+                let shard = id % self.shards.len();
+                let out = self.shards[shard].insert(id, &row).map(|()| {
+                    self.next_id += 1;
+                    self.inserts += 1;
+                    simpim_obs::metrics::counter_add("simpim.serve.inserts", 1);
+                    id
+                });
+                let _ = reply.send(out);
+            }
+            Cmd::Delete { id, reply } => {
+                let mut out = Ok(false);
+                for shard in &mut self.shards {
+                    match shard.delete(id) {
+                        Ok(true) => {
+                            out = Ok(true);
+                            break;
+                        }
+                        Ok(false) => {}
+                        Err(e) => {
+                            out = Err(e);
+                            break;
+                        }
+                    }
+                }
+                self.deletes += 1;
+                simpim_obs::metrics::counter_add("simpim.serve.deletes", 1);
+                let _ = reply.send(out);
+            }
+            Cmd::Flush { reply } => {
+                let mut out = Ok(());
+                for shard in &mut self.shards {
+                    if let Err(e) = shard.flush() {
+                        out = Err(e);
+                        break;
+                    }
+                }
+                let _ = reply.send(out);
+            }
+            Cmd::Stats { reply } => {
+                let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.stats()).collect();
+                let stats = EngineStats {
+                    live: shards.iter().map(|s| s.live).sum(),
+                    shards,
+                    queries: self.queries,
+                    batches: self.batches,
+                    inserts: self.inserts,
+                    deletes: self.deletes,
+                    timeouts: self.timeouts,
+                };
+                let _ = reply.send(stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_mining::knn::standard::knn_standard;
+    use simpim_reram::{CrossbarConfig, PimConfig};
+    use simpim_similarity::Measure;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            max_batch: 4,
+            queue_depth: 32,
+            spare_rows: 4,
+            executor: ExecutorConfig {
+                pim: PimConfig {
+                    crossbar: CrossbarConfig {
+                        size: 16,
+                        adc_bits: 12,
+                        ..Default::default()
+                    },
+                    num_crossbars: 4096,
+                    ..Default::default()
+                },
+                alpha: 1e6,
+                operand_bits: 32,
+                double_buffer: false,
+                parallel_regions: true,
+                faults: None,
+                scrub_interval: 0,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn data() -> Dataset {
+        Dataset::from_rows(
+            &(0..12)
+                .map(|i| {
+                    (0..4)
+                        .map(|j| ((i * 7 + j * 13) % 97) as f64 / 96.0)
+                        .collect()
+                })
+                .collect::<Vec<Vec<f64>>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn knn_matches_offline_scan() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let q = vec![0.4, 0.3, 0.9, 0.1];
+        let truth = knn_standard(&ds, &q, 3, Measure::EuclideanSq).unwrap();
+        let got = engine.knn(&q, 3).unwrap();
+        assert_eq!(got, truth.neighbors);
+    }
+
+    #[test]
+    fn knn_batch_matches_offline_per_query() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let queries: Vec<Vec<f64>> = vec![
+            vec![0.4, 0.3, 0.9, 0.1],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.1, 0.2, 0.3, 0.4],
+        ];
+        let got = engine.knn_batch(&queries, 2).unwrap();
+        for (q, res) in queries.iter().zip(&got) {
+            let truth = knn_standard(&ds, q, 2, Measure::EuclideanSq).unwrap();
+            assert_eq!(*res, truth.neighbors);
+        }
+        let stats = engine.stats().unwrap();
+        assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn inserts_and_deletes_are_visible_to_later_queries() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let row = vec![0.11, 0.22, 0.33, 0.44];
+        let id = engine.insert(&row).unwrap();
+        assert_eq!(id, 12);
+        let got = engine.knn(&row, 1).unwrap();
+        assert_eq!(got[0].0, id);
+        assert!(engine.delete(id).unwrap());
+        let got = engine.knn(&row, 1).unwrap();
+        assert_ne!(got[0].0, id);
+        assert!(!engine.delete(id).unwrap());
+        let stats = engine.stats().unwrap();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.live, 12);
+    }
+
+    #[test]
+    fn flush_compacts_all_shards() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        engine.delete(0).unwrap();
+        engine.delete(7).unwrap();
+        engine.flush().unwrap();
+        let stats = engine.stats().unwrap();
+        assert_eq!(stats.shards.iter().map(|s| s.tombstones).sum::<usize>(), 0);
+        assert_eq!(stats.live, 10);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected_without_contacting_shards() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        assert!(matches!(
+            engine.knn(&[0.5; 3], 1),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            engine.knn(&[0.5; 4], 0),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            engine.insert(&[0.5; 3]),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_not_served() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let out = engine.knn_deadline(&[0.5; 4], 1, Duration::from_nanos(0));
+        // A zero deadline either expires in the queue or races a fast
+        // dequeue; anything else (Overloaded, Closed, ...) is a bug.
+        assert!(matches!(out, Err(ServeError::DeadlineExpired) | Ok(_)));
+    }
+
+    #[test]
+    fn open_rejects_bad_configs() {
+        let ds = data();
+        let mut c = small_cfg();
+        c.shards = 0;
+        assert!(ServeEngine::open(c, &ds).is_err());
+        let mut c = small_cfg();
+        c.shards = 13; // more shards than rows
+        assert!(ServeEngine::open(c, &ds).is_err());
+        let bad = Dataset::from_rows(&[vec![1.5, 0.5]]).unwrap();
+        assert!(matches!(
+            ServeEngine::open(small_cfg(), &bad),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+    }
+}

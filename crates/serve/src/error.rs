@@ -1,0 +1,81 @@
+//! Error type of the serving engine.
+
+use std::error::Error;
+use std::fmt;
+
+use simpim_core::CoreError;
+use simpim_mining::MiningError;
+
+/// Errors surfaced by the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is full — admission control rejected
+    /// the request. Back off and retry.
+    Overloaded,
+    /// The request's deadline expired while it waited in the queue.
+    DeadlineExpired,
+    /// The engine has shut down (its scheduler thread exited).
+    Closed,
+    /// A caller-supplied argument is out of range — wrong dimensionality,
+    /// non-normalized values, `k == 0`.
+    InvalidArgument {
+        /// What was wrong.
+        what: String,
+    },
+    /// A PIM execution failure that could not be shed to the host path.
+    Core(CoreError),
+    /// A refinement failure (measure/operand mismatch).
+    Mining(MiningError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded => write!(
+                f,
+                "submission queue full: request shed by admission control"
+            ),
+            Self::DeadlineExpired => write!(f, "deadline expired before the query was scheduled"),
+            Self::Closed => write!(f, "serving engine is shut down"),
+            Self::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Self::Core(e) => write!(f, "PIM execution failed: {e}"),
+            Self::Mining(e) => write!(f, "refinement failed: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            Self::Mining(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<MiningError> for ServeError {
+    fn from(e: MiningError) -> Self {
+        Self::Mining(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServeError::Overloaded.to_string().contains("queue full"));
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+        let e = ServeError::from(CoreError::Mismatch { what: "test" });
+        assert!(e.to_string().contains("PIM execution failed"));
+        assert!(e.source().is_some());
+    }
+}

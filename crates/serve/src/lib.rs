@@ -1,0 +1,41 @@
+//! `simpim-serve`: an online, sharded, batch-scheduled kNN
+//! query-serving engine over the resident ReRAM banks.
+//!
+//! The offline pipeline (`simpim-core` + `simpim-mining`) answers one
+//! query at a time over a dataset it programs from scratch. This crate
+//! turns that pipeline into a long-lived service:
+//!
+//! - **Shards** ([`shard::Shard`]) partition the dataset across banks,
+//!   each planned by Theorem 4 with spare rows for online appends.
+//!   Inserts land in the spare crossbar rows (overflow spills to a
+//!   host-side delta buffer), deletes tombstone in place, and a
+//!   wear-aware policy reprograms a shard only when its tombstone ratio
+//!   crosses a threshold that *rises* with accumulated crossbar wear —
+//!   worn shards compact less eagerly.
+//! - **The engine** ([`engine::ServeEngine`]) puts a bounded submission
+//!   queue in front of a scheduler thread that coalesces up to `Q`
+//!   in-flight queries into a single crossbar pass per shard (amortizing
+//!   the programming cost that dominates single-query latency), then
+//!   refines per query on the host with the usual bound cascade.
+//! - **Exactness**: every answer is bit-identical to what the offline
+//!   `mining::knn` would return on the same live rows. Bounds stay
+//!   valid under drift (guard-band) and quarantine (host fallback), and
+//!   the per-shard top-k merge is offer-order independent.
+//!
+//! Observability: `simpim.serve.*` counters and histograms (queue
+//! depth, batch size, latency, sheds) flow into the same process-wide
+//! registry as the rest of the stack and land in run artifacts.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod shard;
+
+/// A `(global id, measure value)` neighbor pair, best first in result
+/// vectors — the same shape `mining::knn` returns.
+pub type Neighbor = (usize, f64);
+
+pub use engine::{EngineStats, ServeConfig, ServeEngine};
+pub use error::ServeError;
+pub use shard::{Shard, ShardConfig, ShardStats};

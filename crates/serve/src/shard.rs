@@ -1,0 +1,516 @@
+//! One serving shard: a resident partition of the dataset on its own
+//! ReRAM bank.
+//!
+//! The shard keeps three populations:
+//!
+//! * **resident** rows — programmed on the bank's crossbars at open (or
+//!   last reprogram) plus online appends into the spare rows Theorem 4's
+//!   plan reserved;
+//! * **tombstoned** rows — deleted but still programmed; the PIM batch
+//!   keeps producing bounds for them, the refinement never surfaces them;
+//! * **delta** rows — inserts that arrived after the spare rows ran out.
+//!   They are host-only (exact scan, no bound) until the next reprogram
+//!   folds them in.
+//!
+//! The wear-aware reprogram policy: a reprogram rewrites every crossbar
+//! of the shard, so the tombstone ratio that triggers one *rises* with
+//! the wear already accumulated — a fresh shard compacts eagerly, a
+//! worn shard tolerates more dead weight before burning endurance.
+
+use simpim_core::executor::{ExecutorConfig, PimExecutor};
+use simpim_core::CoreError;
+use simpim_mining::knn::resident::{merge_neighbors, refine_resident, ShardView};
+use simpim_similarity::{Dataset, Measure, NormalizedDataset};
+use simpim_simkit::OpCounters;
+
+use crate::error::ServeError;
+use crate::Neighbor;
+
+/// Per-shard policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Executor (platform + quantization) configuration.
+    pub executor: ExecutorConfig,
+    /// Spare object slots reserved per shard for online appends.
+    pub spare_rows: usize,
+    /// Base tombstone ratio that triggers a compacting reprogram.
+    pub tombstone_reprogram_ratio: f64,
+    /// Program cycles after which the reprogram threshold has doubled
+    /// (the wear-aware part of the policy).
+    pub reprogram_wear_budget: u32,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            executor: ExecutorConfig::default(),
+            spare_rows: 16,
+            tombstone_reprogram_ratio: 0.25,
+            reprogram_wear_budget: 1_000,
+        }
+    }
+}
+
+/// Point-in-time shard statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Live objects (resident + delta, tombstones excluded).
+    pub live: usize,
+    /// Tombstoned resident slots awaiting the next reprogram.
+    pub tombstones: usize,
+    /// Host-only delta rows awaiting the next reprogram.
+    pub delta: usize,
+    /// Spare crossbar rows still available for appends.
+    pub spare: usize,
+    /// Compacting reprograms performed since open.
+    pub reprograms: u64,
+    /// Queries served from the host path because the PIM batch failed.
+    pub sheds: u64,
+    /// Highest program count over this shard's crossbars (wear).
+    pub max_crossbar_programs: u32,
+}
+
+/// A resident partition of the dataset on one ReRAM bank.
+#[derive(Debug)]
+pub struct Shard {
+    cfg: ShardConfig,
+    exec: PimExecutor,
+    /// Rows mirrored on the crossbars, in executor object order.
+    rows: Dataset,
+    ids: Vec<usize>,
+    live: Vec<bool>,
+    tombstones: usize,
+    /// Host-only overflow rows (spare slots exhausted).
+    delta_rows: Dataset,
+    delta_ids: Vec<usize>,
+    reprograms: u64,
+    sheds: u64,
+}
+
+impl Shard {
+    /// Opens a shard over `rows` whose stable global ids are `ids`.
+    pub fn open(cfg: ShardConfig, rows: Dataset, ids: Vec<usize>) -> Result<Self, ServeError> {
+        assert_eq!(rows.len(), ids.len(), "ids must parallel rows");
+        assert!(!rows.is_empty(), "a shard needs at least one row");
+        let d = rows.dim();
+        let exec = PimExecutor::prepare_euclidean_resident(
+            cfg.executor,
+            &NormalizedDataset::assert_normalized(rows.clone()),
+            cfg.spare_rows,
+        )?;
+        let live = vec![true; rows.len()];
+        Ok(Self {
+            cfg,
+            exec,
+            rows,
+            ids,
+            live,
+            tombstones: 0,
+            delta_rows: Dataset::with_dim(d).map_err(CoreError::from)?,
+            delta_ids: Vec::new(),
+            reprograms: 0,
+            sheds: 0,
+        })
+    }
+
+    /// Row dimensionality this shard serves.
+    pub fn dim(&self) -> usize {
+        self.rows.dim()
+    }
+
+    /// Live object count (resident + delta).
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.tombstones + self.delta_rows.len()
+    }
+
+    /// Inserts a normalized row under global id `id`. Appends into the
+    /// bank's spare rows when any remain; otherwise the row joins the
+    /// host-only delta until the next reprogram.
+    pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
+        validate_row(row, self.rows.dim())?;
+        match self.exec.append_row(row) {
+            Ok(_) => {
+                self.rows.append_row(row).map_err(CoreError::from)?;
+                self.ids.push(id);
+                self.live.push(true);
+                Ok(())
+            }
+            Err(CoreError::ReRam(simpim_reram::ReRamError::InsufficientCapacity { .. })) => {
+                self.delta_rows.append_row(row).map_err(CoreError::from)?;
+                self.delta_ids.push(id);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Deletes global id `id` if this shard holds it. Resident rows are
+    /// tombstoned (they stay programmed until the next reprogram); delta
+    /// rows are dropped immediately.
+    pub fn delete(&mut self, id: usize) -> Result<bool, ServeError> {
+        if let Some(i) = self.ids.iter().position(|&x| x == id) {
+            if !self.live[i] {
+                return Ok(false); // already tombstoned
+            }
+            self.live[i] = false;
+            self.tombstones += 1;
+            self.maybe_reprogram()?;
+            return Ok(true);
+        }
+        if let Some(i) = self.delta_ids.iter().position(|&x| x == id) {
+            self.delta_rows
+                .swap_remove_row(i)
+                .map_err(CoreError::from)?;
+            self.delta_ids.swap_remove(i);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Serves a coalesced batch of queries: one PIM bound pass per query
+    /// over the resident region, per-query host refinement, and an exact
+    /// scan of the delta rows. If the PIM batch fails, every query in the
+    /// batch sheds to the exact host path — results stay identical, only
+    /// the filter is lost.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        assert_eq!(queries.len(), ks.len(), "ks must parallel queries");
+        match self.exec.lb_ed_batch_multi(queries) {
+            Ok(batches) => {
+                let mut pass_ns = 0.0;
+                let out = queries
+                    .iter()
+                    .zip(ks)
+                    .zip(&batches)
+                    .map(|((q, &k), batch)| {
+                        pass_ns += batch.timing.total_ns();
+                        self.refine(q, k, &batch.values)
+                    })
+                    .collect();
+                simpim_obs::metrics::histogram_record(
+                    "simpim.serve.shard.pim_pass_ns",
+                    pass_ns as u64,
+                );
+                out
+            }
+            Err(_) => {
+                // Bank-level failure (e.g. ADC retries exhausted under an
+                // aggressive fault model): shed the whole batch to the
+                // host scan. Exactness is preserved; only the PIM filter
+                // is lost.
+                self.sheds += queries.len() as u64;
+                simpim_obs::metrics::counter_add("simpim.serve.sheds", queries.len() as u64);
+                queries
+                    .iter()
+                    .zip(ks)
+                    .map(|(q, &k)| self.host_query(q, k))
+                    .collect()
+            }
+        }
+    }
+
+    /// Refines one query given its PIM bound values over the resident
+    /// rows, merging in the exact delta scan.
+    fn refine(&self, query: &[f64], k: usize, bounds: &[f64]) -> Result<Vec<Neighbor>, ServeError> {
+        let mut counters = OpCounters::new();
+        let resident = refine_resident(
+            &ShardView {
+                rows: &self.rows,
+                ids: &self.ids,
+                live: &self.live,
+                bounds,
+            },
+            query,
+            k,
+            Measure::EuclideanSq,
+            &mut counters,
+        )?;
+        if self.delta_rows.is_empty() {
+            return Ok(resident.neighbors);
+        }
+        let delta = self.scan_delta(query, k, &mut counters)?;
+        Ok(merge_neighbors(&[resident.neighbors, delta], k, true))
+    }
+
+    /// Exact host-side answer, ignoring the crossbars entirely — the shed
+    /// path, and also the delta complement of every refined query.
+    pub fn host_query(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let mut counters = OpCounters::new();
+        let zeros = vec![0.0; self.rows.len()];
+        let resident = refine_resident(
+            &ShardView {
+                rows: &self.rows,
+                ids: &self.ids,
+                live: &self.live,
+                bounds: &zeros,
+            },
+            query,
+            k,
+            Measure::EuclideanSq,
+            &mut counters,
+        )?;
+        if self.delta_rows.is_empty() {
+            return Ok(resident.neighbors);
+        }
+        let delta = self.scan_delta(query, k, &mut counters)?;
+        Ok(merge_neighbors(&[resident.neighbors, delta], k, true))
+    }
+
+    fn scan_delta(
+        &self,
+        query: &[f64],
+        k: usize,
+        counters: &mut OpCounters,
+    ) -> Result<Vec<Neighbor>, ServeError> {
+        let live = vec![true; self.delta_rows.len()];
+        let zeros = vec![0.0; self.delta_rows.len()];
+        let out = refine_resident(
+            &ShardView {
+                rows: &self.delta_rows,
+                ids: &self.delta_ids,
+                live: &live,
+                bounds: &zeros,
+            },
+            query,
+            k,
+            Measure::EuclideanSq,
+            counters,
+        )?;
+        Ok(out.neighbors)
+    }
+
+    /// Highest per-crossbar program count on this shard's bank.
+    fn max_wear(&self) -> u32 {
+        let pim = self.exec.bank().pim();
+        (0..self.cfg.executor.pim.num_crossbars)
+            .map(|i| pim.crossbar_programs(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The wear-adjusted tombstone threshold: `base · (1 + wear/budget)`.
+    /// A worn shard tolerates proportionally more tombstones before it
+    /// spends another full-region program on compaction.
+    fn reprogram_threshold(&self) -> f64 {
+        let wear = self.max_wear() as f64 / self.cfg.reprogram_wear_budget.max(1) as f64;
+        self.cfg.tombstone_reprogram_ratio * (1.0 + wear)
+    }
+
+    fn maybe_reprogram(&mut self) -> Result<(), ServeError> {
+        let ratio = self.tombstones as f64 / self.rows.len().max(1) as f64;
+        if ratio > self.reprogram_threshold() {
+            self.reprogram()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the shard: drops tombstones, folds the delta in, and
+    /// programs the surviving rows onto a fresh resident layout with a
+    /// full complement of spare slots.
+    pub fn reprogram(&mut self) -> Result<(), ServeError> {
+        if self.tombstones == 0 && self.delta_rows.is_empty() {
+            return Ok(());
+        }
+        let d = self.rows.dim();
+        let mut rows = Dataset::with_dim(d).map_err(CoreError::from)?;
+        let mut ids = Vec::new();
+        for (i, row) in self.rows.rows().enumerate() {
+            if self.live[i] {
+                rows.append_row(row).map_err(CoreError::from)?;
+                ids.push(self.ids[i]);
+            }
+        }
+        for (i, row) in self.delta_rows.rows().enumerate() {
+            rows.append_row(row).map_err(CoreError::from)?;
+            ids.push(self.delta_ids[i]);
+        }
+        if rows.is_empty() {
+            // Everything deleted: keep the old (all-tombstoned) residency
+            // rather than programming an empty region. Queries already
+            // return nothing.
+            return Ok(());
+        }
+        self.exec = PimExecutor::prepare_euclidean_resident(
+            self.cfg.executor,
+            &NormalizedDataset::assert_normalized(rows.clone()),
+            self.cfg.spare_rows,
+        )?;
+        self.live = vec![true; rows.len()];
+        self.tombstones = 0;
+        self.rows = rows;
+        self.ids = ids;
+        self.delta_rows = Dataset::with_dim(d).map_err(CoreError::from)?;
+        self.delta_ids.clear();
+        self.reprograms += 1;
+        simpim_obs::metrics::counter_add("simpim.serve.reprograms", 1);
+        Ok(())
+    }
+
+    /// Forces pending compaction (tombstones or delta rows) onto the
+    /// crossbars, regardless of the wear-aware threshold.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        self.reprogram()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            live: self.live_len(),
+            tombstones: self.tombstones,
+            delta: self.delta_rows.len(),
+            spare: self.exec.spare_capacity().unwrap_or(0),
+            reprograms: self.reprograms,
+            sheds: self.sheds,
+            max_crossbar_programs: self.max_wear(),
+        }
+    }
+}
+
+/// Rejects rows the quantizer cannot represent: wrong dimensionality or
+/// values outside the normalized `[0, 1]` domain.
+fn validate_row(row: &[f64], d: usize) -> Result<(), ServeError> {
+    if row.len() != d {
+        return Err(ServeError::InvalidArgument {
+            what: format!("row has {} dimensions, shard serves {d}", row.len()),
+        });
+    }
+    if row.iter().any(|v| !(0.0..=1.0).contains(v)) {
+        return Err(ServeError::InvalidArgument {
+            what: "row values must be normalized into [0, 1]".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_mining::knn::standard::knn_standard;
+    use simpim_reram::{CrossbarConfig, PimConfig};
+
+    fn cfg() -> ShardConfig {
+        ShardConfig {
+            executor: ExecutorConfig {
+                pim: PimConfig {
+                    crossbar: CrossbarConfig {
+                        size: 16,
+                        adc_bits: 12,
+                        ..Default::default()
+                    },
+                    num_crossbars: 4096,
+                    ..Default::default()
+                },
+                alpha: 1e6,
+                operand_bits: 32,
+                double_buffer: false,
+                parallel_regions: true,
+                faults: None,
+                scrub_interval: 0,
+            },
+            spare_rows: 2,
+            tombstone_reprogram_ratio: 0.4,
+            reprogram_wear_budget: 1_000,
+        }
+    }
+
+    fn rows() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2],
+            vec![0.4, 0.6, 0.2, 0.8],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shard_queries_match_offline_scan() {
+        let ds = rows();
+        let mut shard = Shard::open(cfg(), ds.clone(), vec![0, 1, 2, 3]).unwrap();
+        let q = vec![0.45, 0.55, 0.4, 0.6];
+        let truth = knn_standard(&ds, &q, 2, Measure::EuclideanSq).unwrap();
+        let got = shard.query_batch(&[q], &[2]).remove(0).unwrap();
+        assert_eq!(got, truth.neighbors);
+    }
+
+    #[test]
+    fn insert_lands_in_spares_then_delta() {
+        let ds = rows();
+        let mut shard = Shard::open(cfg(), ds, vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(shard.stats().spare, 2);
+        shard.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
+        shard.insert(5, &[0.6, 0.7, 0.8, 0.9]).unwrap();
+        assert_eq!(shard.stats().spare, 0);
+        assert_eq!(shard.stats().delta, 0);
+        // Spares exhausted → delta.
+        shard.insert(6, &[0.15, 0.25, 0.35, 0.45]).unwrap();
+        assert_eq!(shard.stats().delta, 1);
+        assert_eq!(shard.live_len(), 7);
+        // All seven ids are queryable, including the delta row.
+        let q = vec![0.15, 0.25, 0.35, 0.45];
+        let got = shard.query_batch(&[q], &[1]).remove(0).unwrap();
+        assert_eq!(got[0].0, 6);
+        // A flush folds the delta into the resident layout.
+        shard.flush().unwrap();
+        assert_eq!(shard.stats().delta, 0);
+        assert_eq!(shard.stats().spare, 2);
+        assert_eq!(shard.stats().reprograms, 1);
+    }
+
+    #[test]
+    fn delete_tombstones_and_reprogram_compacts() {
+        let ds = rows();
+        let mut shard = Shard::open(cfg(), ds, vec![0, 1, 2, 3]).unwrap();
+        assert!(shard.delete(1).unwrap());
+        assert!(!shard.delete(1).unwrap(), "double delete is a no-op");
+        assert!(!shard.delete(99).unwrap(), "unknown id");
+        assert_eq!(shard.stats().tombstones, 1);
+        let q = vec![0.5, 0.5, 0.5, 0.5];
+        let got = shard
+            .query_batch(std::slice::from_ref(&q), &[4])
+            .remove(0)
+            .unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|&(id, _)| id != 1));
+        // Second delete crosses the 0.4 ratio → automatic reprogram.
+        assert!(shard.delete(0).unwrap());
+        assert_eq!(shard.stats().tombstones, 0);
+        assert_eq!(shard.stats().reprograms, 1);
+        let got = shard.query_batch(&[q], &[4]).remove(0).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn invalid_rows_are_rejected() {
+        let mut shard = Shard::open(cfg(), rows(), vec![0, 1, 2, 3]).unwrap();
+        assert!(matches!(
+            shard.insert(9, &[0.5; 3]),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            shard.insert(9, &[0.5, 0.5, 0.5, 1.5]),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn wear_raises_the_reprogram_threshold() {
+        let mut c = cfg();
+        c.reprogram_wear_budget = 1;
+        let mut shard = Shard::open(c, rows(), vec![0, 1, 2, 3]).unwrap();
+        // Age the bank far past the one-cycle budget: threshold at least
+        // doubles, so the delete ratio that would have compacted no
+        // longer does.
+        shard.exec.bank_mut().pim_mut().age_crossbars(10);
+        assert!(shard.delete(0).unwrap());
+        assert!(shard.delete(1).unwrap());
+        assert_eq!(
+            shard.stats().reprograms,
+            0,
+            "worn shard must defer compaction"
+        );
+    }
+}

@@ -80,6 +80,46 @@ impl Dataset {
         Ok(())
     }
 
+    /// Appends one vector and returns its new row index. The online
+    /// mutation twin of [`Dataset::push`]: validation mirrors
+    /// [`SimilarityError::RaggedBuffer`] — the flat buffer must stay an
+    /// exact multiple of `d`, so a wrong-length row is rejected before it
+    /// can shear the layout.
+    pub fn append_row(&mut self, row: &[f64]) -> Result<usize, SimilarityError> {
+        if row.len() != self.d {
+            return Err(SimilarityError::RaggedBuffer {
+                len: self.data.len() + row.len(),
+                dim: self.d,
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.n += 1;
+        Ok(self.n - 1)
+    }
+
+    /// Removes row `i` in O(d) by moving the last row into its slot,
+    /// returning the removed vector. Row order past `i` changes (the last
+    /// row takes index `i`) — callers that need stable identities must
+    /// track their own id map, which is exactly what the serving layer's
+    /// shard manager does.
+    pub fn swap_remove_row(&mut self, i: usize) -> Result<Vec<f64>, SimilarityError> {
+        if i >= self.n {
+            return Err(SimilarityError::IndexOutOfRange {
+                index: i,
+                len: self.n,
+            });
+        }
+        let removed = self.row(i).to_vec();
+        let last = self.n - 1;
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.d);
+            head[i * self.d..(i + 1) * self.d].copy_from_slice(tail);
+        }
+        self.data.truncate(last * self.d);
+        self.n = last;
+        Ok(removed)
+    }
+
     /// Number of vectors (`N` in the paper).
     #[inline]
     pub fn len(&self) -> usize {
@@ -206,6 +246,37 @@ mod tests {
         ds.push(&[3.0, 4.0]).unwrap();
         assert_eq!(ds.len(), 2);
         assert!(ds.push(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn append_row_extends_and_validates() {
+        let mut ds = sample();
+        assert_eq!(ds.append_row(&[7.0, 8.0, 9.0]).unwrap(), 2);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.row(2), &[7.0, 8.0, 9.0]);
+        assert!(matches!(
+            ds.append_row(&[1.0, 2.0]),
+            Err(SimilarityError::RaggedBuffer { len: 11, dim: 3 })
+        ));
+        assert_eq!(ds.len(), 3, "rejected append must not mutate");
+    }
+
+    #[test]
+    fn swap_remove_row_moves_last_into_slot() {
+        let mut ds = Dataset::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        assert_eq!(ds.swap_remove_row(0).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0), &[3.0, 3.0]);
+        assert_eq!(ds.row(1), &[2.0, 2.0]);
+        // Removing the last row is a plain truncation.
+        assert_eq!(ds.swap_remove_row(1).unwrap(), vec![2.0, 2.0]);
+        assert_eq!(ds.len(), 1);
+        assert!(matches!(
+            ds.swap_remove_row(1),
+            Err(SimilarityError::IndexOutOfRange { index: 1, len: 1 })
+        ));
+        assert_eq!(ds.swap_remove_row(0).unwrap(), vec![3.0, 3.0]);
+        assert!(ds.is_empty());
     }
 
     #[test]

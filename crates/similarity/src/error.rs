@@ -31,6 +31,13 @@ pub enum SimilarityError {
         /// Requested segment count.
         segments: usize,
     },
+    /// A row index beyond the container's current length.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// Number of rows actually stored.
+        len: usize,
+    },
     /// A value outside the domain expected by an operation (e.g. a
     /// non-finite float fed to the quantizer).
     InvalidValue {
@@ -65,6 +72,9 @@ impl fmt::Display for SimilarityError {
                     f,
                     "cannot split {dim} dimensions into {segments} equal segments"
                 )
+            }
+            Self::IndexOutOfRange { index, len } => {
+                write!(f, "row index {index} out of range (len = {len})")
             }
             Self::InvalidValue { context } => write!(f, "invalid value: {context}"),
             Self::UnsupportedMeasure { measure, context } => {

@@ -1,0 +1,105 @@
+//! Online query serving: open a [`ServeEngine`] over a dataset, run
+//! batched kNN queries, mutate the dataset while it serves, and read the
+//! engine's statistics.
+//!
+//! ```sh
+//! cargo run --example online_serving
+//! ```
+
+use simpim::core::executor::ExecutorConfig;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::reram::{CrossbarConfig, PimConfig};
+use simpim::serve::{ServeConfig, ServeEngine};
+use simpim::similarity::{Dataset, Measure};
+
+fn main() {
+    // A small normalized dataset (values in [0, 1], as the paper
+    // prescribes). Real callers would min-max normalize with `Quantizer`.
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..8)
+                .map(|j| ((i * 13 + j * 29) % 101) as f64 / 100.0)
+                .collect()
+        })
+        .collect();
+    let data = Dataset::from_rows(&rows).expect("rectangular rows");
+
+    // Two shards over a small platform; up to 8 queries coalesce into one
+    // crossbar pass per shard, and each shard keeps 8 spare rows for
+    // online inserts.
+    let cfg = ServeConfig {
+        shards: 2,
+        max_batch: 8,
+        spare_rows: 8,
+        executor: ExecutorConfig {
+            pim: PimConfig {
+                crossbar: CrossbarConfig {
+                    size: 16,
+                    adc_bits: 12,
+                    ..Default::default()
+                },
+                num_crossbars: 4096,
+                ..Default::default()
+            },
+            alpha: 1e6,
+            operand_bits: 32,
+            double_buffer: false,
+            parallel_regions: true,
+            faults: None,
+            scrub_interval: 0,
+        },
+        ..Default::default()
+    };
+    let engine = ServeEngine::open(cfg, &data).expect("open engine");
+
+    // Batched queries: one programming pass amortizes over the batch, and
+    // every answer is bit-identical to an offline scan.
+    let queries: Vec<Vec<f64>> = (0..4)
+        .map(|q| {
+            (0..8)
+                .map(|j| ((q * 31 + j * 7) % 19) as f64 / 19.0)
+                .collect()
+        })
+        .collect();
+    let answers = engine.knn_batch(&queries, 5).expect("batch");
+    for (q, ans) in queries.iter().zip(&answers) {
+        let truth = knn_standard(&data, q, 5, Measure::EuclideanSq).expect("scan");
+        assert_eq!(ans, &truth.neighbors, "online == offline, bit for bit");
+    }
+    println!(
+        "4 queries answered; nearest to query 0: id {} at ED^2 {:.4}",
+        answers[0][0].0, answers[0][0].1
+    );
+
+    // Online mutation: insert lands in a spare crossbar row, delete
+    // tombstones in place. Both are immediately visible.
+    let new_row: Vec<f64> = queries[0].clone();
+    let id = engine.insert(&new_row).expect("insert");
+    let hit = engine.knn(&queries[0], 1).expect("query");
+    assert_eq!(hit[0], (id, 0.0), "the inserted row is its own nearest");
+    engine.delete(id).expect("delete");
+    let miss = engine.knn(&queries[0], 1).expect("query");
+    assert_ne!(miss[0].0, id, "tombstoned rows never surface");
+
+    // Deleting enough rows triggers a wear-aware compacting reprogram;
+    // `flush` forces it immediately.
+    for victim in 0..6 {
+        engine.delete(victim).expect("delete");
+    }
+    engine.flush().expect("flush");
+
+    let stats = engine.stats().expect("stats");
+    println!(
+        "live {} | {} queries in {} batches | {} inserts, {} deletes | reprograms per shard: {:?}",
+        stats.live,
+        stats.queries,
+        stats.batches,
+        stats.inserts,
+        stats.deletes,
+        stats
+            .shards
+            .iter()
+            .map(|s| s.reprograms)
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,11 +1,12 @@
 //! `simpim` — command-line driver for PIM-accelerated similarity mining.
 //!
 //! ```text
-//! simpim info     --data vectors.csv
-//! simpim knn      --data vectors.csv --query-row 0 --k 10 [--measure ed|cs|pcc] [--pim]
-//! simpim kmeans   --data vectors.csv --k 8 [--algo lloyd|elkan|drake|yinyang] [--pim]
-//! simpim dbscan   --data vectors.csv --eps 0.2 --min-pts 5 [--pim]
-//! simpim outliers --data vectors.csv --k 5 --m 10 [--pim]
+//! simpim info        --data vectors.csv
+//! simpim knn         --data vectors.csv --query-row 0 --k 10 [--measure ed|cs|pcc] [--pim]
+//! simpim kmeans      --data vectors.csv --k 8 [--algo lloyd|elkan|drake|yinyang] [--pim]
+//! simpim dbscan      --data vectors.csv --eps 0.2 --min-pts 5 [--pim]
+//! simpim outliers    --data vectors.csv --k 5 --m 10 [--pim]
+//! simpim serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64]
 //! ```
 //!
 //! `--data` accepts `.csv` (one float vector per line) or `.fvecs`
@@ -26,9 +27,13 @@ use simpim::mining::kmeans::KmeansConfig;
 use simpim::mining::knn::pim::{knn_pim_ed, knn_pim_sim};
 use simpim::mining::knn::standard::knn_standard;
 use simpim::mining::outlier::{outliers_pim, outliers_standard};
+use simpim::obs::Json;
+use simpim::serve::{ServeConfig, ServeEngine};
 use simpim::similarity::{Dataset, Measure, NormalizedDataset, Quantizer};
 use simpim::simkit::HostParams;
+use simpim_bench::BenchRun;
 use simpim_bounds::BoundCascade;
+use simpim_datasets::PaperDataset;
 
 struct Args {
     flags: HashMap<String, String>,
@@ -293,6 +298,171 @@ fn cmd_outliers(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Closed-loop load generator for the serving engine: measures the
+/// model-time benefit of batch-coalescing the crossbar pass, then drives a
+/// real [`ServeEngine`] with concurrent clients for wall-clock latency and
+/// shed-rate numbers. Emits `BENCH_serve.json`.
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let name = args
+        .flags
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("year");
+    let dataset = match name.to_ascii_lowercase().as_str() {
+        "imagenet" => PaperDataset::ImageNet,
+        "msd" => PaperDataset::Msd,
+        "gist" => PaperDataset::Gist,
+        "trevi" => PaperDataset::Trevi,
+        "year" => PaperDataset::Year,
+        "notre" => PaperDataset::Notre,
+        "nuswide" | "nus-wide" => PaperDataset::NusWide,
+        "enron" => PaperDataset::Enron,
+        other => return Err(format!("unknown --dataset {other:?} (see Table 6)")),
+    };
+    let k: usize = args.get("k", 10)?;
+    let batch: usize = args.get("batch", 8)?;
+    let clients: usize = args.get("clients", 4)?;
+    let total_queries: usize = args.get("queries", 64)?;
+    if batch == 0 || clients == 0 || total_queries == 0 {
+        return Err("--batch, --clients and --queries must be non-zero".to_string());
+    }
+
+    let mut run = BenchRun::start("serve");
+    run.set_dataset(&dataset.spec());
+    run.config_entry("k", Json::Num(k as f64));
+    run.config_entry("batch", Json::Num(batch as f64));
+    run.config_entry("clients", Json::Num(clients as f64));
+    run.config_entry("queries", Json::Num(total_queries as f64));
+
+    // Part 1 — model-time throughput: what one crossbar pass costs vs. the
+    // programming it amortizes. A one-query-at-a-time server pays the full
+    // (re)programming latency per query; coalescing Q queries into one
+    // pass pays it once per batch.
+    let w = simpim_bench::load(dataset);
+    let exec_cfg = simpim_bench::scaled_executor_config();
+    let nds = NormalizedDataset::assert_normalized(w.data.clone());
+    let mut exec = PimExecutor::prepare_euclidean(exec_cfg, &nds).map_err(|e| e.to_string())?;
+    let program_ns = exec.report().program_ns;
+    let mut pass_ns = 0.0;
+    for q in &w.queries {
+        let b = exec.lb_ed_batch(q).map_err(|e| e.to_string())?;
+        pass_ns += b.timing.total_ns();
+    }
+    let pass_ns = pass_ns / w.queries.len() as f64;
+    let single_ns_per_query = program_ns + pass_ns;
+    let batched_ns_per_query = program_ns / batch as f64 + pass_ns;
+    let speedup = single_ns_per_query / batched_ns_per_query;
+    run.note_stage("single_query_model", single_ns_per_query as u64, 1, 0, 0);
+    run.note_stage("batched_query_model", batched_ns_per_query as u64, 1, 0, 0);
+    run.push_extra(
+        "throughput_model",
+        Json::obj([
+            ("program_ns", Json::Num(program_ns)),
+            ("pass_ns", Json::Num(pass_ns)),
+            ("single_ns_per_query", Json::Num(single_ns_per_query)),
+            ("batched_ns_per_query", Json::Num(batched_ns_per_query)),
+            ("batch_size", Json::Num(batch as f64)),
+            ("speedup", Json::Num(speedup)),
+        ]),
+    );
+    drop(exec);
+
+    // Part 2 — drive a real engine with closed-loop clients, mixing a few
+    // online mutations in, for wall-clock latency and shed rate.
+    let serve_cfg = ServeConfig {
+        shards: args.get("shards", 2)?,
+        max_batch: batch,
+        queue_depth: (4 * batch).max(2 * clients),
+        executor: exec_cfg,
+        ..Default::default()
+    };
+    let engine = ServeEngine::open(serve_cfg, &w.data).map_err(|e| e.to_string())?;
+    let per_client = total_queries.div_ceil(clients);
+    let wall = std::time::Instant::now();
+    let answered: usize = std::thread::scope(|s| {
+        let engine = &engine;
+        let queries = &w.queries;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut done = 0usize;
+                    for i in 0..per_client {
+                        let q = &queries[(c + i) % queries.len()];
+                        loop {
+                            match engine.knn(q, k) {
+                                Ok(_) => {
+                                    done += 1;
+                                    break;
+                                }
+                                Err(simpim::serve::ServeError::Overloaded) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    // Exercise the online-mutation path while the engine is warm.
+    let extra = engine.insert(&w.queries[0]).map_err(|e| e.to_string())?;
+    engine.delete(extra).map_err(|e| e.to_string())?;
+    engine.flush().map_err(|e| e.to_string())?;
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let stats = engine.stats().map_err(|e| e.to_string())?;
+    drop(engine);
+
+    run.note_stage("closed_loop_wall", wall_ns, answered as u64, 0, 0);
+    let snap = simpim::obs::metrics::snapshot();
+    let hist = snap
+        .metrics
+        .get("simpim.serve.latency_ns")
+        .and_then(simpim::obs::metrics::Metric::as_histogram);
+    let (p50, p99) = hist
+        .map(|h| (h.quantile(0.5), h.quantile(0.99)))
+        .unwrap_or((0, 0));
+    let shed = snap.counter("simpim.serve.overloaded").unwrap_or(0)
+        + snap.counter("simpim.serve.sheds").unwrap_or(0);
+    run.push_extra(
+        "closed_loop",
+        Json::obj([
+            ("answered", Json::Num(answered as f64)),
+            ("batches", Json::Num(stats.batches as f64)),
+            ("p50_latency_ns", Json::Num(p50 as f64)),
+            ("p99_latency_ns", Json::Num(p99 as f64)),
+            ("shed", Json::Num(shed as f64)),
+            ("timeouts", Json::Num(stats.timeouts as f64)),
+        ]),
+    );
+    let path = run.finish();
+
+    println!("serve-bench on {} (k = {k}, Q = {batch}):", dataset.name());
+    println!(
+        "  model:  {:.1} us/query single, {:.1} us/query batched -> {speedup:.1}x",
+        single_ns_per_query / 1e3,
+        batched_ns_per_query / 1e3
+    );
+    println!(
+        "  engine: {answered}/{total_queries} answered in {} batches, p50 {:.1} us, p99 {:.1} us, {shed} shed",
+        stats.batches,
+        p50 as f64 / 1e3,
+        p99 as f64 / 1e3
+    );
+    println!("  artifact: {}", path.display());
+    if speedup < 3.0 && batch >= 8 {
+        return Err(format!(
+            "batched throughput model speedup {speedup:.2}x < 3x at Q = {batch}"
+        ));
+    }
+    Ok(())
+}
+
 /// Renders one run artifact as a per-stage table, or diffs two.
 fn cmd_report(paths: &[String]) -> Result<(), String> {
     let load = |p: &String| -> Result<simpim::obs::RunArtifact, String> {
@@ -320,14 +490,16 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: simpim <info|knn|kmeans|dbscan|outliers|report> --data <file.csv|file.fvecs> [options]
-  info      --data F
-  knn       --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
-  kmeans    --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
-  dbscan    --data F [--eps 0.2] [--min-pts 5] [--pim]
-  outliers  --data F [--k 5] [--m 10] [--pim]
-  report    <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
-  any mining command also takes --trace (writes span journal to simpim_trace.jsonl)";
+    "usage: simpim <info|knn|kmeans|dbscan|outliers|serve-bench|report> [options]
+  info        --data F
+  knn         --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
+  kmeans      --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
+  dbscan      --data F [--eps 0.2] [--min-pts 5] [--pim]
+  outliers    --data F [--k 5] [--m 10] [--pim]
+  serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64] [--shards 2]
+              closed-loop load generator for the serving engine; writes BENCH_serve.json
+  report      <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
+  any mining or bench command also takes --trace (writes span journal to simpim_trace.jsonl)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -356,6 +528,7 @@ fn main() -> ExitCode {
             "kmeans" => cmd_kmeans(&args),
             "dbscan" => cmd_dbscan(&args),
             "outliers" => cmd_outliers(&args),
+            "serve-bench" => cmd_serve_bench(&args),
             other => Err(format!("unknown command {other:?}\n{USAGE}")),
         };
         if tracing {

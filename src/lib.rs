@@ -23,9 +23,16 @@
 //!   datasets and its LSH binary codes.
 //! * [`obs`] — span tracing, the metrics registry and schema-versioned run
 //!   artifacts (see DESIGN.md §8).
+//! * [`serve`] — the online query-serving engine: sharded resident
+//!   datasets, batch-coalescing scheduler, online insert/delete with
+//!   wear-aware reprogramming (see DESIGN.md §9).
+//! * [`mod@bench`] — shared experiment-harness infrastructure (scaled
+//!   workloads, run artifacts).
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/online_serving.rs` for the serving path.
 
+pub use simpim_bench as bench;
 pub use simpim_bounds as bounds;
 pub use simpim_core as core;
 pub use simpim_datasets as datasets;
@@ -33,5 +40,6 @@ pub use simpim_mining as mining;
 pub use simpim_obs as obs;
 pub use simpim_profiling as profiling;
 pub use simpim_reram as reram;
+pub use simpim_serve as serve;
 pub use simpim_similarity as similarity;
 pub use simpim_simkit as simkit;

@@ -1,0 +1,221 @@
+//! Serving-engine integration tests: every answer the online engine
+//! returns must be bit-identical to an offline scan over the same live
+//! rows — through batching, sharding, inserts, deletes, compaction, and
+//! injected crossbar faults — and the engine must stay linearizable
+//! under concurrent mixed workloads.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use simpim::core::executor::ExecutorConfig;
+use simpim::mining::knn::standard::knn_standard;
+use simpim::reram::{CrossbarConfig, FaultConfig, PimConfig};
+use simpim::serve::{ServeConfig, ServeEngine, ServeError};
+use simpim::similarity::{Dataset, Measure};
+
+/// A small platform that fits the tiny proptest datasets quickly.
+fn exec_cfg(faults: Option<FaultConfig>) -> ExecutorConfig {
+    ExecutorConfig {
+        pim: PimConfig {
+            crossbar: CrossbarConfig {
+                size: 16,
+                adc_bits: 12,
+                ..Default::default()
+            },
+            num_crossbars: 4096,
+            ..Default::default()
+        },
+        alpha: 1e6,
+        operand_bits: 32,
+        double_buffer: false,
+        parallel_regions: true,
+        faults,
+        scrub_interval: 0,
+    }
+}
+
+fn serve_cfg(shards: usize, faults: Option<FaultConfig>) -> ServeConfig {
+    ServeConfig {
+        shards,
+        max_batch: 4,
+        queue_depth: 64,
+        spare_rows: 4,
+        executor: exec_cfg(faults),
+        ..Default::default()
+    }
+}
+
+/// The offline truth over the engine's live rows: a linear scan with
+/// positions mapped back to stable global ids. `live` must be sorted by
+/// ascending id so position-order tie-breaks equal id-order tie-breaks.
+fn offline_truth(live: &[(usize, Vec<f64>)], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let ds = Dataset::from_rows(&live.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>()).unwrap();
+    let res = knn_standard(&ds, query, k.min(ds.len()), Measure::EuclideanSq).unwrap();
+    res.neighbors
+        .iter()
+        .map(|&(pos, v)| (live[pos].0, v))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // knn_batch is bit-identical to the offline scan on the same live
+    // rows, across shard counts, inserts/deletes (spare-row appends,
+    // delta overflow, tombstones), and injected dead bitlines.
+    #[test]
+    fn knn_batch_matches_offline_scan(
+        shape in ((6usize..=14, 2usize..=5), (1usize..=3, 1usize..=4), (0u64..=3, 0u8..=1)),
+        flat in prop::collection::vec(0.0f64..=1.0, 14 * 5),
+        inserts in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 5), 0..4),
+        delete_picks in prop::collection::vec(0usize..1000, 0..4),
+        queries in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 5), 1..4),
+    ) {
+        let ((n, d), (shards, k), (seed, with_faults)) = shape;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| flat[i * d..(i + 1) * d].to_vec()).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let faults = (with_faults == 1).then(|| FaultConfig {
+            dead_bitline_rate: 0.05,
+            seed,
+            ..Default::default()
+        });
+        let shards = shards.min(n);
+        let engine = ServeEngine::open(serve_cfg(shards, faults), &data).unwrap();
+
+        // Mirror model: live (id, row) pairs in ascending-id order.
+        let mut live: Vec<(usize, Vec<f64>)> =
+            rows.iter().cloned().enumerate().collect();
+        for (next_id, row) in (n..).zip(inserts.iter()) {
+            let row: Vec<f64> = row[..d].to_vec();
+            let id = engine.insert(&row).unwrap();
+            prop_assert_eq!(id, next_id);
+            live.push((id, row));
+        }
+        for pick in &delete_picks {
+            if live.len() <= shards {
+                break; // keep every shard non-empty
+            }
+            let pos = pick % live.len();
+            let (id, _) = live.remove(pos);
+            prop_assert!(engine.delete(id).unwrap());
+            prop_assert!(!engine.delete(id).unwrap(), "double delete must miss");
+        }
+
+        let queries: Vec<Vec<f64>> = queries.iter().map(|q| q[..d].to_vec()).collect();
+        let got = engine.knn_batch(&queries, k).unwrap();
+        for (q, res) in queries.iter().zip(&got) {
+            let truth = offline_truth(&live, q, k);
+            prop_assert_eq!(res, &truth);
+        }
+
+        // Compaction must not change any answer.
+        engine.flush().unwrap();
+        let again = engine.knn_batch(&queries, k).unwrap();
+        prop_assert_eq!(got, again);
+    }
+}
+
+// Eight threads of mixed queries, inserts, and deletes against one
+// engine: no lost or duplicated results anywhere.
+#[test]
+fn concurrent_mixed_workload_is_linearizable() {
+    let n = 32;
+    let d = 4;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| ((i * 11 + j * 17) % 89) as f64 / 88.0)
+                .collect()
+        })
+        .collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let mut cfg = serve_cfg(2, None);
+    cfg.spare_rows = 8;
+    let engine = ServeEngine::open(cfg, &data).unwrap();
+
+    let (inserted_ids, delete_hits, query_results) = std::thread::scope(|s| {
+        let engine = &engine;
+        // 4 query threads.
+        let queriers: Vec<_> = (0..4)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut results = Vec::new();
+                    for i in 0..20 {
+                        let q: Vec<f64> = (0..d)
+                            .map(|j| ((t * 7 + i * 3 + j) % 10) as f64 / 10.0)
+                            .collect();
+                        loop {
+                            match engine.knn(&q, 3) {
+                                Ok(r) => {
+                                    results.push(r);
+                                    break;
+                                }
+                                Err(ServeError::Overloaded) => std::thread::yield_now(),
+                                Err(e) => panic!("query failed: {e}"),
+                            }
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
+        // 2 insert threads, distinct rows each.
+        let inserters: Vec<_> = (0..2)
+            .map(|t| {
+                s.spawn(move || {
+                    (0..8)
+                        .map(|i| {
+                            let row: Vec<f64> = (0..d)
+                                .map(|j| ((t * 13 + i * 5 + j) % 7) as f64 / 7.0)
+                                .collect();
+                            engine.insert(&row).unwrap()
+                        })
+                        .collect::<Vec<usize>>()
+                })
+            })
+            .collect();
+        // 2 delete threads over disjoint halves of the initial ids.
+        let deleters: Vec<_> = (0..2)
+            .map(|t| {
+                s.spawn(move || {
+                    (t * 8..(t + 1) * 8)
+                        .filter(|&id| engine.delete(id).unwrap())
+                        .count()
+                })
+            })
+            .collect();
+
+        let ids: Vec<usize> = inserters
+            .into_iter()
+            .flat_map(|h| h.join().expect("insert thread"))
+            .collect();
+        let hits: usize = deleters
+            .into_iter()
+            .map(|h| h.join().expect("delete thread"))
+            .sum();
+        let results: Vec<Vec<(usize, f64)>> = queriers
+            .into_iter()
+            .flat_map(|h| h.join().expect("query thread"))
+            .collect();
+        (ids, hits, results)
+    });
+
+    // No duplicated or reused insert ids (nothing lost to races).
+    let unique: HashSet<usize> = inserted_ids.iter().copied().collect();
+    assert_eq!(unique.len(), 16, "insert ids must be unique");
+    assert!(inserted_ids.iter().all(|&id| id >= n), "fresh ids only");
+    // Every pre-assigned delete found its row exactly once.
+    assert_eq!(delete_hits, 16);
+    // Every query got exactly k distinct live neighbors.
+    assert_eq!(query_results.len(), 80);
+    for r in &query_results {
+        assert_eq!(r.len(), 3);
+        let ids: HashSet<usize> = r.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids.len(), 3, "duplicate neighbor in {r:?}");
+    }
+    // The books balance: 32 initial + 16 inserted − 16 deleted.
+    let stats = engine.stats().unwrap();
+    assert_eq!(stats.live, 32);
+    assert_eq!(stats.inserts, 16);
+    assert_eq!(stats.queries, 80);
+}
