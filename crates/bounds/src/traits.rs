@@ -18,8 +18,9 @@ pub enum BoundDirection {
 /// ready to be specialized per query.
 ///
 /// Implementations must be deterministic; their per-object transfer and
-/// operation costs feed Eq. 13's plan optimizer.
-pub trait BoundStage {
+/// operation costs feed Eq. 13's plan optimizer. `Send + Sync` so prepared
+/// cascades can be shared with the `simpim-par` refinement workers.
+pub trait BoundStage: Send + Sync {
     /// Human-readable name matching the paper's notation, e.g.
     /// `"LB_FNN^105"`.
     fn name(&self) -> String;
@@ -43,8 +44,10 @@ pub trait BoundStage {
     fn prepare(&self, query: &[f64]) -> Box<dyn PreparedBound + '_>;
 }
 
-/// A query-specialized bound evaluator.
-pub trait PreparedBound {
+/// A query-specialized bound evaluator. `Send + Sync` so the parallel
+/// refinement walk can evaluate bounds from several workers at once (all
+/// implementations are read-only over precomputed state).
+pub trait PreparedBound: Send + Sync {
     /// The bound value for dataset object `i`.
     fn bound(&self, i: usize) -> f64;
 }

@@ -94,6 +94,76 @@ fn rescan(
     state.lb_rest = entries.get(b).map(|&(v, _)| v).unwrap_or(f64::INFINITY);
 }
 
+/// One point's Drake assign step: settle on bounds when possible,
+/// otherwise tighten / rescan. Mutates only `state` (plus the per-chunk
+/// counters), which is what makes the chunked parallel assign safe.
+#[allow(clippy::too_many_arguments)]
+fn assign_point(
+    i: usize,
+    row: &[f64],
+    centers: &[Vec<f64>],
+    b: usize,
+    pim: Option<&PimAssist<'_>>,
+    ed: &mut OpCounters,
+    other: &mut OpCounters,
+    changed: &mut u64,
+    st: &mut PointState,
+) {
+    let first_lb = st.tracked.first().map(|&(_, v)| v).unwrap_or(st.lb_rest);
+    other.prune_test();
+    if st.ub <= first_lb.min(st.lb_rest) {
+        return; // settled without any distance
+    }
+    // Tighten the upper bound.
+    st.ub = exact_dist(row, &centers[st.assigned], ed);
+    other.prune_test();
+    if st.ub <= first_lb.min(st.lb_rest) {
+        return;
+    }
+    if st.lb_rest < st.ub {
+        // Aggregate bound violated: rebuild from scratch.
+        let old = st.assigned;
+        rescan(i, row, centers, b, pim, ed, other, st);
+        if st.assigned != old {
+            *changed += 1;
+        }
+        return;
+    }
+    // Scan tracked centers in bound order.
+    let old = st.assigned;
+    for t in 0..st.tracked.len() {
+        let (c, lbv) = st.tracked[t];
+        other.prune_test();
+        if lbv >= st.ub {
+            break; // sorted: the rest cannot win either
+        }
+        if let Some(assist) = pim {
+            other.prune_test();
+            let lb_pim = assist.lb_dist(i, c);
+            if lb_pim >= st.ub {
+                st.tracked[t].1 = lbv.max(lb_pim);
+                continue;
+            }
+        }
+        let dist = exact_dist(row, &centers[c], ed);
+        other.prune_test();
+        if dist < st.ub {
+            // Swap: the old assignment joins the tracked set.
+            let (old_a, old_ub) = (st.assigned, st.ub);
+            st.assigned = c;
+            st.ub = dist;
+            st.tracked[t] = (old_a, old_ub);
+        } else {
+            st.tracked[t].1 = dist;
+        }
+    }
+    st.tracked
+        .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    if st.assigned != old {
+        *changed += 1;
+    }
+}
+
 /// Runs Drake's algorithm; pass a [`PimAssist`] for `Drake-PIM`.
 pub fn kmeans_drake(
     dataset: &Dataset,
@@ -182,64 +252,46 @@ pub fn kmeans_drake(
             assist.refresh(&centers, &mut report)?;
         }
 
+        // Assign step, parallelized over fixed chunks of the per-point
+        // states (each point touches only `states[i]`); chunk counters
+        // merge in order — bit-identical at any `SIMPIM_THREADS`.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
         let mut changed = 0u64;
-        for (i, row) in dataset.rows().enumerate() {
-            let st = &mut states[i];
-            let first_lb = st.tracked.first().map(|&(_, v)| v).unwrap_or(st.lb_rest);
-            other.prune_test();
-            if st.ub <= first_lb.min(st.lb_rest) {
-                continue; // settled without any distance
-            }
-            // Tighten the upper bound.
-            st.ub = exact_dist(row, &centers[st.assigned], &mut ed);
-            other.prune_test();
-            if st.ub <= first_lb.min(st.lb_rest) {
-                continue;
-            }
-            if st.lb_rest < st.ub {
-                // Aggregate bound violated: rebuild from scratch.
-                let old = st.assigned;
-                rescan(i, row, &centers, b, pim.as_deref(), &mut ed, &mut other, st);
-                if st.assigned != old {
-                    changed += 1;
-                }
-                continue;
-            }
-            // Scan tracked centers in bound order.
-            let old = st.assigned;
-            for t in 0..st.tracked.len() {
-                let (c, lbv) = st.tracked[t];
-                other.prune_test();
-                if lbv >= st.ub {
-                    break; // sorted: the rest cannot win either
-                }
-                if let Some(assist) = pim.as_deref() {
-                    other.prune_test();
-                    let lb_pim = assist.lb_dist(i, c);
-                    if lb_pim >= st.ub {
-                        st.tracked[t].1 = lbv.max(lb_pim);
-                        continue;
+        let assist = pim.as_deref();
+        let centers_ref = &centers;
+        const CH: usize = crate::kmeans::ASSIGN_CHUNK;
+        let jobs: Vec<simpim_par::Job<'_, (OpCounters, OpCounters, u64)>> = states
+            .chunks_mut(CH)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                Box::new(move || {
+                    let mut ed = OpCounters::new();
+                    let mut other = OpCounters::new();
+                    let mut changed = 0u64;
+                    for (j, st) in chunk.iter_mut().enumerate() {
+                        let i = ci * CH + j;
+                        let row = dataset.row(i);
+                        assign_point(
+                            i,
+                            row,
+                            centers_ref,
+                            b,
+                            assist,
+                            &mut ed,
+                            &mut other,
+                            &mut changed,
+                            st,
+                        );
                     }
-                }
-                let dist = exact_dist(row, &centers[c], &mut ed);
-                other.prune_test();
-                if dist < st.ub {
-                    // Swap: the old assignment joins the tracked set.
-                    let (old_a, old_ub) = (st.assigned, st.ub);
-                    st.assigned = c;
-                    st.ub = dist;
-                    st.tracked[t] = (old_a, old_ub);
-                } else {
-                    st.tracked[t].1 = dist;
-                }
-            }
-            st.tracked
-                .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
-            if st.assigned != old {
-                changed += 1;
-            }
+                    (ed, other, changed)
+                }) as simpim_par::Job<'_, _>
+            })
+            .collect();
+        for (chunk_ed, chunk_other, chunk_changed) in simpim_par::join_all(jobs) {
+            ed.add(&chunk_ed);
+            other.add(&chunk_other);
+            changed += chunk_changed;
         }
         report.profile.record("ED", ed);
         report.profile.record("other", other);

@@ -134,58 +134,93 @@ pub fn kmeans_elkan(
             assist.refresh(&centers, &mut report)?;
         }
 
-        // Assign step with the Elkan filters.
+        // Assign step with the Elkan filters, parallelized over fixed
+        // point chunks. Every mutated slot (`assignments[i]`, `ub[i]`,
+        // `lb[i·k..]`) is per-point, so workers take disjoint `&mut`
+        // chunks; counters merge in chunk order — bit-identical at any
+        // `SIMPIM_THREADS`.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
         let mut changed = 0u64;
-        for (i, row) in dataset.rows().enumerate() {
-            let a = assignments[i];
-            other.prune_test();
-            if ub[i] <= s[a] {
-                continue; // point filter
-            }
-            let mut ub_stale = true;
-            let mut cur = a;
-            for c in 0..k {
-                if c == cur {
-                    continue;
-                }
-                other.prune_test();
-                other.prune_test();
-                if ub[i] <= lb[i * k + c] || ub[i] <= 0.5 * cc[cur * k + c] {
-                    continue; // center filter
-                }
-                if ub_stale {
-                    let dist = exact_dist(row, &centers[cur], &mut ed);
-                    ub[i] = dist;
-                    lb[i * k + cur] = dist;
-                    ub_stale = false;
-                    other.prune_test();
-                    other.prune_test();
-                    if ub[i] <= lb[i * k + c] || ub[i] <= 0.5 * cc[cur * k + c] {
-                        continue;
+        {
+            let assist = pim.as_deref();
+            let centers = &centers;
+            let s = &s;
+            let cc = &cc;
+            const CH: usize = crate::kmeans::ASSIGN_CHUNK;
+            let mut jobs: Vec<simpim_par::Job<'_, (OpCounters, OpCounters, u64)>> = Vec::new();
+            for (ci, ((a_chunk, ub_chunk), lb_chunk)) in assignments
+                .chunks_mut(CH)
+                .zip(ub.chunks_mut(CH))
+                .zip(lb.chunks_mut(CH * k))
+                .enumerate()
+            {
+                jobs.push(Box::new(move || {
+                    let mut ed = OpCounters::new();
+                    let mut other = OpCounters::new();
+                    let mut changed = 0u64;
+                    for (j, (a_slot, ub_slot)) in
+                        a_chunk.iter_mut().zip(ub_chunk.iter_mut()).enumerate()
+                    {
+                        let i = ci * CH + j;
+                        let row = dataset.row(i);
+                        let lb_row = &mut lb_chunk[j * k..(j + 1) * k];
+                        let a = *a_slot;
+                        other.prune_test();
+                        if *ub_slot <= s[a] {
+                            continue; // point filter
+                        }
+                        let mut ub_stale = true;
+                        let mut cur = a;
+                        for c in 0..k {
+                            if c == cur {
+                                continue;
+                            }
+                            other.prune_test();
+                            other.prune_test();
+                            if *ub_slot <= lb_row[c] || *ub_slot <= 0.5 * cc[cur * k + c] {
+                                continue; // center filter
+                            }
+                            if ub_stale {
+                                let dist = exact_dist(row, &centers[cur], &mut ed);
+                                *ub_slot = dist;
+                                lb_row[cur] = dist;
+                                ub_stale = false;
+                                other.prune_test();
+                                other.prune_test();
+                                if *ub_slot <= lb_row[c] || *ub_slot <= 0.5 * cc[cur * k + c] {
+                                    continue;
+                                }
+                            }
+                            if let Some(assist) = assist {
+                                other.prune_test();
+                                let lb_pim = assist.lb_dist(i, c);
+                                if lb_pim >= *ub_slot {
+                                    lb_row[c] = lb_row[c].max(lb_pim);
+                                    continue; // PIM filter: exact ED avoided
+                                }
+                            }
+                            let dist = exact_dist(row, &centers[c], &mut ed);
+                            lb_row[c] = dist;
+                            other.prune_test();
+                            if dist < *ub_slot {
+                                cur = c;
+                                *ub_slot = dist;
+                                ub_stale = false;
+                            }
+                        }
+                        if cur != a {
+                            *a_slot = cur;
+                            changed += 1;
+                        }
                     }
-                }
-                if let Some(assist) = pim.as_deref() {
-                    other.prune_test();
-                    let lb_pim = assist.lb_dist(i, c);
-                    if lb_pim >= ub[i] {
-                        lb[i * k + c] = lb[i * k + c].max(lb_pim);
-                        continue; // PIM filter: exact ED avoided
-                    }
-                }
-                let dist = exact_dist(row, &centers[c], &mut ed);
-                lb[i * k + c] = dist;
-                other.prune_test();
-                if dist < ub[i] {
-                    cur = c;
-                    ub[i] = dist;
-                    ub_stale = false;
-                }
+                    (ed, other, changed)
+                }));
             }
-            if cur != a {
-                assignments[i] = cur;
-                changed += 1;
+            for (chunk_ed, chunk_other, chunk_changed) in simpim_par::join_all(jobs) {
+                ed.add(&chunk_ed);
+                other.add(&chunk_other);
+                changed += chunk_changed;
             }
         }
         report.profile.record("ED", ed);

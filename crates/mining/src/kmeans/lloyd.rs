@@ -46,31 +46,52 @@ pub fn kmeans_lloyd(
             assist.refresh(&centers, &mut report)?;
         }
 
-        // Assign step.
+        // Assign step, parallelized over fixed point chunks (per-point
+        // state is disjoint); workers return each chunk's assignments and
+        // counters, merged in chunk order — bit-identical at any
+        // `SIMPIM_THREADS`.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
         let mut changed = 0u64;
-        for (i, row) in dataset.rows().enumerate() {
-            let mut best_sq = f64::INFINITY;
-            let mut best_c = usize::MAX;
-            for (c, center) in centers.iter().enumerate() {
-                if let Some(assist) = pim.as_deref() {
+        let assist = pim.as_deref();
+        let centers_ref = &centers;
+        let chunks = simpim_par::map_chunks(dataset.len(), crate::kmeans::ASSIGN_CHUNK, |points| {
+            let mut ed = OpCounters::new();
+            let mut other = OpCounters::new();
+            let mut best = Vec::with_capacity(points.len());
+            for i in points {
+                let row = dataset.row(i);
+                let mut best_sq = f64::INFINITY;
+                let mut best_c = usize::MAX;
+                for (c, center) in centers_ref.iter().enumerate() {
+                    if let Some(assist) = assist {
+                        other.prune_test();
+                        if best_c != usize::MAX && assist.lb_sq(i, c) >= best_sq {
+                            continue; // cannot strictly beat the incumbent
+                        }
+                    }
+                    ed.euclidean_kernel(d, d * 8);
+                    let dist_sq = measures::euclidean_sq(row, center);
                     other.prune_test();
-                    if best_c != usize::MAX && assist.lb_sq(i, c) >= best_sq {
-                        continue; // cannot strictly beat the incumbent
+                    if dist_sq < best_sq {
+                        best_sq = dist_sq;
+                        best_c = c;
                     }
                 }
-                ed.euclidean_kernel(d, d * 8);
-                let dist_sq = measures::euclidean_sq(row, center);
-                other.prune_test();
-                if dist_sq < best_sq {
-                    best_sq = dist_sq;
-                    best_c = c;
-                }
+                best.push(best_c);
             }
-            if assignments[i] != best_c {
-                assignments[i] = best_c;
-                changed += 1;
+            (best, ed, other)
+        });
+        let mut next = 0usize;
+        for (best, chunk_ed, chunk_other) in chunks {
+            ed.add(&chunk_ed);
+            other.add(&chunk_other);
+            for best_c in best {
+                if assignments[next] != best_c {
+                    assignments[next] = best_c;
+                    changed += 1;
+                }
+                next += 1;
             }
         }
         report.profile.record("ED", ed);

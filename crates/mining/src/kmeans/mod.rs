@@ -21,6 +21,11 @@ use simpim_simkit::OpCounters;
 use crate::error::MiningError;
 use crate::report::RunReport;
 
+/// Points handled per worker task in the parallel assign steps. A fixed
+/// constant — chunk boundaries must never depend on the thread count, so
+/// per-chunk counters merge in the same order at any `SIMPIM_THREADS`.
+pub(crate) const ASSIGN_CHUNK: usize = 64;
+
 /// Shared entry-point validation: `k` must be in `1..=N`.
 pub(crate) fn check_k(k: usize, n: usize) -> Result<(), MiningError> {
     if k >= 1 && k <= n {

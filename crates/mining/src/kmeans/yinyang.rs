@@ -179,60 +179,95 @@ pub fn kmeans_yinyang(
             assist.refresh(&centers, &mut report)?;
         }
 
+        // Assign step, parallelized over fixed point chunks: each point
+        // mutates only its own `assignments[i]` / `ub[i]` / `lb[i·t..]`
+        // slots, handed to workers as disjoint `&mut` chunks; counters
+        // merge in chunk order — bit-identical at any `SIMPIM_THREADS`.
         let mut ed = OpCounters::new();
         let mut other = OpCounters::new();
         let mut changed = 0u64;
-        for (i, row) in dataset.rows().enumerate() {
-            let min_lb = (0..t).map(|g| lb[i * t + g]).fold(f64::INFINITY, f64::min);
-            other.prune_test();
-            if ub[i] <= min_lb {
-                continue; // global filter
-            }
-            ub[i] = exact_dist(row, &centers[assignments[i]], &mut ed);
-            other.prune_test();
-            if ub[i] <= min_lb {
-                continue;
-            }
-            let old = assignments[i];
-            for g in 0..t {
-                other.prune_test();
-                if lb[i * t + g] >= ub[i] {
-                    continue; // group filter (bound stays valid)
-                }
-                let mut new_lb = f64::INFINITY;
-                for (c, center) in centers.iter().enumerate() {
-                    if group_of[c] != g || c == assignments[i] {
-                        continue;
-                    }
-                    if let Some(assist) = pim.as_deref() {
-                        other.prune_test();
-                        let lb_pim = assist.lb_dist(i, c);
-                        if lb_pim >= ub[i] {
-                            new_lb = new_lb.min(lb_pim);
-                            continue; // PIM filter
+        {
+            let assist = pim.as_deref();
+            let centers = &centers;
+            let group_of = &group_of;
+            const CH: usize = crate::kmeans::ASSIGN_CHUNK;
+            let jobs: Vec<simpim_par::Job<'_, (OpCounters, OpCounters, u64)>> = assignments
+                .chunks_mut(CH)
+                .zip(ub.chunks_mut(CH))
+                .zip(lb.chunks_mut(CH * t))
+                .enumerate()
+                .map(|(ci, ((a_chunk, ub_chunk), lb_chunk))| {
+                    Box::new(move || {
+                        let mut ed = OpCounters::new();
+                        let mut other = OpCounters::new();
+                        let mut changed = 0u64;
+                        for (j, (a_slot, ub_slot)) in
+                            a_chunk.iter_mut().zip(ub_chunk.iter_mut()).enumerate()
+                        {
+                            let i = ci * CH + j;
+                            let row = dataset.row(i);
+                            let lb_row = &mut lb_chunk[j * t..(j + 1) * t];
+                            let min_lb = lb_row.iter().copied().fold(f64::INFINITY, f64::min);
+                            other.prune_test();
+                            if *ub_slot <= min_lb {
+                                continue; // global filter
+                            }
+                            *ub_slot = exact_dist(row, &centers[*a_slot], &mut ed);
+                            other.prune_test();
+                            if *ub_slot <= min_lb {
+                                continue;
+                            }
+                            let old = *a_slot;
+                            for g in 0..t {
+                                other.prune_test();
+                                if lb_row[g] >= *ub_slot {
+                                    continue; // group filter (bound stays valid)
+                                }
+                                let mut new_lb = f64::INFINITY;
+                                for (c, center) in centers.iter().enumerate() {
+                                    if group_of[c] != g || c == *a_slot {
+                                        continue;
+                                    }
+                                    if let Some(assist) = assist {
+                                        other.prune_test();
+                                        let lb_pim = assist.lb_dist(i, c);
+                                        if lb_pim >= *ub_slot {
+                                            new_lb = new_lb.min(lb_pim);
+                                            continue; // PIM filter
+                                        }
+                                    }
+                                    let dist = exact_dist(row, center, &mut ed);
+                                    other.prune_test();
+                                    if dist < *ub_slot {
+                                        // The displaced assignment feeds its
+                                        // group's bound.
+                                        let (old_a, old_ub) = (*a_slot, *ub_slot);
+                                        *a_slot = c;
+                                        *ub_slot = dist;
+                                        if group_of[old_a] == g {
+                                            new_lb = new_lb.min(old_ub);
+                                        } else {
+                                            let og = group_of[old_a];
+                                            lb_row[og] = lb_row[og].min(old_ub);
+                                        }
+                                    } else {
+                                        new_lb = new_lb.min(dist);
+                                    }
+                                }
+                                lb_row[g] = new_lb;
+                            }
+                            if *a_slot != old {
+                                changed += 1;
+                            }
                         }
-                    }
-                    let dist = exact_dist(row, center, &mut ed);
-                    other.prune_test();
-                    if dist < ub[i] {
-                        // The displaced assignment feeds its group's bound.
-                        let (old_a, old_ub) = (assignments[i], ub[i]);
-                        assignments[i] = c;
-                        ub[i] = dist;
-                        if group_of[old_a] == g {
-                            new_lb = new_lb.min(old_ub);
-                        } else {
-                            let og = group_of[old_a];
-                            lb[i * t + og] = lb[i * t + og].min(old_ub);
-                        }
-                    } else {
-                        new_lb = new_lb.min(dist);
-                    }
-                }
-                lb[i * t + g] = new_lb;
-            }
-            if assignments[i] != old {
-                changed += 1;
+                        (ed, other, changed)
+                    }) as simpim_par::Job<'_, _>
+                })
+                .collect();
+            for (chunk_ed, chunk_other, chunk_changed) in simpim_par::join_all(jobs) {
+                ed.add(&chunk_ed);
+                other.add(&chunk_other);
+                changed += chunk_changed;
             }
         }
         report.profile.record("ED", ed);

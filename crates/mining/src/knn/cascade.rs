@@ -94,7 +94,7 @@ pub fn knn_cascade(
     charge_stage(&stages[0].eval_cost(), n as u64, &mut first_counters);
     let mut order: Vec<(f64, usize)> = (0..n).map(|i| (prepared[0].bound(i), i)).collect();
     report.profile.record(&stages[0].name(), first_counters);
-    order.sort_by(|a, b| {
+    simpim_par::sort_by(&mut order, |a, b| {
         let ord = a.0.total_cmp(&b.0);
         if measure.smaller_is_closer() {
             ord.then(a.1.cmp(&b.1))
@@ -105,30 +105,70 @@ pub fn knn_cascade(
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
     drop(filter_span);
 
+    // Parallel chunked refinement (see DESIGN.md §10). Chunk boundaries
+    // come from `refine_chunk_schedule(n, k)` — a pure function of the
+    // workload, never the thread count — and each chunk prunes against a
+    // τ snapshot taken at its start. A stale (weaker) τ can only let extra
+    // candidates through to exact evaluation, never drop a true neighbor,
+    // and because workers return results merged in candidate order the
+    // pool update sequence is identical at any `SIMPIM_THREADS`.
     let refine_span = simpim_obs::span!("mining.knn.refine");
     let mut stage_evals = vec![0u64; stages.len()];
     let mut stage_pruned = vec![0u64; stages.len()];
     let mut refined = 0u64;
-    'walk: for (pos, &(bound1, i)) in order.iter().enumerate() {
+    'walk: for chunk in crate::knn::refine_chunk_schedule(n, k) {
         other.prune_test();
-        if top.prunable(bound1) {
-            // Sorted first-stage bound: everything after is prunable too.
-            stage_pruned[0] += (n - pos) as u64;
+        if top.prunable(order[chunk.start].0) {
+            // Sorted first-stage bound: this chunk and everything after
+            // is prunable too.
+            stage_pruned[0] += (n - chunk.start) as u64;
             break 'walk;
         }
-        for (si, prep) in prepared.iter().enumerate().skip(1) {
-            stage_evals[si] += 1;
-            other.prune_test();
-            if top.prunable(prep.bound(i)) {
-                stage_pruned[si] += 1;
-                continue 'walk;
+        let snap = &top.clone();
+        let cands = &order[chunk];
+        let prepared = &prepared;
+        let chunks = simpim_par::map_chunks(cands.len(), crate::knn::REFINE_TASK, |r| {
+            let mut refined = Vec::new();
+            let mut exact = OpCounters::new();
+            let mut other = OpCounters::new();
+            let mut evals = vec![0u64; prepared.len()];
+            let mut pruned = vec![0u64; prepared.len()];
+            'cand: for &(bound1, i) in &cands[r] {
+                other.prune_test();
+                if snap.prunable(bound1) {
+                    pruned[0] += 1;
+                    continue 'cand;
+                }
+                for (si, prep) in prepared.iter().enumerate().skip(1) {
+                    evals[si] += 1;
+                    other.prune_test();
+                    if snap.prunable(prep.bound(i)) {
+                        pruned[si] += 1;
+                        continue 'cand;
+                    }
+                }
+                exact.random_fetches += 1;
+                match exact_eval(measure, dataset.row(i), query, &mut exact) {
+                    Ok(v) => refined.push((i, v)),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((refined, exact, other, evals, pruned))
+        });
+        for res in chunks {
+            let (hits, exact, task_other, evals, pruned) = res?;
+            exact_counters.add(&exact);
+            other.add(&task_other);
+            for (si, (e, p)) in evals.iter().zip(&pruned).enumerate() {
+                stage_evals[si] += e;
+                stage_pruned[si] += p;
+            }
+            refined += hits.len() as u64;
+            for (i, v) in hits {
+                other.prune_test();
+                top.offer(i, v);
             }
         }
-        exact_counters.random_fetches += 1;
-        refined += 1;
-        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
-        other.prune_test();
-        top.offer(i, v);
     }
     drop(refine_span);
     for (si, stage) in stages.iter().enumerate().skip(1) {

@@ -7,11 +7,43 @@ pub mod pim;
 pub mod resident;
 pub mod standard;
 
+use std::ops::Range;
+
 use simpim_similarity::{measures, Measure};
 use simpim_simkit::OpCounters;
 
 use crate::error::MiningError;
 use crate::report::RunReport;
+
+/// Candidates handled per worker task inside one refinement chunk.
+pub(crate) const REFINE_TASK: usize = 8;
+
+/// Deterministic chunk schedule for the parallel refinement walk, a pure
+/// function of `(n, k)` — never of the thread count, so chunk boundaries
+/// (and with them every τ snapshot and counter) are identical at any
+/// `SIMPIM_THREADS`.
+///
+/// The first chunk holds the `k` best-bounded candidates (they seed the
+/// pool; with an underfull pool nothing is prunable anyway), then chunks
+/// grow geometrically from 16. Small early chunks keep the threshold
+/// snapshots nearly as fresh as the serial walk's — staleness within a
+/// chunk can only *add* exact refinements, never change the result — while
+/// the geometric growth amortizes fork/join overhead over the long pruned
+/// tail.
+pub(crate) fn refine_chunk_schedule(n: usize, k: usize) -> Vec<Range<usize>> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut next = k.max(1);
+    let mut grow = 16usize;
+    while start < n {
+        let end = (start + next).min(n);
+        chunks.push(start..end);
+        start = end;
+        next = grow;
+        grow = (grow * 2).min(4096);
+    }
+    chunks
+}
 
 /// The result of one kNN query: the exact k nearest objects (best first,
 /// ties broken by index) and the run's instrumentation.
@@ -213,6 +245,23 @@ mod tests {
         let mut c2 = OpCounters::new();
         exact_eval(Measure::Cosine, &[1.0, 0.0], &[1.0, 0.0], &mut c2).unwrap();
         assert_eq!(c2.div, 1);
+    }
+
+    #[test]
+    fn refine_schedule_covers_every_candidate_exactly_once() {
+        for (n, k) in [(0, 5), (1, 5), (7, 10), (300, 10), (5000, 1), (4097, 100)] {
+            let chunks = refine_chunk_schedule(n, k);
+            let mut expect = 0usize;
+            for c in &chunks {
+                assert_eq!(c.start, expect, "n={n} k={k}");
+                assert!(c.end > c.start, "n={n} k={k}");
+                expect = c.end;
+            }
+            assert_eq!(expect, n, "n={n} k={k}");
+            if n > k {
+                assert_eq!(chunks[0], 0..k, "warm-up chunk seeds the pool");
+            }
+        }
     }
 
     #[test]

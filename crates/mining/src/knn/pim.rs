@@ -77,7 +77,7 @@ pub fn knn_pim_ed(
         .enumerate()
         .map(|(i, v)| (v, i))
         .collect();
-    order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    simpim_par::sort_by(&mut order, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
 
     let prepared: Vec<_> = retained.stages().map(|s| s.prepare(query)).collect();
@@ -87,31 +87,63 @@ pub fn knn_pim_ed(
     let mut pim_pruned = 0u64;
     let mut refined = 0u64;
 
-    'walk: for (pos, &(lb, i)) in order.iter().enumerate() {
+    // Parallel chunked refinement against per-chunk τ snapshots; chunk
+    // boundaries and merge order are thread-count independent (see
+    // `knn::cascade` and DESIGN.md §10).
+    'walk: for chunk in crate::knn::refine_chunk_schedule(n, k) {
         other.prune_test();
-        if top.prunable(lb) {
-            // Sorted PIM bounds: the rest are pruned too.
-            pim_pruned = (n - pos) as u64;
+        if top.prunable(order[chunk.start].0) {
+            // Sorted PIM bounds: this chunk and the rest are pruned too.
+            pim_pruned += (n - chunk.start) as u64;
             break 'walk;
         }
-        for (si, prep) in prepared.iter().enumerate() {
-            stage_evals[si] += 1;
-            other.prune_test();
-            if top.prunable(prep.bound(i)) {
-                stage_pruned[si] += 1;
-                continue 'walk;
+        let snap = &top.clone();
+        let cands = &order[chunk];
+        let prepared = &prepared;
+        let chunks = simpim_par::map_chunks(cands.len(), crate::knn::REFINE_TASK, |r| {
+            let mut hits = Vec::new();
+            let mut exact = OpCounters::new();
+            let mut other = OpCounters::new();
+            let mut evals = vec![0u64; prepared.len()];
+            let mut pruned = vec![0u64; prepared.len()];
+            let mut pim_pruned = 0u64;
+            'cand: for &(lb, i) in &cands[r] {
+                other.prune_test();
+                if snap.prunable(lb) {
+                    pim_pruned += 1;
+                    continue 'cand;
+                }
+                for (si, prep) in prepared.iter().enumerate() {
+                    evals[si] += 1;
+                    other.prune_test();
+                    if snap.prunable(prep.bound(i)) {
+                        pruned[si] += 1;
+                        continue 'cand;
+                    }
+                }
+                exact.random_fetches += 1;
+                match exact_eval(Measure::EuclideanSq, dataset.row(i), query, &mut exact) {
+                    Ok(v) => hits.push((i, v)),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((hits, exact, other, evals, pruned, pim_pruned))
+        });
+        for res in chunks {
+            let (hits, exact, task_other, evals, pruned, task_pim_pruned) = res?;
+            exact_counters.add(&exact);
+            other.add(&task_other);
+            pim_pruned += task_pim_pruned;
+            for (si, (e, p)) in evals.iter().zip(&pruned).enumerate() {
+                stage_evals[si] += e;
+                stage_pruned[si] += p;
+            }
+            refined += hits.len() as u64;
+            for (i, v) in hits {
+                other.prune_test();
+                top.offer(i, v);
             }
         }
-        exact_counters.random_fetches += 1;
-        refined += 1;
-        let v = exact_eval(
-            Measure::EuclideanSq,
-            dataset.row(i),
-            query,
-            &mut exact_counters,
-        )?;
-        other.prune_test();
-        top.offer(i, v);
     }
     for (si, stage) in stage_list.iter().enumerate() {
         let mut c = OpCounters::new();
@@ -189,23 +221,51 @@ pub fn knn_pim_sim(
         .enumerate()
         .map(|(i, v)| (v, i))
         .collect();
-    order.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    simpim_par::sort_by(&mut order, |a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     other.cmp += (n as f64 * (n as f64).log2().max(1.0)) as u64;
 
+    // Same chunked parallel walk as the ED path, minus retained stages.
     let mut pruned = 0u64;
     let mut refined = 0u64;
-    for (pos, &(ub, i)) in order.iter().enumerate() {
+    'walk: for chunk in crate::knn::refine_chunk_schedule(n, k) {
         other.prune_test();
-        if top.prunable(ub) {
-            // Sorted descending: the rest cannot qualify.
-            pruned = (n - pos) as u64;
-            break;
+        if top.prunable(order[chunk.start].0) {
+            // Sorted descending: this chunk and the rest cannot qualify.
+            pruned += (n - chunk.start) as u64;
+            break 'walk;
         }
-        exact_counters.random_fetches += 1;
-        refined += 1;
-        let v = exact_eval(measure, dataset.row(i), query, &mut exact_counters)?;
-        other.prune_test();
-        top.offer(i, v);
+        let snap = &top.clone();
+        let cands = &order[chunk];
+        let chunks = simpim_par::map_chunks(cands.len(), crate::knn::REFINE_TASK, |r| {
+            let mut hits = Vec::new();
+            let mut exact = OpCounters::new();
+            let mut other = OpCounters::new();
+            let mut pruned = 0u64;
+            for &(ub, i) in &cands[r] {
+                other.prune_test();
+                if snap.prunable(ub) {
+                    pruned += 1;
+                    continue;
+                }
+                exact.random_fetches += 1;
+                match exact_eval(measure, dataset.row(i), query, &mut exact) {
+                    Ok(v) => hits.push((i, v)),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((hits, exact, other, pruned))
+        });
+        for res in chunks {
+            let (hits, exact, task_other, task_pruned) = res?;
+            exact_counters.add(&exact);
+            other.add(&task_other);
+            pruned += task_pruned;
+            refined += hits.len() as u64;
+            for (i, v) in hits {
+                other.prune_test();
+                top.offer(i, v);
+            }
+        }
     }
 
     let bound = executor.bound_name();

@@ -88,26 +88,59 @@ pub fn refine_resident(
         .map(|(i, v)| (v, i))
         .collect();
     if smaller_is_closer {
-        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(ids[a.1].cmp(&ids[b.1])));
+        simpim_par::sort_by(&mut order, |a, b| {
+            a.0.total_cmp(&b.0).then(ids[a.1].cmp(&ids[b.1]))
+        });
     } else {
-        order.sort_by(|a, b| b.0.total_cmp(&a.0).then(ids[a.1].cmp(&ids[b.1])));
+        simpim_par::sort_by(&mut order, |a, b| {
+            b.0.total_cmp(&a.0).then(ids[a.1].cmp(&ids[b.1]))
+        });
     }
     let live_n = order.len();
     counters.cmp += (live_n as f64 * (live_n as f64).log2().max(1.0)) as u64;
 
+    // Parallel chunked walk (see `knn::cascade` / DESIGN.md §10): fixed
+    // chunk boundaries from `refine_chunk_schedule`, per-chunk τ
+    // snapshots, offers merged in candidate order — results and counters
+    // are identical at any `SIMPIM_THREADS`.
     let mut refined = 0u64;
     let mut pruned = 0u64;
-    for (pos, &(bound, i)) in order.iter().enumerate() {
+    'walk: for chunk in crate::knn::refine_chunk_schedule(live_n, k.min(live_n.max(1))) {
         counters.prune_test();
-        if top.prunable(bound) {
-            pruned = (live_n - pos) as u64;
-            break;
+        if top.prunable(order[chunk.start].0) {
+            pruned += (live_n - chunk.start) as u64;
+            break 'walk;
         }
-        counters.random_fetches += 1;
-        refined += 1;
-        let v = exact_eval(measure, rows.row(i), query, counters)?;
-        counters.prune_test();
-        top.offer(ids[i], v);
+        let snap = &top.clone();
+        let cands = &order[chunk];
+        let chunks = simpim_par::map_chunks(cands.len(), crate::knn::REFINE_TASK, |r| {
+            let mut hits = Vec::new();
+            let mut local = OpCounters::new();
+            let mut pruned = 0u64;
+            for &(bound, i) in &cands[r] {
+                local.prune_test();
+                if snap.prunable(bound) {
+                    pruned += 1;
+                    continue;
+                }
+                local.random_fetches += 1;
+                match exact_eval(measure, rows.row(i), query, &mut local) {
+                    Ok(v) => hits.push((ids[i], v)),
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((hits, local, pruned))
+        });
+        for res in chunks {
+            let (hits, local, task_pruned) = res?;
+            counters.add(&local);
+            pruned += task_pruned;
+            refined += hits.len() as u64;
+            for (id, v) in hits {
+                counters.prune_test();
+                top.offer(id, v);
+            }
+        }
     }
     Ok(ShardRefine {
         neighbors: top.into_sorted(),

@@ -19,6 +19,11 @@ use crate::faults::{CellFault, CrossbarHealth, FaultConfig};
 use crate::gather::{dataset_crossbar_cost, CrossbarCost};
 use crate::timing::{dot_batch_timing, program_timing_ns, PimTiming};
 
+/// Objects per pool task when a dot-product batch fans out. A fixed
+/// constant (never derived from the worker count) so chunk boundaries —
+/// and therefore results — are identical at every `SIMPIM_THREADS`.
+const DOT_BATCH_CHUNK: usize = 256;
+
 /// Identifies one programmed region of the PIM array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct RegionId(pub usize);
@@ -451,21 +456,39 @@ impl PimArray {
         // accumulator width — bit-identical to the streamed bit-sliced
         // pipeline (wrapping commutes with shift-and-add; proven against
         // `Crossbar::dot_products` in tests).
+        //
+        // Objects are independent, so the batch fans out across the pool
+        // in fixed `DOT_BATCH_CHUNK`-object chunks — the per-crossbar
+        // concurrency the physical array has by construction. Chunk
+        // results are stitched back in object order and `max_partial` is
+        // an order-independent max, so the output is bit-identical to the
+        // serial loop at any thread count.
+        let m = self.cfg.crossbar.size;
+        let s = reg.s;
+        let data = &reg.data;
+        let per_chunk = simpim_par::map_chunks(reg.n, DOT_BATCH_CHUNK, |objs| {
+            let mut vals = Vec::with_capacity(objs.len());
+            let mut chunk_max: u64 = 0;
+            for row in data[objs.start * s..objs.end * s].chunks_exact(s) {
+                let mut total: u128 = 0;
+                for (chunk_q, chunk_v) in query.chunks(m).zip(row.chunks(m)) {
+                    let partial: u128 = chunk_q
+                        .iter()
+                        .zip(chunk_v)
+                        .map(|(&a, &b)| u128::from(a) * u128::from(b))
+                        .sum();
+                    chunk_max = chunk_max.max(partial.min(u128::from(u64::MAX)) as u64);
+                    total = total.wrapping_add(partial);
+                }
+                vals.push(acc.wrap(total));
+            }
+            (vals, chunk_max)
+        });
         let mut values = Vec::with_capacity(reg.n);
         let mut max_partial: u64 = 0;
-        let m = self.cfg.crossbar.size;
-        for row in reg.data.chunks_exact(reg.s) {
-            let mut total: u128 = 0;
-            for (chunk_q, chunk_v) in query.chunks(m).zip(row.chunks(m)) {
-                let partial: u128 = chunk_q
-                    .iter()
-                    .zip(chunk_v)
-                    .map(|(&a, &b)| u128::from(a) * u128::from(b))
-                    .sum();
-                max_partial = max_partial.max(partial.min(u128::from(u64::MAX)) as u64);
-                total = total.wrapping_add(partial);
-            }
-            values.push(acc.wrap(total));
+        for (vals, chunk_max) in per_chunk {
+            values.extend(vals);
+            max_partial = max_partial.max(chunk_max);
         }
 
         // Read through the injected faults: corrupted objects return the
@@ -561,6 +584,10 @@ impl PimArray {
         let g = reg.cost.group_size;
         let input_bits = bits_needed_slice(query);
         let q64: Vec<u64> = query.iter().map(|&v| u64::from(v)).collect();
+        // Slice the query once per dispatch; every crossbar it streams to
+        // (stacked slots, per-chunk data crossbars across all groups)
+        // reuses the cached DAC slices.
+        let sliced_q = crate::bitslice::SlicedQuery::new(&q64, input_bits, xb_cfg.dac_bits)?;
         let mut values = Vec::with_capacity(reg.n);
 
         if reg.s <= m {
@@ -590,7 +617,7 @@ impl PimArray {
                 let gi = obj / g;
                 let xb = &crossbars[gi / slots];
                 let start_row = (gi % slots) * reg.s;
-                let outs = xb.dot_products(start_row, &q64, input_bits, b)?;
+                let outs = xb.dot_products_sliced(start_row, &sliced_q, b)?;
                 values.push(acc.wrap(outs[obj % g]));
             }
         } else {
@@ -599,6 +626,11 @@ impl PimArray {
             // level.
             let chunks = reg.cost.chunks_per_object;
             let n_groups = reg.n.div_ceil(g);
+            // Per-chunk sub-queries sliced once, reused by every group.
+            let sliced_chunks: Vec<crate::bitslice::SlicedQuery> = (0..q64.len())
+                .step_by(m)
+                .map(|start| sliced_q.slice_range(start..(start + m).min(q64.len())))
+                .collect();
             let mut gather = Crossbar::new(xb_cfg)?;
             gather.program_all_ones()?;
             for gi in 0..n_groups {
@@ -619,10 +651,10 @@ impl PimArray {
                 }
                 // One streamed pass per chunk, then tree reduction per
                 // object through the all-ones gather crossbar.
-                let per_chunk: Vec<Vec<u128>> = q64
-                    .chunks(m)
+                let per_chunk: Vec<Vec<u128>> = sliced_chunks
+                    .iter()
                     .zip(&data_xbs)
-                    .map(|(cq, xb)| xb.dot_products(0, cq, input_bits, b))
+                    .map(|(cq, xb)| xb.dot_products_sliced(0, cq, b))
                     .collect::<Result<_, _>>()?;
                 for j in 0..g {
                     let obj = gi * g + j;

@@ -78,6 +78,83 @@ pub fn shift_add(partials: &[Vec<u64>], cell_bits: u32, dac_bits: u32) -> u128 {
     acc
 }
 
+/// A query whose elements have been DAC-sliced once, up front.
+///
+/// Streaming the same query to several crossbars (stacked slots, chunked
+/// dimensions, parallel region groups) used to re-run [`slice_input`] per
+/// destination; slicing is a pure function of `(query, input_bits,
+/// dac_bits)`, so the executor now slices once per dispatch and hands the
+/// cached slices to every crossbar it streams to.
+#[derive(Debug, Clone)]
+pub struct SlicedQuery {
+    /// `slices[i][k]` — DAC level of element `i` at streaming cycle `k`.
+    slices: Vec<Vec<u16>>,
+    input_bits: u32,
+    dac_bits: u32,
+}
+
+impl SlicedQuery {
+    /// Slices every element of `query` into `⌈input_bits/dac_bits⌉` DAC
+    /// levels (least-significant first).
+    pub fn new(query: &[u64], input_bits: u32, dac_bits: u32) -> Result<Self, ReRamError> {
+        let mut slices = Vec::with_capacity(query.len());
+        for &qv in query {
+            slices.push(slice_input(qv, input_bits, dac_bits)?);
+        }
+        Ok(Self {
+            slices,
+            input_bits,
+            dac_bits,
+        })
+    }
+
+    /// Number of query elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// `true` when the query has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// A sub-query over elements `range` (used when a query is split
+    /// across row-chunked crossbars). Cheap clone of the cached slices.
+    pub fn slice_range(&self, range: std::ops::Range<usize>) -> SlicedQuery {
+        SlicedQuery {
+            slices: self.slices[range].to_vec(),
+            input_bits: self.input_bits,
+            dac_bits: self.dac_bits,
+        }
+    }
+
+    /// Streaming cycle count `⌈input_bits/dac_bits⌉`.
+    #[inline]
+    pub fn cycles(&self) -> usize {
+        self.input_bits.div_ceil(self.dac_bits) as usize
+    }
+
+    /// The bit width the query was sliced at.
+    #[inline]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// The DAC resolution the query was sliced for.
+    #[inline]
+    pub fn dac_bits(&self) -> u32 {
+        self.dac_bits
+    }
+
+    /// DAC level of element `i` at cycle `k` (0 past the last slice).
+    #[inline]
+    pub fn level(&self, i: usize, k: usize) -> u16 {
+        self.slices[i].get(k).copied().unwrap_or(0)
+    }
+}
+
 /// Minimum bit-width needed to represent `value` (at least 1).
 #[inline]
 pub fn bits_needed(value: u64) -> u32 {

@@ -7,25 +7,41 @@
 //! [`Crossbar::dot_products`] runs the full streamed pipeline and
 //! recombines partials with shift-and-add.
 
-use crate::bitslice::{slice_input, slice_operand};
+use crate::bitslice::{slice_operand, SlicedQuery};
 use crate::cell::Cell;
 use crate::config::CrossbarConfig;
 use crate::error::ReRamError;
 
 /// A fully materialized crossbar of `m×m` cells.
+///
+/// Alongside the row-major cell array, the crossbar maintains *column
+/// bit-planes*: for every bitline `col` and cell-bit position `s`, a
+/// row-packed `u64` bitmap of which rows store a 1 in bit `s` of their
+/// level. The planes are kept in sync by [`Crossbar::program_cell`] and
+/// let the ideal analog cycle run word-wide (one AND+popcount covers 64
+/// rows of a bit-plane) instead of cell-by-cell — see
+/// [`Crossbar::packed_cycle`].
 #[derive(Debug, Clone)]
 pub struct Crossbar {
     cfg: CrossbarConfig,
     cells: Vec<Cell>, // row-major m×m
+    /// `planes[(col·h + s)·words + w]` — bit `r` of word `w` set iff bit
+    /// `s` of the level at `(row 64·w + r, col)` is 1.
+    planes: Vec<u64>,
+    /// `⌈m/64⌉` — row words per (column, bit) plane.
+    words: usize,
 }
 
 impl Crossbar {
     /// A blank crossbar with all cells at level 0.
     pub fn new(cfg: CrossbarConfig) -> Result<Self, ReRamError> {
         cfg.validate()?;
+        let words = cfg.size.div_ceil(64);
         Ok(Self {
             cfg,
             cells: vec![Cell::new(); cfg.cells()],
+            planes: vec![0u64; cfg.size * cfg.cell_bits as usize * words],
+            words,
         })
     }
 
@@ -58,7 +74,20 @@ impl Crossbar {
             });
         }
         let i = self.idx(row, col);
-        self.cells[i].program(level, self.cfg.cell_bits)
+        self.cells[i].program(level, self.cfg.cell_bits)?;
+        // Mirror the new level into the column bit-planes.
+        let word = row / 64;
+        let mask = 1u64 << (row % 64);
+        for s in 0..self.cfg.cell_bits {
+            let p = &mut self.planes
+                [(col * self.cfg.cell_bits as usize + s as usize) * self.words + word];
+            if (level >> s) & 1 == 1 {
+                *p |= mask;
+            } else {
+                *p &= !mask;
+            }
+        }
+        Ok(())
     }
 
     /// Reads one cell's level.
@@ -158,6 +187,135 @@ impl Crossbar {
         Ok(sums)
     }
 
+    /// Word-wide (packed) variant of [`Crossbar::analog_cycle`] —
+    /// bit-identical results, computed from the column bit-planes.
+    ///
+    /// The analog sum decomposes over input bits `t` and cell bits `s`:
+    ///
+    /// ```text
+    /// Σ_row u[row]·level[row][col]
+    ///   = Σ_t Σ_s 2^(t+s) · |{row : bit_t(u[row]) ∧ bit_s(level[row][col])}|
+    /// ```
+    ///
+    /// so after packing each input bit `t` into a row bitmap, one
+    /// AND+popcount per 64 rows replaces 64 multiply-accumulates. All
+    /// arithmetic is exact integer counting, so the result equals the
+    /// scalar cycle bit for bit (asserted exhaustively in the tests).
+    pub fn packed_cycle(&self, inputs: &[u16]) -> Result<Vec<u64>, ReRamError> {
+        let m = self.cfg.size;
+        if inputs.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "inputs",
+                got: inputs.len(),
+                limit: m,
+            });
+        }
+        let dac_max = 1u16 << self.cfg.dac_bits;
+        let dac_bits = self.cfg.dac_bits as usize;
+        let cell_bits = self.cfg.cell_bits as usize;
+        let words = self.words;
+        // Pack input bit `t` across rows: in_planes[t·words + row/64].
+        let mut in_planes = vec![0u64; dac_bits * words];
+        let mut any = false;
+        for (row, &u) in inputs.iter().enumerate() {
+            if u >= dac_max {
+                return Err(ReRamError::OperandOverflow {
+                    value: u64::from(u),
+                    bits: self.cfg.dac_bits,
+                });
+            }
+            if u == 0 {
+                continue;
+            }
+            any = true;
+            let mask = 1u64 << (row % 64);
+            for (t, chunk) in in_planes.chunks_exact_mut(words).enumerate() {
+                if (u >> t) & 1 == 1 {
+                    chunk[row / 64] |= mask;
+                }
+            }
+        }
+        let mut sums = vec![0u64; m];
+        if any {
+            for (col, sum) in sums.iter_mut().enumerate() {
+                let mut acc = 0u64;
+                let col_planes = &self.planes[col * cell_bits * words..];
+                for s in 0..cell_bits {
+                    let plane = &col_planes[s * words..(s + 1) * words];
+                    for (t, in_plane) in in_planes.chunks_exact(words).enumerate() {
+                        let mut count = 0u32;
+                        for (&p, &q) in plane.iter().zip(in_plane) {
+                            count += (p & q).count_ones();
+                        }
+                        acc += u64::from(count) << (s + t);
+                    }
+                }
+                *sum = acc;
+            }
+        }
+        let adc_limit = 1u64 << self.cfg.adc_bits;
+        for &s in &sums {
+            if s >= adc_limit {
+                return Err(ReRamError::AdcOverflow {
+                    value: s,
+                    adc_bits: self.cfg.adc_bits,
+                });
+            }
+        }
+        Ok(sums)
+    }
+
+    /// The shared streamed pipeline behind every `dot_products*` variant:
+    /// drive the cached query slices cycle by cycle through `cycle_fn`
+    /// (ideal/noisy/faulty analog model) and recombine the per-bitline
+    /// sums with shift-and-add. Keeping the slicing, drive staging, and
+    /// S&A in one place means kernel changes (like the packed cycle) land
+    /// exactly once.
+    fn streamed_pipeline<F>(
+        &self,
+        start_row: usize,
+        sliced: &SlicedQuery,
+        operand_bits: u32,
+        mut cycle_fn: F,
+    ) -> Result<Vec<u128>, ReRamError>
+    where
+        F: FnMut(&[u16]) -> Result<Vec<u64>, ReRamError>,
+    {
+        let m = self.cfg.size;
+        if start_row + sliced.len() > m {
+            return Err(ReRamError::GeometryViolation {
+                what: "query rows",
+                got: start_row + sliced.len(),
+                limit: m,
+            });
+        }
+        if sliced.dac_bits() != self.cfg.dac_bits {
+            return Err(ReRamError::InvalidConfig {
+                what: "query sliced for a different DAC resolution",
+            });
+        }
+        let w = self.cfg.cells_per_operand(operand_bits);
+        let n_ops = m / w;
+        let cycles = sliced.cycles();
+        let mut results = vec![0u128; n_ops];
+        let mut drive = vec![0u16; start_row + sliced.len()];
+        for k in 0..cycles {
+            for (i, d) in drive[start_row..].iter_mut().enumerate() {
+                *d = sliced.level(i, k);
+            }
+            let sums = cycle_fn(&drive)?;
+            // Shift-and-add: bitline c·w + j carries operand slice j.
+            for (c, result) in results.iter_mut().enumerate() {
+                for j in 0..w {
+                    let p = sums[c * w + j];
+                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
+                    *result = result.wrapping_add(u128::from(p) << shift);
+                }
+            }
+        }
+        Ok(results)
+    }
+
     /// The full streamed dot-product pipeline of Fig. 2 for one query.
     ///
     /// `query[i]` multiplies the operands stored on rows
@@ -175,39 +333,22 @@ impl Crossbar {
         input_bits: u32,
         operand_bits: u32,
     ) -> Result<Vec<u128>, ReRamError> {
-        let m = self.cfg.size;
-        if start_row + query.len() > m {
-            return Err(ReRamError::GeometryViolation {
-                what: "query rows",
-                got: start_row + query.len(),
-                limit: m,
-            });
-        }
-        let w = self.cfg.cells_per_operand(operand_bits);
-        let n_ops = m / w;
-        // Stream the query through the DAC `dac_bits` at a time.
-        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
-        for &qv in query {
-            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
-        }
-        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
-        let mut results = vec![0u128; n_ops];
-        let mut drive = vec![0u16; start_row + query.len()];
-        for k in 0..cycles {
-            for (i, s) in sliced.iter().enumerate() {
-                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
-            }
-            let sums = self.analog_cycle(&drive)?;
-            // Shift-and-add: bitline c·w + j carries operand slice j.
-            for (c, result) in results.iter_mut().enumerate() {
-                for j in 0..w {
-                    let p = sums[c * w + j];
-                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
-                    *result = result.wrapping_add(u128::from(p) << shift);
-                }
-            }
-        }
-        Ok(results)
+        let sliced = SlicedQuery::new(query, input_bits, self.cfg.dac_bits)?;
+        self.dot_products_sliced(start_row, &sliced, operand_bits)
+    }
+
+    /// [`Crossbar::dot_products`] over a pre-sliced query — the hot entry
+    /// point when the same query streams to many crossbars (the caller
+    /// slices once per dispatch). Runs the word-wide packed cycle.
+    pub fn dot_products_sliced(
+        &self,
+        start_row: usize,
+        sliced: &SlicedQuery,
+        operand_bits: u32,
+    ) -> Result<Vec<u128>, ReRamError> {
+        self.streamed_pipeline(start_row, sliced, operand_bits, |drive| {
+            self.packed_cycle(drive)
+        })
     }
 
     /// One analog cycle under bounded conductance variation: each cell
@@ -274,37 +415,10 @@ impl Crossbar {
         operand_bits: u32,
         variation: &crate::variation::VariationModel,
     ) -> Result<Vec<u128>, ReRamError> {
-        let m = self.cfg.size;
-        if start_row + query.len() > m {
-            return Err(ReRamError::GeometryViolation {
-                what: "query rows",
-                got: start_row + query.len(),
-                limit: m,
-            });
-        }
-        let w = self.cfg.cells_per_operand(operand_bits);
-        let n_ops = m / w;
-        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
-        for &qv in query {
-            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
-        }
-        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
-        let mut results = vec![0u128; n_ops];
-        let mut drive = vec![0u16; start_row + query.len()];
-        for k in 0..cycles {
-            for (i, s) in sliced.iter().enumerate() {
-                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
-            }
-            let sums = self.analog_cycle_noisy(&drive, variation)?;
-            for (c, result) in results.iter_mut().enumerate() {
-                for j in 0..w {
-                    let p = sums[c * w + j];
-                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
-                    *result = result.wrapping_add(u128::from(p) << shift);
-                }
-            }
-        }
-        Ok(results)
+        let sliced = SlicedQuery::new(query, input_bits, self.cfg.dac_bits)?;
+        self.streamed_pipeline(start_row, &sliced, operand_bits, |drive| {
+            self.analog_cycle_noisy(drive, variation)
+        })
     }
 
     /// One analog cycle under an attached fault model (`crossbar_id` keys
@@ -390,28 +504,10 @@ impl Crossbar {
             });
         }
         let retries = faults.glitch_retries(crossbar_id)?;
-        let w = self.cfg.cells_per_operand(operand_bits);
-        let n_ops = m / w;
-        let mut sliced: Vec<Vec<u16>> = Vec::with_capacity(query.len());
-        for &qv in query {
-            sliced.push(slice_input(qv, input_bits, self.cfg.dac_bits)?);
-        }
-        let cycles = input_bits.div_ceil(self.cfg.dac_bits) as usize;
-        let mut results = vec![0u128; n_ops];
-        let mut drive = vec![0u16; start_row + query.len()];
-        for k in 0..cycles {
-            for (i, s) in sliced.iter().enumerate() {
-                drive[start_row + i] = s.get(k).copied().unwrap_or(0);
-            }
-            let sums = self.analog_cycle_faulty(&drive, faults, crossbar_id)?;
-            for (c, result) in results.iter_mut().enumerate() {
-                for j in 0..w {
-                    let p = sums[c * w + j];
-                    let shift = (j as u32) * self.cfg.cell_bits + (k as u32) * self.cfg.dac_bits;
-                    *result = result.wrapping_add(u128::from(p) << shift);
-                }
-            }
-        }
+        let sliced = SlicedQuery::new(query, input_bits, self.cfg.dac_bits)?;
+        let results = self.streamed_pipeline(start_row, &sliced, operand_bits, |drive| {
+            self.analog_cycle_faulty(drive, faults, crossbar_id)
+        })?;
         Ok((results, retries))
     }
 
@@ -760,6 +856,115 @@ mod tests {
                 attempts: 2
             })
         );
+    }
+
+    #[test]
+    fn packed_cycle_matches_scalar_cycle_exhaustively() {
+        // All 4^4 = 256 drive vectors against a fixed multi-level cell
+        // pattern: the word-wide kernel must agree with the scalar MAC
+        // loop bit for bit.
+        let cfg = CrossbarConfig {
+            size: 4,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 8,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        for row in 0..4 {
+            for col in 0..4 {
+                xb.program_cell(row, col, ((row * 7 + col * 3) % 4) as u8)
+                    .unwrap();
+            }
+        }
+        for combo in 0u32..256 {
+            let drive: Vec<u16> = (0..4).map(|i| ((combo >> (2 * i)) & 3) as u16).collect();
+            assert_eq!(
+                xb.packed_cycle(&drive).unwrap(),
+                xb.analog_cycle(&drive).unwrap(),
+                "combo={combo}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_cycle_matches_scalar_across_word_boundaries() {
+        // 128 rows span two u64 plane words; exercise partial drives and
+        // reprogrammed cells (plane maintenance on rewrite).
+        let cfg = CrossbarConfig {
+            size: 128,
+            cell_bits: 2,
+            dac_bits: 2,
+            adc_bits: 12,
+            ..Default::default()
+        };
+        let mut xb = Crossbar::new(cfg).unwrap();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for row in 0..128 {
+            for col in 0..128 {
+                xb.program_cell(row, col, (next() % 4) as u8).unwrap();
+            }
+        }
+        // Reprogram a scattering of cells so plane bits must be cleared too.
+        for _ in 0..500 {
+            let row = (next() % 128) as usize;
+            let col = (next() % 128) as usize;
+            xb.program_cell(row, col, (next() % 4) as u8).unwrap();
+        }
+        for len in [1usize, 63, 64, 65, 100, 128] {
+            let drive: Vec<u16> = (0..len).map(|_| (next() % 4) as u16).collect();
+            assert_eq!(
+                xb.packed_cycle(&drive).unwrap(),
+                xb.analog_cycle(&drive).unwrap(),
+                "len={len}"
+            );
+        }
+        let zeros = vec![0u16; 128];
+        assert_eq!(
+            xb.packed_cycle(&zeros).unwrap(),
+            xb.analog_cycle(&zeros).unwrap()
+        );
+    }
+
+    #[test]
+    fn packed_cycle_rejects_bad_inputs_like_scalar() {
+        let xb = Crossbar::new(tiny_cfg()).unwrap();
+        assert!(xb.packed_cycle(&[4]).is_err()); // DAC overflow
+        let too_many = vec![0u16; 9];
+        assert!(xb.packed_cycle(&too_many).is_err());
+    }
+
+    #[test]
+    fn presliced_query_reuses_across_slots() {
+        use crate::bitslice::SlicedQuery;
+        let cfg = tiny_cfg();
+        let mut xb = Crossbar::new(cfg).unwrap();
+        xb.program_operand_column(0, 0, &[3, 2], 4).unwrap();
+        xb.program_operand_column(2, 0, &[7, 1], 4).unwrap();
+        let q = [2u64, 5];
+        let sliced = SlicedQuery::new(&q, 4, cfg.dac_bits).unwrap();
+        assert_eq!(
+            xb.dot_products_sliced(0, &sliced, 4).unwrap(),
+            xb.dot_products(0, &q, 4, 4).unwrap()
+        );
+        assert_eq!(
+            xb.dot_products_sliced(2, &sliced, 4).unwrap(),
+            xb.dot_products(2, &q, 4, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_dac_slicing_rejected() {
+        use crate::bitslice::SlicedQuery;
+        let xb = Crossbar::new(tiny_cfg()).unwrap(); // 2-bit DAC
+        let sliced = SlicedQuery::new(&[1, 1], 4, 4).unwrap(); // sliced for 4-bit DAC
+        assert!(xb.dot_products_sliced(0, &sliced, 4).is_err());
     }
 
     #[test]

@@ -430,19 +430,18 @@ impl Scheduler {
         let ks: Vec<usize> = live.iter().map(|q| q.k).collect();
         let queries_ref = &queries;
         let ks_ref = &ks;
-        // One scoped thread per shard: each runs the coalesced PIM pass
-        // on its own bank, concurrently.
-        let shard_results: Vec<Vec<Result<Vec<Neighbor>, ServeError>>> = thread::scope(|s| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|shard| s.spawn(move || shard.query_batch(queries_ref, ks_ref)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
+        // One job per shard on the shared `simpim-par` pool: each runs
+        // the coalesced PIM pass on its own bank, concurrently, with
+        // results returned in shard order (honors `SIMPIM_THREADS`).
+        type ShardBatch = Vec<Result<Vec<Neighbor>, ServeError>>;
+        let jobs: Vec<simpim_par::Job<'_, ShardBatch>> = self
+            .shards
+            .iter_mut()
+            .map(|shard| {
+                Box::new(move || shard.query_batch(queries_ref, ks_ref)) as simpim_par::Job<'_, _>
+            })
+            .collect();
+        let shard_results: Vec<ShardBatch> = simpim_par::join_all(jobs);
 
         for (qi, req) in live.into_iter().enumerate() {
             let mut parts = Vec::with_capacity(shard_results.len());

@@ -22,7 +22,20 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     var.max(0.0).sqrt()
 }
 
-/// Dot product of two equal-length slices.
+/// Independent accumulator lanes of the chunked kernels. Four lanes break
+/// the loop-carried add dependency so the autovectorizer can keep a full
+/// SIMD register of partial sums in flight.
+pub(crate) const LANES: usize = 4;
+
+/// Dot product of two equal-length slices — chunked kernel.
+///
+/// Accumulates into `LANES` (4) independent lanes over 4-element blocks and
+/// folds the lanes (then the ragged tail) in a fixed order, so the result
+/// is a pure function of the inputs: identical on every call, every
+/// thread count, every machine running the same float ops. It differs
+/// from the sequential [`dot_scalar`] reference only by float
+/// reassociation, bounded by a few ULPs per element (see the equivalence
+/// tests).
 ///
 /// # Panics
 /// Panics in debug builds when the lengths differ; callers validate
@@ -30,13 +43,47 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        lanes[0] += pa[0] * pb[0];
+        lanes[1] += pa[1] * pb[1];
+        lanes[2] += pa[2] * pb[2];
+        lanes[3] += pa[3] * pb[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Sequential reference form of [`dot`]: one running sum in element
+/// order. Kept for the equivalence tests and as the ground truth the
+/// chunked kernel is validated against.
+#[inline]
+pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
-/// Squared L2 norm `Σ xᵢ²`.
+/// Squared L2 norm `Σ xᵢ²` — chunked kernel (see [`dot`]).
 #[inline]
 pub fn norm_sq(xs: &[f64]) -> f64 {
-    xs.iter().map(|&x| x * x).sum()
+    let mut lanes = [0.0f64; LANES];
+    let mut cx = xs.chunks_exact(LANES);
+    for px in cx.by_ref() {
+        lanes[0] += px[0] * px[0];
+        lanes[1] += px[1] * px[1];
+        lanes[2] += px[2] * px[2];
+        lanes[3] += px[3] * px[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &x in cx.remainder() {
+        acc += x * x;
+    }
+    acc
 }
 
 /// L2 norm.
@@ -85,5 +132,50 @@ mod tests {
         assert_eq!(dot(&a, &b), 32.0);
         assert_eq!(norm_sq(&a), 14.0);
         assert!((norm(&a) - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    /// Deterministic pseudo-random f64 in [-1, 1).
+    fn prng(state: &mut u64) -> f64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        ((*state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    }
+
+    #[test]
+    fn chunked_dot_exactly_matches_scalar_on_dyadic_inputs() {
+        // Quarter-integer inputs: every product and every partial sum is
+        // exactly representable, so reassociation cannot change the
+        // result — chunked and scalar must agree bit for bit. Exhaustive
+        // over every length through several 4-lane blocks plus tails.
+        for len in 0usize..=67 {
+            let a: Vec<f64> = (0..len)
+                .map(|i| ((i * 7 + 3) % 17) as f64 * 0.25 - 2.0)
+                .collect();
+            let b: Vec<f64> = (0..len)
+                .map(|i| ((i * 5 + 1) % 13) as f64 * 0.25 - 1.5)
+                .collect();
+            assert_eq!(dot(&a, &b), dot_scalar(&a, &b), "len={len}");
+            assert_eq!(
+                norm_sq(&a),
+                a.iter().map(|&x| x * x).sum::<f64>(),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_dot_is_ulp_close_to_scalar_on_general_inputs() {
+        let mut state = 0x2545f4914f6cdd1du64;
+        for len in 0usize..=130 {
+            let a: Vec<f64> = (0..len).map(|_| prng(&mut state)).collect();
+            let b: Vec<f64> = (0..len).map(|_| prng(&mut state)).collect();
+            let magnitude: f64 = a.iter().zip(&b).map(|(&x, &y)| (x * y).abs()).sum();
+            let diff = (dot(&a, &b) - dot_scalar(&a, &b)).abs();
+            assert!(
+                diff <= 1e-12 * (1.0 + magnitude),
+                "len={len}: diff {diff} too large"
+            );
+        }
     }
 }

@@ -23,6 +23,10 @@
 //!   datasets and its LSH binary codes.
 //! * [`obs`] — span tracing, the metrics registry and schema-versioned run
 //!   artifacts (see DESIGN.md §8).
+//! * [`par`] — the deterministic data-parallel execution layer: a
+//!   dependency-free scoped thread pool with fixed chunk boundaries and
+//!   ordered reduction, so results are bit-identical at any thread count
+//!   (see DESIGN.md §10).
 //! * [`serve`] — the online query-serving engine: sharded resident
 //!   datasets, batch-coalescing scheduler, online insert/delete with
 //!   wear-aware reprogramming (see DESIGN.md §9).
@@ -38,6 +42,7 @@ pub use simpim_core as core;
 pub use simpim_datasets as datasets;
 pub use simpim_mining as mining;
 pub use simpim_obs as obs;
+pub use simpim_par as par;
 pub use simpim_profiling as profiling;
 pub use simpim_reram as reram;
 pub use simpim_serve as serve;
