@@ -8,14 +8,23 @@
 //! guard-banded bounds stay valid lower bounds (only pruning power
 //! shrinks) and quarantined objects are refined exactly on the host.
 //!
+//! The second half drills *whole-bank* loss: a replicated shard
+//! (`simpim-serve::ReplicaSet`) has 1..R−1 of its banks fail-stopped
+//! mid-stream; every answer must stay identical through the failover,
+//! and the recovery time to re-replicate the lost banks is reported.
+//!
 //! Scale the workload with `SIMPIM_BENCH_SCALE` (e.g. `0.01` for a CI
 //! smoke run).
+
+use std::time::Instant;
 
 use simpim_bounds::BoundCascade;
 use simpim_core::executor::{ExecutorConfig, PimExecutor};
 use simpim_datasets::{generate, sample_queries, spec::env_scale, SyntheticConfig};
 use simpim_mining::knn::pim::knn_pim_ed;
+use simpim_obs::Json;
 use simpim_reram::{CrossbarConfig, FaultConfig, PimConfig};
+use simpim_serve::{ReplicaSet, ShardConfig};
 use simpim_similarity::NormalizedDataset;
 
 fn exec_cfg_with(faults: Option<FaultConfig>, num_crossbars: usize) -> ExecutorConfig {
@@ -186,6 +195,90 @@ fn main() {
         );
     }
 
+    // Bank loss: fail-stop whole banks under a replicated shard
+    // mid-stream. Detection is traffic-driven (the next routed batch
+    // fails over), the repair loop re-replicates each lost bank from a
+    // surviving host mirror, and every answer — before, during, and
+    // after the loss — must match the fault-free reference.
+    let mut loss_rows = Vec::new();
+    for (name, r, kills) in [("R=2, kill 1", 2usize, 1usize), ("R=3, kill 2", 3, 2)] {
+        let shard_cfg = ShardConfig {
+            executor: exec_cfg(None),
+            spare_rows: 8,
+            ..Default::default()
+        };
+        let ids: Vec<usize> = (0..ds.len()).collect();
+        let mut set = ReplicaSet::open(shard_cfg, r, ds.clone(), ids).expect("open replica set");
+        let mut identical = true;
+        let half = queries.len() / 2;
+        for (q, want) in queries[..half].iter().zip(&reference) {
+            let got = set.query_batch(std::slice::from_ref(q), &[k]).remove(0);
+            let got: Vec<usize> = got
+                .expect("pre-kill query")
+                .iter()
+                .map(|&(id, _)| id)
+                .collect();
+            identical &= got == *want;
+        }
+        for victim in 0..kills {
+            set.kill_replica(victim);
+        }
+        let killed = Instant::now();
+        // The remaining queries stream through the loss: the first batch
+        // after each kill detects it and fails over. Repair interleaves,
+        // one replica per query, the way the engine's repair tick does.
+        for (q, want) in queries[half..].iter().zip(&reference[half..]) {
+            let got = set.query_batch(std::slice::from_ref(q), &[k]).remove(0);
+            let got: Vec<usize> = got
+                .expect("post-kill query")
+                .iter()
+                .map(|&(id, _)| id)
+                .collect();
+            identical &= got == *want;
+            if set.needs_repair() {
+                set.repair_one().expect("repair");
+            }
+        }
+        while set.needs_repair() {
+            set.repair_one().expect("repair");
+        }
+        let recovery_ns = killed.elapsed().as_nanos() as u64;
+        let stats = set.stats();
+        assert!(identical, "{name}: answers diverged through bank loss");
+        assert_eq!(stats.healthy, r, "{name}: all replicas back in routing");
+        assert_eq!(stats.repairs as usize, kills, "{name}: every kill repaired");
+        assert_eq!(
+            stats.degraded_queries, 0,
+            "{name}: never degraded (kills < R)"
+        );
+        run.note_stage(
+            &format!("bank_loss/{name}"),
+            recovery_ns,
+            stats.failovers,
+            0,
+            0,
+        );
+        run.push_extra(
+            &format!("bank_loss/{name}"),
+            Json::obj([
+                ("replicas", Json::Num(r as f64)),
+                ("killed", Json::Num(kills as f64)),
+                ("failovers", Json::Num(stats.failovers as f64)),
+                ("repairs", Json::Num(stats.repairs as f64)),
+                ("recovery_ns", Json::Num(recovery_ns as f64)),
+            ]),
+        );
+        loss_rows.push(vec![
+            name.to_string(),
+            format!("{r}"),
+            format!("{kills}"),
+            format!("{}", stats.failovers),
+            format!("{}", stats.repairs),
+            format!("{:.2}", recovery_ns as f64 / 1e6),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
     simpim_bench::print_table(
         &format!("Fault sweep: PIM kNN under injected crossbar faults (N={n}, k={k})"),
         &[
@@ -203,5 +296,20 @@ fn main() {
     println!("recovery pipeline: scrub -> classify -> remap-to-spares -> quarantine");
     println!("exactness: guard-banded bounds stay valid; quarantined rows refined");
     println!("           exactly on the host -- top-k matches fault-free bit-for-bit");
+    simpim_bench::print_table(
+        &format!("Bank loss: replicated shard with banks fail-stopped mid-stream (N={n}, k={k})"),
+        &[
+            "scenario",
+            "R",
+            "killed",
+            "failovers",
+            "repairs",
+            "recovery ms",
+            "top-k identical",
+        ],
+        &loss_rows,
+    );
+    println!("bank-loss pipeline: detect (routed batch) -> quarantine -> failover ->");
+    println!("                    re-replicate from a surviving host mirror -> rejoin");
     run.finish();
 }

@@ -771,6 +771,28 @@ impl PimExecutor {
             .collect()
     }
 
+    /// Runs one detect-and-recover pass now, outside the periodic
+    /// [`ExecutorConfig::scrub_interval`] cadence: scrub every region
+    /// against the fault map and remap dead crossbars onto spares. A
+    /// no-op without an attached fault model. The serving layer calls
+    /// this after re-replicating a shard onto a spare bank so the fresh
+    /// residency is surveyed before it rejoins routing.
+    pub fn scrub_now(&mut self) -> Result<(), CoreError> {
+        if self.cfg.faults.is_none() {
+            return Ok(());
+        }
+        self.batches_since_scrub = 0;
+        self.scrub_and_remap()
+    }
+
+    /// Whether the underlying bank is fail-stopped
+    /// ([`simpim_reram::ReRamError::BankLost`] on every command). Lost
+    /// banks cannot be recovered in place; the resident dataset must be
+    /// re-programmed onto a fresh executor.
+    pub fn bank_lost(&self) -> bool {
+        self.bank.is_lost()
+    }
+
     /// Cumulative fault-detection/recovery counters for this executor's
     /// lifetime.
     pub fn fault_counters(&self) -> &FaultCounters {

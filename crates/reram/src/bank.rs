@@ -12,7 +12,7 @@ use crate::array::{
 };
 use crate::config::{AccWidth, PimConfig};
 use crate::error::ReRamError;
-use crate::faults::{CrossbarHealth, FaultConfig};
+use crate::faults::{BankLoss, CrossbarHealth, FaultConfig};
 use crate::timing::PimTiming;
 
 /// Result of one dot-product batch issued through the bank controller.
@@ -32,6 +32,8 @@ pub struct ReRamBank {
     pim: PimArray,
     buffer: BufferArray,
     memory: MemoryArray,
+    loss: BankLoss,
+    dispatches: u64,
 }
 
 impl ReRamBank {
@@ -41,7 +43,55 @@ impl ReRamBank {
             pim: PimArray::new(cfg)?,
             buffer: BufferArray::new(cfg.buffer_bytes),
             memory: MemoryArray::new(cfg.memory_bytes),
+            loss: BankLoss::Alive,
+            dispatches: 0,
         })
+    }
+
+    /// Fail-stops the bank: every subsequent programming or dot-product
+    /// command returns [`ReRamError::BankLost`]. The injection half of the
+    /// [`BankLoss`] fault class; the stored data is considered gone, so
+    /// recovery means re-programming onto a spare bank.
+    pub fn kill(&mut self) {
+        self.loss = BankLoss::Lost;
+        simpim_obs::metrics::counter_add("simpim.reram.bank.kills", 1);
+    }
+
+    /// Revives a killed bank (test/maintenance hook). The programmed state
+    /// is still in the simulator, so a heal models a transient controller
+    /// outage rather than data loss; production recovery paths should
+    /// re-replicate instead of healing.
+    pub fn heal(&mut self) {
+        self.loss = BankLoss::Alive;
+    }
+
+    /// Whether the bank is fail-stopped (killed or past its deterministic
+    /// loss point).
+    pub fn is_lost(&self) -> bool {
+        self.loss.is_lost()
+    }
+
+    /// Dot-product dispatches served since the bank was built.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Gate shared by every controller command: fail if the bank is lost,
+    /// and trip the deterministic [`FaultConfig::bank_loss_after_dispatches`]
+    /// loss point if this bank has reached it.
+    fn ensure_alive(&mut self) -> Result<(), ReRamError> {
+        if let Some(faults) = self.pim.fault_config() {
+            if faults.bank_loss_after_dispatches > 0
+                && self.dispatches >= faults.bank_loss_after_dispatches
+                && !self.loss.is_lost()
+            {
+                self.kill();
+            }
+        }
+        if self.loss.is_lost() {
+            return Err(ReRamError::BankLost);
+        }
+        Ok(())
     }
 
     /// The platform configuration.
@@ -111,6 +161,7 @@ impl ReRamBank {
         s: usize,
         operand_bits: u32,
     ) -> Result<ProgramReport, ReRamError> {
+        self.ensure_alive()?;
         self.pim.program_region(flat, n, s, operand_bits)
     }
 
@@ -125,6 +176,7 @@ impl ReRamBank {
         s: usize,
         operand_bits: u32,
     ) -> Result<ProgramReport, ReRamError> {
+        self.ensure_alive()?;
         self.pim
             .program_region_with_capacity(flat, n, capacity, s, operand_bits)
     }
@@ -136,6 +188,7 @@ impl ReRamBank {
         region: RegionId,
         flat: &[u32],
     ) -> Result<ProgramReport, ReRamError> {
+        self.ensure_alive()?;
         let rep = self.pim.append_rows(region, flat)?;
         simpim_obs::metrics::counter_add("simpim.reram.bank.appends", 1);
         Ok(rep)
@@ -156,6 +209,8 @@ impl ReRamBank {
         query: &[u32],
         acc: AccWidth,
     ) -> Result<DotBatchResult, ReRamError> {
+        self.ensure_alive()?;
+        self.dispatches += 1;
         let mut span = simpim_obs::span!("reram.bank.dot_batch", region = region.0 as u64);
         let (values, timing) = self.pim.dot_batch(region, query, acc)?;
         let result_bytes = values.len() as u64 * acc.bytes();
@@ -237,6 +292,54 @@ mod tests {
             .dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
             .unwrap();
         assert_eq!(out.values, vec![6, 15, 24]);
+    }
+
+    #[test]
+    fn killed_bank_fail_stops_until_healed() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        let rep = bank.program_region(&[1, 2, 3, 4, 5, 6], 2, 3, 4).unwrap();
+        assert!(!bank.is_lost());
+        bank.kill();
+        assert!(bank.is_lost());
+        assert_eq!(
+            bank.dot_batch(rep.region, &[1, 1, 1], AccWidth::U64),
+            Err(ReRamError::BankLost)
+        );
+        assert_eq!(
+            bank.append_rows(rep.region, &[7, 8, 9]),
+            Err(ReRamError::BankLost)
+        );
+        assert_eq!(
+            bank.program_region(&[1, 2, 3], 1, 3, 4),
+            Err(ReRamError::BankLost)
+        );
+        bank.heal();
+        let out = bank
+            .dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
+            .unwrap();
+        assert_eq!(out.values, vec![6, 15]);
+    }
+
+    #[test]
+    fn deterministic_bank_loss_trips_at_the_configured_dispatch() {
+        let mut bank = ReRamBank::new(cfg()).unwrap();
+        let rep = bank.program_region(&[1, 2, 3, 4, 5, 6], 2, 3, 4).unwrap();
+        bank.pim_mut()
+            .enable_faults(crate::faults::FaultConfig {
+                bank_loss_after_dispatches: 2,
+                ..Default::default()
+            })
+            .unwrap();
+        for _ in 0..2 {
+            bank.dot_batch(rep.region, &[1, 1, 1], AccWidth::U64)
+                .unwrap();
+        }
+        assert_eq!(bank.dispatches(), 2);
+        assert_eq!(
+            bank.dot_batch(rep.region, &[1, 1, 1], AccWidth::U64),
+            Err(ReRamError::BankLost)
+        );
+        assert!(bank.is_lost());
     }
 
     #[test]

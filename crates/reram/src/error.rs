@@ -53,6 +53,10 @@ pub enum ReRamError {
         /// Sampling attempts made before giving up.
         attempts: u32,
     },
+    /// The whole bank is lost (fail-stop): the controller no longer
+    /// responds to programming or dot-product commands. Recovery means
+    /// re-replicating the resident data onto a spare bank.
+    BankLost,
     /// A fault/health API was called on an array without an attached
     /// fault model.
     FaultsNotEnabled,
@@ -95,6 +99,9 @@ impl fmt::Display for ReRamError {
                     "crossbar {crossbar}: ADC glitched on all {attempts} sampling attempts"
                 )
             }
+            Self::BankLost => {
+                write!(f, "bank lost: the controller is fail-stopped")
+            }
             Self::FaultsNotEnabled => {
                 write!(f, "no fault model is attached to the PIM array")
             }
@@ -129,6 +136,7 @@ mod tests {
         }
         .to_string()
         .contains("3 sampling attempts"));
+        assert!(ReRamError::BankLost.to_string().contains("bank lost"));
         assert!(ReRamError::FaultsNotEnabled
             .to_string()
             .contains("fault model"));

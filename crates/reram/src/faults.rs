@@ -44,6 +44,31 @@ pub enum CellFault {
     StuckHigh,
 }
 
+/// Fail-stop state of a whole bank — the coarsest fault class. Unlike
+/// the cell/line faults above (which corrupt *data* while the controller
+/// keeps answering), a lost bank stops responding to programming and
+/// dot-product commands entirely. There is no in-place recovery: the
+/// resident dataset must be re-programmed onto a spare bank. Banks die
+/// either through the [`ReRamBank::kill`](crate::bank::ReRamBank::kill)
+/// injection API or deterministically after
+/// [`FaultConfig::bank_loss_after_dispatches`] dot-product batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankLoss {
+    /// The controller responds normally.
+    #[default]
+    Alive,
+    /// The controller is fail-stopped; every command returns
+    /// [`ReRamError::BankLost`].
+    Lost,
+}
+
+impl BankLoss {
+    /// Whether the bank is fail-stopped.
+    pub fn is_lost(self) -> bool {
+        self == Self::Lost
+    }
+}
+
 /// Health classification of one crossbar after a scrub pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrossbarHealth {
@@ -80,6 +105,10 @@ pub struct FaultConfig {
     /// Crossbar program-count budget; exceeding it wears the crossbar
     /// out (all cells stuck-at-low). `0` disables wear-out.
     pub endurance_limit: u32,
+    /// Whole-bank fail-stop injection: the bank dies (every command
+    /// returns [`ReRamError::BankLost`]) once it has served this many
+    /// dot-product dispatches. `0` disables bank loss.
+    pub bank_loss_after_dispatches: u64,
     /// Seed of the deterministic fault map.
     pub seed: u64,
 }
@@ -94,6 +123,7 @@ impl Default for FaultConfig {
             adc_glitch_rate: 0.0,
             adc_retry_limit: 3,
             endurance_limit: 0,
+            bank_loss_after_dispatches: 0,
             seed: 0,
         }
     }
@@ -142,6 +172,7 @@ impl FaultConfig {
             && self.dead_wordline_rate == 0.0
             && self.adc_glitch_rate == 0.0
             && self.endurance_limit == 0
+            && self.bank_loss_after_dispatches == 0
     }
 
     /// Deterministic unit sample in `[0, 1)` for a fault site

@@ -66,7 +66,7 @@ pub use bank::{DotBatchResult, ReRamBank};
 pub use config::{AccWidth, CrossbarConfig, PimConfig};
 pub use crossbar::Crossbar;
 pub use error::ReRamError;
-pub use faults::{CellFault, CrossbarHealth, FaultConfig};
+pub use faults::{BankLoss, CellFault, CrossbarHealth, FaultConfig};
 pub use gather::{crossbar_cost_per_pair, dataset_crossbar_cost, CrossbarCost};
 pub use timing::PimTiming;
 pub use variation::VariationModel;

@@ -1,5 +1,5 @@
 //! The serving engine: a bounded submission queue in front of a
-//! single scheduler thread that owns the shards.
+//! single scheduler thread that owns the replica sets.
 //!
 //! Batch lifecycle: clients enqueue commands onto a bounded
 //! `sync_channel` (a full queue rejects with
@@ -10,12 +10,26 @@
 //! commands are always applied in arrival order, so a query sees
 //! exactly the inserts and deletes that preceded it. The batch then
 //! fans out across the shards — one scoped thread per shard, each
-//! running the coalesced PIM pass + per-query refinement over its own
-//! bank — and the per-shard partial top-k pools merge into each
-//! query's exact global answer (see `mining::knn::resident` for the
-//! exactness argument).
+//! routing the coalesced PIM pass to its least-worn healthy replica —
+//! and the per-shard partial top-k pools merge into each query's exact
+//! global answer (see `mining::knn::resident` for the exactness
+//! argument).
+//!
+//! Robustness plumbing (see [`crate::replica`] for the invariants):
+//!
+//! * a **repair tick** runs between commands — it sweeps every replica
+//!   set for fail-stopped banks that no batch has routed to yet and
+//!   re-replicates at most one lost replica per set per tick, so
+//!   repair work interleaves with serving instead of blocking it;
+//! * [`ServeEngine::flush`] is a **rolling reprogram**: one replica at
+//!   a time leaves routing, compacts, and rejoins, with any queries
+//!   that arrived during the step served from the other replicas
+//!   between steps — under `R ≥ 2` a flush never blocks reads.
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -24,14 +38,20 @@ use simpim_mining::knn::resident::merge_neighbors;
 use simpim_similarity::Dataset;
 
 use crate::error::ServeError;
-use crate::shard::{Shard, ShardConfig, ShardStats};
+use crate::replica::{ReplicaSet, ReplicaSetStats};
+use crate::shard::ShardConfig;
 use crate::Neighbor;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Number of shards (banks) the dataset is partitioned across.
+    /// Number of shards the dataset is partitioned across.
     pub shards: usize,
+    /// Replication factor `R`: each shard's rows are programmed onto
+    /// this many distinct banks. `1` disables replication (no failover
+    /// target; a lost bank degrades the shard to the exact host path).
+    /// Defaults to the `SIMPIM_REPLICAS` environment variable, or 1.
+    pub replicas: usize,
     /// Maximum queries coalesced into one scheduling batch (`Q`).
     pub max_batch: usize,
     /// Bounded submission-queue depth; a full queue sheds with
@@ -49,10 +69,19 @@ pub struct ServeConfig {
     pub default_timeout: Duration,
 }
 
+fn replicas_from_env() -> usize {
+    std::env::var("SIMPIM_REPLICAS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1)
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             shards: 2,
+            replicas: replicas_from_env(),
             max_batch: 8,
             queue_depth: 64,
             spare_rows: 16,
@@ -78,10 +107,12 @@ impl ServeConfig {
 /// Point-in-time engine statistics.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
-    /// Per-shard breakdown.
-    pub shards: Vec<ShardStats>,
+    /// Per-shard replica-set breakdown.
+    pub shards: Vec<ReplicaSetStats>,
     /// Live objects across all shards.
     pub live: usize,
+    /// Replication factor the engine was opened with.
+    pub replicas: usize,
     /// Queries answered (successfully or shed) since open.
     pub queries: u64,
     /// Scheduling batches formed since open.
@@ -92,6 +123,21 @@ pub struct EngineStats {
     pub deletes: u64,
     /// Queries rejected because their deadline expired in the queue.
     pub timeouts: u64,
+    /// Queries rejected by admission control (full submission queue).
+    pub overloaded: u64,
+    /// Queries shed from a PIM pass to the exact host path by a
+    /// recoverable bank failure (summed over shards and replicas).
+    pub sheds: u64,
+    /// Batches re-routed to another replica after a bank loss.
+    pub failovers: u64,
+    /// Lost replicas re-replicated onto spare banks since open.
+    pub repairs: u64,
+    /// Queries answered from the host mirror because a shard had no
+    /// routable replica left.
+    pub degraded_queries: u64,
+    /// Shards currently with no routable replica (serving exact answers
+    /// from the host mirror).
+    pub degraded_shards: usize,
 }
 
 struct QueryReq {
@@ -115,35 +161,52 @@ enum Cmd {
     Flush {
         reply: mpsc::Sender<Result<(), ServeError>>,
     },
+    KillBank {
+        shard: usize,
+        replica: usize,
+        reply: mpsc::Sender<Result<(), ServeError>>,
+    },
     Stats {
         reply: mpsc::Sender<EngineStats>,
     },
 }
 
-/// A multi-threaded kNN serving engine over resident ReRAM shards.
+/// A multi-threaded kNN serving engine over replicated resident ReRAM
+/// shards.
 ///
 /// Results are bit-identical to the offline [`simpim_mining::knn`]
 /// variants on the same live rows: the PIM bounds are provably valid
 /// (guard-banded under drift, host-exact under quarantine), refinement is
-/// exact `f64` arithmetic, and the per-shard top-k merge is order
-/// independent.
+/// exact `f64` arithmetic, the per-shard top-k merge is order
+/// independent, and replicas are interchangeable — so failover, repair,
+/// rolling reprogram, and degraded mode never change an answer.
 pub struct ServeEngine {
     tx: Option<SyncSender<Cmd>>,
     handle: Option<JoinHandle<()>>,
     dim: usize,
     default_timeout: Duration,
+    overloaded: Arc<AtomicU64>,
 }
 
 impl ServeEngine {
     /// Opens an engine over `data` (values normalized into `[0, 1]`),
-    /// partitioning the rows contiguously across `cfg.shards` banks.
-    /// Row `i` of `data` keeps `i` as its stable global id; inserts are
-    /// assigned fresh ids counting up from `data.len()`.
+    /// partitioning the rows contiguously across `cfg.shards` shards and
+    /// replicating each shard onto `cfg.replicas` distinct banks. Row `i`
+    /// of `data` keeps `i` as its stable global id; inserts are assigned
+    /// fresh ids counting up from `data.len()`.
     pub fn open(cfg: ServeConfig, data: &Dataset) -> Result<Self, ServeError> {
-        if cfg.shards == 0 || cfg.max_batch == 0 || cfg.queue_depth == 0 {
+        if cfg.shards == 0 || cfg.replicas == 0 || cfg.max_batch == 0 || cfg.queue_depth == 0 {
             return Err(ServeError::InvalidArgument {
-                what: "shards, max_batch and queue_depth must be non-zero".to_string(),
+                what: "shards, replicas, max_batch and queue_depth must be non-zero".to_string(),
             });
+        }
+        // Reject a malformed fault model up front, before any bank is
+        // programmed — a bad rate would otherwise only surface once the
+        // first shard opens (or worse, once the first scrub runs).
+        if let Some(faults) = &cfg.executor.faults {
+            faults.validate().map_err(|e| ServeError::Config {
+                what: e.to_string(),
+            })?;
         }
         if data.is_empty() || data.len() < cfg.shards {
             return Err(ServeError::InvalidArgument {
@@ -162,9 +225,10 @@ impl ServeEngine {
         let span = simpim_obs::span!(
             "serve.engine.open",
             n = data.len() as u64,
-            shards = cfg.shards as u64
+            shards = cfg.shards as u64,
+            replicas = cfg.replicas as u64
         );
-        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut sets = Vec::with_capacity(cfg.shards);
         let chunk = data.len().div_ceil(cfg.shards);
         let mut start = 0;
         while start < data.len() {
@@ -175,8 +239,9 @@ impl ServeEngine {
                     .collect::<Vec<_>>(),
             )
             .map_err(simpim_core::CoreError::from)?;
-            shards.push(Shard::open(
+            sets.push(ReplicaSet::open(
                 cfg.shard_config(),
+                cfg.replicas,
                 rows,
                 (start..end).collect(),
             )?);
@@ -188,13 +253,14 @@ impl ServeEngine {
         let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
         let handle = thread::Builder::new()
             .name("simpim-serve-scheduler".to_string())
-            .spawn(move || Scheduler::new(shards, cfg, next_id).run(rx))
+            .spawn(move || Scheduler::new(sets, cfg, next_id).run(rx))
             .expect("spawn scheduler thread");
         Ok(Self {
             tx: Some(tx),
             handle: Some(handle),
             dim,
             default_timeout: cfg.default_timeout,
+            overloaded: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -249,6 +315,7 @@ impl ServeEngine {
         match self.tx().try_send(req) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
+                self.overloaded.fetch_add(1, Ordering::Relaxed);
                 simpim_obs::metrics::counter_add("simpim.serve.overloaded", 1);
                 return Err(ServeError::Overloaded);
             }
@@ -319,11 +386,30 @@ impl ServeEngine {
         rx.recv().map_err(|_| ServeError::Closed)?
     }
 
-    /// Forces every shard's pending compaction onto the crossbars.
+    /// Forces pending compaction onto the crossbars as a *rolling
+    /// reprogram*: one replica at a time leaves routing, compacts, and
+    /// rejoins, with queries served from the other replicas between
+    /// steps — under `R ≥ 2` a flush never blocks reads.
     pub fn flush(&self) -> Result<(), ServeError> {
         let (reply, rx) = mpsc::channel();
         self.tx()
             .send(Cmd::Flush { reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Fail-stops the bank under `shard`'s replica `replica` — the
+    /// fault-injection entry point for recovery drills. Detection,
+    /// failover, and re-replication then run exactly as they would for
+    /// an organic bank loss.
+    pub fn kill_bank(&self, shard: usize, replica: usize) -> Result<(), ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::KillBank {
+                shard,
+                replica,
+                reply,
+            })
             .map_err(|_| ServeError::Closed)?;
         rx.recv().map_err(|_| ServeError::Closed)?
     }
@@ -334,7 +420,11 @@ impl ServeEngine {
         self.tx()
             .send(Cmd::Stats { reply })
             .map_err(|_| ServeError::Closed)?;
-        rx.recv().map_err(|_| ServeError::Closed)
+        let mut stats = rx.recv().map_err(|_| ServeError::Closed)?;
+        // Overload shedding happens client-side (the scheduler never
+        // sees rejected commands), so it merges in here.
+        stats.overloaded = self.overloaded.load(Ordering::Relaxed);
+        Ok(stats)
     }
 }
 
@@ -351,9 +441,12 @@ impl Drop for ServeEngine {
 }
 
 struct Scheduler {
-    shards: Vec<Shard>,
+    sets: Vec<ReplicaSet>,
     cfg: ServeConfig,
     next_id: usize,
+    /// Non-query commands pulled off the channel by a mid-flush drain;
+    /// replayed (in order) before anything new is dequeued.
+    stashed: VecDeque<Cmd>,
     queries: u64,
     batches: u64,
     inserts: u64,
@@ -362,11 +455,12 @@ struct Scheduler {
 }
 
 impl Scheduler {
-    fn new(shards: Vec<Shard>, cfg: ServeConfig, next_id: usize) -> Self {
+    fn new(sets: Vec<ReplicaSet>, cfg: ServeConfig, next_id: usize) -> Self {
         Self {
-            shards,
+            sets,
             cfg,
             next_id,
+            stashed: VecDeque::new(),
             queries: 0,
             batches: 0,
             inserts: 0,
@@ -377,9 +471,12 @@ impl Scheduler {
 
     fn run(mut self, rx: Receiver<Cmd>) {
         loop {
-            let cmd = match rx.recv() {
-                Ok(c) => c,
-                Err(_) => break, // all senders dropped: shut down
+            let cmd = match self.stashed.pop_front() {
+                Some(c) => c,
+                None => match rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => break, // all senders dropped: shut down
+                },
             };
             let mut deferred = None;
             match cmd {
@@ -401,11 +498,81 @@ impl Scheduler {
                     simpim_obs::metrics::gauge_set("simpim.serve.queue_depth", batch.len() as f64);
                     self.process_queries(batch);
                 }
+                Cmd::Flush { reply } => {
+                    let out = self.rolling_flush(&rx);
+                    let _ = reply.send(out);
+                }
                 other => deferred = Some(other),
             }
             if let Some(cmd) = deferred {
                 self.process_mutation(cmd);
             }
+            // Opportunistic repair between commands: re-replicate lost
+            // banks while the queue is quiet instead of blocking a batch.
+            self.repair_tick();
+        }
+    }
+
+    /// The re-replicate stage of the repair loop, run between commands.
+    /// Detection is traffic-driven — a lost bank is noticed (and
+    /// quarantined) by the first batch that routes to it, which fails
+    /// over to a sibling replica; this tick then rebuilds at most one
+    /// lost replica per set, keeping each tick's latency bite bounded.
+    /// A failed repair leaves the replica quarantined; the next tick
+    /// retries. (An idle engine with a dead bank therefore stays
+    /// un-repaired until traffic returns — like real scrubbing, the
+    /// loop needs either queries or an explicit sweep to notice a
+    /// loss; [`ReplicaSet::quarantine_lost`] is that sweep.)
+    fn repair_tick(&mut self) {
+        for set in &mut self.sets {
+            if set.needs_repair() {
+                let _ = set.repair_one();
+            }
+        }
+    }
+
+    /// Rolling reprogram across every replica of every shard: each
+    /// replica leaves routing, compacts, rejoins — and between steps any
+    /// queries that queued up are served from the replicas still in
+    /// rotation. The first error is reported but the roll continues, so
+    /// one bad replica cannot leave the rest uncompacted.
+    fn rolling_flush(&mut self, rx: &Receiver<Cmd>) -> Result<(), ServeError> {
+        let mut out = Ok(());
+        for si in 0..self.sets.len() {
+            for ri in 0..self.cfg.replicas {
+                if let Err(e) = self.sets[si].reprogram_replica(ri) {
+                    if out.is_ok() {
+                        out = Err(e);
+                    }
+                }
+                self.drain_queries(rx);
+            }
+        }
+        out
+    }
+
+    /// Serves queries that arrived while a reprogram step held one
+    /// replica out of rotation. Only *consecutive* queries are drained;
+    /// the first non-query command is stashed and the drain stops, so
+    /// arrival order is preserved (the stash replays before the channel
+    /// is read again).
+    fn drain_queries(&mut self, rx: &Receiver<Cmd>) {
+        if !self.stashed.is_empty() {
+            return; // a stashed mutation must run before newer queries
+        }
+        let mut batch = Vec::new();
+        while batch.len() < self.cfg.max_batch {
+            match rx.try_recv() {
+                Ok(Cmd::Query(q)) => batch.push(q),
+                Ok(other) => {
+                    self.stashed.push_back(other);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if !batch.is_empty() {
+            self.process_queries(batch);
         }
     }
 
@@ -430,15 +597,18 @@ impl Scheduler {
         let ks: Vec<usize> = live.iter().map(|q| q.k).collect();
         let queries_ref = &queries;
         let ks_ref = &ks;
-        // One job per shard on the shared `simpim-par` pool: each runs
-        // the coalesced PIM pass on its own bank, concurrently, with
-        // results returned in shard order (honors `SIMPIM_THREADS`).
+        // One job per shard on the shared `simpim-par` pool: each routes
+        // the coalesced PIM pass to its least-worn healthy replica,
+        // concurrently, with results returned in shard order (honors
+        // `SIMPIM_THREADS`). Failover happens inside the job — a shard
+        // whose routed bank died retries on its other replicas before
+        // the merge ever sees it.
         type ShardBatch = Vec<Result<Vec<Neighbor>, ServeError>>;
         let jobs: Vec<simpim_par::Job<'_, ShardBatch>> = self
-            .shards
+            .sets
             .iter_mut()
-            .map(|shard| {
-                Box::new(move || shard.query_batch(queries_ref, ks_ref)) as simpim_par::Job<'_, _>
+            .map(|set| {
+                Box::new(move || set.query_batch(queries_ref, ks_ref)) as simpim_par::Job<'_, _>
             })
             .collect();
         let shard_results: Vec<ShardBatch> = simpim_par::join_all(jobs);
@@ -462,16 +632,17 @@ impl Scheduler {
             );
             let _ = req.reply.send(answer);
         }
-        span.record("shards", self.shards.len() as f64);
+        span.record("shards", self.sets.len() as f64);
     }
 
     fn process_mutation(&mut self, cmd: Cmd) {
         match cmd {
             Cmd::Query(_) => unreachable!("queries are batched in run()"),
+            Cmd::Flush { .. } => unreachable!("flush is rolled in run()"),
             Cmd::Insert { row, reply } => {
                 let id = self.next_id;
-                let shard = id % self.shards.len();
-                let out = self.shards[shard].insert(id, &row).map(|()| {
+                let shard = id % self.sets.len();
+                let out = self.sets[shard].insert(id, &row).map(|()| {
                     self.next_id += 1;
                     self.inserts += 1;
                     simpim_obs::metrics::counter_add("simpim.serve.inserts", 1);
@@ -481,8 +652,8 @@ impl Scheduler {
             }
             Cmd::Delete { id, reply } => {
                 let mut out = Ok(false);
-                for shard in &mut self.shards {
-                    match shard.delete(id) {
+                for set in &mut self.sets {
+                    match set.delete(id) {
                         Ok(true) => {
                             out = Ok(true);
                             break;
@@ -498,27 +669,51 @@ impl Scheduler {
                 simpim_obs::metrics::counter_add("simpim.serve.deletes", 1);
                 let _ = reply.send(out);
             }
-            Cmd::Flush { reply } => {
-                let mut out = Ok(());
-                for shard in &mut self.shards {
-                    if let Err(e) = shard.flush() {
-                        out = Err(e);
-                        break;
-                    }
-                }
+            Cmd::KillBank {
+                shard,
+                replica,
+                reply,
+            } => {
+                let out = if shard >= self.sets.len() || replica >= self.cfg.replicas {
+                    Err(ServeError::InvalidArgument {
+                        what: format!(
+                            "no replica ({shard}, {replica}): engine has {} shards × {} replicas",
+                            self.sets.len(),
+                            self.cfg.replicas
+                        ),
+                    })
+                } else {
+                    self.sets[shard].kill_replica(replica);
+                    Ok(())
+                };
                 let _ = reply.send(out);
             }
             Cmd::Stats { reply } => {
-                let shards: Vec<ShardStats> = self.shards.iter().map(|s| s.stats()).collect();
+                let shards: Vec<ReplicaSetStats> = self.sets.iter().map(|s| s.stats()).collect();
                 let stats = EngineStats {
                     live: shards.iter().map(|s| s.live).sum(),
-                    shards,
+                    replicas: self.cfg.replicas,
                     queries: self.queries,
                     batches: self.batches,
                     inserts: self.inserts,
                     deletes: self.deletes,
                     timeouts: self.timeouts,
+                    overloaded: 0, // merged client-side
+                    sheds: shards
+                        .iter()
+                        .flat_map(|s| s.replicas.iter())
+                        .map(|r| r.sheds)
+                        .sum(),
+                    failovers: shards.iter().map(|s| s.failovers).sum(),
+                    repairs: shards.iter().map(|s| s.repairs).sum(),
+                    degraded_queries: shards.iter().map(|s| s.degraded_queries).sum(),
+                    degraded_shards: shards.iter().filter(|s| s.degraded).count(),
+                    shards,
                 };
+                simpim_obs::metrics::gauge_set(
+                    "simpim.serve.degraded_shards",
+                    stats.degraded_shards as f64,
+                );
                 let _ = reply.send(stats);
             }
         }
@@ -529,12 +724,13 @@ impl Scheduler {
 mod tests {
     use super::*;
     use simpim_mining::knn::standard::knn_standard;
-    use simpim_reram::{CrossbarConfig, PimConfig};
+    use simpim_reram::{CrossbarConfig, FaultConfig, PimConfig};
     use simpim_similarity::Measure;
 
     fn small_cfg() -> ServeConfig {
         ServeConfig {
             shards: 2,
+            replicas: 1,
             max_batch: 4,
             queue_depth: 32,
             spare_rows: 4,
@@ -556,6 +752,13 @@ mod tests {
                 scrub_interval: 0,
             },
             ..Default::default()
+        }
+    }
+
+    fn replicated_cfg(r: usize) -> ServeConfig {
+        ServeConfig {
+            replicas: r,
+            ..small_cfg()
         }
     }
 
@@ -626,7 +829,13 @@ mod tests {
         engine.delete(7).unwrap();
         engine.flush().unwrap();
         let stats = engine.stats().unwrap();
-        assert_eq!(stats.shards.iter().map(|s| s.tombstones).sum::<usize>(), 0);
+        let tombstones: usize = stats
+            .shards
+            .iter()
+            .flat_map(|s| s.replicas.iter())
+            .map(|r| r.tombstones)
+            .sum();
+        assert_eq!(tombstones, 0);
         assert_eq!(stats.live, 10);
     }
 
@@ -665,6 +874,9 @@ mod tests {
         c.shards = 0;
         assert!(ServeEngine::open(c, &ds).is_err());
         let mut c = small_cfg();
+        c.replicas = 0;
+        assert!(ServeEngine::open(c, &ds).is_err());
+        let mut c = small_cfg();
         c.shards = 13; // more shards than rows
         assert!(ServeEngine::open(c, &ds).is_err());
         let bad = Dataset::from_rows(&[vec![1.5, 0.5]]).unwrap();
@@ -672,5 +884,78 @@ mod tests {
             ServeEngine::open(small_cfg(), &bad),
             Err(ServeError::InvalidArgument { .. })
         ));
+    }
+
+    #[test]
+    fn open_validates_the_fault_model_up_front() {
+        let ds = data();
+        let mut c = small_cfg();
+        c.executor.faults = Some(FaultConfig {
+            stuck_low_rate: 1.5, // out of range
+            ..Default::default()
+        });
+        assert!(matches!(
+            ServeEngine::open(c, &ds),
+            Err(ServeError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn killed_replica_fails_over_and_is_repaired() {
+        let ds = data();
+        let engine = ServeEngine::open(replicated_cfg(2), &ds).unwrap();
+        let q = vec![0.4, 0.3, 0.9, 0.1];
+        let truth = knn_standard(&ds, &q, 3, Measure::EuclideanSq).unwrap();
+        assert_eq!(engine.knn(&q, 3).unwrap(), truth.neighbors);
+
+        engine.kill_bank(0, 0).unwrap();
+        assert!(matches!(
+            engine.kill_bank(9, 0),
+            Err(ServeError::InvalidArgument { .. })
+        ));
+        // The next query routes to the dead bank, detects the loss, and
+        // fails over — answering bit-identically through it...
+        assert_eq!(engine.knn(&q, 3).unwrap(), truth.neighbors);
+        // ...and the between-command repair tick re-replicates the lost
+        // bank: by the time stats answer, the set is whole again.
+        let stats = engine.stats().unwrap();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.shards[0].healthy, 2);
+        assert_eq!(stats.degraded_shards, 0);
+        assert_eq!(engine.knn(&q, 3).unwrap(), truth.neighbors);
+    }
+
+    #[test]
+    fn stats_report_the_replication_shape() {
+        let ds = data();
+        let engine = ServeEngine::open(replicated_cfg(2), &ds).unwrap();
+        let stats = engine.stats().unwrap();
+        assert_eq!(stats.replicas, 2);
+        assert_eq!(stats.shards.len(), 2);
+        for set in &stats.shards {
+            assert_eq!(set.replicas.len(), 2);
+            assert_eq!(set.healthy, 2);
+            assert!(!set.degraded);
+        }
+        assert_eq!(stats.overloaded, 0);
+        assert_eq!(stats.failovers, 0);
+    }
+
+    #[test]
+    fn rolling_flush_compacts_every_replica() {
+        let ds = data();
+        let engine = ServeEngine::open(replicated_cfg(2), &ds).unwrap();
+        engine.delete(0).unwrap();
+        engine.delete(7).unwrap();
+        engine.flush().unwrap();
+        let stats = engine.stats().unwrap();
+        for set in &stats.shards {
+            for replica in &set.replicas {
+                assert_eq!(replica.tombstones, 0);
+            }
+            assert_eq!(set.healthy, 2, "every replica rejoined routing");
+        }
+        assert_eq!(stats.live, 10);
     }
 }

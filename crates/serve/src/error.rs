@@ -22,6 +22,13 @@ pub enum ServeError {
         /// What was wrong.
         what: String,
     },
+    /// The engine configuration is invalid (e.g. a malformed
+    /// [`simpim_reram::FaultConfig`]), rejected up front before any bank
+    /// is programmed.
+    Config {
+        /// What was wrong.
+        what: String,
+    },
     /// A PIM execution failure that could not be shed to the host path.
     Core(CoreError),
     /// A refinement failure (measure/operand mismatch).
@@ -38,6 +45,7 @@ impl fmt::Display for ServeError {
             Self::DeadlineExpired => write!(f, "deadline expired before the query was scheduled"),
             Self::Closed => write!(f, "serving engine is shut down"),
             Self::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Self::Config { what } => write!(f, "invalid configuration: {what}"),
             Self::Core(e) => write!(f, "PIM execution failed: {e}"),
             Self::Mining(e) => write!(f, "refinement failed: {e}"),
         }
@@ -51,6 +59,19 @@ impl Error for ServeError {
             Self::Mining(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl ServeError {
+    /// Whether this error is a whole-bank fail-stop
+    /// ([`simpim_reram::ReRamError::BankLost`]) bubbling up through the
+    /// execution stack — the signal that the replica's bank is gone and
+    /// the query must fail over to another replica.
+    pub fn is_bank_loss(&self) -> bool {
+        matches!(
+            self,
+            Self::Core(CoreError::ReRam(simpim_reram::ReRamError::BankLost))
+        )
     }
 }
 
@@ -77,5 +98,16 @@ mod tests {
         let e = ServeError::from(CoreError::Mismatch { what: "test" });
         assert!(e.to_string().contains("PIM execution failed"));
         assert!(e.source().is_some());
+        assert!(ServeError::Config { what: "bad".into() }
+            .to_string()
+            .contains("configuration"));
+    }
+
+    #[test]
+    fn bank_loss_is_detected_through_the_error_stack() {
+        let e = ServeError::from(CoreError::ReRam(simpim_reram::ReRamError::BankLost));
+        assert!(e.is_bank_loss());
+        assert!(!ServeError::Overloaded.is_bank_loss());
+        assert!(!ServeError::from(CoreError::Mismatch { what: "x" }).is_bank_loss());
     }
 }

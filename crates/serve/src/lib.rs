@@ -12,6 +12,15 @@
 //!   wear-aware policy reprograms a shard only when its tombstone ratio
 //!   crosses a threshold that *rises* with accumulated crossbar wear —
 //!   worn shards compact less eagerly.
+//! - **Replica sets** ([`replica::ReplicaSet`]) program each shard's
+//!   rows onto `R` distinct banks. Every coalesced batch routes to the
+//!   least-worn healthy replica (wear-leveling doubles as load
+//!   balancing); a fail-stopped bank is detected in-line, quarantined,
+//!   and the batch fails over transparently; a background repair loop
+//!   re-replicates lost replicas onto spare banks; compacting
+//!   reprograms roll one replica at a time so `R − 1` replicas stay
+//!   queryable throughout; and with every replica lost the set degrades
+//!   to the exact host mirror rather than erroring.
 //! - **The engine** ([`engine::ServeEngine`]) puts a bounded submission
 //!   queue in front of a scheduler thread that coalesces up to `Q`
 //!   in-flight queries into a single crossbar pass per shard (amortizing
@@ -19,8 +28,10 @@
 //!   refines per query on the host with the usual bound cascade.
 //! - **Exactness**: every answer is bit-identical to what the offline
 //!   `mining::knn` would return on the same live rows. Bounds stay
-//!   valid under drift (guard-band) and quarantine (host fallback), and
-//!   the per-shard top-k merge is offer-order independent.
+//!   valid under drift (guard-band) and quarantine (host fallback), the
+//!   per-shard top-k merge is offer-order independent, and replicas are
+//!   interchangeable — routing, failover, repair, and degraded mode are
+//!   all invisible in the answers.
 //!
 //! Observability: `simpim.serve.*` counters and histograms (queue
 //! depth, batch size, latency, sheds) flow into the same process-wide
@@ -30,6 +41,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod replica;
 pub mod shard;
 
 /// A `(global id, measure value)` neighbor pair, best first in result
@@ -38,4 +50,5 @@ pub type Neighbor = (usize, f64);
 
 pub use engine::{EngineStats, ServeConfig, ServeEngine};
 pub use error::ServeError;
+pub use replica::{ReplicaSet, ReplicaSetStats, ReplicaState};
 pub use shard::{Shard, ShardConfig, ShardStats};

@@ -1,0 +1,516 @@
+//! R-way shard replication across banks: failover routing, wear-leveled
+//! load balancing, zero-downtime rolling reprogram, and a
+//! detect → quarantine → re-replicate repair loop.
+//!
+//! A [`ReplicaSet`] programs one shard's rows onto `R` distinct ReRAM
+//! banks (one [`Shard`] per bank — each shard owns its own
+//! `PimExecutor`/`ReRamBank`). The set maintains three invariants:
+//!
+//! * **Bit-identical answers from any replica.** Every replica holds the
+//!   same live set (mutations apply to all replicas, one at a time,
+//!   before the next command is admitted — the scheduler thread is the
+//!   barrier), refinement is exact `f64` arithmetic, and the
+//!   `simpim-par` merge order is deterministic — so routing is invisible
+//!   to clients. A repaired replica is programmed from a *compacted*
+//!   snapshot, which answers identically by the compaction-invariance
+//!   property `tests/serving.rs` proves.
+//! * **Wear-leveling doubles as load balancing.** Each coalesced batch
+//!   routes to the healthy replica with the lowest maximum crossbar
+//!   program count; appends and reprograms raise a replica's wear, so
+//!   routing naturally drains queries toward the freshest bank.
+//! * **At least `R − 1` replicas stay queryable through mutations.** A
+//!   rolling reprogram compacts one replica at a time
+//!   ([`ReplicaSet::reprogram_replica`]); while a replica is
+//!   mid-reprogram it is excluded from routing and every other replica
+//!   still answers — compaction never blocks reads.
+//!
+//! **Failure handling** is a three-stage loop. *Detect*: whole-bank loss
+//! ([`simpim_reram::ReRamError::BankLost`]) surfaces through
+//! [`Shard::try_query_batch`]; the set quarantines the replica (routes
+//! around it) and retries the batch on the next healthy replica —
+//! failover is invisible except for the extra pass. *Re-replicate*: the
+//! repair loop ([`ReplicaSet::repair_one`], driven opportunistically by
+//! the engine scheduler between batches) programs the lost replica's
+//! live rows onto a spare bank, scrubs it, and rejoins it to routing.
+//! *Degrade*: with every replica lost, queries fall back to the exact
+//! host mirror (each shard keeps its rows host-side precisely for this),
+//! so answers stay bit-identical — only the PIM filter's speed is lost —
+//! and the set reports itself degraded instead of erroring.
+
+use std::time::Instant;
+
+use simpim_similarity::Dataset;
+
+use crate::error::ServeError;
+use crate::shard::{Shard, ShardConfig, ShardStats};
+use crate::Neighbor;
+
+/// Routing state of one replica within a [`ReplicaSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// In the routing rotation.
+    Healthy,
+    /// Mid compacting reprogram (rolling drain) — temporarily excluded
+    /// from routing; rejoins as soon as the reprogram completes.
+    Reprogramming,
+    /// Its bank fail-stopped — quarantined from routing until the repair
+    /// loop re-replicates it onto a spare bank.
+    Lost,
+}
+
+/// Point-in-time statistics of one replica set.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaSetStats {
+    /// Per-replica shard statistics (index = replica).
+    pub replicas: Vec<ShardStats>,
+    /// Per-replica routing state.
+    pub states: Vec<ReplicaState>,
+    /// Batches routed to each replica (wear-leveled load balance).
+    pub routed: Vec<u64>,
+    /// Replicas currently in the routing rotation.
+    pub healthy: usize,
+    /// `true` when no replica is routable: queries are served from the
+    /// exact host mirror (correct but unfiltered).
+    pub degraded: bool,
+    /// Batches re-routed after a bank loss was detected.
+    pub failovers: u64,
+    /// Lost replicas re-replicated onto spare banks since open.
+    pub repairs: u64,
+    /// Queries answered from the host mirror because every replica was
+    /// lost.
+    pub degraded_queries: u64,
+    /// Live objects (identical across replicas).
+    pub live: usize,
+}
+
+/// One shard's rows replicated across `R` distinct banks.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    cfg: ShardConfig,
+    replicas: Vec<Shard>,
+    state: Vec<ReplicaState>,
+    routed: Vec<u64>,
+    failovers: u64,
+    repairs: u64,
+    degraded_queries: u64,
+    /// Bumped per repair so each spare bank draws a fresh fault map.
+    generation: u64,
+}
+
+/// Per-replica fault-model derivation: replicas are *distinct physical
+/// banks*, so they must not share a fault map. The seed is perturbed by
+/// the replica index and, on repair, by the spare-bank generation —
+/// deterministic (reproducible runs) yet decorrelated across replicas.
+fn replica_config(base: ShardConfig, replica: usize, generation: u64) -> ShardConfig {
+    let mut cfg = base;
+    if let Some(f) = &mut cfg.executor.faults {
+        f.seed ^= (replica as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ generation.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    }
+    cfg
+}
+
+impl ReplicaSet {
+    /// Opens `r` replicas of the shard over `rows` / `ids`, each on its
+    /// own bank with a decorrelated fault map.
+    pub fn open(
+        cfg: ShardConfig,
+        r: usize,
+        rows: Dataset,
+        ids: Vec<usize>,
+    ) -> Result<Self, ServeError> {
+        assert!(r >= 1, "a replica set needs at least one replica");
+        let replicas = (0..r)
+            .map(|i| Shard::open(replica_config(cfg, i, 0), rows.clone(), ids.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            cfg,
+            state: vec![ReplicaState::Healthy; r],
+            routed: vec![0; r],
+            replicas,
+            failovers: 0,
+            repairs: 0,
+            degraded_queries: 0,
+            generation: 0,
+        })
+    }
+
+    /// Replication factor `R`.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Live object count (identical on every replica).
+    pub fn live_len(&self) -> usize {
+        self.replicas[0].live_len()
+    }
+
+    /// Routing state of replica `i`.
+    pub fn replica_state(&self, i: usize) -> ReplicaState {
+        self.state[i]
+    }
+
+    /// The routing decision: the healthy replica with the least crossbar
+    /// wear (ties to the lowest index — deterministic). `None` when the
+    /// set is degraded.
+    pub fn route(&self) -> Option<usize> {
+        (0..self.replicas.len())
+            .filter(|&i| self.state[i] == ReplicaState::Healthy)
+            .min_by_key(|&i| (self.replicas[i].wear(), i))
+    }
+
+    /// Serves one coalesced batch: route to the least-worn healthy
+    /// replica; on detected bank loss, quarantine it and fail the batch
+    /// over to the next replica; with no replica left, answer exactly
+    /// from the host mirror (degraded mode).
+    pub fn query_batch(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        while let Some(i) = self.route() {
+            match self.replicas[i].try_query_batch(queries, ks) {
+                Ok(out) => {
+                    self.routed[i] += 1;
+                    return out;
+                }
+                Err(e) if e.is_bank_loss() => {
+                    // Detect + quarantine: route around the dead bank and
+                    // retry the whole batch elsewhere. Answers are
+                    // replica-independent, so the retry is transparent.
+                    self.state[i] = ReplicaState::Lost;
+                    self.failovers += 1;
+                    simpim_obs::metrics::counter_add("simpim.serve.failovers", 1);
+                }
+                Err(e) => return vec![Err(e); queries.len()],
+            }
+        }
+        // Degraded: every replica lost. The host mirror is still exact.
+        self.degraded_queries += queries.len() as u64;
+        simpim_obs::metrics::counter_add("simpim.serve.degraded_queries", queries.len() as u64);
+        queries
+            .iter()
+            .zip(ks)
+            .map(|(q, &k)| self.replicas[0].host_query(q, k))
+            .collect()
+    }
+
+    /// Inserts a row under `id` on every replica, one at a time. On lost
+    /// replicas the row lands in the host delta, so mirrors never
+    /// diverge.
+    pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
+        for replica in &mut self.replicas {
+            replica.insert(id, row)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes `id` from every replica, one at a time; returns whether
+    /// the id was present (identical on every replica).
+    pub fn delete(&mut self, id: usize) -> Result<bool, ServeError> {
+        let mut found = false;
+        for replica in &mut self.replicas {
+            found |= replica.delete(id)?;
+        }
+        Ok(found)
+    }
+
+    /// Takes replica `i` out of routing for a compacting reprogram. The
+    /// caller (the engine's rolling-flush loop) serves queries from the
+    /// remaining replicas between steps. Returns `false` (and does
+    /// nothing) for a lost replica — the repair loop owns those.
+    pub fn begin_reprogram(&mut self, i: usize) -> bool {
+        if self.state[i] != ReplicaState::Healthy {
+            return false;
+        }
+        self.state[i] = ReplicaState::Reprogramming;
+        true
+    }
+
+    /// Rejoins replica `i` to routing after its reprogram step.
+    pub fn finish_reprogram(&mut self, i: usize) {
+        if self.state[i] == ReplicaState::Reprogramming {
+            self.state[i] = ReplicaState::Healthy;
+        }
+    }
+
+    /// One step of the rolling reprogram: drain replica `i` from
+    /// routing, compact it, rejoin it. The other `R − 1` replicas stay
+    /// queryable throughout, and answers are unchanged on both sides of
+    /// the step (compaction invariance).
+    pub fn reprogram_replica(&mut self, i: usize) -> Result<(), ServeError> {
+        if !self.begin_reprogram(i) {
+            return Ok(());
+        }
+        let out = self.replicas[i].flush();
+        self.finish_reprogram(i);
+        out
+    }
+
+    /// Whether any replica is quarantined awaiting re-replication.
+    pub fn needs_repair(&self) -> bool {
+        self.state.contains(&ReplicaState::Lost)
+    }
+
+    /// Proactive detection sweep: quarantines any replica whose bank has
+    /// fail-stopped but which no batch has routed to yet (query-path
+    /// detection only fires on routed traffic). Returns the number of
+    /// replicas newly quarantined. The engine runs this between commands
+    /// so idle banks don't hide their losses from the repair loop.
+    pub fn quarantine_lost(&mut self) -> usize {
+        let mut newly = 0;
+        for i in 0..self.replicas.len() {
+            if self.state[i] == ReplicaState::Healthy && self.replicas[i].bank_lost() {
+                self.state[i] = ReplicaState::Lost;
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Re-replicates one lost replica onto a spare bank: snapshot the
+    /// live rows from its (still consistent) host mirror, program them
+    /// onto a fresh bank with a fresh fault map, scrub, and rejoin
+    /// routing. Returns `true` if a replica was repaired. Driven by the
+    /// engine scheduler between batches, so repair work never blocks a
+    /// query on a healthy replica.
+    pub fn repair_one(&mut self) -> Result<bool, ServeError> {
+        let Some(i) = self.state.iter().position(|&s| s == ReplicaState::Lost) else {
+            return Ok(false);
+        };
+        // Any replica's host mirror is consistent (mutations apply to
+        // all, including lost ones); prefer a healthy source anyway.
+        let src = self
+            .state
+            .iter()
+            .position(|&s| s == ReplicaState::Healthy)
+            .unwrap_or(i);
+        let (rows, ids) = self.replicas[src].snapshot_live()?;
+        if rows.is_empty() {
+            // Nothing to program — an empty shard answers nothing from
+            // any path, so leave the replica quarantined.
+            return Ok(false);
+        }
+        let started = Instant::now();
+        self.generation += 1;
+        let mut spare = Shard::open(replica_config(self.cfg, i, self.generation), rows, ids)?;
+        spare.scrub()?;
+        self.replicas[i] = spare;
+        self.state[i] = ReplicaState::Healthy;
+        self.repairs += 1;
+        simpim_obs::metrics::counter_add("simpim.serve.repairs", 1);
+        simpim_obs::metrics::histogram_record(
+            "simpim.serve.repair_ns",
+            started.elapsed().as_nanos() as u64,
+        );
+        Ok(true)
+    }
+
+    /// Fail-stops the bank under replica `i` — fault injection only;
+    /// detection (and the failover/repair that follows) happens on the
+    /// next routed batch, exactly as for an organically lost bank.
+    pub fn kill_replica(&mut self, i: usize) {
+        self.replicas[i].kill_bank();
+    }
+
+    /// Direct access to replica `i` (wear injection, inspection).
+    pub fn replica_mut(&mut self, i: usize) -> &mut Shard {
+        &mut self.replicas[i]
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ReplicaSetStats {
+        let healthy = self
+            .state
+            .iter()
+            .filter(|&&s| s == ReplicaState::Healthy)
+            .count();
+        ReplicaSetStats {
+            replicas: self.replicas.iter().map(Shard::stats).collect(),
+            states: self.state.clone(),
+            routed: self.routed.clone(),
+            healthy,
+            degraded: healthy == 0,
+            failovers: self.failovers,
+            repairs: self.repairs,
+            degraded_queries: self.degraded_queries,
+            live: self.live_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simpim_core::executor::ExecutorConfig;
+    use simpim_mining::knn::standard::knn_standard;
+    use simpim_reram::{CrossbarConfig, FaultConfig, PimConfig};
+    use simpim_similarity::Measure;
+
+    fn cfg(faults: Option<FaultConfig>) -> ShardConfig {
+        ShardConfig {
+            executor: ExecutorConfig {
+                pim: PimConfig {
+                    crossbar: CrossbarConfig {
+                        size: 16,
+                        adc_bits: 12,
+                        ..Default::default()
+                    },
+                    num_crossbars: 4096,
+                    ..Default::default()
+                },
+                alpha: 1e6,
+                operand_bits: 32,
+                double_buffer: false,
+                parallel_regions: true,
+                faults,
+                scrub_interval: 0,
+            },
+            spare_rows: 2,
+            tombstone_reprogram_ratio: 0.4,
+            reprogram_wear_budget: 1_000,
+        }
+    }
+
+    fn rows() -> Dataset {
+        Dataset::from_rows(&[
+            vec![0.1, 0.9, 0.3, 0.7],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.9, 0.1, 0.8, 0.2],
+            vec![0.4, 0.6, 0.2, 0.8],
+        ])
+        .unwrap()
+    }
+
+    fn query() -> Vec<f64> {
+        vec![0.45, 0.55, 0.4, 0.6]
+    }
+
+    #[test]
+    fn routing_prefers_the_least_worn_healthy_replica() {
+        let mut set = ReplicaSet::open(cfg(None), 3, rows(), vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(set.route(), Some(0), "equal wear ties to the lowest index");
+        set.replica_mut(0).age_bank(10);
+        set.replica_mut(1).age_bank(5);
+        assert_eq!(set.route(), Some(2));
+        set.replica_mut(2).age_bank(20);
+        assert_eq!(set.route(), Some(1));
+        // A batch routes there and the routed counter records it.
+        let got = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(set.stats().routed, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn failover_detects_quarantines_and_repairs() {
+        let mut set = ReplicaSet::open(cfg(None), 2, rows(), vec![0, 1, 2, 3]).unwrap();
+        let truth = knn_standard(&rows(), &query(), 2, Measure::EuclideanSq).unwrap();
+        let before = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(before, truth.neighbors);
+
+        // Kill the replica that routing would pick; the next batch must
+        // detect the loss, fail over, and answer identically.
+        let victim = set.route().unwrap();
+        set.kill_replica(victim);
+        let after = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(after, before, "failover must be bit-invisible");
+        let stats = set.stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.healthy, 1);
+        assert!(set.needs_repair());
+
+        // Repair re-replicates onto a spare bank and rejoins routing.
+        assert!(set.repair_one().unwrap());
+        let stats = set.stats();
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.healthy, 2);
+        assert!(!set.needs_repair());
+
+        // The repaired replica serves bit-identically: kill the survivor
+        // so the answer can only come from the repaired bank (whichever
+        // replica routing tries first, the survivor is dead).
+        let survivor = (0..2).find(|&i| i != victim).unwrap();
+        let routed_before = set.stats().routed[victim];
+        set.kill_replica(survivor);
+        let repaired = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(repaired, before);
+        assert_eq!(
+            set.stats().routed[victim],
+            routed_before + 1,
+            "the repaired bank served the batch"
+        );
+    }
+
+    #[test]
+    fn all_replicas_lost_degrades_to_exact_host_mirror() {
+        let mut set = ReplicaSet::open(cfg(None), 2, rows(), vec![0, 1, 2, 3]).unwrap();
+        let truth = knn_standard(&rows(), &query(), 3, Measure::EuclideanSq).unwrap();
+        set.kill_replica(0);
+        set.kill_replica(1);
+        let got = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+        assert_eq!(got, truth.neighbors, "degraded answers stay exact");
+        let stats = set.stats();
+        assert!(stats.degraded);
+        assert_eq!(stats.healthy, 0);
+        assert_eq!(stats.failovers, 2);
+        assert_eq!(stats.degraded_queries, 1);
+        // Mutations still apply (host-side) while degraded...
+        set.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
+        assert!(set.delete(0).unwrap());
+        // ...and the repair loop can rebuild from the host mirror alone.
+        assert!(set.repair_one().unwrap());
+        assert!(set.repair_one().unwrap());
+        let stats = set.stats();
+        assert_eq!(stats.healthy, 2);
+        assert!(!stats.degraded);
+        let got = set.query_batch(&[query()], &[4]).remove(0).unwrap();
+        assert!(got.iter().any(|&(id, _)| id == 4));
+        assert!(got.iter().all(|&(id, _)| id != 0));
+    }
+
+    #[test]
+    fn rolling_reprogram_keeps_r_minus_one_replicas_routable() {
+        let mut set = ReplicaSet::open(cfg(None), 2, rows(), vec![0, 1, 2, 3]).unwrap();
+        set.delete(1).unwrap(); // a tombstone for the reprogram to compact
+        let before = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+
+        assert!(set.begin_reprogram(0));
+        assert_eq!(set.replica_state(0), ReplicaState::Reprogramming);
+        assert_eq!(set.route(), Some(1), "reads keep flowing mid-drain");
+        let mid = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+        assert_eq!(mid, before, "mid-reprogram answers are unchanged");
+        set.finish_reprogram(0);
+
+        for i in 0..2 {
+            set.reprogram_replica(i).unwrap();
+        }
+        let stats = set.stats();
+        assert_eq!(stats.healthy, 2);
+        assert!(stats.replicas.iter().all(|r| r.tombstones == 0));
+        let after = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn replica_fault_maps_are_decorrelated() {
+        let base = cfg(Some(FaultConfig {
+            dead_bitline_rate: 0.05,
+            seed: 9,
+            ..Default::default()
+        }));
+        let a = replica_config(base, 0, 0).executor.faults.unwrap();
+        let b = replica_config(base, 1, 0).executor.faults.unwrap();
+        let c = replica_config(base, 1, 1).executor.faults.unwrap();
+        assert_ne!(a.seed, b.seed, "replicas must not share a fault map");
+        assert_ne!(b.seed, c.seed, "spare banks draw fresh fault maps");
+        // Faulty replicas still answer bit-identically (guard-band /
+        // quarantine keep bounds valid), so failover stays invisible.
+        let mut set = ReplicaSet::open(base, 2, rows(), vec![0, 1, 2, 3]).unwrap();
+        let truth = knn_standard(&rows(), &query(), 2, Measure::EuclideanSq).unwrap();
+        let first = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(first, truth.neighbors);
+        set.kill_replica(set.route().unwrap());
+        let second = set.query_batch(&[query()], &[2]).remove(0).unwrap();
+        assert_eq!(second, first);
+    }
+}

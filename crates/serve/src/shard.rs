@@ -68,6 +68,8 @@ pub struct ShardStats {
     pub sheds: u64,
     /// Highest program count over this shard's crossbars (wear).
     pub max_crossbar_programs: u32,
+    /// Whether this shard's bank is fail-stopped (bank loss).
+    pub lost: bool,
 }
 
 /// A resident partition of the dataset on one ReRAM bank.
@@ -124,8 +126,12 @@ impl Shard {
     }
 
     /// Inserts a normalized row under global id `id`. Appends into the
-    /// bank's spare rows when any remain; otherwise the row joins the
-    /// host-only delta until the next reprogram.
+    /// bank's spare rows when any remain; otherwise (spares exhausted, or
+    /// the bank is lost and cannot be programmed at all) the row joins
+    /// the host-only delta until the next reprogram — so the host mirror
+    /// stays current even on a dead bank, which keeps degraded-mode
+    /// queries exact and lets healthy replicas be re-replicated from any
+    /// mirror.
     pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
         validate_row(row, self.rows.dim())?;
         match self.exec.append_row(row) {
@@ -135,7 +141,10 @@ impl Shard {
                 self.live.push(true);
                 Ok(())
             }
-            Err(CoreError::ReRam(simpim_reram::ReRamError::InsufficientCapacity { .. })) => {
+            Err(CoreError::ReRam(
+                simpim_reram::ReRamError::InsufficientCapacity { .. }
+                | simpim_reram::ReRamError::BankLost,
+            )) => {
                 self.delta_rows.append_row(row).map_err(CoreError::from)?;
                 self.delta_ids.push(id);
                 Ok(())
@@ -177,6 +186,25 @@ impl Shard {
         queries: &[Vec<f64>],
         ks: &[usize],
     ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        match self.try_query_batch(queries, ks) {
+            Ok(out) => out,
+            // A standalone shard has no replica to fail over to; a lost
+            // bank degrades it to the (still exact) host path.
+            Err(_) => self.host_query_batch(queries, ks),
+        }
+    }
+
+    /// Like [`Shard::query_batch`], but surfaces whole-bank loss as the
+    /// outer `Err` instead of silently degrading to the host path —
+    /// the replication layer's entry point, so it can fail the batch
+    /// over to another replica. Every *recoverable* PIM failure (ADC
+    /// retry exhaustion and the like) still sheds to the exact host scan
+    /// internally.
+    pub fn try_query_batch(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Result<Vec<Result<Vec<Neighbor>, ServeError>>, ServeError> {
         assert_eq!(queries.len(), ks.len(), "ks must parallel queries");
         match self.exec.lb_ed_batch_multi(queries) {
             Ok(batches) => {
@@ -194,22 +222,38 @@ impl Shard {
                     "simpim.serve.shard.pim_pass_ns",
                     pass_ns as u64,
                 );
-                out
+                Ok(out)
             }
-            Err(_) => {
-                // Bank-level failure (e.g. ADC retries exhausted under an
-                // aggressive fault model): shed the whole batch to the
-                // host scan. Exactness is preserved; only the PIM filter
-                // is lost.
+            Err(e) => {
+                let e = ServeError::from(e);
+                if e.is_bank_loss() {
+                    // The bank fail-stopped: this replica cannot serve
+                    // from its crossbars at all. Let the caller route the
+                    // batch elsewhere (or degrade to the host mirror).
+                    return Err(e);
+                }
+                // Recoverable bank-level failure (e.g. ADC retries
+                // exhausted under an aggressive fault model): shed the
+                // whole batch to the host scan. Exactness is preserved;
+                // only the PIM filter is lost.
                 self.sheds += queries.len() as u64;
                 simpim_obs::metrics::counter_add("simpim.serve.sheds", queries.len() as u64);
-                queries
-                    .iter()
-                    .zip(ks)
-                    .map(|(q, &k)| self.host_query(q, k))
-                    .collect()
+                Ok(self.host_query_batch(queries, ks))
             }
         }
+    }
+
+    /// The exact host path for a whole batch.
+    fn host_query_batch(
+        &self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        queries
+            .iter()
+            .zip(ks)
+            .map(|(q, &k)| self.host_query(q, k))
+            .collect()
     }
 
     /// Refines one query given its PIM bound values over the resident
@@ -282,6 +326,62 @@ impl Shard {
         Ok(out.neighbors)
     }
 
+    /// Runs one scrub-and-remap pass over the resident regions now (a
+    /// no-op without a fault model) — called after a repair re-programs
+    /// this shard onto a spare bank, so the fresh residency is surveyed
+    /// before it rejoins routing.
+    pub fn scrub(&mut self) -> Result<(), ServeError> {
+        self.exec.scrub_now().map_err(ServeError::from)
+    }
+
+    /// Ages every crossbar of this shard's bank by `extra` program cycles
+    /// — the wear-injection hook for wear-leveling and routing
+    /// experiments (see [`simpim_reram::PimArray::age_crossbars`]).
+    pub fn age_bank(&mut self, extra: u32) {
+        self.exec.bank_mut().pim_mut().age_crossbars(extra);
+    }
+
+    /// Fail-stops this shard's bank — the whole-bank-loss injection hook
+    /// ([`simpim_reram::ReRamBank::kill`]). Queries and appends keep
+    /// working through the host mirror; the crossbar filter is gone until
+    /// the shard is re-replicated onto a fresh bank.
+    pub fn kill_bank(&mut self) {
+        self.exec.bank_mut().kill();
+    }
+
+    /// Whether this shard's bank is fail-stopped.
+    pub fn bank_lost(&self) -> bool {
+        self.exec.bank_lost()
+    }
+
+    /// Snapshot of the live rows (resident survivors in residency order,
+    /// then the host delta) with their stable global ids — exactly the
+    /// layout a compacting reprogram would produce, which is what the
+    /// repair path programs onto a spare bank. Answers over the snapshot
+    /// are bit-identical to answers over this shard (compaction
+    /// invariance).
+    pub fn snapshot_live(&self) -> Result<(Dataset, Vec<usize>), ServeError> {
+        let mut rows = Dataset::with_dim(self.rows.dim()).map_err(CoreError::from)?;
+        let mut ids = Vec::new();
+        for (i, row) in self.rows.rows().enumerate() {
+            if self.live[i] {
+                rows.append_row(row).map_err(CoreError::from)?;
+                ids.push(self.ids[i]);
+            }
+        }
+        for (i, row) in self.delta_rows.rows().enumerate() {
+            rows.append_row(row).map_err(CoreError::from)?;
+            ids.push(self.delta_ids[i]);
+        }
+        Ok((rows, ids))
+    }
+
+    /// Highest per-crossbar program count on this shard's bank — the
+    /// wear signal the replica router balances on.
+    pub fn wear(&self) -> u32 {
+        self.max_wear()
+    }
+
     /// Highest per-crossbar program count on this shard's bank.
     fn max_wear(&self) -> u32 {
         let pim = self.exec.bank().pim();
@@ -309,24 +409,18 @@ impl Shard {
 
     /// Compacts the shard: drops tombstones, folds the delta in, and
     /// programs the surviving rows onto a fresh resident layout with a
-    /// full complement of spare slots.
+    /// full complement of spare slots. A no-op on a lost bank — nothing
+    /// can be programmed there; the tombstones and delta stay host-side
+    /// until the repair loop re-replicates the shard.
     pub fn reprogram(&mut self) -> Result<(), ServeError> {
+        if self.bank_lost() {
+            return Ok(());
+        }
         if self.tombstones == 0 && self.delta_rows.is_empty() {
             return Ok(());
         }
         let d = self.rows.dim();
-        let mut rows = Dataset::with_dim(d).map_err(CoreError::from)?;
-        let mut ids = Vec::new();
-        for (i, row) in self.rows.rows().enumerate() {
-            if self.live[i] {
-                rows.append_row(row).map_err(CoreError::from)?;
-                ids.push(self.ids[i]);
-            }
-        }
-        for (i, row) in self.delta_rows.rows().enumerate() {
-            rows.append_row(row).map_err(CoreError::from)?;
-            ids.push(self.delta_ids[i]);
-        }
+        let (rows, ids) = self.snapshot_live()?;
         if rows.is_empty() {
             // Everything deleted: keep the old (all-tombstoned) residency
             // rather than programming an empty region. Queries already
@@ -365,6 +459,7 @@ impl Shard {
             reprograms: self.reprograms,
             sheds: self.sheds,
             max_crossbar_programs: self.max_wear(),
+            lost: self.bank_lost(),
         }
     }
 }
@@ -494,6 +589,60 @@ mod tests {
             shard.insert(9, &[0.5, 0.5, 0.5, 1.5]),
             Err(ServeError::InvalidArgument { .. })
         ));
+    }
+
+    #[test]
+    fn killed_bank_degrades_to_exact_host_path() {
+        let ds = rows();
+        let mut shard = Shard::open(cfg(), ds.clone(), vec![0, 1, 2, 3]).unwrap();
+        let q = vec![0.45, 0.55, 0.4, 0.6];
+        let truth = knn_standard(&ds, &q, 2, Measure::EuclideanSq).unwrap();
+        shard.kill_bank();
+        assert!(shard.bank_lost());
+        assert!(shard.stats().lost);
+        // try_query_batch surfaces the loss for failover...
+        let err = shard
+            .try_query_batch(std::slice::from_ref(&q), &[2])
+            .unwrap_err();
+        assert!(err.is_bank_loss());
+        // ...while the plain path stays exact via the host mirror.
+        let got = shard
+            .query_batch(std::slice::from_ref(&q), &[2])
+            .remove(0)
+            .unwrap();
+        assert_eq!(got, truth.neighbors);
+        // Mutations keep working host-side: inserts go to the delta,
+        // deletes tombstone, and neither tries to program the dead bank.
+        shard.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
+        assert_eq!(shard.stats().delta, 1);
+        assert!(shard.delete(0).unwrap());
+        assert!(shard.delete(1).unwrap());
+        assert_eq!(shard.stats().reprograms, 0, "no reprogram on a dead bank");
+        let got = shard.query_batch(&[q], &[5]).remove(0).unwrap();
+        assert!(got.iter().all(|&(id, _)| id != 0 && id != 1));
+        assert!(got.iter().any(|&(id, _)| id == 4));
+    }
+
+    #[test]
+    fn snapshot_live_matches_compacted_state() {
+        let ds = rows();
+        let mut shard = Shard::open(cfg(), ds, vec![0, 1, 2, 3]).unwrap();
+        shard.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
+        shard.insert(5, &[0.6, 0.7, 0.8, 0.9]).unwrap();
+        shard.insert(6, &[0.15, 0.25, 0.35, 0.45]).unwrap(); // delta
+        shard.delete(2).unwrap();
+        let (rows, ids) = shard.snapshot_live().unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(ids, vec![0, 1, 3, 4, 5, 6]);
+        // A replica rebuilt from the snapshot answers identically.
+        let mut rebuilt = Shard::open(cfg(), rows, ids).unwrap();
+        let q = vec![0.45, 0.55, 0.4, 0.6];
+        let want = shard
+            .query_batch(std::slice::from_ref(&q), &[4])
+            .remove(0)
+            .unwrap();
+        let got = rebuilt.query_batch(&[q], &[4]).remove(0).unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

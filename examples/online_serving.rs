@@ -99,7 +99,24 @@ fn main() {
         stats
             .shards
             .iter()
-            .map(|s| s.reprograms)
+            .map(|s| s.replicas.iter().map(|r| r.reprograms).sum::<u64>())
             .collect::<Vec<_>>(),
+    );
+    drop(engine);
+
+    // Replication: with R = 2 each shard lives on two banks. Fail-stop
+    // one mid-flight — the next query detects the loss, fails over to
+    // the sibling bank (bit-identically), and the repair loop
+    // re-replicates the lost bank between commands.
+    let engine = ServeEngine::open(ServeConfig { replicas: 2, ..cfg }, &data)
+        .expect("open replicated engine");
+    let before = engine.knn(&queries[0], 5).expect("query");
+    engine.kill_bank(0, 0).expect("kill");
+    let after = engine.knn(&queries[0], 5).expect("query through the loss");
+    assert_eq!(before, after, "failover is invisible in the answers");
+    let stats = engine.stats().expect("stats");
+    println!(
+        "bank (0, 0) killed: {} failover(s), {} repair(s), {}/{} replicas of shard 0 healthy",
+        stats.failovers, stats.repairs, stats.shards[0].healthy, stats.replicas,
     );
 }

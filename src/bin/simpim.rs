@@ -7,6 +7,7 @@
 //! simpim dbscan      --data vectors.csv --eps 0.2 --min-pts 5 [--pim]
 //! simpim outliers    --data vectors.csv --k 5 --m 10 [--pim]
 //! simpim serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64]
+//!                    [--shards 2] [--replicas 2] [--kill-after 16]
 //! ```
 //!
 //! `--data` accepts `.csv` (one float vector per line) or `.fvecs`
@@ -323,8 +324,19 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let batch: usize = args.get("batch", 8)?;
     let clients: usize = args.get("clients", 4)?;
     let total_queries: usize = args.get("queries", 64)?;
-    if batch == 0 || clients == 0 || total_queries == 0 {
-        return Err("--batch, --clients and --queries must be non-zero".to_string());
+    let replicas: usize = args.get("replicas", ServeConfig::default().replicas)?;
+    // Recovery drill: after this many answered queries, fail-stop the
+    // bank under shard 0 / replica 0 mid-run (0 = no kill). With R >= 2
+    // the run must complete with zero failed queries.
+    let kill_after: usize = args.get("kill-after", 0)?;
+    if batch == 0 || clients == 0 || total_queries == 0 || replicas == 0 {
+        return Err("--batch, --clients, --queries and --replicas must be non-zero".to_string());
+    }
+    if kill_after >= total_queries && kill_after > 0 {
+        return Err(
+            "--kill-after must be below --queries (the kill needs traffic after it to be detected)"
+                .to_string(),
+        );
     }
 
     let mut run = BenchRun::start("serve");
@@ -333,6 +345,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     run.config_entry("batch", Json::Num(batch as f64));
     run.config_entry("clients", Json::Num(clients as f64));
     run.config_entry("queries", Json::Num(total_queries as f64));
+    run.config_entry("replicas", Json::Num(replicas as f64));
+    run.config_entry("kill_after", Json::Num(kill_after as f64));
 
     // Part 1 — model-time throughput: what one crossbar pass costs vs. the
     // programming it amortizes. A one-query-at-a-time server pays the full
@@ -371,6 +385,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     // online mutations in, for wall-clock latency and shed rate.
     let serve_cfg = ServeConfig {
         shards: args.get("shards", 2)?,
+        replicas,
         max_batch: batch,
         queue_depth: (4 * batch).max(2 * clients),
         executor: exec_cfg,
@@ -378,38 +393,76 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     };
     let engine = ServeEngine::open(serve_cfg, &w.data).map_err(|e| e.to_string())?;
     let per_client = total_queries.div_ceil(clients);
+    let answered_so_far = std::sync::atomic::AtomicUsize::new(0);
     let wall = std::time::Instant::now();
-    let answered: usize = std::thread::scope(|s| {
-        let engine = &engine;
-        let queries = &w.queries;
-        let handles: Vec<_> = (0..clients)
-            .map(|c| {
+    let ((answered, failed), recovery_ns): ((usize, usize), Option<u64>) =
+        std::thread::scope(|s| {
+            let engine = &engine;
+            let queries = &w.queries;
+            let answered_so_far = &answered_so_far;
+            // The killer thread fail-stops shard 0 / replica 0 once the
+            // clients have made enough progress, then watches the repair
+            // loop bring the replica set back to full strength.
+            let killer = (kill_after > 0).then(|| {
                 s.spawn(move || {
-                    let mut done = 0usize;
-                    for i in 0..per_client {
-                        let q = &queries[(c + i) % queries.len()];
-                        loop {
-                            match engine.knn(q, k) {
-                                Ok(_) => {
-                                    done += 1;
-                                    break;
+                    while answered_so_far.load(std::sync::atomic::Ordering::Relaxed) < kill_after {
+                        std::thread::yield_now();
+                    }
+                    engine.kill_bank(0, 0).expect("kill bank");
+                    let killed = std::time::Instant::now();
+                    // Recovery = the lost replica re-replicated and back
+                    // in routing. Detection is traffic-driven, so probe
+                    // with real queries while polling.
+                    let deadline = killed + std::time::Duration::from_secs(30);
+                    loop {
+                        let _ = engine.knn(&queries[0], k);
+                        let stats = engine.stats().expect("stats");
+                        if stats.shards[0].healthy == stats.replicas && stats.repairs > 0 {
+                            return Some(killed.elapsed().as_nanos() as u64);
+                        }
+                        if std::time::Instant::now() > deadline {
+                            return None;
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            });
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut done = 0usize;
+                        let mut failed = 0usize;
+                        for i in 0..per_client {
+                            let q = &queries[(c + i) % queries.len()];
+                            loop {
+                                match engine.knn(q, k) {
+                                    Ok(_) => {
+                                        done += 1;
+                                        answered_so_far
+                                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        break;
+                                    }
+                                    Err(simpim::serve::ServeError::Overloaded) => {
+                                        std::thread::yield_now();
+                                    }
+                                    Err(_) => {
+                                        failed += 1;
+                                        break;
+                                    }
                                 }
-                                Err(simpim::serve::ServeError::Overloaded) => {
-                                    std::thread::yield_now();
-                                }
-                                Err(_) => break,
                             }
                         }
-                    }
-                    done
+                        (done, failed)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .sum()
-    });
+                .collect();
+            let counts = handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0, 0), |acc, (d, f)| (acc.0 + d, acc.1 + f));
+            let recovery = killer.and_then(|h| h.join().expect("killer thread"));
+            (counts, recovery)
+        });
     // Exercise the online-mutation path while the engine is warm.
     let extra = engine.insert(&w.queries[0]).map_err(|e| e.to_string())?;
     engine.delete(extra).map_err(|e| e.to_string())?;
@@ -433,11 +486,28 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         "closed_loop",
         Json::obj([
             ("answered", Json::Num(answered as f64)),
+            ("failed", Json::Num(failed as f64)),
             ("batches", Json::Num(stats.batches as f64)),
             ("p50_latency_ns", Json::Num(p50 as f64)),
             ("p99_latency_ns", Json::Num(p99 as f64)),
             ("shed", Json::Num(shed as f64)),
             ("timeouts", Json::Num(stats.timeouts as f64)),
+        ]),
+    );
+    run.push_extra(
+        "replication",
+        Json::obj([
+            ("replicas", Json::Num(stats.replicas as f64)),
+            ("failovers", Json::Num(stats.failovers as f64)),
+            ("repairs", Json::Num(stats.repairs as f64)),
+            ("degraded_queries", Json::Num(stats.degraded_queries as f64)),
+            ("degraded_shards", Json::Num(stats.degraded_shards as f64)),
+            (
+                "recovery_ns",
+                recovery_ns
+                    .map(|ns| Json::Num(ns as f64))
+                    .unwrap_or(Json::Null),
+            ),
         ]),
     );
     let path = run.finish();
@@ -449,16 +519,38 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         batched_ns_per_query / 1e3
     );
     println!(
-        "  engine: {answered}/{total_queries} answered in {} batches, p50 {:.1} us, p99 {:.1} us, {shed} shed",
+        "  engine: {answered}/{total_queries} answered ({failed} failed) in {} batches, p50 {:.1} us, p99 {:.1} us, {shed} shed",
         stats.batches,
         p50 as f64 / 1e3,
         p99 as f64 / 1e3
     );
+    if kill_after > 0 {
+        match recovery_ns {
+            Some(ns) => println!(
+                "  recovery: R = {replicas}, bank (0, 0) killed after {kill_after} queries; \
+                 {} failovers, {} repairs, re-replicated in {:.1} ms",
+                stats.failovers,
+                stats.repairs,
+                ns as f64 / 1e6
+            ),
+            None => println!("  recovery: bank (0, 0) killed but not re-replicated in time"),
+        }
+    }
     println!("  artifact: {}", path.display());
     if speedup < 3.0 && batch >= 8 {
         return Err(format!(
             "batched throughput model speedup {speedup:.2}x < 3x at Q = {batch}"
         ));
+    }
+    if kill_after > 0 {
+        if failed > 0 {
+            return Err(format!(
+                "{failed} queries failed through the bank loss (want zero with R = {replicas})"
+            ));
+        }
+        if recovery_ns.is_none() {
+            return Err("killed replica was not re-replicated within the deadline".to_string());
+        }
     }
     Ok(())
 }
@@ -497,7 +589,11 @@ const USAGE: &str =
   dbscan      --data F [--eps 0.2] [--min-pts 5] [--pim]
   outliers    --data F [--k 5] [--m 10] [--pim]
   serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64] [--shards 2]
-              closed-loop load generator for the serving engine; writes BENCH_serve.json
+              [--replicas R] [--kill-after N]
+              closed-loop load generator for the serving engine; writes BENCH_serve.json.
+              --replicas R programs each shard onto R banks (default: SIMPIM_REPLICAS or 1);
+              --kill-after N fail-stops bank (0, 0) after N answered queries and requires the
+              run to finish with zero failed queries and the replica re-replicated
   report      <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
   any mining or bench command also takes --trace (writes span journal to simpim_trace.jsonl)";
 

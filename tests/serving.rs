@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use simpim::core::executor::ExecutorConfig;
 use simpim::mining::knn::standard::knn_standard;
 use simpim::reram::{CrossbarConfig, FaultConfig, PimConfig};
-use simpim::serve::{ServeConfig, ServeEngine, ServeError};
+use simpim::serve::{ReplicaSet, ServeConfig, ServeEngine, ServeError, ShardConfig};
 use simpim::similarity::{Dataset, Measure};
 
 /// A small platform that fits the tiny proptest datasets quickly.
@@ -112,6 +112,137 @@ proptest! {
         engine.flush().unwrap();
         let again = engine.knn_batch(&queries, k).unwrap();
         prop_assert_eq!(got, again);
+    }
+
+    // Replica interchangeability: after any mix of inserts and deletes,
+    // every replica of a set answers bit-identically to the offline
+    // scan — the property that makes routing, failover, and rolling
+    // reprogram invisible to clients.
+    #[test]
+    fn every_replica_answers_bit_identically(
+        shape in ((6usize..=12, 2usize..=4), (2usize..=3, 1usize..=4), (0u64..=3, 0u8..=1)),
+        flat in prop::collection::vec(0.0f64..=1.0, 12 * 4),
+        inserts in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 4), 0..3),
+        delete_picks in prop::collection::vec(0usize..1000, 0..3),
+        query in prop::collection::vec(0.0f64..=1.0, 4),
+    ) {
+        let ((n, d), (r, k), (seed, with_faults)) = shape;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| flat[i * d..(i + 1) * d].to_vec()).collect();
+        let faults = (with_faults == 1).then(|| FaultConfig {
+            dead_bitline_rate: 0.05,
+            seed,
+            ..Default::default()
+        });
+        let cfg = ShardConfig {
+            executor: exec_cfg(faults),
+            spare_rows: 2,
+            ..Default::default()
+        };
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut set = ReplicaSet::open(cfg, r, data, (0..n).collect()).unwrap();
+
+        let mut live: Vec<(usize, Vec<f64>)> = rows.iter().cloned().enumerate().collect();
+        for (id, row) in (n..).zip(inserts.iter()) {
+            let row: Vec<f64> = row[..d].to_vec();
+            set.insert(id, &row).unwrap();
+            live.push((id, row));
+        }
+        for pick in &delete_picks {
+            if live.len() <= 1 {
+                break;
+            }
+            let pos = pick % live.len();
+            let (id, _) = live.remove(pos);
+            prop_assert!(set.delete(id).unwrap());
+        }
+
+        let query: Vec<f64> = query[..d].to_vec();
+        let truth = offline_truth(&live, &query, k);
+        for i in 0..r {
+            let got = set
+                .replica_mut(i)
+                .query_batch(std::slice::from_ref(&query), &[k])
+                .remove(0)
+                .unwrap();
+            prop_assert_eq!(&got, &truth, "replica {} diverged", i);
+        }
+    }
+
+    // Mid-stream bank loss: kill a replica's bank, keep mutating during
+    // the repair window, and assert every answer stays bit-identical to
+    // the offline scan through detection, failover, re-replication, the
+    // loss of the original survivor, and a final compaction.
+    #[test]
+    fn bank_kill_and_re_replicate_preserve_answers(
+        shape in ((6usize..=12, 2usize..=4), (1usize..=2, 1usize..=4)),
+        flat in prop::collection::vec(0.0f64..=1.0, 12 * 4),
+        inserts in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 4), 1..3),
+        delete_picks in prop::collection::vec(0usize..1000, 1..3),
+        queries in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 4), 1..3),
+    ) {
+        let ((n, d), (shards, k)) = shape;
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| flat[i * d..(i + 1) * d].to_vec()).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let shards = shards.min(n);
+        let mut cfg = serve_cfg(shards, None);
+        cfg.replicas = 2;
+        let engine = ServeEngine::open(cfg, &data).unwrap();
+        let queries: Vec<Vec<f64>> = queries.iter().map(|q| q[..d].to_vec()).collect();
+        let mut live: Vec<(usize, Vec<f64>)> = rows.iter().cloned().enumerate().collect();
+
+        // Fail-stop one bank of every shard, then mutate while the
+        // replicas are lost (the repair window): inserts must land in
+        // the host delta of the dead banks, deletes must tombstone, so
+        // mirrors never diverge.
+        for s in 0..shards {
+            engine.kill_bank(s, 0).unwrap();
+        }
+        for (id, row) in (n..).zip(inserts.iter()) {
+            let row: Vec<f64> = row[..d].to_vec();
+            prop_assert_eq!(engine.insert(&row).unwrap(), id);
+            live.push((id, row));
+        }
+        for pick in &delete_picks {
+            if live.len() <= shards {
+                break;
+            }
+            let pos = pick % live.len();
+            let (id, _) = live.remove(pos);
+            prop_assert!(engine.delete(id).unwrap());
+        }
+
+        // Queries through the loss: detection + failover, bit-identical.
+        for q in &queries {
+            prop_assert_eq!(engine.knn(q, k).unwrap(), offline_truth(&live, q, k));
+        }
+        // Traffic drives detection; the repair tick re-replicates. A few
+        // query/stats rounds must bring every set back to full strength.
+        let mut recovered = false;
+        for _ in 0..16 {
+            let _ = engine.knn(&queries[0], k).unwrap();
+            let stats = engine.stats().unwrap();
+            if stats.shards.iter().all(|s| s.healthy == 2) {
+                prop_assert_eq!(stats.repairs as usize, shards);
+                prop_assert_eq!(stats.degraded_shards, 0);
+                recovered = true;
+                break;
+            }
+        }
+        prop_assert!(recovered, "lost replicas were not re-replicated");
+
+        // The repaired replicas carry the full live set: kill the
+        // original survivors so only repaired banks can answer.
+        for s in 0..shards {
+            engine.kill_bank(s, 1).unwrap();
+        }
+        for q in &queries {
+            prop_assert_eq!(engine.knn(q, k).unwrap(), offline_truth(&live, q, k));
+        }
+        // Rolling compaction never changes an answer either.
+        engine.flush().unwrap();
+        for q in &queries {
+            prop_assert_eq!(engine.knn(q, k).unwrap(), offline_truth(&live, q, k));
+        }
     }
 }
 
