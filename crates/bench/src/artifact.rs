@@ -106,6 +106,13 @@ impl BenchRun {
     /// artifact must never abort the experiment that produced it.
     pub fn finish(mut self) -> PathBuf {
         self.artifact.metrics = simpim_obs::metrics::snapshot().to_json();
+        // Journal accounting rides along even when tracing was off:
+        // capacity plus per-span-name drop counts, so a truncated span
+        // dump is diagnosable from the artifact alone.
+        self.artifact.push_extra(
+            "trace_journal",
+            simpim_obs::trace::journal_stats().to_json(),
+        );
         self.artifact.totals = Json::obj([(
             "stage_time_ns",
             Json::Num(self.artifact.total_time_ns() as f64),

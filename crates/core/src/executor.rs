@@ -1091,10 +1091,25 @@ impl PimExecutor {
         &mut self,
         queries: &[Vec<f64>],
     ) -> Result<Vec<BoundBatch>, CoreError> {
-        let mut span = simpim_obs::span!(
-            "core.executor.lb_ed_batch_multi",
-            queries = queries.len() as u64
-        );
+        self.lb_ed_batch_multi_ctx(queries, simpim_obs::TraceCtx::NONE)
+    }
+
+    /// [`PimExecutor::lb_ed_batch_multi`] under an explicit trace
+    /// context: the executor's span parents on `parent` (the serving
+    /// layer's batch span) instead of this thread's stack, so the
+    /// crossbar pass stays attributable to its request even though the
+    /// dispatch crossed onto a pool worker thread.
+    pub fn lb_ed_batch_multi_ctx(
+        &mut self,
+        queries: &[Vec<f64>],
+        parent: simpim_obs::TraceCtx,
+    ) -> Result<Vec<BoundBatch>, CoreError> {
+        let attrs = [("queries", queries.len() as f64)];
+        let mut span = if parent.is_none() {
+            simpim_obs::trace::open_span("core.executor.lb_ed_batch_multi", &attrs)
+        } else {
+            simpim_obs::trace::open_span_ctx("core.executor.lb_ed_batch_multi", parent, &attrs).0
+        };
         let mut out = Vec::with_capacity(queries.len());
         for q in queries {
             out.push(self.lb_ed_batch(q)?);

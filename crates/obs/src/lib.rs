@@ -16,6 +16,9 @@
 //! * [`metrics`] — a process-wide **metrics registry** with counters,
 //!   gauges and log-linear histograms, keyed by the naming convention
 //!   `simpim.<crate>.<stage>.<metric>`. Always on.
+//! * [`slo`] — **declarative service-level objectives** (`p99 ≤ 2ms`,
+//!   `availability ≥ 99.9%`) evaluated from the histograms, reporting
+//!   attainment, error-budget remaining, and burn rate.
 //! * [`artifact`] — a **schema-versioned run artifact** (`RunArtifact`):
 //!   one JSON document per bench run carrying the per-stage breakdown,
 //!   metrics snapshot, dataset spec and config, written as
@@ -29,12 +32,14 @@
 pub mod artifact;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
 pub use artifact::{RunArtifact, StageRecord, SCHEMA_VERSION};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use metrics::{Histogram, Metric, MetricsSnapshot};
-pub use trace::{SpanGuard, SpanRecord};
+pub use slo::{SloObjective, SloReport, SloSpec};
+pub use trace::{JournalStats, SpanGuard, SpanRecord, TraceCtx};
 
 /// Opens a traced span scope. Returns a [`trace::SpanGuard`] that closes
 /// the span when dropped; bind it to a named variable (`let _sp = ...`) so

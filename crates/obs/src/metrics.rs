@@ -24,9 +24,17 @@ const SUB_BITS: u32 = 2;
 const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1); // 8
 
 /// A fixed-footprint log-linear histogram over `u64` samples.
+///
+/// Each bucket can carry one **exemplar** — the `(value, trace_id)` of the
+/// worst sample recorded into it via [`Histogram::record_exemplar`] — so a
+/// p99 read from the histogram is one lookup away from a concrete trace.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Histogram {
     counts: Vec<u64>,
+    /// Per-bucket worst exemplar as `(value, trace_id)`; `trace_id == 0`
+    /// means the slot is empty (trace ids are minted from 1). Kept in
+    /// lockstep with `counts`.
+    exemplars: Vec<(u64, u64)>,
     /// Number of recorded samples.
     pub count: u64,
     /// Sum of recorded samples (saturating).
@@ -45,6 +53,7 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             counts: Vec::new(),
+            exemplars: Vec::new(),
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -85,6 +94,7 @@ impl Histogram {
         let idx = Self::bucket_index(value);
         if self.counts.len() <= idx {
             self.counts.resize(idx + 1, 0);
+            self.exemplars.resize(idx + 1, (0, 0));
         }
         self.counts[idx] += 1;
         self.count += 1;
@@ -93,13 +103,85 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records one sample tagged with the trace it came from; the bucket
+    /// keeps the exemplar of its *worst* (largest) tagged sample. A
+    /// `trace_id` of 0 degrades to a plain [`Histogram::record`].
+    pub fn record_exemplar(&mut self, value: u64, trace_id: u64) {
+        self.record(value);
+        if trace_id == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(value);
+        let slot = &mut self.exemplars[idx];
+        if slot.1 == 0 || value >= slot.0 {
+            *slot = (value, trace_id);
+        }
+    }
+
+    /// The exemplar `(value, trace_id)` stored in the bucket containing
+    /// the (approximate) `q`-quantile, or the nearest bucket at or above
+    /// it (falling back to the nearest below). The way to answer "show me
+    /// a concrete p99 request".
+    pub fn exemplar_near_quantile(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut qbucket = self.counts.len().saturating_sub(1);
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                qbucket = i;
+                break;
+            }
+        }
+        // Worst tagged sample at or above the quantile bucket…
+        if let Some(&(v, t)) = self.exemplars[qbucket..]
+            .iter()
+            .rev()
+            .find(|&&(_, t)| t != 0)
+        {
+            return Some((v, t));
+        }
+        // …or the closest one below it.
+        self.exemplars[..qbucket]
+            .iter()
+            .rev()
+            .find(|&&(_, t)| t != 0)
+            .copied()
+    }
+
+    /// Number of samples strictly greater than `threshold`, to bucket
+    /// resolution (a partially-straddling bucket counts as not-over; the
+    /// observed `min`/`max` resolve the all-or-nothing cases exactly).
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        if self.count == 0 || self.max <= threshold {
+            return 0;
+        }
+        if self.min > threshold {
+            return self.count;
+        }
+        let start = Self::bucket_index(threshold) + 1;
+        self.counts.iter().skip(start).sum()
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.counts.len() < other.counts.len() {
             self.counts.resize(other.counts.len(), 0);
+            self.exemplars.resize(other.counts.len(), (0, 0));
         }
         for (i, c) in other.counts.iter().enumerate() {
             self.counts[i] += c;
+        }
+        for (i, &(v, t)) in other.exemplars.iter().enumerate() {
+            if t != 0 {
+                let slot = &mut self.exemplars[i];
+                if slot.1 == 0 || v >= slot.0 {
+                    *slot = (v, t);
+                }
+            }
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
@@ -116,8 +198,15 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile (`q ∈ [0, 1]`): the lower bound of the bucket
+    /// Approximate quantile (`q ∈ [0, 1]`): the *midpoint* of the bucket
     /// containing the q-th sample, clamped to the observed min/max.
+    ///
+    /// Midpoint rather than lower bound: a lower bound systematically
+    /// under-reports by up to a full bucket width, and for a distribution
+    /// concentrated in one bucket it collapses every quantile to `min`.
+    /// The midpoint is within half a bucket width (≤ 12.5% relative
+    /// error) of the true rank position, and the min/max clamp keeps
+    /// degenerate single-value distributions exact.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -127,7 +216,10 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_lower_bound(i).clamp(self.min, self.max);
+                let lo = Self::bucket_lower_bound(i);
+                let hi = Self::bucket_lower_bound(i + 1);
+                let mid = lo + hi.saturating_sub(lo) / 2;
+                return mid.clamp(self.min, self.max);
             }
         }
         self.max
@@ -142,11 +234,21 @@ impl Histogram {
             .map(|(i, &c)| (Self::bucket_lower_bound(i), c))
             .collect()
     }
+
+    /// Occupied exemplar slots as `(bucket_lower_bound, value, trace_id)`.
+    pub fn nonzero_exemplars(&self) -> Vec<(u64, u64, u64)> {
+        self.exemplars
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, t))| t != 0)
+            .map(|(i, &(v, t))| (Self::bucket_lower_bound(i), v, t))
+            .collect()
+    }
 }
 
 impl ToJson for Histogram {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("type", Json::Str("histogram".into())),
             ("count", Json::Num(self.count as f64)),
             ("sum", Json::Num(self.sum as f64)),
@@ -168,7 +270,25 @@ impl ToJson for Histogram {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        let ex = self.nonzero_exemplars();
+        if !ex.is_empty() {
+            fields.push((
+                "exemplars",
+                Json::Arr(
+                    ex.into_iter()
+                        .map(|(lo, v, t)| {
+                            Json::Arr(vec![
+                                Json::Num(lo as f64),
+                                Json::Num(v as f64),
+                                Json::Num(t as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -263,6 +383,19 @@ pub fn histogram_record(name: &str, v: u64) {
             .or_insert_with(|| Metric::Histogram(Histogram::new()));
         if let Metric::Histogram(h) = slot {
             h.record(v);
+        }
+    });
+}
+
+/// Records `v` into the histogram `name`, tagging its bucket with the
+/// worst-sample exemplar `trace_id` (see [`Histogram::record_exemplar`]).
+pub fn histogram_record_exemplar(name: &str, v: u64, trace_id: u64) {
+    with_registry(|reg| {
+        let slot = reg
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()));
+        if let Metric::Histogram(h) = slot {
+            h.record_exemplar(v, trace_id);
         }
     });
 }
@@ -366,8 +499,28 @@ impl crate::json::FromJson for MetricsSnapshot {
                             let idx = Histogram::bucket_index(lo);
                             if h.counts.len() <= idx {
                                 h.counts.resize(idx + 1, 0);
+                                h.exemplars.resize(idx + 1, (0, 0));
                             }
                             h.counts[idx] += c;
+                        }
+                    }
+                    // Exemplars are optional (pre-exemplar artifacts omit
+                    // the key entirely).
+                    if let Some(ex) = m.get("exemplars").and_then(Json::as_arr) {
+                        for e in ex {
+                            let triple = e.as_arr().unwrap_or(&[]);
+                            if let (Some(lo), Some(v), Some(t)) = (
+                                triple.first().and_then(Json::as_u64),
+                                triple.get(1).and_then(Json::as_u64),
+                                triple.get(2).and_then(Json::as_u64),
+                            ) {
+                                let idx = Histogram::bucket_index(lo);
+                                if h.exemplars.len() <= idx {
+                                    h.counts.resize(idx + 1, 0);
+                                    h.exemplars.resize(idx + 1, (0, 0));
+                                }
+                                h.exemplars[idx] = (v, t);
+                            }
                         }
                     }
                     Metric::Histogram(h)
@@ -437,14 +590,78 @@ mod tests {
         assert_eq!(h.min, 1);
         assert_eq!(h.max, 100);
         assert!((h.mean() - 50.5).abs() < 1e-9);
-        let p50 = h.quantile(0.5);
-        // Bucket lower bounds: quantile is within one bucket width.
-        assert!((40..=50).contains(&p50), "p50 = {p50}");
-        assert_eq!(
-            h.quantile(1.0),
-            Histogram::bucket_lower_bound(Histogram::bucket_index(100)).clamp(h.min, h.max)
-        );
+        // Bucket midpoints, pinned: the 50th sample (value 50) lands in
+        // bucket [48, 56) → midpoint 52; within half a bucket width of
+        // the true rank position.
+        assert_eq!(h.quantile(0.5), 52);
+        // Rank-90 sample (90) in [80, 96) → midpoint 88.
+        assert_eq!(h.quantile(0.9), 88);
+        // Rank-99 sample (99) in [96, 112) → midpoint 104, clamped to max.
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        // q = 0 resolves to rank 1 (value 1, an exact linear bucket).
+        assert_eq!(h.quantile(0.0), 1);
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_of_single_bucket_distribution_does_not_collapse_to_min() {
+        // Regression: with lower-bound quantiles, any distribution
+        // concentrated in one bucket reported min for every quantile.
+        let mut h = Histogram::new();
+        for v in 50..=55u64 {
+            h.record(v); // all in bucket [48, 56)
+        }
+        assert_eq!(h.quantile(0.5), 52, "midpoint, not min");
+        assert!(h.quantile(0.5) > h.min);
+        assert_eq!(h.quantile(0.99), 52);
+        // A single repeated value stays exact through the min/max clamp.
+        let mut one = Histogram::new();
+        for _ in 0..100 {
+            one.record(42);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn exemplars_keep_worst_sample_per_bucket() {
+        let mut h = Histogram::new();
+        h.record_exemplar(50, 7);
+        h.record_exemplar(54, 8); // same bucket [48,56), larger → wins
+        h.record_exemplar(51, 9); // smaller → ignored
+        h.record_exemplar(1000, 11);
+        h.record(2000); // untagged: counted, no exemplar
+        assert_eq!(h.count, 5);
+        let ex = h.nonzero_exemplars();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.contains(&(48, 54, 8)));
+        // p99 exemplar: worst tagged sample at/above the quantile bucket.
+        let (v, t) = h.exemplar_near_quantile(0.99).unwrap();
+        assert_eq!((v, t), (1000, 11));
+        // Quantile bucket above every exemplar falls back to nearest below.
+        let mut tail = Histogram::new();
+        tail.record_exemplar(10, 3);
+        for _ in 0..99 {
+            tail.record(1 << 20);
+        }
+        assert_eq!(tail.exemplar_near_quantile(0.99), Some((10, 3)));
+        assert_eq!(Histogram::new().exemplar_near_quantile(0.5), None);
+    }
+
+    #[test]
+    fn count_over_threshold() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 200, 4000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_over(0), 6);
+        assert_eq!(h.count_over(3), 3);
+        assert_eq!(h.count_over(150), 2, "200 and 4000 are over");
+        assert_eq!(h.count_over(4000), 0, "max <= threshold → exact 0");
+        assert_eq!(h.count_over(u64::MAX), 0);
+        assert_eq!(Histogram::new().count_over(0), 0);
     }
 
     #[test]
@@ -499,13 +716,23 @@ mod tests {
         gauge_set(&format!("{ns}.g"), 0.25);
         histogram_record(&format!("{ns}.h"), 1234);
         histogram_record(&format!("{ns}.h"), 5);
+        histogram_record_exemplar(&format!("{ns}.h"), 9999, 42);
         let snap = snapshot();
         let text = snap.to_json().to_string();
         let back = MetricsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.counter(&format!("{ns}.c")), Some(7));
         assert_eq!(back.gauge(&format!("{ns}.g")), Some(0.25));
         let h = back.histogram(&format!("{ns}.h")).unwrap();
-        assert_eq!(h.count, 2);
+        assert_eq!(h.count, 3);
         assert_eq!(h.min, 5);
+        assert_eq!(
+            h.nonzero_exemplars(),
+            vec![(
+                Histogram::bucket_lower_bound(Histogram::bucket_index(9999)),
+                9999,
+                42
+            )],
+            "exemplars survive the JSON round-trip"
+        );
     }
 }

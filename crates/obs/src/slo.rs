@@ -1,0 +1,472 @@
+//! Declarative service-level objectives evaluated from histograms.
+//!
+//! An [`SloSpec`] is a list of objectives — latency-quantile bounds
+//! (`p99 ≤ 2ms`) and availability floors (`≥ 99.9% of requests answered`)
+//! — and evaluation turns each into an [`SloReport`] carrying the three
+//! numbers SRE practice actually steers by:
+//!
+//! * **attainment** — the fraction of good events, compared against the
+//!   objective's target;
+//! * **error-budget remaining** — of the violations the objective allows
+//!   (`(1 − target) × events`), the fraction not yet spent;
+//! * **burn rate** — how fast the budget is being consumed: the observed
+//!   violation rate divided by the allowed rate (1.0 = exactly on budget,
+//!   above 1 = the objective will be missed if the window keeps looking
+//!   like this).
+//!
+//! Latency objectives are evaluated from [`Histogram`]s to bucket
+//! resolution (≤ 25% relative width; a bucket straddling the threshold
+//! counts as *not* violating, so attainment is reported optimistically by
+//! at most one bucket). Availability objectives are evaluated from exact
+//! good/total event counts. Everything serializes to JSON for
+//! `EngineStats`, bench artifacts, and the `simpim slo` CLI.
+
+use crate::json::{Json, JsonError, ToJson};
+use crate::metrics::Histogram;
+
+/// One declarative objective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloObjective {
+    /// `quantile` of the named latency histogram must be ≤ `threshold_ns`
+    /// (e.g. `p99 ≤ 2_000_000 ns`).
+    LatencyQuantile {
+        /// Objective name (conventionally the stage it bounds, e.g.
+        /// `serve.total`).
+        name: String,
+        /// The quantile, in (0, 1) (0.99 = p99).
+        quantile: f64,
+        /// Upper bound in nanoseconds.
+        threshold_ns: u64,
+    },
+    /// At least `target` of all requests must succeed (0.999 = 99.9%).
+    Availability {
+        /// Objective name (e.g. `serve.availability`).
+        name: String,
+        /// Required success fraction in (0, 1].
+        target: f64,
+    },
+}
+
+impl SloObjective {
+    /// The objective's name.
+    pub fn name(&self) -> &str {
+        match self {
+            SloObjective::LatencyQuantile { name, .. } => name,
+            SloObjective::Availability { name, .. } => name,
+        }
+    }
+
+    /// Human-readable statement of the objective.
+    pub fn describe(&self) -> String {
+        match self {
+            SloObjective::LatencyQuantile {
+                quantile,
+                threshold_ns,
+                ..
+            } => format!(
+                "p{} <= {:.3}ms",
+                (quantile * 100.0).round() as u64,
+                *threshold_ns as f64 / 1e6
+            ),
+            SloObjective::Availability { target, .. } => {
+                format!("availability >= {:.3}%", target * 100.0)
+            }
+        }
+    }
+}
+
+impl ToJson for SloObjective {
+    fn to_json(&self) -> Json {
+        match self {
+            SloObjective::LatencyQuantile {
+                name,
+                quantile,
+                threshold_ns,
+            } => Json::obj([
+                ("kind", Json::Str("latency_quantile".into())),
+                ("name", Json::Str(name.clone())),
+                ("quantile", Json::Num(*quantile)),
+                ("threshold_ns", Json::Num(*threshold_ns as f64)),
+            ]),
+            SloObjective::Availability { name, target } => Json::obj([
+                ("kind", Json::Str("availability".into())),
+                ("name", Json::Str(name.clone())),
+                ("target", Json::Num(*target)),
+            ]),
+        }
+    }
+}
+
+impl crate::json::FromJson for SloObjective {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind = v
+            .require("kind")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("objective kind must be a string"))?;
+        let name = v
+            .require("name")?
+            .as_str()
+            .ok_or_else(|| JsonError::shape("objective name must be a string"))?
+            .to_string();
+        match kind {
+            "latency_quantile" => Ok(SloObjective::LatencyQuantile {
+                name,
+                quantile: v
+                    .require("quantile")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::shape("quantile"))?,
+                threshold_ns: v
+                    .require("threshold_ns")?
+                    .as_u64()
+                    .ok_or_else(|| JsonError::shape("threshold_ns"))?,
+            }),
+            "availability" => Ok(SloObjective::Availability {
+                name,
+                target: v
+                    .require("target")?
+                    .as_f64()
+                    .ok_or_else(|| JsonError::shape("target"))?,
+            }),
+            other => Err(JsonError::shape(format!(
+                "unknown objective kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A set of objectives evaluated together.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// The objectives, evaluated independently.
+    pub objectives: Vec<SloObjective>,
+}
+
+impl SloSpec {
+    /// A spec with no objectives (evaluation yields no reports).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Adds a latency-quantile objective (builder style).
+    pub fn latency(mut self, name: &str, quantile: f64, threshold_ns: u64) -> Self {
+        self.objectives.push(SloObjective::LatencyQuantile {
+            name: name.to_string(),
+            quantile,
+            threshold_ns,
+        });
+        self
+    }
+
+    /// Adds an availability objective (builder style).
+    pub fn availability(mut self, name: &str, target: f64) -> Self {
+        self.objectives.push(SloObjective::Availability {
+            name: name.to_string(),
+            target,
+        });
+        self
+    }
+
+    /// Whether there is anything to evaluate.
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty()
+    }
+}
+
+impl ToJson for SloSpec {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.objectives.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl crate::json::FromJson for SloSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| JsonError::shape("slo spec must be an array"))?;
+        let mut objectives = Vec::with_capacity(arr.len());
+        for o in arr {
+            objectives.push(crate::json::FromJson::from_json(o)?);
+        }
+        Ok(Self { objectives })
+    }
+}
+
+/// The evaluated state of one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Objective name.
+    pub name: String,
+    /// `"latency_quantile"` or `"availability"`.
+    pub kind: String,
+    /// Human-readable objective, e.g. `p99 <= 2.000ms`.
+    pub objective: String,
+    /// Total events considered (latency samples or requests).
+    pub events: u64,
+    /// Events violating the objective (samples over threshold, or failed
+    /// requests).
+    pub violations: u64,
+    /// Observed value: the latency quantile in ns, or the availability
+    /// fraction.
+    pub observed: f64,
+    /// Fraction of good events in [0, 1].
+    pub attainment: f64,
+    /// Whether the objective is currently met.
+    pub attained: bool,
+    /// Fraction of the error budget still unspent, in [−∞, 1]; negative
+    /// once the objective is blown.
+    pub budget_remaining: f64,
+    /// Observed violation rate over allowed violation rate; 1.0 = exactly
+    /// on budget.
+    pub burn_rate: f64,
+}
+
+impl ToJson for SloReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("kind", Json::Str(self.kind.clone())),
+            ("objective", Json::Str(self.objective.clone())),
+            ("events", Json::Num(self.events as f64)),
+            ("violations", Json::Num(self.violations as f64)),
+            ("observed", Json::Num(self.observed)),
+            ("attainment", Json::Num(self.attainment)),
+            ("attained", Json::Bool(self.attained)),
+            ("budget_remaining", Json::Num(self.budget_remaining)),
+            ("burn_rate", Json::Num(self.burn_rate)),
+        ])
+    }
+}
+
+impl crate::json::FromJson for SloReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let get_str = |k: &str| -> Result<String, JsonError> {
+            Ok(v.require(k)?
+                .as_str()
+                .ok_or_else(|| JsonError::shape(format!("{k} must be a string")))?
+                .to_string())
+        };
+        let get_f64 = |k: &str| -> Result<f64, JsonError> {
+            v.require(k)?
+                .as_f64()
+                .ok_or_else(|| JsonError::shape(format!("{k} must be a number")))
+        };
+        Ok(Self {
+            name: get_str("name")?,
+            kind: get_str("kind")?,
+            objective: get_str("objective")?,
+            events: get_f64("events")? as u64,
+            violations: get_f64("violations")? as u64,
+            observed: get_f64("observed")?,
+            attainment: get_f64("attainment")?,
+            attained: v
+                .require("attained")?
+                .as_bool()
+                .ok_or_else(|| JsonError::shape("attained must be a bool"))?,
+            budget_remaining: get_f64("budget_remaining")?,
+            burn_rate: get_f64("burn_rate")?,
+        })
+    }
+}
+
+/// Shared budget math: given good/bad counts and the allowed bad
+/// fraction, derive attainment, budget remaining, and burn rate. With no
+/// events everything is vacuously attained with a full budget.
+fn budget_report(events: u64, violations: u64, allowed_bad_fraction: f64) -> (f64, bool, f64, f64) {
+    if events == 0 {
+        return (1.0, true, 1.0, 0.0);
+    }
+    let bad = violations as f64 / events as f64;
+    let attainment = 1.0 - bad;
+    let allowed = allowed_bad_fraction.max(0.0);
+    if allowed <= 0.0 {
+        // Zero-tolerance objective: any violation blows the budget.
+        let attained = violations == 0;
+        let budget = if attained { 1.0 } else { f64::NEG_INFINITY };
+        let burn = if attained { 0.0 } else { f64::INFINITY };
+        return (attainment, attained, budget, burn);
+    }
+    let burn = bad / allowed;
+    (attainment, bad <= allowed, 1.0 - burn, burn)
+}
+
+/// Evaluates a latency-quantile objective against a histogram of
+/// nanosecond samples.
+pub fn evaluate_latency(
+    name: &str,
+    quantile: f64,
+    threshold_ns: u64,
+    hist: &Histogram,
+) -> SloReport {
+    let violations = hist.count_over(threshold_ns);
+    let (attainment, attained, budget_remaining, burn_rate) =
+        budget_report(hist.count, violations, 1.0 - quantile);
+    SloReport {
+        name: name.to_string(),
+        kind: "latency_quantile".into(),
+        objective: SloObjective::LatencyQuantile {
+            name: name.to_string(),
+            quantile,
+            threshold_ns,
+        }
+        .describe(),
+        events: hist.count,
+        violations,
+        observed: hist.quantile(quantile) as f64,
+        attainment,
+        attained,
+        budget_remaining,
+        burn_rate,
+    }
+}
+
+/// Evaluates an availability objective from exact good/total counts.
+pub fn evaluate_availability(name: &str, target: f64, good: u64, total: u64) -> SloReport {
+    let violations = total.saturating_sub(good);
+    let (attainment, attained, budget_remaining, burn_rate) =
+        budget_report(total, violations, 1.0 - target);
+    SloReport {
+        name: name.to_string(),
+        kind: "availability".into(),
+        objective: SloObjective::Availability {
+            name: name.to_string(),
+            target,
+        }
+        .describe(),
+        events: total,
+        violations,
+        observed: attainment,
+        attainment,
+        attained,
+        budget_remaining,
+        burn_rate,
+    }
+}
+
+/// Evaluates every objective in a spec. Latency objectives read the
+/// histogram returned by `hist_for(name)`; availability objectives read
+/// the `(good, total)` pair from `counts_for(name)`. Objectives whose
+/// source is missing evaluate against empty data (vacuously attained) so
+/// a misnamed objective is visible as `events = 0` rather than silently
+/// skipped.
+pub fn evaluate_spec(
+    spec: &SloSpec,
+    mut hist_for: impl FnMut(&str) -> Option<Histogram>,
+    mut counts_for: impl FnMut(&str) -> Option<(u64, u64)>,
+) -> Vec<SloReport> {
+    spec.objectives
+        .iter()
+        .map(|o| match o {
+            SloObjective::LatencyQuantile {
+                name,
+                quantile,
+                threshold_ns,
+            } => {
+                let hist = hist_for(name).unwrap_or_default();
+                evaluate_latency(name, *quantile, *threshold_ns, &hist)
+            }
+            SloObjective::Availability { name, target } => {
+                let (good, total) = counts_for(name).unwrap_or((0, 0));
+                evaluate_availability(name, *target, good, total)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::FromJson;
+
+    fn ns_hist(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn latency_objective_attained_with_full_budget() {
+        // 100 samples at 1ms against p99 ≤ 2ms: zero violations.
+        let h = ns_hist(&vec![1_000_000; 100]);
+        let r = evaluate_latency("serve.total", 0.99, 2_000_000, &h);
+        assert!(r.attained);
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.events, 100);
+        assert!((r.attainment - 1.0).abs() < 1e-12);
+        assert!((r.budget_remaining - 1.0).abs() < 1e-12);
+        assert_eq!(r.burn_rate, 0.0);
+        assert_eq!(r.objective, "p99 <= 2.000ms");
+    }
+
+    #[test]
+    fn latency_objective_burns_budget_proportionally() {
+        // 2% of samples over threshold against p99 (1% allowed): burn 2x.
+        let mut samples = vec![1_000u64; 98];
+        samples.extend([10_000_000, 10_000_000]);
+        let h = ns_hist(&samples);
+        let r = evaluate_latency("serve.total", 0.99, 2_000_000, &h);
+        assert!(!r.attained);
+        assert_eq!(r.violations, 2);
+        assert!((r.burn_rate - 2.0).abs() < 1e-9, "burn = {}", r.burn_rate);
+        assert!((r.budget_remaining - (-1.0)).abs() < 1e-9);
+        assert!((r.attainment - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_objective_math() {
+        // 999 good of 1000 against 99.9%: exactly on budget.
+        let r = evaluate_availability("serve.availability", 0.999, 999, 1000);
+        assert!(r.attained);
+        assert_eq!(r.violations, 1);
+        assert!((r.burn_rate - 1.0).abs() < 1e-9);
+        assert!(r.budget_remaining.abs() < 1e-9);
+        // 990 good of 1000: 10x burn, blown.
+        let r = evaluate_availability("serve.availability", 0.999, 990, 1000);
+        assert!(!r.attained);
+        assert!((r.burn_rate - 10.0).abs() < 1e-9);
+        assert!(r.budget_remaining < 0.0);
+    }
+
+    #[test]
+    fn empty_data_is_vacuously_attained() {
+        let r = evaluate_latency("x", 0.99, 1, &Histogram::new());
+        assert!(r.attained);
+        assert_eq!(r.events, 0);
+        let r = evaluate_availability("x", 0.999, 0, 0);
+        assert!(r.attained);
+    }
+
+    #[test]
+    fn spec_evaluation_and_json_roundtrip() {
+        let spec = SloSpec::empty()
+            .latency("serve.total", 0.99, 2_000_000)
+            .availability("serve.availability", 0.999);
+        let text = spec.to_json().to_string();
+        let back = SloSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+
+        let h = ns_hist(&[1_000; 10]);
+        let reports = evaluate_spec(
+            &back,
+            |name| (name == "serve.total").then(|| h.clone()),
+            |name| (name == "serve.availability").then_some((10, 10)),
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.attained));
+        // Reports round-trip too (the CLI re-reads them from artifacts).
+        for r in &reports {
+            let back =
+                SloReport::from_json(&Json::parse(&r.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn missing_sources_show_up_as_zero_events() {
+        let spec = SloSpec::empty().latency("no.such.stage", 0.5, 100);
+        let reports = evaluate_spec(&spec, |_| None, |_| None);
+        assert_eq!(reports[0].events, 0);
+        assert!(reports[0].attained, "vacuous, not silently dropped");
+    }
+}

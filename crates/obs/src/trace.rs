@@ -10,12 +10,34 @@
 //! hot loops pay in release builds — is a single relaxed atomic load and a
 //! branch, measured under 2% on the kNN cascade (see the `obs_smoke`
 //! bench). The journal is per-thread and bounded: once `capacity` spans
-//! are recorded, further spans are counted in [`dropped`] instead of
-//! allocated, and nesting stays consistent (children of an unrecorded span
-//! attach to the nearest recorded ancestor).
+//! are recorded, further spans are counted in [`dropped`] (and per name in
+//! [`journal_stats`]) instead of allocated, and nesting stays consistent
+//! (children of an unrecorded span attach to the nearest recorded
+//! ancestor).
+//!
+//! ## Trace contexts
+//!
+//! Stack-based parentage only works within one thread. The serving stack
+//! crosses threads — a query is enqueued on a client thread, coalesced on
+//! the scheduler thread, and executed on parallel shard workers — so spans
+//! belonging to one request would otherwise end up as unrelated roots in
+//! different journals. A [`TraceCtx`] carries `{trace_id, span_id}` across
+//! those boundaries explicitly: mint one per request with
+//! [`TraceCtx::root`], derive children with [`TraceCtx::child`], and open
+//! spans under a remote parent with [`open_span_ctx`]. Span ids are minted
+//! from one process-wide counter, so ids are unique across threads and a
+//! request's span tree can be reassembled from any mix of journals.
+//!
+//! All threads share one monotonic epoch, so `start_ns`/`end_ns` are
+//! directly comparable across journals. Journals of threads that exit
+//! (e.g. scoped shard workers) are folded into a process-wide *orphan
+//! sink* (bounded by the same capacity) so [`dump_jsonl_all`] still sees
+//! them.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::Json;
@@ -26,19 +48,113 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// specific bound in mind.
 pub const DEFAULT_CAPACITY: usize = 65_536;
 
+/// Process-wide span id mint; 0 is reserved for "no span".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide trace id mint; 0 is reserved for "untraced".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+/// Capacity handed to [`enable`], mirrored here so the orphan sink and
+/// [`journal_stats`] can see it without a thread-local hop.
+static JOURNAL_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One shared monotonic epoch for every thread's journal, so offsets from
+/// different threads line up on one timeline.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Per-span-name drop counts, process-wide (satellite of the bounded
+/// journal: truncation must be attributable from the artifact alone).
+fn drop_registry() -> &'static Mutex<BTreeMap<String, u64>> {
+    static DROPS: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    DROPS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn note_drop(name: &str) {
+    if let Ok(mut m) = drop_registry().lock() {
+        *m.entry(name.to_string()).or_insert(0) += 1;
+    }
+}
+
+/// Spans recorded by threads that have since exited (scoped workers, the
+/// engine scheduler). Folded in by the `Tracer` destructor, bounded by the
+/// journal capacity; overflow counts as per-name drops.
+fn orphan_sink() -> &'static Mutex<Vec<SpanRecord>> {
+    static SINK: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A request-scoped trace context: the pair of ids that lets a span tree
+/// be reassembled across threads. Mint one per request with
+/// [`TraceCtx::root`]; pass it (it is `Copy`) wherever the request goes;
+/// derive per-stage children with [`TraceCtx::child`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Identifies the request; shared by every span in the tree. 0 means
+    /// "untraced".
+    pub trace_id: u64,
+    /// The id of the span this context points at (the parent for any span
+    /// opened under it).
+    pub span_id: u64,
+}
+
+impl TraceCtx {
+    /// The null context: untraced, no parent.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Mints a fresh trace with a fresh root span id. Cheap (two relaxed
+    /// atomic increments) and independent of whether tracing is enabled,
+    /// so request ids are stable for flight recording and exemplars even
+    /// when the journal is off.
+    pub fn root() -> Self {
+        Self {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            span_id: next_span_id(),
+        }
+    }
+
+    /// A child context in the same trace with a freshly minted span id.
+    pub fn child(&self) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            span_id: next_span_id(),
+        }
+    }
+
+    /// Whether this is the null context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0 && self.span_id == 0
+    }
+}
+
 /// One closed (or still-open) span in the journal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
-    /// Journal-local id (index order = open order).
+    /// Process-unique span id (minted from one global counter, so ids
+    /// from different threads never collide).
     pub id: u64,
-    /// Id of the parent span, if any.
+    /// Id of the parent span, if any. For ctx-opened spans this may live
+    /// in another thread's journal.
     pub parent: Option<u64>,
-    /// Nesting depth (0 = root).
+    /// Trace this span belongs to; 0 when opened outside any trace.
+    pub trace_id: u64,
+    /// Nesting depth on the opening thread (0 = root there).
     pub depth: u32,
     /// Span name, conventionally `<crate>.<stage>` (e.g.
     /// `mining.knn.filter`).
     pub name: String,
-    /// Monotonic start offset in nanoseconds from the journal epoch.
+    /// Monotonic start offset in nanoseconds from the process epoch.
     pub start_ns: u64,
     /// Monotonic end offset; equals `start_ns` while the span is open.
     pub end_ns: u64,
@@ -64,6 +180,7 @@ impl SpanRecord {
                     None => Json::Null,
                 },
             ),
+            ("trace_id", Json::Num(self.trace_id as f64)),
             ("depth", Json::Num(self.depth as f64)),
             ("name", Json::Str(self.name.clone())),
             ("start_ns", Json::Num(self.start_ns as f64)),
@@ -82,7 +199,6 @@ impl SpanRecord {
 }
 
 struct Tracer {
-    epoch: Instant,
     records: Vec<SpanRecord>,
     /// Indices into `records` of currently-open recorded spans.
     stack: Vec<usize>,
@@ -96,17 +212,32 @@ struct Tracer {
 impl Tracer {
     fn new() -> Self {
         Self {
-            epoch: Instant::now(),
             records: Vec::new(),
             stack: Vec::new(),
-            capacity: DEFAULT_CAPACITY,
+            capacity: JOURNAL_CAPACITY.load(Ordering::Relaxed),
             dropped: 0,
             open_depth: 0,
         }
     }
+}
 
-    fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
+impl Drop for Tracer {
+    /// Thread exit: fold this journal into the orphan sink so scoped
+    /// worker threads don't take their spans with them.
+    fn drop(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        if let Ok(mut sink) = orphan_sink().lock() {
+            let cap = JOURNAL_CAPACITY.load(Ordering::Relaxed);
+            for r in self.records.drain(..) {
+                if sink.len() >= cap {
+                    note_drop(&r.name);
+                } else {
+                    sink.push(r);
+                }
+            }
+        }
     }
 }
 
@@ -116,13 +247,22 @@ thread_local! {
 
 /// Turns tracing on process-wide with the given per-thread journal
 /// capacity (spans beyond it are dropped, not reallocated). Clears this
-/// thread's journal.
+/// thread's journal, the orphan sink, and the per-name drop counters.
 pub fn enable(capacity: usize) {
+    let capacity = capacity.max(1);
+    JOURNAL_CAPACITY.store(capacity, Ordering::Relaxed);
     TRACER.with(|t| {
         let mut t = t.borrow_mut();
+        t.records.clear(); // keep replaced journal out of the orphan sink
         *t = Tracer::new();
-        t.capacity = capacity.max(1);
+        t.capacity = capacity;
     });
+    if let Ok(mut sink) = orphan_sink().lock() {
+        sink.clear();
+    }
+    if let Ok(mut m) = drop_registry().lock() {
+        m.clear();
+    }
     ENABLED.store(true, Ordering::Release);
 }
 
@@ -143,6 +283,7 @@ pub fn clear() {
     TRACER.with(|t| {
         let mut t = t.borrow_mut();
         let cap = t.capacity;
+        t.records.clear(); // keep replaced journal out of the orphan sink
         *t = Tracer::new();
         t.capacity = cap;
     });
@@ -158,14 +299,80 @@ pub fn drain() -> Vec<SpanRecord> {
     })
 }
 
+/// Takes this thread's journal *and* the orphan sink (journals of exited
+/// threads), leaving both empty. Span ids are process-unique, so the
+/// union is a coherent forest.
+pub fn drain_all() -> Vec<SpanRecord> {
+    let mut out = match orphan_sink().lock() {
+        Ok(mut sink) => std::mem::take(&mut *sink),
+        Err(_) => Vec::new(),
+    };
+    out.extend(drain());
+    out
+}
+
 /// A copy of this thread's journal.
 pub fn snapshot() -> Vec<SpanRecord> {
     TRACER.with(|t| t.borrow().records.clone())
 }
 
+/// A copy of the orphan sink (spans from threads that have exited).
+pub fn orphaned() -> Vec<SpanRecord> {
+    match orphan_sink().lock() {
+        Ok(sink) => sink.clone(),
+        Err(_) => Vec::new(),
+    }
+}
+
 /// Number of spans dropped on this thread because the journal was full.
 pub fn dropped() -> u64 {
     TRACER.with(|t| t.borrow().dropped)
+}
+
+/// Journal health: capacity plus process-wide drop totals per span name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JournalStats {
+    /// Per-thread journal capacity in spans (last value given to
+    /// [`enable`]).
+    pub capacity: usize,
+    /// Total spans dropped process-wide since the last [`enable`].
+    pub dropped_total: u64,
+    /// Drops broken down by span name, sorted by name.
+    pub dropped_by_name: Vec<(String, u64)>,
+}
+
+impl JournalStats {
+    /// As a JSON object (embedded in bench artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("dropped_total", Json::Num(self.dropped_total as f64)),
+            (
+                "dropped_by_name",
+                Json::Obj(
+                    self.dropped_by_name
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Process-wide journal statistics: the configured capacity and how many
+/// spans were dropped (total and per span name) since the last
+/// [`enable`]. Unlike [`dropped`], this aggregates across threads.
+pub fn journal_stats() -> JournalStats {
+    let dropped_by_name: Vec<(String, u64)> = match drop_registry().lock() {
+        Ok(m) => m.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        Err(_) => Vec::new(),
+    };
+    JournalStats {
+        capacity: JOURNAL_CAPACITY.load(Ordering::Relaxed),
+        dropped_total: dropped_by_name.iter().map(|(_, v)| v).sum(),
+        dropped_by_name,
+    }
 }
 
 /// The journal as JSONL: one compact JSON object per line, in open order.
@@ -181,6 +388,20 @@ pub fn dump_jsonl() -> String {
     })
 }
 
+/// The orphan sink plus this thread's journal as JSONL (orphans first).
+/// What the CLI writes for `--trace`: worker-thread spans included.
+pub fn dump_jsonl_all() -> String {
+    let mut out = String::new();
+    if let Ok(sink) = orphan_sink().lock() {
+        for r in sink.iter() {
+            out.push_str(&r.to_json().to_string());
+            out.push('\n');
+        }
+    }
+    out.push_str(&dump_jsonl());
+    out
+}
+
 /// Opens a span. Prefer the [`crate::span!`] macro, which stringifies
 /// attribute names for you. When tracing is disabled this is one atomic
 /// load; the returned guard is inert.
@@ -189,27 +410,81 @@ pub fn open_span(name: &str, attrs: &[(&str, f64)]) -> SpanGuard {
     if !is_enabled() {
         return SpanGuard { slot: None };
     }
-    open_span_slow(name, attrs)
+    open_span_slow(name, None, attrs)
+}
+
+/// Opens a span under an explicit cross-thread parent context, returning
+/// the guard plus the new span's own context (hand it to further threads
+/// or stages). The context is minted even when tracing is disabled, so
+/// propagation — flight recording, exemplar trace ids — keeps working with
+/// the journal off.
+#[inline]
+pub fn open_span_ctx(name: &str, parent: TraceCtx, attrs: &[(&str, f64)]) -> (SpanGuard, TraceCtx) {
+    let ctx = if parent.is_none() {
+        TraceCtx::root()
+    } else {
+        parent.child()
+    };
+    if !is_enabled() {
+        return (SpanGuard { slot: None }, ctx);
+    }
+    (open_span_slow(name, Some((parent, ctx)), attrs), ctx)
+}
+
+/// Opens a root span and mints a fresh trace for it. Shorthand for
+/// [`open_span_ctx`] with [`TraceCtx::NONE`].
+#[inline]
+pub fn open_root_span(name: &str, attrs: &[(&str, f64)]) -> (SpanGuard, TraceCtx) {
+    open_span_ctx(name, TraceCtx::NONE, attrs)
 }
 
 #[cold]
-fn open_span_slow(name: &str, attrs: &[(&str, f64)]) -> SpanGuard {
+fn open_span_slow(
+    name: &str,
+    ctx: Option<(TraceCtx, TraceCtx)>,
+    attrs: &[(&str, f64)],
+) -> SpanGuard {
     TRACER.with(|t| {
         let mut t = t.borrow_mut();
         let depth = t.open_depth;
         t.open_depth += 1;
         if t.records.len() >= t.capacity {
             t.dropped += 1;
+            note_drop(name);
             // Unrecorded span: the guard still tracks depth so siblings
             // recorded later keep truthful depths.
             return SpanGuard { slot: None };
         }
-        let id = t.records.len() as u64;
-        let parent = t.stack.last().map(|&i| t.records[i].id);
-        let start_ns = t.now_ns();
+        let stack_parent = t
+            .stack
+            .last()
+            .map(|&i| (t.records[i].id, t.records[i].trace_id));
+        let (id, parent, trace_id) = match ctx {
+            // Explicit cross-thread parentage wins over the local stack.
+            Some((parent, own)) => {
+                let p = if parent.span_id == 0 {
+                    stack_parent.map(|(pid, _)| pid)
+                } else {
+                    Some(parent.span_id)
+                };
+                (own.span_id, p, own.trace_id)
+            }
+            // Plain spans parent on the stack and inherit its trace, so
+            // inner stages traced on a worker thread stay in the
+            // request's trace without any plumbing of their own.
+            None => {
+                let (p, tid) = match stack_parent {
+                    Some((pid, ptid)) => (Some(pid), ptid),
+                    None => (None, 0),
+                };
+                (next_span_id(), p, tid)
+            }
+        };
+        let start_ns = now_ns();
         t.records.push(SpanRecord {
             id,
             parent,
+            trace_id,
             depth,
             name: name.to_string(),
             start_ns,
@@ -276,7 +551,7 @@ impl Drop for SpanGuard {
             let mut t = t.borrow_mut();
             match self.slot {
                 Some(idx) => {
-                    let end = t.now_ns();
+                    let end = now_ns();
                     if let Some(r) = t.records.get_mut(idx) {
                         r.end_ns = end;
                     }
@@ -401,6 +676,7 @@ mod tests {
             let v = Json::parse(line).expect("valid JSONL line");
             assert!(v.get("name").is_some());
             assert!(v.get("start_ns").is_some());
+            assert!(v.get("trace_id").is_some());
         }
     }
 
@@ -415,5 +691,125 @@ mod tests {
         let spans = drain();
         disable();
         assert_eq!(spans[0].attrs, vec![("x".to_string(), 5.0)]);
+    }
+
+    #[test]
+    fn trace_ctx_ids_are_unique_and_linked() {
+        let root = TraceCtx::root();
+        let c1 = root.child();
+        let c2 = root.child();
+        let other = TraceCtx::root();
+        assert_eq!(c1.trace_id, root.trace_id);
+        assert_eq!(c2.trace_id, root.trace_id);
+        assert_ne!(c1.span_id, c2.span_id);
+        assert_ne!(c1.span_id, root.span_id);
+        assert_ne!(other.trace_id, root.trace_id);
+        assert!(!root.is_none());
+        assert!(TraceCtx::NONE.is_none());
+    }
+
+    #[test]
+    fn ctx_spans_carry_explicit_parentage_and_trace() {
+        let _l = test_lock::hold();
+        enable(64);
+        let (root_guard, root_ctx) = open_root_span("req.root", &[]);
+        let spans_in_thread = std::thread::scope(|s| {
+            s.spawn(|| {
+                // A "remote" thread opens under the request's context;
+                // a plain nested span inherits trace + parent locally.
+                {
+                    let (_g, _child) = open_span_ctx("req.remote", root_ctx, &[("shard", 1.0)]);
+                    let _inner = span!("req.remote.inner");
+                }
+                drain()
+            })
+            .join()
+            .unwrap()
+        });
+        drop(root_guard);
+        let local = drain();
+        disable();
+
+        assert_eq!(local.len(), 1);
+        let root = &local[0];
+        assert_eq!(root.name, "req.root");
+        assert_eq!(root.trace_id, root_ctx.trace_id);
+        assert_eq!(root.id, root_ctx.span_id);
+
+        assert_eq!(spans_in_thread.len(), 2);
+        let remote = &spans_in_thread[0];
+        let inner = &spans_in_thread[1];
+        assert_eq!(remote.parent, Some(root.id), "explicit cross-thread parent");
+        assert_eq!(remote.trace_id, root.trace_id);
+        assert_eq!(
+            inner.parent,
+            Some(remote.id),
+            "stack nesting under ctx span"
+        );
+        assert_eq!(inner.trace_id, root.trace_id, "trace inherited via stack");
+        // Process-unique ids: no collisions across the two journals.
+        let mut ids: Vec<u64> = local
+            .iter()
+            .chain(spans_in_thread.iter())
+            .map(|r| r.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn ctx_minted_even_when_disabled() {
+        let _l = test_lock::hold();
+        disable();
+        let (g, ctx) = open_root_span("off", &[]);
+        assert!(!g.is_recorded());
+        assert!(!ctx.is_none());
+        let (g2, child) = open_span_ctx("off.child", ctx, &[]);
+        assert!(!g2.is_recorded());
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_ne!(child.span_id, ctx.span_id);
+    }
+
+    #[test]
+    fn drops_are_counted_per_name() {
+        let _l = test_lock::hold();
+        enable(1);
+        {
+            let _keep = span!("kept");
+            let _a = span!("lost.alpha");
+            let _b = span!("lost.alpha");
+            let _c = span!("lost.beta");
+        }
+        let stats = journal_stats();
+        disable();
+        clear();
+        assert_eq!(stats.capacity, 1);
+        assert_eq!(stats.dropped_total, 3);
+        assert_eq!(
+            stats.dropped_by_name,
+            vec![("lost.alpha".to_string(), 2), ("lost.beta".to_string(), 1)]
+        );
+        let j = stats.to_json();
+        assert!(j
+            .get("dropped_by_name")
+            .and_then(|d| d.get("lost.alpha"))
+            .is_some());
+    }
+
+    #[test]
+    fn orphan_sink_collects_exited_threads() {
+        let _l = test_lock::hold();
+        enable(1024);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = span!("worker.span");
+            });
+        });
+        let all = drain_all();
+        disable();
+        assert!(all.iter().any(|r| r.name == "worker.span"));
+        // Sink was drained.
+        assert!(orphaned().is_empty());
     }
 }

@@ -35,15 +35,18 @@ use std::time::{Duration, Instant};
 
 use simpim_core::executor::ExecutorConfig;
 use simpim_mining::knn::resident::merge_neighbors;
+use simpim_obs::metrics::Histogram;
+use simpim_obs::{SloReport, SloSpec, TraceCtx};
 use simpim_similarity::Dataset;
 
 use crate::error::ServeError;
-use crate::replica::{ReplicaSet, ReplicaSetStats};
+use crate::flight::{FlightRecorder, FlightRecorderStats, Outcome, QuerySpan, QueryTrace};
+use crate::replica::{ReplicaSet, ReplicaSetStats, RouteSample};
 use crate::shard::ShardConfig;
 use crate::Neighbor;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Number of shards the dataset is partitioned across.
     pub shards: usize,
@@ -67,6 +70,14 @@ pub struct ServeConfig {
     pub executor: ExecutorConfig,
     /// Deadline applied by [`ServeEngine::knn`] / [`ServeEngine::knn_batch`].
     pub default_timeout: Duration,
+    /// Flight-recorder retention: the N slowest clean requests are kept
+    /// (anomalous ones — failed, shed, timed out, degraded, failed over —
+    /// ride in their own ring of the same size). `0` disables retention.
+    pub flight_capacity: usize,
+    /// Declarative service-level objectives evaluated on every
+    /// [`ServeEngine::stats`] call from the engine's stage histograms and
+    /// availability counters.
+    pub slo: SloSpec,
 }
 
 fn replicas_from_env() -> usize {
@@ -89,6 +100,8 @@ impl Default for ServeConfig {
             reprogram_wear_budget: 1_000,
             executor: ExecutorConfig::default(),
             default_timeout: Duration::from_secs(5),
+            flight_capacity: 32,
+            slo: SloSpec::empty(),
         }
     }
 }
@@ -102,6 +115,28 @@ impl ServeConfig {
             reprogram_wear_budget: self.reprogram_wear_budget,
         }
     }
+}
+
+/// Latency summary of one request stage, with the exemplar that shows
+/// *which* request to go look at: the trace id of the worst sample
+/// recorded at or above the stage's p99 bucket.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageLatency {
+    /// Stage name: `queue`, `pass`, `merge`, `total`, or `mutation`.
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile latency in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst sample near p99, in nanoseconds (`0` when empty).
+    pub exemplar_ns: u64,
+    /// Trace id of that sample — the key into the flight dump and the
+    /// obs journal (`0` when unknown).
+    pub exemplar_trace: u64,
 }
 
 /// Point-in-time engine statistics.
@@ -138,6 +173,19 @@ pub struct EngineStats {
     /// Shards currently with no routable replica (serving exact answers
     /// from the host mirror).
     pub degraded_shards: usize,
+    /// Queries answered successfully (exact result delivered).
+    pub answered_ok: u64,
+    /// Queries answered with an error (deadline expiries count under
+    /// [`EngineStats::timeouts`] instead).
+    pub failed: u64,
+    /// Per-stage latency breakdown (`queue`, `pass`, `merge`, `total`,
+    /// `mutation`), each with its p99 exemplar trace id.
+    pub stage_latency: Vec<StageLatency>,
+    /// SLO attainment / error-budget / burn-rate reports for every
+    /// objective in [`ServeConfig::slo`] (empty when none configured).
+    pub slo: Vec<SloReport>,
+    /// Flight-recorder occupancy.
+    pub flight: FlightRecorderStats,
 }
 
 struct QueryReq {
@@ -145,6 +193,11 @@ struct QueryReq {
     k: usize,
     deadline: Instant,
     enqueued: Instant,
+    /// Request-scoped trace context, minted client-side at submission.
+    /// Carries the query's identity through coalescing, the per-shard
+    /// fan-out, and the merge, so its span tree is reconstructible even
+    /// though one crossbar pass serves the whole batch.
+    ctx: TraceCtx,
     reply: mpsc::Sender<Result<Vec<Neighbor>, ServeError>>,
 }
 
@@ -152,13 +205,19 @@ enum Cmd {
     Query(QueryReq),
     Insert {
         row: Vec<f64>,
+        enqueued: Instant,
+        ctx: TraceCtx,
         reply: mpsc::Sender<Result<usize, ServeError>>,
     },
     Delete {
         id: usize,
+        enqueued: Instant,
+        ctx: TraceCtx,
         reply: mpsc::Sender<Result<bool, ServeError>>,
     },
     Flush {
+        enqueued: Instant,
+        ctx: TraceCtx,
         reply: mpsc::Sender<Result<(), ServeError>>,
     },
     KillBank {
@@ -168,6 +227,9 @@ enum Cmd {
     },
     Stats {
         reply: mpsc::Sender<EngineStats>,
+    },
+    FlightDump {
+        reply: mpsc::Sender<String>,
     },
 }
 
@@ -250,16 +312,21 @@ impl ServeEngine {
         drop(span);
         let dim = data.dim();
         let next_id = data.len();
+        let default_timeout = cfg.default_timeout;
+        // The timestamp origin every stage span is expressed against.
+        // Created before the scheduler spawns so client-side enqueue
+        // instants are never earlier than it.
+        let epoch = Instant::now();
         let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
         let handle = thread::Builder::new()
             .name("simpim-serve-scheduler".to_string())
-            .spawn(move || Scheduler::new(sets, cfg, next_id).run(rx))
+            .spawn(move || Scheduler::new(sets, cfg, next_id, epoch).run(rx))
             .expect("spawn scheduler thread");
         Ok(Self {
             tx: Some(tx),
             handle: Some(handle),
             dim,
-            default_timeout: cfg.default_timeout,
+            default_timeout,
             overloaded: Arc::new(AtomicU64::new(0)),
         })
     }
@@ -310,6 +377,7 @@ impl ServeEngine {
             k,
             deadline: now + timeout,
             enqueued: now,
+            ctx: TraceCtx::root(),
             reply,
         });
         match self.tx().try_send(req) {
@@ -345,6 +413,7 @@ impl ServeEngine {
                 k,
                 deadline: now + self.default_timeout,
                 enqueued: now,
+                ctx: TraceCtx::root(),
                 reply,
             });
             self.tx().send(req).map_err(|_| ServeError::Closed)?;
@@ -371,6 +440,8 @@ impl ServeEngine {
         self.tx()
             .send(Cmd::Insert {
                 row: row.to_vec(),
+                enqueued: Instant::now(),
+                ctx: TraceCtx::root(),
                 reply,
             })
             .map_err(|_| ServeError::Closed)?;
@@ -381,7 +452,12 @@ impl ServeEngine {
     pub fn delete(&self, id: usize) -> Result<bool, ServeError> {
         let (reply, rx) = mpsc::channel();
         self.tx()
-            .send(Cmd::Delete { id, reply })
+            .send(Cmd::Delete {
+                id,
+                enqueued: Instant::now(),
+                ctx: TraceCtx::root(),
+                reply,
+            })
             .map_err(|_| ServeError::Closed)?;
         rx.recv().map_err(|_| ServeError::Closed)?
     }
@@ -393,9 +469,25 @@ impl ServeEngine {
     pub fn flush(&self) -> Result<(), ServeError> {
         let (reply, rx) = mpsc::channel();
         self.tx()
-            .send(Cmd::Flush { reply })
+            .send(Cmd::Flush {
+                enqueued: Instant::now(),
+                ctx: TraceCtx::root(),
+                reply,
+            })
             .map_err(|_| ServeError::Closed)?;
         rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Dumps the flight recorder as JSONL — one [`QueryTrace`] per line,
+    /// anomalies (failed / shed / timed-out / degraded / failed-over
+    /// requests) first, then the N slowest clean requests, slowest
+    /// first. Feed it to `simpim flight` for per-stage waterfalls.
+    pub fn flight_dump(&self) -> Result<String, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.tx()
+            .send(Cmd::FlightDump { reply })
+            .map_err(|_| ServeError::Closed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
     }
 
     /// Fail-stops the bank under `shard`'s replica `replica` — the
@@ -440,6 +532,57 @@ impl Drop for ServeEngine {
     }
 }
 
+/// The engine-owned per-stage latency histograms. Each sample is
+/// recorded with its request's trace id, so every bucket remembers the
+/// worst offender that landed in it (the exemplar) — the jump-off point
+/// from a p99 number to a concrete flight-recorder trace.
+#[derive(Default)]
+struct StageHists {
+    queue: Histogram,
+    pass: Histogram,
+    merge: Histogram,
+    total: Histogram,
+    mutation: Histogram,
+}
+
+impl StageHists {
+    /// Stage histogram by short name (`queue`) or full metric name
+    /// (`simpim.serve.stage.queue_ns`) — both spellings work in SLO
+    /// objectives.
+    fn by_name(&self, name: &str) -> Option<&Histogram> {
+        match name {
+            "queue" | "simpim.serve.stage.queue_ns" => Some(&self.queue),
+            "pass" | "simpim.serve.stage.pass_ns" => Some(&self.pass),
+            "merge" | "simpim.serve.stage.merge_ns" => Some(&self.merge),
+            "total" | "simpim.serve.stage.total_ns" | "simpim.serve.latency_ns" => {
+                Some(&self.total)
+            }
+            "mutation" | "simpim.serve.stage.mutation_ns" => Some(&self.mutation),
+            _ => None,
+        }
+    }
+
+    fn summaries(&self) -> Vec<StageLatency> {
+        ["queue", "pass", "merge", "total", "mutation"]
+            .iter()
+            .map(|&stage| {
+                let h = self.by_name(stage).expect("known stage");
+                let (exemplar_ns, exemplar_trace) =
+                    h.exemplar_near_quantile(0.99).unwrap_or((0, 0));
+                StageLatency {
+                    stage: stage.to_string(),
+                    count: h.count,
+                    p50_ns: h.quantile(0.5),
+                    p95_ns: h.quantile(0.95),
+                    p99_ns: h.quantile(0.99),
+                    exemplar_ns,
+                    exemplar_trace,
+                }
+            })
+            .collect()
+    }
+}
+
 struct Scheduler {
     sets: Vec<ReplicaSet>,
     cfg: ServeConfig,
@@ -447,26 +590,45 @@ struct Scheduler {
     /// Non-query commands pulled off the channel by a mid-flush drain;
     /// replayed (in order) before anything new is dequeued.
     stashed: VecDeque<Cmd>,
+    /// Timestamp origin for every stage span (set before spawn, shared
+    /// with clients through their `enqueued` instants).
+    epoch: Instant,
+    stages: StageHists,
+    flight: FlightRecorder,
     queries: u64,
     batches: u64,
     inserts: u64,
     deletes: u64,
     timeouts: u64,
+    answered_ok: u64,
+    failed: u64,
 }
 
 impl Scheduler {
-    fn new(sets: Vec<ReplicaSet>, cfg: ServeConfig, next_id: usize) -> Self {
+    fn new(sets: Vec<ReplicaSet>, cfg: ServeConfig, next_id: usize, epoch: Instant) -> Self {
+        let flight = FlightRecorder::new(cfg.flight_capacity);
         Self {
             sets,
             cfg,
             next_id,
             stashed: VecDeque::new(),
+            epoch,
+            stages: StageHists::default(),
+            flight,
             queries: 0,
             batches: 0,
             inserts: 0,
             deletes: 0,
             timeouts: 0,
+            answered_ok: 0,
+            failed: 0,
         }
+    }
+
+    /// Nanoseconds since the engine epoch — the clock every flight-span
+    /// timestamp is expressed in.
+    fn ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 
     fn run(mut self, rx: Receiver<Cmd>) {
@@ -498,8 +660,14 @@ impl Scheduler {
                     simpim_obs::metrics::gauge_set("simpim.serve.queue_depth", batch.len() as f64);
                     self.process_queries(batch);
                 }
-                Cmd::Flush { reply } => {
+                Cmd::Flush {
+                    enqueued,
+                    ctx,
+                    reply,
+                } => {
+                    let dequeued = Instant::now();
                     let out = self.rolling_flush(&rx);
+                    self.record_mutation_trace("flush", ctx, enqueued, dequeued, out.is_ok(), &[]);
                     let _ = reply.send(out);
                 }
                 other => deferred = Some(other),
@@ -582,6 +750,7 @@ impl Scheduler {
         for q in expired {
             self.timeouts += 1;
             simpim_obs::metrics::counter_add("simpim.serve.timeouts", 1);
+            self.record_timeout_trace(&q, now);
             let _ = q.reply.send(Err(ServeError::DeadlineExpired));
         }
         if live.is_empty() {
@@ -589,9 +758,18 @@ impl Scheduler {
         }
         self.batches += 1;
         self.queries += live.len() as u64;
+        simpim_obs::metrics::counter_add("simpim.serve.batches", 1);
         simpim_obs::metrics::counter_add("simpim.serve.queries", live.len() as u64);
         simpim_obs::metrics::histogram_record("simpim.serve.batch_size", live.len() as u64);
-        let mut span = simpim_obs::span!("serve.engine.batch", queries = live.len() as u64);
+        // The batch root in the obs journal. Every member query's flight
+        // trace carries this batch's sequence number, and the per-shard
+        // `serve.replica.pass` / executor spans parent on this context —
+        // so one crossbar pass serving Q queries stays attributable.
+        let batch_seq = self.batches;
+        let (mut span, batch_ctx) = simpim_obs::trace::open_root_span(
+            "serve.engine.batch",
+            &[("queries", live.len() as f64), ("batch", batch_seq as f64)],
+        );
 
         let queries: Vec<Vec<f64>> = live.iter().map(|q| q.query.clone()).collect();
         let ks: Vec<usize> = live.iter().map(|q| q.k).collect();
@@ -603,20 +781,59 @@ impl Scheduler {
         // `SIMPIM_THREADS`). Failover happens inside the job — a shard
         // whose routed bank died retries on its other replicas before
         // the merge ever sees it.
-        type ShardBatch = Vec<Result<Vec<Neighbor>, ServeError>>;
+        type ShardBatch = (Vec<Result<Vec<Neighbor>, ServeError>>, RouteSample);
+        let pass_start = Instant::now();
         let jobs: Vec<simpim_par::Job<'_, ShardBatch>> = self
             .sets
             .iter_mut()
-            .map(|set| {
-                Box::new(move || set.query_batch(queries_ref, ks_ref)) as simpim_par::Job<'_, _>
+            .enumerate()
+            .map(|(si, set)| {
+                Box::new(move || set.query_batch_traced(queries_ref, ks_ref, batch_ctx, si))
+                    as simpim_par::Job<'_, _>
             })
             .collect();
         let shard_results: Vec<ShardBatch> = simpim_par::join_all(jobs);
+        let pass_end = Instant::now();
+
+        // Batch-level fault annotations, shared by every member query's
+        // flight trace: which replica served each shard, and what
+        // failover / shed / degraded handling the batch absorbed.
+        let mut annotations = Vec::new();
+        let mut degraded = false;
+        let mut failovers = 0u64;
+        let mut sheds = 0u64;
+        for (si, (_, sample)) in shard_results.iter().enumerate() {
+            failovers += sample.failovers;
+            sheds += sample.sheds;
+            degraded |= sample.degraded;
+            if sample.failovers > 0 {
+                annotations.push(format!(
+                    "shard {si}: {} bank loss(es) detected, batch failed over",
+                    sample.failovers
+                ));
+            }
+            if sample.degraded {
+                annotations.push(format!(
+                    "shard {si}: no routable replica, served from exact host mirror"
+                ));
+            } else if let Some(r) = sample.replica {
+                if sample.failovers > 0 {
+                    annotations.push(format!("shard {si}: answered by replica {r}"));
+                }
+            }
+            if sample.sheds > 0 {
+                annotations.push(format!(
+                    "shard {si}: {} query(ies) shed to host path by a recoverable PIM fault",
+                    sample.sheds
+                ));
+            }
+        }
 
         for (qi, req) in live.into_iter().enumerate() {
+            let merge_start = Instant::now();
             let mut parts = Vec::with_capacity(shard_results.len());
             let mut failure = None;
-            for per_shard in &shard_results {
+            for (per_shard, _) in &shard_results {
                 match &per_shard[qi] {
                     Ok(neighbors) => parts.push(neighbors.clone()),
                     Err(e) => failure = Some(e.clone()),
@@ -626,20 +843,248 @@ impl Scheduler {
                 Some(e) => Err(e),
                 None => Ok(merge_neighbors(&parts, req.k, true)),
             };
-            simpim_obs::metrics::histogram_record(
-                "simpim.serve.latency_ns",
-                req.enqueued.elapsed().as_nanos() as u64,
+            let done = Instant::now();
+            let outcome = match &answer {
+                Err(_) => Outcome::Failed,
+                Ok(_) if degraded => Outcome::Degraded,
+                Ok(_) if failovers > 0 => Outcome::Failover,
+                Ok(_) if sheds > 0 => Outcome::Shed,
+                Ok(_) => Outcome::Ok,
+            };
+            match &answer {
+                Ok(_) => {
+                    self.answered_ok += 1;
+                    simpim_obs::metrics::counter_add("simpim.serve.answered_ok", 1);
+                }
+                Err(e) => {
+                    self.failed += 1;
+                    simpim_obs::metrics::counter_add("simpim.serve.failed", 1);
+                    annotations.push(format!("query failed: {e}"));
+                }
+            }
+            let mut anns = annotations.clone();
+            if let Err(e) = &answer {
+                anns.push(format!("error: {e}"));
+            }
+            self.record_query_trace(
+                &req,
+                now,
+                pass_start,
+                pass_end,
+                merge_start,
+                done,
+                batch_seq,
+                outcome,
+                anns,
             );
             let _ = req.reply.send(answer);
         }
         span.record("shards", self.sets.len() as f64);
     }
 
+    /// Records the stage latencies of one answered query (engine-local
+    /// histograms + exemplar-tagged global metrics) and offers its
+    /// explicitly-built span tree to the flight recorder. Built from the
+    /// request's [`TraceCtx`] whether or not journal tracing is enabled.
+    #[allow(clippy::too_many_arguments)]
+    fn record_query_trace(
+        &mut self,
+        req: &QueryReq,
+        dequeued: Instant,
+        pass_start: Instant,
+        pass_end: Instant,
+        merge_start: Instant,
+        done: Instant,
+        batch_seq: u64,
+        outcome: Outcome,
+        annotations: Vec<String>,
+    ) {
+        let trace_id = req.ctx.trace_id;
+        let queue_ns = dequeued.saturating_duration_since(req.enqueued).as_nanos() as u64;
+        let pass_ns = pass_end.saturating_duration_since(pass_start).as_nanos() as u64;
+        let merge_ns = done.saturating_duration_since(merge_start).as_nanos() as u64;
+        let total_ns = done.saturating_duration_since(req.enqueued).as_nanos() as u64;
+        self.stages.queue.record_exemplar(queue_ns, trace_id);
+        self.stages.pass.record_exemplar(pass_ns, trace_id);
+        self.stages.merge.record_exemplar(merge_ns, trace_id);
+        self.stages.total.record_exemplar(total_ns, trace_id);
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.stage.queue_ns",
+            queue_ns,
+            trace_id,
+        );
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.stage.pass_ns",
+            pass_ns,
+            trace_id,
+        );
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.stage.merge_ns",
+            merge_ns,
+            trace_id,
+        );
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.stage.total_ns",
+            total_ns,
+            trace_id,
+        );
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.latency_ns",
+            total_ns,
+            trace_id,
+        );
+        let root = QuerySpan {
+            span_id: req.ctx.span_id,
+            parent: None,
+            name: "serve.query".into(),
+            start_ns: self.ns(req.enqueued),
+            end_ns: self.ns(done),
+            attrs: vec![
+                ("k".into(), req.k as f64),
+                ("batch".into(), batch_seq as f64),
+            ],
+        };
+        let child =
+            |name: &str, start: Instant, end: Instant, attrs: Vec<(String, f64)>| QuerySpan {
+                span_id: req.ctx.child().span_id,
+                parent: Some(req.ctx.span_id),
+                name: name.into(),
+                start_ns: self.ns(start),
+                end_ns: self.ns(end),
+                attrs,
+            };
+        let spans = vec![
+            root,
+            child("serve.query.queue", req.enqueued, dequeued, vec![]),
+            child(
+                "serve.query.pass",
+                pass_start,
+                pass_end,
+                vec![
+                    ("shards".into(), self.sets.len() as f64),
+                    ("batch".into(), batch_seq as f64),
+                ],
+            ),
+            child("serve.query.merge", merge_start, done, vec![]),
+        ];
+        self.flight.record(QueryTrace {
+            trace_id,
+            kind: "query".into(),
+            outcome,
+            total_ns,
+            spans,
+            annotations,
+        });
+    }
+
+    /// Flight-records a query whose deadline expired in the queue. Its
+    /// tree is just root + queue — it never reached a crossbar — and
+    /// timeouts are anomalies, so the recorder always retains them.
+    fn record_timeout_trace(&mut self, req: &QueryReq, dequeued: Instant) {
+        let waited = dequeued.saturating_duration_since(req.enqueued);
+        let queue = QuerySpan {
+            span_id: req.ctx.child().span_id,
+            parent: Some(req.ctx.span_id),
+            name: "serve.query.queue".into(),
+            start_ns: self.ns(req.enqueued),
+            end_ns: self.ns(dequeued),
+            attrs: vec![],
+        };
+        let root = QuerySpan {
+            span_id: req.ctx.span_id,
+            parent: None,
+            name: "serve.query".into(),
+            start_ns: self.ns(req.enqueued),
+            end_ns: self.ns(dequeued),
+            attrs: vec![("k".into(), req.k as f64)],
+        };
+        self.flight.record(QueryTrace {
+            trace_id: req.ctx.trace_id,
+            kind: "query".into(),
+            outcome: Outcome::Timeout,
+            total_ns: waited.as_nanos() as u64,
+            spans: vec![root, queue],
+            annotations: vec![format!(
+                "deadline expired after {:.3}ms in queue",
+                waited.as_secs_f64() * 1e3
+            )],
+        });
+    }
+
+    /// Flight-records one mutation (`insert` / `delete` / `flush`):
+    /// root + queue + apply spans, apply time into the `mutation` stage
+    /// histogram. Failed mutations are anomalies and always retained.
+    fn record_mutation_trace(
+        &mut self,
+        kind: &str,
+        ctx: TraceCtx,
+        enqueued: Instant,
+        dequeued: Instant,
+        ok: bool,
+        attrs: &[(&str, f64)],
+    ) {
+        let done = Instant::now();
+        let trace_id = ctx.trace_id;
+        let apply_ns = done.saturating_duration_since(dequeued).as_nanos() as u64;
+        let total_ns = done.saturating_duration_since(enqueued).as_nanos() as u64;
+        self.stages.mutation.record_exemplar(apply_ns, trace_id);
+        simpim_obs::metrics::histogram_record_exemplar(
+            "simpim.serve.stage.mutation_ns",
+            apply_ns,
+            trace_id,
+        );
+        let root = QuerySpan {
+            span_id: ctx.span_id,
+            parent: None,
+            name: format!("serve.{kind}"),
+            start_ns: self.ns(enqueued),
+            end_ns: self.ns(done),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        };
+        let spans = vec![
+            root,
+            QuerySpan {
+                span_id: ctx.child().span_id,
+                parent: Some(ctx.span_id),
+                name: "serve.query.queue".into(),
+                start_ns: self.ns(enqueued),
+                end_ns: self.ns(dequeued),
+                attrs: vec![],
+            },
+            QuerySpan {
+                span_id: ctx.child().span_id,
+                parent: Some(ctx.span_id),
+                name: format!("serve.{kind}.apply"),
+                start_ns: self.ns(dequeued),
+                end_ns: self.ns(done),
+                attrs: vec![],
+            },
+        ];
+        self.flight.record(QueryTrace {
+            trace_id,
+            kind: kind.into(),
+            outcome: if ok { Outcome::Ok } else { Outcome::Failed },
+            total_ns,
+            spans,
+            annotations: if ok {
+                vec![]
+            } else {
+                vec![format!("{kind} failed")]
+            },
+        });
+    }
+
     fn process_mutation(&mut self, cmd: Cmd) {
         match cmd {
             Cmd::Query(_) => unreachable!("queries are batched in run()"),
             Cmd::Flush { .. } => unreachable!("flush is rolled in run()"),
-            Cmd::Insert { row, reply } => {
+            Cmd::Insert {
+                row,
+                enqueued,
+                ctx,
+                reply,
+            } => {
+                let dequeued = Instant::now();
                 let id = self.next_id;
                 let shard = id % self.sets.len();
                 let out = self.sets[shard].insert(id, &row).map(|()| {
@@ -648,9 +1093,23 @@ impl Scheduler {
                     simpim_obs::metrics::counter_add("simpim.serve.inserts", 1);
                     id
                 });
+                self.record_mutation_trace(
+                    "insert",
+                    ctx,
+                    enqueued,
+                    dequeued,
+                    out.is_ok(),
+                    &[("id", id as f64), ("shard", shard as f64)],
+                );
                 let _ = reply.send(out);
             }
-            Cmd::Delete { id, reply } => {
+            Cmd::Delete {
+                id,
+                enqueued,
+                ctx,
+                reply,
+            } => {
+                let dequeued = Instant::now();
                 let mut out = Ok(false);
                 for set in &mut self.sets {
                     match set.delete(id) {
@@ -667,6 +1126,14 @@ impl Scheduler {
                 }
                 self.deletes += 1;
                 simpim_obs::metrics::counter_add("simpim.serve.deletes", 1);
+                self.record_mutation_trace(
+                    "delete",
+                    ctx,
+                    enqueued,
+                    dequeued,
+                    out.is_ok(),
+                    &[("id", id as f64)],
+                );
                 let _ = reply.send(out);
             }
             Cmd::KillBank {
@@ -690,6 +1157,29 @@ impl Scheduler {
             }
             Cmd::Stats { reply } => {
                 let shards: Vec<ReplicaSetStats> = self.sets.iter().map(|s| s.stats()).collect();
+                // Availability: a query is "good" when it returned an
+                // exact answer; errors and deadline expiries are "bad".
+                let good = self.answered_ok;
+                let total = self.answered_ok + self.failed + self.timeouts;
+                let slo = simpim_obs::slo::evaluate_spec(
+                    &self.cfg.slo,
+                    |name| self.stages.by_name(name).cloned(),
+                    |_| Some((good, total)),
+                );
+                for r in &slo {
+                    simpim_obs::metrics::gauge_set(
+                        &format!("simpim.serve.slo.{}.attainment", r.name),
+                        r.attainment,
+                    );
+                    simpim_obs::metrics::gauge_set(
+                        &format!("simpim.serve.slo.{}.budget_remaining", r.name),
+                        r.budget_remaining,
+                    );
+                    simpim_obs::metrics::gauge_set(
+                        &format!("simpim.serve.slo.{}.burn_rate", r.name),
+                        r.burn_rate,
+                    );
+                }
                 let stats = EngineStats {
                     live: shards.iter().map(|s| s.live).sum(),
                     replicas: self.cfg.replicas,
@@ -708,6 +1198,11 @@ impl Scheduler {
                     repairs: shards.iter().map(|s| s.repairs).sum(),
                     degraded_queries: shards.iter().map(|s| s.degraded_queries).sum(),
                     degraded_shards: shards.iter().filter(|s| s.degraded).count(),
+                    answered_ok: self.answered_ok,
+                    failed: self.failed,
+                    stage_latency: self.stages.summaries(),
+                    slo,
+                    flight: self.flight.stats(),
                     shards,
                 };
                 simpim_obs::metrics::gauge_set(
@@ -715,6 +1210,9 @@ impl Scheduler {
                     stats.degraded_shards as f64,
                 );
                 let _ = reply.send(stats);
+            }
+            Cmd::FlightDump { reply } => {
+                let _ = reply.send(self.flight.dump_jsonl());
             }
         }
     }

@@ -41,6 +41,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod flight;
 pub mod replica;
 pub mod shard;
 
@@ -48,7 +49,8 @@ pub mod shard;
 /// vectors — the same shape `mining::knn` returns.
 pub type Neighbor = (usize, f64);
 
-pub use engine::{EngineStats, ServeConfig, ServeEngine};
+pub use engine::{EngineStats, ServeConfig, ServeEngine, StageLatency};
 pub use error::ServeError;
-pub use replica::{ReplicaSet, ReplicaSetStats, ReplicaState};
+pub use flight::{FlightRecorder, FlightRecorderStats, Outcome, QuerySpan, QueryTrace};
+pub use replica::{ReplicaSet, ReplicaSetStats, ReplicaState, RouteSample};
 pub use shard::{Shard, ShardConfig, ShardStats};

@@ -83,6 +83,23 @@ pub struct ReplicaSetStats {
     pub live: usize,
 }
 
+/// How one coalesced batch was actually served: the routing and fault
+/// events observed while answering it. The engine folds these into each
+/// member query's flight-recorder trace, which is what makes a tail
+/// query attributable to a failover or a degraded host-mirror pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouteSample {
+    /// Replica that answered; `None` when every replica was lost and the
+    /// batch was served from the exact host mirror.
+    pub replica: Option<usize>,
+    /// Bank losses detected (and failed over) while serving this batch.
+    pub failovers: u64,
+    /// Queries shed to the host path inside the answering replica.
+    pub sheds: u64,
+    /// Whether the batch was answered from the degraded host mirror.
+    pub degraded: bool,
+}
+
 /// One shard's rows replicated across `R` distinct banks.
 #[derive(Debug)]
 pub struct ReplicaSet {
@@ -168,11 +185,49 @@ impl ReplicaSet {
         queries: &[Vec<f64>],
         ks: &[usize],
     ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        self.query_batch_traced(queries, ks, simpim_obs::TraceCtx::NONE, 0)
+            .0
+    }
+
+    /// [`ReplicaSet::query_batch`] under an explicit trace context. The
+    /// crossbar pass runs under a `serve.replica.pass` span parented on
+    /// `parent` (so the pass stays attributable to its coalesced batch
+    /// across the worker-thread hop), and the returned [`RouteSample`]
+    /// reports which replica answered and what fault handling (failover,
+    /// shed, degraded host mirror) the batch absorbed on the way.
+    pub fn query_batch_traced(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+        parent: simpim_obs::TraceCtx,
+        shard: usize,
+    ) -> (Vec<Result<Vec<Neighbor>, ServeError>>, RouteSample) {
+        let mut sample = RouteSample::default();
+        let (mut span, ctx) = if parent.is_none() {
+            (None, simpim_obs::TraceCtx::NONE)
+        } else {
+            let (sp, ctx) = simpim_obs::trace::open_span_ctx(
+                "serve.replica.pass",
+                parent,
+                &[("shard", shard as f64), ("queries", queries.len() as f64)],
+            );
+            (Some(sp), ctx)
+        };
         while let Some(i) = self.route() {
-            match self.replicas[i].try_query_batch(queries, ks) {
+            let sheds_before = self.replicas[i].stats().sheds;
+            match self.replicas[i].try_query_batch_ctx(queries, ks, ctx) {
                 Ok(out) => {
                     self.routed[i] += 1;
-                    return out;
+                    sample.replica = Some(i);
+                    sample.sheds = self.replicas[i].stats().sheds - sheds_before;
+                    if let Some(sp) = &mut span {
+                        sp.record_all([
+                            ("replica", i as f64),
+                            ("failovers", sample.failovers as f64),
+                            ("sheds", sample.sheds as f64),
+                        ]);
+                    }
+                    return (out, sample);
                 }
                 Err(e) if e.is_bank_loss() => {
                     // Detect + quarantine: route around the dead bank and
@@ -180,19 +235,27 @@ impl ReplicaSet {
                     // replica-independent, so the retry is transparent.
                     self.state[i] = ReplicaState::Lost;
                     self.failovers += 1;
+                    sample.failovers += 1;
                     simpim_obs::metrics::counter_add("simpim.serve.failovers", 1);
                 }
-                Err(e) => return vec![Err(e); queries.len()],
+                Err(e) => {
+                    return (vec![Err(e); queries.len()], sample);
+                }
             }
         }
         // Degraded: every replica lost. The host mirror is still exact.
+        sample.degraded = true;
         self.degraded_queries += queries.len() as u64;
         simpim_obs::metrics::counter_add("simpim.serve.degraded_queries", queries.len() as u64);
-        queries
+        if let Some(sp) = &mut span {
+            sp.record_all([("degraded", 1.0), ("failovers", sample.failovers as f64)]);
+        }
+        let out = queries
             .iter()
             .zip(ks)
             .map(|(q, &k)| self.replicas[0].host_query(q, k))
-            .collect()
+            .collect();
+        (out, sample)
     }
 
     /// Inserts a row under `id` on every replica, one at a time. On lost

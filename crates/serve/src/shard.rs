@@ -205,8 +205,21 @@ impl Shard {
         queries: &[Vec<f64>],
         ks: &[usize],
     ) -> Result<Vec<Result<Vec<Neighbor>, ServeError>>, ServeError> {
+        self.try_query_batch_ctx(queries, ks, simpim_obs::TraceCtx::NONE)
+    }
+
+    /// [`Shard::try_query_batch`] under an explicit trace context: the
+    /// crossbar pass span parents on `parent` (the serving layer's batch
+    /// span) so the pass stays attributable to its request even though
+    /// the dispatch crossed onto a pool worker thread.
+    pub fn try_query_batch_ctx(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+        parent: simpim_obs::TraceCtx,
+    ) -> Result<Vec<Result<Vec<Neighbor>, ServeError>>, ServeError> {
         assert_eq!(queries.len(), ks.len(), "ks must parallel queries");
-        match self.exec.lb_ed_batch_multi(queries) {
+        match self.exec.lb_ed_batch_multi_ctx(queries, parent) {
             Ok(batches) => {
                 let mut pass_ns = 0.0;
                 let out = queries

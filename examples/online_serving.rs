@@ -50,7 +50,7 @@ fn main() {
         },
         ..Default::default()
     };
-    let engine = ServeEngine::open(cfg, &data).expect("open engine");
+    let engine = ServeEngine::open(cfg.clone(), &data).expect("open engine");
 
     // Batched queries: one programming pass amortizes over the batch, and
     // every answer is bit-identical to an offline scan.

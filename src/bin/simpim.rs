@@ -7,7 +7,10 @@
 //! simpim dbscan      --data vectors.csv --eps 0.2 --min-pts 5 [--pim]
 //! simpim outliers    --data vectors.csv --k 5 --m 10 [--pim]
 //! simpim serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64]
-//!                    [--shards 2] [--replicas 2] [--kill-after 16]
+//!                    [--shards 2] [--replicas 2] [--kill-after 16] [--slo-p99-us 5000]
+//!                    [--flight 32]
+//! simpim slo         BENCH_serve_slo.json [--p99-us 5000] [--availability 99.9]
+//! simpim flight      BENCH_serve_flight.jsonl [--top 16] [--outcome failover]
 //! ```
 //!
 //! `--data` accepts `.csv` (one float vector per line) or `.fvecs`
@@ -329,6 +332,13 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     // bank under shard 0 / replica 0 mid-run (0 = no kill). With R >= 2
     // the run must complete with zero failed queries.
     let kill_after: usize = args.get("kill-after", 0)?;
+    // Declarative SLO: p99 of end-to-end latency must stay at or below
+    // this many microseconds (0 = no objective). When set, the run is
+    // named `serve_slo`, the artifact carries the attainment reports,
+    // and an unmet objective fails the run.
+    let slo_p99_us: u64 = args.get("slo-p99-us", 0)?;
+    // Flight-recorder retention (N slowest + N-anomaly ring).
+    let flight: usize = args.get("flight", 32)?;
     if batch == 0 || clients == 0 || total_queries == 0 || replicas == 0 {
         return Err("--batch, --clients, --queries and --replicas must be non-zero".to_string());
     }
@@ -339,7 +349,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         );
     }
 
-    let mut run = BenchRun::start("serve");
+    let mut run = BenchRun::start(if slo_p99_us > 0 { "serve_slo" } else { "serve" });
     run.set_dataset(&dataset.spec());
     run.config_entry("k", Json::Num(k as f64));
     run.config_entry("batch", Json::Num(batch as f64));
@@ -347,6 +357,8 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     run.config_entry("queries", Json::Num(total_queries as f64));
     run.config_entry("replicas", Json::Num(replicas as f64));
     run.config_entry("kill_after", Json::Num(kill_after as f64));
+    run.config_entry("slo_p99_us", Json::Num(slo_p99_us as f64));
+    run.config_entry("flight", Json::Num(flight as f64));
 
     // Part 1 — model-time throughput: what one crossbar pass costs vs. the
     // programming it amortizes. A one-query-at-a-time server pays the full
@@ -383,12 +395,20 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
 
     // Part 2 — drive a real engine with closed-loop clients, mixing a few
     // online mutations in, for wall-clock latency and shed rate.
+    let mut slo_spec = simpim::obs::SloSpec::empty();
+    if slo_p99_us > 0 {
+        slo_spec = slo_spec
+            .latency("total", 0.99, slo_p99_us * 1_000)
+            .availability("queries", 0.999);
+    }
     let serve_cfg = ServeConfig {
         shards: args.get("shards", 2)?,
         replicas,
         max_batch: batch,
         queue_depth: (4 * batch).max(2 * clients),
         executor: exec_cfg,
+        flight_capacity: flight,
+        slo: slo_spec,
         ..Default::default()
     };
     let engine = ServeEngine::open(serve_cfg, &w.data).map_err(|e| e.to_string())?;
@@ -469,6 +489,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     engine.flush().map_err(|e| e.to_string())?;
     let wall_ns = wall.elapsed().as_nanos() as u64;
     let stats = engine.stats().map_err(|e| e.to_string())?;
+    let flight_dump = engine.flight_dump().map_err(|e| e.to_string())?;
     drop(engine);
 
     run.note_stage("closed_loop_wall", wall_ns, answered as u64, 0, 0);
@@ -510,6 +531,64 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             ),
         ]),
     );
+    // Per-stage breakdown with the p99 exemplar trace ids — the numbers
+    // that let `simpim flight` pinpoint which request a bad p99 was.
+    run.push_extra(
+        "stages",
+        Json::Arr(
+            stats
+                .stage_latency
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("stage", Json::Str(s.stage.clone())),
+                        ("count", Json::Num(s.count as f64)),
+                        ("p50_ns", Json::Num(s.p50_ns as f64)),
+                        ("p95_ns", Json::Num(s.p95_ns as f64)),
+                        ("p99_ns", Json::Num(s.p99_ns as f64)),
+                        ("exemplar_ns", Json::Num(s.exemplar_ns as f64)),
+                        ("exemplar_trace", Json::Num(s.exemplar_trace as f64)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    if !stats.slo.is_empty() {
+        use simpim::obs::ToJson;
+        run.push_extra(
+            "slo",
+            Json::Arr(stats.slo.iter().map(|r| r.to_json()).collect()),
+        );
+    }
+    // The flight dump rides next to the artifact so a slow run can be
+    // diagnosed after the fact with `simpim flight`.
+    let flight_path = std::env::var("SIMPIM_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+        .join("BENCH_serve_flight.jsonl");
+    if let Err(e) = std::fs::write(&flight_path, &flight_dump) {
+        eprintln!("warning: could not write {}: {e}", flight_path.display());
+    }
+    run.push_extra(
+        "flight",
+        Json::obj([
+            ("capacity", Json::Num(stats.flight.capacity as f64)),
+            (
+                "slow_retained",
+                Json::Num(stats.flight.slow_retained as f64),
+            ),
+            (
+                "anomalies_retained",
+                Json::Num(stats.flight.anomalies_retained as f64),
+            ),
+            ("recorded", Json::Num(stats.flight.recorded as f64)),
+            (
+                "anomalies_evicted",
+                Json::Num(stats.flight.anomalies_evicted as f64),
+            ),
+            ("dump", Json::Str(flight_path.display().to_string())),
+        ]),
+    );
     let path = run.finish();
 
     println!("serve-bench on {} (k = {k}, Q = {batch}):", dataset.name());
@@ -536,6 +615,35 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             None => println!("  recovery: bank (0, 0) killed but not re-replicated in time"),
         }
     }
+    for s in &stats.stage_latency {
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "  stage {:8} p50 {:9.1} us  p95 {:9.1} us  p99 {:9.1} us  (exemplar trace {})",
+            s.stage,
+            s.p50_ns as f64 / 1e3,
+            s.p95_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+            s.exemplar_trace
+        );
+    }
+    for r in &stats.slo {
+        println!(
+            "  slo: {} -> {} (attainment {:.4}%, budget remaining {:.1}%, burn {:.2}x)",
+            r.objective,
+            if r.attained { "attained" } else { "MISSED" },
+            r.attainment * 100.0,
+            r.budget_remaining * 100.0,
+            r.burn_rate
+        );
+    }
+    println!(
+        "  flight: {} trace(s) retained ({} anomalies) -> {}",
+        stats.flight.slow_retained + stats.flight.anomalies_retained,
+        stats.flight.anomalies_retained,
+        flight_path.display()
+    );
     println!("  artifact: {}", path.display());
     if speedup < 3.0 && batch >= 8 {
         return Err(format!(
@@ -550,6 +658,207 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         }
         if recovery_ns.is_none() {
             return Err("killed replica was not re-replicated within the deadline".to_string());
+        }
+    }
+    if slo_p99_us > 0 {
+        if let Some(missed) = stats.slo.iter().find(|r| !r.attained) {
+            return Err(format!(
+                "SLO missed: {} (attainment {:.4}%, {} violation(s) in {} event(s))",
+                missed.objective,
+                missed.attainment * 100.0,
+                missed.violations,
+                missed.events
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates SLOs against a `BENCH_serve*.json` artifact: either the
+/// attainment reports the run stored (`extra.slo`), or fresh objectives
+/// (`--p99-us`, `--availability`) evaluated from the artifact's metrics
+/// snapshot. Exits non-zero when any objective is missed, so CI can
+/// gate on it.
+fn cmd_slo(argv: &[String]) -> Result<(), String> {
+    let Some((path, rest)) = argv.split_first() else {
+        return Err(
+            "usage: simpim slo <BENCH_serve*.json> [--p99-us N] [--availability PCT]".to_string(),
+        );
+    };
+    if path.starts_with("--") {
+        return Err(
+            "the artifact path must come first: simpim slo <BENCH_serve*.json> [--p99-us N]"
+                .to_string(),
+        );
+    }
+    let args = Args::parse(rest)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let artifact = simpim::obs::RunArtifact::from_json_text(&text)
+        .map_err(|e| format!("parsing {path:?}: {e}"))?;
+
+    let p99_us: u64 = args.get("p99-us", 0)?;
+    let availability: f64 = args.get("availability", 0.0)?;
+    use simpim::obs::FromJson;
+    let reports: Vec<simpim::obs::SloReport> = if p99_us > 0 || availability > 0.0 {
+        // Fresh objectives against the run's recorded histograms and
+        // counters.
+        let snap = simpim::obs::metrics::MetricsSnapshot::from_json(&artifact.metrics)
+            .map_err(|e| format!("artifact {path:?} has no metrics snapshot: {e}"))?;
+        let mut spec = simpim::obs::SloSpec::empty();
+        if p99_us > 0 {
+            spec = spec.latency("total", 0.99, p99_us * 1_000);
+        }
+        if availability > 0.0 {
+            spec = spec.availability("queries", availability / 100.0);
+        }
+        let good = snap.counter("simpim.serve.answered_ok").unwrap_or(0);
+        let total = good
+            + snap.counter("simpim.serve.failed").unwrap_or(0)
+            + snap.counter("simpim.serve.timeouts").unwrap_or(0);
+        simpim::obs::slo::evaluate_spec(
+            &spec,
+            |name| {
+                let full = if name.starts_with("simpim.") {
+                    name.to_string()
+                } else {
+                    format!("simpim.serve.stage.{name}_ns")
+                };
+                snap.histogram(&full)
+                    .or_else(|| snap.histogram("simpim.serve.latency_ns"))
+                    .cloned()
+            },
+            |_| Some((good, total)),
+        )
+    } else {
+        // The reports the run itself stored.
+        let stored = artifact
+            .extra
+            .iter()
+            .find(|(k, _)| k == "slo")
+            .map(|(_, v)| v)
+            .ok_or_else(|| {
+                format!(
+                    "{path:?} has no stored SLO reports; pass --p99-us / --availability to \
+                     evaluate fresh objectives from its metrics"
+                )
+            })?;
+        stored
+            .as_arr()
+            .unwrap_or(&[])
+            .iter()
+            .map(simpim::obs::SloReport::from_json)
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("parsing stored SLO reports in {path:?}: {e}"))?
+    };
+    if reports.is_empty() {
+        return Err("no objectives to evaluate".to_string());
+    }
+    println!("SLO report for {path}:");
+    let mut missed = 0;
+    for r in &reports {
+        println!(
+            "  {:32} {}  events {}  violations {}  attainment {:.4}%  budget {:.1}%  burn {:.2}x",
+            r.objective,
+            if r.attained { "attained" } else { "MISSED  " },
+            r.events,
+            r.violations,
+            r.attainment * 100.0,
+            r.budget_remaining * 100.0,
+            r.burn_rate
+        );
+        if !r.attained {
+            missed += 1;
+        }
+    }
+    if missed > 0 {
+        return Err(format!("{missed} objective(s) missed"));
+    }
+    Ok(())
+}
+
+/// Renders a flight-recorder JSONL dump as per-stage waterfalls — one
+/// block per retained request, slowest stages visualized against the
+/// request's own span, with the routing/fault annotations underneath.
+fn cmd_flight(argv: &[String]) -> Result<(), String> {
+    let Some((path, rest)) = argv.split_first() else {
+        return Err("usage: simpim flight <flight.jsonl> [--top N] [--outcome ok|degraded|failover|shed|timeout|failed]".to_string());
+    };
+    if path.starts_with("--") {
+        return Err(
+            "the dump path must come first: simpim flight <flight.jsonl> [--top N]".to_string(),
+        );
+    }
+    let args = Args::parse(rest)?;
+    let top: usize = args.get("top", 16)?;
+    let outcome_filter = match args.flags.get("outcome") {
+        None => None,
+        Some(s) => Some(
+            simpim::serve::Outcome::parse(s).ok_or_else(|| format!("unknown --outcome {s:?}"))?,
+        ),
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let mut traces = simpim::serve::flight::parse_dump(&text)?;
+    if let Some(f) = outcome_filter {
+        traces.retain(|t| t.outcome == f);
+    }
+    if traces.is_empty() {
+        println!("no matching traces in {path}");
+        return Ok(());
+    }
+    let shown = traces.len().min(top);
+    println!(
+        "{} trace(s) in {path}{} — showing {shown}:",
+        traces.len(),
+        outcome_filter
+            .map(|f| format!(" with outcome {}", f.as_str()))
+            .unwrap_or_default()
+    );
+    const WIDTH: usize = 40;
+    for t in traces.iter().take(top) {
+        t.validate_tree()
+            .map_err(|e| format!("malformed trace {}: {e}", t.trace_id))?;
+        println!(
+            "\ntrace {} [{}] {} total {:.3} ms",
+            t.trace_id,
+            t.kind,
+            t.outcome.as_str(),
+            t.total_ns as f64 / 1e6
+        );
+        let root = t.root().expect("validated tree has a root");
+        let (t0, t1) = (root.start_ns, root.end_ns.max(root.start_ns + 1));
+        let span_ns = (t1 - t0) as f64;
+        for s in &t.spans {
+            // Depth = distance to the root through parent links.
+            let mut depth = 0;
+            let mut cur = s.parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = t
+                    .spans
+                    .iter()
+                    .find(|q| q.span_id == p)
+                    .and_then(|q| q.parent);
+            }
+            let lo = (((s.start_ns.max(t0) - t0) as f64 / span_ns) * WIDTH as f64) as usize;
+            let hi =
+                (((s.end_ns.clamp(t0, t1) - t0) as f64 / span_ns) * WIDTH as f64).ceil() as usize;
+            let (lo, hi) = (lo.min(WIDTH), hi.clamp(lo.min(WIDTH), WIDTH));
+            let mut bar = String::with_capacity(WIDTH);
+            for i in 0..WIDTH {
+                bar.push(if i >= lo && i < hi.max(lo + 1) {
+                    '='
+                } else {
+                    ' '
+                });
+            }
+            println!(
+                "  {:28} |{bar}| {:9.3} ms",
+                format!("{}{}", "  ".repeat(depth), s.name),
+                s.duration_ns() as f64 / 1e6
+            );
+        }
+        for a in &t.annotations {
+            println!("    note: {a}");
         }
     }
     Ok(())
@@ -582,18 +891,27 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: simpim <info|knn|kmeans|dbscan|outliers|serve-bench|report> [options]
+    "usage: simpim <info|knn|kmeans|dbscan|outliers|serve-bench|slo|flight|report> [options]
   info        --data F
   knn         --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
   kmeans      --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
   dbscan      --data F [--eps 0.2] [--min-pts 5] [--pim]
   outliers    --data F [--k 5] [--m 10] [--pim]
   serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64] [--shards 2]
-              [--replicas R] [--kill-after N]
+              [--replicas R] [--kill-after N] [--slo-p99-us U] [--flight N]
               closed-loop load generator for the serving engine; writes BENCH_serve.json.
               --replicas R programs each shard onto R banks (default: SIMPIM_REPLICAS or 1);
               --kill-after N fail-stops bank (0, 0) after N answered queries and requires the
-              run to finish with zero failed queries and the replica re-replicated
+              run to finish with zero failed queries and the replica re-replicated;
+              --slo-p99-us U declares `p99(total) <= U us` + 99.9% availability, names the
+              artifact BENCH_serve_slo.json, and fails the run when an objective is missed;
+              --flight N retains the N slowest + N anomalous request traces and writes them
+              to BENCH_serve_flight.jsonl (default 32)
+  slo         <BENCH_serve*.json> [--p99-us N] [--availability PCT]
+              evaluate SLOs from a run artifact (stored reports, or fresh objectives against
+              its metrics snapshot); exits non-zero when an objective is missed
+  flight      <flight.jsonl> [--top 16] [--outcome ok|degraded|failover|shed|timeout|failed]
+              render flight-recorder traces as per-stage waterfalls with fault annotations
   report      <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
   any mining or bench command also takes --trace (writes span journal to simpim_trace.jsonl)";
 
@@ -603,9 +921,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    if cmd == "report" {
-        // Positional file paths, not --flag pairs.
-        return match cmd_report(rest) {
+    if matches!(cmd.as_str(), "report" | "slo" | "flight") {
+        // These take a positional file path, not --flag pairs.
+        let out = match cmd.as_str() {
+            "report" => cmd_report(rest),
+            "slo" => cmd_slo(rest),
+            _ => cmd_flight(rest),
+        };
+        return match out {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -628,11 +951,17 @@ fn main() -> ExitCode {
             other => Err(format!("unknown command {other:?}\n{USAGE}")),
         };
         if tracing {
-            let spans = simpim::obs::trace::snapshot().len();
-            let dropped = simpim::obs::trace::dropped();
+            // Dump every thread's journal: orphaned records from exited
+            // worker/scheduler threads first, then this thread's.
+            let dump = simpim::obs::trace::dump_jsonl_all();
+            let spans = dump.lines().count();
+            let stats = simpim::obs::trace::journal_stats();
             let path = "simpim_trace.jsonl";
-            match std::fs::write(path, simpim::obs::trace::dump_jsonl()) {
-                Ok(()) => eprintln!("trace: {spans} spans ({dropped} dropped) -> {path}"),
+            match std::fs::write(path, dump) {
+                Ok(()) => eprintln!(
+                    "trace: {spans} spans ({} dropped) -> {path}",
+                    stats.dropped_total
+                ),
                 Err(e) => eprintln!("trace: could not write {path}: {e}"),
             }
             simpim::obs::trace::disable();
