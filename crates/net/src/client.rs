@@ -1,0 +1,311 @@
+//! The pipelined, non-blocking TCP client.
+//!
+//! One connection carries many requests in flight: [`NetClient::submit`]
+//! writes a frame and returns a [`ReplyHandle`] immediately; a dedicated
+//! reader thread demultiplexes responses back to their handles by
+//! `request_id`. Responses may arrive in any order relative to other
+//! requests on the connection — ordering per request is the id, not the
+//! socket position.
+//!
+//! Every submission mints a fresh [`TraceCtx`] whose ids ride in the
+//! frame header; the server joins that trace, so its flight-recorder
+//! spans land under an id the client knows ([`ReplyHandle::trace`]).
+//! Completion latency for each opcode is recorded into the process-wide
+//! metrics registry as `simpim.net.client.<op>_ns` log-linear histograms
+//! with the trace id as exemplar — the client side of the end-to-end
+//! story.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use simpim_obs::TraceCtx;
+
+use crate::error::NetError;
+use crate::wire::{
+    decode_response, encode_request, Envelope, FrameReader, ReadStep, Request, Response,
+    DEFAULT_MAX_FRAME,
+};
+
+struct Waiter {
+    tx: mpsc::Sender<Response>,
+    sent: Instant,
+    kind: &'static str,
+    trace_id: u64,
+}
+
+struct Shared {
+    pending: Mutex<HashMap<u64, Waiter>>,
+    dead: AtomicBool,
+    /// Responses for unknown request ids (protocol skew); counted, not fatal.
+    orphans: AtomicU64,
+}
+
+/// An in-flight request. Dropping it abandons the reply (the reader
+/// discards the response when it arrives).
+pub struct ReplyHandle {
+    rx: mpsc::Receiver<Response>,
+    /// The request id this handle is waiting on.
+    pub request_id: u64,
+    /// The trace the request carried — match it against the server's
+    /// flight dump to follow one request across the wire.
+    pub trace: TraceCtx,
+}
+
+impl ReplyHandle {
+    /// Blocks until the response arrives (or the connection dies).
+    pub fn wait(self) -> Result<Response, NetError> {
+        self.rx.recv().map_err(|_| NetError::ConnectionLost)
+    }
+
+    /// Non-blocking poll; `None` while the response is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Response, NetError>> {
+        match self.rx.try_recv() {
+            Ok(resp) => Some(Ok(resp)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(NetError::ConnectionLost)),
+        }
+    }
+
+    /// Waits for a query response and unwraps the neighbor list.
+    pub fn wait_query(self) -> Result<Vec<(u64, f64)>, NetError> {
+        match self.wait()? {
+            Response::Query(n) => Ok(n),
+            other => unexpected("query", other),
+        }
+    }
+
+    /// Waits for an insert response and unwraps the assigned id.
+    pub fn wait_insert(self) -> Result<u64, NetError> {
+        match self.wait()? {
+            Response::Insert(id) => Ok(id),
+            other => unexpected("insert", other),
+        }
+    }
+
+    /// Waits for a delete response and unwraps the presence flag.
+    pub fn wait_delete(self) -> Result<bool, NetError> {
+        match self.wait()? {
+            Response::Delete(found) => Ok(found),
+            other => unexpected("delete", other),
+        }
+    }
+
+    /// Waits for a flush acknowledgement.
+    pub fn wait_flush(self) -> Result<(), NetError> {
+        match self.wait()? {
+            Response::Flush => Ok(()),
+            other => unexpected("flush", other),
+        }
+    }
+}
+
+fn unexpected<T>(wanted: &str, got: Response) -> Result<T, NetError> {
+    match got {
+        Response::Error { code, message } => Err(NetError::Remote { code, message }),
+        other => Err(NetError::Protocol {
+            what: format!("expected a {wanted} response, got {other:?}"),
+        }),
+    }
+}
+
+/// A pipelined connection to a [`crate::NetServer`].
+pub struct NetClient {
+    writer: Mutex<TcpStream>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl NetClient {
+    /// Connects and starts the demultiplexing reader thread.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            orphans: AtomicU64::new(0),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("simpim-net-client-reader".to_string())
+                .spawn(move || reader_loop(read_half, shared))
+                .expect("spawn client reader thread")
+        };
+        Ok(Self {
+            writer: Mutex::new(stream),
+            shared,
+            next_id: AtomicU64::new(1),
+            reader: Some(reader),
+        })
+    }
+
+    /// Whether the connection has died (reader thread exited).
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Responses that arrived for unknown request ids.
+    pub fn orphan_responses(&self) -> u64 {
+        self.shared.orphans.load(Ordering::Relaxed)
+    }
+
+    /// Sends one request without waiting; the returned handle resolves
+    /// when the response frame arrives. Many handles may be outstanding
+    /// on one connection — that is the point.
+    pub fn submit(&self, req: Request) -> Result<ReplyHandle, NetError> {
+        if self.is_dead() {
+            return Err(NetError::ConnectionLost);
+        }
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = TraceCtx::root();
+        let kind = req.name();
+        let frame = encode_request(&Envelope {
+            request_id,
+            trace_id: trace.trace_id,
+            span_id: trace.span_id,
+            msg: req,
+        });
+        let (tx, rx) = mpsc::channel();
+        // Register before writing so a fast response can never race the
+        // bookkeeping.
+        self.shared.pending.lock().unwrap().insert(
+            request_id,
+            Waiter {
+                tx,
+                sent: Instant::now(),
+                kind,
+                trace_id: trace.trace_id,
+            },
+        );
+        let write_result = {
+            let mut w = self.writer.lock().unwrap();
+            w.write_all(&frame)
+        };
+        if let Err(e) = write_result {
+            self.shared.pending.lock().unwrap().remove(&request_id);
+            self.shared.dead.store(true, Ordering::SeqCst);
+            return Err(NetError::Io(e));
+        }
+        Ok(ReplyHandle {
+            rx,
+            request_id,
+            trace,
+        })
+    }
+
+    /// Synchronous kNN. `timeout` bounds the server-side queue deadline.
+    pub fn knn(
+        &self,
+        vector: &[f64],
+        k: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(u64, f64)>, NetError> {
+        self.submit(Request::Query {
+            k: k as u32,
+            timeout_ms: timeout.as_millis().min(u128::from(u32::MAX)) as u32,
+            vector: vector.to_vec(),
+        })?
+        .wait_query()
+    }
+
+    /// Synchronous insert; returns the assigned global id.
+    pub fn insert(&self, row: &[f64]) -> Result<u64, NetError> {
+        self.submit(Request::Insert { row: row.to_vec() })?
+            .wait_insert()
+    }
+
+    /// Synchronous delete; returns whether the id was present.
+    pub fn delete(&self, id: u64) -> Result<bool, NetError> {
+        self.submit(Request::Delete { id })?.wait_delete()
+    }
+
+    /// Synchronous flush (rolling compacting reprogram).
+    pub fn flush(&self) -> Result<(), NetError> {
+        self.submit(Request::Flush)?.wait_flush()
+    }
+
+    /// Fetches the combined engine + transport statistics document.
+    pub fn stats_json(&self) -> Result<String, NetError> {
+        match self.submit(Request::Stats)?.wait()? {
+            Response::Stats(json) => Ok(json),
+            other => unexpected("stats", other),
+        }
+    }
+
+    /// Fetches the server's flight-recorder dump (JSONL).
+    pub fn flight_dump(&self) -> Result<String, NetError> {
+        match self.submit(Request::Flight)?.wait()? {
+            Response::Flight(jsonl) => Ok(jsonl),
+            other => unexpected("flight", other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), NetError> {
+        match self.submit(Request::Ping)?.wait()? {
+            Response::Pong => Ok(()),
+            other => unexpected("ping", other),
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.shared.dead.store(true, Ordering::SeqCst);
+        if let Ok(w) = self.writer.lock() {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let mut fr = FrameReader::new(&stream, DEFAULT_MAX_FRAME);
+    loop {
+        match fr.next_frame() {
+            ReadStep::Frame(payload) => {
+                let env = match decode_response(&payload) {
+                    Ok(env) => env,
+                    // A response we cannot decode poisons the demux: the
+                    // stream may be desynchronized, so the connection dies.
+                    Err(_) => break,
+                };
+                let waiter = shared.pending.lock().unwrap().remove(&env.request_id);
+                match waiter {
+                    Some(w) => {
+                        simpim_obs::metrics::histogram_record_exemplar(
+                            &format!("simpim.net.client.{}_ns", w.kind),
+                            w.sent.elapsed().as_nanos() as u64,
+                            w.trace_id,
+                        );
+                        // The handle may have been dropped; that is fine.
+                        let _ = w.tx.send(env.msg);
+                    }
+                    None => {
+                        shared.orphans.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // The client socket has no read timeout; Idle means a signal
+            // interrupted the read — just keep reading.
+            ReadStep::Idle => continue,
+            ReadStep::Eof | ReadStep::DirtyEof | ReadStep::TooLarge { .. } | ReadStep::Err(_) => {
+                break
+            }
+        }
+    }
+    shared.dead.store(true, Ordering::SeqCst);
+    // Dropping the waiters disconnects every outstanding handle, which
+    // surfaces as `NetError::ConnectionLost` at the call sites.
+    shared.pending.lock().unwrap().clear();
+}

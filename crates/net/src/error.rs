@@ -1,0 +1,116 @@
+//! Error type of the network layer.
+
+use std::fmt;
+use std::io;
+
+use crate::wire::{ErrorCode, WireError};
+
+/// Errors surfaced by the TCP client and server.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed.
+    Io(io::Error),
+    /// A frame failed to encode or decode.
+    Wire(WireError),
+    /// The connection dropped with the request still outstanding — the
+    /// caller cannot know whether the server executed it.
+    ConnectionLost,
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Failure class (retryable iff [`ErrorCode::Overloaded`]).
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The peer violated the protocol (e.g. a response for an unknown
+    /// request id, or a response type that does not match the request).
+    Protocol {
+        /// What was violated.
+        what: String,
+    },
+}
+
+impl NetError {
+    /// Whether this is a server-side admission-control shed — the one
+    /// error class a load generator should retry/back off on rather
+    /// than count as a failure.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            NetError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+
+    /// Whether this is a transport-level failure (socket error or lost
+    /// connection) as opposed to a typed server answer.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, NetError::Io(_) | NetError::ConnectionLost)
+    }
+
+    /// The remote error code, if this is a typed server answer.
+    pub fn remote_code(&self) -> Option<ErrorCode> {
+        match self {
+            NetError::Remote { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::ConnectionLost => write!(f, "connection lost with the request in flight"),
+            NetError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            NetError::Protocol { what } => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        let shed = NetError::Remote {
+            code: ErrorCode::Overloaded,
+            message: "full".into(),
+        };
+        assert!(shed.is_overloaded());
+        assert!(!shed.is_transport());
+        assert_eq!(shed.remote_code(), Some(ErrorCode::Overloaded));
+        let lost = NetError::ConnectionLost;
+        assert!(lost.is_transport());
+        assert!(!lost.is_overloaded());
+        let io = NetError::from(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
+        assert!(io.is_transport());
+        assert!(io.to_string().contains("socket error"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # simpim-net — dependency-free TCP RPC front-end
+//!
+//! A network edge for the replicated PIM serving engine
+//! ([`simpim_serve::ServeEngine`]), built entirely on `std::net` — no
+//! async runtime, no serialization framework. Three pieces:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary frame format.
+//!   Decoding is total (any byte sequence yields a value or a structured
+//!   [`wire::WireError`], never a panic), length fields are validated
+//!   before allocation, and `f64` payloads round-trip bit-identically,
+//!   so a networked query answers **exactly** the bytes the in-process
+//!   engine produces.
+//! * [`NetServer`] — blocking, thread-per-connection server that maps
+//!   transport backpressure onto the engine's admission-control path: a
+//!   bounded per-connection in-flight window sheds with typed
+//!   `overloaded` frames before the engine is touched, and slow readers
+//!   are detached by write timeout without stalling anyone else.
+//!   Client-minted trace ids ride every frame header and are joined
+//!   server-side ([`simpim_obs::TraceCtx::join`]), so flight-recorder
+//!   span trees reconstruct end to end across the wire.
+//! * [`NetClient`] / [`loadgen`] — a pipelined client (many requests in
+//!   flight per connection, demultiplexed by request id) and an
+//!   open-loop load generator with a fixed arrival schedule that
+//!   measures latency from *scheduled* send time, immune to coordinated
+//!   omission.
+//!
+//! ```no_run
+//! use simpim_net::{NetClient, NetConfig, NetServer};
+//! # fn engine() -> simpim_serve::ServeEngine { unimplemented!() }
+//! let server = NetServer::bind("127.0.0.1:0", NetConfig::default(), engine()).unwrap();
+//! let client = NetClient::connect(server.local_addr()).unwrap();
+//! let neighbors = client.knn(&[0.1, 0.2, 0.3], 5, std::time::Duration::from_secs(1)).unwrap();
+//! # let _ = neighbors;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod loadgen;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::{NetClient, ReplyHandle};
+pub use error::NetError;
+pub use loadgen::{run_open_loop, OpenLoopConfig, OpenLoopReport};
+pub use server::{NetConfig, NetServer};
+pub use stats::{engine_stats_json, stats_document, NetStats};
+pub use wire::{ErrorCode, Request, Response, WIRE_VERSION};

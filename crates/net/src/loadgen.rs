@@ -1,0 +1,294 @@
+//! Open-loop load generation over many pipelined connections.
+//!
+//! Closed-loop benchmarks (issue a request, wait, issue the next) hide
+//! tail latency behind *coordinated omission*: when the server stalls,
+//! the client politely stops sending, so the stall is sampled once
+//! instead of once per request that *should* have been sent. The
+//! open-loop generator here fixes the arrival schedule up front —
+//! request `i` is due at `start + i/rate`, on connection `i % C` — and
+//! measures each request's latency **from its scheduled send time**, so
+//! queueing delay caused by a stall is charged to every request the
+//! stall delayed.
+//!
+//! Per connection, a sender thread submits on schedule (pipelined — it
+//! never waits for responses) and a collector thread resolves the reply
+//! handles in submission order, classifying each outcome into the
+//! distinct shed / timeout / transport-error taxonomy and recording
+//! latency into a [`Histogram`] (log-linear, exemplar-tagged with the
+//! request's trace id).
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use simpim_obs::Histogram;
+
+use crate::client::{NetClient, ReplyHandle};
+use crate::error::NetError;
+use crate::wire::Request;
+
+/// Parameters of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Concurrent TCP connections (the SLO gate requires ≥ 4).
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub total: usize,
+    /// Aggregate arrival rate in requests/second.
+    pub rate: f64,
+    /// Neighbors per query.
+    pub k: usize,
+    /// Server-side queue deadline per query.
+    pub timeout: Duration,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            total: 400,
+            rate: 200.0,
+            k: 5,
+            timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Outcome of an open-loop run. The failure taxonomy is deliberately
+/// disjoint: `shed` (admission control said no — retryable, not an
+/// error), `timeout` (deadline expired in the queue), `failed` (typed
+/// server error), `transport_errors` (socket-level loss — the one class
+/// the CI smoke gate requires to be zero).
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests answered with neighbors.
+    pub answered: u64,
+    /// Requests shed by admission control (window or engine queue).
+    pub shed: u64,
+    /// Requests whose queue deadline expired.
+    pub timeout: u64,
+    /// Requests answered with a non-shed, non-deadline server error.
+    pub failed: u64,
+    /// Requests lost to socket errors or a dead connection.
+    pub transport_errors: u64,
+    /// Latency from *scheduled* send time to response, nanoseconds.
+    pub latency_ns: Histogram,
+    /// Trace ids of answered requests — intersect with the server's
+    /// flight dump to prove cross-wire trace propagation.
+    pub trace_ids: Vec<u64>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// The configured arrival rate.
+    pub scheduled_rate: f64,
+    /// Requests actually issued per second of wall clock.
+    pub achieved_rate: f64,
+}
+
+impl OpenLoopReport {
+    /// Total requests accounted for.
+    pub fn total(&self) -> u64 {
+        self.answered + self.shed + self.timeout + self.failed + self.transport_errors
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    answered: u64,
+    shed: u64,
+    timeout: u64,
+    failed: u64,
+    transport_errors: u64,
+    latency_ns: Histogram,
+    trace_ids: Vec<u64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.answered += other.answered;
+        self.shed += other.shed;
+        self.timeout += other.timeout;
+        self.failed += other.failed;
+        self.transport_errors += other.transport_errors;
+        self.latency_ns.merge(&other.latency_ns);
+        self.trace_ids.extend(other.trace_ids);
+    }
+}
+
+enum Submitted {
+    Handle {
+        scheduled: Instant,
+        handle: ReplyHandle,
+    },
+    SubmitFailed {
+        error: NetError,
+    },
+}
+
+/// Runs one open-loop schedule against `addr`, cycling `queries` as the
+/// query vectors. Blocks until every scheduled request has resolved.
+pub fn run_open_loop(
+    addr: std::net::SocketAddr,
+    cfg: &OpenLoopConfig,
+    queries: &[Vec<f64>],
+) -> Result<OpenLoopReport, NetError> {
+    assert!(cfg.connections >= 1, "need at least one connection");
+    assert!(cfg.rate > 0.0, "arrival rate must be positive");
+    assert!(!queries.is_empty(), "need at least one query vector");
+    let clients: Vec<NetClient> = (0..cfg.connections)
+        .map(|_| NetClient::connect(addr))
+        .collect::<Result<_, _>>()?;
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate);
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut merged = Tally::default();
+
+    std::thread::scope(|scope| {
+        let mut collectors = Vec::with_capacity(cfg.connections);
+        for (conn, client) in clients.iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<Submitted>();
+            // Sender: fires request i at start + i*interval, never waits.
+            scope.spawn(move || {
+                for i in (conn..cfg.total).step_by(cfg.connections) {
+                    let due = start + interval * (i as u32);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let q = &queries[i % queries.len()];
+                    let submitted = match client.submit(Request::Query {
+                        k: cfg.k as u32,
+                        timeout_ms: cfg.timeout.as_millis().min(u128::from(u32::MAX)) as u32,
+                        vector: q.clone(),
+                    }) {
+                        Ok(handle) => Submitted::Handle {
+                            scheduled: due,
+                            handle,
+                        },
+                        Err(error) => Submitted::SubmitFailed { error },
+                    };
+                    if tx.send(submitted).is_err() {
+                        break;
+                    }
+                }
+            });
+            // Collector: resolves handles in submission order; latency is
+            // measured from the *scheduled* time, not the submit time.
+            collectors.push(scope.spawn(move || {
+                let mut t = Tally::default();
+                while let Ok(submitted) = rx.recv() {
+                    match submitted {
+                        Submitted::SubmitFailed { error } => classify(&mut t, &error),
+                        Submitted::Handle { scheduled, handle } => {
+                            let trace_id = handle.trace.trace_id;
+                            match handle.wait_query() {
+                                Ok(_neighbors) => {
+                                    t.answered += 1;
+                                    t.latency_ns.record_exemplar(
+                                        scheduled.elapsed().as_nanos() as u64,
+                                        trace_id,
+                                    );
+                                    t.trace_ids.push(trace_id);
+                                }
+                                Err(e) => {
+                                    classify(&mut t, &e);
+                                    // Sheds and timeouts still answered a
+                                    // frame on schedule — charge their
+                                    // latency too so backpressure cost is
+                                    // visible, but tag no exemplar.
+                                    if !e.is_transport() {
+                                        t.latency_ns.record(scheduled.elapsed().as_nanos() as u64);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                t
+            }));
+        }
+        for c in collectors {
+            merged.absorb(c.join().expect("collector thread"));
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let total =
+        merged.answered + merged.shed + merged.timeout + merged.failed + merged.transport_errors;
+    Ok(OpenLoopReport {
+        answered: merged.answered,
+        shed: merged.shed,
+        timeout: merged.timeout,
+        failed: merged.failed,
+        transport_errors: merged.transport_errors,
+        latency_ns: merged.latency_ns,
+        trace_ids: merged.trace_ids,
+        elapsed,
+        scheduled_rate: cfg.rate,
+        achieved_rate: total as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}
+
+fn classify(t: &mut Tally, e: &NetError) {
+    use crate::wire::ErrorCode;
+    if e.is_overloaded() {
+        t.shed += 1;
+    } else if e.remote_code() == Some(ErrorCode::DeadlineExpired) {
+        t.timeout += 1;
+    } else if e.is_transport() {
+        t.transport_errors += 1;
+    } else {
+        t.failed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        use crate::wire::ErrorCode;
+        let mut t = Tally::default();
+        classify(
+            &mut t,
+            &NetError::Remote {
+                code: ErrorCode::Overloaded,
+                message: String::new(),
+            },
+        );
+        classify(
+            &mut t,
+            &NetError::Remote {
+                code: ErrorCode::DeadlineExpired,
+                message: String::new(),
+            },
+        );
+        classify(&mut t, &NetError::ConnectionLost);
+        classify(
+            &mut t,
+            &NetError::Remote {
+                code: ErrorCode::Internal,
+                message: String::new(),
+            },
+        );
+        assert_eq!(
+            (t.shed, t.timeout, t.transport_errors, t.failed),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn report_total_sums_the_taxonomy() {
+        let r = OpenLoopReport {
+            answered: 5,
+            shed: 4,
+            timeout: 3,
+            failed: 2,
+            transport_errors: 1,
+            latency_ns: Histogram::new(),
+            trace_ids: vec![],
+            elapsed: Duration::from_secs(1),
+            scheduled_rate: 100.0,
+            achieved_rate: 15.0,
+        };
+        assert_eq!(r.total(), 15);
+    }
+}

@@ -235,6 +235,30 @@ impl Histogram {
             .collect()
     }
 
+    /// Percentile-first JSON summary — the reporting shape every latency
+    /// table in the bench artifacts uses: `count`, then `p50`/`p95`/`p99`
+    /// (bucket midpoints, see [`Histogram::quantile`]), then `mean`,
+    /// `min`, `max`. Keys carry no unit suffix; callers record samples in
+    /// nanoseconds by convention.
+    pub fn summary_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::Num(self.count as f64)),
+            ("p50", Json::Num(self.quantile(0.5) as f64)),
+            ("p95", Json::Num(self.quantile(0.95) as f64)),
+            ("p99", Json::Num(self.quantile(0.99) as f64)),
+            ("mean", Json::Num(self.mean())),
+            (
+                "min",
+                Json::Num(if self.count == 0 {
+                    0.0
+                } else {
+                    self.min as f64
+                }),
+            ),
+            ("max", Json::Num(self.max as f64)),
+        ])
+    }
+
     /// Occupied exemplar slots as `(bucket_lower_bound, value, trace_id)`.
     pub fn nonzero_exemplars(&self) -> Vec<(u64, u64, u64)> {
         self.exemplars
@@ -648,6 +672,30 @@ mod tests {
         }
         assert_eq!(tail.exemplar_near_quantile(0.99), Some((10, 3)));
         assert_eq!(Histogram::new().exemplar_near_quantile(0.5), None);
+    }
+
+    #[test]
+    fn summary_json_is_percentile_first() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary_json();
+        assert_eq!(s.get("count").and_then(Json::as_u64), Some(100));
+        assert_eq!(s.get("p50").and_then(Json::as_u64), Some(h.quantile(0.5)));
+        assert_eq!(s.get("p99").and_then(Json::as_u64), Some(h.quantile(0.99)));
+        assert_eq!(s.get("max").and_then(Json::as_u64), Some(100));
+        // Percentiles lead the object: tooling that prints the first
+        // few keys shows the tail numbers, not bookkeeping.
+        let keys: Vec<&str> = s
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys[..4], ["count", "p50", "p95", "p99"]);
+        let empty = Histogram::new().summary_json();
+        assert_eq!(empty.get("min").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -132,6 +132,24 @@ impl TraceCtx {
         }
     }
 
+    /// A context that *joins* an existing trace: the trace id comes from
+    /// elsewhere (typically minted by a remote client and carried over
+    /// the wire), the span id is minted locally. Local minting matters —
+    /// a remote peer's span-id counter is unrelated to ours, so reusing a
+    /// wire-supplied span id could collide with locally minted ids inside
+    /// the same reassembled tree. A `trace_id` of 0 falls back to
+    /// [`TraceCtx::root`] so untraced peers still get attributable
+    /// requests.
+    pub fn join(trace_id: u64) -> Self {
+        if trace_id == 0 {
+            return Self::root();
+        }
+        Self {
+            trace_id,
+            span_id: next_span_id(),
+        }
+    }
+
     /// Whether this is the null context.
     pub fn is_none(&self) -> bool {
         self.trace_id == 0 && self.span_id == 0
@@ -619,6 +637,19 @@ mod tests {
         assert!(outer.start_ns <= inner.start_ns);
         assert!(outer.attrs.contains(&("query".to_string(), 7.0)));
         assert!(outer.attrs.contains(&("candidates".to_string(), 12.0)));
+    }
+
+    #[test]
+    fn join_adopts_the_trace_but_mints_the_span_locally() {
+        let remote = TraceCtx::root();
+        let joined = TraceCtx::join(remote.trace_id);
+        assert_eq!(joined.trace_id, remote.trace_id);
+        assert_ne!(joined.span_id, remote.span_id, "span id minted locally");
+        assert_ne!(TraceCtx::join(remote.trace_id).span_id, joined.span_id);
+        // An untraced peer (trace id 0) still gets a fully minted root.
+        let fresh = TraceCtx::join(0);
+        assert_ne!(fresh.trace_id, 0);
+        assert_ne!(fresh.span_id, 0);
     }
 
     #[test]

@@ -233,6 +233,34 @@ enum Cmd {
     },
 }
 
+/// An in-flight command's reply handle, returned by the non-blocking
+/// `*_submit` methods on [`ServeEngine`]. The command is already accepted
+/// into the bounded queue when a `Pending` exists; [`Pending::wait`]
+/// blocks only for execution, never for admission. Dropping it abandons
+/// the reply (the scheduler's send simply finds no receiver) — the
+/// command itself still executes.
+#[derive(Debug)]
+pub struct Pending<T> {
+    rx: mpsc::Receiver<Result<T, ServeError>>,
+}
+
+impl<T> Pending<T> {
+    /// Blocks until the scheduler answers. An engine that shuts down
+    /// with the command still queued reports [`ServeError::Closed`].
+    pub fn wait(self) -> Result<T, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Non-blocking poll: `Some` once the scheduler has answered.
+    pub fn try_wait(&self) -> Option<Result<T, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(out) => Some(out),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Closed)),
+        }
+    }
+}
+
 /// A multi-threaded kNN serving engine over replicated resident ReRAM
 /// shards.
 ///
@@ -369,6 +397,22 @@ impl ServeEngine {
         k: usize,
         timeout: Duration,
     ) -> Result<Vec<Neighbor>, ServeError> {
+        self.knn_submit(query, k, timeout, TraceCtx::root())?.wait()
+    }
+
+    /// Non-blocking admission of one query under an externally minted
+    /// [`TraceCtx`] — the entry point for front-ends (the TCP server)
+    /// that manage their own reply plumbing and propagate a client's
+    /// trace id across process boundaries. A full queue sheds with
+    /// [`ServeError::Overloaded`] immediately; on success the returned
+    /// [`Pending`] resolves to the answer.
+    pub fn knn_submit(
+        &self,
+        query: &[f64],
+        k: usize,
+        timeout: Duration,
+        ctx: TraceCtx,
+    ) -> Result<Pending<Vec<Neighbor>>, ServeError> {
         self.validate_query(query, k)?;
         let (reply, rx) = mpsc::channel();
         let now = Instant::now();
@@ -377,19 +421,73 @@ impl ServeEngine {
             k,
             deadline: now + timeout,
             enqueued: now,
-            ctx: TraceCtx::root(),
+            ctx: if ctx.is_none() { TraceCtx::root() } else { ctx },
             reply,
         });
-        match self.tx().try_send(req) {
-            Ok(()) => {}
+        self.admit(req)?;
+        Ok(Pending { rx })
+    }
+
+    /// Non-blocking admission of one insert (see [`ServeEngine::knn_submit`]
+    /// for the admission semantics). Unlike [`ServeEngine::insert`], a
+    /// full queue sheds instead of blocking the caller.
+    pub fn insert_submit(&self, row: &[f64], ctx: TraceCtx) -> Result<Pending<usize>, ServeError> {
+        if row.len() != self.dim {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "row has {} dimensions, engine serves {}",
+                    row.len(),
+                    self.dim
+                ),
+            });
+        }
+        let (reply, rx) = mpsc::channel();
+        self.admit(Cmd::Insert {
+            row: row.to_vec(),
+            enqueued: Instant::now(),
+            ctx: if ctx.is_none() { TraceCtx::root() } else { ctx },
+            reply,
+        })?;
+        Ok(Pending { rx })
+    }
+
+    /// Non-blocking admission of one delete (shedding semantics of
+    /// [`ServeEngine::knn_submit`]).
+    pub fn delete_submit(&self, id: usize, ctx: TraceCtx) -> Result<Pending<bool>, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.admit(Cmd::Delete {
+            id,
+            enqueued: Instant::now(),
+            ctx: if ctx.is_none() { TraceCtx::root() } else { ctx },
+            reply,
+        })?;
+        Ok(Pending { rx })
+    }
+
+    /// Non-blocking admission of a rolling flush (shedding semantics of
+    /// [`ServeEngine::knn_submit`]).
+    pub fn flush_submit(&self, ctx: TraceCtx) -> Result<Pending<()>, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        self.admit(Cmd::Flush {
+            enqueued: Instant::now(),
+            ctx: if ctx.is_none() { TraceCtx::root() } else { ctx },
+            reply,
+        })?;
+        Ok(Pending { rx })
+    }
+
+    /// Admission control shared by every `*_submit`: try for a queue
+    /// slot, shed with [`ServeError::Overloaded`] when full.
+    fn admit(&self, cmd: Cmd) -> Result<(), ServeError> {
+        match self.tx().try_send(cmd) {
+            Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 self.overloaded.fetch_add(1, Ordering::Relaxed);
                 simpim_obs::metrics::counter_add("simpim.serve.overloaded", 1);
-                return Err(ServeError::Overloaded);
+                Err(ServeError::Overloaded)
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Closed),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
-        rx.recv().map_err(|_| ServeError::Closed)?
     }
 
     /// Submits a whole batch of queries and waits for every answer.
@@ -1299,6 +1397,59 @@ mod tests {
         }
         let stats = engine.stats().unwrap();
         assert_eq!(stats.queries, 3);
+    }
+
+    #[test]
+    fn submitted_commands_carry_the_external_trace_into_the_flight_dump() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let q = vec![0.4, 0.3, 0.9, 0.1];
+        let truth = knn_standard(&ds, &q, 3, Measure::EuclideanSq).unwrap();
+        // The shape of a cross-wire request: the trace id was minted by a
+        // remote peer, the span id is joined locally.
+        let remote_trace = TraceCtx::root().trace_id;
+        let ctx = TraceCtx::join(remote_trace);
+        let pending = engine
+            .knn_submit(&q, 3, Duration::from_secs(5), ctx)
+            .unwrap();
+        assert_eq!(pending.wait().unwrap(), truth.neighbors);
+        let ins = engine
+            .insert_submit(&[0.1, 0.2, 0.3, 0.4], ctx)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(engine.delete_submit(ins, ctx).unwrap().wait().unwrap());
+        engine.flush_submit(ctx).unwrap().wait().unwrap();
+        let dump = engine.flight_dump().unwrap();
+        let traces = crate::flight::parse_dump(&dump).unwrap();
+        let carried = traces.iter().filter(|t| t.trace_id == remote_trace).count();
+        assert_eq!(
+            carried, 4,
+            "query, insert, delete and flush all reconstruct under the remote trace id"
+        );
+        for t in traces.iter().filter(|t| t.trace_id == remote_trace) {
+            t.validate_tree().unwrap();
+        }
+    }
+
+    #[test]
+    fn pending_try_wait_polls_without_blocking() {
+        let ds = data();
+        let engine = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let pending = engine
+            .knn_submit(&[0.5; 4], 2, Duration::from_secs(5), TraceCtx::NONE)
+            .unwrap();
+        let mut out = None;
+        for _ in 0..10_000 {
+            if let Some(o) = pending.try_wait() {
+                out = Some(o);
+                break;
+            }
+            thread::yield_now();
+        }
+        let got = out.expect("scheduler answers well within the spin budget");
+        let truth = knn_standard(&ds, &[0.5; 4], 2, Measure::EuclideanSq).unwrap();
+        assert_eq!(got.unwrap(), truth.neighbors);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod shard;
 /// vectors — the same shape `mining::knn` returns.
 pub type Neighbor = (usize, f64);
 
-pub use engine::{EngineStats, ServeConfig, ServeEngine, StageLatency};
+pub use engine::{EngineStats, Pending, ServeConfig, ServeEngine, StageLatency};
 pub use error::ServeError;
 pub use flight::{FlightRecorder, FlightRecorderStats, Outcome, QuerySpan, QueryTrace};
 pub use replica::{ReplicaSet, ReplicaSetStats, ReplicaState, RouteSample};

@@ -9,6 +9,10 @@
 //! simpim serve-bench [--dataset year] [--k 10] [--batch 8] [--clients 4] [--queries 64]
 //!                    [--shards 2] [--replicas 2] [--kill-after 16] [--slo-p99-us 5000]
 //!                    [--flight 32]
+//! simpim net-serve   [--addr 127.0.0.1:0] [--dataset year] [--shards 2] [--replicas 2]
+//!                    [--batch 8] [--window 32] [--ready-file PATH] [--run-seconds 0]
+//! simpim net-bench   --addr HOST:PORT [--dataset year] [--connections 4] [--requests 400]
+//!                    [--rate 200] [--k 10] [--verify 8] [--slo-p99-us 5000]
 //! simpim slo         BENCH_serve_slo.json [--p99-us 5000] [--availability 99.9]
 //! simpim flight      BENCH_serve_flight.jsonl [--top 16] [--outcome failover]
 //! ```
@@ -302,27 +306,31 @@ fn cmd_outliers(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Closed-loop load generator for the serving engine: measures the
-/// model-time benefit of batch-coalescing the crossbar pass, then drives a
-/// real [`ServeEngine`] with concurrent clients for wall-clock latency and
-/// shed-rate numbers. Emits `BENCH_serve.json`.
-fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+fn parse_dataset(args: &Args) -> Result<PaperDataset, String> {
     let name = args
         .flags
         .get("dataset")
         .map(String::as_str)
         .unwrap_or("year");
-    let dataset = match name.to_ascii_lowercase().as_str() {
-        "imagenet" => PaperDataset::ImageNet,
-        "msd" => PaperDataset::Msd,
-        "gist" => PaperDataset::Gist,
-        "trevi" => PaperDataset::Trevi,
-        "year" => PaperDataset::Year,
-        "notre" => PaperDataset::Notre,
-        "nuswide" | "nus-wide" => PaperDataset::NusWide,
-        "enron" => PaperDataset::Enron,
-        other => return Err(format!("unknown --dataset {other:?} (see Table 6)")),
-    };
+    match name.to_ascii_lowercase().as_str() {
+        "imagenet" => Ok(PaperDataset::ImageNet),
+        "msd" => Ok(PaperDataset::Msd),
+        "gist" => Ok(PaperDataset::Gist),
+        "trevi" => Ok(PaperDataset::Trevi),
+        "year" => Ok(PaperDataset::Year),
+        "notre" => Ok(PaperDataset::Notre),
+        "nuswide" | "nus-wide" => Ok(PaperDataset::NusWide),
+        "enron" => Ok(PaperDataset::Enron),
+        other => Err(format!("unknown --dataset {other:?} (see Table 6)")),
+    }
+}
+
+/// Closed-loop load generator for the serving engine: measures the
+/// model-time benefit of batch-coalescing the crossbar pass, then drives a
+/// real [`ServeEngine`] with concurrent clients for wall-clock latency and
+/// shed-rate numbers. Emits `BENCH_serve.json`.
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let dataset = parse_dataset(args)?;
     let k: usize = args.get("k", 10)?;
     let batch: usize = args.get("batch", 8)?;
     let clients: usize = args.get("clients", 4)?;
@@ -415,7 +423,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let per_client = total_queries.div_ceil(clients);
     let answered_so_far = std::sync::atomic::AtomicUsize::new(0);
     let wall = std::time::Instant::now();
-    let ((answered, failed), recovery_ns): ((usize, usize), Option<u64>) =
+    let ((answered, client_timeouts, failed), recovery_ns): ((usize, usize, usize), Option<u64>) =
         std::thread::scope(|s| {
             let engine = &engine;
             let queries = &w.queries;
@@ -451,6 +459,11 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
                 .map(|c| {
                     s.spawn(move || {
                         let mut done = 0usize;
+                        // Distinct outcome taxonomy: a deadline that
+                        // expired in the queue is not an engine failure,
+                        // and an admission shed is neither — it is
+                        // retried. Conflating them hid real failures.
+                        let mut timeouts = 0usize;
                         let mut failed = 0usize;
                         for i in 0..per_client {
                             let q = &queries[(c + i) % queries.len()];
@@ -465,6 +478,10 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
                                     Err(simpim::serve::ServeError::Overloaded) => {
                                         std::thread::yield_now();
                                     }
+                                    Err(simpim::serve::ServeError::DeadlineExpired) => {
+                                        timeouts += 1;
+                                        break;
+                                    }
                                     Err(_) => {
                                         failed += 1;
                                         break;
@@ -472,14 +489,16 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
                                 }
                             }
                         }
-                        (done, failed)
+                        (done, timeouts, failed)
                     })
                 })
                 .collect();
             let counts = handles
                 .into_iter()
                 .map(|h| h.join().expect("client thread"))
-                .fold((0, 0), |acc, (d, f)| (acc.0 + d, acc.1 + f));
+                .fold((0, 0, 0), |acc, (d, t, f)| {
+                    (acc.0 + d, acc.1 + t, acc.2 + f)
+                });
             let recovery = killer.and_then(|h| h.join().expect("killer thread"));
             (counts, recovery)
         });
@@ -501,8 +520,13 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
     let (p50, p99) = hist
         .map(|h| (h.quantile(0.5), h.quantile(0.99)))
         .unwrap_or((0, 0));
-    let shed = snap.counter("simpim.serve.overloaded").unwrap_or(0)
-        + snap.counter("simpim.serve.sheds").unwrap_or(0);
+    // Keep the outcome classes distinct: `shed` is admission control
+    // (retried by the clients, not a failure), `fault_sheds` are
+    // PIM-fault query aborts, `timeouts` are expired queue deadlines,
+    // and `failed` is everything genuinely broken. Summing them into one
+    // number made real failures invisible behind routine backpressure.
+    let shed = snap.counter("simpim.serve.overloaded").unwrap_or(0);
+    let fault_sheds = snap.counter("simpim.serve.sheds").unwrap_or(0);
     run.push_extra(
         "closed_loop",
         Json::obj([
@@ -512,7 +536,12 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
             ("p50_latency_ns", Json::Num(p50 as f64)),
             ("p99_latency_ns", Json::Num(p99 as f64)),
             ("shed", Json::Num(shed as f64)),
+            ("fault_sheds", Json::Num(fault_sheds as f64)),
             ("timeouts", Json::Num(stats.timeouts as f64)),
+            ("client_timeouts", Json::Num(client_timeouts as f64)),
+            // In-process clients have no transport; the field exists so
+            // BENCH_serve and BENCH_net rows share one schema.
+            ("transport_errors", Json::Num(0.0)),
         ]),
     );
     run.push_extra(
@@ -598,7 +627,7 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         batched_ns_per_query / 1e3
     );
     println!(
-        "  engine: {answered}/{total_queries} answered ({failed} failed) in {} batches, p50 {:.1} us, p99 {:.1} us, {shed} shed",
+        "  engine: {answered}/{total_queries} answered ({failed} failed, {client_timeouts} timed out) in {} batches, p50 {:.1} us, p99 {:.1} us, {shed} shed + {fault_sheds} fault-shed",
         stats.batches,
         p50 as f64 / 1e3,
         p99 as f64 / 1e3
@@ -651,9 +680,10 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         ));
     }
     if kill_after > 0 {
-        if failed > 0 {
+        if failed > 0 || client_timeouts > 0 {
             return Err(format!(
-                "{failed} queries failed through the bank loss (want zero with R = {replicas})"
+                "{failed} queries failed and {client_timeouts} timed out through the bank loss \
+                 (want zero of both with R = {replicas})"
             ));
         }
         if recovery_ns.is_none() {
@@ -668,6 +698,306 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
                 missed.attainment * 100.0,
                 missed.violations,
                 missed.events
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Serves a [`ServeEngine`] over TCP until the process is killed. The
+/// bound address (resolving `--addr 127.0.0.1:0`) is printed and, with
+/// `--ready-file`, written to a file a supervisor can poll — that is how
+/// the CI smoke job learns the ephemeral port.
+fn cmd_net_serve(args: &Args) -> Result<(), String> {
+    let dataset = parse_dataset(args)?;
+    let addr = args
+        .flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let batch: usize = args.get("batch", 8)?;
+    let shards: usize = args.get("shards", 2)?;
+    let replicas: usize = args.get("replicas", ServeConfig::default().replicas)?;
+    let flight: usize = args.get("flight", 32)?;
+    let run_seconds: u64 = args.get("run-seconds", 0)?;
+    if batch == 0 || shards == 0 || replicas == 0 {
+        return Err("--batch, --shards and --replicas must be non-zero".to_string());
+    }
+
+    let w = simpim_bench::load(dataset);
+    let serve_cfg = ServeConfig {
+        shards,
+        replicas,
+        max_batch: batch,
+        queue_depth: (4 * batch).max(64),
+        executor: simpim_bench::scaled_executor_config(),
+        flight_capacity: flight,
+        ..Default::default()
+    };
+    let engine = ServeEngine::open(serve_cfg, &w.data).map_err(|e| e.to_string())?;
+    let mut net_cfg = simpim::net::NetConfig::default();
+    if let Some(v) = args.flags.get("window") {
+        net_cfg.window = v
+            .parse::<usize>()
+            .map_err(|e| format!("bad --window {v:?}: {e}"))?
+            .max(1);
+    }
+    let window = net_cfg.window;
+    let server = simpim::net::NetServer::bind(addr.as_str(), net_cfg, engine)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr();
+    println!(
+        "simpim net-serve: {} ({} rows x {} dims) on {bound}, {shards} shard(s) x {replicas} replica(s), window {window}",
+        dataset.name(),
+        w.data.len(),
+        w.data.dim(),
+    );
+    if let Some(path) = args.flags.get("ready-file") {
+        // Written only after bind succeeds, so a poller that sees the
+        // file can connect immediately.
+        std::fs::write(path, bound.to_string())
+            .map_err(|e| format!("writing --ready-file {path:?}: {e}"))?;
+        println!("ready file: {path}");
+    }
+    if run_seconds > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(run_seconds));
+        let stats = server.stats();
+        server.shutdown();
+        println!(
+            "net-serve exiting after {run_seconds}s: {} connection(s), {} frame(s) served, {} shed, {} transport error(s)",
+            stats.connections_accepted,
+            stats.frames_tx,
+            stats.sheds(),
+            stats.transport_errors
+        );
+        return Ok(());
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Open-loop load generator against a running `net-serve`: verifies
+/// bit-identical answers against the offline scan, fires a fixed arrival
+/// schedule over `--connections` pipelined TCP connections, fetches the
+/// server's stats and flight dump over the wire, and gates on transport
+/// errors, cross-wire trace propagation, and an optional p99 SLO. Emits
+/// `BENCH_net.json` (+ `BENCH_net_flight.jsonl`).
+fn cmd_net_bench(args: &Args) -> Result<(), String> {
+    use std::time::Duration;
+    let addr_s = args.required("addr")?.to_string();
+    let addr: std::net::SocketAddr = addr_s
+        .parse()
+        .map_err(|e| format!("bad --addr {addr_s:?}: {e}"))?;
+    let dataset = parse_dataset(args)?;
+    let connections: usize = args.get("connections", 4)?;
+    let requests: usize = args.get("requests", 400)?;
+    let rate: f64 = args.get("rate", 200.0)?;
+    let k: usize = args.get("k", 10)?;
+    let timeout_ms: u64 = args.get("timeout-ms", 2000)?;
+    let verify: usize = args.get("verify", 8)?;
+    let slo_p99_us: u64 = args.get("slo-p99-us", 0)?;
+    if connections == 0 || requests == 0 || rate <= 0.0 {
+        return Err("--connections, --requests and --rate must be positive".to_string());
+    }
+
+    let mut run = BenchRun::start("net");
+    run.set_dataset(&dataset.spec());
+    run.config_entry("addr", Json::Str(addr_s.clone()));
+    run.config_entry("connections", Json::Num(connections as f64));
+    run.config_entry("requests", Json::Num(requests as f64));
+    run.config_entry("rate", Json::Num(rate));
+    run.config_entry("k", Json::Num(k as f64));
+    run.config_entry("timeout_ms", Json::Num(timeout_ms as f64));
+    run.config_entry("verify", Json::Num(verify as f64));
+    run.config_entry("slo_p99_us", Json::Num(slo_p99_us as f64));
+
+    // The server generated the same deterministic workload from the same
+    // dataset name and SIMPIM_SCALE, so the offline scan over our local
+    // copy is ground truth for its answers.
+    let w = simpim_bench::load(dataset);
+    let probe = simpim::net::NetClient::connect(addr)
+        .map_err(|e| format!("connecting to {addr_s}: {e}"))?;
+    probe.ping().map_err(|e| format!("ping {addr_s}: {e}"))?;
+
+    // Part 1 — correctness gate: every networked answer bit-identical to
+    // the offline scan (ids AND f64 bit patterns).
+    let mut mismatches = 0usize;
+    for i in 0..verify {
+        let q = &w.queries[i % w.queries.len()];
+        let got = probe
+            .knn(q, k, Duration::from_millis(timeout_ms))
+            .map_err(|e| format!("verify query {i}: {e}"))?;
+        let truth = knn_standard(&w.data, q, k, simpim::similarity::Measure::EuclideanSq)
+            .map_err(|e| e.to_string())?;
+        let identical = got.len() == truth.neighbors.len()
+            && got
+                .iter()
+                .zip(&truth.neighbors)
+                .all(|(&(gid, gv), &(tid, tv))| gid == tid as u64 && gv.to_bits() == tv.to_bits());
+        if !identical {
+            mismatches += 1;
+            eprintln!("verify query {i}: networked answer diverged from the offline scan");
+        }
+    }
+
+    // Part 2 — the open-loop schedule.
+    let cfg = simpim::net::OpenLoopConfig {
+        connections,
+        total: requests,
+        rate,
+        k,
+        timeout: Duration::from_millis(timeout_ms),
+    };
+    let report = simpim::net::run_open_loop(addr, &cfg, &w.queries).map_err(|e| e.to_string())?;
+
+    // Part 3 — the server's own story, fetched over the wire.
+    let server_stats_json = probe.stats_json().map_err(|e| format!("stats: {e}"))?;
+    let server_stats =
+        Json::parse(&server_stats_json).map_err(|e| format!("parsing server stats: {e}"))?;
+    let flight_dump = probe.flight_dump().map_err(|e| format!("flight: {e}"))?;
+    drop(probe);
+    let flight_path = std::env::var("SIMPIM_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."))
+        .join("BENCH_net_flight.jsonl");
+    if let Err(e) = std::fs::write(&flight_path, &flight_dump) {
+        eprintln!("warning: could not write {}: {e}", flight_path.display());
+    }
+
+    // Cross-wire trace propagation: trace ids this process minted must
+    // reappear in the server's flight recorder.
+    let server_traces: std::collections::HashSet<u64> =
+        simpim::serve::flight::parse_dump(&flight_dump)?
+            .iter()
+            .map(|t| t.trace_id)
+            .collect();
+    let client_traces: std::collections::HashSet<u64> = report.trace_ids.iter().copied().collect();
+    let cross_wire = client_traces.intersection(&server_traces).count();
+
+    let latency_summary = report.latency_ns.summary_json();
+    run.note_stage(
+        "open_loop_wall",
+        report.elapsed.as_nanos() as u64,
+        report.answered,
+        0,
+        0,
+    );
+    run.push_extra(
+        "open_loop",
+        Json::obj([
+            ("answered", Json::Num(report.answered as f64)),
+            ("shed", Json::Num(report.shed as f64)),
+            ("timeouts", Json::Num(report.timeout as f64)),
+            ("failed", Json::Num(report.failed as f64)),
+            (
+                "transport_errors",
+                Json::Num(report.transport_errors as f64),
+            ),
+            ("latency_ns", latency_summary),
+            ("scheduled_rate", Json::Num(report.scheduled_rate)),
+            ("achieved_rate", Json::Num(report.achieved_rate)),
+            ("elapsed_ms", Json::Num(report.elapsed.as_secs_f64() * 1e3)),
+        ]),
+    );
+    run.push_extra("server", server_stats);
+    run.push_extra(
+        "cross_wire",
+        Json::obj([
+            ("client_traces", Json::Num(client_traces.len() as f64)),
+            ("server_traces", Json::Num(server_traces.len() as f64)),
+            ("cross_wire_traces", Json::Num(cross_wire as f64)),
+        ]),
+    );
+    run.push_extra(
+        "verify",
+        Json::obj([
+            ("queries", Json::Num(verify as f64)),
+            ("mismatches", Json::Num(mismatches as f64)),
+        ]),
+    );
+    let slo_report = (slo_p99_us > 0).then(|| {
+        simpim::obs::slo::evaluate_latency(
+            "net_total",
+            0.99,
+            slo_p99_us * 1_000,
+            &report.latency_ns,
+        )
+    });
+    if let Some(r) = &slo_report {
+        use simpim::obs::ToJson;
+        run.push_extra("slo", Json::Arr(vec![r.to_json()]));
+    }
+    let path = run.finish();
+
+    let q = |p: f64| report.latency_ns.quantile(p) as f64 / 1e3;
+    println!(
+        "net-bench against {addr_s} ({} x {} req @ {rate:.0}/s, k = {k}):",
+        connections, requests
+    );
+    println!("  verify: {verify} queries, {mismatches} mismatch(es) vs the offline scan");
+    println!(
+        "  open loop: {}/{} answered, {} shed, {} timed out, {} failed, {} transport error(s)",
+        report.answered,
+        report.total(),
+        report.shed,
+        report.timeout,
+        report.failed,
+        report.transport_errors
+    );
+    println!(
+        "  latency (from scheduled send): p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  ({:.0} req/s achieved)",
+        q(0.5),
+        q(0.95),
+        q(0.99),
+        report.achieved_rate
+    );
+    println!(
+        "  cross-wire traces: {cross_wire} of {} client trace(s) found in the server flight dump -> {}",
+        client_traces.len(),
+        flight_path.display()
+    );
+    if let Some(r) = &slo_report {
+        println!(
+            "  slo: {} -> {} (attainment {:.4}%, budget remaining {:.1}%, burn {:.2}x)",
+            r.objective,
+            if r.attained { "attained" } else { "MISSED" },
+            r.attainment * 100.0,
+            r.budget_remaining * 100.0,
+            r.burn_rate
+        );
+    }
+    println!("  artifact: {}", path.display());
+
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} networked answer(s) diverged from the offline scan"
+        ));
+    }
+    if report.transport_errors > 0 {
+        return Err(format!(
+            "{} transport error(s) during the open-loop run (want zero)",
+            report.transport_errors
+        ));
+    }
+    if report.answered == 0 {
+        return Err("no requests were answered".to_string());
+    }
+    if cross_wire == 0 {
+        return Err(
+            "no client trace id reappeared in the server flight dump — cross-wire trace \
+             propagation is broken"
+                .to_string(),
+        );
+    }
+    if let Some(r) = &slo_report {
+        if !r.attained {
+            return Err(format!(
+                "SLO missed: {} (attainment {:.4}%, {} violation(s) in {} event(s))",
+                r.objective,
+                r.attainment * 100.0,
+                r.violations,
+                r.events
             ));
         }
     }
@@ -891,7 +1221,7 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: simpim <info|knn|kmeans|dbscan|outliers|serve-bench|slo|flight|report> [options]
+    "usage: simpim <info|knn|kmeans|dbscan|outliers|serve-bench|net-serve|net-bench|slo|flight|report> [options]
   info        --data F
   knn         --data F [--query-row 0] [--k 10] [--measure ed|cs|pcc] [--pim]
   kmeans      --data F [--k 8] [--algo lloyd|elkan|drake|yinyang] [--max-iters 25] [--seed 7] [--pim]
@@ -907,6 +1237,18 @@ const USAGE: &str =
               artifact BENCH_serve_slo.json, and fails the run when an objective is missed;
               --flight N retains the N slowest + N anomalous request traces and writes them
               to BENCH_serve_flight.jsonl (default 32)
+  net-serve   [--addr 127.0.0.1:0] [--dataset year] [--shards 2] [--replicas R] [--batch 8]
+              [--flight 32] [--window N] [--ready-file PATH] [--run-seconds 0]
+              serve the engine over TCP (length-prefixed binary frames) until killed;
+              --addr with port 0 binds an ephemeral port, printed and (with --ready-file)
+              written to a file once accepting; --window bounds in-flight requests per
+              connection (default: SIMPIM_NET_WINDOW or 32); --run-seconds N exits after N s
+  net-bench   --addr HOST:PORT [--dataset year] [--connections 4] [--requests 400]
+              [--rate 200] [--k 10] [--timeout-ms 2000] [--verify 8] [--slo-p99-us U]
+              open-loop load generator over pipelined TCP connections; writes BENCH_net.json
+              and BENCH_net_flight.jsonl. Verifies answers bit-identical to the offline scan,
+              requires zero transport errors and >= 1 cross-wire trace in the server flight
+              dump, and fails when the client-measured p99 exceeds --slo-p99-us
   slo         <BENCH_serve*.json> [--p99-us N] [--availability PCT]
               evaluate SLOs from a run artifact (stored reports, or fresh objectives against
               its metrics snapshot); exits non-zero when an objective is missed
@@ -948,6 +1290,8 @@ fn main() -> ExitCode {
             "dbscan" => cmd_dbscan(&args),
             "outliers" => cmd_outliers(&args),
             "serve-bench" => cmd_serve_bench(&args),
+            "net-serve" => cmd_net_serve(&args),
+            "net-bench" => cmd_net_bench(&args),
             other => Err(format!("unknown command {other:?}\n{USAGE}")),
         };
         if tracing {

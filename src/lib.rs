@@ -30,6 +30,9 @@
 //! * [`serve`] — the online query-serving engine: sharded resident
 //!   datasets, batch-coalescing scheduler, online insert/delete with
 //!   wear-aware reprogramming (see DESIGN.md §9).
+//! * [`net`] — the dependency-free TCP RPC front-end: length-prefixed
+//!   binary frames, a pipelined client, open-loop load generation with
+//!   tail-latency SLO gating (see DESIGN.md §13).
 //! * [`mod@bench`] — shared experiment-harness infrastructure (scaled
 //!   workloads, run artifacts).
 //!
@@ -41,6 +44,7 @@ pub use simpim_bounds as bounds;
 pub use simpim_core as core;
 pub use simpim_datasets as datasets;
 pub use simpim_mining as mining;
+pub use simpim_net as net;
 pub use simpim_obs as obs;
 pub use simpim_par as par;
 pub use simpim_profiling as profiling;

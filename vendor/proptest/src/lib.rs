@@ -3,7 +3,9 @@
 //! The build container cannot reach a crates registry, so this crate
 //! implements the subset of the proptest API the workspace's property
 //! tests use: the `Strategy` trait over numeric ranges, tuples,
-//! `prop::collection::vec`, `prop::sample::select`, `prop_flat_map`, the
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()` for the
+//! primitive types, `prop::num::f32/f64::ANY` (arbitrary bit patterns,
+//! NaNs included), the `prop_oneof!` union macro, `prop_flat_map`, the
 //! `proptest!` test-generating macro, `ProptestConfig::with_cases`, and
 //! the `prop_assert*` macros. Generation is plain deterministic sampling
 //! (no shrinking): each case derives its inputs from a splitmix64 stream
@@ -128,6 +130,88 @@ where
     fn generate(&self, rng: &mut TestRng) -> T {
         (self.f)(self.base.generate(rng))
     }
+}
+
+/// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// Arbitrary *bit patterns* — NaNs, infinities, and subnormals included —
+// which is what codec round-trip tests want.
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// The strategy returned by [`any()`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — any value of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A uniform choice between same-typed strategies (the desugaring of
+/// [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! over zero strategies");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.usize_in(0, self.options.len() - 1);
+        self.options[pick].generate(rng)
+    }
+}
+
+/// `prop_oneof![a, b, c]` — uniform choice between strategies producing
+/// the same value type. (Weighted arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
 }
 
 /// A constant strategy (proptest's `Just`).
@@ -264,6 +348,40 @@ pub mod prop {
         }
     }
 
+    pub mod num {
+        /// `prop::num::f64::ANY` — arbitrary `f64` bit patterns.
+        pub mod f64 {
+            use crate::{Strategy, TestRng};
+
+            pub struct AnyF64;
+
+            impl Strategy for AnyF64 {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+
+            pub const ANY: AnyF64 = AnyF64;
+        }
+
+        /// `prop::num::f32::ANY` — arbitrary `f32` bit patterns.
+        pub mod f32 {
+            use crate::{Strategy, TestRng};
+
+            pub struct AnyF32;
+
+            impl Strategy for AnyF32 {
+                type Value = f32;
+                fn generate(&self, rng: &mut TestRng) -> f32 {
+                    f32::from_bits(rng.next_u64() as u32)
+                }
+            }
+
+            pub const ANY: AnyF32 = AnyF32;
+        }
+    }
+
     pub mod sample {
         use crate::{Strategy, TestRng};
 
@@ -306,7 +424,8 @@ impl ProptestConfig {
 
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Arbitrary, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy};
 }
 
