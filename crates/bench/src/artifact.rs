@@ -22,16 +22,25 @@ pub struct BenchRun {
 
 impl BenchRun {
     /// Starts a run: resets the metrics registry (so the artifact's
-    /// snapshot covers exactly this binary) and stamps the git revision
-    /// plus the harness scale configuration.
+    /// snapshot covers exactly this binary) and stamps the git revision,
+    /// the harness scale configuration, and the active SIMD kernel
+    /// backend (so cross-PR latency/throughput comparisons are
+    /// attributable to the kernels that actually ran).
     pub fn start(name: &str) -> Self {
         simpim_obs::metrics::reset();
+        // Re-publish the backend gauge after the reset so the artifact's
+        // metrics snapshot carries `simpim.kern.backend`.
+        simpim_kern::publish_metrics();
         let mut artifact = RunArtifact::new(name);
         artifact.git = git_describe();
         artifact.config = Json::obj([
             ("scale", Json::Num(env_scale())),
             ("queries", Json::Num(crate::QUERIES as f64)),
             ("min_n", Json::Num(crate::MIN_N as f64)),
+            (
+                "kernel_backend",
+                Json::Str(simpim_kern::backend_name().to_string()),
+            ),
         ]);
         Self {
             artifact,

@@ -1,0 +1,305 @@
+//! kernel_sweep — per-backend SIMD kernel trajectory on the fixed
+//! Fig. 13 shape (DESIGN.md §14).
+//!
+//! For every kernel backend the running CPU supports (always `scalar`;
+//! `sse2`/`avx2` on x86_64, `neon` on aarch64), pinned via
+//! `simpim_kern::with_backend`, the sweep measures:
+//!
+//! * **per-kernel ns/element** for the six dispatched kernels (f64
+//!   dot / norm_sq / fused dot+norm / squared Euclidean over the MSD
+//!   workload's rows, u64 XOR- and AND-popcount MACs over packed words),
+//!   best-of-several passes so a preempted pass doesn't pollute the
+//!   trajectory;
+//! * **end-to-end kNN throughput**: Standard-PIM kNN (`knn_pim_ed`)
+//!   over the workload's queries — the path that exercises both the f64
+//!   refinement kernels and the crossbar's AND-popcount MAC;
+//! * an **FNV-1a result hash** covering every kernel output bit and
+//!   every neighbor (index, distance bits). The binary aborts unless all
+//!   backends produce the *same* hash (the bit-identity contract), and
+//!   unless the hash is invariant across 1 and 4 `simpim-par` workers.
+//!
+//! The artifact (`BENCH_kernels.json`) stamps each backend's numbers and
+//! its speedup over forced-scalar, seeding the per-PR BENCH trajectory
+//! the ROADMAP gates on (`simpim report --assert-no-regress`). CI runs
+//! the sweep under `SIMPIM_KERNEL=scalar` and `=auto` and diffs the
+//! hashes; it also fails if the detected backend on an x86_64 runner is
+//! `scalar` (the vectorized tiers went missing).
+
+use std::time::Instant;
+
+use simpim_bench::{fmt_x, load, prepare_executor, print_table, BenchRun, Workload, QUERIES};
+use simpim_bounds::BoundCascade;
+use simpim_core::executor::PimExecutor;
+use simpim_datasets::PaperDataset;
+use simpim_kern::{self as kern, Backend};
+use simpim_obs::Json;
+use simpim_par as par;
+
+const K: usize = 10;
+/// Packed words per popcount-MAC operand (≈ a 2.1 Mbit LSH code stripe).
+const POPCOUNT_WORDS: usize = 32_768;
+/// Minimum measurement budget per kernel per backend.
+const MIN_PASSES: usize = 5;
+const MAX_PASSES: usize = 200;
+const BUDGET_NS: u64 = 40_000_000;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `pass` repeatedly (best-of, fixed budget) and returns
+/// (ns per element, hash of the first pass's outputs).
+fn measure(elems_per_pass: usize, mut pass: impl FnMut() -> u64) -> (f64, u64) {
+    let hash = pass(); // warmup + hashed outputs
+    let mut best = u64::MAX;
+    let mut spent = 0u64;
+    let mut runs = 0usize;
+    while (runs < MIN_PASSES || spent < BUDGET_NS) && runs < MAX_PASSES {
+        let t0 = Instant::now();
+        std::hint::black_box(pass());
+        let ns = t0.elapsed().as_nanos() as u64;
+        best = best.min(ns);
+        spent += ns;
+        runs += 1;
+    }
+    (best as f64 / elems_per_pass.max(1) as f64, hash)
+}
+
+/// Deterministic xorshift64* word stream for the popcount operands.
+fn words(len: usize, mut seed: u64) -> Vec<u64> {
+    (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        })
+        .collect()
+}
+
+/// Per-backend measurements, in `BACKENDS` order.
+struct Row {
+    name: &'static str,
+    dot_ns: f64,
+    norm_ns: f64,
+    fused_ns: f64,
+    euclid_ns: f64,
+    xorpop_ns: f64,
+    andpop_ns: f64,
+    knn_wall_ms: f64,
+    knn_qps: f64,
+    hash: u64,
+}
+
+/// One timed kNN pass over the workload; returns (hash, wall ns).
+fn knn_pass(exec: &mut PimExecutor, w: &Workload) -> (u64, u64) {
+    use simpim_mining::knn::pim::knn_pim_ed;
+    let t0 = Instant::now();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for q in &w.queries {
+        let res = knn_pim_ed(exec, &w.data, &BoundCascade::empty(), q, K).expect("prepared");
+        for (i, v) in &res.neighbors {
+            h = fnv1a(h, &(*i as u64).to_le_bytes());
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+    }
+    (h, t0.elapsed().as_nanos() as u64)
+}
+
+fn sweep_backend(b: Backend, w: &Workload, wa: &[u64], wb: &[u64]) -> Row {
+    kern::with_backend(b, || {
+        let n = w.data.len();
+        let d = w.data.dim();
+        let q0 = &w.queries[0];
+        let f64_elems = n * d;
+
+        let hash_all = |f: &dyn Fn(&[f64]) -> u64| -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for i in 0..n {
+                h = fnv1a(h, &f(w.data.row(i)).to_le_bytes());
+            }
+            h
+        };
+
+        let (dot_ns, h_dot) = measure(f64_elems, || hash_all(&|r| kern::dot(r, q0).to_bits()));
+        let (norm_ns, h_norm) = measure(f64_elems, || hash_all(&|r| kern::norm_sq(r).to_bits()));
+        let (fused_ns, h_fused) = measure(f64_elems, || {
+            hash_all(&|r| {
+                let (dp, nr) = kern::dot_norm_sq(r, q0);
+                dp.to_bits() ^ nr.to_bits().rotate_left(17)
+            })
+        });
+        let (euclid_ns, h_euclid) = measure(f64_elems, || {
+            hash_all(&|r| kern::euclidean_sq(r, q0).to_bits())
+        });
+        let (xorpop_ns, h_xor) = measure(POPCOUNT_WORDS, || kern::xor_popcount(wa, wb));
+        let (andpop_ns, h_and) = measure(POPCOUNT_WORDS, || kern::and_popcount(wa, wb));
+
+        // End-to-end Standard-PIM kNN: timed at ambient workers, then
+        // re-run pinned to 1 and 4 workers — all three hashes must match
+        // (kernels compose with simpim-par chunking bit-identically).
+        let mut exec = prepare_executor(&w.data).expect("fits");
+        let (h_knn, knn_ns) = knn_pass(&mut exec, w);
+        let (h_1t, _) = par::with_threads(1, || knn_pass(&mut exec, w));
+        let (h_4t, _) = par::with_threads(4, || knn_pass(&mut exec, w));
+        assert_eq!(h_knn, h_1t, "{}: kNN diverged at 1 worker", b.name());
+        assert_eq!(h_knn, h_4t, "{}: kNN diverged at 4 workers", b.name());
+
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for part in [h_dot, h_norm, h_fused, h_euclid, h_xor, h_and, h_knn] {
+            hash = fnv1a(hash, &part.to_le_bytes());
+        }
+        let knn_s = knn_ns as f64 / 1e9;
+        Row {
+            name: b.name(),
+            dot_ns,
+            norm_ns,
+            fused_ns,
+            euclid_ns,
+            xorpop_ns,
+            andpop_ns,
+            knn_wall_ms: knn_ns as f64 / 1e6,
+            knn_qps: w.queries.len() as f64 / knn_s.max(1e-12),
+            hash,
+        }
+    })
+}
+
+fn main() {
+    let mut run = BenchRun::start("kernels");
+    let w = load(PaperDataset::Msd);
+    run.set_dataset(&w.dataset.spec());
+    run.config_entry("k", Json::Num(K as f64));
+    run.config_entry("popcount_words", Json::Num(POPCOUNT_WORDS as f64));
+
+    let detected = kern::detected_backend();
+    let active = kern::backend();
+    let wa = words(POPCOUNT_WORDS, 0x9e37_79b9_7f4a_7c15);
+    let wb = words(POPCOUNT_WORDS, 0xd1b5_4a32_d192_ed03);
+
+    let tiers: Vec<Backend> = Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect();
+    let rows: Vec<Row> = tiers
+        .iter()
+        .map(|&b| sweep_backend(b, &w, &wa, &wb))
+        .collect();
+
+    let scalar = &rows[0];
+    assert_eq!(scalar.name, "scalar");
+    for r in &rows[1..] {
+        assert_eq!(
+            r.hash, scalar.hash,
+            "backend '{}' is not bit-identical to scalar",
+            r.name
+        );
+    }
+    let hash = scalar.hash;
+
+    print_table(
+        &format!(
+            "kernel_sweep: MSD-shaped fig13 (n={}, d={}, k={K}, {} queries, detected={}, active={})",
+            w.data.len(),
+            w.data.dim(),
+            QUERIES,
+            detected.name(),
+            active.name()
+        ),
+        &[
+            "backend", "dot", "norm", "fused", "euclid", "xorpop", "andpop", "knn qps", "vs scalar",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.into(),
+                    format!("{:.3}", r.dot_ns),
+                    format!("{:.3}", r.norm_ns),
+                    format!("{:.3}", r.fused_ns),
+                    format!("{:.3}", r.euclid_ns),
+                    format!("{:.3}", r.xorpop_ns),
+                    format!("{:.3}", r.andpop_ns),
+                    format!("{:.0}", r.knn_qps),
+                    fmt_x(scalar.dot_ns / r.dot_ns.max(1e-12)),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "result hash {hash:016x} identical across {} backends and 1|4|ambient workers \
+         (ns/element columns; popcount per u64 word)",
+        rows.len()
+    );
+
+    let backends_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("name", Json::Str(r.name.into())),
+                ("dot_ns_per_elem", Json::Num(r.dot_ns)),
+                ("norm_sq_ns_per_elem", Json::Num(r.norm_ns)),
+                ("dot_norm_sq_ns_per_elem", Json::Num(r.fused_ns)),
+                ("euclidean_sq_ns_per_elem", Json::Num(r.euclid_ns)),
+                ("xor_popcount_ns_per_word", Json::Num(r.xorpop_ns)),
+                ("and_popcount_ns_per_word", Json::Num(r.andpop_ns)),
+                ("knn_wall_ms", Json::Num(r.knn_wall_ms)),
+                ("knn_qps", Json::Num(r.knn_qps)),
+                (
+                    "speedup_dot",
+                    Json::Num(scalar.dot_ns / r.dot_ns.max(1e-12)),
+                ),
+                (
+                    "speedup_euclidean",
+                    Json::Num(scalar.euclid_ns / r.euclid_ns.max(1e-12)),
+                ),
+                (
+                    "speedup_xor_popcount",
+                    Json::Num(scalar.xorpop_ns / r.xorpop_ns.max(1e-12)),
+                ),
+                (
+                    "speedup_knn",
+                    Json::Num(r.knn_qps / scalar.knn_qps.max(1e-12)),
+                ),
+            ])
+        })
+        .collect();
+
+    // The active backend's end-to-end throughput is the headline metric
+    // future PRs gate on with `--assert-no-regress`.
+    let active_row = rows
+        .iter()
+        .find(|r| r.name == active.name())
+        .unwrap_or(scalar);
+    run.push_extra(
+        "kernels",
+        Json::obj([
+            ("detected", Json::Str(detected.name().into())),
+            ("active", Json::Str(active.name().into())),
+            ("result_hash", Json::Str(format!("{hash:016x}"))),
+            ("threads_invariant", Json::Bool(true)),
+            ("knn_qps", Json::Num(active_row.knn_qps)),
+            (
+                "speedup_dot",
+                Json::Num(scalar.dot_ns / active_row.dot_ns.max(1e-12)),
+            ),
+            (
+                "speedup_xor_popcount",
+                Json::Num(scalar.xorpop_ns / active_row.xorpop_ns.max(1e-12)),
+            ),
+            ("backends", Json::Arr(backends_json)),
+        ]),
+    );
+    run.note_stage(
+        "kernel_sweep/knn_active",
+        (active_row.knn_wall_ms * 1e6) as u64,
+        w.queries.len() as u64,
+        0,
+        0,
+    );
+    run.finish();
+}

@@ -1,0 +1,572 @@
+//! Runtime-dispatched SIMD distance kernels.
+//!
+//! The paper's speedups come from wide in-situ MACs; a credible host
+//! baseline has to be vectorized too, or every reported PIM speedup is
+//! inflated. This crate owns the workspace's distance inner loops — f64
+//! `dot` / `norm_sq` / fused dot+norm / squared Euclidean, and the packed
+//! u64 popcount MACs behind Hamming distance and the bit-sliced crossbar
+//! model — as a [`KernelBackend`] vtable selected **once** at startup:
+//!
+//! * `x86_64`: AVX2 (4×f64 per register, Mula `pshufb` popcount) when
+//!   `is_x86_feature_detected!("avx2")`, else SSE2 (baseline, two 2-wide
+//!   registers; hardware `popcnt` when detected).
+//! * `aarch64`: NEON when `is_aarch64_feature_detected!("neon")`.
+//! * everything else: the portable chunked [`scalar`] kernels.
+//!
+//! **Bit-identity is the contract.** Every backend reproduces the scalar
+//! kernels' exact operation sequence: 4 accumulator lanes over 4-element
+//! blocks, per-lane `mul` then `add` (never FMA), the `(l0+l1)+(l2+l3)`
+//! fold, and one shared serial tail ([`scalar::fold_tail`]). Packed IEEE
+//! ops have identical per-lane semantics to their scalar forms — NaN
+//! payloads, signed zeros and subnormals included — so a dispatched
+//! result is the same *bits* as the scalar result, which in turn keeps
+//! results invariant across machines, thread counts (`simpim-par` chunks
+//! never change), and `SIMPIM_KERNEL` settings. The proptest suite in
+//! `tests/kernels.rs` enforces this.
+//!
+//! Selection order: [`set_backend_override`] / [`with_backend`] (tests,
+//! benches) > the `SIMPIM_KERNEL` environment variable
+//! (`auto|scalar|sse2|avx2|neon`) > best detected. A forced backend the
+//! CPU cannot run degrades to `scalar` with a warning rather than
+//! faulting. The active backend is exported as the
+//! `simpim.kern.backend` gauge (via [`publish_metrics`]) and recorded in
+//! every `BENCH_*.json` artifact's config section.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+pub mod scalar;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Re-export of the canonical lane count (4) of the chunked layout.
+pub use scalar::LANES;
+
+/// Identifies one kernel backend tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable chunked Rust — the reference, available everywhere.
+    Scalar,
+    /// x86_64 baseline: two 2×f64 registers per lane set (+ `popcnt`
+    /// MACs when the CPU has the instruction).
+    Sse2,
+    /// x86_64 AVX2: one 4×f64 register per lane set, `pshufb` popcount.
+    Avx2,
+    /// aarch64 NEON: two 2×f64 registers, `cnt`/`addlv` popcount.
+    Neon,
+}
+
+impl Backend {
+    /// All tiers, in ascending capability order.
+    pub const ALL: [Backend; 4] = [Backend::Scalar, Backend::Sse2, Backend::Avx2, Backend::Neon];
+
+    /// Stable lowercase name, as accepted by `SIMPIM_KERNEL` and stamped
+    /// into artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Numeric code for the `simpim.kern.backend` gauge (scalar=0,
+    /// sse2=1, avx2=2, neon=3).
+    pub fn code(self) -> u8 {
+        match self {
+            Backend::Scalar => 0,
+            Backend::Sse2 => 1,
+            Backend::Avx2 => 2,
+            Backend::Neon => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Backend {
+        match code {
+            1 => Backend::Sse2,
+            2 => Backend::Avx2,
+            3 => Backend::Neon,
+            _ => Backend::Scalar,
+        }
+    }
+
+    /// Parses a `SIMPIM_KERNEL` value. `Some(None)` means `auto`
+    /// (detect), `None` means unrecognized.
+    pub fn parse(s: &str) -> Option<Option<Backend>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => Some(None),
+            "scalar" => Some(Some(Backend::Scalar)),
+            "sse2" => Some(Some(Backend::Sse2)),
+            "avx2" => Some(Some(Backend::Avx2)),
+            "neon" => Some(Some(Backend::Neon)),
+            _ => None,
+        }
+    }
+
+    /// `true` when the running CPU can execute this tier.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 => is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+/// The dispatched kernel table: plain function pointers, one indirect
+/// call per kernel invocation, resolved once per backend.
+#[derive(Clone, Copy)]
+pub struct KernelBackend {
+    /// Which tier these pointers implement.
+    pub backend: Backend,
+    /// Dot product `Σ aᵢ·bᵢ`.
+    pub dot: fn(&[f64], &[f64]) -> f64,
+    /// Squared L2 norm `Σ xᵢ²`.
+    pub norm_sq: fn(&[f64]) -> f64,
+    /// Fused `(dot(a, b), norm_sq(a))` in one pass over `a`.
+    pub dot_norm_sq: fn(&[f64], &[f64]) -> (f64, f64),
+    /// Squared Euclidean distance `Σ (pᵢ − qᵢ)²`.
+    pub euclidean_sq: fn(&[f64], &[f64]) -> f64,
+    /// Hamming MAC `Σ popcount(aᵢ XOR bᵢ)` over packed u64 words.
+    pub xor_popcount: fn(&[u64], &[u64]) -> u64,
+    /// Bit-serial MAC `Σ popcount(aᵢ AND bᵢ)` over packed u64 words.
+    pub and_popcount: fn(&[u64], &[u64]) -> u64,
+}
+
+impl std::fmt::Debug for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelBackend")
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+const SCALAR_TABLE: KernelBackend = KernelBackend {
+    backend: Backend::Scalar,
+    dot: scalar::dot,
+    norm_sq: scalar::norm_sq,
+    dot_norm_sq: scalar::dot_norm_sq,
+    euclidean_sq: scalar::euclidean_sq,
+    xor_popcount: scalar::xor_popcount,
+    and_popcount: scalar::and_popcount,
+};
+
+// Safe trampolines: each is installed in a table only after the matching
+// CPU feature was detected, which is exactly the precondition the
+// `unsafe` target-feature functions document.
+#[cfg(target_arch = "x86_64")]
+mod x86_dispatch {
+    use super::x86;
+
+    macro_rules! trampoline {
+        ($name:ident, $path:path, ($($arg:ident: $ty:ty),+) -> $ret:ty) => {
+            pub fn $name($($arg: $ty),+) -> $ret {
+                // Safety: installed only after feature detection.
+                unsafe { $path($($arg),+) }
+            }
+        };
+    }
+
+    trampoline!(dot_avx2, x86::avx2::dot, (a: &[f64], b: &[f64]) -> f64);
+    trampoline!(norm_sq_avx2, x86::avx2::norm_sq, (xs: &[f64]) -> f64);
+    trampoline!(dot_norm_sq_avx2, x86::avx2::dot_norm_sq, (a: &[f64], b: &[f64]) -> (f64, f64));
+    trampoline!(euclidean_sq_avx2, x86::avx2::euclidean_sq, (p: &[f64], q: &[f64]) -> f64);
+    trampoline!(xor_popcount_avx2, x86::avx2::xor_popcount, (a: &[u64], b: &[u64]) -> u64);
+    trampoline!(and_popcount_avx2, x86::avx2::and_popcount, (a: &[u64], b: &[u64]) -> u64);
+
+    trampoline!(dot_sse2, x86::sse2::dot, (a: &[f64], b: &[f64]) -> f64);
+    trampoline!(norm_sq_sse2, x86::sse2::norm_sq, (xs: &[f64]) -> f64);
+    trampoline!(dot_norm_sq_sse2, x86::sse2::dot_norm_sq, (a: &[f64], b: &[f64]) -> (f64, f64));
+    trampoline!(euclidean_sq_sse2, x86::sse2::euclidean_sq, (p: &[f64], q: &[f64]) -> f64);
+    trampoline!(xor_popcount_popcnt, x86::xor_popcount_popcnt, (a: &[u64], b: &[u64]) -> u64);
+    trampoline!(and_popcount_popcnt, x86::and_popcount_popcnt, (a: &[u64], b: &[u64]) -> u64);
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon_dispatch {
+    use super::neon;
+
+    macro_rules! trampoline {
+        ($name:ident, $path:path, ($($arg:ident: $ty:ty),+) -> $ret:ty) => {
+            pub fn $name($($arg: $ty),+) -> $ret {
+                // Safety: installed only after feature detection.
+                unsafe { $path($($arg),+) }
+            }
+        };
+    }
+
+    trampoline!(dot, neon::dot, (a: &[f64], b: &[f64]) -> f64);
+    trampoline!(norm_sq, neon::norm_sq, (xs: &[f64]) -> f64);
+    trampoline!(dot_norm_sq, neon::dot_norm_sq, (a: &[f64], b: &[f64]) -> (f64, f64));
+    trampoline!(euclidean_sq, neon::euclidean_sq, (p: &[f64], q: &[f64]) -> f64);
+    trampoline!(xor_popcount, neon::xor_popcount, (a: &[u64], b: &[u64]) -> u64);
+    trampoline!(and_popcount, neon::and_popcount, (a: &[u64], b: &[u64]) -> u64);
+}
+
+/// Builds the vtable for a tier the running CPU supports.
+fn table(b: Backend) -> KernelBackend {
+    match b {
+        Backend::Scalar => SCALAR_TABLE,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => {
+            // `popcnt` postdates SSE2 silicon; detect it independently so
+            // the mid tier still gets hardware popcount where available.
+            let hw_popcnt = is_x86_feature_detected!("popcnt");
+            KernelBackend {
+                backend: Backend::Sse2,
+                dot: x86_dispatch::dot_sse2,
+                norm_sq: x86_dispatch::norm_sq_sse2,
+                dot_norm_sq: x86_dispatch::dot_norm_sq_sse2,
+                euclidean_sq: x86_dispatch::euclidean_sq_sse2,
+                xor_popcount: if hw_popcnt {
+                    x86_dispatch::xor_popcount_popcnt
+                } else {
+                    scalar::xor_popcount
+                },
+                and_popcount: if hw_popcnt {
+                    x86_dispatch::and_popcount_popcnt
+                } else {
+                    scalar::and_popcount
+                },
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => KernelBackend {
+            backend: Backend::Avx2,
+            dot: x86_dispatch::dot_avx2,
+            norm_sq: x86_dispatch::norm_sq_avx2,
+            dot_norm_sq: x86_dispatch::dot_norm_sq_avx2,
+            euclidean_sq: x86_dispatch::euclidean_sq_avx2,
+            xor_popcount: x86_dispatch::xor_popcount_avx2,
+            and_popcount: x86_dispatch::and_popcount_avx2,
+        },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => KernelBackend {
+            backend: Backend::Neon,
+            dot: neon_dispatch::dot,
+            norm_sq: neon_dispatch::norm_sq,
+            dot_norm_sq: neon_dispatch::dot_norm_sq,
+            euclidean_sq: neon_dispatch::euclidean_sq,
+            xor_popcount: neon_dispatch::xor_popcount,
+            and_popcount: neon_dispatch::and_popcount,
+        },
+        #[allow(unreachable_patterns)]
+        _ => SCALAR_TABLE,
+    }
+}
+
+/// Best tier the running CPU supports, ignoring overrides.
+pub fn detected_backend() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return Backend::Avx2;
+        }
+        if is_x86_feature_detected!("sse2") {
+            return Backend::Sse2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Backend::Neon;
+        }
+    }
+    Backend::Scalar
+}
+
+/// 0 = no override; otherwise `backend.code() + 1`.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static WARNED: AtomicBool = AtomicBool::new(false);
+
+fn warn_once(msg: &str) {
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("warning: simpim-kern: {msg}");
+    }
+}
+
+/// Clamps a requested tier to something the CPU can run. An unsupported
+/// request degrades to `scalar` (always correct, and the honest answer
+/// when the caller explicitly asked to leave `auto`).
+fn normalize(b: Backend, origin: &str) -> Backend {
+    if b.is_supported() {
+        b
+    } else {
+        warn_once(&format!(
+            "{origin} requested backend '{}' which this CPU cannot run; using 'scalar'",
+            b.name()
+        ));
+        Backend::Scalar
+    }
+}
+
+fn env_default() -> Backend {
+    static ENV: OnceLock<Backend> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("SIMPIM_KERNEL") {
+        Err(_) => detected_backend(),
+        Ok(v) => match Backend::parse(&v) {
+            Some(None) => detected_backend(),
+            Some(Some(b)) => normalize(b, "SIMPIM_KERNEL"),
+            None => {
+                warn_once(&format!(
+                    "SIMPIM_KERNEL='{v}' is not one of auto|scalar|sse2|avx2|neon; using auto"
+                ));
+                detected_backend()
+            }
+        },
+    })
+}
+
+/// The backend every dispatched kernel call uses right now.
+///
+/// Priority: [`set_backend_override`] > `SIMPIM_KERNEL` > best detected.
+pub fn backend() -> Backend {
+    let ovr = BACKEND_OVERRIDE.load(Ordering::Relaxed);
+    if ovr != 0 {
+        return Backend::from_code(ovr - 1);
+    }
+    env_default()
+}
+
+/// Stable name of the active backend (`scalar|sse2|avx2|neon`), as
+/// stamped into artifact config sections.
+pub fn backend_name() -> &'static str {
+    backend().name()
+}
+
+/// Programmatically pins the backend (`None` restores `SIMPIM_KERNEL` /
+/// auto-detection). Unsupported tiers degrade to `scalar` with a
+/// warning. Used by the bit-identity proptests and `kernel_sweep` to
+/// compare tiers within one process without racing on the environment —
+/// callers serialize exactly as they do for
+/// `simpim_par::set_thread_override`.
+pub fn set_backend_override(b: Option<Backend>) {
+    let code = match b {
+        None => 0,
+        Some(b) => normalize(b, "override").code() + 1,
+    };
+    BACKEND_OVERRIDE.store(code, Ordering::Relaxed);
+}
+
+/// Runs `f` with the backend pinned to `b` (clamped to a supported
+/// tier), restoring the previous override afterwards — even on panic,
+/// via a drop guard.
+pub fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BACKEND_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let code = normalize(b, "override").code() + 1;
+    let _guard = Restore(BACKEND_OVERRIDE.swap(code, Ordering::Relaxed));
+    f()
+}
+
+/// The active vtable. Tables are built once per tier and cached.
+pub fn kernels() -> &'static KernelBackend {
+    static TABLES: [OnceLock<KernelBackend>; 4] = [const { OnceLock::new() }; 4];
+    let b = backend();
+    TABLES[b.code() as usize].get_or_init(|| table(b))
+}
+
+/// Exports the active backend as the `simpim.kern.backend` gauge
+/// (scalar=0, sse2=1, avx2=2, neon=3). Bench harnesses call this right
+/// after resetting the metrics registry so the artifact snapshot carries
+/// the backend that actually ran.
+pub fn publish_metrics() {
+    simpim_obs::metrics::gauge_set("simpim.kern.backend", f64::from(backend().code()));
+}
+
+/// Dispatched dot product `Σ aᵢ·bᵢ` — bit-identical to
+/// [`scalar::dot`] on every backend.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    (kernels().dot)(a, b)
+}
+
+/// Dispatched squared L2 norm `Σ xᵢ²` — bit-identical to
+/// [`scalar::norm_sq`] on every backend.
+#[inline]
+pub fn norm_sq(xs: &[f64]) -> f64 {
+    (kernels().norm_sq)(xs)
+}
+
+/// Dispatched fused `(dot(a, b), norm_sq(a))` — bit-identical to
+/// `(dot(a, b), norm_sq(a))` on every backend.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn dot_norm_sq(a: &[f64], b: &[f64]) -> (f64, f64) {
+    (kernels().dot_norm_sq)(a, b)
+}
+
+/// Dispatched squared Euclidean distance `Σ (pᵢ − qᵢ)²` — bit-identical
+/// to [`scalar::euclidean_sq`] on every backend.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn euclidean_sq(p: &[f64], q: &[f64]) -> f64 {
+    (kernels().euclidean_sq)(p, q)
+}
+
+/// Dispatched Hamming MAC `Σ popcount(aᵢ XOR bᵢ)` — exact on every
+/// backend.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    (kernels().xor_popcount)(a, b)
+}
+
+/// Dispatched bit-serial MAC `Σ popcount(aᵢ AND bᵢ)` — exact on every
+/// backend.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    (kernels().and_popcount)(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The override is process-global; tests that touch it serialize.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn vecs(len: usize) -> (Vec<f64>, Vec<f64>) {
+        let a = (0..len).map(|i| (i as f64).sin() * 3.7 - 1.0).collect();
+        let b = (0..len).map(|i| (i as f64).cos() * 2.3 + 0.5).collect();
+        (a, b)
+    }
+
+    fn words(len: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (
+            (0..len).map(|_| next()).collect(),
+            (0..len).map(|_| next()).collect(),
+        )
+    }
+
+    #[test]
+    fn every_supported_backend_is_bit_identical_to_scalar() {
+        let _g = test_lock();
+        for b in Backend::ALL {
+            if !b.is_supported() {
+                continue;
+            }
+            with_backend(b, || {
+                assert_eq!(backend(), b);
+                for len in 0..=4 * LANES + 3 {
+                    let (x, y) = vecs(len);
+                    let (w, v) = words(len);
+                    assert_eq!(dot(&x, &y).to_bits(), scalar::dot(&x, &y).to_bits());
+                    assert_eq!(norm_sq(&x).to_bits(), scalar::norm_sq(&x).to_bits());
+                    let (d, n) = dot_norm_sq(&x, &y);
+                    assert_eq!(d.to_bits(), scalar::dot(&x, &y).to_bits());
+                    assert_eq!(n.to_bits(), scalar::norm_sq(&x).to_bits());
+                    assert_eq!(
+                        euclidean_sq(&x, &y).to_bits(),
+                        scalar::euclidean_sq(&x, &y).to_bits()
+                    );
+                    assert_eq!(xor_popcount(&w, &v), scalar::xor_popcount(&w, &v));
+                    assert_eq!(and_popcount(&w, &v), scalar::and_popcount(&w, &v));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn override_wins_and_restores() {
+        let _g = test_lock();
+        let ambient = backend();
+        let inside = with_backend(Backend::Scalar, backend);
+        assert_eq!(inside, Backend::Scalar);
+        assert_eq!(backend(), ambient);
+        set_backend_override(Some(Backend::Scalar));
+        assert_eq!(backend(), Backend::Scalar);
+        set_backend_override(None);
+        assert_eq!(backend(), ambient);
+    }
+
+    #[test]
+    fn parse_accepts_all_names() {
+        assert_eq!(Backend::parse("auto"), Some(None));
+        assert_eq!(Backend::parse(""), Some(None));
+        assert_eq!(Backend::parse(" AVX2 "), Some(Some(Backend::Avx2)));
+        assert_eq!(Backend::parse("scalar"), Some(Some(Backend::Scalar)));
+        assert_eq!(Backend::parse("sse2"), Some(Some(Backend::Sse2)));
+        assert_eq!(Backend::parse("neon"), Some(Some(Backend::Neon)));
+        assert_eq!(Backend::parse("mmx"), None);
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.name()), Some(Some(b)));
+            assert_eq!(Backend::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn detected_backend_is_supported_and_tables_match() {
+        let _g = test_lock();
+        let b = detected_backend();
+        assert!(b.is_supported());
+        with_backend(b, || {
+            assert_eq!(kernels().backend, b);
+        });
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(b, Backend::Scalar, "x86_64 always has at least SSE2");
+    }
+
+    #[test]
+    fn unsupported_override_degrades_to_scalar() {
+        let _g = test_lock();
+        // NEON can never be supported on x86_64 and vice versa; on other
+        // arches every SIMD tier is unsupported. Pick a tier that is
+        // foreign everywhere this test can run.
+        #[cfg(target_arch = "x86_64")]
+        let foreign = Backend::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let foreign = Backend::Avx2;
+        with_backend(foreign, || {
+            assert_eq!(backend(), Backend::Scalar);
+        });
+    }
+
+    #[test]
+    fn metrics_gauge_reports_backend_code() {
+        let _g = test_lock();
+        with_backend(Backend::Scalar, || {
+            simpim_obs::metrics::reset();
+            publish_metrics();
+            let snap = simpim_obs::metrics::snapshot();
+            assert_eq!(snap.gauge("simpim.kern.backend"), Some(0.0));
+        });
+    }
+}

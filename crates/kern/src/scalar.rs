@@ -1,0 +1,188 @@
+//! Portable chunked reference kernels.
+//!
+//! These are the workspace's canonical distance kernels, moved here from
+//! `simpim-similarity` so that one implementation serves as both the
+//! universal fallback backend and the ground truth every SIMD backend is
+//! proven bit-identical against. The accumulation layout is fixed:
+//! [`LANES`] (4) independent lanes over 4-element blocks, lanes folded as
+//! `(l0 + l1) + (l2 + l3)`, then the ragged tail folded serially in
+//! element order through the single [`fold_tail`] helper. A SIMD backend
+//! reproduces exactly this sequence of IEEE-754 operations per lane, so
+//! its results are bit-identical — not merely ULP-close. (Sole caveat:
+//! NaN *payloads* are outside the contract — Rust documents NaN bit
+//! patterns as non-deterministic, so a reduction over several distinct
+//! NaNs guarantees NaN ⇔ NaN, not which payload wins.)
+
+/// Independent accumulator lanes of the chunked kernels. Four lanes break
+/// the loop-carried add dependency and map one-to-one onto a 4×f64 AVX2
+/// register (or two 2×f64 SSE2/NEON registers).
+pub const LANES: usize = 4;
+
+/// Folds the ragged tail (the `len % LANES` elements past the last full
+/// block) into `acc` serially, in element order: `acc += f(aᵢ, bᵢ)`.
+///
+/// Both the scalar and the SIMD backends finish through this one helper,
+/// so the tail arithmetic has a single source of truth.
+#[inline]
+pub fn fold_tail(mut acc: f64, a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+    for (&x, &y) in a.iter().zip(b) {
+        acc += f(x, y);
+    }
+    acc
+}
+
+/// The shared 4-lane chunked reduction: `Σ f(aᵢ, bᵢ)` with the fixed
+/// lane/fold/tail order described in the module docs.
+#[inline]
+fn chunked(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        for (lane, (&x, &y)) in lanes.iter_mut().zip(pa.iter().zip(pb)) {
+            *lane += f(x, y);
+        }
+    }
+    let acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    fold_tail(acc, ca.remainder(), cb.remainder(), f)
+}
+
+/// Dot product `Σ aᵢ·bᵢ` — chunked kernel.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ; callers validate
+/// dimensionality at container boundaries.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    chunked(a, b, |x, y| x * y)
+}
+
+/// Squared L2 norm `Σ xᵢ²` — chunked kernel. Identical arithmetic to
+/// [`dot`]`(xs, xs)`, so the two share one implementation (and one tail).
+#[inline]
+pub fn norm_sq(xs: &[f64]) -> f64 {
+    chunked(xs, xs, |x, y| x * y)
+}
+
+/// Squared Euclidean distance `Σ (pᵢ − qᵢ)²` — chunked kernel.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn euclidean_sq(p: &[f64], q: &[f64]) -> f64 {
+    chunked(p, q, |x, y| {
+        let d = x - y;
+        d * d
+    })
+}
+
+/// Fused single pass returning `(Σ aᵢ·bᵢ, Σ aᵢ²)`.
+///
+/// Each component accumulates in its own 4-lane set with the same
+/// per-lane operation order as the unfused kernels, so the pair is
+/// bit-identical to `(dot(a, b), norm_sq(a))` while streaming `a` once.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn dot_norm_sq(a: &[f64], b: &[f64]) -> (f64, f64) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dl = [0.0f64; LANES];
+    let mut nl = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        for j in 0..LANES {
+            dl[j] += pa[j] * pb[j];
+            nl[j] += pa[j] * pa[j];
+        }
+    }
+    let d = fold_tail(
+        (dl[0] + dl[1]) + (dl[2] + dl[3]),
+        ca.remainder(),
+        cb.remainder(),
+        |x, y| x * y,
+    );
+    let n = fold_tail(
+        (nl[0] + nl[1]) + (nl[2] + nl[3]),
+        ca.remainder(),
+        ca.remainder(),
+        |x, y| x * y,
+    );
+    (d, n)
+}
+
+/// Hamming MAC `Σ popcount(aᵢ XOR bᵢ)` over packed u64 words. Exact
+/// integer counting — every backend is trivially bit-identical.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+        .sum()
+}
+
+/// Bit-serial MAC `Σ popcount(aᵢ AND bᵢ)` over packed u64 words — the
+/// crossbar's one-cycle row/column coincidence count.
+///
+/// # Panics
+/// Panics in debug builds when the lengths differ.
+#[inline]
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| u64::from((x & y).count_ones()))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms_small() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&a, &b), 32.0);
+        assert_eq!(norm_sq(&a), 14.0);
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn fused_matches_unfused_bitwise() {
+        for len in 0usize..=4 * LANES + 3 {
+            let a: Vec<f64> = (0..len).map(|i| ((i * 7 + 3) % 17) as f64 * 0.33).collect();
+            let b: Vec<f64> = (0..len).map(|i| ((i * 5 + 1) % 13) as f64 * 0.71).collect();
+            let (d, n) = dot_norm_sq(&a, &b);
+            assert_eq!(d.to_bits(), dot(&a, &b).to_bits(), "len={len}");
+            assert_eq!(n.to_bits(), norm_sq(&a).to_bits(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn popcounts_match_direct_loop() {
+        let a = [0xdeadbeefdeadbeefu64, u64::MAX, 0, 1, 0x5555_5555_5555_5555];
+        let b = [0xfeedfacefeedfaceu64, 0, u64::MAX, 3, 0xaaaa_aaaa_aaaa_aaaa];
+        let xor: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| u64::from((x ^ y).count_ones()))
+            .sum();
+        let and: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| u64::from((x & y).count_ones()))
+            .sum();
+        assert_eq!(xor_popcount(&a, &b), xor);
+        assert_eq!(and_popcount(&a, &b), and);
+        assert_eq!(xor_popcount(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! x86_64 backends: AVX2 (4×f64 / 4×u64 per register) and SSE2 (two
+//! 2-wide registers emulating the same 4 lanes).
+//!
+//! Bit-identity with [`crate::scalar`] holds because every kernel keeps
+//! the scalar layout's 4 accumulator lanes, performs the identical
+//! per-lane IEEE-754 operations (`mul` then `add` — **never** FMA, whose
+//! single rounding would diverge), folds the lanes in the same
+//! `(l0 + l1) + (l2 + l3)` order, and finishes the ragged tail through
+//! the shared [`scalar::fold_tail`] helper. Packed `mulpd`/`addpd`/
+//! `subpd` have exactly the scalar instructions' per-lane semantics;
+//! Rust never enables FTZ/DAZ, so subnormals round identically too. The
+//! popcount MACs are exact integer counting and trivially identical.
+//!
+//! One deliberate carve-out: when several distinct NaNs collide in one
+//! reduction, *which* payload survives depends on operand order, and
+//! Rust/LLVM document NaN bit patterns as non-deterministic (`fmul`/
+//! `fadd` may be commuted differently for scalar vs packed codegen). The
+//! contract is therefore NaN ⇔ NaN, with exact bits for every non-NaN
+//! result — which covers all real distance data.
+//!
+//! # Safety
+//! Every function here is `#[target_feature]`-gated and `unsafe`: the
+//! dispatcher in `lib.rs` installs a function only after
+//! `is_x86_feature_detected!` confirmed the feature at startup.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::scalar::{self, fold_tail};
+
+/// AVX2 kernels: one ymm register holds all four accumulator lanes.
+pub mod avx2 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Dot product with the 4-lane layout in one ymm accumulator.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 4;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..blocks {
+            let va = _mm256_loadu_pd(pa.add(4 * i));
+            let vb = _mm256_loadu_pd(pb.add(4 * i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+        }
+        fold4(acc, &a[4 * blocks..], &b[4 * blocks..], |x, y| x * y)
+    }
+
+    /// Squared L2 norm: [`dot`] with both operands the same slice.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn norm_sq(xs: &[f64]) -> f64 {
+        dot(xs, xs)
+    }
+
+    /// Squared Euclidean distance: per-lane `sub`, `mul`, `add`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn euclidean_sq(p: &[f64], q: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), q.len());
+        let blocks = p.len() / 4;
+        let (pp, pq) = (p.as_ptr(), q.as_ptr());
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..blocks {
+            let d = _mm256_sub_pd(
+                _mm256_loadu_pd(pp.add(4 * i)),
+                _mm256_loadu_pd(pq.add(4 * i)),
+            );
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+        }
+        fold4(acc, &p[4 * blocks..], &q[4 * blocks..], |x, y| {
+            let d = x - y;
+            d * d
+        })
+    }
+
+    /// Fused `(dot(a, b), norm_sq(a))`: two ymm accumulators, one pass.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_norm_sq(a: &[f64], b: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 4;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut accd = _mm256_setzero_pd();
+        let mut accn = _mm256_setzero_pd();
+        for i in 0..blocks {
+            let va = _mm256_loadu_pd(pa.add(4 * i));
+            let vb = _mm256_loadu_pd(pb.add(4 * i));
+            accd = _mm256_add_pd(accd, _mm256_mul_pd(va, vb));
+            accn = _mm256_add_pd(accn, _mm256_mul_pd(va, va));
+        }
+        let ta = &a[4 * blocks..];
+        let tb = &b[4 * blocks..];
+        (
+            fold4(accd, ta, tb, |x, y| x * y),
+            fold4(accn, ta, ta, |x, y| x * y),
+        )
+    }
+
+    /// Spills the ymm lanes and finishes with the canonical fold + tail.
+    #[inline(always)]
+    unsafe fn fold4(acc: __m256d, ta: &[f64], tb: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        fold_tail((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]), ta, tb, f)
+    }
+
+    /// Per-64-bit-element popcount of a ymm register via the Mula nibble
+    /// LUT: `pshufb` looks up each nibble's population count, `psadbw`
+    /// horizontally sums the byte counts into the four u64 lanes.
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount_epi64(v: __m256i) -> __m256i {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi64::<4>(v), low);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount_mac(a: &[u64], b: &[u64], xor: bool) -> u64 {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 4;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..blocks {
+            let va = _mm256_loadu_si256(pa.add(4 * i).cast());
+            let vb = _mm256_loadu_si256(pb.add(4 * i).cast());
+            let m = if xor {
+                _mm256_xor_si256(va, vb)
+            } else {
+                _mm256_and_si256(va, vb)
+            };
+            acc = _mm256_add_epi64(acc, popcount_epi64(m));
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        let mut total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for (&x, &y) in a[4 * blocks..].iter().zip(&b[4 * blocks..]) {
+            let m = if xor { x ^ y } else { x & y };
+            total += u64::from(m.count_ones());
+        }
+        total
+    }
+
+    /// Hamming MAC `Σ popcount(aᵢ XOR bᵢ)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        popcount_mac(a, b, true)
+    }
+
+    /// Bit-serial MAC `Σ popcount(aᵢ AND bᵢ)`.
+    ///
+    /// # Safety
+    /// Requires AVX2 (detected at dispatch time).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        popcount_mac(a, b, false)
+    }
+}
+
+/// SSE2 kernels: two xmm registers carry lanes `{0,1}` and `{2,3}` of the
+/// canonical 4-lane layout. SSE2 is baseline on x86_64, so this tier
+/// always exists; it mainly serves as the forced mid-tier for the bench
+/// trajectory and as the fallback on pre-AVX2 silicon.
+pub mod sse2 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Dot product over lanes `{0,1}` + `{2,3}` in two xmm accumulators.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 4;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc01 = _mm_setzero_pd();
+        let mut acc23 = _mm_setzero_pd();
+        for i in 0..blocks {
+            acc01 = _mm_add_pd(
+                acc01,
+                _mm_mul_pd(_mm_loadu_pd(pa.add(4 * i)), _mm_loadu_pd(pb.add(4 * i))),
+            );
+            acc23 = _mm_add_pd(
+                acc23,
+                _mm_mul_pd(
+                    _mm_loadu_pd(pa.add(4 * i + 2)),
+                    _mm_loadu_pd(pb.add(4 * i + 2)),
+                ),
+            );
+        }
+        fold2x2(acc01, acc23, &a[4 * blocks..], &b[4 * blocks..], |x, y| {
+            x * y
+        })
+    }
+
+    /// Squared L2 norm: [`dot`] with both operands the same slice.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn norm_sq(xs: &[f64]) -> f64 {
+        dot(xs, xs)
+    }
+
+    /// Squared Euclidean distance: per-lane `sub`, `mul`, `add`.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn euclidean_sq(p: &[f64], q: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), q.len());
+        let blocks = p.len() / 4;
+        let (pp, pq) = (p.as_ptr(), q.as_ptr());
+        let mut acc01 = _mm_setzero_pd();
+        let mut acc23 = _mm_setzero_pd();
+        for i in 0..blocks {
+            let d01 = _mm_sub_pd(_mm_loadu_pd(pp.add(4 * i)), _mm_loadu_pd(pq.add(4 * i)));
+            let d23 = _mm_sub_pd(
+                _mm_loadu_pd(pp.add(4 * i + 2)),
+                _mm_loadu_pd(pq.add(4 * i + 2)),
+            );
+            acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+            acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+        }
+        fold2x2(acc01, acc23, &p[4 * blocks..], &q[4 * blocks..], |x, y| {
+            let d = x - y;
+            d * d
+        })
+    }
+
+    /// Fused `(dot(a, b), norm_sq(a))` in four xmm accumulators.
+    ///
+    /// # Safety
+    /// Requires SSE2 (always present on x86_64).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dot_norm_sq(a: &[f64], b: &[f64]) -> (f64, f64) {
+        debug_assert_eq!(a.len(), b.len());
+        let blocks = a.len() / 4;
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut d01 = _mm_setzero_pd();
+        let mut d23 = _mm_setzero_pd();
+        let mut n01 = _mm_setzero_pd();
+        let mut n23 = _mm_setzero_pd();
+        for i in 0..blocks {
+            let va01 = _mm_loadu_pd(pa.add(4 * i));
+            let va23 = _mm_loadu_pd(pa.add(4 * i + 2));
+            let vb01 = _mm_loadu_pd(pb.add(4 * i));
+            let vb23 = _mm_loadu_pd(pb.add(4 * i + 2));
+            d01 = _mm_add_pd(d01, _mm_mul_pd(va01, vb01));
+            d23 = _mm_add_pd(d23, _mm_mul_pd(va23, vb23));
+            n01 = _mm_add_pd(n01, _mm_mul_pd(va01, va01));
+            n23 = _mm_add_pd(n23, _mm_mul_pd(va23, va23));
+        }
+        let ta = &a[4 * blocks..];
+        let tb = &b[4 * blocks..];
+        (
+            fold2x2(d01, d23, ta, tb, |x, y| x * y),
+            fold2x2(n01, n23, ta, ta, |x, y| x * y),
+        )
+    }
+
+    /// Spills lane pairs `{0,1}` / `{2,3}` and finishes with the
+    /// canonical `(l0 + l1) + (l2 + l3)` fold plus the shared tail.
+    #[inline(always)]
+    unsafe fn fold2x2(
+        acc01: __m128d,
+        acc23: __m128d,
+        ta: &[f64],
+        tb: &[f64],
+        f: impl Fn(f64, f64) -> f64,
+    ) -> f64 {
+        let mut l01 = [0.0f64; 2];
+        let mut l23 = [0.0f64; 2];
+        _mm_storeu_pd(l01.as_mut_ptr(), acc01);
+        _mm_storeu_pd(l23.as_mut_ptr(), acc23);
+        fold_tail((l01[0] + l01[1]) + (l23[0] + l23[1]), ta, tb, f)
+    }
+}
+
+/// Hamming MAC using the hardware `popcnt` instruction, unrolled 4-wide.
+/// Exact integer counting — bit-identical to the scalar reference.
+///
+/// # Safety
+/// Requires POPCNT (detected independently of SSE2/AVX2 at dispatch
+/// time; the SSE2 tier falls back to [`scalar::xor_popcount`] without it).
+#[target_feature(enable = "popcnt")]
+pub unsafe fn xor_popcount_popcnt(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / 4;
+    let mut t0 = 0u64;
+    let mut t1 = 0u64;
+    let mut t2 = 0u64;
+    let mut t3 = 0u64;
+    for i in 0..blocks {
+        t0 += u64::from((a[4 * i] ^ b[4 * i]).count_ones());
+        t1 += u64::from((a[4 * i + 1] ^ b[4 * i + 1]).count_ones());
+        t2 += u64::from((a[4 * i + 2] ^ b[4 * i + 2]).count_ones());
+        t3 += u64::from((a[4 * i + 3] ^ b[4 * i + 3]).count_ones());
+    }
+    t0 + t1 + t2 + t3 + scalar::xor_popcount(&a[4 * blocks..], &b[4 * blocks..])
+}
+
+/// Bit-serial MAC using the hardware `popcnt` instruction.
+///
+/// # Safety
+/// Requires POPCNT (see [`xor_popcount_popcnt`]).
+#[target_feature(enable = "popcnt")]
+pub unsafe fn and_popcount_popcnt(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let blocks = a.len() / 4;
+    let mut t0 = 0u64;
+    let mut t1 = 0u64;
+    let mut t2 = 0u64;
+    let mut t3 = 0u64;
+    for i in 0..blocks {
+        t0 += u64::from((a[4 * i] & b[4 * i]).count_ones());
+        t1 += u64::from((a[4 * i + 1] & b[4 * i + 1]).count_ones());
+        t2 += u64::from((a[4 * i + 2] & b[4 * i + 2]).count_ones());
+        t3 += u64::from((a[4 * i + 3] & b[4 * i + 3]).count_ones());
+    }
+    t0 + t1 + t2 + t3 + scalar::and_popcount(&a[4 * blocks..], &b[4 * blocks..])
+}

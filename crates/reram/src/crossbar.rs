@@ -243,11 +243,12 @@ impl Crossbar {
                 for s in 0..cell_bits {
                     let plane = &col_planes[s * words..(s + 1) * words];
                     for (t, in_plane) in in_planes.chunks_exact(words).enumerate() {
-                        let mut count = 0u32;
-                        for (&p, &q) in plane.iter().zip(in_plane) {
-                            count += (p & q).count_ones();
-                        }
-                        acc += u64::from(count) << (s + t);
+                        // One crossbar cycle's row/column coincidence
+                        // count: AND + popcount, dispatched through the
+                        // active simpim-kern backend (exact integer
+                        // counting — identical on every backend).
+                        let count = simpim_kern::and_popcount(plane, in_plane);
+                        acc += count << (s + t);
                     }
                 }
                 *sum = acc;

@@ -168,18 +168,17 @@ impl<'a> BinaryVecRef<'a> {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
-    /// Hamming distance `Σ Δ(pᵢ − qᵢ)` (Table 2, row HD): XOR + popcount.
+    /// Hamming distance `Σ Δ(pᵢ − qᵢ)` (Table 2, row HD): XOR + popcount,
+    /// dispatched through the active `simpim-kern` popcount-MAC backend
+    /// (AVX2 `pshufb` nibble LUT / hardware `popcnt` / NEON `cnt`).
+    /// Integer counting is exact, so every backend returns the same bits.
     ///
     /// # Panics
     /// Panics in debug builds when widths differ.
     #[inline]
     pub fn hamming(&self, other: &BinaryVecRef<'_>) -> u32 {
         debug_assert_eq!(self.bits, other.bits);
-        self.words
-            .iter()
-            .zip(other.words)
-            .map(|(&a, &b)| (a ^ b).count_ones())
-            .sum()
+        simpim_kern::xor_popcount(self.words, other.words) as u32
     }
 
     /// Expands the code to a 0/1 integer vector — the representation

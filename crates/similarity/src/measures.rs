@@ -44,33 +44,16 @@ impl Measure {
     }
 }
 
-/// Squared Euclidean distance `Σ (pᵢ − qᵢ)²` (Table 2, row ED) — chunked
-/// kernel. Four independent accumulator lanes over 4-element blocks, lanes
-/// and tail folded in a fixed order (see [`stats::dot`]): autovectorizer
-/// friendly, and a pure function of the inputs so results never depend on
-/// thread count. Validated ULP-close to the sequential
-/// [`euclidean_sq_scalar`] reference in the equivalence tests.
+/// Squared Euclidean distance `Σ (pᵢ − qᵢ)²` (Table 2, row ED) —
+/// dispatched chunked kernel. Delegates to the active `simpim-kern`
+/// backend: four independent accumulator lanes over 4-element blocks,
+/// per-lane `sub`/`mul`/`add`, lanes and tail folded in a fixed order
+/// (see [`stats::dot`]) — a pure function of the inputs, so results
+/// never depend on thread count or backend. Validated ULP-close to the
+/// sequential [`euclidean_sq_scalar`] reference in the equivalence tests.
 #[inline]
 pub fn euclidean_sq(p: &[f64], q: &[f64]) -> f64 {
-    debug_assert_eq!(p.len(), q.len());
-    let mut lanes = [0.0f64; 4];
-    let mut cp = p.chunks_exact(4);
-    let mut cq = q.chunks_exact(4);
-    for (pa, pb) in cp.by_ref().zip(cq.by_ref()) {
-        let d0 = pa[0] - pb[0];
-        let d1 = pa[1] - pb[1];
-        let d2 = pa[2] - pb[2];
-        let d3 = pa[3] - pb[3];
-        lanes[0] += d0 * d0;
-        lanes[1] += d1 * d1;
-        lanes[2] += d2 * d2;
-        lanes[3] += d3 * d3;
-    }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for (&a, &b) in cp.remainder().iter().zip(cq.remainder()) {
-        acc += (a - b) * (a - b);
-    }
-    acc
+    simpim_kern::euclidean_sq(p, q)
 }
 
 /// Sequential reference form of [`euclidean_sq`]: one running sum in
@@ -88,12 +71,15 @@ pub fn euclidean_sq_scalar(p: &[f64], q: &[f64]) -> f64 {
 #[inline]
 pub fn cosine(p: &[f64], q: &[f64]) -> f64 {
     debug_assert_eq!(p.len(), q.len());
-    let np = stats::norm(p);
+    // Fused kernel: one pass over `p` yields dot(p, q) and ‖p‖² with
+    // bit-identical results to the unfused calls.
+    let (pq, np_sq) = simpim_kern::dot_norm_sq(p, q);
+    let np = np_sq.sqrt();
     let nq = stats::norm(q);
     if np == 0.0 || nq == 0.0 {
         return 0.0;
     }
-    stats::dot(p, q) / (np * nq)
+    pq / (np * nq)
 }
 
 /// Pearson correlation coefficient (Table 2, row PCC):

@@ -22,41 +22,24 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     var.max(0.0).sqrt()
 }
 
-/// Independent accumulator lanes of the chunked kernels. Four lanes break
-/// the loop-carried add dependency so the autovectorizer can keep a full
-/// SIMD register of partial sums in flight.
-pub(crate) const LANES: usize = 4;
-
-/// Dot product of two equal-length slices — chunked kernel.
+/// Dot product of two equal-length slices — dispatched chunked kernel.
 ///
-/// Accumulates into `LANES` (4) independent lanes over 4-element blocks and
+/// Delegates to the active `simpim-kern` backend (AVX2/SSE2/NEON or the
+/// portable chunked reference). Every backend accumulates into
+/// [`simpim_kern::LANES`] (4) independent lanes over 4-element blocks and
 /// folds the lanes (then the ragged tail) in a fixed order, so the result
-/// is a pure function of the inputs: identical on every call, every
-/// thread count, every machine running the same float ops. It differs
-/// from the sequential [`dot_scalar`] reference only by float
-/// reassociation, bounded by a few ULPs per element (see the equivalence
-/// tests).
+/// is a pure function of the inputs: identical bits on every call, every
+/// thread count, every backend, every machine running the same float
+/// ops. It differs from the sequential [`dot_scalar`] reference only by
+/// float reassociation, bounded by a few ULPs per element (see the
+/// equivalence tests).
 ///
 /// # Panics
 /// Panics in debug builds when the lengths differ; callers validate
 /// dimensionality at container boundaries.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut lanes = [0.0f64; LANES];
-    let mut ca = a.chunks_exact(LANES);
-    let mut cb = b.chunks_exact(LANES);
-    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
-        lanes[0] += pa[0] * pb[0];
-        lanes[1] += pa[1] * pb[1];
-        lanes[2] += pa[2] * pb[2];
-        lanes[3] += pa[3] * pb[3];
-    }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
-        acc += x * y;
-    }
-    acc
+    simpim_kern::dot(a, b)
 }
 
 /// Sequential reference form of [`dot`]: one running sum in element
@@ -68,22 +51,12 @@ pub fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
-/// Squared L2 norm `Σ xᵢ²` — chunked kernel (see [`dot`]).
+/// Squared L2 norm `Σ xᵢ²` — dispatched chunked kernel (see [`dot`]).
+/// The kern backend shares one implementation (and one tail helper)
+/// between `dot` and `norm_sq`, so the two can never drift.
 #[inline]
 pub fn norm_sq(xs: &[f64]) -> f64 {
-    let mut lanes = [0.0f64; LANES];
-    let mut cx = xs.chunks_exact(LANES);
-    for px in cx.by_ref() {
-        lanes[0] += px[0] * px[0];
-        lanes[1] += px[1] * px[1];
-        lanes[2] += px[2] * px[2];
-        lanes[3] += px[3] * px[3];
-    }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for &x in cx.remainder() {
-        acc += x * x;
-    }
-    acc
+    simpim_kern::norm_sq(xs)
 }
 
 /// L2 norm.

@@ -1194,7 +1194,51 @@ fn cmd_flight(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Renders one run artifact as a per-stage table, or diffs two.
+/// Walks a dotted path (`extra.kernels.knn_qps`) through an artifact's
+/// JSON sections. The first segment selects the section
+/// (`config|extra|metrics|totals`); the rest descend object keys.
+fn artifact_metric(art: &simpim::obs::RunArtifact, path: &str) -> Result<f64, String> {
+    let mut segs = path.split('.');
+    let mut cur: &simpim::obs::Json = match segs.next() {
+        Some("config") => &art.config,
+        Some("metrics") => &art.metrics,
+        Some("totals") => &art.totals,
+        Some("extra") => {
+            let sect = segs
+                .next()
+                .ok_or_else(|| format!("metric path {path:?}: extra needs a section key"))?;
+            art.extra
+                .iter()
+                .find(|(k, _)| k == sect)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("metric path {path:?}: extra section {sect:?} not found"))?
+        }
+        other => {
+            return Err(format!(
+                "metric path must start with config|extra|metrics|totals, got {other:?}"
+            ))
+        }
+    };
+    for seg in segs {
+        let simpim::obs::Json::Obj(entries) = cur else {
+            return Err(format!(
+                "metric path {path:?}: {seg:?} reached a non-object"
+            ));
+        };
+        cur = entries
+            .iter()
+            .find(|(k, _)| k == seg)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("metric path {path:?}: key {seg:?} not found"))?;
+    }
+    match cur {
+        simpim::obs::Json::Num(v) => Ok(*v),
+        other => Err(format!("metric path {path:?} is not a number: {other:?}")),
+    }
+}
+
+/// Renders one run artifact as a per-stage table, diffs two, or — with
+/// `--assert-no-regress` — gates a throughput metric between two runs.
 fn cmd_report(paths: &[String]) -> Result<(), String> {
     let load = |p: &String| -> Result<simpim::obs::RunArtifact, String> {
         let text =
@@ -1207,7 +1251,65 @@ fn cmd_report(paths: &[String]) -> Result<(), String> {
         }
         Ok(artifact)
     };
-    match paths {
+    // Split flags from positional artifact paths.
+    let mut files: Vec<&String> = Vec::new();
+    let mut assert_no_regress = false;
+    let mut metric = "extra.kernels.knn_qps".to_string();
+    let mut max_drop_pct = 10.0f64;
+    let mut it = paths.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--assert-no-regress" => assert_no_regress = true,
+            "--metric" => {
+                metric = it
+                    .next()
+                    .ok_or_else(|| "--metric needs a dotted path".to_string())?
+                    .clone();
+            }
+            "--max-drop-pct" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--max-drop-pct needs a number".to_string())?;
+                max_drop_pct = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-drop-pct {v:?}: {e}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown report flag {other:?}"));
+            }
+            _ => files.push(arg),
+        }
+    }
+    if assert_no_regress {
+        let [old_p, new_p] = files[..] else {
+            return Err(
+                "usage: simpim report --assert-no-regress <old.json> <new.json> \
+                        [--metric extra.kernels.knn_qps] [--max-drop-pct 10]"
+                    .to_string(),
+            );
+        };
+        let old_v = artifact_metric(&load(old_p)?, &metric)?;
+        let new_v = artifact_metric(&load(new_p)?, &metric)?;
+        if old_v <= 0.0 {
+            return Err(format!(
+                "{metric}: old value {old_v} is not a positive throughput — nothing to gate on"
+            ));
+        }
+        let change_pct = (new_v - old_v) / old_v * 100.0;
+        println!(
+            "{metric}: {old_v:.3} -> {new_v:.3} ({change_pct:+.1}%, threshold -{max_drop_pct:.1}%)"
+        );
+        if change_pct < -max_drop_pct {
+            return Err(format!(
+                "regression: {metric} dropped {:.1}% (> {max_drop_pct:.1}% allowed) \
+                 from {old_p} to {new_p}",
+                -change_pct
+            ));
+        }
+        println!("no regression: within threshold");
+        return Ok(());
+    }
+    match files[..] {
         [a] => {
             print!("{}", load(a)?.render_table());
             Ok(())
@@ -1255,6 +1357,10 @@ const USAGE: &str =
   flight      <flight.jsonl> [--top 16] [--outcome ok|degraded|failover|shed|timeout|failed]
               render flight-recorder traces as per-stage waterfalls with fault annotations
   report      <a.json> [<b.json>]   render a BENCH_*.json artifact, or diff two
+              --assert-no-regress <old.json> <new.json> [--metric extra.kernels.knn_qps]
+              [--max-drop-pct 10]  exit non-zero when the named throughput metric (a dotted
+              path through config|extra|metrics|totals) drops more than the threshold —
+              gates the per-PR kernel bench trajectory
   any mining or bench command also takes --trace (writes span journal to simpim_trace.jsonl)";
 
 fn main() -> ExitCode {

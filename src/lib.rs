@@ -23,6 +23,9 @@
 //!   datasets and its LSH binary codes.
 //! * [`obs`] — span tracing, the metrics registry and schema-versioned run
 //!   artifacts (see DESIGN.md §8).
+//! * [`kern`] — runtime-dispatched SIMD distance kernels (AVX2/SSE2/NEON
+//!   with a bit-identical portable fallback), selected once at startup
+//!   and overridable with `SIMPIM_KERNEL` (see DESIGN.md §14).
 //! * [`par`] — the deterministic data-parallel execution layer: a
 //!   dependency-free scoped thread pool with fixed chunk boundaries and
 //!   ordered reduction, so results are bit-identical at any thread count
@@ -43,6 +46,7 @@ pub use simpim_bench as bench;
 pub use simpim_bounds as bounds;
 pub use simpim_core as core;
 pub use simpim_datasets as datasets;
+pub use simpim_kern as kern;
 pub use simpim_mining as mining;
 pub use simpim_net as net;
 pub use simpim_obs as obs;

@@ -1,0 +1,287 @@
+//! Bit-identity tests for the `simpim-kern` runtime-dispatched SIMD
+//! backends (DESIGN.md §14): every supported tier (SSE2/AVX2/NEON) must
+//! reproduce the portable scalar reference down to the float bit
+//! pattern — across every remainder length `0..=4*LANES`, through
+//! signed zeros, subnormals and infinities, with NaN results matched
+//! NaN-for-NaN (payloads are non-deterministic in Rust; see
+//! `crates/kern/src/scalar.rs`) — and an end-to-end
+//! kNN / k-means run must return the same neighbors, assignments and
+//! `OpCounters` (and the same FNV-1a result hash) whether the kernels
+//! are forced to `scalar` or left on the detected backend, at any
+//! worker count.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use simpim::datasets::{generate, sample_queries, SyntheticConfig};
+use simpim::kern::{self, scalar, Backend};
+use simpim::mining::kmeans::drake::kmeans_drake;
+use simpim::mining::kmeans::elkan::kmeans_elkan;
+use simpim::mining::kmeans::lloyd::kmeans_lloyd;
+use simpim::mining::kmeans::yinyang::kmeans_yinyang;
+use simpim::mining::kmeans::{KmeansConfig, KmeansResult};
+use simpim::mining::knn::algorithms::fnn_cascade;
+use simpim::mining::knn::cascade::knn_cascade;
+use simpim::mining::knn::KnnResult;
+use simpim::par;
+use simpim::similarity::{Dataset, Measure};
+
+/// Both the kernel-backend override and the thread override are
+/// process-global; serialize the tests that flip either one.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Every tier this CPU can actually run (always includes `Scalar`).
+fn supported_backends() -> Vec<Backend> {
+    Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect()
+}
+
+/// Adversarial f64 payloads: signed zeros, subnormals, the normal/
+/// subnormal boundary, huge magnitudes that overflow when squared,
+/// infinities, and NaNs with distinct sign/payload bits. Packed SIMD
+/// lanes must treat each of these exactly like the scalar ALU does.
+fn special_values() -> Vec<f64> {
+    vec![
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        2.5,
+        -3.75,
+        f64::MIN_POSITIVE,
+        5e-324,
+        -5e-324,
+        1e-310,
+        1e308,
+        -1e308,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        f64::from_bits(0xFFF8_0000_0000_0000), // negative quiet NaN
+        f64::from_bits(0x7FF8_0000_00AB_CDEF), // quiet NaN with payload
+        f64::from_bits(0x7FF0_0000_0000_0001), // signaling NaN
+    ]
+}
+
+/// FNV-1a over the (index, distance-bits) stream of a neighbor list —
+/// the same digest `kernel_sweep` stamps into `BENCH_kernels.json`.
+fn fnv1a_knn(r: &KnnResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: [u8; 8]| {
+        for b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &(i, d) in &r.neighbors {
+        eat((i as u64).to_le_bytes());
+        eat(d.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// The bit-identity contract, NaN carve-out included: exact bits for
+/// every non-NaN result (signed zeros, subnormals, infinities), NaN ⇔
+/// NaN otherwise. *Which* NaN payload survives a multi-NaN reduction is
+/// operand-order dependent and Rust documents NaN bit patterns as
+/// non-deterministic, so payload equality is deliberately not asserted.
+fn assert_bits(got: f64, want: f64, what: &str) {
+    if got.is_nan() && want.is_nan() {
+        return;
+    }
+    assert_eq!(got.to_bits(), want.to_bits(), "{what}");
+}
+
+fn workload(seed: u64) -> (Dataset, Vec<f64>) {
+    let ds = generate(&SyntheticConfig {
+        n: 140,
+        d: 24,
+        clusters: 4,
+        cluster_std: 0.05,
+        stat_uniformity: 0.2,
+        seed,
+    });
+    let q = sample_queries(&ds, 1, 0.03, seed ^ 0x3C).remove(0);
+    (ds, q)
+}
+
+fn assert_same_knn(a: &KnnResult, b: &KnnResult, what: &str) {
+    let bits = |r: &KnnResult| -> Vec<(usize, u64)> {
+        r.neighbors.iter().map(|&(i, v)| (i, v.to_bits())).collect()
+    };
+    assert_eq!(bits(a), bits(b), "{what}: neighbors");
+    assert_eq!(
+        a.report.profile.total_counters(),
+        b.report.profile.total_counters(),
+        "{what}: counters"
+    );
+}
+
+fn assert_same_kmeans(a: &KmeansResult, b: &KmeansResult, what: &str) {
+    assert_eq!(a.assignments, b.assignments, "{what}: assignments");
+    assert_eq!(
+        a.inertia.to_bits(),
+        b.inertia.to_bits(),
+        "{what}: inertia bits"
+    );
+    assert_eq!(a.iterations, b.iterations, "{what}: iterations");
+    assert_eq!(
+        a.report.profile.total_counters(),
+        b.report.profile.total_counters(),
+        "{what}: counters"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every supported tier matches the scalar reference bit-for-bit on
+    /// all four float kernels, at every remainder length `0..=4*LANES`,
+    /// through the adversarial payload pool.
+    #[test]
+    fn float_kernels_bit_identical_across_backends(
+        pairs in prop::collection::vec(
+            (
+                prop::sample::select(special_values()),
+                prop::sample::select(special_values()),
+            ),
+            0..=4 * scalar::LANES,
+        )
+    ) {
+        let _g = lock();
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let want_dot = scalar::dot(&a, &b);
+        let want_norm = scalar::norm_sq(&a);
+        let want_ed = scalar::euclidean_sq(&a, &b);
+        let (wd, wn) = scalar::dot_norm_sq(&a, &b);
+        for backend in supported_backends() {
+            kern::with_backend(backend, || {
+                let name = backend.name();
+                assert_bits(kern::dot(&a, &b), want_dot, &format!("dot/{name}"));
+                assert_bits(kern::norm_sq(&a), want_norm, &format!("norm_sq/{name}"));
+                assert_bits(
+                    kern::euclidean_sq(&a, &b),
+                    want_ed,
+                    &format!("euclidean_sq/{name}"),
+                );
+                let (d, n) = kern::dot_norm_sq(&a, &b);
+                assert_bits(d, wd, &format!("dot_norm_sq.0/{name}"));
+                assert_bits(n, wn, &format!("dot_norm_sq.1/{name}"));
+            });
+        }
+    }
+
+    /// The popcount-MAC kernels agree with the scalar `count_ones` sum
+    /// on every backend, across lengths covering the AVX2 4-word blocks,
+    /// the popcnt 4-way unroll, and all their tails.
+    #[test]
+    fn popcount_kernels_bit_identical_across_backends(
+        words in prop::collection::vec((any::<u64>(), any::<u64>()), 0..=17)
+    ) {
+        let _g = lock();
+        let (a, b): (Vec<u64>, Vec<u64>) = words.into_iter().unzip();
+        let want_xor = scalar::xor_popcount(&a, &b);
+        let want_and = scalar::and_popcount(&a, &b);
+        for backend in supported_backends() {
+            kern::with_backend(backend, || {
+                prop_assert_eq!(kern::xor_popcount(&a, &b), want_xor, "xor/{}", backend.name());
+                prop_assert_eq!(kern::and_popcount(&a, &b), want_and, "and/{}", backend.name());
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// End-to-end kNN: forcing `scalar` vs leaving the detected backend
+    /// yields the same neighbors (to the bit), the same `OpCounters`,
+    /// and the same FNV-1a result hash — and the hash is invariant under
+    /// `SIMPIM_THREADS` 1 vs 4 on both backends, since simpim-par chunk
+    /// boundaries are worker-count independent and each chunk reduces
+    /// through the same kernels.
+    #[test]
+    fn knn_hash_identical_scalar_vs_dispatched(seed in 0u64..1000, k in 1usize..=15) {
+        let _g = lock();
+        let (ds, q) = workload(seed);
+        let cascade = fnn_cascade(&ds).unwrap();
+        let auto = kern::backend();
+        let run = |backend: Backend, threads: usize| {
+            kern::with_backend(backend, || {
+                par::with_threads(threads, || {
+                    knn_cascade(&ds, &cascade, &q, k, Measure::EuclideanSq).unwrap()
+                })
+            })
+        };
+        let scalar_1 = run(Backend::Scalar, 1);
+        let auto_1 = run(auto, 1);
+        assert_same_knn(&scalar_1, &auto_1, "scalar vs dispatched (1 thread)");
+        let hash = fnv1a_knn(&scalar_1);
+        for (backend, threads) in [(Backend::Scalar, 4), (auto, 4)] {
+            let r = run(backend, threads);
+            prop_assert_eq!(
+                fnv1a_knn(&r),
+                hash,
+                "result hash for {} x {} threads",
+                backend.name(),
+                threads
+            );
+        }
+    }
+
+    /// All four k-means variants produce identical assignments, inertia
+    /// bits and `OpCounters` whether the assignment-step distances run
+    /// on the scalar reference or the detected SIMD backend.
+    #[test]
+    fn kmeans_bit_identical_scalar_vs_dispatched(seed in 0u64..1000, k in 2usize..=8) {
+        let _g = lock();
+        let (ds, _) = workload(seed);
+        let cfg = KmeansConfig { k, max_iters: 12, seed: 7 };
+        let auto = kern::backend();
+        type Algo = fn(&Dataset, &KmeansConfig) -> KmeansResult;
+        let algos: [(&str, Algo); 4] = [
+            ("lloyd", |d, c| kmeans_lloyd(d, c, None).unwrap()),
+            ("elkan", |d, c| kmeans_elkan(d, c, None).unwrap()),
+            ("drake", |d, c| kmeans_drake(d, c, None).unwrap()),
+            ("yinyang", |d, c| kmeans_yinyang(d, c, None).unwrap()),
+        ];
+        for (name, algo) in algos {
+            let s = kern::with_backend(Backend::Scalar, || algo(&ds, &cfg));
+            let d = kern::with_backend(auto, || algo(&ds, &cfg));
+            assert_same_kmeans(&s, &d, &format!("{name} scalar vs dispatched"));
+        }
+    }
+}
+
+/// `SIMPIM_KERNEL` accepts exactly auto|scalar|sse2|avx2|neon (any
+/// case), maps `auto`/empty to detection, and rejects everything else —
+/// the contract the CI determinism job leans on when it runs the sweep
+/// twice under different values.
+#[test]
+fn env_knob_spelling() {
+    assert_eq!(Backend::parse("auto"), Some(None));
+    assert_eq!(Backend::parse(""), Some(None));
+    assert_eq!(Backend::parse("scalar"), Some(Some(Backend::Scalar)));
+    assert_eq!(Backend::parse("SSE2"), Some(Some(Backend::Sse2)));
+    assert_eq!(Backend::parse("avx2"), Some(Some(Backend::Avx2)));
+    assert_eq!(Backend::parse("Neon"), Some(Some(Backend::Neon)));
+    assert_eq!(Backend::parse("avx512"), None);
+}
+
+/// Forcing a tier the CPU cannot run degrades to scalar instead of
+/// crashing (the same clamp `SIMPIM_KERNEL` applies).
+#[test]
+fn unsupported_override_degrades_to_scalar() {
+    let _g = lock();
+    for b in Backend::ALL {
+        if !b.is_supported() {
+            let active = kern::with_backend(b, kern::backend);
+            assert_eq!(active, Backend::Scalar, "forcing {}", b.name());
+        }
+    }
+}
