@@ -69,8 +69,8 @@ pub fn scaled_executor_config() -> ExecutorConfig {
 
 /// Prepares the scaled PIM executor for a workload's data.
 pub fn prepare_executor(data: &Dataset) -> Result<PimExecutor, CoreError> {
-    let nds = NormalizedDataset::assert_normalized(data.clone());
-    PimExecutor::prepare_euclidean(scaled_executor_config(), &nds)
+    let nds = NormalizedDataset::assert_normalized_ref(data);
+    PimExecutor::prepare_euclidean(scaled_executor_config(), nds)
 }
 
 /// The kNN baseline algorithms of Section VI-C.

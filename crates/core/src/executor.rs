@@ -20,7 +20,7 @@
 //! | `Hamming` | code, complement | exact HD (Table 4) |
 
 use crate::error::CoreError;
-use crate::memory::{choose_dimensionality, MemoryPlan};
+use crate::memory::{choose_dimensionality, resident_plan, MemoryPlan, ResidentShapeChoice};
 use crate::pim_bounds::{
     host_floor_dot, lb_pim_ed, lb_pim_ed_guarded, lb_pim_fnn, lb_pim_fnn_guarded, lb_pim_sm,
     lb_pim_sm_guarded, ub_pim_cs, ub_pim_pcc, DotQuant, EdQuant, FnnQuant,
@@ -213,31 +213,22 @@ impl PimExecutor {
     ) -> Result<Self, CoreError> {
         let ds = data.dataset();
         let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
-        // Try the uncompressed single-region layout first.
-        let plan = choose_dimensionality(
+        // Uncompressed when it fits; else the two-region µ/σ pair; else
+        // the single-region mean-only bound (shared dispatch in
+        // `memory::resident_plan`).
+        let (plan, shape) = resident_plan(
             ds.len(),
             ds.dim(),
             buffer_factor,
             cfg.operand_bits,
             &cfg.pim,
         )?;
-        if plan.uncompressed {
-            Self::prepare_ed_uncompressed(cfg, data, plan, ds.len())
-        } else {
-            // Compressed: prefer the two-region µ/σ bound; fall back to
-            // the single-region mean-only bound if even the µ/σ pair at
-            // s = 1 overflows the budget.
-            match choose_dimensionality(
-                ds.len(),
-                ds.dim(),
-                2 * buffer_factor,
-                cfg.operand_bits,
-                &cfg.pim,
-            ) {
-                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan, ds.len()),
-                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan, ds.len()),
-                Err(e) => Err(e),
+        match shape {
+            ResidentShapeChoice::Uncompressed => {
+                Self::prepare_ed_uncompressed(cfg, data, plan, ds.len())
             }
+            ResidentShapeChoice::MuSigma => Self::prepare_fnn_at(cfg, data, plan, ds.len()),
+            ResidentShapeChoice::MeanOnly => Self::prepare_sm_at(cfg, data, plan, ds.len()),
         }
     }
 
@@ -254,28 +245,85 @@ impl PimExecutor {
         let ds = data.dataset();
         let capacity = ds.len() + spare;
         let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
-        let plan = choose_dimensionality(
+        let (plan, shape) = resident_plan(
             capacity,
             ds.dim(),
             buffer_factor,
             cfg.operand_bits,
             &cfg.pim,
         )?;
-        if plan.uncompressed {
-            Self::prepare_ed_uncompressed(cfg, data, plan, capacity)
-        } else {
-            match choose_dimensionality(
-                capacity,
-                ds.dim(),
-                2 * buffer_factor,
-                cfg.operand_bits,
-                &cfg.pim,
-            ) {
-                Ok(plan) => Self::prepare_fnn_at(cfg, data, plan, capacity),
-                Err(CoreError::CannotFit { .. }) => Self::prepare_sm_at(cfg, data, plan, capacity),
-                Err(e) => Err(e),
+        match shape {
+            ResidentShapeChoice::Uncompressed => {
+                Self::prepare_ed_uncompressed(cfg, data, plan, capacity)
             }
+            ResidentShapeChoice::MuSigma => Self::prepare_fnn_at(cfg, data, plan, capacity),
+            ResidentShapeChoice::MeanOnly => Self::prepare_sm_at(cfg, data, plan, capacity),
         }
+    }
+
+    /// Opens a [`ResidentBuilder`]: the streamed twin of
+    /// [`PimExecutor::prepare_euclidean_resident`]. Theorem 4 plans from
+    /// the declared shape (`n_total + spare` objects × `d` dims) up
+    /// front, regions are allocated empty, and the dataset arrives
+    /// block-by-block through [`ResidentBuilder::push_rows`] — the host
+    /// never needs the full `N × d` matrix resident. The finished
+    /// executor is bit-identical in stored matrix, Φ table, wear, and
+    /// crossbar layout to one-shot preparation of the same rows.
+    pub fn begin_euclidean_resident(
+        cfg: ExecutorConfig,
+        n_total: usize,
+        d: usize,
+        spare: usize,
+    ) -> Result<ResidentBuilder, CoreError> {
+        if n_total == 0 || d == 0 {
+            return Err(CoreError::Mismatch {
+                what: "streamed preparation needs a non-empty shape",
+            });
+        }
+        let capacity = n_total + spare;
+        let buffer_factor = if cfg.double_buffer { 2 } else { 1 };
+        let (plan, shape_kind) =
+            resident_plan(capacity, d, buffer_factor, cfg.operand_bits, &cfg.pim)?;
+        let quantizer = Quantizer::identity(cfg.alpha)?;
+        let mut bank = ReRamBank::new(cfg.pim)?;
+        let mut cell_writes = 0u64;
+        let mut program_ns = 0.0f64;
+        let mut begin = |bank: &mut ReRamBank| -> Result<RegionId, CoreError> {
+            let rep = bank.begin_region_streamed(capacity, plan.s, cfg.operand_bits)?;
+            cell_writes += rep.cell_writes;
+            program_ns += rep.program_ns;
+            Ok(rep.region)
+        };
+        let shape = match shape_kind {
+            ResidentShapeChoice::Uncompressed => ResidentShape::Ed {
+                region: begin(&mut bank)?,
+            },
+            ResidentShapeChoice::MuSigma => ResidentShape::Fnn {
+                mu_region: begin(&mut bank)?,
+                sigma_region: begin(&mut bank)?,
+                segment_len: 0,
+            },
+            ResidentShapeChoice::MeanOnly => ResidentShape::Sm {
+                mu_region: begin(&mut bank)?,
+                segment_len: 0,
+            },
+        };
+        Ok(ResidentBuilder {
+            cfg,
+            bank,
+            quantizer,
+            plan,
+            shape,
+            d,
+            n_total,
+            capacity,
+            pushed: 0,
+            phis: Vec::with_capacity(n_total),
+            cell_writes,
+            program_ns,
+            floor_buf: Vec::new(),
+            sigma_buf: Vec::new(),
+        })
     }
 
     /// Prepares `LB_PIM-SM` at an explicit segmentation `d_prime` — the
@@ -1358,6 +1406,194 @@ impl PimExecutor {
     }
 }
 
+/// Region handles of the shape under construction.
+#[derive(Debug, Clone, Copy)]
+enum ResidentShape {
+    Ed {
+        region: RegionId,
+    },
+    Fnn {
+        mu_region: RegionId,
+        sigma_region: RegionId,
+        segment_len: usize,
+    },
+    Sm {
+        mu_region: RegionId,
+        segment_len: usize,
+    },
+}
+
+/// Incremental constructor for a resident euclidean executor
+/// ([`PimExecutor::begin_euclidean_resident`]).
+///
+/// Rows stream in through [`ResidentBuilder::push_rows`] in dataset
+/// order; each block is quantized and programmed immediately, so host
+/// memory holds one block plus the Φ table — never the full matrix.
+/// [`ResidentBuilder::finish`] seals the regions and yields an executor
+/// indistinguishable from one-shot preparation of the same rows.
+#[derive(Debug)]
+pub struct ResidentBuilder {
+    cfg: ExecutorConfig,
+    bank: ReRamBank,
+    quantizer: Quantizer,
+    plan: MemoryPlan,
+    shape: ResidentShape,
+    d: usize,
+    n_total: usize,
+    capacity: usize,
+    pushed: usize,
+    phis: Vec<f64>,
+    cell_writes: u64,
+    program_ns: f64,
+    floor_buf: Vec<u32>,
+    sigma_buf: Vec<u32>,
+}
+
+impl ResidentBuilder {
+    /// The Theorem 4 plan chosen for the declared shape.
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Rows pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Rows the builder was declared for.
+    pub fn expected(&self) -> usize {
+        self.n_total
+    }
+
+    /// Quantizes and programs one block of rows (`flat` row-major,
+    /// `k × d`, values normalized to `[0, 1]`). Blocks arrive in dataset
+    /// order; any block partitioning produces the same stored matrix.
+    pub fn push_rows(&mut self, flat: &[f64]) -> Result<(), CoreError> {
+        if flat.is_empty() || !flat.len().is_multiple_of(self.d) {
+            return Err(CoreError::Mismatch {
+                what: "pushed block must be a non-empty multiple of d",
+            });
+        }
+        let k = flat.len() / self.d;
+        if self.pushed + k > self.n_total {
+            return Err(CoreError::Mismatch {
+                what: "pushed more rows than the declared total",
+            });
+        }
+        match &mut self.shape {
+            ResidentShape::Ed { region } => {
+                self.floor_buf.clear();
+                for row in flat.chunks_exact(self.d) {
+                    let eq = EdQuant::from_quantized(self.quantizer.quantize_vec(row)?);
+                    self.floor_buf.extend_from_slice(&eq.floors);
+                    self.phis.push(eq.phi);
+                }
+                let rep = self.bank.fill_rows(*region, &self.floor_buf)?;
+                self.cell_writes += rep.cell_writes;
+                self.program_ns += rep.program_ns;
+            }
+            ResidentShape::Fnn {
+                mu_region,
+                sigma_region,
+                segment_len,
+            } => {
+                self.floor_buf.clear();
+                self.sigma_buf.clear();
+                for row in flat.chunks_exact(self.d) {
+                    let fq = FnnQuant::compute(row, self.plan.s, self.cfg.alpha)?;
+                    *segment_len = fq.segment_len;
+                    self.floor_buf.extend_from_slice(&fq.mu_floors);
+                    self.sigma_buf.extend_from_slice(&fq.sigma_floors);
+                    self.phis.push(fq.phi);
+                }
+                let rep_mu = self.bank.fill_rows(*mu_region, &self.floor_buf)?;
+                let rep_sigma = self.bank.fill_rows(*sigma_region, &self.sigma_buf)?;
+                self.cell_writes += rep_mu.cell_writes + rep_sigma.cell_writes;
+                self.program_ns += rep_mu.program_ns + rep_sigma.program_ns;
+            }
+            ResidentShape::Sm {
+                mu_region,
+                segment_len,
+            } => {
+                self.floor_buf.clear();
+                for row in flat.chunks_exact(self.d) {
+                    let sq = crate::pim_bounds::SmQuant::compute(row, self.plan.s, self.cfg.alpha)?;
+                    *segment_len = sq.segment_len;
+                    self.floor_buf.extend_from_slice(&sq.mu_floors);
+                    self.phis.push(sq.phi);
+                }
+                let rep = self.bank.fill_rows(*mu_region, &self.floor_buf)?;
+                self.cell_writes += rep.cell_writes;
+                self.program_ns += rep.program_ns;
+            }
+        }
+        self.pushed += k;
+        Ok(())
+    }
+
+    /// Seals the streamed regions and finishes the executor (stages the Φ
+    /// table, attaches the fault model, runs the post-program scrub).
+    /// Requires exactly the declared number of rows to have been pushed.
+    pub fn finish(mut self) -> Result<PimExecutor, CoreError> {
+        if self.pushed != self.n_total {
+            return Err(CoreError::Mismatch {
+                what: "streamed preparation sealed before all declared rows arrived",
+            });
+        }
+        let regions: Vec<RegionId> = match &self.shape {
+            ResidentShape::Ed { region } => vec![*region],
+            ResidentShape::Fnn {
+                mu_region,
+                sigma_region,
+                ..
+            } => vec![*mu_region, *sigma_region],
+            ResidentShape::Sm { mu_region, .. } => vec![*mu_region],
+        };
+        for r in regions {
+            self.bank.finish_region(r)?;
+        }
+        let phi_bytes = self.capacity as u64 * 8;
+        self.bank.memory_mut().store(phi_bytes)?;
+        let report = PrepareReport {
+            plan: Some(self.plan),
+            cell_writes: self.cell_writes,
+            program_ns: self.program_ns,
+            phi_bytes,
+            crossbars_used: self.bank.pim().used_crossbars()
+                * if self.cfg.double_buffer { 2 } else { 1 },
+            fault_counters: FaultCounters::default(),
+        };
+        let prepared = match self.shape {
+            ResidentShape::Ed { region } => PreparedFunction::Ed {
+                region,
+                phis: self.phis,
+                d: self.d,
+            },
+            ResidentShape::Fnn {
+                mu_region,
+                sigma_region,
+                segment_len,
+            } => PreparedFunction::Fnn {
+                mu_region,
+                sigma_region,
+                phis: self.phis,
+                d_prime: self.plan.s,
+                segment_len,
+            },
+            ResidentShape::Sm {
+                mu_region,
+                segment_len,
+            } => PreparedFunction::Sm {
+                mu_region,
+                phis: self.phis,
+                d_prime: self.plan.s,
+                segment_len,
+            },
+        };
+        PimExecutor::finish(self.bank, self.quantizer, self.cfg, prepared, report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1447,6 +1683,124 @@ mod tests {
             assert!(lb <= ed + 1e-9, "i={i}: {lb} > {ed}");
         }
         assert_eq!(batch.host_bytes_per_object, 24);
+    }
+
+    /// Streams `data` through a [`ResidentBuilder`] in blocks of
+    /// `block` rows and asserts the result is indistinguishable from
+    /// one-shot resident preparation: same bound, same plan, same Φ
+    /// table, same per-crossbar wear, same stored rows, same query
+    /// results, and appends behave identically afterwards.
+    fn assert_streamed_matches_one_shot(
+        c: ExecutorConfig,
+        data: &NormalizedDataset,
+        spare: usize,
+        block: usize,
+    ) {
+        let ds = data.dataset();
+        let mut one = PimExecutor::prepare_euclidean_resident(c, data, spare).unwrap();
+        let mut builder =
+            PimExecutor::begin_euclidean_resident(c, ds.len(), ds.dim(), spare).unwrap();
+        let flat = ds.as_flat();
+        for chunk in flat.chunks(block * ds.dim()) {
+            builder.push_rows(chunk).unwrap();
+        }
+        let mut streamed = builder.finish().unwrap();
+
+        assert_eq!(streamed.bound_name(), one.bound_name());
+        assert_eq!(streamed.report().plan, one.report().plan);
+        assert_eq!(streamed.report().cell_writes, one.report().cell_writes);
+        assert_eq!(streamed.report().phi_bytes, one.report().phi_bytes);
+        assert_eq!(
+            streamed.report().crossbars_used,
+            one.report().crossbars_used
+        );
+        assert!((streamed.report().program_ns - one.report().program_ns).abs() < 1e-6);
+        for xb in 0..one.bank().pim().used_crossbars() {
+            assert_eq!(
+                streamed.bank().pim().crossbar_programs(xb),
+                one.bank().pim().crossbar_programs(xb),
+                "wear differs at crossbar {xb}"
+            );
+        }
+        let q: Vec<f64> = (0..ds.dim()).map(|j| 0.1 + 0.07 * j as f64).collect();
+        let a = one.lb_ed_batch(&q).unwrap();
+        let b = streamed.lb_ed_batch(&q).unwrap();
+        assert_eq!(a.values, b.values, "block={block}");
+        // Appends into the spare rows behave identically afterwards.
+        if spare > 0 {
+            assert_eq!(streamed.spare_capacity().unwrap(), spare);
+            let row: Vec<f64> = (0..ds.dim()).map(|j| 0.2 + 0.05 * j as f64).collect();
+            assert_eq!(
+                one.append_row(&row).unwrap(),
+                streamed.append_row(&row).unwrap()
+            );
+            let a = one.lb_ed_batch(&q).unwrap();
+            let b = streamed.lb_ed_batch(&q).unwrap();
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn streamed_builder_matches_one_shot_ed() {
+        let data = sample_data();
+        for block in [1, 2, 3, 8] {
+            assert_streamed_matches_one_shot(cfg(4096), &data, 2, block);
+        }
+    }
+
+    #[test]
+    fn streamed_builder_matches_one_shot_fnn() {
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f64 / 96.0)
+                    .collect()
+            })
+            .collect();
+        let data = normalized(&rows);
+        let streamed = PimExecutor::begin_euclidean_resident(cfg(8), 64, 8, 0).unwrap();
+        assert!(streamed.plan().s < 8, "shape must be compressed");
+        drop(streamed);
+        for block in [1, 7, 64] {
+            assert_streamed_matches_one_shot(cfg(8), &data, 0, block);
+        }
+    }
+
+    #[test]
+    fn streamed_builder_matches_one_shot_sm() {
+        let rows: Vec<Vec<f64>> = (0..512)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 11 + j * 3) % 89) as f64 / 88.0)
+                    .collect()
+            })
+            .collect();
+        let data = normalized(&rows);
+        let mut c = cfg(34);
+        c.double_buffer = true;
+        let one = PimExecutor::prepare_euclidean_resident(c, &data, 0).unwrap();
+        assert!(one.bound_name().starts_with("LB_PIM-SM"));
+        drop(one);
+        for block in [1, 7, 512] {
+            assert_streamed_matches_one_shot(c, &data, 0, block);
+        }
+    }
+
+    #[test]
+    fn streamed_builder_rejects_misdeclared_totals() {
+        let data = sample_data();
+        let ds = data.dataset();
+        // Finishing early is rejected.
+        let mut b = PimExecutor::begin_euclidean_resident(cfg(4096), 3, 8, 0).unwrap();
+        b.push_rows(ds.row(0)).unwrap();
+        assert!(b.finish().is_err());
+        // Pushing past the declared total is rejected.
+        let mut b = PimExecutor::begin_euclidean_resident(cfg(4096), 1, 8, 0).unwrap();
+        b.push_rows(ds.row(0)).unwrap();
+        assert!(b.push_rows(ds.row(1)).is_err());
+        // Ragged blocks are rejected.
+        let mut b = PimExecutor::begin_euclidean_resident(cfg(4096), 2, 8, 0).unwrap();
+        assert!(b.push_rows(&ds.as_flat()[..5]).is_err());
     }
 
     #[test]

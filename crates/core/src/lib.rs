@@ -38,7 +38,10 @@ pub mod planner;
 pub mod stage;
 
 pub use error::CoreError;
-pub use executor::{PimExecutor, PreparedFunction};
+pub use executor::{PimExecutor, PreparedFunction, ResidentBuilder};
 pub use memory::{choose_dimensionality, MemoryPlan};
-pub use planner::{ExecutionPlan, Planner, PruningProfile};
+pub use planner::{
+    BankProfile, CandidateBound, ExecutionPlan, FleetPlan, FleetPlanner, Planner, PruningProfile,
+    ShardPlacement,
+};
 pub use stage::{PimEdStage, PimFnnStage, PimSmStage};

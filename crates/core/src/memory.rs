@@ -92,6 +92,41 @@ pub fn choose_dimensionality(
     })
 }
 
+/// Which prepared-function shape a resident euclidean plan resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidentShapeChoice {
+    /// The dataset fits uncompressed: `LB_PIM-ED` over one floors region.
+    Uncompressed,
+    /// Compressed with room for the µ/σ pair: `LB_PIM-FNN` (two regions).
+    MuSigma,
+    /// So tight even the pair at `s = 1` overflows: mean-only `LB_PIM-SM`.
+    MeanOnly,
+}
+
+/// The executor's resident-euclidean plan dispatch, shared by one-shot
+/// preparation, the streamed [`crate::executor::ResidentBuilder`], and
+/// the fleet placement planner so all three always agree on the shape a
+/// given `(capacity, d, budget)` resolves to: uncompressed `LB_PIM-ED`
+/// when it fits, else the two-region `LB_PIM-FNN` pair, else mean-only
+/// `LB_PIM-SM` on the single-region plan.
+pub fn resident_plan(
+    capacity: usize,
+    d: usize,
+    buffer_factor: usize,
+    operand_bits: u32,
+    cfg: &PimConfig,
+) -> Result<(MemoryPlan, ResidentShapeChoice), CoreError> {
+    let plan = choose_dimensionality(capacity, d, buffer_factor, operand_bits, cfg)?;
+    if plan.uncompressed {
+        return Ok((plan, ResidentShapeChoice::Uncompressed));
+    }
+    match choose_dimensionality(capacity, d, 2 * buffer_factor, operand_bits, cfg) {
+        Ok(pair) => Ok((pair, ResidentShapeChoice::MuSigma)),
+        Err(CoreError::CannotFit { .. }) => Ok((plan, ResidentShapeChoice::MeanOnly)),
+        Err(e) => Err(e),
+    }
+}
+
 /// Compresses a normalized vector to `s` dimensions by segment means
 /// (Fig. 10's reduction, used when a plain floor-vector region must
 /// shrink). `s` must divide `vector.len()`.

@@ -18,8 +18,10 @@
 //! subsets to enumerate, each executed cheapest-bound-first.
 
 use crate::error::CoreError;
+use crate::memory::{resident_plan, MemoryPlan};
 use simpim_bounds::{BoundDirection, BoundStage};
 use simpim_obs::MetricsSnapshot;
+use simpim_reram::PimConfig;
 use simpim_similarity::{measures, Dataset, Measure};
 
 /// One candidate bound for the planner: its per-object transfer cost and
@@ -338,6 +340,553 @@ impl PruningProfile {
     }
 }
 
+/// One bank of the fleet, as the placement planner sees it.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BankProfile {
+    /// Crossbar budget of this bank.
+    pub crossbars: usize,
+    /// Worst per-crossbar program count so far (wear).
+    pub wear: u64,
+    /// Whether the bank is routable (not fail-stopped / quarantined).
+    pub healthy: bool,
+}
+
+/// One shard of a [`FleetPlan`]: a contiguous row range placed on a bank
+/// with the Theorem 4 plan its budget affords.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardPlacement {
+    /// Index into the fleet's bank list.
+    pub bank: usize,
+    /// First dataset row of the shard.
+    pub start: usize,
+    /// Rows in the shard.
+    pub rows: usize,
+    /// Theorem 4 plan at this bank's budget (per-shard `s`).
+    pub memory: MemoryPlan,
+    /// The Eq. 13 bound pipeline chosen for this shard.
+    pub pipeline: ExecutionPlan,
+    /// Modeled per-query transfer bytes for this shard (Eq. 13 with the
+    /// shard's `s`-adjusted pruning ratio, survivors refined exactly).
+    pub modeled_bytes: f64,
+}
+
+/// A fleet-wide placement: shards in row order with the modeled
+/// throughput the placement attains.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetPlan {
+    /// Shard placements, contiguous and in row order.
+    pub shards: Vec<ShardPlacement>,
+    /// The slowest shard's modeled per-query transfer bytes — shards
+    /// evaluate one query in parallel on their own banks, so this is the
+    /// modeled per-query latency driver.
+    pub makespan_bytes: f64,
+    /// Modeled throughput in queries/s at a nominal 1 GB/s per-bank host
+    /// link: `1e9 / makespan_bytes`. Machine-independent, so it can gate
+    /// regressions across heterogeneous CI runners.
+    pub modeled_qps: f64,
+}
+
+impl FleetPlan {
+    fn from_shards(shards: Vec<ShardPlacement>, merge_bytes_per_shard: f64) -> Self {
+        let makespan_bytes = shards
+            .iter()
+            .map(|s| s.modeled_bytes)
+            .fold(0.0f64, f64::max)
+            + merge_bytes_per_shard * shards.len() as f64;
+        Self {
+            modeled_qps: if makespan_bytes > 0.0 {
+                1e9 / makespan_bytes
+            } else {
+                f64::INFINITY
+            },
+            makespan_bytes,
+            shards,
+        }
+    }
+}
+
+/// Theorem 4 extended to a fleet of heterogeneous banks (DESIGN.md §15).
+///
+/// Given per-bank crossbar budgets, wear, and health, the planner chooses
+/// contiguous shard boundaries and the per-shard reduced dimensionality
+/// `s` (via [`resident_plan`] at each bank's budget) that maximize
+/// modeled throughput under the Eq. 13 cost model. Shards evaluate a
+/// query in parallel, so throughput is set by the slowest shard; the
+/// search prefers fewer, less-worn banks and only spreads wider when the
+/// makespan improves.
+///
+/// The PIM bound's pruning ratio is measured at one reference `s`
+/// ([`FleetPlanner::pim_reference_s`], e.g. from live
+/// [`CandidateBound::from_metrics`] counters) and rescaled to each
+/// shard's `s` with the survivor model `survive(s) = survive_ref ·
+/// s_ref / s` (clamped to `[0, 1]`): halving `s` doubles the surviving
+/// fraction. This captures the paper's observation that compression
+/// loosens the bound roughly in proportion to the segment count.
+#[derive(Debug, Clone)]
+pub struct FleetPlanner {
+    /// Dataset dimensionality.
+    pub d: usize,
+    /// Operand width programmed on crossbars.
+    pub operand_bits: u32,
+    /// Regions reserved per shard (2 with double-buffering).
+    pub buffer_factor: usize,
+    /// Platform template; `num_crossbars` is overridden per bank.
+    pub base_pim: PimConfig,
+    /// Bytes to refine one surviving object exactly.
+    pub refine_bytes_per_object: u64,
+    /// Candidate bounds with measured pruning ratios; PIM candidates are
+    /// rescaled to each shard's `s`.
+    pub candidates: Vec<CandidateBound>,
+    /// The `s` the PIM candidates' ratios were measured at.
+    pub pim_reference_s: usize,
+    /// Spare rows each shard reserves for online inserts.
+    pub spare_rows: usize,
+    /// Host-side cost of merging one more shard's candidate list into the
+    /// global answer, in bytes per query. Every shard pays its Eq. 13
+    /// transfer in parallel, but the merge is serial on the host, so the
+    /// makespan grows by this much per shard used — which is what stops
+    /// the planner from shattering small datasets across the whole fleet.
+    pub merge_bytes_per_shard: f64,
+}
+
+impl FleetPlanner {
+    /// The candidate set with every PIM bound's pruning ratio rescaled
+    /// from the reference `s` to `s`.
+    fn candidates_at(&self, s: usize) -> Vec<CandidateBound> {
+        self.candidates
+            .iter()
+            .map(|c| {
+                if c.is_pim && self.pim_reference_s > 0 && s > 0 {
+                    let survive_ref = 1.0 - c.pruning_ratio.clamp(0.0, 1.0);
+                    let survive =
+                        (survive_ref * self.pim_reference_s as f64 / s as f64).clamp(0.0, 1.0);
+                    CandidateBound {
+                        pruning_ratio: 1.0 - survive,
+                        ..c.clone()
+                    }
+                } else {
+                    c.clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates one shard of `rows` objects on `bank`: Theorem 4 plan at
+    /// the bank's budget, Eq. 13 pipeline at the plan's `s`. `None` when
+    /// the shard does not fit the bank.
+    fn eval_shard(&self, bank: &BankProfile, rows: usize) -> Option<(MemoryPlan, ExecutionPlan)> {
+        let cfg = PimConfig {
+            num_crossbars: bank.crossbars,
+            ..self.base_pim
+        };
+        let (memory, _shape) = resident_plan(
+            rows + self.spare_rows,
+            self.d,
+            self.buffer_factor,
+            self.operand_bits,
+            &cfg,
+        )
+        .ok()?;
+        let planner = Planner {
+            refine_bytes_per_object: self.refine_bytes_per_object,
+            n: rows,
+        };
+        let pipeline = planner.best_plan(&self.candidates_at(memory.s));
+        Some((memory, pipeline))
+    }
+
+    /// Largest row count `bank` can hold (0 when even one row overflows).
+    fn max_rows(&self, bank: &BankProfile, upper: usize) -> usize {
+        if self.eval_shard(bank, upper).is_some() {
+            return upper;
+        }
+        let (mut lo, mut hi) = (0usize, upper);
+        // Invariant: lo fits (or is 0), hi does not.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.eval_shard(bank, mid).is_some() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Builds the placement for `n` rows over `banks`, maximizing modeled
+    /// throughput. Banks are considered in least-worn order (wear, then
+    /// descending budget, then index); for each prefix size the rows are
+    /// split proportionally to crossbar budgets and locally rebalanced
+    /// away from the slowest shard, and the best prefix wins. Because the
+    /// rebalance is local (Theorem 4's `s` makes shard cost a step
+    /// function of the row count, so the proportional seed can stall in a
+    /// local minimum), every feasible *equal* split in fleet index order —
+    /// exactly the [`FleetPlanner::uniform`] baseline's placements — is
+    /// also rebalanced and entered in the comparison: the returned plan
+    /// never models worse than naive uniform sharding.
+    ///
+    /// # Errors
+    /// [`CoreError::CannotFit`] when the healthy fleet cannot hold `n`
+    /// rows; [`CoreError::Mismatch`] on an empty request.
+    pub fn plan(&self, n: usize, banks: &[BankProfile]) -> Result<FleetPlan, CoreError> {
+        if n == 0 || self.d == 0 {
+            return Err(CoreError::Mismatch {
+                what: "fleet placement needs a non-empty dataset",
+            });
+        }
+        let _span = simpim_obs::span!("core.planner.fleet", banks = banks.len() as u64);
+        // Preference order: least-worn feasible banks first.
+        let mut order: Vec<usize> = (0..banks.len()).filter(|&i| banks[i].healthy).collect();
+        order.sort_by_key(|&i| (banks[i].wear, usize::MAX - banks[i].crossbars, i));
+        let caps: Vec<usize> = order.iter().map(|&i| self.max_rows(&banks[i], n)).collect();
+        if caps.iter().sum::<usize>() < n {
+            return Err(CoreError::CannotFit {
+                n,
+                crossbars: banks
+                    .iter()
+                    .filter(|b| b.healthy)
+                    .map(|b| b.crossbars)
+                    .sum(),
+            });
+        }
+
+        let mut cap_by_bank = vec![0usize; banks.len()];
+        for (&bank, &cap) in order.iter().zip(&caps) {
+            cap_by_bank[bank] = cap;
+        }
+
+        let mut best: Option<(f64, Vec<(usize, usize)>)> = None;
+        let consider = |split: Vec<(usize, usize)>, best: &mut Option<(f64, Vec<_>)>| {
+            let makespan = self.makespan(&split, banks);
+            if best
+                .as_ref()
+                .is_none_or(|(b, _)| makespan < *b - f64::EPSILON)
+            {
+                *best = Some((makespan, split));
+            }
+        };
+        for m in 1..=order.len() {
+            let caps_m = &caps[..m];
+            if caps_m.iter().sum::<usize>() < n {
+                continue;
+            }
+            if let Some(split) = self.split_rows(n, &order[..m], caps_m, banks) {
+                consider(split, &mut best);
+            }
+            if let Some(split) = self.water_fill(n, &order[..m], caps_m, banks) {
+                consider(split, &mut best);
+            }
+        }
+        // Uniform-baseline seeds: equal chunks over index-order prefixes.
+        let index_order: Vec<usize> = (0..banks.len()).filter(|&i| banks[i].healthy).collect();
+        for m in 1..=index_order.len() {
+            let prefix = &index_order[..m];
+            let prefix_caps: Vec<usize> = prefix.iter().map(|&i| cap_by_bank[i]).collect();
+            if let Some(split) = self.equal_split(n, prefix, &prefix_caps, banks) {
+                consider(split, &mut best);
+            }
+        }
+        let (_, split) = best.ok_or(CoreError::CannotFit {
+            n,
+            crossbars: banks.iter().map(|b| b.crossbars).sum(),
+        })?;
+
+        let mut shards = Vec::with_capacity(split.len());
+        let mut start = 0usize;
+        for (bank, rows) in split {
+            let (memory, pipeline) = self
+                .eval_shard(&banks[bank], rows)
+                .expect("split only assigns feasible row counts");
+            let planner = Planner {
+                refine_bytes_per_object: self.refine_bytes_per_object,
+                n: rows,
+            };
+            let modeled_bytes = planner.plan_cost(&self.candidates_at(memory.s), &pipeline.stages);
+            shards.push(ShardPlacement {
+                bank,
+                start,
+                rows,
+                memory,
+                pipeline,
+                modeled_bytes,
+            });
+            start += rows;
+        }
+        Ok(FleetPlan::from_shards(shards, self.merge_bytes_per_shard))
+    }
+
+    /// Naive uniform sharding over the first `shards` healthy banks in
+    /// index order (what `serve` did before fleet planning): equal row
+    /// counts regardless of bank budgets. `None` when a chunk overflows
+    /// its bank — uniform placement cannot even program such fleets.
+    pub fn uniform(&self, n: usize, banks: &[BankProfile], shards: usize) -> Option<FleetPlan> {
+        let chosen: Vec<usize> = (0..banks.len())
+            .filter(|&i| banks[i].healthy)
+            .take(shards)
+            .collect();
+        if chosen.len() < shards || shards == 0 || n == 0 {
+            return None;
+        }
+        let chunk = n.div_ceil(shards);
+        let mut placements = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for &bank in &chosen {
+            let rows = chunk.min(n - start);
+            if rows == 0 {
+                break;
+            }
+            let (memory, pipeline) = self.eval_shard(&banks[bank], rows)?;
+            let planner = Planner {
+                refine_bytes_per_object: self.refine_bytes_per_object,
+                n: rows,
+            };
+            let modeled_bytes = planner.plan_cost(&self.candidates_at(memory.s), &pipeline.stages);
+            placements.push(ShardPlacement {
+                bank,
+                start,
+                rows,
+                memory,
+                pipeline,
+                modeled_bytes,
+            });
+            start += rows;
+        }
+        Some(FleetPlan::from_shards(
+            placements,
+            self.merge_bytes_per_shard,
+        ))
+    }
+
+    /// Splits `n` rows over the banks of `order` (capped by `caps`):
+    /// proportional-to-budget seed, then rows migrate away from the
+    /// slowest shard while the makespan improves. Returns `(bank, rows)`
+    /// pairs with every count feasible, or `None` when the split
+    /// degenerates.
+    fn split_rows(
+        &self,
+        n: usize,
+        order: &[usize],
+        caps: &[usize],
+        banks: &[BankProfile],
+    ) -> Option<Vec<(usize, usize)>> {
+        let total_xb: usize = order.iter().map(|&i| banks[i].crossbars).sum();
+        if total_xb == 0 {
+            return None;
+        }
+        // Proportional seed, capped at per-bank feasibility.
+        let mut rows: Vec<usize> = order
+            .iter()
+            .map(|&i| n * banks[i].crossbars / total_xb)
+            .zip(caps)
+            .map(|(r, &cap)| r.min(cap))
+            .collect();
+        // Distribute the rounding/cap remainder onto banks with slack.
+        let mut left = n - rows.iter().sum::<usize>();
+        while left > 0 {
+            let mut moved = false;
+            for (r, &cap) in rows.iter_mut().zip(caps) {
+                if left == 0 {
+                    break;
+                }
+                let take = left.min(cap - *r);
+                *r += take;
+                left -= take;
+                moved |= take > 0;
+            }
+            if !moved {
+                return None;
+            }
+        }
+
+        let split: Vec<(usize, usize)> = order.iter().copied().zip(rows).collect();
+        Some(self.rebalance(split, caps, banks))
+    }
+
+    /// The [`FleetPlanner::uniform`] baseline's equal-chunk split over
+    /// `order`, rebalanced. `None` when a chunk overflows its bank (the
+    /// uniform baseline cannot program such fleets either).
+    fn equal_split(
+        &self,
+        n: usize,
+        order: &[usize],
+        caps: &[usize],
+        banks: &[BankProfile],
+    ) -> Option<Vec<(usize, usize)>> {
+        let chunk = n.div_ceil(order.len());
+        let mut split = Vec::with_capacity(order.len());
+        let mut start = 0usize;
+        for (&bank, &cap) in order.iter().zip(caps) {
+            let rows = chunk.min(n - start);
+            if rows > cap {
+                return None;
+            }
+            split.push((bank, rows));
+            start += rows;
+        }
+        if start < n {
+            return None;
+        }
+        Some(self.rebalance(split, caps, banks))
+    }
+
+    /// Cost-equalizing seed (fleet water-filling): binary-search the
+    /// bottleneck per-query transfer `T` and give every bank the most
+    /// rows it can serve at cost `<= T`. Unlike the pairwise rebalance —
+    /// which moves rows off *one* slowest shard and stalls when two
+    /// equal banks tie for the bottleneck — this lowers every tied
+    /// bottleneck together, so heterogeneous fleets with duplicated
+    /// small banks still converge to a balanced split.
+    fn water_fill(
+        &self,
+        n: usize,
+        order: &[usize],
+        caps: &[usize],
+        banks: &[BankProfile],
+    ) -> Option<Vec<(usize, usize)>> {
+        // Most rows `bank` serves at cost <= t; shard cost is monotone
+        // non-decreasing in the row count (more rows means more transfer
+        // and, past each Theorem 4 threshold, a smaller `s`).
+        let rows_under = |bank: usize, cap: usize, t: f64| -> usize {
+            if cap == 0 || self.shard_cost(&banks[bank], cap) <= t {
+                return cap;
+            }
+            let (mut lo, mut hi) = (0usize, cap);
+            // Invariant: cost(lo) <= t, cost(hi) > t.
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if self.shard_cost(&banks[bank], mid) <= t {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let total_at = |t: f64| -> usize {
+            order
+                .iter()
+                .zip(caps)
+                .map(|(&b, &cap)| rows_under(b, cap, t))
+                .sum()
+        };
+        let mut hi_t = order
+            .iter()
+            .zip(caps)
+            .map(|(&b, &cap)| self.shard_cost(&banks[b], cap))
+            .fold(0.0f64, f64::max);
+        if total_at(hi_t) < n || hi_t <= 0.0 {
+            return None;
+        }
+        let mut lo_t = 0.0f64;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo_t + hi_t);
+            if total_at(mid) >= n {
+                hi_t = mid;
+            } else {
+                lo_t = mid;
+            }
+            if hi_t - lo_t <= hi_t * 1e-9 {
+                break;
+            }
+        }
+        let mut rows: Vec<usize> = order
+            .iter()
+            .zip(caps)
+            .map(|(&b, &cap)| rows_under(b, cap, hi_t))
+            .collect();
+        // Trim the over-assignment (dropping rows never raises a cost).
+        let mut excess = rows.iter().sum::<usize>().checked_sub(n)?;
+        for r in rows.iter_mut().rev() {
+            let take = excess.min(*r);
+            *r -= take;
+            excess -= take;
+        }
+        let split: Vec<(usize, usize)> = order.iter().copied().zip(rows).collect();
+        Some(self.rebalance(split, caps, banks))
+    }
+
+    /// Local rebalance: shave rows off the slowest shard onto the
+    /// fastest with slack while the makespan improves.
+    fn rebalance(
+        &self,
+        mut split: Vec<(usize, usize)>,
+        caps: &[usize],
+        banks: &[BankProfile],
+    ) -> Vec<(usize, usize)> {
+        let mut makespan = self.makespan(&split, banks);
+        for _ in 0..64 {
+            let costs: Vec<f64> = split
+                .iter()
+                .map(|&(b, r)| self.shard_cost(&banks[b], r))
+                .collect();
+            let Some(hi) = costs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let Some(lo) = costs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            if hi == lo {
+                break;
+            }
+            let mut improved = false;
+            let mut delta = (split[hi].1 / 8).max(1);
+            while delta > 0 {
+                if split[hi].1 > delta && split[lo].1 + delta <= caps[lo] {
+                    let mut trial = split.clone();
+                    trial[hi].1 -= delta;
+                    trial[lo].1 += delta;
+                    let trial_makespan = self.makespan(&trial, banks);
+                    if trial_makespan < makespan {
+                        split = trial;
+                        makespan = trial_makespan;
+                        improved = true;
+                        break;
+                    }
+                }
+                delta /= 2;
+            }
+            if !improved {
+                break;
+            }
+        }
+        split.retain(|&(_, r)| r > 0);
+        split
+    }
+
+    fn shard_cost(&self, bank: &BankProfile, rows: usize) -> f64 {
+        if rows == 0 {
+            return 0.0;
+        }
+        match self.eval_shard(bank, rows) {
+            Some((memory, pipeline)) => Planner {
+                refine_bytes_per_object: self.refine_bytes_per_object,
+                n: rows,
+            }
+            .plan_cost(&self.candidates_at(memory.s), &pipeline.stages),
+            None => f64::INFINITY,
+        }
+    }
+
+    fn makespan(&self, split: &[(usize, usize)], banks: &[BankProfile]) -> f64 {
+        let active = split.iter().filter(|&&(_, r)| r > 0).count();
+        split
+            .iter()
+            .map(|&(b, r)| self.shard_cost(&banks[b], r))
+            .fold(0.0f64, f64::max)
+            + self.merge_bytes_per_shard * active as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +1065,191 @@ mod tests {
             .best_plan_measured(&[&stage], &ds, &[], 1, Measure::EuclideanSq)
             .unwrap_err();
         assert!(err.to_string().contains("sample query"), "{err}");
+    }
+
+    fn fleet_planner(candidates: Vec<CandidateBound>, refine: u64) -> FleetPlanner {
+        use simpim_reram::CrossbarConfig;
+        FleetPlanner {
+            d: 8,
+            operand_bits: 16,
+            buffer_factor: 1,
+            base_pim: simpim_reram::PimConfig {
+                crossbar: CrossbarConfig {
+                    size: 16,
+                    adc_bits: 10,
+                    ..Default::default()
+                },
+                num_crossbars: 1,
+                ..Default::default()
+            },
+            refine_bytes_per_object: refine,
+            candidates,
+            pim_reference_s: 8,
+            spare_rows: 0,
+            merge_bytes_per_shard: 1024.0,
+        }
+    }
+
+    fn pim_cand(ratio: f64) -> CandidateBound {
+        CandidateBound {
+            name: "LB_PIM-FNN".to_string(),
+            transfer_bytes: 24,
+            pruning_ratio: ratio,
+            is_pim: true,
+        }
+    }
+
+    #[test]
+    fn fleet_plan_beats_uniform_on_heterogeneous_banks() {
+        // Bank 0 is small (8 crossbars), bank 1 is large (4096). Naive
+        // uniform sharding puts half the rows on the small bank, forcing a
+        // tiny s there — weak pruning, expensive refinement. The fleet
+        // planner sizes shards to budgets (or skips the small bank
+        // entirely), so its slowest shard is strictly cheaper.
+        let fp = fleet_planner(vec![pim_cand(0.99)], 6400);
+        let banks = [
+            BankProfile {
+                crossbars: 8,
+                wear: 0,
+                healthy: true,
+            },
+            BankProfile {
+                crossbars: 4096,
+                wear: 0,
+                healthy: true,
+            },
+        ];
+        let plan = fp.plan(256, &banks).unwrap();
+        let uniform = fp.uniform(256, &banks, 2).unwrap();
+        assert!(
+            plan.modeled_qps > uniform.modeled_qps,
+            "planned {} qps vs uniform {} qps",
+            plan.modeled_qps,
+            uniform.modeled_qps
+        );
+        // The placement is a contiguous partition of all 256 rows.
+        let mut expect_start = 0;
+        for s in &plan.shards {
+            assert_eq!(s.start, expect_start);
+            expect_start += s.rows;
+        }
+        assert_eq!(expect_start, 256);
+        // Per-shard s reflects the hosting bank's budget.
+        for s in &plan.shards {
+            assert!(s.memory.total_crossbars() <= banks[s.bank].crossbars);
+        }
+    }
+
+    #[test]
+    fn fleet_plan_breaks_tied_small_bank_bottlenecks() {
+        // Two *identical* small banks in front of two large ones: the
+        // pairwise rebalance alone stalls here (moving rows off one small
+        // bank leaves its twin as an equally slow bottleneck), which used
+        // to make the planner tie — or lose to — the best uniform split.
+        // Water-filling lowers both tied bottlenecks together, so the
+        // plan must be strictly faster than every uniform baseline.
+        let fp = fleet_planner(vec![pim_cand(0.99)], 6400);
+        let bank = |crossbars: usize, wear: u64| BankProfile {
+            crossbars,
+            wear,
+            healthy: true,
+        };
+        let banks = [bank(8, 0), bank(8, 0), bank(4096, 1), bank(4096, 2)];
+        let plan = fp.plan(512, &banks).unwrap();
+        let best_uniform = (1..=banks.len())
+            .filter_map(|m| fp.uniform(512, &banks, m))
+            .map(|p| p.modeled_qps)
+            .fold(0.0f64, f64::max);
+        assert!(
+            plan.modeled_qps > best_uniform,
+            "planned {} qps vs best uniform {} qps",
+            plan.modeled_qps,
+            best_uniform
+        );
+        let placed: usize = plan.shards.iter().map(|s| s.rows).sum();
+        assert_eq!(placed, 512);
+    }
+
+    #[test]
+    fn fleet_plan_prefers_least_worn_feasible_banks() {
+        let fp = fleet_planner(vec![pim_cand(0.99)], 64);
+        let banks = [
+            BankProfile {
+                crossbars: 4096,
+                wear: 50,
+                healthy: true,
+            },
+            BankProfile {
+                crossbars: 4096,
+                wear: 2,
+                healthy: true,
+            },
+            BankProfile {
+                crossbars: 4096,
+                wear: 9,
+                healthy: true,
+            },
+        ];
+        let plan = fp.plan(8, &banks).unwrap();
+        // A dataset this small gains nothing from spreading; it must land
+        // on the single least-worn bank.
+        assert_eq!(plan.shards.len(), 1);
+        assert_eq!(plan.shards[0].bank, 1);
+    }
+
+    #[test]
+    fn fleet_plan_skips_unhealthy_banks_and_reports_cannot_fit() {
+        let fp = fleet_planner(vec![pim_cand(0.99)], 64);
+        let banks = [
+            BankProfile {
+                crossbars: 4096,
+                wear: 0,
+                healthy: false,
+            },
+            BankProfile {
+                crossbars: 4096,
+                wear: 7,
+                healthy: true,
+            },
+        ];
+        let plan = fp.plan(16, &banks).unwrap();
+        assert!(plan.shards.iter().all(|s| s.bank == 1));
+        // All banks dead → CannotFit.
+        let dead = [BankProfile {
+            crossbars: 4096,
+            wear: 0,
+            healthy: false,
+        }];
+        assert!(matches!(
+            fp.plan(16, &dead),
+            Err(CoreError::CannotFit { .. })
+        ));
+        // Budget too small even at s = 1 → CannotFit.
+        let tiny = [BankProfile {
+            crossbars: 1,
+            wear: 0,
+            healthy: true,
+        }];
+        assert!(matches!(
+            fp.plan(1 << 20, &tiny),
+            Err(CoreError::CannotFit { .. })
+        ));
+    }
+
+    #[test]
+    fn pim_ratio_rescales_with_shard_s() {
+        let fp = fleet_planner(vec![pim_cand(0.99)], 64);
+        let at8 = &fp.candidates_at(8)[0];
+        assert!((at8.pruning_ratio - 0.99).abs() < 1e-12, "reference s");
+        let at2 = &fp.candidates_at(2)[0];
+        // survive = 0.01 · 8/2 = 0.04 → ratio 0.96.
+        assert!((at2.pruning_ratio - 0.96).abs() < 1e-12);
+        let at1 = &fp.candidates_at(1)[0];
+        assert!((at1.pruning_ratio - 0.92).abs() < 1e-12);
+        // Non-PIM candidates never rescale.
+        let mut fp2 = fp.clone();
+        fp2.candidates = vec![cand("LB_FNN^4", 32, 0.7)];
+        assert!((fp2.candidates_at(1)[0].pruning_ratio - 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -24,10 +24,14 @@ pub mod io;
 pub mod lsh;
 pub mod queries;
 pub mod spec;
+pub mod stream;
 pub mod synth;
 pub mod timeseries;
 
 pub use lsh::lsh_codes;
 pub use queries::sample_queries;
 pub use spec::{DatasetSpec, PaperDataset};
+pub use stream::{
+    env_block_rows, DatasetSource, LshCodeSource, SynthSource, TimeseriesWindowSource,
+};
 pub use synth::{generate, generate_labeled, SyntheticConfig};

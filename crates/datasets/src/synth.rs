@@ -15,7 +15,7 @@
 
 use crate::spec::DatasetSpec;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rand_distr_normal::sample_normal;
 use simpim_similarity::Dataset;
 
@@ -74,71 +74,50 @@ fn block_stats(block: &[f64]) -> (f64, f64) {
     (mu, var.max(0.0).sqrt())
 }
 
-/// Generates a dataset with labels (the latent cluster of each object).
-pub fn generate_labeled(cfg: &SyntheticConfig) -> (Dataset, Vec<usize>) {
-    assert!(
-        cfg.n > 0 && cfg.d > 0 && cfg.clusters > 0,
-        "empty generation request"
-    );
-    assert!(
-        (0.0..=1.0).contains(&cfg.stat_uniformity),
-        "stat_uniformity must be in [0, 1]"
-    );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-    // Cluster centers are piecewise-constant over length-⌈d/64⌉ blocks:
-    // real high-dimensional data (image patches, audio features) separates
-    // clusters through low-frequency structure, which is what makes
-    // segment-statistic bounds (LB_SM / LB_FNN) effective on it. Small-d
-    // generations (block = 1) are unaffected.
-    let center_block = (cfg.d / 64).max(1);
-    let centers: Vec<Vec<f64>> = (0..cfg.clusters)
-        .map(|_| {
-            let mut center = Vec::with_capacity(cfg.d);
-            while center.len() < cfg.d {
-                let v = rng.gen_range(0.2..0.8);
-                for _ in 0..center_block.min(cfg.d - center.len()) {
-                    center.push(v);
-                }
-            }
-            center
-        })
-        .collect();
-
-    // Global template statistics per block position.
-    let blocks = cfg.d / UNIFORM_BLOCK;
-    let template: Vec<(f64, f64)> = (0..blocks.max(1))
-        .map(|_| (rng.gen_range(0.35..0.65), rng.gen_range(0.05..0.15)))
-        .collect();
-
+/// Draws one object into `row` and returns its cluster label. Consumes a
+/// fixed run of RNG draws per call (1 label + 2·d normals), which is what
+/// makes block-streamed generation bit-identical to one-shot
+/// ([`crate::stream::SynthSource`]).
+pub(crate) fn gen_row(
+    rng: &mut StdRng,
+    cfg: &SyntheticConfig,
+    centers: &[Vec<f64>],
+    template: &[(f64, f64)],
+    row: &mut [f64],
+) -> usize {
     let w = cfg.stat_uniformity;
+    let label = rng.gen_range(0..cfg.clusters);
+    let center = &centers[label];
+    for (x, &c) in row.iter_mut().zip(center) {
+        *x = (c + sample_normal(rng) * cfg.cluster_std).clamp(0.0, 1.0);
+    }
+    if w > 0.0 && cfg.d >= UNIFORM_BLOCK {
+        for (bi, block) in row.chunks_exact_mut(UNIFORM_BLOCK).enumerate() {
+            let (mu, sigma) = block_stats(block);
+            let (mu_t, sigma_t) = template[bi.min(template.len() - 1)];
+            let target_mu = mu + w * (mu_t - mu);
+            let gain = if sigma > 1e-12 {
+                1.0 + w * (sigma_t / sigma - 1.0)
+            } else {
+                1.0
+            };
+            for x in block.iter_mut() {
+                *x = (target_mu + (*x - mu) * gain).clamp(0.0, 1.0);
+            }
+        }
+    }
+    label
+}
+
+/// Generates a dataset with labels (the latent cluster of each object).
+///
+/// One-shot generation is a single full pull of the streaming source, so
+/// the streamed/one-shot bit-identity contract holds by construction.
+pub fn generate_labeled(cfg: &SyntheticConfig) -> (Dataset, Vec<usize>) {
+    let mut src = crate::stream::SynthSource::new(*cfg);
     let mut flat = Vec::with_capacity(cfg.n * cfg.d);
     let mut labels = Vec::with_capacity(cfg.n);
-    let mut row = vec![0.0f64; cfg.d];
-    for _ in 0..cfg.n {
-        let label = rng.gen_range(0..cfg.clusters);
-        labels.push(label);
-        let center = &centers[label];
-        for (x, &c) in row.iter_mut().zip(center) {
-            *x = (c + sample_normal(&mut rng) * cfg.cluster_std).clamp(0.0, 1.0);
-        }
-        if w > 0.0 && cfg.d >= UNIFORM_BLOCK {
-            for (bi, block) in row.chunks_exact_mut(UNIFORM_BLOCK).enumerate() {
-                let (mu, sigma) = block_stats(block);
-                let (mu_t, sigma_t) = template[bi.min(template.len() - 1)];
-                let target_mu = mu + w * (mu_t - mu);
-                let gain = if sigma > 1e-12 {
-                    1.0 + w * (sigma_t / sigma - 1.0)
-                } else {
-                    1.0
-                };
-                for x in block.iter_mut() {
-                    *x = (target_mu + (*x - mu) * gain).clamp(0.0, 1.0);
-                }
-            }
-        }
-        flat.extend_from_slice(&row);
-    }
+    while src.next_block_labeled(cfg.n, &mut flat, &mut labels) > 0 {}
     (
         Dataset::from_flat(flat, cfg.d).expect("shape by construction"),
         labels,

@@ -90,8 +90,8 @@ pub fn motif_standard(series: &[f64], w: usize) -> MotifResult {
 /// Returns exactly the [`motif_standard`] pair.
 pub fn motif_pim(series: &[f64], w: usize, cfg: ExecutorConfig) -> Result<MotifResult, CoreError> {
     let ds = window_dataset(series, w);
-    let nds = NormalizedDataset::assert_normalized(ds.clone());
-    let mut exec = PimExecutor::prepare_euclidean(cfg, &nds)?;
+    let nds = NormalizedDataset::assert_normalized_ref(&ds);
+    let mut exec = PimExecutor::prepare_euclidean(cfg, nds)?;
     let excl = exclusion(w);
     let mut report = RunReport::new(Architecture::ReRamPim);
     let mut ed = OpCounters::new();
@@ -178,8 +178,8 @@ pub fn discord_pim(
     cfg: ExecutorConfig,
 ) -> Result<DiscordResult, CoreError> {
     let ds = window_dataset(series, w);
-    let nds = NormalizedDataset::assert_normalized(ds.clone());
-    let mut exec = PimExecutor::prepare_euclidean(cfg, &nds)?;
+    let nds = NormalizedDataset::assert_normalized_ref(&ds);
+    let mut exec = PimExecutor::prepare_euclidean(cfg, nds)?;
     let excl = exclusion(w);
     let mut report = RunReport::new(Architecture::ReRamPim);
     let mut ed = OpCounters::new();

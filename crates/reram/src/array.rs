@@ -60,6 +60,11 @@ struct Region {
     /// crossbar `l` lives at physical id `base_crossbar + l` unless
     /// remapped onto a spare.
     base_crossbar: usize,
+    /// Mid-stream fill in progress ([`PimArray::begin_region_streamed`]):
+    /// the initial matrix is arriving block-by-block, wear for the whole
+    /// allocation was already charged at `begin`, and queries/appends are
+    /// rejected until [`PimArray::finish_region`] seals the region.
+    filling: bool,
     /// Local crossbar → spare physical crossbar substitutions installed by
     /// [`PimArray::remap_dead`].
     remap: HashMap<usize, usize>,
@@ -290,6 +295,7 @@ impl PimArray {
             cost,
             base_crossbar,
             remap: HashMap::new(),
+            filling: false,
         });
         self.fault_info.push(None);
         Ok(ProgramReport {
@@ -300,6 +306,168 @@ impl PimArray {
             program_ns,
             energy_j: energy.total_j(),
         })
+    }
+
+    /// Allocates a region sized for `capacity` objects with **no** data
+    /// rows programmed yet; the initial matrix arrives block-by-block via
+    /// [`PimArray::fill_rows`] and is sealed by
+    /// [`PimArray::finish_region`]. This is the streamed twin of
+    /// [`PimArray::program_region_with_capacity`]: `begin` charges the
+    /// gather-tree programming and one wear cycle on the *whole*
+    /// allocation (exactly what one-shot programming charges up front),
+    /// each fill charges only its rows' write pulses, and because the
+    /// per-row latency/energy terms are linear in rows, a region filled in
+    /// any number of blocks ends with cell-write, wear, latency, and
+    /// energy totals identical to one-shot programming of the same matrix.
+    pub fn begin_region_streamed(
+        &mut self,
+        capacity: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        if capacity == 0 || s == 0 {
+            return Err(ReRamError::InvalidConfig {
+                what: "streamed region must have non-zero capacity and s",
+            });
+        }
+        if operand_bits == 0 || operand_bits > 32 {
+            return Err(ReRamError::InvalidConfig {
+                what: "operand_bits must be in 1..=32",
+            });
+        }
+        let cost = dataset_crossbar_cost(capacity, s, operand_bits, &self.cfg.crossbar)?;
+        if cost.total() > self.free_crossbars() {
+            return Err(ReRamError::InsufficientCapacity {
+                required: cost.total(),
+                available: self.free_crossbars(),
+            });
+        }
+
+        // The all-ones gather trees are programmed in full at begin; data
+        // rows are charged as they stream in.
+        let cell_writes = cost.gather as u64 * self.cfg.crossbar.cells() as u64;
+        let rows_written = cost.gather as u64 * self.cfg.crossbar.size as u64;
+        let program_ns = program_timing_ns(&self.cfg, rows_written);
+        let mut energy = EnergyReport::default();
+        energy.charge_writes(&self.energy_model, cell_writes, self.cfg.crossbar.cell_bits);
+        self.energy.add(&energy);
+
+        let region = RegionId(self.regions.len());
+        let base_crossbar = self.used_crossbars;
+        self.used_crossbars += cost.total();
+        self.total_cell_writes += cell_writes;
+        if self.xb_programs.len() < self.used_crossbars {
+            self.xb_programs.resize(self.used_crossbars, 0);
+        }
+        for p in &mut self.xb_programs[base_crossbar..self.used_crossbars] {
+            *p += 1;
+        }
+        self.regions.push(Region {
+            data: Vec::new(),
+            n: 0,
+            capacity,
+            s,
+            operand_bits,
+            cost,
+            base_crossbar,
+            remap: HashMap::new(),
+            filling: true,
+        });
+        self.fault_info.push(None);
+        Ok(ProgramReport {
+            region,
+            cost,
+            cell_writes,
+            rows_written,
+            program_ns,
+            energy_j: energy.total_j(),
+        })
+    }
+
+    /// Streams one block of the initial matrix (`flat` row-major, `k × s`)
+    /// into a region opened by [`PimArray::begin_region_streamed`]. Wear
+    /// was charged for the whole allocation at `begin`; fills charge only
+    /// the write pulses and energy of their own rows.
+    pub fn fill_rows(
+        &mut self,
+        region: RegionId,
+        flat: &[u32],
+    ) -> Result<ProgramReport, ReRamError> {
+        let ri = region.0;
+        let reg = self.regions.get(ri).ok_or(ReRamError::NotProgrammed)?;
+        if !reg.filling {
+            return Err(ReRamError::InvalidConfig {
+                what: "fill_rows requires a region opened by begin_region_streamed",
+            });
+        }
+        let s = reg.s;
+        let operand_bits = reg.operand_bits;
+        if flat.is_empty() || !flat.len().is_multiple_of(s) {
+            return Err(ReRamError::InvalidConfig {
+                what: "filled buffer must be a non-empty multiple of s",
+            });
+        }
+        let k = flat.len() / s;
+        if k > reg.capacity - reg.n {
+            return Err(ReRamError::InsufficientCapacity {
+                required: k,
+                available: reg.capacity - reg.n,
+            });
+        }
+        if let Some(&v) = flat
+            .iter()
+            .find(|&&v| operand_bits < 32 && u64::from(v) >= (1u64 << operand_bits))
+        {
+            return Err(ReRamError::OperandOverflow {
+                value: u64::from(v),
+                bits: operand_bits,
+            });
+        }
+
+        let w = self.cfg.crossbar.cells_per_operand(operand_bits) as u64;
+        let cell_writes = (k as u64) * (s as u64) * w;
+        let rows_written = (k as u64) * (s as u64);
+        let program_ns = program_timing_ns(&self.cfg, rows_written);
+        let mut energy = EnergyReport::default();
+        energy.charge_writes(&self.energy_model, cell_writes, self.cfg.crossbar.cell_bits);
+        self.energy.add(&energy);
+        self.total_cell_writes += cell_writes;
+
+        let reg = &mut self.regions[ri];
+        reg.data.extend_from_slice(flat);
+        reg.n += k;
+        let cost = reg.cost;
+        self.fault_info[ri] = None;
+        Ok(ProgramReport {
+            region,
+            cost,
+            cell_writes,
+            rows_written,
+            program_ns,
+            energy_j: energy.total_j(),
+        })
+    }
+
+    /// Seals a streamed region: queries, appends, and scrubs become legal.
+    /// Rejects an empty region — a fully streamed fill must still deliver
+    /// at least one row, matching one-shot programming's `n >= 1`.
+    pub fn finish_region(&mut self, region: RegionId) -> Result<(), ReRamError> {
+        let reg = self
+            .regions
+            .get_mut(region.0)
+            .ok_or(ReRamError::NotProgrammed)?;
+        if !reg.filling {
+            return Err(ReRamError::InvalidConfig {
+                what: "finish_region requires a region opened by begin_region_streamed",
+            });
+        }
+        if reg.n == 0 {
+            return Err(ReRamError::InvalidConfig {
+                what: "streamed region sealed with zero rows",
+            });
+        }
+        reg.filling = false;
+        Ok(())
     }
 
     /// Number of programmed regions.
@@ -347,6 +515,11 @@ impl PimArray {
     ) -> Result<ProgramReport, ReRamError> {
         let ri = region.0;
         let reg = self.regions.get(ri).ok_or(ReRamError::NotProgrammed)?;
+        if reg.filling {
+            return Err(ReRamError::InvalidConfig {
+                what: "region is mid-fill; seal it with finish_region first",
+            });
+        }
         let s = reg.s;
         let operand_bits = reg.operand_bits;
         if flat.is_empty() || !flat.len().is_multiple_of(s) {
@@ -432,17 +605,21 @@ impl PimArray {
         query: &[u32],
         acc: AccWidth,
     ) -> Result<(Vec<u64>, PimTiming), ReRamError> {
-        let faults_active = self.faults.is_some_and(|f| !f.is_inert());
-        if faults_active {
-            if region.0 >= self.regions.len() {
-                return Err(ReRamError::NotProgrammed);
-            }
-            self.ensure_fault_info(region.0)?;
-        }
-        let reg = self
+        if self
             .regions
             .get(region.0)
-            .ok_or(ReRamError::NotProgrammed)?;
+            .ok_or(ReRamError::NotProgrammed)?
+            .filling
+        {
+            return Err(ReRamError::InvalidConfig {
+                what: "region is mid-fill; seal it with finish_region first",
+            });
+        }
+        let faults_active = self.faults.is_some_and(|f| !f.is_inert());
+        if faults_active {
+            self.ensure_fault_info(region.0)?;
+        }
+        let reg = &self.regions[region.0];
         if query.len() != reg.s {
             return Err(ReRamError::GeometryViolation {
                 what: "query dimensionality",
@@ -1383,6 +1560,96 @@ mod tests {
         }
         let reduced = crate::gather::reduce_through_tree(&partials, m);
         assert_eq!(fast[0], AccWidth::U64.wrap(reduced));
+    }
+
+    #[test]
+    fn streamed_fill_matches_one_shot_on_every_counter() {
+        // One-shot: program 6 objects × 4 dims with 2 spare rows.
+        let flat: Vec<u32> = (0..24).map(|v| v % 13).collect();
+        let mut one = PimArray::new(small_cfg()).unwrap();
+        let rep_one = one.program_region_with_capacity(&flat, 6, 8, 4, 4).unwrap();
+
+        // Streamed: same matrix in blocks of 1, 2, 3 rows.
+        let mut streamed = PimArray::new(small_cfg()).unwrap();
+        let rep_begin = streamed.begin_region_streamed(8, 4, 4).unwrap();
+        let region = rep_begin.region;
+        let mut totals = (
+            rep_begin.cell_writes,
+            rep_begin.rows_written,
+            rep_begin.program_ns,
+            rep_begin.energy_j,
+        );
+        let mut off = 0;
+        for k in [1usize, 2, 3] {
+            let rep = streamed
+                .fill_rows(region, &flat[off * 4..(off + k) * 4])
+                .unwrap();
+            totals.0 += rep.cell_writes;
+            totals.1 += rep.rows_written;
+            totals.2 += rep.program_ns;
+            totals.3 += rep.energy_j;
+            off += k;
+        }
+        // Mid-fill the region rejects queries and appends.
+        assert!(matches!(
+            streamed.dot_batch(region, &[1, 1, 1, 1], AccWidth::U64),
+            Err(ReRamError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            streamed.append_rows(region, &[1, 1, 1, 1]),
+            Err(ReRamError::InvalidConfig { .. })
+        ));
+        streamed.finish_region(region).unwrap();
+        assert!(matches!(
+            streamed.finish_region(region),
+            Err(ReRamError::InvalidConfig { .. })
+        ));
+
+        // Split programming must sum to the one-shot totals exactly.
+        assert_eq!(totals.0, rep_one.cell_writes);
+        assert_eq!(totals.1, rep_one.rows_written);
+        assert!((totals.2 - rep_one.program_ns).abs() < 1e-9);
+        assert!((totals.3 - rep_one.energy_j).abs() < 1e-15);
+        assert_eq!(rep_begin.cost, rep_one.cost);
+        assert_eq!(streamed.used_crossbars(), one.used_crossbars());
+        assert_eq!(streamed.total_cell_writes(), one.total_cell_writes());
+        // Wear parity per physical crossbar.
+        for xb in 0..one.used_crossbars() {
+            assert_eq!(streamed.crossbar_programs(xb), one.crossbar_programs(xb));
+        }
+        // Functional parity: identical stored matrix, spare rows, results.
+        assert_eq!(streamed.region_shape(region).unwrap(), (6, 4, 4));
+        assert_eq!(streamed.region_capacity(region).unwrap(), 8);
+        let q = [1u32, 2, 3, 1];
+        let (a, _) = one.dot_batch(rep_one.region, &q, AccWidth::U64).unwrap();
+        let (b, _) = streamed.dot_batch(region, &q, AccWidth::U64).unwrap();
+        assert_eq!(a, b);
+        // Appends still work after sealing.
+        streamed.append_rows(region, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(streamed.region_shape(region).unwrap().0, 7);
+    }
+
+    #[test]
+    fn streamed_fill_rejects_misuse() {
+        let mut arr = PimArray::new(small_cfg()).unwrap();
+        // Zero capacity rejected.
+        assert!(arr.begin_region_streamed(0, 4, 4).is_err());
+        let region = arr.begin_region_streamed(4, 4, 4).unwrap().region;
+        // Overfill rejected.
+        assert!(matches!(
+            arr.fill_rows(region, &[1u32; 5 * 4]),
+            Err(ReRamError::InsufficientCapacity { .. })
+        ));
+        // Sealing an empty region rejected.
+        assert!(arr.finish_region(region).is_err());
+        arr.fill_rows(region, &[1, 2, 3, 4]).unwrap();
+        arr.finish_region(region).unwrap();
+        // fill after seal rejected.
+        assert!(arr.fill_rows(region, &[1, 2, 3, 4]).is_err());
+        // Ordinary regions reject fill/finish.
+        let plain = arr.program_region(&[1, 2, 3, 4], 1, 4, 4).unwrap().region;
+        assert!(arr.fill_rows(plain, &[1, 2, 3, 4]).is_err());
+        assert!(arr.finish_region(plain).is_err());
     }
 
     #[test]

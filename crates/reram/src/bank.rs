@@ -181,6 +181,35 @@ impl ReRamBank {
             .program_region_with_capacity(flat, n, capacity, s, operand_bits)
     }
 
+    /// Opens a streamed region (no rows yet). See
+    /// [`PimArray::begin_region_streamed`].
+    pub fn begin_region_streamed(
+        &mut self,
+        capacity: usize,
+        s: usize,
+        operand_bits: u32,
+    ) -> Result<ProgramReport, ReRamError> {
+        self.ensure_alive()?;
+        self.pim.begin_region_streamed(capacity, s, operand_bits)
+    }
+
+    /// Streams one block of the initial matrix into an open region. See
+    /// [`PimArray::fill_rows`].
+    pub fn fill_rows(
+        &mut self,
+        region: RegionId,
+        flat: &[u32],
+    ) -> Result<ProgramReport, ReRamError> {
+        self.ensure_alive()?;
+        self.pim.fill_rows(region, flat)
+    }
+
+    /// Seals a streamed region. See [`PimArray::finish_region`].
+    pub fn finish_region(&mut self, region: RegionId) -> Result<(), ReRamError> {
+        self.ensure_alive()?;
+        self.pim.finish_region(region)
+    }
+
     /// Appends objects into a region's spare rows (online insert). See
     /// [`PimArray::append_rows`].
     pub fn append_rows(

@@ -285,19 +285,7 @@ impl ServeEngine {
     /// of `data` keeps `i` as its stable global id; inserts are assigned
     /// fresh ids counting up from `data.len()`.
     pub fn open(cfg: ServeConfig, data: &Dataset) -> Result<Self, ServeError> {
-        if cfg.shards == 0 || cfg.replicas == 0 || cfg.max_batch == 0 || cfg.queue_depth == 0 {
-            return Err(ServeError::InvalidArgument {
-                what: "shards, replicas, max_batch and queue_depth must be non-zero".to_string(),
-            });
-        }
-        // Reject a malformed fault model up front, before any bank is
-        // programmed — a bad rate would otherwise only surface once the
-        // first shard opens (or worse, once the first scrub runs).
-        if let Some(faults) = &cfg.executor.faults {
-            faults.validate().map_err(|e| ServeError::Config {
-                what: e.to_string(),
-            })?;
-        }
+        Self::validate_cfg(&cfg)?;
         if data.is_empty() || data.len() < cfg.shards {
             return Err(ServeError::InvalidArgument {
                 what: format!(
@@ -323,12 +311,11 @@ impl ServeEngine {
         let mut start = 0;
         while start < data.len() {
             let end = (start + chunk).min(data.len());
-            let rows = Dataset::from_rows(
-                &(start..end)
-                    .map(|i| data.row(i).to_vec())
-                    .collect::<Vec<_>>(),
-            )
-            .map_err(simpim_core::CoreError::from)?;
+            let mut rows = Dataset::with_dim(data.dim()).map_err(simpim_core::CoreError::from)?;
+            for i in start..end {
+                rows.append_row(data.row(i))
+                    .map_err(simpim_core::CoreError::from)?;
+            }
             sets.push(ReplicaSet::open(
                 cfg.shard_config(),
                 cfg.replicas,
@@ -338,8 +325,191 @@ impl ServeEngine {
             start = end;
         }
         drop(span);
-        let dim = data.dim();
-        let next_id = data.len();
+        Ok(Self::spawn(sets, cfg, data.len(), data.dim()))
+    }
+
+    /// Opens an engine by **streaming** rows out of `source`, without
+    /// ever materializing the whole dataset in one piece: rows flow in
+    /// [`simpim_datasets::env_block_rows`]-sized blocks into one shard
+    /// mirror at a time, and each shard's replicas program their banks
+    /// straight from that mirror — so peak host memory beyond the
+    /// resident mirrors is one block, not a second copy of the dataset.
+    /// Row `i` of the stream keeps `i` as its stable global id, and the
+    /// produced engine is bit-identical to
+    /// [`ServeEngine::open`] over `source.materialize()`.
+    pub fn open_source(
+        cfg: ServeConfig,
+        source: &mut dyn simpim_datasets::DatasetSource,
+    ) -> Result<Self, ServeError> {
+        Self::validate_cfg(&cfg)?;
+        let n = source.total();
+        if n == 0 || n < cfg.shards {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "need at least one row per shard ({n} rows, {} shards)",
+                    cfg.shards
+                ),
+            });
+        }
+        let chunk = n.div_ceil(cfg.shards);
+        let mut shard_rows = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            shard_rows.push(end - start);
+            start = end;
+        }
+        let shard_cfgs = vec![cfg.shard_config(); shard_rows.len()];
+        let span = simpim_obs::span!(
+            "serve.engine.open",
+            n = n as u64,
+            shards = shard_rows.len() as u64,
+            replicas = cfg.replicas as u64,
+            streamed = 1u64
+        );
+        let sets = Self::stream_sets(source, &shard_rows, &shard_cfgs, cfg.replicas)?;
+        drop(span);
+        let dim = source.dim();
+        Ok(Self::spawn(sets, cfg, n, dim))
+    }
+
+    /// Opens an engine from a fleet placement plan
+    /// ([`simpim_core::FleetPlanner::plan`]): shard boundaries come from
+    /// the plan's contiguous row ranges and each shard's executor is
+    /// budgeted to its assigned bank's crossbar count, so heterogeneous
+    /// banks each run the Theorem 4 / Eq. 13 configuration the planner
+    /// modeled for them. Rows stream from `source` exactly as in
+    /// [`ServeEngine::open_source`]; `cfg.shards` is ignored in favor of
+    /// the plan. Answers are placement-independent — only throughput
+    /// changes.
+    pub fn open_planned(
+        mut cfg: ServeConfig,
+        source: &mut dyn simpim_datasets::DatasetSource,
+        plan: &simpim_core::FleetPlan,
+        banks: &[simpim_core::BankProfile],
+    ) -> Result<Self, ServeError> {
+        cfg.shards = plan.shards.len();
+        Self::validate_cfg(&cfg)?;
+        let n = source.total();
+        let planned: usize = plan.shards.iter().map(|s| s.rows).sum();
+        let contiguous = plan
+            .shards
+            .iter()
+            .scan(0usize, |next, s| {
+                let ok = s.start == *next && s.rows > 0;
+                *next = s.start + s.rows;
+                Some(ok)
+            })
+            .all(|ok| ok);
+        if planned != n || !contiguous {
+            return Err(ServeError::InvalidArgument {
+                what: format!(
+                    "plan covers {planned} rows (contiguous: {contiguous}), source has {n}"
+                ),
+            });
+        }
+        let mut shard_rows = Vec::with_capacity(plan.shards.len());
+        let mut shard_cfgs = Vec::with_capacity(plan.shards.len());
+        for placement in &plan.shards {
+            let Some(bank) = banks.get(placement.bank) else {
+                return Err(ServeError::InvalidArgument {
+                    what: format!(
+                        "plan references bank {} but only {} profiled",
+                        placement.bank,
+                        banks.len()
+                    ),
+                });
+            };
+            let mut shard_cfg = cfg.shard_config();
+            shard_cfg.executor.pim.num_crossbars = bank.crossbars;
+            shard_rows.push(placement.rows);
+            shard_cfgs.push(shard_cfg);
+        }
+        let span = simpim_obs::span!(
+            "serve.engine.open",
+            n = n as u64,
+            shards = shard_rows.len() as u64,
+            replicas = cfg.replicas as u64,
+            planned = 1u64
+        );
+        let sets = Self::stream_sets(source, &shard_rows, &shard_cfgs, cfg.replicas)?;
+        drop(span);
+        let dim = source.dim();
+        Ok(Self::spawn(sets, cfg, n, dim))
+    }
+
+    /// Shared up-front configuration checks. A malformed fault model is
+    /// rejected before any bank is programmed — a bad rate would
+    /// otherwise only surface once the first shard opens (or worse, once
+    /// the first scrub runs).
+    fn validate_cfg(cfg: &ServeConfig) -> Result<(), ServeError> {
+        if cfg.shards == 0 || cfg.replicas == 0 || cfg.max_batch == 0 || cfg.queue_depth == 0 {
+            return Err(ServeError::InvalidArgument {
+                what: "shards, replicas, max_batch and queue_depth must be non-zero".to_string(),
+            });
+        }
+        if let Some(faults) = &cfg.executor.faults {
+            faults.validate().map_err(|e| ServeError::Config {
+                what: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The streaming materialization loop shared by
+    /// [`ServeEngine::open_source`] and [`ServeEngine::open_planned`]:
+    /// pulls `env_block_rows()`-sized blocks, validates them, fills one
+    /// shard mirror at a time, and opens each replica set as soon as its
+    /// mirror completes — at any instant only the finished mirrors plus
+    /// one in-flight block are resident.
+    fn stream_sets(
+        source: &mut dyn simpim_datasets::DatasetSource,
+        shard_rows: &[usize],
+        shard_cfgs: &[ShardConfig],
+        replicas: usize,
+    ) -> Result<Vec<ReplicaSet>, ServeError> {
+        let d = source.dim();
+        let block = simpim_datasets::env_block_rows();
+        let mut sets = Vec::with_capacity(shard_rows.len());
+        let mut buf = Vec::new();
+        let mut start = 0usize;
+        for (&target, shard_cfg) in shard_rows.iter().zip(shard_cfgs) {
+            let mut rows = Dataset::with_dim(d).map_err(simpim_core::CoreError::from)?;
+            while rows.len() < target {
+                buf.clear();
+                let want = block.min(target - rows.len());
+                let got = source.next_block(want, &mut buf);
+                if got == 0 {
+                    return Err(ServeError::InvalidArgument {
+                        what: format!(
+                            "source drained after {} rows, {} planned",
+                            start + rows.len(),
+                            shard_rows.iter().sum::<usize>()
+                        ),
+                    });
+                }
+                if buf.iter().any(|v| !(0.0..=1.0).contains(v)) {
+                    return Err(ServeError::InvalidArgument {
+                        what: "dataset values must be normalized into [0, 1]".to_string(),
+                    });
+                }
+                for row in buf.chunks_exact(d) {
+                    rows.append_row(row).map_err(simpim_core::CoreError::from)?;
+                }
+            }
+            sets.push(ReplicaSet::open(
+                *shard_cfg,
+                replicas,
+                rows,
+                (start..start + target).collect(),
+            )?);
+            start += target;
+        }
+        Ok(sets)
+    }
+
+    /// Spawns the scheduler thread over the opened replica sets.
+    fn spawn(sets: Vec<ReplicaSet>, cfg: ServeConfig, next_id: usize, dim: usize) -> Self {
         let default_timeout = cfg.default_timeout;
         // The timestamp origin every stage span is expressed against.
         // Created before the scheduler spawns so client-side enqueue
@@ -350,13 +520,13 @@ impl ServeEngine {
             .name("simpim-serve-scheduler".to_string())
             .spawn(move || Scheduler::new(sets, cfg, next_id, epoch).run(rx))
             .expect("spawn scheduler thread");
-        Ok(Self {
+        Self {
             tx: Some(tx),
             handle: Some(handle),
             dim,
             default_timeout,
             overloaded: Arc::new(AtomicU64::new(0)),
-        })
+        }
     }
 
     fn tx(&self) -> &SyncSender<Cmd> {
@@ -1319,6 +1489,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simpim_datasets::DatasetSource;
     use simpim_mining::knn::standard::knn_standard;
     use simpim_reram::{CrossbarConfig, FaultConfig, PimConfig};
     use simpim_similarity::Measure;
@@ -1606,5 +1777,97 @@ mod tests {
             assert_eq!(set.healthy, 2, "every replica rejoined routing");
         }
         assert_eq!(stats.live, 10);
+    }
+
+    fn synth_source() -> simpim_datasets::SynthSource {
+        simpim_datasets::SynthSource::new(simpim_datasets::SyntheticConfig {
+            n: 12,
+            d: 4,
+            clusters: 2,
+            cluster_std: 0.08,
+            stat_uniformity: 0.5,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn open_source_answers_like_the_in_memory_open() {
+        let ds = synth_source().materialize();
+        let in_memory = ServeEngine::open(small_cfg(), &ds).unwrap();
+        let streamed = ServeEngine::open_source(small_cfg(), &mut synth_source()).unwrap();
+        for i in 0..3 {
+            let q: Vec<f64> = (0..4)
+                .map(|j| ((i * 5 + j * 3) % 11) as f64 / 10.0)
+                .collect();
+            let truth = knn_standard(&ds, &q, 3, Measure::EuclideanSq).unwrap();
+            assert_eq!(in_memory.knn(&q, 3).unwrap(), truth.neighbors);
+            assert_eq!(streamed.knn(&q, 3).unwrap(), truth.neighbors);
+        }
+        // Mutations behave identically on the streamed engine.
+        let id = streamed.insert(&[0.5; 4]).unwrap();
+        assert_eq!(id, 12);
+        assert!(streamed.delete(3).unwrap());
+        let stats = streamed.stats().unwrap();
+        assert_eq!(stats.live, 12);
+    }
+
+    #[test]
+    fn open_planned_places_shards_on_profiled_banks() {
+        use simpim_core::{BankProfile, CandidateBound, FleetPlanner};
+        let cfg = small_cfg();
+        let banks = [
+            BankProfile {
+                crossbars: 4096,
+                wear: 3,
+                healthy: true,
+            },
+            BankProfile {
+                crossbars: 4096,
+                wear: 0,
+                healthy: true,
+            },
+        ];
+        let planner = FleetPlanner {
+            d: 4,
+            operand_bits: cfg.executor.operand_bits,
+            buffer_factor: 1,
+            base_pim: cfg.executor.pim,
+            refine_bytes_per_object: 64,
+            candidates: vec![CandidateBound {
+                name: "LB_PIM-FNN".to_string(),
+                transfer_bytes: 24,
+                pruning_ratio: 0.9,
+                is_pim: true,
+            }],
+            pim_reference_s: 4,
+            spare_rows: cfg.spare_rows,
+            merge_bytes_per_shard: 1.0,
+        };
+        let plan = planner.plan(12, &banks).unwrap();
+        let ds = synth_source().materialize();
+        let engine = ServeEngine::open_planned(cfg, &mut synth_source(), &plan, &banks).unwrap();
+        let q = vec![0.4, 0.3, 0.9, 0.1];
+        let truth = knn_standard(&ds, &q, 3, Measure::EuclideanSq).unwrap();
+        assert_eq!(
+            engine.knn(&q, 3).unwrap(),
+            truth.neighbors,
+            "placement must be invisible in answers"
+        );
+        assert_eq!(engine.stats().unwrap().shards.len(), plan.shards.len());
+    }
+
+    #[test]
+    fn open_planned_rejects_a_plan_that_mismatches_the_source() {
+        use simpim_core::{FleetPlan, ShardPlacement};
+        let mut src = synth_source();
+        let plan = FleetPlan {
+            shards: Vec::<ShardPlacement>::new(),
+            makespan_bytes: 0.0,
+            modeled_qps: 0.0,
+        };
+        assert!(matches!(
+            ServeEngine::open_planned(small_cfg(), &mut src, &plan, &[]),
+            Err(ServeError::InvalidArgument { .. })
+        ));
     }
 }

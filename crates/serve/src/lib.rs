@@ -53,4 +53,4 @@ pub use engine::{EngineStats, Pending, ServeConfig, ServeEngine, StageLatency};
 pub use error::ServeError;
 pub use flight::{FlightRecorder, FlightRecorderStats, Outcome, QuerySpan, QueryTrace};
 pub use replica::{ReplicaSet, ReplicaSetStats, ReplicaState, RouteSample};
-pub use shard::{Shard, ShardConfig, ShardStats};
+pub use shard::{Residency, Shard, ShardConfig, ShardMirror, ShardStats};

@@ -3,17 +3,20 @@
 //! detect → quarantine → re-replicate repair loop.
 //!
 //! A [`ReplicaSet`] programs one shard's rows onto `R` distinct ReRAM
-//! banks (one [`Shard`] per bank — each shard owns its own
-//! `PimExecutor`/`ReRamBank`). The set maintains three invariants:
+//! banks. The rows themselves live in **one** shared [`ShardMirror`] —
+//! each replica is only a [`Residency`] (its executor/bank plus the map
+//! from crossbar positions to mirror rows), so replication costs `R`
+//! banks but *one* host copy of the vectors, not `R`. The set maintains
+//! three invariants:
 //!
-//! * **Bit-identical answers from any replica.** Every replica holds the
-//!   same live set (mutations apply to all replicas, one at a time,
-//!   before the next command is admitted — the scheduler thread is the
-//!   barrier), refinement is exact `f64` arithmetic, and the
-//!   `simpim-par` merge order is deterministic — so routing is invisible
-//!   to clients. A repaired replica is programmed from a *compacted*
-//!   snapshot, which answers identically by the compaction-invariance
-//!   property `tests/serving.rs` proves.
+//! * **Bit-identical answers from any replica.** Every replica serves
+//!   over the same mirror (mutations apply there once, then each
+//!   residency absorbs or defers them independently), refinement is
+//!   exact `f64` arithmetic, and the `simpim-par` merge order is
+//!   deterministic — so routing is invisible to clients. A repaired
+//!   replica is programmed straight from the mirror's live rows, which
+//!   answers identically by the compaction-invariance property
+//!   `tests/serving.rs` proves.
 //! * **Wear-leveling doubles as load balancing.** Each coalesced batch
 //!   routes to the healthy replica with the lowest maximum crossbar
 //!   program count; appends and reprograms raise a replica's wear, so
@@ -25,24 +28,30 @@
 //!   still answers — compaction never blocks reads.
 //!
 //! **Failure handling** is a three-stage loop. *Detect*: whole-bank loss
-//! ([`simpim_reram::ReRamError::BankLost`]) surfaces through
-//! [`Shard::try_query_batch`]; the set quarantines the replica (routes
+//! ([`simpim_reram::ReRamError::BankLost`]) surfaces through the
+//! residency's batch pass; the set quarantines the replica (routes
 //! around it) and retries the batch on the next healthy replica —
 //! failover is invisible except for the extra pass. *Re-replicate*: the
 //! repair loop ([`ReplicaSet::repair_one`], driven opportunistically by
-//! the engine scheduler between batches) programs the lost replica's
-//! live rows onto a spare bank, scrubs it, and rejoins it to routing.
-//! *Degrade*: with every replica lost, queries fall back to the exact
-//! host mirror (each shard keeps its rows host-side precisely for this),
-//! so answers stay bit-identical — only the PIM filter's speed is lost —
-//! and the set reports itself degraded instead of erroring.
+//! the engine scheduler between batches) streams the mirror's live rows
+//! onto a spare bank block-by-block (no snapshot copy), scrubs it, and
+//! rejoins it to routing. *Degrade*: with every replica lost, queries
+//! fall back to the exact shared host mirror, so answers stay
+//! bit-identical — only the PIM filter's speed is lost — and the set
+//! reports itself degraded instead of erroring.
+//!
+//! The mirror compacts tombstones away only once *every* residency has
+//! folded them out of its programmed order (residencies age
+//! independently — one may have reprogrammed while another still holds
+//! the tombstoned slots), at which point all orders are remapped
+//! atomically.
 
 use std::time::Instant;
 
 use simpim_similarity::Dataset;
 
 use crate::error::ServeError;
-use crate::shard::{Shard, ShardConfig, ShardStats};
+use crate::shard::{validate_row, Residency, ShardConfig, ShardMirror, ShardStats};
 use crate::Neighbor;
 
 /// Routing state of one replica within a [`ReplicaSet`].
@@ -79,7 +88,7 @@ pub struct ReplicaSetStats {
     /// Queries answered from the host mirror because every replica was
     /// lost.
     pub degraded_queries: u64,
-    /// Live objects (identical across replicas).
+    /// Live objects (shared by all replicas).
     pub live: usize,
 }
 
@@ -100,11 +109,13 @@ pub struct RouteSample {
     pub degraded: bool,
 }
 
-/// One shard's rows replicated across `R` distinct banks.
+/// One shard's rows replicated across `R` distinct banks over a single
+/// shared host mirror.
 #[derive(Debug)]
 pub struct ReplicaSet {
     cfg: ShardConfig,
-    replicas: Vec<Shard>,
+    mirror: ShardMirror,
+    replicas: Vec<Residency>,
     state: Vec<ReplicaState>,
     routed: Vec<u64>,
     failovers: u64,
@@ -129,7 +140,10 @@ fn replica_config(base: ShardConfig, replica: usize, generation: u64) -> ShardCo
 
 impl ReplicaSet {
     /// Opens `r` replicas of the shard over `rows` / `ids`, each on its
-    /// own bank with a decorrelated fault map.
+    /// own bank with a decorrelated fault map. `rows` is taken by value
+    /// and becomes the single shared mirror — no per-replica copy is
+    /// made; each residency streams the mirror's rows onto its bank
+    /// block-by-block.
     pub fn open(
         cfg: ShardConfig,
         r: usize,
@@ -137,11 +151,13 @@ impl ReplicaSet {
         ids: Vec<usize>,
     ) -> Result<Self, ServeError> {
         assert!(r >= 1, "a replica set needs at least one replica");
+        let mirror = ShardMirror::new(rows, ids);
         let replicas = (0..r)
-            .map(|i| Shard::open(replica_config(cfg, i, 0), rows.clone(), ids.clone()))
+            .map(|i| Residency::open(replica_config(cfg, i, 0), &mirror))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             cfg,
+            mirror,
             state: vec![ReplicaState::Healthy; r],
             routed: vec![0; r],
             replicas,
@@ -157,9 +173,9 @@ impl ReplicaSet {
         self.replicas.len()
     }
 
-    /// Live object count (identical on every replica).
+    /// Live object count (the shared mirror's).
     pub fn live_len(&self) -> usize {
-        self.replicas[0].live_len()
+        self.mirror.live_len()
     }
 
     /// Routing state of replica `i`.
@@ -189,6 +205,32 @@ impl ReplicaSet {
             .0
     }
 
+    /// Forces one batch through replica `i`, bypassing routing — the
+    /// inspection hook replica-equivalence tests use to prove every
+    /// replica answers bit-identically. A lost bank sheds to the host
+    /// mirror inside the residency's own fallback, so this never fails
+    /// over.
+    pub fn query_replica(
+        &mut self,
+        i: usize,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        match self.replicas[i].try_query_batch_ctx(
+            &self.mirror,
+            queries,
+            ks,
+            simpim_obs::TraceCtx::NONE,
+        ) {
+            Ok(out) => out,
+            Err(_) => queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.mirror.host_query(q, k))
+                .collect(),
+        }
+    }
+
     /// [`ReplicaSet::query_batch`] under an explicit trace context. The
     /// crossbar pass runs under a `serve.replica.pass` span parented on
     /// `parent` (so the pass stays attributable to its coalesced batch
@@ -214,12 +256,12 @@ impl ReplicaSet {
             (Some(sp), ctx)
         };
         while let Some(i) = self.route() {
-            let sheds_before = self.replicas[i].stats().sheds;
-            match self.replicas[i].try_query_batch_ctx(queries, ks, ctx) {
+            let sheds_before = self.replicas[i].sheds();
+            match self.replicas[i].try_query_batch_ctx(&self.mirror, queries, ks, ctx) {
                 Ok(out) => {
                     self.routed[i] += 1;
                     sample.replica = Some(i);
-                    sample.sheds = self.replicas[i].stats().sheds - sheds_before;
+                    sample.sheds = self.replicas[i].sheds() - sheds_before;
                     if let Some(sp) = &mut span {
                         sp.record_all([
                             ("replica", i as f64),
@@ -253,29 +295,53 @@ impl ReplicaSet {
         let out = queries
             .iter()
             .zip(ks)
-            .map(|(q, &k)| self.replicas[0].host_query(q, k))
+            .map(|(q, &k)| self.mirror.host_query(q, k))
             .collect();
         (out, sample)
     }
 
-    /// Inserts a row under `id` on every replica, one at a time. On lost
-    /// replicas the row lands in the host delta, so mirrors never
-    /// diverge.
+    /// Inserts a row under `id`: appended to the shared mirror once,
+    /// then offered to every replica's spare rows. Replicas whose spares
+    /// are exhausted (or whose bank is lost) simply leave it in their
+    /// delta — mirrors never diverge because there is only one.
     pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
+        validate_row(row, self.mirror.dim())?;
+        let idx = self.mirror.append(id, row)?;
         for replica in &mut self.replicas {
-            replica.insert(id, row)?;
+            replica.absorb_insert(idx, row)?;
         }
         Ok(())
     }
 
-    /// Deletes `id` from every replica, one at a time; returns whether
-    /// the id was present (identical on every replica).
+    /// Deletes `id`: tombstoned in the shared mirror once; each replica
+    /// then compacts independently if its tombstone ratio crosses its
+    /// wear-adjusted threshold. Returns whether the id was present.
     pub fn delete(&mut self, id: usize) -> Result<bool, ServeError> {
-        let mut found = false;
-        for replica in &mut self.replicas {
-            found |= replica.delete(id)?;
+        if self.mirror.tombstone(id).is_none() {
+            return Ok(false);
         }
-        Ok(found)
+        for replica in &mut self.replicas {
+            replica.maybe_reprogram(&self.mirror)?;
+        }
+        self.try_compact();
+        Ok(true)
+    }
+
+    /// Drops tombstones from the mirror once **every** residency has
+    /// folded them out of its programmed order (they reprogram at
+    /// different times — wear thresholds differ — so the mirror must
+    /// wait for the slowest), then remaps all orders atomically.
+    fn try_compact(&mut self) {
+        if self.mirror.dead_len() == 0 {
+            return;
+        }
+        if self.replicas.iter().any(|r| !r.order_clean(&self.mirror)) {
+            return;
+        }
+        let table = self.mirror.compact();
+        for replica in &mut self.replicas {
+            replica.remap(&table);
+        }
     }
 
     /// Takes replica `i` out of routing for a compacting reprogram. The
@@ -300,13 +366,15 @@ impl ReplicaSet {
     /// One step of the rolling reprogram: drain replica `i` from
     /// routing, compact it, rejoin it. The other `R − 1` replicas stay
     /// queryable throughout, and answers are unchanged on both sides of
-    /// the step (compaction invariance).
+    /// the step (compaction invariance). Once the last dirty replica
+    /// folds its tombstones, the shared mirror compacts too.
     pub fn reprogram_replica(&mut self, i: usize) -> Result<(), ServeError> {
         if !self.begin_reprogram(i) {
             return Ok(());
         }
-        let out = self.replicas[i].flush();
+        let out = self.replicas[i].reprogram(&self.mirror);
         self.finish_reprogram(i);
+        self.try_compact();
         out
     }
 
@@ -331,36 +399,32 @@ impl ReplicaSet {
         newly
     }
 
-    /// Re-replicates one lost replica onto a spare bank: snapshot the
-    /// live rows from its (still consistent) host mirror, program them
-    /// onto a fresh bank with a fresh fault map, scrub, and rejoin
-    /// routing. Returns `true` if a replica was repaired. Driven by the
-    /// engine scheduler between batches, so repair work never blocks a
-    /// query on a healthy replica.
+    /// Re-replicates one lost replica onto a spare bank: the shared
+    /// mirror's live rows are streamed onto a fresh bank with a fresh
+    /// fault map (block-by-block — no snapshot copy is materialized),
+    /// scrubbed, and rejoined to routing. Returns `true` if a replica
+    /// was repaired. Driven by the engine scheduler between batches, so
+    /// repair work never blocks a query on a healthy replica.
     pub fn repair_one(&mut self) -> Result<bool, ServeError> {
         let Some(i) = self.state.iter().position(|&s| s == ReplicaState::Lost) else {
             return Ok(false);
         };
-        // Any replica's host mirror is consistent (mutations apply to
-        // all, including lost ones); prefer a healthy source anyway.
-        let src = self
-            .state
-            .iter()
-            .position(|&s| s == ReplicaState::Healthy)
-            .unwrap_or(i);
-        let (rows, ids) = self.replicas[src].snapshot_live()?;
-        if rows.is_empty() {
+        if self.mirror.live_len() == 0 {
             // Nothing to program — an empty shard answers nothing from
             // any path, so leave the replica quarantined.
             return Ok(false);
         }
         let started = Instant::now();
         self.generation += 1;
-        let mut spare = Shard::open(replica_config(self.cfg, i, self.generation), rows, ids)?;
+        let mut spare =
+            Residency::open(replica_config(self.cfg, i, self.generation), &self.mirror)?;
         spare.scrub()?;
         self.replicas[i] = spare;
         self.state[i] = ReplicaState::Healthy;
         self.repairs += 1;
+        // The repaired residency programmed only live rows; if it was
+        // the last one holding tombstones, the mirror can compact now.
+        self.try_compact();
         simpim_obs::metrics::counter_add("simpim.serve.repairs", 1);
         simpim_obs::metrics::histogram_record(
             "simpim.serve.repair_ns",
@@ -376,8 +440,11 @@ impl ReplicaSet {
         self.replicas[i].kill_bank();
     }
 
-    /// Direct access to replica `i` (wear injection, inspection).
-    pub fn replica_mut(&mut self, i: usize) -> &mut Shard {
+    /// Direct access to replica `i`'s residency (wear injection,
+    /// inspection). The rows live in the shared mirror, not here — use
+    /// [`ReplicaSet::query_replica`] to answer through a specific
+    /// replica.
+    pub fn replica_mut(&mut self, i: usize) -> &mut Residency {
         &mut self.replicas[i]
     }
 
@@ -389,7 +456,11 @@ impl ReplicaSet {
             .filter(|&&s| s == ReplicaState::Healthy)
             .count();
         ReplicaSetStats {
-            replicas: self.replicas.iter().map(Shard::stats).collect(),
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| r.stats(&self.mirror))
+                .collect(),
             states: self.state.clone(),
             routed: self.routed.clone(),
             healthy,
@@ -520,7 +591,7 @@ mod tests {
         // Mutations still apply (host-side) while degraded...
         set.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
         assert!(set.delete(0).unwrap());
-        // ...and the repair loop can rebuild from the host mirror alone.
+        // ...and the repair loop can rebuild from the shared mirror alone.
         assert!(set.repair_one().unwrap());
         assert!(set.repair_one().unwrap());
         let stats = set.stats();
@@ -552,6 +623,60 @@ mod tests {
         assert!(stats.replicas.iter().all(|r| r.tombstones == 0));
         let after = set.query_batch(&[query()], &[3]).remove(0).unwrap();
         assert_eq!(after, before);
+    }
+
+    #[test]
+    fn shared_mirror_compacts_once_every_replica_is_clean() {
+        let mut set = ReplicaSet::open(cfg(None), 2, rows(), vec![0, 1, 2, 3]).unwrap();
+        set.delete(1).unwrap();
+        // One tombstone out of four is under the 0.4 threshold: both
+        // residencies still hold the dead slot, so the mirror must not
+        // have compacted yet.
+        assert_eq!(set.stats().replicas[0].tombstones, 1);
+        // Roll replica 0 only: the mirror still waits on replica 1.
+        set.reprogram_replica(0).unwrap();
+        let stats = set.stats();
+        assert_eq!(stats.replicas[0].tombstones, 0);
+        assert_eq!(stats.replicas[1].tombstones, 1);
+        // Rolling the second replica makes every order clean → compact.
+        set.reprogram_replica(1).unwrap();
+        let stats = set.stats();
+        assert!(stats.replicas.iter().all(|r| r.tombstones == 0));
+        assert_eq!(stats.live, 3);
+        // Answers unchanged through the whole sequence.
+        let truth = {
+            let mut remaining = rows();
+            remaining.swap_remove_row(1).unwrap();
+            knn_standard(&remaining, &query(), 3, Measure::EuclideanSq).unwrap()
+        };
+        let got = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+        assert_eq!(
+            got.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            truth.neighbors.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+        );
+        assert!(got.iter().all(|&(id, _)| id != 1));
+    }
+
+    #[test]
+    fn query_replica_answers_identically_on_every_replica() {
+        let mut set = ReplicaSet::open(cfg(None), 3, rows(), vec![0, 1, 2, 3]).unwrap();
+        set.insert(4, &[0.2, 0.3, 0.4, 0.5]).unwrap();
+        set.delete(2).unwrap();
+        let truth = set.query_batch(&[query()], &[3]).remove(0).unwrap();
+        for i in 0..3 {
+            let got = set
+                .query_replica(i, std::slice::from_ref(&query()), &[3])
+                .remove(0)
+                .unwrap();
+            assert_eq!(got, truth, "replica {i} diverged");
+        }
+        // Even through a dead bank (host-mirror shed path).
+        set.kill_replica(1);
+        let got = set
+            .query_replica(1, std::slice::from_ref(&query()), &[3])
+            .remove(0)
+            .unwrap();
+        assert_eq!(got, truth);
     }
 
     #[test]

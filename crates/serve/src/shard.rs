@@ -1,26 +1,50 @@
-//! One serving shard: a resident partition of the dataset on its own
-//! ReRAM bank.
+//! One serving shard: a host-side mirror of the rows plus a PIM
+//! *residency* (the programmed crossbar state) on its own ReRAM bank.
 //!
-//! The shard keeps three populations:
+//! The split matters for replication: a [`crate::ReplicaSet`] programs
+//! the same rows onto `R` banks, and before this split each replica
+//! carried its own full host mirror — `R` copies of every vector. Now
+//! the mirror ([`ShardMirror`]) is hoisted out and shared; each replica
+//! keeps only a [`Residency`]: the executor, the bank, and a compact
+//! `order` map from crossbar object positions to mirror rows.
 //!
-//! * **resident** rows — programmed on the bank's crossbars at open (or
-//!   last reprogram) plus online appends into the spare rows Theorem 4's
-//!   plan reserved;
-//! * **tombstoned** rows — deleted but still programmed; the PIM batch
-//!   keeps producing bounds for them, the refinement never surfaces them;
-//! * **delta** rows — inserts that arrived after the spare rows ran out.
-//!   They are host-only (exact scan, no bound) until the next reprogram
-//!   folds them in.
+//! The mirror tracks three populations per row:
 //!
-//! The wear-aware reprogram policy: a reprogram rewrites every crossbar
-//! of the shard, so the tombstone ratio that triggers one *rises* with
-//! the wear already accumulated — a fresh shard compacts eagerly, a
-//! worn shard tolerates more dead weight before burning endurance.
+//! * **resident** rows — present in a residency's `order`, i.e.
+//!   programmed on that bank (at open, at the last reprogram, or
+//!   appended into Theorem 4's spare rows);
+//! * **tombstoned** rows — deleted (`live = false`) but possibly still
+//!   programmed; the PIM batch keeps producing bounds for them, the
+//!   refinement never surfaces them;
+//! * **delta** rows — live rows a residency has *not* programmed (its
+//!   spare rows ran out, or its bank was dead at insert). They simply
+//!   get no PIM bound: the refinement sees bound `0.0` — never prunable
+//!   — so they are evaluated exactly, which is precisely the old
+//!   separate delta scan without the second pass.
+//!
+//! Because residencies on different banks age differently (repair gives
+//! one a fresh bank, appends land on some and overflow on others), each
+//! keeps its own `order`; the mirror only compacts tombstones away once
+//! *every* residency over it has folded them (see
+//! [`ShardMirror::compact`]).
+//!
+//! The wear-aware reprogram policy is unchanged: a reprogram rewrites
+//! every crossbar of the residency, so the tombstone ratio that
+//! triggers one *rises* with the wear already accumulated — a fresh
+//! bank compacts eagerly, a worn bank tolerates more dead weight before
+//! burning endurance.
+//!
+//! Programming is **streamed**: rows flow from the mirror into the bank
+//! in [`simpim_datasets::env_block_rows`]-sized blocks through
+//! [`simpim_core::ResidentBuilder`], which is bit-identical to one-shot
+//! preparation (matrix, Φ, wear, timing) but never materializes a
+//! second copy of the shard — open, repair, and reprogram all share it.
 
 use simpim_core::executor::{ExecutorConfig, PimExecutor};
-use simpim_core::CoreError;
-use simpim_mining::knn::resident::{merge_neighbors, refine_resident, ShardView};
-use simpim_similarity::{Dataset, Measure, NormalizedDataset};
+use simpim_core::{CoreError, ResidentBuilder};
+use simpim_datasets::env_block_rows;
+use simpim_mining::knn::resident::{refine_resident, ShardView};
+use simpim_similarity::{Dataset, Measure};
 use simpim_simkit::OpCounters;
 
 use crate::error::ServeError;
@@ -56,9 +80,10 @@ impl Default for ShardConfig {
 pub struct ShardStats {
     /// Live objects (resident + delta, tombstones excluded).
     pub live: usize,
-    /// Tombstoned resident slots awaiting the next reprogram.
+    /// Tombstoned slots still programmed on this residency's bank.
     pub tombstones: usize,
-    /// Host-only delta rows awaiting the next reprogram.
+    /// Live rows this residency has not programmed (host-only until the
+    /// next reprogram folds them in).
     pub delta: usize,
     /// Spare crossbar rows still available for appends.
     pub spare: usize,
@@ -72,148 +97,259 @@ pub struct ShardStats {
     pub lost: bool,
 }
 
-/// A resident partition of the dataset on one ReRAM bank.
+/// The host-side truth for one shard's rows: vectors, stable global
+/// ids, and liveness. Shared by every replica of the shard — mutations
+/// apply here once, residencies only track what their bank holds.
 #[derive(Debug)]
-pub struct Shard {
-    cfg: ShardConfig,
-    exec: PimExecutor,
-    /// Rows mirrored on the crossbars, in executor object order.
+pub struct ShardMirror {
     rows: Dataset,
     ids: Vec<usize>,
     live: Vec<bool>,
-    tombstones: usize,
-    /// Host-only overflow rows (spare slots exhausted).
-    delta_rows: Dataset,
-    delta_ids: Vec<usize>,
+    dead: usize,
+}
+
+impl ShardMirror {
+    /// Wraps `rows` (values normalized into `[0, 1]`) with their stable
+    /// global `ids`. Takes ownership — no copy is made, and none is made
+    /// per replica either.
+    pub fn new(rows: Dataset, ids: Vec<usize>) -> Self {
+        assert_eq!(rows.len(), ids.len(), "ids must parallel rows");
+        assert!(!rows.is_empty(), "a shard needs at least one row");
+        let live = vec![true; rows.len()];
+        Self {
+            rows,
+            ids,
+            live,
+            dead: 0,
+        }
+    }
+
+    /// An empty mirror to stream rows into (see [`ShardMirror::append`]).
+    pub fn with_dim(d: usize) -> Result<Self, ServeError> {
+        Ok(Self {
+            rows: Dataset::with_dim(d)
+                .map_err(CoreError::from)
+                .map_err(ServeError::from)?,
+            ids: Vec::new(),
+            live: Vec::new(),
+            dead: 0,
+        })
+    }
+
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.rows.dim()
+    }
+
+    /// All slots, tombstoned included.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the mirror holds no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Live rows.
+    pub fn live_len(&self) -> usize {
+        self.rows.len() - self.dead
+    }
+
+    /// Tombstoned slots awaiting compaction.
+    pub fn dead_len(&self) -> usize {
+        self.dead
+    }
+
+    /// Appends a row, returning its mirror index.
+    pub fn append(&mut self, id: usize, row: &[f64]) -> Result<usize, ServeError> {
+        let idx = self
+            .rows
+            .append_row(row)
+            .map_err(CoreError::from)
+            .map_err(ServeError::from)?;
+        self.ids.push(id);
+        self.live.push(true);
+        Ok(idx)
+    }
+
+    /// Tombstones global `id`; returns its mirror index if it was live.
+    pub fn tombstone(&mut self, id: usize) -> Option<usize> {
+        let idx = self.ids.iter().position(|&x| x == id)?;
+        if !self.live[idx] {
+            return None; // already tombstoned
+        }
+        self.live[idx] = false;
+        self.dead += 1;
+        Some(idx)
+    }
+
+    /// Mirror indices of the live rows, in row order.
+    pub fn live_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.rows.len()).filter(|&i| self.live[i])
+    }
+
+    /// Snapshot of the live rows with their stable global ids — the
+    /// compacted layout a reprogram produces. Answers over the snapshot
+    /// are bit-identical to answers over the mirror (compaction
+    /// invariance).
+    pub fn snapshot_live(&self) -> Result<(Dataset, Vec<usize>), ServeError> {
+        let mut rows = Dataset::with_dim(self.dim())
+            .map_err(CoreError::from)
+            .map_err(ServeError::from)?;
+        let mut ids = Vec::new();
+        for i in self.live_indices() {
+            rows.append_row(self.rows.row(i))
+                .map_err(CoreError::from)
+                .map_err(ServeError::from)?;
+            ids.push(self.ids[i]);
+        }
+        Ok((rows, ids))
+    }
+
+    /// Drops tombstoned rows, returning `old index → new index` (dead
+    /// slots map to `None`). Only call once every residency over this
+    /// mirror has folded its tombstones (their `order`s are remapped
+    /// with the returned table via [`Residency::remap`]); compacting
+    /// under a residency that still has dead rows programmed would
+    /// desynchronize its bound batch from the mirror.
+    pub fn compact(&mut self) -> Vec<Option<usize>> {
+        let mut remap = vec![None; self.rows.len()];
+        if self.dead == 0 {
+            for (i, slot) in remap.iter_mut().enumerate() {
+                *slot = Some(i);
+            }
+            return remap;
+        }
+        let mut rows = Dataset::with_dim(self.dim()).expect("dim is valid");
+        let mut ids = Vec::with_capacity(self.live_len());
+        for (i, slot) in remap.iter_mut().enumerate() {
+            if self.live[i] {
+                *slot = Some(rows.len());
+                rows.append_row(self.rows.row(i)).expect("row dims match");
+                ids.push(self.ids[i]);
+            }
+        }
+        self.rows = rows;
+        self.ids = ids;
+        self.live = vec![true; self.ids.len()];
+        self.dead = 0;
+        remap
+    }
+
+    /// Exact host-side answer over every live row, ignoring crossbars
+    /// entirely — the degraded / shed path. Bit-identical to the PIM
+    /// path by the refinement's exactness argument.
+    pub fn host_query(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        let zeros = vec![0.0; self.rows.len()];
+        self.refine(query, k, &zeros)
+    }
+
+    /// Refines one query given per-mirror-row bound values (`0.0` =
+    /// no bound, refine exactly). Tombstones never surface.
+    fn refine(&self, query: &[f64], k: usize, bounds: &[f64]) -> Result<Vec<Neighbor>, ServeError> {
+        let mut counters = OpCounters::new();
+        let out = refine_resident(
+            &ShardView {
+                rows: &self.rows,
+                ids: &self.ids,
+                live: &self.live,
+                bounds,
+            },
+            query,
+            k,
+            Measure::EuclideanSq,
+            &mut counters,
+        )?;
+        Ok(out.neighbors)
+    }
+}
+
+/// One bank's programmed state over a [`ShardMirror`]: the executor and
+/// the map from crossbar object positions to mirror rows. This is all a
+/// replica owns — the vectors themselves live in the shared mirror.
+#[derive(Debug)]
+pub struct Residency {
+    cfg: ShardConfig,
+    exec: PimExecutor,
+    /// `order[j]` = mirror index of the bank's `j`-th programmed object.
+    order: Vec<usize>,
     reprograms: u64,
     sheds: u64,
 }
 
-impl Shard {
-    /// Opens a shard over `rows` whose stable global ids are `ids`.
-    pub fn open(cfg: ShardConfig, rows: Dataset, ids: Vec<usize>) -> Result<Self, ServeError> {
-        assert_eq!(rows.len(), ids.len(), "ids must parallel rows");
-        assert!(!rows.is_empty(), "a shard needs at least one row");
-        let d = rows.dim();
-        let exec = PimExecutor::prepare_euclidean_resident(
-            cfg.executor,
-            &NormalizedDataset::assert_normalized(rows.clone()),
-            cfg.spare_rows,
-        )?;
-        let live = vec![true; rows.len()];
+impl Residency {
+    /// Programs the mirror's live rows onto a fresh bank, streaming
+    /// block-by-block (no second copy of the rows is ever built).
+    pub fn open(cfg: ShardConfig, mirror: &ShardMirror) -> Result<Self, ServeError> {
+        let (exec, order) = Self::program(&cfg, mirror)?;
         Ok(Self {
             cfg,
             exec,
-            rows,
-            ids,
-            live,
-            tombstones: 0,
-            delta_rows: Dataset::with_dim(d).map_err(CoreError::from)?,
-            delta_ids: Vec::new(),
+            order,
             reprograms: 0,
             sheds: 0,
         })
     }
 
-    /// Row dimensionality this shard serves.
-    pub fn dim(&self) -> usize {
-        self.rows.dim()
+    /// Streams the mirror's live rows through [`ResidentBuilder`] in
+    /// [`env_block_rows`]-sized blocks.
+    fn program(
+        cfg: &ShardConfig,
+        mirror: &ShardMirror,
+    ) -> Result<(PimExecutor, Vec<usize>), ServeError> {
+        assert!(mirror.live_len() > 0, "a residency needs at least one row");
+        let d = mirror.dim();
+        let block = env_block_rows();
+        let mut builder: ResidentBuilder = PimExecutor::begin_euclidean_resident(
+            cfg.executor,
+            mirror.live_len(),
+            d,
+            cfg.spare_rows,
+        )?;
+        let mut order = Vec::with_capacity(mirror.live_len());
+        let mut buf = Vec::with_capacity(block.min(mirror.live_len()) * d);
+        for i in mirror.live_indices() {
+            buf.extend_from_slice(mirror.rows.row(i));
+            order.push(i);
+            if buf.len() >= block * d {
+                builder.push_rows(&buf)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            builder.push_rows(&buf)?;
+        }
+        Ok((builder.finish()?, order))
     }
 
-    /// Live object count (resident + delta).
-    pub fn live_len(&self) -> usize {
-        self.rows.len() - self.tombstones + self.delta_rows.len()
-    }
-
-    /// Inserts a normalized row under global id `id`. Appends into the
-    /// bank's spare rows when any remain; otherwise (spares exhausted, or
-    /// the bank is lost and cannot be programmed at all) the row joins
-    /// the host-only delta until the next reprogram — so the host mirror
-    /// stays current even on a dead bank, which keeps degraded-mode
-    /// queries exact and lets healthy replicas be re-replicated from any
-    /// mirror.
-    pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
-        validate_row(row, self.rows.dim())?;
+    /// Tries to absorb a freshly appended mirror row (`idx`) into the
+    /// bank's spare rows. `Ok(true)` when it is now resident; `Ok(false)`
+    /// when the spares are exhausted or the bank is lost — the row stays
+    /// host-only (delta) for this residency until the next reprogram.
+    pub fn absorb_insert(&mut self, idx: usize, row: &[f64]) -> Result<bool, ServeError> {
         match self.exec.append_row(row) {
             Ok(_) => {
-                self.rows.append_row(row).map_err(CoreError::from)?;
-                self.ids.push(id);
-                self.live.push(true);
-                Ok(())
+                self.order.push(idx);
+                Ok(true)
             }
             Err(CoreError::ReRam(
                 simpim_reram::ReRamError::InsufficientCapacity { .. }
                 | simpim_reram::ReRamError::BankLost,
-            )) => {
-                self.delta_rows.append_row(row).map_err(CoreError::from)?;
-                self.delta_ids.push(id);
-                Ok(())
-            }
+            )) => Ok(false),
             Err(e) => Err(e.into()),
         }
     }
 
-    /// Deletes global id `id` if this shard holds it. Resident rows are
-    /// tombstoned (they stay programmed until the next reprogram); delta
-    /// rows are dropped immediately.
-    pub fn delete(&mut self, id: usize) -> Result<bool, ServeError> {
-        if let Some(i) = self.ids.iter().position(|&x| x == id) {
-            if !self.live[i] {
-                return Ok(false); // already tombstoned
-            }
-            self.live[i] = false;
-            self.tombstones += 1;
-            self.maybe_reprogram()?;
-            return Ok(true);
-        }
-        if let Some(i) = self.delta_ids.iter().position(|&x| x == id) {
-            self.delta_rows
-                .swap_remove_row(i)
-                .map_err(CoreError::from)?;
-            self.delta_ids.swap_remove(i);
-            return Ok(true);
-        }
-        Ok(false)
-    }
-
-    /// Serves a coalesced batch of queries: one PIM bound pass per query
-    /// over the resident region, per-query host refinement, and an exact
-    /// scan of the delta rows. If the PIM batch fails, every query in the
-    /// batch sheds to the exact host path — results stay identical, only
-    /// the filter is lost.
-    pub fn query_batch(
-        &mut self,
-        queries: &[Vec<f64>],
-        ks: &[usize],
-    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
-        match self.try_query_batch(queries, ks) {
-            Ok(out) => out,
-            // A standalone shard has no replica to fail over to; a lost
-            // bank degrades it to the (still exact) host path.
-            Err(_) => self.host_query_batch(queries, ks),
-        }
-    }
-
-    /// Like [`Shard::query_batch`], but surfaces whole-bank loss as the
-    /// outer `Err` instead of silently degrading to the host path —
-    /// the replication layer's entry point, so it can fail the batch
-    /// over to another replica. Every *recoverable* PIM failure (ADC
-    /// retry exhaustion and the like) still sheds to the exact host scan
+    /// Serves a coalesced batch through this bank: one PIM bound pass,
+    /// bounds scattered into mirror order (rows without one — the delta
+    /// — get `0.0` and are refined exactly), then exact host refinement.
+    /// Whole-bank loss surfaces as the outer `Err` for failover; every
+    /// *recoverable* PIM failure sheds the batch to the exact host scan
     /// internally.
-    pub fn try_query_batch(
-        &mut self,
-        queries: &[Vec<f64>],
-        ks: &[usize],
-    ) -> Result<Vec<Result<Vec<Neighbor>, ServeError>>, ServeError> {
-        self.try_query_batch_ctx(queries, ks, simpim_obs::TraceCtx::NONE)
-    }
-
-    /// [`Shard::try_query_batch`] under an explicit trace context: the
-    /// crossbar pass span parents on `parent` (the serving layer's batch
-    /// span) so the pass stays attributable to its request even though
-    /// the dispatch crossed onto a pool worker thread.
     pub fn try_query_batch_ctx(
         &mut self,
+        mirror: &ShardMirror,
         queries: &[Vec<f64>],
         ks: &[usize],
         parent: simpim_obs::TraceCtx,
@@ -222,13 +358,19 @@ impl Shard {
         match self.exec.lb_ed_batch_multi_ctx(queries, parent) {
             Ok(batches) => {
                 let mut pass_ns = 0.0;
+                let mut scattered = vec![0.0; mirror.len()];
                 let out = queries
                     .iter()
                     .zip(ks)
                     .zip(&batches)
                     .map(|((q, &k), batch)| {
                         pass_ns += batch.timing.total_ns();
-                        self.refine(q, k, &batch.values)
+                        debug_assert_eq!(batch.values.len(), self.order.len());
+                        scattered.iter_mut().for_each(|v| *v = 0.0);
+                        for (j, &idx) in self.order.iter().enumerate() {
+                            scattered[idx] = batch.values[j];
+                        }
+                        mirror.refine(q, k, &scattered)
                     })
                     .collect();
                 simpim_obs::metrics::histogram_record(
@@ -251,151 +393,124 @@ impl Shard {
                 // only the PIM filter is lost.
                 self.sheds += queries.len() as u64;
                 simpim_obs::metrics::counter_add("simpim.serve.sheds", queries.len() as u64);
-                Ok(self.host_query_batch(queries, ks))
+                Ok(queries
+                    .iter()
+                    .zip(ks)
+                    .map(|(q, &k)| mirror.host_query(q, k))
+                    .collect())
             }
         }
     }
 
-    /// The exact host path for a whole batch.
-    fn host_query_batch(
-        &self,
-        queries: &[Vec<f64>],
-        ks: &[usize],
-    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
-        queries
-            .iter()
-            .zip(ks)
-            .map(|(q, &k)| self.host_query(q, k))
-            .collect()
+    /// Tombstoned slots still programmed on this bank.
+    pub fn tombstoned(&self, mirror: &ShardMirror) -> usize {
+        self.order.iter().filter(|&&i| !mirror.live[i]).count()
     }
 
-    /// Refines one query given its PIM bound values over the resident
-    /// rows, merging in the exact delta scan.
-    fn refine(&self, query: &[f64], k: usize, bounds: &[f64]) -> Result<Vec<Neighbor>, ServeError> {
-        let mut counters = OpCounters::new();
-        let resident = refine_resident(
-            &ShardView {
-                rows: &self.rows,
-                ids: &self.ids,
-                live: &self.live,
-                bounds,
-            },
-            query,
-            k,
-            Measure::EuclideanSq,
-            &mut counters,
-        )?;
-        if self.delta_rows.is_empty() {
-            return Ok(resident.neighbors);
+    /// Live rows this residency has not programmed.
+    pub fn delta(&self, mirror: &ShardMirror) -> usize {
+        let live_resident = self.order.len() - self.tombstoned(mirror);
+        mirror.live_len() - live_resident
+    }
+
+    /// Whether a reprogram would change anything: tombstones to drop or
+    /// delta rows to fold in.
+    fn needs_fold(&self, mirror: &ShardMirror) -> bool {
+        self.tombstoned(mirror) > 0 || self.delta(mirror) > 0
+    }
+
+    /// `true` when no tombstoned row is still programmed here — the
+    /// per-residency precondition for [`ShardMirror::compact`].
+    pub fn order_clean(&self, mirror: &ShardMirror) -> bool {
+        self.tombstoned(mirror) == 0
+    }
+
+    /// Rewrites this residency's `order` through a
+    /// [`ShardMirror::compact`] remap table.
+    pub fn remap(&mut self, table: &[Option<usize>]) {
+        for slot in &mut self.order {
+            *slot = table[*slot].expect("compacted away a row still programmed on a residency");
         }
-        let delta = self.scan_delta(query, k, &mut counters)?;
-        Ok(merge_neighbors(&[resident.neighbors, delta], k, true))
     }
 
-    /// Exact host-side answer, ignoring the crossbars entirely — the shed
-    /// path, and also the delta complement of every refined query.
-    pub fn host_query(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>, ServeError> {
-        let mut counters = OpCounters::new();
-        let zeros = vec![0.0; self.rows.len()];
-        let resident = refine_resident(
-            &ShardView {
-                rows: &self.rows,
-                ids: &self.ids,
-                live: &self.live,
-                bounds: &zeros,
-            },
-            query,
-            k,
-            Measure::EuclideanSq,
-            &mut counters,
-        )?;
-        if self.delta_rows.is_empty() {
-            return Ok(resident.neighbors);
+    /// The wear-adjusted tombstone threshold: `base · (1 + wear/budget)`.
+    /// A worn bank tolerates proportionally more tombstones before it
+    /// spends another full-region program on compaction.
+    fn reprogram_threshold(&self) -> f64 {
+        let wear = self.max_wear() as f64 / self.cfg.reprogram_wear_budget.max(1) as f64;
+        self.cfg.tombstone_reprogram_ratio * (1.0 + wear)
+    }
+
+    /// Compacts when the tombstone ratio crosses the wear-adjusted
+    /// threshold.
+    pub fn maybe_reprogram(&mut self, mirror: &ShardMirror) -> Result<(), ServeError> {
+        let ratio = self.tombstoned(mirror) as f64 / self.order.len().max(1) as f64;
+        if ratio > self.reprogram_threshold() {
+            self.reprogram(mirror)?;
         }
-        let delta = self.scan_delta(query, k, &mut counters)?;
-        Ok(merge_neighbors(&[resident.neighbors, delta], k, true))
+        Ok(())
     }
 
-    fn scan_delta(
-        &self,
-        query: &[f64],
-        k: usize,
-        counters: &mut OpCounters,
-    ) -> Result<Vec<Neighbor>, ServeError> {
-        let live = vec![true; self.delta_rows.len()];
-        let zeros = vec![0.0; self.delta_rows.len()];
-        let out = refine_resident(
-            &ShardView {
-                rows: &self.delta_rows,
-                ids: &self.delta_ids,
-                live: &live,
-                bounds: &zeros,
-            },
-            query,
-            k,
-            Measure::EuclideanSq,
-            counters,
-        )?;
-        Ok(out.neighbors)
+    /// Compacts this residency: programs the mirror's live rows (delta
+    /// folded in, tombstones dropped) onto a fresh resident layout with
+    /// a full complement of spare slots, streamed from the mirror. A
+    /// no-op on a lost bank — nothing can be programmed there; the
+    /// repair loop owns those — and when there is nothing to fold.
+    pub fn reprogram(&mut self, mirror: &ShardMirror) -> Result<(), ServeError> {
+        if self.bank_lost() || !self.needs_fold(mirror) {
+            return Ok(());
+        }
+        if mirror.live_len() == 0 {
+            // Everything deleted: keep the old (all-tombstoned)
+            // residency rather than programming an empty region. Queries
+            // already return nothing.
+            return Ok(());
+        }
+        let (exec, order) = Self::program(&self.cfg, mirror)?;
+        self.exec = exec;
+        self.order = order;
+        self.reprograms += 1;
+        simpim_obs::metrics::counter_add("simpim.serve.reprograms", 1);
+        Ok(())
     }
 
     /// Runs one scrub-and-remap pass over the resident regions now (a
     /// no-op without a fault model) — called after a repair re-programs
-    /// this shard onto a spare bank, so the fresh residency is surveyed
-    /// before it rejoins routing.
+    /// this residency onto a spare bank, so the fresh residency is
+    /// surveyed before it rejoins routing.
     pub fn scrub(&mut self) -> Result<(), ServeError> {
         self.exec.scrub_now().map_err(ServeError::from)
     }
 
-    /// Ages every crossbar of this shard's bank by `extra` program cycles
-    /// — the wear-injection hook for wear-leveling and routing
-    /// experiments (see [`simpim_reram::PimArray::age_crossbars`]).
+    /// Ages every crossbar of this bank by `extra` program cycles — the
+    /// wear-injection hook for wear-leveling and routing experiments
+    /// (see [`simpim_reram::PimArray::age_crossbars`]).
     pub fn age_bank(&mut self, extra: u32) {
         self.exec.bank_mut().pim_mut().age_crossbars(extra);
     }
 
-    /// Fail-stops this shard's bank — the whole-bank-loss injection hook
-    /// ([`simpim_reram::ReRamBank::kill`]). Queries and appends keep
-    /// working through the host mirror; the crossbar filter is gone until
-    /// the shard is re-replicated onto a fresh bank.
+    /// Fail-stops this bank — the whole-bank-loss injection hook
+    /// ([`simpim_reram::ReRamBank::kill`]).
     pub fn kill_bank(&mut self) {
         self.exec.bank_mut().kill();
     }
 
-    /// Whether this shard's bank is fail-stopped.
+    /// Whether this bank is fail-stopped.
     pub fn bank_lost(&self) -> bool {
         self.exec.bank_lost()
     }
 
-    /// Snapshot of the live rows (resident survivors in residency order,
-    /// then the host delta) with their stable global ids — exactly the
-    /// layout a compacting reprogram would produce, which is what the
-    /// repair path programs onto a spare bank. Answers over the snapshot
-    /// are bit-identical to answers over this shard (compaction
-    /// invariance).
-    pub fn snapshot_live(&self) -> Result<(Dataset, Vec<usize>), ServeError> {
-        let mut rows = Dataset::with_dim(self.rows.dim()).map_err(CoreError::from)?;
-        let mut ids = Vec::new();
-        for (i, row) in self.rows.rows().enumerate() {
-            if self.live[i] {
-                rows.append_row(row).map_err(CoreError::from)?;
-                ids.push(self.ids[i]);
-            }
-        }
-        for (i, row) in self.delta_rows.rows().enumerate() {
-            rows.append_row(row).map_err(CoreError::from)?;
-            ids.push(self.delta_ids[i]);
-        }
-        Ok((rows, ids))
+    /// Queries shed to the host path by recoverable PIM failures.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
     }
 
-    /// Highest per-crossbar program count on this shard's bank — the
-    /// wear signal the replica router balances on.
+    /// Highest per-crossbar program count on this bank — the wear signal
+    /// the replica router balances on.
     pub fn wear(&self) -> u32 {
         self.max_wear()
     }
 
-    /// Highest per-crossbar program count on this shard's bank.
     fn max_wear(&self) -> u32 {
         let pim = self.exec.bank().pim();
         (0..self.cfg.executor.pim.num_crossbars)
@@ -404,70 +519,12 @@ impl Shard {
             .unwrap_or(0)
     }
 
-    /// The wear-adjusted tombstone threshold: `base · (1 + wear/budget)`.
-    /// A worn shard tolerates proportionally more tombstones before it
-    /// spends another full-region program on compaction.
-    fn reprogram_threshold(&self) -> f64 {
-        let wear = self.max_wear() as f64 / self.cfg.reprogram_wear_budget.max(1) as f64;
-        self.cfg.tombstone_reprogram_ratio * (1.0 + wear)
-    }
-
-    fn maybe_reprogram(&mut self) -> Result<(), ServeError> {
-        let ratio = self.tombstones as f64 / self.rows.len().max(1) as f64;
-        if ratio > self.reprogram_threshold() {
-            self.reprogram()?;
-        }
-        Ok(())
-    }
-
-    /// Compacts the shard: drops tombstones, folds the delta in, and
-    /// programs the surviving rows onto a fresh resident layout with a
-    /// full complement of spare slots. A no-op on a lost bank — nothing
-    /// can be programmed there; the tombstones and delta stay host-side
-    /// until the repair loop re-replicates the shard.
-    pub fn reprogram(&mut self) -> Result<(), ServeError> {
-        if self.bank_lost() {
-            return Ok(());
-        }
-        if self.tombstones == 0 && self.delta_rows.is_empty() {
-            return Ok(());
-        }
-        let d = self.rows.dim();
-        let (rows, ids) = self.snapshot_live()?;
-        if rows.is_empty() {
-            // Everything deleted: keep the old (all-tombstoned) residency
-            // rather than programming an empty region. Queries already
-            // return nothing.
-            return Ok(());
-        }
-        self.exec = PimExecutor::prepare_euclidean_resident(
-            self.cfg.executor,
-            &NormalizedDataset::assert_normalized(rows.clone()),
-            self.cfg.spare_rows,
-        )?;
-        self.live = vec![true; rows.len()];
-        self.tombstones = 0;
-        self.rows = rows;
-        self.ids = ids;
-        self.delta_rows = Dataset::with_dim(d).map_err(CoreError::from)?;
-        self.delta_ids.clear();
-        self.reprograms += 1;
-        simpim_obs::metrics::counter_add("simpim.serve.reprograms", 1);
-        Ok(())
-    }
-
-    /// Forces pending compaction (tombstones or delta rows) onto the
-    /// crossbars, regardless of the wear-aware threshold.
-    pub fn flush(&mut self) -> Result<(), ServeError> {
-        self.reprogram()
-    }
-
-    /// Point-in-time statistics.
-    pub fn stats(&self) -> ShardStats {
+    /// Point-in-time statistics of this residency over `mirror`.
+    pub fn stats(&self, mirror: &ShardMirror) -> ShardStats {
         ShardStats {
-            live: self.live_len(),
-            tombstones: self.tombstones,
-            delta: self.delta_rows.len(),
+            live: mirror.live_len(),
+            tombstones: self.tombstoned(mirror),
+            delta: self.delta(mirror),
             spare: self.exec.spare_capacity().unwrap_or(0),
             reprograms: self.reprograms,
             sheds: self.sheds,
@@ -477,9 +534,158 @@ impl Shard {
     }
 }
 
+/// A standalone shard: one mirror, one residency — the unreplicated
+/// serving unit (and the building block [`crate::ReplicaSet`] shares a
+/// mirror across).
+#[derive(Debug)]
+pub struct Shard {
+    mirror: ShardMirror,
+    res: Residency,
+}
+
+impl Shard {
+    /// Opens a shard over `rows` whose stable global ids are `ids`.
+    pub fn open(cfg: ShardConfig, rows: Dataset, ids: Vec<usize>) -> Result<Self, ServeError> {
+        let mirror = ShardMirror::new(rows, ids);
+        let res = Residency::open(cfg, &mirror)?;
+        Ok(Self { mirror, res })
+    }
+
+    /// Row dimensionality this shard serves.
+    pub fn dim(&self) -> usize {
+        self.mirror.dim()
+    }
+
+    /// Live object count (resident + delta).
+    pub fn live_len(&self) -> usize {
+        self.mirror.live_len()
+    }
+
+    /// Inserts a normalized row under global id `id`. Appends into the
+    /// bank's spare rows when any remain; otherwise (spares exhausted, or
+    /// the bank is lost and cannot be programmed at all) the row is
+    /// host-only delta until the next reprogram — so the mirror stays
+    /// current even on a dead bank, which keeps degraded-mode queries
+    /// exact.
+    pub fn insert(&mut self, id: usize, row: &[f64]) -> Result<(), ServeError> {
+        validate_row(row, self.mirror.dim())?;
+        let idx = self.mirror.append(id, row)?;
+        self.res.absorb_insert(idx, row)?;
+        Ok(())
+    }
+
+    /// Deletes global id `id` if this shard holds it: the row is
+    /// tombstoned (it stays programmed until the next reprogram folds it
+    /// out).
+    pub fn delete(&mut self, id: usize) -> Result<bool, ServeError> {
+        if self.mirror.tombstone(id).is_none() {
+            return Ok(false);
+        }
+        self.res.maybe_reprogram(&self.mirror)?;
+        self.try_compact();
+        Ok(true)
+    }
+
+    /// Drops tombstones from the mirror once the residency has folded
+    /// them (single-residency shard: right after any reprogram).
+    fn try_compact(&mut self) {
+        if self.mirror.dead > 0 && self.res.order_clean(&self.mirror) {
+            let table = self.mirror.compact();
+            self.res.remap(&table);
+        }
+    }
+
+    /// Serves a coalesced batch of queries: one PIM bound pass per query
+    /// over the resident region and per-query host refinement (delta
+    /// rows carry no bound, so they are always refined exactly). If the
+    /// PIM batch fails, every query in the batch sheds to the exact host
+    /// path — results stay identical, only the filter is lost.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Vec<Result<Vec<Neighbor>, ServeError>> {
+        match self.try_query_batch(queries, ks) {
+            Ok(out) => out,
+            // A standalone shard has no replica to fail over to; a lost
+            // bank degrades it to the (still exact) host path.
+            Err(_) => queries
+                .iter()
+                .zip(ks)
+                .map(|(q, &k)| self.mirror.host_query(q, k))
+                .collect(),
+        }
+    }
+
+    /// Like [`Shard::query_batch`], but surfaces whole-bank loss as the
+    /// outer `Err` instead of silently degrading to the host path — the
+    /// replication layer's entry point, so it can fail the batch over to
+    /// another replica.
+    pub fn try_query_batch(
+        &mut self,
+        queries: &[Vec<f64>],
+        ks: &[usize],
+    ) -> Result<Vec<Result<Vec<Neighbor>, ServeError>>, ServeError> {
+        self.res
+            .try_query_batch_ctx(&self.mirror, queries, ks, simpim_obs::TraceCtx::NONE)
+    }
+
+    /// Exact host-side answer, ignoring the crossbars entirely.
+    pub fn host_query(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>, ServeError> {
+        self.mirror.host_query(query, k)
+    }
+
+    /// Runs one scrub-and-remap pass over the resident regions now.
+    pub fn scrub(&mut self) -> Result<(), ServeError> {
+        self.res.scrub()
+    }
+
+    /// Ages every crossbar of this shard's bank by `extra` program
+    /// cycles (wear injection).
+    pub fn age_bank(&mut self, extra: u32) {
+        self.res.age_bank(extra);
+    }
+
+    /// Fail-stops this shard's bank (whole-bank-loss injection).
+    pub fn kill_bank(&mut self) {
+        self.res.kill_bank();
+    }
+
+    /// Whether this shard's bank is fail-stopped.
+    pub fn bank_lost(&self) -> bool {
+        self.res.bank_lost()
+    }
+
+    /// Snapshot of the live rows with their stable global ids — the
+    /// compacted layout a reprogram programs. Answers over the snapshot
+    /// are bit-identical to answers over this shard (compaction
+    /// invariance).
+    pub fn snapshot_live(&self) -> Result<(Dataset, Vec<usize>), ServeError> {
+        self.mirror.snapshot_live()
+    }
+
+    /// Highest per-crossbar program count on this shard's bank.
+    pub fn wear(&self) -> u32 {
+        self.res.wear()
+    }
+
+    /// Forces pending compaction (tombstones or delta rows) onto the
+    /// crossbars, regardless of the wear-aware threshold.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        self.res.reprogram(&self.mirror)?;
+        self.try_compact();
+        Ok(())
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ShardStats {
+        self.res.stats(&self.mirror)
+    }
+}
+
 /// Rejects rows the quantizer cannot represent: wrong dimensionality or
 /// values outside the normalized `[0, 1]` domain.
-fn validate_row(row: &[f64], d: usize) -> Result<(), ServeError> {
+pub(crate) fn validate_row(row: &[f64], d: usize) -> Result<(), ServeError> {
     if row.len() != d {
         return Err(ServeError::InvalidArgument {
             what: format!("row has {} dimensions, shard serves {d}", row.len()),
@@ -666,7 +872,7 @@ mod tests {
         // Age the bank far past the one-cycle budget: threshold at least
         // doubles, so the delete ratio that would have compacted no
         // longer does.
-        shard.exec.bank_mut().pim_mut().age_crossbars(10);
+        shard.age_bank(10);
         assert!(shard.delete(0).unwrap());
         assert!(shard.delete(1).unwrap());
         assert_eq!(
@@ -674,5 +880,33 @@ mod tests {
             0,
             "worn shard must defer compaction"
         );
+    }
+
+    #[test]
+    fn streamed_block_size_does_not_change_answers() {
+        // The programming path streams mirror rows in SIMPIM_BLOCK_ROWS
+        // blocks; the block size must be invisible in every answer.
+        // (Uses explicit tiny shards rather than the env knob to stay
+        // parallel-test safe.)
+        let mut all = Vec::new();
+        for n in [1usize, 3, 7, 16] {
+            let ds = Dataset::from_rows(
+                &(0..n)
+                    .map(|i| {
+                        (0..4)
+                            .map(|j| ((i * 31 + j * 17) % 89) as f64 / 88.0)
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<f64>>>(),
+            )
+            .unwrap();
+            let mut shard = Shard::open(cfg(), ds.clone(), (0..n).collect()).unwrap();
+            let q = vec![0.45, 0.55, 0.4, 0.6];
+            let truth = knn_standard(&ds, &q, n.min(3), Measure::EuclideanSq).unwrap();
+            let got = shard.query_batch(&[q], &[n.min(3)]).remove(0).unwrap();
+            assert_eq!(got, truth.neighbors);
+            all.push(got);
+        }
+        assert_eq!(all.len(), 4);
     }
 }

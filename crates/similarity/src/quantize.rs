@@ -56,7 +56,11 @@ pub struct QuantizedVec {
 ///
 /// Thin wrapper distinguishing "already normalized" data in APIs; the PIM
 /// pipeline (and the paper's baselines) always run on normalized data.
+/// `repr(transparent)` so a `&Dataset` can be re-viewed as a
+/// `&NormalizedDataset` without copying the rows
+/// ([`NormalizedDataset::assert_normalized_ref`]).
 #[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)]
 pub struct NormalizedDataset {
     inner: Dataset,
 }
@@ -207,6 +211,18 @@ impl NormalizedDataset {
             "values outside [0,1]"
         );
         Self { inner: dataset }
+    }
+
+    /// Borrows a dataset the caller guarantees to be within `[0, 1]`,
+    /// without cloning the rows. Verified in debug builds.
+    pub fn assert_normalized_ref(dataset: &Dataset) -> &Self {
+        debug_assert!(
+            dataset.as_flat().iter().all(|&v| (0.0..=1.0).contains(&v)),
+            "values outside [0,1]"
+        );
+        // SAFETY: `NormalizedDataset` is `repr(transparent)` over
+        // `Dataset`, so the reference layouts are identical.
+        unsafe { &*(dataset as *const Dataset as *const Self) }
     }
 }
 

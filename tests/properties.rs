@@ -355,3 +355,99 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Invariant 9: streamed materialization is block-size invariant. Every
+    // dataset source yields the exact same rows whether pulled in one
+    // block or many — the contract that lets `serve` program banks
+    // block-by-block (bounded peak RSS) without changing a single answer.
+    #[test]
+    fn synth_streaming_is_block_size_invariant(
+        seed in 0u64..500,
+        n in 1usize..70,
+        block in prop::sample::select(vec![1usize, 7, usize::MAX]),
+    ) {
+        use simpim::datasets::{DatasetSource, SynthSource, SyntheticConfig};
+        let cfg = SyntheticConfig { n, d: 6, clusters: 3, cluster_std: 0.07, stat_uniformity: 0.4, seed };
+        let one_shot = SynthSource::new(cfg).materialize();
+        let mut src = SynthSource::new(cfg);
+        let mut streamed = Vec::new();
+        while src.position() < src.total() {
+            let got = src.next_block(block.min(n), &mut streamed);
+            prop_assert!(got > 0, "source drained early at {}", src.position());
+        }
+        let flat: Vec<f64> = (0..one_shot.len()).flat_map(|i| one_shot.row(i).to_vec()).collect();
+        prop_assert_eq!(streamed, flat);
+    }
+
+    // Invariant 9 for sliding time-series windows.
+    #[test]
+    fn timeseries_streaming_is_block_size_invariant(
+        seed in 0u64..500,
+        block in prop::sample::select(vec![1usize, 7, usize::MAX]),
+    ) {
+        use simpim::datasets::{DatasetSource, TimeseriesWindowSource};
+        use simpim::datasets::timeseries::SeriesConfig;
+        let cfg = SeriesConfig { len: 90, pattern_len: 8, noise: 0.02, seed };
+        let one_shot = TimeseriesWindowSource::new(&cfg, 8).materialize();
+        let mut src = TimeseriesWindowSource::new(&cfg, 8);
+        let mut buf = Vec::new();
+        let mut streamed = simpim::similarity::Dataset::with_dim(8).unwrap();
+        while src.position() < src.total() {
+            buf.clear();
+            prop_assert!(src.next_block(block.min(src.total()), &mut buf) > 0);
+            for row in buf.chunks_exact(8) { streamed.push(row).unwrap(); }
+        }
+        prop_assert_eq!(streamed, one_shot);
+    }
+
+    // Invariant 9 for LSH binary codes.
+    #[test]
+    fn lsh_code_streaming_is_block_size_invariant(
+        seed in 0u64..500,
+        n in 1usize..70,
+        block in prop::sample::select(vec![1usize, 7, usize::MAX]),
+    ) {
+        use simpim::datasets::{LshCodeSource, SynthSource, SyntheticConfig};
+        use simpim::similarity::BinaryDataset;
+        let cfg = SyntheticConfig { n, d: 6, clusters: 3, cluster_std: 0.07, stat_uniformity: 0.4, seed };
+        let one_shot = LshCodeSource::new(SynthSource::new(cfg), 32, seed ^ 0x15).materialize();
+        let mut src = LshCodeSource::new(SynthSource::new(cfg), 32, seed ^ 0x15);
+        let mut streamed = BinaryDataset::with_bits(32).unwrap();
+        while src.position() < src.total() {
+            prop_assert!(src.next_codes(block.min(n), &mut streamed) > 0);
+        }
+        prop_assert_eq!(streamed, one_shot);
+    }
+
+    // Invariant 10: mid-stream resume. Skipping to any row and reading on
+    // reproduces exactly the suffix a fresh full read yields, and a reset
+    // source replays the identical stream — what re-replication relies on
+    // to program a replacement bank without a host-side dataset snapshot.
+    #[test]
+    fn mid_stream_resume_reproduces_rows(
+        seed in 0u64..500,
+        n in 2usize..70,
+        frac in 0.0f64..1.0,
+    ) {
+        use simpim::datasets::{DatasetSource, SynthSource, SyntheticConfig};
+        let cfg = SyntheticConfig { n, d: 5, clusters: 2, cluster_std: 0.05, stat_uniformity: 0.6, seed };
+        let full = SynthSource::new(cfg).materialize();
+        let k = ((n as f64 * frac) as usize).min(n - 1);
+        let mut src = SynthSource::new(cfg);
+        src.skip(k);
+        prop_assert_eq!(src.position(), k);
+        let mut suffix = Vec::new();
+        while src.position() < src.total() {
+            prop_assert!(src.next_block(3, &mut suffix) > 0);
+        }
+        let want: Vec<f64> = (k..n).flat_map(|i| full.row(i).to_vec()).collect();
+        prop_assert_eq!(&suffix, &want);
+        // And a reset replays the whole stream bit-identically.
+        src.reset();
+        prop_assert_eq!(src.position(), 0);
+        prop_assert_eq!(src.materialize(), full);
+    }
+}

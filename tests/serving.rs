@@ -160,8 +160,7 @@ proptest! {
         let truth = offline_truth(&live, &query, k);
         for i in 0..r {
             let got = set
-                .replica_mut(i)
-                .query_batch(std::slice::from_ref(&query), &[k])
+                .query_replica(i, std::slice::from_ref(&query), &[k])
                 .remove(0)
                 .unwrap();
             prop_assert_eq!(&got, &truth, "replica {} diverged", i);
